@@ -1,0 +1,122 @@
+// Ablation A8: which of the four features does the filtering work?
+//
+// The paper's 4-tuple (First, Last, Greatest, Smallest) is the maximal
+// "cheap" warping-invariant tuple, but each component alone is already a
+// valid lower bound. This harness measures the candidate ratio under each
+// feature subset (a dropped dimension becomes an infinite-range
+// constraint) on both corpora, showing how much each feature contributes.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "sequence/feature.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+struct Subset {
+  const char* name;
+  bool first;
+  bool last;
+  bool greatest;
+  bool smallest;
+};
+
+bool Passes(const FeatureVector& s, const FeatureVector& q, double eps,
+            const Subset& subset) {
+  if (subset.first && std::fabs(s.first - q.first) > eps) return false;
+  if (subset.last && std::fabs(s.last - q.last) > eps) return false;
+  if (subset.greatest && std::fabs(s.greatest - q.greatest) > eps) {
+    return false;
+  }
+  if (subset.smallest && std::fabs(s.smallest - q.smallest) > eps) {
+    return false;
+  }
+  return true;
+}
+
+void RunCorpus(const char* corpus, const Dataset& dataset, double eps,
+               size_t num_queries, TablePrinter* table) {
+  std::vector<FeatureVector> features;
+  features.reserve(dataset.size());
+  for (const Sequence& s : dataset.sequences()) {
+    features.push_back(ExtractFeature(s));
+  }
+  const auto queries = GenerateQueryWorkload(
+      dataset, QueryWorkloadOptions{.num_queries = num_queries});
+
+  const Subset subsets[] = {
+      {"first", true, false, false, false},
+      {"first+last", true, true, false, false},
+      {"greatest+smallest", false, false, true, true},
+      {"all-but-last", true, false, true, true},
+      {"all4(paper)", true, true, true, true},
+  };
+  for (const Subset& subset : subsets) {
+    double candidates = 0.0;
+    for (const Sequence& q : queries) {
+      const FeatureVector qf = ExtractFeature(q);
+      for (const FeatureVector& f : features) {
+        if (Passes(f, qf, eps, subset)) {
+          candidates += 1.0;
+        }
+      }
+    }
+    const double ratio = candidates /
+                         static_cast<double>(queries.size()) /
+                         static_cast<double>(dataset.size());
+    table->PrintRow({corpus, subset.name,
+                     bench::FormatDouble(ratio, 4)});
+  }
+}
+
+int Run(int argc, char** argv) {
+  int64_t num_queries = 100;
+  double stock_eps = 2.0;
+  double walk_eps = 0.1;
+
+  FlagSet flags("abl8_feature_subset");
+  flags.AddInt64("queries", &num_queries, "queries per corpus");
+  flags.AddDouble("stock_eps", &stock_eps, "tolerance on the stock corpus");
+  flags.AddDouble("walk_eps", &walk_eps, "tolerance on the walk corpus");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  bench::PrintPreamble(
+      "Ablation A8: contribution of each feature to filtering",
+      "Kim/Park/Chu ICDE'01 §4.2 (the 4-tuple feature vector)",
+      "545 stock sequences (eps=" + bench::FormatDouble(stock_eps, 1) +
+          ") and 2000 random walks of length 200 (eps=" +
+          bench::FormatDouble(walk_eps, 2) + ")");
+
+  TablePrinter table(stdout, {"corpus", "features", "candidate_ratio"});
+  table.PrintHeader();
+
+  RunCorpus("stock", GenerateStockDataset(StockDataOptions{}), stock_eps,
+            static_cast<size_t>(num_queries), &table);
+
+  RandomWalkOptions rw;
+  rw.num_sequences = 2000;
+  rw.min_length = 200;
+  rw.max_length = 200;
+  RunCorpus("walk", GenerateRandomWalkDataset(rw), walk_eps,
+            static_cast<size_t>(num_queries), &table);
+
+  std::printf(
+      "\nexpected shape: each added feature tightens the filter; "
+      "greatest/smallest matter most on trending data (random walks), "
+      "first/last on range-bound data.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

@@ -1,0 +1,90 @@
+// Ablation A9: LRU buffer pool over the index pages.
+//
+// The paper charges every index node touch as a disk read (§5.2 reasons
+// about R-tree size vs database size). A small buffer pool keeps the hot
+// upper levels resident, so repeated queries pay only for leaf-page
+// misses. This harness sweeps the pool size over a query workload.
+
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t num_sequences = 20000;
+  int64_t length = 100;
+  double eps = 0.1;
+  int64_t num_queries = 200;
+  std::string pool_list = "0,4,16,64,256,1024";
+
+  FlagSet flags("abl9_buffer_pool");
+  flags.AddInt64("n", &num_sequences, "number of sequences");
+  flags.AddInt64("len", &length, "sequence length");
+  flags.AddDouble("eps", &eps, "tolerance");
+  flags.AddInt64("queries", &num_queries, "queries per pool size");
+  flags.AddString("pools", &pool_list, "pool sizes in pages (0 = off)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  RandomWalkOptions rw;
+  rw.num_sequences = static_cast<size_t>(num_sequences);
+  rw.min_length = static_cast<size_t>(length);
+  rw.max_length = static_cast<size_t>(length);
+
+  bench::PrintPreamble(
+      "Ablation A9: index buffer pool size",
+      "extension of Kim/Park/Chu ICDE'01 §5.2's I/O accounting",
+      std::to_string(num_sequences) + " walks of length " +
+          std::to_string(length) + ", eps=" + bench::FormatDouble(eps, 2) +
+          ", " + std::to_string(num_queries) + " queries");
+
+  TablePrinter table(stdout,
+                     {"pool_pages", "index_pages", "io_reads_per_query",
+                      "io_ms_per_query", "hit_rate"});
+  table.PrintHeader();
+  for (const int64_t pool_pages : bench::ParseIntList(pool_list)) {
+    EngineOptions options;
+    options.index_buffer_pages = static_cast<size_t>(pool_pages);
+    const Engine engine(GenerateRandomWalkDataset(rw), options);
+    const auto queries = GenerateQueryWorkload(
+        engine.dataset(), QueryWorkloadOptions{
+                              .num_queries = static_cast<size_t>(num_queries)});
+    double reads = 0.0;
+    double io_ms = 0.0;
+    for (const Sequence& q : queries) {
+      const SearchResult r = engine.Search(q, eps);
+      reads += static_cast<double>(r.cost.io.random_page_reads);
+      io_ms += engine.disk_model().CostMillis(r.cost.io);
+    }
+    double hit_rate = 0.0;
+    if (engine.index_pool() != nullptr) {
+      const uint64_t hits = engine.index_pool()->hits();
+      const uint64_t total = hits + engine.index_pool()->misses();
+      hit_rate = total == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+    }
+    const double n = static_cast<double>(queries.size());
+    table.PrintRow({std::to_string(pool_pages),
+                    std::to_string(engine.feature_index().rtree()
+                                       .TotalPages()),
+                    bench::FormatDouble(reads / n, 1),
+                    bench::FormatDouble(io_ms / n, 2),
+                    bench::FormatDouble(hit_rate, 3)});
+  }
+  std::printf(
+      "\nexpected shape: I/O per query falls steeply once the pool holds "
+      "the index's upper levels, flattening when the whole index fits.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

@@ -1,0 +1,90 @@
+#include "common/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace warpindex {
+namespace bench {
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    const size_t comma = text.find(',', begin);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+std::vector<double> ParseDoubleList(const std::string& text) {
+  std::vector<double> values;
+  for (const std::string& part : SplitCommas(text)) {
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (end == part.c_str() || *end != '\0') {
+      std::fprintf(stderr, "bad number in list: '%s'\n", part.c_str());
+      std::exit(1);
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+std::vector<int64_t> ParseIntList(const std::string& text) {
+  std::vector<int64_t> values;
+  for (const double v : ParseDoubleList(text)) {
+    values.push_back(static_cast<int64_t>(v));
+  }
+  return values;
+}
+
+WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
+                            const std::vector<Sequence>& queries,
+                            double epsilon, double cpu_scale) {
+  WorkloadSummary summary;
+  for (const Sequence& q : queries) {
+    const SearchResult result = engine.SearchWith(kind, q, epsilon);
+    summary.avg_candidates += static_cast<double>(result.num_candidates);
+    summary.avg_matches += static_cast<double>(result.matches.size());
+    summary.avg_wall_ms += result.cost.wall_ms;
+    const double io_ms = engine.disk_model().CostMillis(result.cost.io);
+    summary.avg_io_ms += io_ms;
+    summary.avg_elapsed_ms += result.cost.wall_ms * cpu_scale + io_ms;
+    summary.avg_pages +=
+        static_cast<double>(result.cost.io.TotalPageReads());
+  }
+  const double n = static_cast<double>(queries.size());
+  summary.avg_candidates /= n;
+  summary.avg_matches /= n;
+  summary.avg_wall_ms /= n;
+  summary.avg_io_ms /= n;
+  summary.avg_elapsed_ms /= n;
+  summary.avg_pages /= n;
+  summary.candidate_ratio =
+      summary.avg_candidates / static_cast<double>(engine.dataset().size());
+  return summary;
+}
+
+void PrintPreamble(const std::string& title, const std::string& paper_ref,
+                   const std::string& workload) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("workload:   %s\n\n", workload.c_str());
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace warpindex

@@ -1,0 +1,57 @@
+// Shared pieces for the figure/ablation benchmark harnesses.
+//
+// Every harness follows the paper's protocol (§5.1): build a dataset,
+// generate 100 perturbed-copy queries (scaled-down defaults are
+// flag-overridable), run each method over the workload, and report the
+// same series the corresponding figure plots. "Elapsed" combines measured
+// CPU wall time with the simulated period disk model (see
+// storage/disk_model.h and DESIGN.md).
+
+#ifndef WARPINDEX_BENCH_COMMON_BENCH_UTIL_H_
+#define WARPINDEX_BENCH_COMMON_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "sequence/dataset.h"
+#include "sequence/query_workload.h"
+
+namespace warpindex {
+namespace bench {
+
+// Parses "0.5,1,2" into {0.5, 1.0, 2.0}. Exits the process on bad input.
+std::vector<double> ParseDoubleList(const std::string& text);
+std::vector<int64_t> ParseIntList(const std::string& text);
+
+// Per-method aggregate over a query workload.
+struct WorkloadSummary {
+  double avg_candidates = 0.0;
+  double candidate_ratio = 0.0;  // avg_candidates / dataset size
+  double avg_matches = 0.0;
+  double avg_wall_ms = 0.0;     // measured CPU per query
+  double avg_io_ms = 0.0;       // simulated disk per query
+  double avg_elapsed_ms = 0.0;  // wall * cpu_scale + io
+  double avg_pages = 0.0;       // page reads per query
+};
+
+// Runs every query through `kind` and aggregates. `cpu_scale` multiplies
+// measured CPU time in the elapsed metric: the disk model already matches
+// the paper's 2001 platform, and scaling the CPU side by ~100 (modern core
+// vs the paper's 400 MHz UltraSPARC-IIi) restores the period's CPU/I-O
+// balance. Pass 1.0 for raw modern-hardware numbers.
+WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
+                            const std::vector<Sequence>& queries,
+                            double epsilon, double cpu_scale = 1.0);
+
+// Prints the standard header block for a harness: what paper artifact it
+// reproduces and the workload parameters used.
+void PrintPreamble(const std::string& title, const std::string& paper_ref,
+                   const std::string& workload);
+
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace bench
+}  // namespace warpindex
+
+#endif  // WARPINDEX_BENCH_COMMON_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Figure 2 / Experiment 1: candidate ratio vs tolerance on the stock
+// corpus, for Naive-Scan, LB-Scan, ST-Filter, and TW-Sim-Search.
+//
+// Paper result shape: TW-Sim-Search filters slightly better than
+// ST-Filter, which filters much better than LB-Scan; Naive-Scan's line is
+// the final answer ratio (0.2% .. 1.7% over the tolerance sweep).
+
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  int64_t num_sequences = 545;  // paper §5.1
+  int64_t num_queries = 50;     // paper: 100
+  std::string eps_list = "0.5,1,2,4,8,16";
+  int64_t categories = 100;     // paper §5.1
+  int64_t seed = 2001;
+
+  FlagSet flags("fig2_candidate_ratio");
+  flags.AddInt64("n", &num_sequences, "number of stock sequences");
+  flags.AddInt64("queries", &num_queries, "queries per tolerance");
+  flags.AddString("eps", &eps_list, "comma-separated tolerances (dollars)");
+  flags.AddInt64("categories", &categories, "ST-Filter category count");
+  flags.AddInt64("seed", &seed, "dataset seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  StockDataOptions stock;
+  stock.num_sequences = static_cast<size_t>(num_sequences);
+  stock.seed = static_cast<uint64_t>(seed);
+  EngineOptions options;
+  options.build_st_filter = true;
+  options.st_filter_categories = static_cast<size_t>(categories);
+  const Engine engine(GenerateStockDataset(stock), options);
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(),
+      QueryWorkloadOptions{.num_queries = static_cast<size_t>(num_queries)});
+
+  bench::PrintPreamble(
+      "Figure 2: filtering effect (candidate ratio vs tolerance)",
+      "Kim/Park/Chu ICDE'01, Experiment 1, Figure 2",
+      std::to_string(num_sequences) + " synthetic S&P-like sequences, " +
+          std::to_string(num_queries) + " perturbed-copy queries per eps");
+
+  TablePrinter table(stdout,
+                     {"eps", "naive_scan(answers)", "lb_scan", "st_filter",
+                      "tw_sim_search", "avg_answers"});
+  table.PrintHeader();
+  for (const double eps : bench::ParseDoubleList(eps_list)) {
+    const auto naive =
+        bench::RunWorkload(engine, MethodKind::kNaiveScan, queries, eps);
+    const auto lb =
+        bench::RunWorkload(engine, MethodKind::kLbScan, queries, eps);
+    const auto st =
+        bench::RunWorkload(engine, MethodKind::kStFilter, queries, eps);
+    const auto tw =
+        bench::RunWorkload(engine, MethodKind::kTwSimSearch, queries, eps);
+    table.PrintRow({bench::FormatDouble(eps, 2),
+                    bench::FormatDouble(naive.candidate_ratio, 4),
+                    bench::FormatDouble(lb.candidate_ratio, 4),
+                    bench::FormatDouble(st.candidate_ratio, 4),
+                    bench::FormatDouble(tw.candidate_ratio, 4),
+                    bench::FormatDouble(naive.avg_matches, 2)});
+  }
+  std::printf(
+      "\nexpected shape: tw_sim_search <= st_filter << lb_scan, all >= "
+      "naive_scan's answer ratio.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

@@ -1,0 +1,101 @@
+// Figure 5 / Experiment 4: elapsed time vs sequence length (paper: 100 to
+// 5,000, with 10,000 sequences at tolerance 0.1).
+//
+// Paper result shape: scan methods grow steeply with the length while
+// TW-Sim-Search stays nearly unchanged (36x-175x over LB-Scan, growing
+// with length).
+//
+// Defaults are scaled (N=2,000, lengths to 1,000, ST-Filter capped by
+// total symbols); flags restore the paper's grid.
+
+#include <cstdio>
+
+#include "common/bench_util.h"
+#include "common/flags.h"
+#include "common/table_printer.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string len_list = "100,200,500,1000";
+  int64_t num_sequences = 2000;  // paper: 10000
+  double eps = 0.1;
+  int64_t num_queries = 20;  // paper: 100
+  int64_t st_max_symbols = 1000000;
+  int64_t categories = 100;
+
+  double cpu_scale = 100.0;
+
+  FlagSet flags("fig5_scale_length");
+  flags.AddString("lens", &len_list, "sequence lengths to sweep");
+  flags.AddInt64("n", &num_sequences, "number of sequences (paper: 10000)");
+  flags.AddDouble("eps", &eps, "tolerance");
+  flags.AddInt64("queries", &num_queries, "queries per configuration");
+  flags.AddInt64("st_max_symbols", &st_max_symbols,
+                 "largest total symbol count at which ST-Filter is run");
+  flags.AddInt64("categories", &categories, "ST-Filter category count");
+  flags.AddDouble("cpu_scale", &cpu_scale,
+                  "CPU slowdown factor applied to measured wall time in the "
+                  "elapsed metric (~100 matches the paper's 400 MHz "
+                  "UltraSPARC-IIi; 1 = raw modern CPU)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  bench::PrintPreamble(
+      "Figure 5: elapsed time vs sequence length",
+      "Kim/Park/Chu ICDE'01, Experiment 4, Figure 5",
+      std::to_string(num_sequences) + " random-walk sequences, eps=" +
+          bench::FormatDouble(eps, 2) + ", " + std::to_string(num_queries) +
+          " queries per length");
+
+  TablePrinter table(stdout,
+                     {"length", "naive_ms", "lb_scan_ms", "st_filter_ms",
+                      "tw_sim_ms", "speedup_vs_best_scan"});
+  table.PrintHeader();
+  for (const int64_t len : bench::ParseIntList(len_list)) {
+    RandomWalkOptions rw;
+    rw.num_sequences = static_cast<size_t>(num_sequences);
+    rw.min_length = static_cast<size_t>(len);
+    rw.max_length = static_cast<size_t>(len);
+    const bool run_st = num_sequences * len <= st_max_symbols;
+    EngineOptions options;
+    options.build_st_filter = run_st;
+    options.st_filter_categories = static_cast<size_t>(categories);
+    const Engine engine(GenerateRandomWalkDataset(rw), options);
+    const auto queries = GenerateQueryWorkload(
+        engine.dataset(), QueryWorkloadOptions{
+                              .num_queries = static_cast<size_t>(num_queries)});
+
+    const auto naive =
+        bench::RunWorkload(engine, MethodKind::kNaiveScan, queries, eps, cpu_scale);
+    const auto lb =
+        bench::RunWorkload(engine, MethodKind::kLbScan, queries, eps, cpu_scale);
+    const auto tw =
+        bench::RunWorkload(engine, MethodKind::kTwSimSearch, queries, eps, cpu_scale);
+    std::string st_cell = "(skipped)";
+    if (run_st) {
+      const auto st =
+          bench::RunWorkload(engine, MethodKind::kStFilter, queries, eps, cpu_scale);
+      st_cell = bench::FormatDouble(st.avg_elapsed_ms, 1);
+    }
+    const double best_scan =
+        std::min(naive.avg_elapsed_ms, lb.avg_elapsed_ms);
+    table.PrintRow({std::to_string(len),
+                    bench::FormatDouble(naive.avg_elapsed_ms, 1),
+                    bench::FormatDouble(lb.avg_elapsed_ms, 1), st_cell,
+                    bench::FormatDouble(tw.avg_elapsed_ms, 1),
+                    bench::FormatDouble(best_scan / tw.avg_elapsed_ms, 1)});
+  }
+  std::printf(
+      "\nexpected shape: scans grow ~linearly in length; tw_sim nearly "
+      "unchanged; speedup grows with length.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

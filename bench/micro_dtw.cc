@@ -1,0 +1,118 @@
+// Microbenchmarks for the DTW engine: full evaluation vs thresholded
+// early-abandoning vs Sakoe-Chiba banding, across sequence lengths and
+// base distances.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+#include "dtw/lb_yi.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+namespace {
+
+Sequence MakeWalk(size_t len, uint64_t seed) {
+  Prng prng(seed);
+  Sequence s;
+  s.Reserve(len);
+  double v = prng.UniformDouble(1.0, 10.0);
+  for (size_t i = 0; i < len; ++i) {
+    s.Append(v);
+    v += prng.UniformDouble(-0.1, 0.1);
+  }
+  return s;
+}
+
+void BM_DtwFullLinf(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 2);
+  const Dtw dtw(DtwOptions::Linf());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw.Distance(a, b).distance);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len * len));
+}
+BENCHMARK(BM_DtwFullLinf)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DtwFullL1(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 2);
+  const Dtw dtw(DtwOptions::L1());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw.Distance(a, b).distance);
+  }
+}
+BENCHMARK(BM_DtwFullL1)->Arg(64)->Arg(256)->Arg(1024);
+
+// The paper's CPU argument for L_inf: thresholded evaluation abandons
+// dissimilar pairs almost immediately.
+void BM_DtwEarlyAbandonDistantPair(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 77);  // independent walk, far away
+  const Dtw dtw(DtwOptions::Linf());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dtw.DistanceWithThreshold(a, b, 0.1).distance);
+  }
+}
+BENCHMARK(BM_DtwEarlyAbandonDistantPair)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DtwBanded(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 2);
+  DtwOptions options = DtwOptions::Linf();
+  options.band = static_cast<int>(len / 10);
+  const Dtw dtw(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw.Distance(a, b).distance);
+  }
+}
+BENCHMARK(BM_DtwBanded)->Arg(256)->Arg(1024);
+
+void BM_DtwWithPath(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 2);
+  const Dtw dtw(DtwOptions::Linf());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dtw.DistanceWithPath(a, b).distance);
+  }
+}
+BENCHMARK(BM_DtwWithPath)->Arg(64)->Arg(256);
+
+void BM_LbYi(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  const Sequence b = MakeWalk(len, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbYi(a, b, DtwCombiner::kMax));
+  }
+}
+BENCHMARK(BM_LbYi)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const Sequence a = MakeWalk(len, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractFeature(a));
+  }
+}
+BENCHMARK(BM_FeatureExtraction)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_DtwLowerBound(benchmark::State& state) {
+  const FeatureVector a = ExtractFeature(MakeWalk(256, 1));
+  const FeatureVector b = ExtractFeature(MakeWalk(256, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwLowerBoundDistance(a, b));
+  }
+}
+BENCHMARK(BM_DtwLowerBound);
+
+}  // namespace
+}  // namespace warpindex

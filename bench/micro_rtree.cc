@@ -1,0 +1,111 @@
+// Microbenchmarks for the R-tree: insertion, STR bulk loading, range
+// queries, and kNN on 4-d feature-like points at the paper's 1 KB page
+// size.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+
+namespace warpindex {
+namespace {
+
+std::vector<RTreeEntry> FeatureLikeEntries(size_t n, uint64_t seed) {
+  Prng prng(seed);
+  std::vector<RTreeEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double base = prng.UniformDouble(1.0, 10.0);
+    Point p;
+    p.dims = 4;
+    p[0] = base + prng.UniformDouble(-1.0, 1.0);
+    p[1] = base + prng.UniformDouble(-1.0, 1.0);
+    p[2] = base + prng.UniformDouble(0.5, 2.0);
+    p[3] = base - prng.UniformDouble(0.5, 2.0);
+    entries.push_back(
+        RTreeEntry::Leaf(Rect::FromPoint(p), static_cast<int64_t>(i)));
+  }
+  return entries;
+}
+
+void BM_RTreeInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = FeatureLikeEntries(n, 3);
+  for (auto _ : state) {
+    RTree tree(4);
+    for (const auto& e : entries) {
+      tree.Insert(e.rect, e.record_id);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeBulkLoad(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = FeatureLikeEntries(n, 3);
+  for (auto _ : state) {
+    auto copy = entries;
+    benchmark::DoNotOptimize(
+        BulkLoadStr(4, RTreeOptions{}, std::move(copy)).size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RTreeBulkLoad)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const RTree tree = BulkLoadStr(4, RTreeOptions{}, FeatureLikeEntries(n, 5));
+  Prng prng(6);
+  for (auto _ : state) {
+    Point c;
+    c.dims = 4;
+    const double base = prng.UniformDouble(1.0, 10.0);
+    for (int d = 0; d < 4; ++d) {
+      c[d] = base;
+    }
+    benchmark::DoNotOptimize(
+        tree.RangeSearch(Rect::SquareAround(c, 0.1)).size());
+  }
+}
+BENCHMARK(BM_RTreeRangeQuery)->Arg(10000)->Arg(100000);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const RTree tree = BulkLoadStr(4, RTreeOptions{}, FeatureLikeEntries(n, 7));
+  Prng prng(8);
+  for (auto _ : state) {
+    Point c;
+    c.dims = 4;
+    const double base = prng.UniformDouble(1.0, 10.0);
+    for (int d = 0; d < 4; ++d) {
+      c[d] = base;
+    }
+    benchmark::DoNotOptimize(tree.NearestNeighbors(c, 10).size());
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(10000)->Arg(100000);
+
+void BM_RTreeDelete(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto entries = FeatureLikeEntries(n, 9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTree tree = BulkLoadStr(4, RTreeOptions{}, entries);
+    state.ResumeTiming();
+    for (size_t i = 0; i < n / 2; ++i) {
+      tree.Delete(entries[i].rect, entries[i].record_id);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_RTreeDelete)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace warpindex

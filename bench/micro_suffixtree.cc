@@ -1,0 +1,95 @@
+// Microbenchmarks for the generalized suffix tree: construction rate and
+// ST-Filter traversal across alphabet sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/prng.h"
+#include "sequence/random_walk_generator.h"
+#include "suffixtree/st_filter.h"
+#include "suffixtree/suffix_tree.h"
+
+namespace warpindex {
+namespace {
+
+std::vector<std::vector<Symbol>> RandomStrings(size_t count, size_t length,
+                                               Symbol alphabet,
+                                               uint64_t seed) {
+  Prng prng(seed);
+  std::vector<std::vector<Symbol>> strings(count);
+  for (auto& s : strings) {
+    s.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      s.push_back(static_cast<Symbol>(prng.UniformInt(0, alphabet - 1)));
+    }
+  }
+  return strings;
+}
+
+void BM_SuffixTreeBuild(benchmark::State& state) {
+  const size_t count = 100;
+  const size_t length = static_cast<size_t>(state.range(0));
+  const Symbol alphabet = static_cast<Symbol>(state.range(1));
+  const auto strings = RandomStrings(count, length, alphabet, 11);
+  for (auto _ : state) {
+    SuffixTree tree;
+    for (const auto& s : strings) {
+      tree.AddString(s);
+    }
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count * length));
+}
+BENCHMARK(BM_SuffixTreeBuild)
+    ->Args({100, 10})
+    ->Args({100, 100})
+    ->Args({500, 100});
+
+void BM_SuffixTreeContains(benchmark::State& state) {
+  const auto strings = RandomStrings(200, 200, 20, 13);
+  SuffixTree tree;
+  for (const auto& s : strings) {
+    tree.AddString(s);
+  }
+  Prng prng(14);
+  for (auto _ : state) {
+    std::vector<Symbol> needle;
+    for (int i = 0; i < 8; ++i) {
+      needle.push_back(static_cast<Symbol>(prng.UniformInt(0, 19)));
+    }
+    benchmark::DoNotOptimize(tree.ContainsSubstring(needle));
+  }
+}
+BENCHMARK(BM_SuffixTreeContains);
+
+void BM_StFilterWholeMatch(benchmark::State& state) {
+  RandomWalkOptions rw;
+  rw.num_sequences = static_cast<size_t>(state.range(0));
+  rw.min_length = 100;
+  rw.max_length = 100;
+  const Dataset dataset = GenerateRandomWalkDataset(rw);
+  const StFilter filter(dataset, StFilterOptions{});
+  const Sequence query = dataset[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.FindCandidates(query, 0.1).size());
+  }
+}
+BENCHMARK(BM_StFilterWholeMatch)->Arg(200)->Arg(1000);
+
+void BM_StFilterSubsequence(benchmark::State& state) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 50;
+  rw.min_length = 200;
+  rw.max_length = 200;
+  const Dataset dataset = GenerateRandomWalkDataset(rw);
+  const StFilter filter(dataset, StFilterOptions{});
+  const Sequence query = dataset[0].Slice(50, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.FindSubsequenceCandidates(query, 0.1, 18, 22).size());
+  }
+}
+BENCHMARK(BM_StFilterSubsequence);
+
+}  // namespace
+}  // namespace warpindex

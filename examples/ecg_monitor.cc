@@ -1,0 +1,120 @@
+// ECG beat matching: the paper cites electrocardiogram analysis as a
+// classic consumer of the time-warping distance (§1) — heart rates vary,
+// so two recordings of the same beat morphology differ by stretching along
+// the time axis, which DTW absorbs.
+//
+// This example synthesizes a library of single-beat recordings at varying
+// heart rates (different lengths!), some with a morphology anomaly, and
+// screens the library against a clean reference beat. It also shows
+// best-first kNN on the feature index followed by exact-DTW re-ranking.
+//
+//   $ ./ecg_monitor
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/prng.h"
+#include "core/engine.h"
+
+namespace {
+
+using namespace warpindex;
+
+// A stylized PQRST beat sampled with `len` points: baseline, a sharp QRS
+// spike, and a T wave. `anomalous` doubles the T wave (a crude ST-change
+// stand-in).
+Sequence MakeBeat(size_t len, bool anomalous, Prng* prng) {
+  Sequence s;
+  s.Reserve(len);
+  const double noise = 0.02;
+  for (size_t i = 0; i < len; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(len - 1);
+    double v = 0.0;
+    // P wave around t=0.2.
+    v += 0.15 * std::exp(-std::pow((t - 0.2) / 0.04, 2.0));
+    // QRS complex around t=0.45.
+    v -= 0.2 * std::exp(-std::pow((t - 0.42) / 0.015, 2.0));
+    v += 1.0 * std::exp(-std::pow((t - 0.45) / 0.02, 2.0));
+    v -= 0.25 * std::exp(-std::pow((t - 0.49) / 0.015, 2.0));
+    // T wave around t=0.7.
+    const double t_amp = anomalous ? 0.7 : 0.3;
+    v += t_amp * std::exp(-std::pow((t - 0.7) / 0.06, 2.0));
+    s.Append(v + prng->UniformDouble(-noise, noise));
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // Library: 400 beats at heart rates 50..120 bpm (so lengths differ by
+  // more than 2x), 10% with the anomalous morphology.
+  Prng prng(7);
+  Dataset library;
+  std::vector<bool> is_anomalous;
+  for (int i = 0; i < 400; ++i) {
+    const size_t len = static_cast<size_t>(prng.UniformInt(90, 220));
+    const bool anomalous = prng.NextDouble() < 0.1;
+    is_anomalous.push_back(anomalous);
+    library.Add(MakeBeat(len, anomalous, &prng));
+  }
+  const Engine engine(std::move(library), EngineOptions{});
+
+  // Reference: a clean beat at a rate present nowhere in the library.
+  Prng query_prng(99);
+  const Sequence reference = MakeBeat(137, /*anomalous=*/false, &query_prng);
+  const double epsilon = 0.15;  // millivolt-scale tolerance
+
+  const SearchResult result = engine.Search(reference, epsilon);
+  size_t normal = 0;
+  size_t anomalies_matched = 0;
+  for (const SequenceId id : result.matches) {
+    if (is_anomalous[static_cast<size_t>(id)]) {
+      ++anomalies_matched;
+    } else {
+      ++normal;
+    }
+  }
+  std::printf("library: 400 beats (varying heart rate, ~10%% anomalous)\n");
+  std::printf("reference beat: clean morphology, 137 samples\n\n");
+  std::printf("within eps=%.2f of the reference: %zu beats "
+              "(%zu normal, %zu anomalous)\n",
+              epsilon, result.matches.size(), normal, anomalies_matched);
+  std::printf("candidates the index had to post-check: %zu of %zu\n",
+              result.num_candidates, engine.dataset().size());
+  std::printf("(every beat shares First/Last ~ baseline and Greatest ~ R "
+              "peak, so the paper's 4-tuple features barely discriminate "
+              "normalized ECG morphologies — the exact-DTW post-check does "
+              "the real work here. On raw-amplitude data like stock prices "
+              "the features filter hard; see stock_screener.)\n\n");
+
+  // kNN on the feature index + exact re-rank: the 5 most similar beats.
+  const auto feature = ExtractFeature(reference);
+  const auto arr = feature.AsPoint();
+  const auto knn = engine.feature_index().rtree().NearestNeighbors(
+      Point::FromArray(arr.data(), kFeatureDims), 25);
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<std::pair<double, SequenceId>> ranked;
+  for (const auto& neighbor : knn) {
+    const Sequence beat = engine.store().Fetch(neighbor.record_id);
+    ranked.emplace_back(dtw.Distance(beat, reference).distance,
+                        neighbor.record_id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  std::printf("top-5 beats by exact DTW (re-ranked from 25 feature-space "
+              "neighbours):\n");
+  for (size_t i = 0; i < 5 && i < ranked.size(); ++i) {
+    const SequenceId id = ranked[i].second;
+    std::printf("  #%lld  dtw=%.4f  %zu samples  %s\n",
+                static_cast<long long>(id), ranked[i].first,
+                engine.dataset()[static_cast<size_t>(id)].size(),
+                is_anomalous[static_cast<size_t>(id)] ? "ANOMALOUS"
+                                                      : "normal");
+  }
+  std::printf("\nnote: anomalous beats score far above eps because their T "
+              "wave differs in *amplitude*, which no time warping can "
+              "absorb.\n");
+  return 0;
+}

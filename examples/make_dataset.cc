@@ -1,0 +1,83 @@
+// make_dataset: generate the paper's workloads as CSV (for warpindex_cli
+// or external tools) or in the library's binary format.
+//
+//   $ ./make_dataset --kind stock --out sp500_like.csv
+//   $ ./make_dataset --kind walk --n 10000 --len 1000 --out walks.csv
+//   $ ./make_dataset --kind walk --format binary --out walks.wids
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "sequence/dataset_io.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string kind = "stock";
+  std::string format = "csv";
+  std::string out = "dataset.csv";
+  int64_t n = 545;
+  int64_t min_len = 1000;
+  int64_t max_len = 0;  // 0 = same as --len
+  int64_t seed = 2001;
+
+  FlagSet flags("make_dataset");
+  flags.AddString("kind", &kind, "stock | walk");
+  flags.AddString("format", &format, "csv | binary");
+  flags.AddString("out", &out, "output path");
+  flags.AddInt64("n", &n, "number of sequences");
+  flags.AddInt64("len", &min_len, "walk length (sets both bounds)");
+  flags.AddInt64("max_len", &max_len,
+                 "upper length bound for walks (0 = same as --len)");
+  flags.AddInt64("seed", &seed, "generator seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  Dataset dataset;
+  if (kind == "stock") {
+    StockDataOptions options;
+    options.num_sequences = static_cast<size_t>(n);
+    options.seed = static_cast<uint64_t>(seed);
+    dataset = GenerateStockDataset(options);
+  } else if (kind == "walk") {
+    RandomWalkOptions options;
+    options.num_sequences = static_cast<size_t>(n);
+    options.min_length = static_cast<size_t>(min_len);
+    options.max_length =
+        static_cast<size_t>(max_len >= min_len ? max_len : min_len);
+    options.seed = static_cast<uint64_t>(seed);
+    dataset = GenerateRandomWalkDataset(options);
+  } else {
+    std::fprintf(stderr, "unknown --kind '%s'\n", kind.c_str());
+    return 1;
+  }
+
+  Status status;
+  if (format == "csv") {
+    status = SaveDatasetToCsv(out, dataset);
+  } else if (format == "binary") {
+    status = dataset.SaveToFile(out);
+  } else {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    return 1;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const DatasetStats stats = dataset.ComputeStats();
+  std::printf("wrote %zu sequences (%zu elements, lengths %zu..%zu) to %s\n",
+              stats.num_sequences, stats.total_elements, stats.min_length,
+              stats.max_length, out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

@@ -1,0 +1,165 @@
+// warpindex_cli: load a sequence database (CSV or a built-in synthetic
+// corpus), build the index, and answer tolerance or kNN queries from the
+// command line.
+//
+//   # range query: which synthetic stocks track stock 17 within $4?
+//   $ ./warpindex_cli --dataset stock --query_id 17 --eps 4
+//
+//   # kNN over your own CSV (one sequence per line):
+//   $ ./warpindex_cli --data my_series.csv --query_file pattern.csv --k 5
+//
+//   # compare all four methods on the same query:
+//   $ ./warpindex_cli --dataset walk --query_id 3 --eps 0.1 --compare
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "core/engine.h"
+#include "sequence/dataset_io.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string dataset_kind = "stock";
+  std::string data_path;
+  std::string query_path;
+  int64_t query_id = 0;
+  bool perturb = true;
+  double eps = -1.0;
+  int64_t k = 0;
+  bool compare = false;
+  int64_t seed = 1;
+
+  FlagSet flags("warpindex_cli");
+  flags.AddString("dataset", &dataset_kind,
+                  "built-in corpus when --data is absent: stock | walk");
+  flags.AddString("data", &data_path, "CSV file with one sequence per line");
+  flags.AddString("query_file", &query_path,
+                  "CSV file whose first sequence is the query");
+  flags.AddInt64("query_id", &query_id,
+                 "data sequence to use as the query when --query_file is "
+                 "absent");
+  flags.AddBool("perturb", &perturb,
+                "perturb the --query_id sequence (paper's workload recipe) "
+                "instead of querying the exact copy");
+  flags.AddDouble("eps", &eps, "tolerance for a range query (omit for kNN)");
+  flags.AddInt64("k", &k, "neighbor count for a kNN query");
+  flags.AddBool("compare", &compare,
+                "also run the scan and ST-Filter baselines");
+  flags.AddInt64("seed", &seed, "perturbation seed");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (eps < 0.0 && k <= 0) {
+    std::fprintf(stderr, "pass --eps <tol> for a range query or --k <n> "
+                         "for kNN\n");
+    return 1;
+  }
+
+  // Load or synthesize the database.
+  Dataset dataset;
+  if (!data_path.empty()) {
+    const Status status = LoadDatasetFromCsv(data_path, &dataset);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  } else if (dataset_kind == "stock") {
+    dataset = GenerateStockDataset(StockDataOptions{});
+  } else if (dataset_kind == "walk") {
+    RandomWalkOptions rw;
+    rw.num_sequences = 1000;
+    rw.min_length = 100;
+    rw.max_length = 200;
+    dataset = GenerateRandomWalkDataset(rw);
+  } else {
+    std::fprintf(stderr, "unknown --dataset '%s'\n", dataset_kind.c_str());
+    return 1;
+  }
+  if (dataset.empty()) {
+    std::fprintf(stderr, "empty dataset\n");
+    return 1;
+  }
+  const DatasetStats stats = dataset.ComputeStats();
+  std::printf("database: %zu sequences, lengths %zu..%zu (avg %.0f)\n",
+              stats.num_sequences, stats.min_length, stats.max_length,
+              stats.avg_length);
+
+  EngineOptions options;
+  options.build_st_filter = compare;
+  const Engine engine(std::move(dataset), options);
+
+  // Build the query.
+  Sequence query;
+  if (!query_path.empty()) {
+    Dataset queries;
+    const Status status = LoadDatasetFromCsv(query_path, &queries);
+    if (!status.ok() || queries.empty()) {
+      std::fprintf(stderr, "cannot load query: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    query = queries[0];
+  } else {
+    if (query_id < 0 ||
+        static_cast<size_t>(query_id) >= engine.dataset().size()) {
+      std::fprintf(stderr, "--query_id out of range\n");
+      return 1;
+    }
+    const Sequence& base =
+        engine.dataset()[static_cast<size_t>(query_id)];
+    query = perturb
+                ? PerturbSequence(base, static_cast<uint64_t>(seed))
+                : base;
+    std::printf("query: %s copy of sequence #%lld (%zu elements)\n",
+                perturb ? "perturbed" : "exact",
+                static_cast<long long>(query_id), query.size());
+  }
+
+  if (k > 0) {
+    const KnnResult result = engine.SearchKnn(query, static_cast<size_t>(k));
+    std::printf("\n%zu nearest sequences under D_tw:\n",
+                result.neighbors.size());
+    for (const KnnMatch& n : result.neighbors) {
+      std::printf("  #%-6lld dtw=%.5f\n", static_cast<long long>(n.id),
+                  n.distance);
+    }
+    std::printf("(refined %zu candidates; %.2f ms CPU, %.1f ms simulated "
+                "elapsed)\n",
+                result.num_refined, result.cost.wall_ms,
+                engine.ElapsedMillis(result.cost));
+  }
+
+  if (eps >= 0.0) {
+    const SearchResult result = engine.Search(query, eps);
+    std::printf("\nsequences with D_tw <= %.4f: %zu (from %zu candidates)\n",
+                eps, result.matches.size(), result.num_candidates);
+    for (const SequenceId id : result.matches) {
+      std::printf("  #%lld\n", static_cast<long long>(id));
+    }
+    std::printf("(%.2f ms CPU, %.1f ms simulated elapsed)\n",
+                result.cost.wall_ms, engine.ElapsedMillis(result.cost));
+    if (compare) {
+      std::printf("\n%-14s %12s %14s\n", "method", "candidates",
+                  "elapsed_ms(sim)");
+      for (const MethodKind kind :
+           {MethodKind::kTwSimSearch, MethodKind::kLbScan,
+            MethodKind::kNaiveScan, MethodKind::kStFilter}) {
+        const SearchResult r = engine.SearchWith(kind, query, eps);
+        std::printf("%-14s %12zu %14.1f\n", MethodKindName(kind),
+                    r.num_candidates, engine.ElapsedMillis(r.cost));
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

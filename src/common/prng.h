@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms,
+// so the library carries its own generator (xoshiro256** seeded via
+// SplitMix64) instead of relying on implementation-defined std::
+// distributions.
+
+#ifndef WARPINDEX_COMMON_PRNG_H_
+#define WARPINDEX_COMMON_PRNG_H_
+
+#include <cstdint>
+
+namespace warpindex {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded with SplitMix64. Not
+// cryptographic; plenty for workload generation.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached pair).
+  double NextGaussian();
+
+  // Creates an independent child stream; deterministic in (this stream
+  // state, label).
+  Prng Fork(uint64_t label);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_COMMON_PRNG_H_

@@ -1,0 +1,49 @@
+// Small statistics helpers used by workload generators and benchmarks.
+
+#ifndef WARPINDEX_COMMON_STATS_H_
+#define WARPINDEX_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace warpindex {
+
+// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  // Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  // Population variance. Zero for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Convenience one-shot helpers.
+double Mean(const std::vector<double>& values);
+double StdDev(const std::vector<double>& values);
+
+// p in [0, 1]; linear interpolation between order statistics. Returns 0 for
+// an empty input.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_COMMON_STATS_H_

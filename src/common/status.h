@@ -1,0 +1,85 @@
+// Lightweight error-handling vocabulary for the warpindex library.
+//
+// The library does not use exceptions (per the project style). Operations
+// that can fail for environmental reasons (I/O, malformed input) return a
+// Status; programmer errors are guarded with assertions.
+
+#ifndef WARPINDEX_COMMON_STATUS_H_
+#define WARPINDEX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace warpindex {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+// Returns a stable human-readable name, e.g. "IO_ERROR".
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic status: either OK or a code plus message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK status to the caller.
+#define WARPINDEX_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::warpindex::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.ok()) {                  \
+      return status_macro_tmp;                     \
+    }                                              \
+  } while (false)
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_COMMON_STATUS_H_

@@ -1,0 +1,66 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+
+namespace warpindex {
+
+TablePrinter::TablePrinter(std::FILE* out, std::vector<std::string> columns,
+                           bool csv)
+    : out_(out), columns_(std::move(columns)), csv_(csv) {
+  widths_.reserve(columns_.size());
+  for (const std::string& c : columns_) {
+    widths_.push_back(std::max<size_t>(c.size(), 10));
+  }
+}
+
+void TablePrinter::PrintHeader() {
+  if (csv_) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      std::fprintf(out_, "%s%s", i == 0 ? "" : ",", columns_[i].c_str());
+    }
+    std::fprintf(out_, "\n");
+    return;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::fprintf(out_, "%-*s ", static_cast<int>(widths_[i]),
+                 columns_[i].c_str());
+  }
+  std::fprintf(out_, "\n");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::fprintf(out_, "%s ", std::string(widths_[i], '-').c_str());
+  }
+  std::fprintf(out_, "\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) {
+  assert(cells.size() == columns_.size());
+  if (csv_) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(out_, "%s%s", i == 0 ? "" : ",", cells[i].c_str());
+    }
+    std::fprintf(out_, "\n");
+    return;
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(out_, "%-*s ", static_cast<int>(widths_[i]),
+                 cells[i].c_str());
+  }
+  std::fprintf(out_, "\n");
+  std::fflush(out_);
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FormatInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace warpindex

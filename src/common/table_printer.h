@@ -1,0 +1,42 @@
+// Aligned tabular output for benchmark harnesses.
+//
+// Benches print the same rows/series the paper's figures plot; this helper
+// keeps the output readable both to humans and to a simple CSV consumer
+// (set csv mode to emit comma-separated rows).
+
+#ifndef WARPINDEX_COMMON_TABLE_PRINTER_H_
+#define WARPINDEX_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace warpindex {
+
+class TablePrinter {
+ public:
+  // `out` must outlive the printer. If `csv` is true, rows are emitted as
+  // CSV instead of aligned columns.
+  TablePrinter(std::FILE* out, std::vector<std::string> columns,
+               bool csv = false);
+
+  // Prints the header row.
+  void PrintHeader();
+
+  // Prints one data row; the number of cells must match the column count.
+  void PrintRow(const std::vector<std::string>& cells);
+
+  // Formatting helpers for cells.
+  static std::string FormatDouble(double v, int precision = 3);
+  static std::string FormatInt(int64_t v);
+
+ private:
+  std::FILE* out_;
+  std::vector<std::string> columns_;
+  std::vector<size_t> widths_;
+  bool csv_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_COMMON_TABLE_PRINTER_H_

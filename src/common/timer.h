@@ -1,0 +1,30 @@
+// Wall-clock timer for benchmark harnesses.
+
+#ifndef WARPINDEX_COMMON_TIMER_H_
+#define WARPINDEX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace warpindex {
+
+// Measures elapsed wall time since construction or the last Reset().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_COMMON_TIMER_H_

@@ -1,0 +1,246 @@
+#include "core/engine.h"
+
+#include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "rtree/rtree_io.h"
+
+namespace warpindex {
+namespace {
+
+RTreeOptions MakeRTreeOptions(const EngineOptions& options) {
+  RTreeOptions rtree;
+  rtree.page_size_bytes = options.page_size_bytes;
+  rtree.split_policy = options.split_policy;
+  return rtree;
+}
+
+FeatureIndexOptions MakeFeatureIndexOptions(const EngineOptions& options) {
+  FeatureIndexOptions fi;
+  fi.rtree = MakeRTreeOptions(options);
+  fi.bulk_load = options.bulk_load;
+  return fi;
+}
+
+}  // namespace
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kTwSimSearch:
+      return "TW-Sim-Search";
+    case MethodKind::kNaiveScan:
+      return "Naive-Scan";
+    case MethodKind::kLbScan:
+      return "LB-Scan";
+    case MethodKind::kStFilter:
+      return "ST-Filter";
+  }
+  return "unknown";
+}
+
+Engine::Engine(Dataset dataset, EngineOptions options)
+    : options_(options),
+      dataset_(std::move(dataset)),
+      store_(dataset_, options_.page_size_bytes),
+      feature_index_(dataset_, MakeFeatureIndexOptions(options_)),
+      disk_model_(options_.disk, options_.page_size_bytes) {
+  BuildMethods();
+}
+
+Engine::Engine(Dataset dataset, FeatureIndex index, EngineOptions options)
+    : options_(options),
+      dataset_(std::move(dataset)),
+      store_(dataset_, options_.page_size_bytes),
+      feature_index_(std::move(index)),
+      disk_model_(options_.disk, options_.page_size_bytes) {
+  BuildMethods();
+}
+
+void Engine::BuildMethods() {
+  if (options_.build_subsequence_index) {
+    RebuildSubsequenceIndex();
+  }
+  if (options_.build_st_filter) {
+    StFilterOptions st;
+    st.num_categories = options_.st_filter_categories;
+    st.combiner = options_.dtw.combiner;
+    st.page_size_bytes = options_.page_size_bytes;
+    st_filter_ = std::make_unique<StFilter>(dataset_, st);
+    st_filter_search_ = std::make_unique<StFilterSearch>(
+        st_filter_.get(), &store_, options_.dtw);
+  }
+  if (options_.index_buffer_pages > 0) {
+    index_pool_ = std::make_unique<BufferPool>(options_.index_buffer_pages);
+  }
+  tw_sim_search_ = std::make_unique<TwSimSearch>(
+      &feature_index_, &store_, options_.dtw, index_pool_.get(),
+      options_.lb_cascade);
+  tw_knn_search_ = std::make_unique<TwKnnSearch>(&feature_index_, &store_,
+                                                 options_.dtw);
+  naive_scan_ = std::make_unique<NaiveScan>(&store_, options_.dtw);
+  lb_scan_ = std::make_unique<LbScan>(&store_, options_.dtw);
+}
+
+void Engine::RebuildSubsequenceIndex() {
+  assert(options_.build_subsequence_index);
+  SubsequenceIndexOptions sub;
+  sub.min_window = options_.subsequence_min_window;
+  sub.max_window = options_.subsequence_max_window;
+  sub.stride = options_.subsequence_stride;
+  sub.rtree = MakeRTreeOptions(options_);
+  sub.dtw = options_.dtw;
+  subsequence_index_ =
+      std::make_unique<SubsequenceIndex>(&dataset_, sub);
+}
+
+std::vector<SubsequenceMatch> Engine::SearchSubsequences(
+    const Sequence& query, double epsilon, SearchCost* cost) const {
+  assert(subsequence_index_ != nullptr &&
+         "construct the Engine with build_subsequence_index=true");
+  std::vector<SubsequenceMatch> matches =
+      subsequence_index_->Search(query, epsilon, cost);
+  // Suppress matches inside tombstoned sequences.
+  std::erase_if(matches, [&](const SubsequenceMatch& m) {
+    return !store_.IsLive(m.sequence_id);
+  });
+  return matches;
+}
+
+Status Engine::Save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  WARPINDEX_RETURN_IF_ERROR(dataset_.SaveToFile(dir + "/dataset.wids"));
+  WARPINDEX_RETURN_IF_ERROR(
+      SaveRTreeToFile(feature_index_.rtree(), dir + "/index.wirt"));
+  // Tombstones: ids not live in the store.
+  std::vector<int64_t> dead;
+  for (size_t i = 0; i < dataset_.size(); ++i) {
+    if (!store_.IsLive(static_cast<SequenceId>(i))) {
+      dead.push_back(static_cast<int64_t>(i));
+    }
+  }
+  std::FILE* f = std::fopen((dir + "/tombstones.bin").c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot write tombstones in " + dir);
+  }
+  const uint64_t count = dead.size();
+  bool ok = std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok && (dead.empty() ||
+              std::fwrite(dead.data(), sizeof(int64_t), dead.size(), f) ==
+                  dead.size());
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IoError("short tombstone write");
+}
+
+Status Engine::Open(const std::string& dir, EngineOptions options,
+                    std::unique_ptr<Engine>* out) {
+  Dataset dataset;
+  WARPINDEX_RETURN_IF_ERROR(
+      Dataset::LoadFromFile(dir + "/dataset.wids", &dataset));
+  RTree tree(kFeatureDims);
+  WARPINDEX_RETURN_IF_ERROR(LoadRTreeFromFile(dir + "/index.wirt", &tree));
+  if (tree.dims() != kFeatureDims) {
+    return Status::InvalidArgument("index is not a 4-d feature index");
+  }
+  if (tree.options().page_size_bytes != options.page_size_bytes) {
+    return Status::InvalidArgument(
+        "page size mismatch between saved index and EngineOptions");
+  }
+  std::vector<int64_t> dead;
+  {
+    std::FILE* f = std::fopen((dir + "/tombstones.bin").c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IoError("cannot read tombstones in " + dir);
+    }
+    uint64_t count = 0;
+    bool ok = std::fread(&count, sizeof(count), 1, f) == 1;
+    if (ok && count > dataset.size()) {
+      ok = false;
+    }
+    if (ok) {
+      dead.resize(count);
+      ok = count == 0 || std::fread(dead.data(), sizeof(int64_t), count,
+                                    f) == count;
+    }
+    std::fclose(f);
+    if (!ok) {
+      return Status::IoError("corrupt tombstone file in " + dir);
+    }
+  }
+  auto engine = std::unique_ptr<Engine>(
+      new Engine(std::move(dataset), FeatureIndex(std::move(tree)),
+                 options));
+  for (const int64_t id : dead) {
+    if (!engine->store_.Remove(static_cast<SequenceId>(id))) {
+      return Status::InvalidArgument("tombstone id out of range");
+    }
+  }
+  *out = std::move(engine);
+  return Status::Ok();
+}
+
+const SearchMethod& Engine::method(MethodKind kind) const {
+  switch (kind) {
+    case MethodKind::kTwSimSearch:
+      return *tw_sim_search_;
+    case MethodKind::kNaiveScan:
+      return *naive_scan_;
+    case MethodKind::kLbScan:
+      return *lb_scan_;
+    case MethodKind::kStFilter:
+      assert(st_filter_search_ != nullptr &&
+             "construct the Engine with build_st_filter=true");
+      return *st_filter_search_;
+  }
+  return *tw_sim_search_;
+}
+
+SearchResult Engine::SearchWith(MethodKind kind, const Sequence& query,
+                                double epsilon) const {
+  return method(kind).Search(query, epsilon);
+}
+
+SequenceId Engine::Insert(Sequence s) {
+  assert(!s.empty());
+  dataset_.Add(std::move(s));
+  const Sequence& stored = dataset_[dataset_.size() - 1];
+  const SequenceId id = store_.Append(stored);
+  assert(id == stored.id());
+  feature_index_.Insert(id, ExtractFeature(stored));
+  return id;
+}
+
+bool Engine::Remove(SequenceId id) {
+  if (!store_.Remove(id)) {
+    return false;
+  }
+  const bool removed = feature_index_.Remove(
+      id, ExtractFeature(dataset_[static_cast<size_t>(id)]));
+  assert(removed);
+  (void)removed;
+  return true;
+}
+
+void Engine::RebuildStFilter() {
+  assert(options_.build_st_filter);
+  // The suffix tree indexes strings by dense position; rebuild over live
+  // sequences only, preserving original ids via a remap in the filter
+  // search would complicate the baseline — instead rebuild over the full
+  // dataset and let tombstoned ids be filtered by liveness at
+  // post-processing time.
+  StFilterOptions st;
+  st.num_categories = options_.st_filter_categories;
+  st.combiner = options_.dtw.combiner;
+  st.page_size_bytes = options_.page_size_bytes;
+  st_filter_ = std::make_unique<StFilter>(dataset_, st);
+  st_filter_search_ = std::make_unique<StFilterSearch>(st_filter_.get(),
+                                                       &store_, options_.dtw);
+}
+
+}  // namespace warpindex

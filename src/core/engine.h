@@ -1,0 +1,193 @@
+// Engine: the library facade. Owns the dataset, the paged sequence store,
+// the feature index, and (optionally) the comparison baselines, and
+// exposes uniform query entry points plus the disk cost model.
+//
+// Typical use (see examples/quickstart.cc):
+//
+//   Engine engine(std::move(dataset), EngineOptions{});
+//   SearchResult r = engine.Search(query, /*epsilon=*/0.1);
+//   for (SequenceId id : r.matches) { ... }
+
+#ifndef WARPINDEX_CORE_ENGINE_H_
+#define WARPINDEX_CORE_ENGINE_H_
+
+#include <memory>
+
+#include "core/feature_index.h"
+#include "core/lb_scan.h"
+#include "core/naive_scan.h"
+#include "core/search_method.h"
+#include "core/st_filter_search.h"
+#include "core/subsequence_index.h"
+#include "core/tw_knn_search.h"
+#include "core/tw_sim_search.h"
+#include "dtw/dtw.h"
+#include "sequence/dataset.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/sequence_store.h"
+#include "suffixtree/st_filter.h"
+
+namespace warpindex {
+
+enum class MethodKind {
+  kTwSimSearch,
+  kNaiveScan,
+  kLbScan,
+  kStFilter,
+};
+
+const char* MethodKindName(MethodKind kind);
+
+struct EngineOptions {
+  // Storage and index page size (paper §5.1: 1 KB).
+  size_t page_size_bytes = 1024;
+  // Similarity model; the paper's default is L_inf (Definition 2).
+  DtwOptions dtw = DtwOptions::Linf();
+  // Feature index configuration.
+  SplitPolicy split_policy = SplitPolicy::kQuadratic;
+  bool bulk_load = true;
+  // Build the ST-Filter baseline too (its suffix tree is expensive; only
+  // the comparison benches need it).
+  bool build_st_filter = false;
+  size_t st_filter_categories = 100;
+  // Index-page buffer pool frames for TW-Sim-Search (0 disables). With a
+  // pool, hot index pages stop paying random reads across queries; the
+  // engine becomes single-threaded for queries.
+  size_t index_buffer_pages = 0;
+  // Insert the O(n) LB_Yi bound before exact DTW in TW-Sim-Search's
+  // post-processing (answers unchanged, DTW cells drop). Off by default
+  // to match the paper's Algorithm 1 exactly.
+  bool lb_cascade = false;
+  // Build the §6 subsequence-matching window index too (opt-in: its size
+  // is O(total elements * window range / stride)).
+  bool build_subsequence_index = false;
+  size_t subsequence_min_window = 16;
+  size_t subsequence_max_window = 64;
+  size_t subsequence_stride = 1;
+  // Simulated disk parameters for ElapsedMillis().
+  DiskParameters disk;
+};
+
+class Engine {
+ public:
+  // Takes ownership of the dataset.
+  Engine(Dataset dataset, EngineOptions options);
+
+  // ---- Persistence. A saved engine directory holds the dataset
+  // (dataset.wids), the feature index (index.wirt), and the tombstone
+  // list (tombstones.bin); Open() restores all three without rebuilding
+  // the index. The optional ST-Filter is always rebuilt (its suffix tree
+  // is a derived structure).
+
+  // Writes this engine's state into `dir` (created if missing).
+  Status Save(const std::string& dir) const;
+
+  // Restores an engine saved with Save(). `options` must request the same
+  // page size the index was built with (validated).
+  static Status Open(const std::string& dir, EngineOptions options,
+                     std::unique_ptr<Engine>* out);
+
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // The paper's Algorithm 1 over the feature index.
+  SearchResult Search(const Sequence& query, double epsilon) const {
+    return SearchWith(MethodKind::kTwSimSearch, query, epsilon);
+  }
+
+  // Runs the selected method. kStFilter requires
+  // options.build_st_filter == true.
+  SearchResult SearchWith(MethodKind kind, const Sequence& query,
+                          double epsilon) const;
+
+  // Exact k-nearest-neighbor search under D_tw via the feature index
+  // (lower-bound-guided filter and refine; see core/tw_knn_search.h).
+  KnnResult SearchKnn(const Sequence& query, size_t k) const {
+    return tw_knn_search_->Search(query, k);
+  }
+
+  // ---- Dynamic maintenance (paper §4.3.1: the index supports ordinary
+  // insertion; the store appends / tombstones).
+  //
+  // The optional ST-Filter baseline is a static structure: after
+  // Insert/Remove it reflects the dataset at its last build — call
+  // RebuildStFilter() before comparing against it again.
+
+  // Adds a sequence to the store and the feature index; returns its id.
+  SequenceId Insert(Sequence s);
+
+  // Removes a sequence from the store (tombstone) and the index. Returns
+  // false if `id` is unknown or already removed.
+  bool Remove(SequenceId id);
+
+  // True iff `id` names a live sequence.
+  bool Contains(SequenceId id) const { return store_.IsLive(id); }
+
+  // Live sequence count (dataset().size() counts tombstones too).
+  size_t live_size() const { return store_.num_live(); }
+
+  // Rebuilds the ST-Filter over the current live sequences. Requires
+  // options.build_st_filter.
+  void RebuildStFilter();
+
+  // ---- Subsequence matching (paper §6). Requires
+  // options.build_subsequence_index. Matches inside tombstoned sequences
+  // are suppressed; after Insert(), call RebuildSubsequenceIndex() to
+  // cover the new sequences.
+  bool has_subsequence_index() const {
+    return subsequence_index_ != nullptr;
+  }
+  const SubsequenceIndex* subsequence_index() const {
+    return subsequence_index_.get();
+  }
+  std::vector<SubsequenceMatch> SearchSubsequences(
+      const Sequence& query, double epsilon,
+      SearchCost* cost = nullptr) const;
+  void RebuildSubsequenceIndex();
+
+  const SearchMethod& method(MethodKind kind) const;
+  bool has_st_filter() const { return st_filter_ != nullptr; }
+
+  const Dataset& dataset() const { return dataset_; }
+  const SequenceStore& store() const { return store_; }
+  const FeatureIndex& feature_index() const { return feature_index_; }
+  const StFilter* st_filter() const { return st_filter_.get(); }
+  // Null unless options.index_buffer_pages > 0.
+  const BufferPool* index_pool() const { return index_pool_.get(); }
+  const DiskModel& disk_model() const { return disk_model_; }
+  const EngineOptions& options() const { return options_; }
+
+  // Simulated elapsed time of a query: measured CPU wall time plus the
+  // disk model's cost for the recorded I/O.
+  double ElapsedMillis(const SearchCost& cost) const {
+    return cost.wall_ms + disk_model_.CostMillis(cost.io);
+  }
+
+ private:
+  // Restores from persisted parts (Open()).
+  Engine(Dataset dataset, FeatureIndex index, EngineOptions options);
+
+  void BuildMethods();
+
+  EngineOptions options_;
+  Dataset dataset_;
+  SequenceStore store_;
+  FeatureIndex feature_index_;
+  std::unique_ptr<StFilter> st_filter_;
+  std::unique_ptr<SubsequenceIndex> subsequence_index_;
+  std::unique_ptr<BufferPool> index_pool_;
+  DiskModel disk_model_;
+
+  std::unique_ptr<TwSimSearch> tw_sim_search_;
+  std::unique_ptr<TwKnnSearch> tw_knn_search_;
+  std::unique_ptr<NaiveScan> naive_scan_;
+  std::unique_ptr<LbScan> lb_scan_;
+  std::unique_ptr<StFilterSearch> st_filter_search_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_ENGINE_H_

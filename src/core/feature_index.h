@@ -1,0 +1,63 @@
+// FeatureIndex: the paper's four-dimensional index (§4.3.1).
+//
+// Each data sequence S contributes one entry
+//   < First(S), Last(S), Greatest(S), Smallest(S), ID(S) >
+// inserted into an R-tree as a point rectangle. Queries are the square
+// range queries of Algorithm 1 Step-2. Because D_tw-lb is the L_inf
+// distance between feature tuples, "within epsilon in every dimension" is
+// exactly "D_tw-lb <= epsilon", so the returned candidate set never loses
+// a true match (Corollary 1 + Theorem 2).
+
+#ifndef WARPINDEX_CORE_FEATURE_INDEX_H_
+#define WARPINDEX_CORE_FEATURE_INDEX_H_
+
+#include <vector>
+
+#include "rtree/bulk_load.h"
+#include "rtree/rtree.h"
+#include "sequence/dataset.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+
+struct FeatureIndexOptions {
+  RTreeOptions rtree;
+  // Build with STR bulk loading (paper §4.3.1 recommends bulk loading for
+  // large initial databases); false = one-by-one insertion.
+  bool bulk_load = true;
+};
+
+class FeatureIndex {
+ public:
+  // Builds the index over every sequence of `dataset`.
+  FeatureIndex(const Dataset& dataset, FeatureIndexOptions options);
+
+  // Adopts an existing tree (e.g. one loaded with LoadRTreeFromFile).
+  // Requires tree.dims() == kFeatureDims.
+  explicit FeatureIndex(RTree tree);
+
+  // Algorithm 1 Step-2: ids of sequences whose feature point lies in the
+  // square of radius epsilon around Feature(query).
+  std::vector<SequenceId> RangeQuery(const FeatureVector& query_feature,
+                                     double epsilon,
+                                     RTreeQueryStats* stats = nullptr) const;
+
+  // Incremental maintenance.
+  void Insert(SequenceId id, const FeatureVector& feature);
+  bool Remove(SequenceId id, const FeatureVector& feature);
+
+  const RTree& rtree() const { return tree_; }
+  size_t size() const { return tree_.size(); }
+  // Index pages (the paper reports the R-tree at < 4% of the database
+  // size; benches verify).
+  size_t IndexPages() const { return tree_.node_count(); }
+
+  static Point FeatureToPoint(const FeatureVector& f);
+
+ private:
+  RTree tree_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_FEATURE_INDEX_H_

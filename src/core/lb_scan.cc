@@ -1,0 +1,33 @@
+#include "core/lb_scan.h"
+
+#include "common/timer.h"
+
+namespace warpindex {
+
+SearchResult LbScan::Search(const Sequence& query, double epsilon) const {
+  WallTimer timer;
+  SearchResult result;
+  const Envelope query_env = ComputeEnvelope(query);
+  const DtwCombiner combiner = dtw_.options().combiner;
+  store_->ScanAll(
+      [&](SequenceId id, const Sequence& s) {
+        ++result.cost.lb_evals;
+        const double lb = LbYiWithEnvelopes(s, ComputeEnvelope(s), query,
+                                            query_env, combiner);
+        if (lb > epsilon) {
+          return true;  // filtered out, no exact evaluation
+        }
+        ++result.num_candidates;
+        const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+        result.cost.dtw_cells += d.cells;
+        if (d.distance <= epsilon) {
+          result.matches.push_back(id);
+        }
+        return true;
+      },
+      &result.cost.io);
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

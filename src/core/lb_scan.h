@@ -1,0 +1,35 @@
+// LB-Scan (Yi, Jagadish & Faloutsos [25]; paper §3.2): sequential scan
+// that first evaluates the cheap O(|S| + |Q|) lower bound D_lb (LB_Yi) and
+// runs the exact D_tw only on sequences passing the bound.
+//
+// Still touches every page of the database — the paper's argument for why
+// an index-based method is needed at scale.
+
+#ifndef WARPINDEX_CORE_LB_SCAN_H_
+#define WARPINDEX_CORE_LB_SCAN_H_
+
+#include "core/search_method.h"
+#include "dtw/dtw.h"
+#include "dtw/lb_yi.h"
+#include "storage/sequence_store.h"
+
+namespace warpindex {
+
+class LbScan : public SearchMethod {
+ public:
+  // `store` must outlive this object.
+  LbScan(const SequenceStore* store, DtwOptions dtw_options)
+      : store_(store), dtw_(dtw_options) {}
+
+  const char* name() const override { return "LB-Scan"; }
+
+  SearchResult Search(const Sequence& query, double epsilon) const override;
+
+ private:
+  const SequenceStore* store_;
+  Dtw dtw_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_LB_SCAN_H_

@@ -1,0 +1,27 @@
+#include "core/naive_scan.h"
+
+#include "common/timer.h"
+
+namespace warpindex {
+
+SearchResult NaiveScan::Search(const Sequence& query, double epsilon) const {
+  WallTimer timer;
+  SearchResult result;
+  store_->ScanAll(
+      [&](SequenceId id, const Sequence& s) {
+        const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+        result.cost.dtw_cells += d.cells;
+        if (d.distance <= epsilon) {
+          result.matches.push_back(id);
+        }
+        return true;
+      },
+      &result.cost.io);
+  // No filtering step: the paper's Figure 2 depicts the final answers as
+  // Naive-Scan's "candidates".
+  result.num_candidates = result.matches.size();
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,5 @@
+#include "core/search_method.h"
+
+// Interface-only translation unit (keeps one vtable anchor out of line).
+
+namespace warpindex {}  // namespace warpindex

@@ -1,0 +1,68 @@
+// Common vocabulary for whole-match similarity search methods.
+//
+// All four methods of the paper's evaluation (TW-Sim-Search, Naive-Scan,
+// LB-Scan, ST-Filter) implement SearchMethod and report uniform results
+// and costs, so the benches can print the same series for each.
+
+#ifndef WARPINDEX_CORE_SEARCH_METHOD_H_
+#define WARPINDEX_CORE_SEARCH_METHOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence.h"
+#include "storage/disk_model.h"
+
+namespace warpindex {
+
+// Cost breakdown of one query.
+struct SearchCost {
+  // Page-level I/O (data pages + index pages), costed by the disk model.
+  IoStats io;
+  // DP cells computed by exact D_tw evaluations (scan or post-processing).
+  uint64_t dtw_cells = 0;
+  // Lower-bound evaluations (D_lb in LB-Scan; D_tw-lb happens inside the
+  // R-tree and is accounted as index_nodes).
+  uint64_t lb_evals = 0;
+  // Index nodes visited (R-tree nodes or suffix-tree nodes).
+  uint64_t index_nodes = 0;
+  // Measured wall-clock time of the query on the actual machine.
+  double wall_ms = 0.0;
+
+  void Reset() { *this = SearchCost(); }
+  void Merge(const SearchCost& other) {
+    io.Merge(other.io);
+    dtw_cells += other.dtw_cells;
+    lb_evals += other.lb_evals;
+    index_nodes += other.index_nodes;
+    wall_ms += other.wall_ms;
+  }
+};
+
+struct SearchResult {
+  // Ids of data sequences S with D_tw(S, Q) <= epsilon.
+  std::vector<SequenceId> matches;
+  // Sequences that survived the filtering step and reached exact-D_tw
+  // post-processing. For Naive-Scan, which has no filtering step, this
+  // equals matches.size() (the convention of the paper's Figure 2).
+  size_t num_candidates = 0;
+  SearchCost cost;
+};
+
+// Interface over the four search strategies.
+class SearchMethod {
+ public:
+  virtual ~SearchMethod() = default;
+
+  virtual const char* name() const = 0;
+
+  // All data sequences within `epsilon` of `query` under D_tw, plus cost
+  // accounting. Requires a non-empty query and epsilon >= 0.
+  virtual SearchResult Search(const Sequence& query,
+                              double epsilon) const = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_SEARCH_METHOD_H_

@@ -1,0 +1,37 @@
+#include "core/st_filter_search.h"
+
+#include "common/timer.h"
+
+namespace warpindex {
+
+SearchResult StFilterSearch::Search(const Sequence& query,
+                                    double epsilon) const {
+  WallTimer timer;
+  SearchResult result;
+
+  StFilterQueryStats st_stats;
+  const std::vector<SequenceId> candidates =
+      filter_->FindCandidates(query, epsilon, &st_stats);
+  result.cost.index_nodes = st_stats.nodes_visited;
+  result.cost.dtw_cells += st_stats.dp_cells;
+  // Distinct suffix-tree pages touched, charged as random reads (node
+  // placement in a disk-resident suffix tree has no useful locality).
+  result.cost.io.RecordRandomRead(st_stats.pages_accessed);
+  result.num_candidates = candidates.size();
+
+  for (const SequenceId id : candidates) {
+    if (!store_->IsLive(id)) {
+      continue;  // tombstoned since the suffix tree was (re)built
+    }
+    const Sequence s = store_->Fetch(id, &result.cost.io);
+    const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+    result.cost.dtw_cells += d.cells;
+    if (d.distance <= epsilon) {
+      result.matches.push_back(id);
+    }
+  }
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,33 @@
+// ST-Filter as a whole-match search method (Park et al. [18]; §3.4):
+// suffix-tree candidate filtering followed by exact-D_tw post-processing.
+
+#ifndef WARPINDEX_CORE_ST_FILTER_SEARCH_H_
+#define WARPINDEX_CORE_ST_FILTER_SEARCH_H_
+
+#include "core/search_method.h"
+#include "dtw/dtw.h"
+#include "storage/sequence_store.h"
+#include "suffixtree/st_filter.h"
+
+namespace warpindex {
+
+class StFilterSearch : public SearchMethod {
+ public:
+  // `filter` and `store` must outlive this object.
+  StFilterSearch(const StFilter* filter, const SequenceStore* store,
+                 DtwOptions dtw_options)
+      : filter_(filter), store_(store), dtw_(dtw_options) {}
+
+  const char* name() const override { return "ST-Filter"; }
+
+  SearchResult Search(const Sequence& query, double epsilon) const override;
+
+ private:
+  const StFilter* filter_;
+  const SequenceStore* store_;
+  Dtw dtw_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_ST_FILTER_SEARCH_H_

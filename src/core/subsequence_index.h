@@ -1,0 +1,88 @@
+// Subsequence matching extension (paper §6, Concluding Remarks):
+//
+//   "Our method is easily applicable to subsequence matching ... It builds
+//    the same index on the feature vectors from subsequences rather than
+//    whole sequences. It also applies the same algorithm for query
+//    processing."
+//
+// This module indexes every sliding window of the data sequences whose
+// length falls in a configured range (offsets aligned to a stride), using
+// the same 4-tuple features and the same R-tree. A query finds all windows
+// within epsilon under D_tw. With stride == 1 the result is exact for the
+// query class "windows with length in [min_window, max_window]"; larger
+// strides trade completeness for index size (documented, measurable with
+// bench/abl6_subsequence).
+//
+// Window features are extracted in O(n) per window length with monotonic
+// min/max deques.
+
+#ifndef WARPINDEX_CORE_SUBSEQUENCE_INDEX_H_
+#define WARPINDEX_CORE_SUBSEQUENCE_INDEX_H_
+
+#include <vector>
+
+#include "core/search_method.h"
+#include "dtw/dtw.h"
+#include "rtree/rtree.h"
+#include "sequence/dataset.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+
+struct SubsequenceIndexOptions {
+  size_t min_window = 16;
+  size_t max_window = 64;
+  // Offset stride; 1 indexes every offset (exact), w > 1 reduces index
+  // size by w at the cost of missing windows at unaligned offsets.
+  size_t stride = 1;
+  RTreeOptions rtree;
+  bool bulk_load = true;
+  DtwOptions dtw = DtwOptions::Linf();
+};
+
+struct SubsequenceMatch {
+  SequenceId sequence_id = kInvalidSequenceId;
+  size_t offset = 0;
+  size_t length = 0;
+  double distance = 0.0;
+
+  friend bool operator==(const SubsequenceMatch& a,
+                         const SubsequenceMatch& b) {
+    return a.sequence_id == b.sequence_id && a.offset == b.offset &&
+           a.length == b.length;
+  }
+};
+
+class SubsequenceIndex {
+ public:
+  // `dataset` must outlive this object (slices are cut from it at query
+  // time).
+  SubsequenceIndex(const Dataset* dataset, SubsequenceIndexOptions options);
+
+  // All indexed windows W with D_tw(W, Q) <= epsilon, sorted by
+  // (sequence, offset, length). `cost` (optional) accumulates index node
+  // accesses and DTW cells.
+  std::vector<SubsequenceMatch> Search(const Sequence& query, double epsilon,
+                                       SearchCost* cost = nullptr) const;
+
+  size_t num_windows() const { return windows_.size(); }
+  const RTree& rtree() const { return tree_; }
+  const SubsequenceIndexOptions& options() const { return options_; }
+
+ private:
+  struct WindowRef {
+    SequenceId sequence_id;
+    uint32_t offset;
+    uint32_t length;
+  };
+
+  const Dataset* dataset_;
+  SubsequenceIndexOptions options_;
+  std::vector<WindowRef> windows_;
+  RTree tree_;
+  Dtw dtw_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_SUBSEQUENCE_INDEX_H_

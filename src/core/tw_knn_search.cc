@@ -1,0 +1,70 @@
+#include "core/tw_knn_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "common/timer.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+
+KnnResult TwKnnSearch::Search(const Sequence& query, size_t k) const {
+  assert(!query.empty());
+  assert(k >= 1);
+  WallTimer timer;
+  KnnResult result;
+
+  const FeatureVector qf = ExtractFeature(query);
+  const auto arr = qf.AsPoint();
+  const Point qp = Point::FromArray(arr.data(), kFeatureDims);
+
+  RTreeQueryStats rstats;
+  RTree::LinfNearestIterator it =
+      index_->rtree().NearestLinf(qp, &rstats);
+
+  // Max-heap of the best k exact distances seen so far.
+  std::priority_queue<KnnMatch, std::vector<KnnMatch>,
+                      decltype([](const KnnMatch& a, const KnnMatch& b) {
+                        return a.distance < b.distance;
+                      })>
+      top_k;
+
+  RTree::Neighbor candidate;
+  while (it.Next(&candidate)) {
+    if (top_k.size() == k && candidate.distance > top_k.top().distance) {
+      // Every remaining record has lower bound >= this one's, hence exact
+      // D_tw >= the current k-th distance: done (no false dismissal).
+      break;
+    }
+    const Sequence s = store_->Fetch(candidate.record_id, &result.cost.io);
+    ++result.num_refined;
+    DtwResult d;
+    if (top_k.size() == k) {
+      // Thresholded refinement: only distances that would enter the top-k
+      // matter, so abandon above the current k-th distance.
+      d = dtw_.DistanceWithThreshold(s, query, top_k.top().distance);
+    } else {
+      d = dtw_.Distance(s, query);
+    }
+    result.cost.dtw_cells += d.cells;
+    if (top_k.size() < k) {
+      top_k.push({candidate.record_id, d.distance});
+    } else if (d.distance < top_k.top().distance) {
+      top_k.pop();
+      top_k.push({candidate.record_id, d.distance});
+    }
+  }
+
+  result.cost.index_nodes = rstats.nodes_accessed;
+  result.cost.io.RecordRandomRead(rstats.nodes_accessed);
+  result.neighbors.resize(top_k.size());
+  for (size_t i = top_k.size(); i-- > 0;) {
+    result.neighbors[i] = top_k.top();
+    top_k.pop();
+  }
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

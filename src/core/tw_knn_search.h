@@ -1,0 +1,65 @@
+// Exact k-nearest-neighbor search under the time-warping distance.
+//
+// The paper observes that "most users are interested in just a few
+// answers" (§5.2) but only formalizes range queries. kNN is the natural
+// companion, and the paper's machinery supports it exactly: because
+// D_tw-lb lower-bounds D_tw and is the L_inf metric over feature tuples,
+// enumerating records in increasing L_inf feature distance (the R-tree's
+// incremental nearest iterator) enumerates them in non-decreasing
+// lower-bound order. The classical optimal filter-and-refine loop
+// (Hjaltason & Samet / Seidl & Kriegel) then gives exact kNN:
+//
+//   while next candidate's lower bound <= current k-th exact distance:
+//     refine with exact (thresholded) D_tw and update the top-k heap.
+//
+// No false dismissal for the same reason as Algorithm 1 (Theorem 1).
+
+#ifndef WARPINDEX_CORE_TW_KNN_SEARCH_H_
+#define WARPINDEX_CORE_TW_KNN_SEARCH_H_
+
+#include <vector>
+
+#include "core/feature_index.h"
+#include "core/search_method.h"
+#include "dtw/dtw.h"
+#include "storage/sequence_store.h"
+
+namespace warpindex {
+
+struct KnnMatch {
+  SequenceId id = kInvalidSequenceId;
+  double distance = 0.0;  // exact D_tw
+
+  friend bool operator==(const KnnMatch& a, const KnnMatch& b) {
+    return a.id == b.id && a.distance == b.distance;
+  }
+};
+
+struct KnnResult {
+  // The k nearest sequences in non-decreasing D_tw order (fewer if the
+  // database is smaller than k).
+  std::vector<KnnMatch> neighbors;
+  // Candidates refined with exact D_tw before the cutoff fired.
+  size_t num_refined = 0;
+  SearchCost cost;
+};
+
+class TwKnnSearch {
+ public:
+  // `index` and `store` must outlive this object.
+  TwKnnSearch(const FeatureIndex* index, const SequenceStore* store,
+              DtwOptions dtw_options)
+      : index_(index), store_(store), dtw_(dtw_options) {}
+
+  // Exact kNN of `query` under D_tw. Requires a non-empty query, k >= 1.
+  KnnResult Search(const Sequence& query, size_t k) const;
+
+ private:
+  const FeatureIndex* index_;
+  const SequenceStore* store_;
+  Dtw dtw_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_TW_KNN_SEARCH_H_

@@ -1,0 +1,58 @@
+#include "core/tw_sim_search.h"
+
+#include "common/timer.h"
+#include "dtw/lb_yi.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+
+SearchResult TwSimSearch::Search(const Sequence& query,
+                                 double epsilon) const {
+  WallTimer timer;
+  SearchResult result;
+
+  // Step-1: feature extraction.
+  const FeatureVector query_feature = ExtractFeature(query);
+
+  // Step-2/3: range query on the multi-dimensional index.
+  RTreeQueryStats rstats;
+  std::vector<NodeId> accessed;
+  if (index_pool_ != nullptr) {
+    rstats.accessed_nodes = &accessed;
+  }
+  const std::vector<SequenceId> candidates =
+      index_->RangeQuery(query_feature, epsilon, &rstats);
+  result.cost.index_nodes = rstats.nodes_accessed;
+  if (index_pool_ != nullptr) {
+    // Only pool misses reach the disk (each R-tree node is one page).
+    for (const NodeId id : accessed) {
+      index_pool_->Access(id, &result.cost.io);
+    }
+  } else {
+    result.cost.io.RecordRandomRead(rstats.nodes_accessed);
+  }
+  result.num_candidates = candidates.size();
+
+  // Step-4..7: post-processing with the exact time-warping distance.
+  const Envelope query_env =
+      lb_cascade_ ? ComputeEnvelope(query) : Envelope{};
+  for (const SequenceId id : candidates) {
+    const Sequence s = store_->Fetch(id, &result.cost.io);
+    if (lb_cascade_) {
+      ++result.cost.lb_evals;
+      if (LbYiWithEnvelopes(s, ComputeEnvelope(s), query, query_env,
+                            dtw_.options().combiner) > epsilon) {
+        continue;  // LB_Yi <= D_tw, so this cannot be a match
+      }
+    }
+    const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+    result.cost.dtw_cells += d.cells;
+    if (d.distance <= epsilon) {
+      result.matches.push_back(id);
+    }
+  }
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

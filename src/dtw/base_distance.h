@@ -1,0 +1,54 @@
+// Base-distance configuration for the time-warping distance (paper Def. 1).
+//
+// D_base in the paper is an L_p function applied to a *pair of elements*;
+// what distinguishes the L_p choices in the DTW recursion is (a) the
+// per-step cost (|a-b| for L1/L_inf, (a-b)^2 for L2) and (b) how step costs
+// combine along the warping path (+ for L1/L2, max for L_inf — Def. 2).
+
+#ifndef WARPINDEX_DTW_BASE_DISTANCE_H_
+#define WARPINDEX_DTW_BASE_DISTANCE_H_
+
+#include <cmath>
+
+namespace warpindex {
+
+// How per-step costs accumulate along a warping path.
+enum class DtwCombiner {
+  kSum,  // L1 / L2 style: D = cost + min(...)
+  kMax,  // L_inf style (paper Def. 2): D = max(cost, min(...))
+};
+
+// Per-step cost between two elements.
+enum class StepCost {
+  kAbsolute,  // |a - b|
+  kSquared,   // (a - b)^2
+};
+
+struct DtwOptions {
+  DtwCombiner combiner = DtwCombiner::kMax;
+  StepCost step = StepCost::kAbsolute;
+  // Sakoe-Chiba band radius on |i - j|; < 0 means unconstrained. The
+  // effective radius is widened to at least ||S| - |Q|| so a path always
+  // exists.
+  int band = -1;
+  // Take sqrt of the final accumulated value (L2 convention).
+  bool take_sqrt = false;
+
+  // The paper's similarity model (Def. 2): max-combined absolute costs.
+  static DtwOptions Linf() { return DtwOptions{}; }
+  static DtwOptions L1() {
+    return DtwOptions{DtwCombiner::kSum, StepCost::kAbsolute, -1, false};
+  }
+  static DtwOptions L2() {
+    return DtwOptions{DtwCombiner::kSum, StepCost::kSquared, -1, true};
+  }
+};
+
+inline double ElementCost(double a, double b, StepCost step) {
+  const double d = a - b;
+  return step == StepCost::kAbsolute ? std::fabs(d) : d * d;
+}
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_DTW_BASE_DISTANCE_H_

@@ -1,0 +1,200 @@
+#include "dtw/dtw.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+inline double Combine(double cost, double upstream, DtwCombiner combiner) {
+  return combiner == DtwCombiner::kSum ? cost + upstream
+                                       : std::max(cost, upstream);
+}
+
+// Effective Sakoe-Chiba radius: a path from (0,0) to (n-1,m-1) needs the
+// band to admit |i - j| up to |n - m|.
+inline size_t EffectiveBand(const DtwOptions& options, size_t n, size_t m) {
+  if (options.band < 0) {
+    return std::max(n, m);  // unconstrained
+  }
+  const size_t min_needed = n > m ? n - m : m - n;
+  return std::max(static_cast<size_t>(options.band), min_needed);
+}
+
+}  // namespace
+
+DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
+                              double threshold) const {
+  // D_tw is symmetric; keep the shorter sequence on the columns to bound
+  // rolling-array memory by min(|S|, |Q|).
+  const Sequence& s = s_in.size() >= q_in.size() ? s_in : q_in;
+  const Sequence& q = s_in.size() >= q_in.size() ? q_in : s_in;
+
+  DtwResult result;
+  if (s.empty() && q.empty()) {
+    result.distance = 0.0;
+    return result;
+  }
+  if (s.empty() || q.empty()) {
+    result.distance = kInfiniteDistance;
+    return result;
+  }
+
+  const size_t n = s.size();
+  const size_t m = q.size();
+  const size_t band = EffectiveBand(options_, n, m);
+  // Work in the accumulated domain; take_sqrt is applied on exit, so the
+  // threshold must be squared-domain too.
+  const double internal_threshold =
+      options_.take_sqrt ? threshold * threshold : threshold;
+
+  std::vector<double> prev(m, kInfiniteDistance);
+  std::vector<double> curr(m, kInfiniteDistance);
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i >= band ? i - band : 0;
+    const size_t j_hi = std::min(m - 1, i + band);
+    double row_min = kInfiniteDistance;
+    std::fill(curr.begin(), curr.end(), kInfiniteDistance);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = ElementCost(s[i], q[j], options_.step);
+      ++result.cells;
+      if (i == 0 && j == 0) {
+        curr[j] = cost;  // base case, both combiners
+        row_min = std::min(row_min, curr[j]);
+        continue;
+      }
+      double best = kInfiniteDistance;
+      if (i > 0) {
+        best = std::min(best, prev[j]);                 // (i-1, j)
+        if (j > 0) best = std::min(best, prev[j - 1]);  // (i-1, j-1)
+      }
+      if (j > 0) {
+        best = std::min(best, curr[j - 1]);             // (i, j-1)
+      }
+      if (std::isinf(best)) {
+        continue;  // unreachable cell at a band edge
+      }
+      curr[j] = Combine(cost, best, options_.combiner);
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > internal_threshold) {
+      // Every extension of every partial path already exceeds the
+      // tolerance; abandon (exact for non-negative costs).
+      result.distance = kInfiniteDistance;
+      return result;
+    }
+    std::swap(prev, curr);
+  }
+
+  double final_value = prev[m - 1];
+  if (final_value > internal_threshold) {
+    result.distance = kInfiniteDistance;
+    return result;
+  }
+  if (options_.take_sqrt) {
+    final_value = std::sqrt(final_value);
+  }
+  result.distance = final_value;
+  return result;
+}
+
+DtwResult Dtw::Distance(const Sequence& s, const Sequence& q) const {
+  return ComputeRolling(s, q, kInfiniteDistance);
+}
+
+DtwResult Dtw::DistanceWithThreshold(const Sequence& s, const Sequence& q,
+                                     double epsilon) const {
+  assert(epsilon >= 0.0);
+  return ComputeRolling(s, q, epsilon);
+}
+
+DtwPathResult Dtw::DistanceWithPath(const Sequence& s,
+                                    const Sequence& q) const {
+  DtwPathResult result;
+  if (s.empty() && q.empty()) {
+    result.distance = 0.0;
+    return result;
+  }
+  if (s.empty() || q.empty()) {
+    result.distance = kInfiniteDistance;
+    return result;
+  }
+
+  const size_t n = s.size();
+  const size_t m = q.size();
+  const size_t band = EffectiveBand(options_, n, m);
+  std::vector<double> dp(n * m, kInfiniteDistance);
+  auto at = [&](size_t i, size_t j) -> double& { return dp[i * m + j]; };
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j_lo = i >= band ? i - band : 0;
+    const size_t j_hi = std::min(m - 1, i + band);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = ElementCost(s[i], q[j], options_.step);
+      ++result.cells;
+      if (i == 0 && j == 0) {
+        at(i, j) = cost;
+        continue;
+      }
+      double best = kInfiniteDistance;
+      if (i > 0) {
+        best = std::min(best, at(i - 1, j));
+        if (j > 0) best = std::min(best, at(i - 1, j - 1));
+      }
+      if (j > 0) {
+        best = std::min(best, at(i, j - 1));
+      }
+      if (std::isinf(best)) {
+        continue;  // unreachable inside band edge cases
+      }
+      at(i, j) = Combine(cost, best, options_.combiner);
+    }
+  }
+
+  double final_value = at(n - 1, m - 1);
+  result.distance = options_.take_sqrt && !std::isinf(final_value)
+                        ? std::sqrt(final_value)
+                        : final_value;
+  if (std::isinf(final_value)) {
+    return result;  // no feasible path (cannot happen with valid band)
+  }
+
+  // Backtrack: from (n-1, m-1), repeatedly move to the reachable
+  // predecessor with the smallest DP value. For both combiners the DP value
+  // of the chosen predecessor reconstructs an optimal path.
+  std::vector<WarpingStep> reversed;
+  size_t i = n - 1;
+  size_t j = m - 1;
+  reversed.push_back({i, j});
+  while (i > 0 || j > 0) {
+    double best = kInfiniteDistance;
+    size_t bi = i;
+    size_t bj = j;
+    if (i > 0 && j > 0 && at(i - 1, j - 1) <= best) {
+      best = at(i - 1, j - 1);
+      bi = i - 1;
+      bj = j - 1;
+    }
+    if (i > 0 && at(i - 1, j) < best) {
+      best = at(i - 1, j);
+      bi = i - 1;
+      bj = j;
+    }
+    if (j > 0 && at(i, j - 1) < best) {
+      best = at(i, j - 1);
+      bi = i;
+      bj = j - 1;
+    }
+    i = bi;
+    j = bj;
+    reversed.push_back({i, j});
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  result.path = WarpingPath(std::move(reversed));
+  return result;
+}
+
+}  // namespace warpindex

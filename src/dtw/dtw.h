@@ -1,0 +1,83 @@
+// The time-warping distance D_tw (paper Definitions 1 and 2) computed by
+// dynamic programming, with:
+//
+//   * pluggable base distance: sum-combined |.| or (.)^2 (L1 / L2) and the
+//     paper's max-combined |.| (L_inf, Definition 2);
+//   * O(min(|S|, |Q|)) rolling-array memory for distance-only queries;
+//   * thresholded early-abandoning evaluation: stops as soon as every cell
+//     of a DP row exceeds the tolerance — exact because step costs are
+//     non-negative and both combiners are monotone along path extension.
+//     This is the paper's stated CPU advantage of the L_inf model (§4.1);
+//   * optional Sakoe-Chiba band;
+//   * full-matrix evaluation with warping-path recovery.
+//
+// CPU cost accounting: every evaluation reports the number of DP cells
+// computed, which benches aggregate as the machine-independent CPU metric.
+
+#ifndef WARPINDEX_DTW_DTW_H_
+#define WARPINDEX_DTW_DTW_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "dtw/base_distance.h"
+#include "dtw/warping_path.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+// Result of a DTW evaluation.
+struct DtwResult {
+  // The distance; kInfiniteDistance when a thresholded evaluation abandoned
+  // (the true distance then exceeds the threshold) or when exactly one of
+  // the sequences is empty (Def. 1).
+  double distance = 0.0;
+  // DP cells actually computed — the CPU cost of this evaluation.
+  uint64_t cells = 0;
+};
+
+// Distance plus the optimal warping path (full-matrix evaluation only).
+struct DtwPathResult {
+  double distance = 0.0;
+  uint64_t cells = 0;
+  WarpingPath path;
+};
+
+class Dtw {
+ public:
+  explicit Dtw(DtwOptions options = DtwOptions::Linf())
+      : options_(options) {}
+
+  const DtwOptions& options() const { return options_; }
+
+  // Exact D_tw(S, Q). Rolling-array DP, O(min(|S|,|Q|)) memory.
+  DtwResult Distance(const Sequence& s, const Sequence& q) const;
+
+  // Thresholded decision procedure: returns the exact distance when
+  // D_tw(S, Q) <= epsilon, and kInfiniteDistance otherwise (possibly
+  // abandoning early). Never returns a finite value > epsilon.
+  DtwResult DistanceWithThreshold(const Sequence& s, const Sequence& q,
+                                  double epsilon) const;
+
+  // Convenience: D_tw(S, Q) <= epsilon?
+  bool WithinTolerance(const Sequence& s, const Sequence& q,
+                       double epsilon) const {
+    return DistanceWithThreshold(s, q, epsilon).distance <= epsilon;
+  }
+
+  // Full-matrix evaluation with backtracking. O(|S| * |Q|) memory.
+  DtwPathResult DistanceWithPath(const Sequence& s, const Sequence& q) const;
+
+ private:
+  DtwResult ComputeRolling(const Sequence& s, const Sequence& q,
+                           double threshold) const;
+
+  DtwOptions options_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_DTW_DTW_H_

@@ -1,0 +1,58 @@
+#include "dtw/lb_yi.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace warpindex {
+namespace {
+
+// Distance from a value to an interval; zero inside.
+inline double DistToInterval(double v, double lo, double hi) {
+  if (v < lo) return lo - v;
+  if (v > hi) return v - hi;
+  return 0.0;
+}
+
+// One-sided bound: cost forced onto elements of `s` by `other`'s envelope.
+double OneSided(const Sequence& s, const Envelope& other,
+                DtwCombiner combiner) {
+  double acc = 0.0;
+  for (double v : s.elements()) {
+    const double d = DistToInterval(v, other.smallest, other.greatest);
+    if (combiner == DtwCombiner::kSum) {
+      acc += d;
+    } else {
+      acc = std::max(acc, d);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Envelope ComputeEnvelope(const Sequence& s) {
+  assert(!s.empty());
+  Envelope env;
+  env.smallest = s[0];
+  env.greatest = s[0];
+  for (double v : s.elements()) {
+    env.smallest = std::min(env.smallest, v);
+    env.greatest = std::max(env.greatest, v);
+  }
+  return env;
+}
+
+double LbYiWithEnvelopes(const Sequence& s, const Envelope& s_env,
+                         const Sequence& q, const Envelope& q_env,
+                         DtwCombiner combiner) {
+  assert(!s.empty() && !q.empty());
+  return std::max(OneSided(s, q_env, combiner),
+                  OneSided(q, s_env, combiner));
+}
+
+double LbYi(const Sequence& s, const Sequence& q, DtwCombiner combiner) {
+  return LbYiWithEnvelopes(s, ComputeEnvelope(s), q, ComputeEnvelope(q),
+                           combiner);
+}
+
+}  // namespace warpindex

@@ -1,0 +1,62 @@
+#include "dtw/warping_path.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace warpindex {
+
+bool WarpingPath::IsValid(size_t n, size_t m) const {
+  if (steps_.empty()) {
+    return n == 0 && m == 0;
+  }
+  if (steps_.front().i != 0 || steps_.front().j != 0) {
+    return false;
+  }
+  if (steps_.back().i != n - 1 || steps_.back().j != m - 1) {
+    return false;
+  }
+  for (size_t k = 1; k < steps_.size(); ++k) {
+    const size_t di = steps_[k].i - steps_[k - 1].i;
+    const size_t dj = steps_[k].j - steps_[k - 1].j;
+    if (steps_[k].i < steps_[k - 1].i || steps_[k].j < steps_[k - 1].j) {
+      return false;  // monotonicity
+    }
+    if (di > 1 || dj > 1 || (di == 0 && dj == 0)) {
+      return false;  // continuity
+    }
+  }
+  return true;
+}
+
+double WarpingPath::Cost(const Sequence& s, const Sequence& q,
+                         const DtwOptions& options) const {
+  assert(!steps_.empty());
+  double acc = options.combiner == DtwCombiner::kSum ? 0.0 : 0.0;
+  for (const WarpingStep& step : steps_) {
+    assert(step.i < s.size() && step.j < q.size());
+    const double cost = ElementCost(s[step.i], q[step.j], options.step);
+    if (options.combiner == DtwCombiner::kSum) {
+      acc += cost;
+    } else {
+      acc = std::max(acc, cost);
+    }
+  }
+  return options.take_sqrt ? std::sqrt(acc) : acc;
+}
+
+std::string WarpingPath::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t k = 0; k < steps_.size(); ++k) {
+    if (k > 0) {
+      os << ", ";
+    }
+    os << "(" << steps_[k].i << "," << steps_[k].j << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace warpindex

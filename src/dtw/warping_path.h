@@ -1,0 +1,58 @@
+// Warping paths: the element mappings M = <m_1, ..., m_|M|> of paper §4.1.
+
+#ifndef WARPINDEX_DTW_WARPING_PATH_H_
+#define WARPINDEX_DTW_WARPING_PATH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dtw/base_distance.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+// One element mapping m_h = (s_i, q_j), stored by position.
+struct WarpingStep {
+  size_t i = 0;  // position in S
+  size_t j = 0;  // position in Q
+
+  friend bool operator==(const WarpingStep& a, const WarpingStep& b) {
+    return a.i == b.i && a.j == b.j;
+  }
+};
+
+// A full warping path between S (length n) and Q (length m).
+class WarpingPath {
+ public:
+  WarpingPath() = default;
+  explicit WarpingPath(std::vector<WarpingStep> steps)
+      : steps_(std::move(steps)) {}
+
+  const std::vector<WarpingStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  bool empty() const { return steps_.empty(); }
+
+  // Checks the three classical warping-path constraints against sequences
+  // of length n and m:
+  //   boundary:     starts at (0,0), ends at (n-1, m-1);
+  //   monotonicity: i and j never decrease;
+  //   continuity:   each step advances i and/or j by at most 1 and at
+  //                 least one of them by exactly 1.
+  bool IsValid(size_t n, size_t m) const;
+
+  // Accumulates the path's cost over the given sequences with the given
+  // cost model (sum- or max-combined). The path must be non-empty and in
+  // bounds.
+  double Cost(const Sequence& s, const Sequence& q,
+              const DtwOptions& options) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<WarpingStep> steps_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_DTW_WARPING_PATH_H_

@@ -1,0 +1,119 @@
+#include "fastmap/fastmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace warpindex {
+
+double FastMap::ResidualSquared(double base_distance, const Point& x,
+                                const Point& y, int axis) const {
+  double d2 = base_distance * base_distance;
+  for (int l = 0; l < axis; ++l) {
+    const double delta = x[l] - y[l];
+    d2 -= delta * delta;
+  }
+  // D_tw is not a metric; the residual can go negative. Clamp (classical
+  // FastMap practice) — one source of the embedding's distortion.
+  return std::max(d2, 0.0);
+}
+
+FastMap::FastMap(const Dataset& dataset, FastMapOptions options)
+    : options_(options), dtw_(options.dtw) {
+  assert(options_.dims >= 1 && options_.dims <= kMaxRTreeDims);
+  assert(!dataset.empty());
+  const size_t n = dataset.size();
+  Prng prng(options_.seed);
+
+  data_points_.resize(n);
+  for (Point& p : data_points_) {
+    p.dims = options_.dims;
+  }
+
+  auto base_dist = [&](const Sequence& a, const Sequence& b) {
+    ++build_distance_evals_;
+    return dtw_.Distance(a, b).distance;
+  };
+
+  for (int axis = 0; axis < options_.dims; ++axis) {
+    // Pivot selection: start from a random object, repeatedly jump to the
+    // farthest object under the residual distance.
+    size_t ia = static_cast<size_t>(
+        prng.UniformInt(0, static_cast<int64_t>(n) - 1));
+    size_t ib = ia;
+    for (int it = 0; it < options_.pivot_iterations; ++it) {
+      double best = -1.0;
+      for (size_t j = 0; j < n; ++j) {
+        const double d2 =
+            ResidualSquared(base_dist(dataset[ia], dataset[j]),
+                            data_points_[ia], data_points_[j], axis);
+        if (d2 > best) {
+          best = d2;
+          ib = j;
+        }
+      }
+      std::swap(ia, ib);
+    }
+
+    PivotPair pivot;
+    pivot.a = dataset[ia];
+    pivot.b = dataset[ib];
+    pivot.a_coords = data_points_[ia];
+    pivot.b_coords = data_points_[ib];
+    pivot.dist_ab = std::sqrt(
+        ResidualSquared(base_dist(pivot.a, pivot.b), pivot.a_coords,
+                        pivot.b_coords, axis));
+
+    // Project every object onto the new axis.
+    const double dab = pivot.dist_ab;
+    const double dab2 = dab * dab;
+    for (size_t j = 0; j < n; ++j) {
+      if (dab <= 0.0) {
+        data_points_[j][axis] = 0.0;
+        continue;
+      }
+      const double da2 =
+          ResidualSquared(base_dist(pivot.a, dataset[j]), pivot.a_coords,
+                          data_points_[j], axis);
+      const double db2 =
+          ResidualSquared(base_dist(pivot.b, dataset[j]), pivot.b_coords,
+                          data_points_[j], axis);
+      data_points_[j][axis] = (da2 + dab2 - db2) / (2.0 * dab);
+    }
+    // The pivots' own coordinates on this axis are now final; refresh the
+    // stored copies so later axes see them.
+    pivot.a_coords = data_points_[ia];
+    pivot.b_coords = data_points_[ib];
+    pivots_.push_back(std::move(pivot));
+  }
+}
+
+Point FastMap::DataPoint(SequenceId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < data_points_.size());
+  return data_points_[static_cast<size_t>(id)];
+}
+
+Point FastMap::Embed(const Sequence& s) const {
+  Point p;
+  p.dims = options_.dims;
+  for (int axis = 0; axis < options_.dims; ++axis) {
+    const PivotPair& pivot = pivots_[static_cast<size_t>(axis)];
+    if (pivot.dist_ab <= 0.0) {
+      p[axis] = 0.0;
+      continue;
+    }
+    const double da2 =
+        ResidualSquared(dtw_.Distance(pivot.a, s).distance, pivot.a_coords,
+                        p, axis);
+    const double db2 =
+        ResidualSquared(dtw_.Distance(pivot.b, s).distance, pivot.b_coords,
+                        p, axis);
+    p[axis] = (da2 + pivot.dist_ab * pivot.dist_ab - db2) /
+              (2.0 * pivot.dist_ab);
+  }
+  return p;
+}
+
+}  // namespace warpindex

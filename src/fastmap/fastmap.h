@@ -1,0 +1,77 @@
+// FastMap embedding (Faloutsos & Lin) under the time-warping distance —
+// the indexed comparator of Yi et al. [25] that the paper excludes from
+// its headline results because it admits false dismissals (§3.3).
+//
+// FastMap places N objects into R^k given only a pairwise distance
+// function: axis i is defined by a pivot pair (a_i, b_i); an object o gets
+//   x_i(o) = (D_i(a_i,o)^2 + D_i(a_i,b_i)^2 - D_i(b_i,o)^2)
+//            / (2 * D_i(a_i,b_i)),
+// where D_i is the residual distance after projecting out axes < i.
+// Because D_tw is not a metric, residual squares can go negative (clamped
+// to zero) and embedded distances neither lower- nor upper-bound D_tw —
+// which is precisely why range queries in the embedded space can miss true
+// results. bench/abl5_fastmap_recall quantifies the recall loss.
+
+#ifndef WARPINDEX_FASTMAP_FASTMAP_H_
+#define WARPINDEX_FASTMAP_FASTMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtw/dtw.h"
+#include "rtree/geometry.h"
+#include "sequence/dataset.h"
+
+namespace warpindex {
+
+struct FastMapOptions {
+  // Target dimensionality k (paper notation; must be <= kMaxRTreeDims).
+  int dims = 4;
+  // Iterations of the "choose distant objects" pivot heuristic.
+  int pivot_iterations = 2;
+  DtwOptions dtw = DtwOptions::Linf();
+  uint64_t seed = 17;
+};
+
+class FastMap {
+ public:
+  // Builds the embedding over `dataset`, computing O(k * N) time-warping
+  // distances. The dataset must stay alive only during construction (pivot
+  // sequences are copied).
+  FastMap(const Dataset& dataset, FastMapOptions options);
+
+  int dims() const { return options_.dims; }
+
+  // Coordinates of data object `id` (computed during construction).
+  Point DataPoint(SequenceId id) const;
+
+  // Embeds an arbitrary sequence (e.g. a query) using the stored pivots.
+  Point Embed(const Sequence& s) const;
+
+  // Total DTW evaluations spent building the embedding.
+  uint64_t build_distance_evals() const { return build_distance_evals_; }
+
+ private:
+  struct PivotPair {
+    Sequence a;
+    Sequence b;
+    Point a_coords;  // coordinates of the pivots on axes < i
+    Point b_coords;
+    double dist_ab = 0.0;  // residual distance at axis i
+  };
+
+  // Residual squared distance at axis `axis` between a sequence with known
+  // partial coordinates and a pivot.
+  double ResidualSquared(double base_distance, const Point& x,
+                         const Point& y, int axis) const;
+
+  FastMapOptions options_;
+  Dtw dtw_;
+  std::vector<PivotPair> pivots_;
+  std::vector<Point> data_points_;
+  uint64_t build_distance_evals_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_FASTMAP_FASTMAP_H_

@@ -1,0 +1,21 @@
+#include "fastmap/fastmap_index.h"
+
+namespace warpindex {
+
+FastMapIndex::FastMapIndex(const Dataset& dataset,
+                           FastMapIndexOptions options)
+    : fastmap_(dataset, options.fastmap),
+      rtree_(options.fastmap.dims, options.rtree) {
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const auto id = static_cast<SequenceId>(i);
+    rtree_.Insert(Rect::FromPoint(fastmap_.DataPoint(id)), id);
+  }
+}
+
+std::vector<SequenceId> FastMapIndex::FindCandidates(
+    const Sequence& query, double epsilon, RTreeQueryStats* stats) const {
+  const Point q = fastmap_.Embed(query);
+  return rtree_.RangeSearch(Rect::SquareAround(q, epsilon), stats);
+}
+
+}  // namespace warpindex

@@ -1,0 +1,49 @@
+// FastMapIndex: the full indexed search pipeline of Yi et al. [25]'s
+// FastMap method — embed every data sequence into R^k, index the points in
+// an R-tree, answer a similarity query by embedding Q and range-searching
+// with radius epsilon, then post-filter candidates with exact D_tw.
+//
+// Unlike TW-Sim-Search this pipeline CAN miss true results (the embedding
+// does not lower-bound D_tw); bench/abl5_fastmap_recall measures the
+// recall, reproducing the reason the paper excludes FastMap from its
+// evaluation (§5.1).
+
+#ifndef WARPINDEX_FASTMAP_FASTMAP_INDEX_H_
+#define WARPINDEX_FASTMAP_FASTMAP_INDEX_H_
+
+#include <vector>
+
+#include "fastmap/fastmap.h"
+#include "rtree/rtree.h"
+#include "sequence/dataset.h"
+
+namespace warpindex {
+
+struct FastMapIndexOptions {
+  FastMapOptions fastmap;
+  RTreeOptions rtree;
+};
+
+class FastMapIndex {
+ public:
+  FastMapIndex(const Dataset& dataset, FastMapIndexOptions options);
+
+  // Candidate ids whose embedded point falls inside the square of radius
+  // epsilon around Embed(query). NOT guaranteed to be a superset of the
+  // true result set.
+  std::vector<SequenceId> FindCandidates(const Sequence& query,
+                                         double epsilon,
+                                         RTreeQueryStats* stats = nullptr)
+      const;
+
+  const FastMap& fastmap() const { return fastmap_; }
+  const RTree& rtree() const { return rtree_; }
+
+ private:
+  FastMap fastmap_;
+  RTree rtree_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_FASTMAP_FASTMAP_INDEX_H_

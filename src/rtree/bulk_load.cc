@@ -1,0 +1,122 @@
+#include "rtree/bulk_load.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace warpindex {
+namespace {
+
+using EntryList = std::vector<RTreeEntry>;
+
+// Cuts [0, n) into `parts` contiguous ranges whose sizes differ by at most
+// one, so no tiling step ever produces a runt partition (which would turn
+// into an underfull node).
+std::vector<std::pair<size_t, size_t>> BalancedRanges(size_t n,
+                                                      size_t parts) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ranges.reserve(parts);
+  const size_t base = n / parts;
+  const size_t extra = n % parts;
+  size_t begin = 0;
+  for (size_t i = 0; i < parts; ++i) {
+    const size_t len = base + (i < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+// Recursively tiles `entries` into groups of at most `cap`, sorting by
+// center coordinate one dimension at a time (STR).
+void StrPack(EntryList entries, int dim, int dims, size_t cap,
+             std::vector<EntryList>* groups) {
+  if (entries.size() <= cap) {
+    groups->push_back(std::move(entries));
+    return;
+  }
+  const size_t k = static_cast<size_t>(dim);
+  std::sort(entries.begin(), entries.end(),
+            [k](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.rect.Center(static_cast<int>(k)) <
+                     b.rect.Center(static_cast<int>(k));
+            });
+  if (dim == dims - 1) {
+    const size_t chunks =
+        (entries.size() + cap - 1) / cap;
+    for (const auto& [begin, end] : BalancedRanges(entries.size(), chunks)) {
+      groups->emplace_back(entries.begin() + static_cast<ptrdiff_t>(begin),
+                           entries.begin() + static_cast<ptrdiff_t>(end));
+    }
+    return;
+  }
+  // Number of pages this subtree needs, then slabs along this dimension =
+  // P^(1/remaining_dims) (rounded up).
+  const double pages = std::ceil(static_cast<double>(entries.size()) /
+                                 static_cast<double>(cap));
+  const int remaining = dims - dim;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::pow(pages, 1.0 / static_cast<double>(remaining)))));
+  for (const auto& [begin, end] : BalancedRanges(entries.size(), slabs)) {
+    if (begin == end) {
+      continue;
+    }
+    StrPack(EntryList(entries.begin() + static_cast<ptrdiff_t>(begin),
+                      entries.begin() + static_cast<ptrdiff_t>(end)),
+            dim + 1, dims, cap, groups);
+  }
+}
+
+}  // namespace
+
+RTree BulkLoadStr(int dims, const RTreeOptions& options,
+                  std::vector<RTreeEntry> leaf_entries) {
+  RTree tree(dims, options);
+  if (leaf_entries.empty()) {
+    return tree;
+  }
+  const size_t record_count = leaf_entries.size();
+
+  // Pack level by level until one group remains; that group becomes the
+  // root's entries.
+  EntryList current = std::move(leaf_entries);
+  int level = 0;
+  // Release the default empty root; we rebuild from scratch.
+  tree.FreeNode(tree.root_);
+  while (true) {
+    std::vector<EntryList> groups;
+    StrPack(std::move(current), /*dim=*/0, dims, tree.capacity(), &groups);
+    if (groups.size() == 1) {
+      const NodeId root = tree.AllocateNode(level);
+      RTreeNode* root_node = tree.node(root);
+      root_node->entries = std::move(groups[0]);
+      if (level > 0) {
+        for (const RTreeEntry& e : root_node->entries) {
+          tree.node(e.child)->parent = root;
+        }
+      }
+      tree.root_ = root;
+      break;
+    }
+    EntryList next_level;
+    next_level.reserve(groups.size());
+    for (EntryList& group : groups) {
+      const NodeId id = tree.AllocateNode(level);
+      RTreeNode* n = tree.node(id);
+      n->entries = std::move(group);
+      if (level > 0) {
+        for (const RTreeEntry& e : n->entries) {
+          tree.node(e.child)->parent = id;
+        }
+      }
+      next_level.push_back(RTreeEntry::Internal(n->ComputeMbr(), id));
+    }
+    current = std::move(next_level);
+    ++level;
+  }
+  tree.size_ = record_count;
+  return tree;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,226 @@
+#include "rtree/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace warpindex {
+
+Point Point::Make(std::initializer_list<double> values) {
+  assert(values.size() <= kMaxRTreeDims);
+  Point p;
+  p.dims = static_cast<int>(values.size());
+  int i = 0;
+  for (double v : values) {
+    p.coords[static_cast<size_t>(i++)] = v;
+  }
+  return p;
+}
+
+Point Point::FromArray(const double* values, int dims) {
+  assert(dims >= 0 && dims <= kMaxRTreeDims);
+  Point p;
+  p.dims = dims;
+  std::copy(values, values + dims, p.coords.begin());
+  return p;
+}
+
+std::string Point::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (int d = 0; d < dims; ++d) {
+    if (d > 0) os << ", ";
+    os << coords[static_cast<size_t>(d)];
+  }
+  os << ")";
+  return os.str();
+}
+
+Rect Rect::FromPoint(const Point& p) {
+  Rect r;
+  r.dims = p.dims;
+  for (int d = 0; d < p.dims; ++d) {
+    r.min[static_cast<size_t>(d)] = p[d];
+    r.max[static_cast<size_t>(d)] = p[d];
+  }
+  return r;
+}
+
+Rect Rect::SquareAround(const Point& center, double radius) {
+  assert(radius >= 0.0);
+  Rect r;
+  r.dims = center.dims;
+  for (int d = 0; d < center.dims; ++d) {
+    r.min[static_cast<size_t>(d)] = center[d] - radius;
+    r.max[static_cast<size_t>(d)] = center[d] + radius;
+  }
+  return r;
+}
+
+Rect Rect::Make(std::initializer_list<double> mins,
+                std::initializer_list<double> maxs) {
+  assert(mins.size() == maxs.size());
+  assert(mins.size() <= kMaxRTreeDims);
+  Rect r;
+  r.dims = static_cast<int>(mins.size());
+  int i = 0;
+  for (double v : mins) {
+    r.min[static_cast<size_t>(i++)] = v;
+  }
+  i = 0;
+  for (double v : maxs) {
+    r.max[static_cast<size_t>(i++)] = v;
+  }
+  return r;
+}
+
+bool Rect::IsValid() const {
+  if (dims <= 0 || dims > kMaxRTreeDims) {
+    return false;
+  }
+  for (int d = 0; d < dims; ++d) {
+    if (min[static_cast<size_t>(d)] > max[static_cast<size_t>(d)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Rect::Area() const {
+  double area = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    area *= max[static_cast<size_t>(d)] - min[static_cast<size_t>(d)];
+  }
+  return area;
+}
+
+double Rect::Margin() const {
+  double margin = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    margin += max[static_cast<size_t>(d)] - min[static_cast<size_t>(d)];
+  }
+  return margin;
+}
+
+bool Rect::Intersects(const Rect& other) const {
+  assert(dims == other.dims);
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    if (min[k] > other.max[k] || max[k] < other.min[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Rect::Contains(const Rect& other) const {
+  assert(dims == other.dims);
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    if (other.min[k] < min[k] || other.max[k] > max[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Rect::ContainsPoint(const Point& p) const {
+  assert(dims == p.dims);
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    if (p.coords[k] < min[k] || p.coords[k] > max[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Rect Rect::UnionWith(const Rect& other) const {
+  assert(dims == other.dims);
+  Rect r;
+  r.dims = dims;
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    r.min[k] = std::min(min[k], other.min[k]);
+    r.max[k] = std::max(max[k], other.max[k]);
+  }
+  return r;
+}
+
+double Rect::Enlargement(const Rect& other) const {
+  return UnionWith(other).Area() - Area();
+}
+
+double Rect::OverlapArea(const Rect& other) const {
+  assert(dims == other.dims);
+  double area = 1.0;
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    const double side =
+        std::min(max[k], other.max[k]) - std::max(min[k], other.min[k]);
+    if (side <= 0.0) {
+      return 0.0;
+    }
+    area *= side;
+  }
+  return area;
+}
+
+double Rect::MinDistSquared(const Point& p) const {
+  assert(dims == p.dims);
+  double total = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    double delta = 0.0;
+    if (p.coords[k] < min[k]) {
+      delta = min[k] - p.coords[k];
+    } else if (p.coords[k] > max[k]) {
+      delta = p.coords[k] - max[k];
+    }
+    total += delta * delta;
+  }
+  return total;
+}
+
+double Rect::MinDistLinf(const Point& p) const {
+  assert(dims == p.dims);
+  double worst = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    double delta = 0.0;
+    if (p.coords[k] < min[k]) {
+      delta = min[k] - p.coords[k];
+    } else if (p.coords[k] > max[k]) {
+      delta = p.coords[k] - max[k];
+    }
+    worst = std::max(worst, delta);
+  }
+  return worst;
+}
+
+std::string Rect::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int d = 0; d < dims; ++d) {
+    if (d > 0) os << " x ";
+    os << "(" << min[static_cast<size_t>(d)] << ", "
+       << max[static_cast<size_t>(d)] << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+bool operator==(const Rect& a, const Rect& b) {
+  if (a.dims != b.dims) {
+    return false;
+  }
+  for (int d = 0; d < a.dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    if (a.min[k] != b.min[k] || a.max[k] != b.max[k]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,92 @@
+// Points and hyper-rectangles for the multi-dimensional index.
+//
+// Dimensionality is a runtime parameter (the paper's feature index is 4-d;
+// the FastMap index is k-d for user-chosen k), bounded by kMaxRTreeDims so
+// geometry stays allocation-free.
+
+#ifndef WARPINDEX_RTREE_GEOMETRY_H_
+#define WARPINDEX_RTREE_GEOMETRY_H_
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <string>
+
+namespace warpindex {
+
+inline constexpr int kMaxRTreeDims = 16;
+
+// A point in `dims`-dimensional space.
+struct Point {
+  std::array<double, kMaxRTreeDims> coords{};
+  int dims = 0;
+
+  static Point Make(std::initializer_list<double> values);
+  static Point FromArray(const double* values, int dims);
+
+  double operator[](int d) const {
+    assert(d >= 0 && d < dims);
+    return coords[static_cast<size_t>(d)];
+  }
+  double& operator[](int d) {
+    assert(d >= 0 && d < dims);
+    return coords[static_cast<size_t>(d)];
+  }
+
+  std::string ToString() const;
+};
+
+// An axis-aligned hyper-rectangle (MBR).
+struct Rect {
+  std::array<double, kMaxRTreeDims> min{};
+  std::array<double, kMaxRTreeDims> max{};
+  int dims = 0;
+
+  // Degenerate rectangle covering a single point.
+  static Rect FromPoint(const Point& p);
+  // Square-range rectangle: [center_d - radius, center_d + radius] in every
+  // dimension — the paper's range query (Algorithm 1, Step-2).
+  static Rect SquareAround(const Point& center, double radius);
+  static Rect Make(std::initializer_list<double> mins,
+                   std::initializer_list<double> maxs);
+
+  bool IsValid() const;
+
+  // Volume of the rectangle (the classical R-tree "area").
+  double Area() const;
+  // Sum of side lengths ("margin" in the R*-tree sense).
+  double Margin() const;
+  double Center(int d) const {
+    return (min[static_cast<size_t>(d)] + max[static_cast<size_t>(d)]) / 2.0;
+  }
+
+  bool Intersects(const Rect& other) const;
+  bool Contains(const Rect& other) const;
+  bool ContainsPoint(const Point& p) const;
+
+  // Smallest rectangle enclosing this and `other`.
+  Rect UnionWith(const Rect& other) const;
+  // Area(UnionWith(other)) - Area(): the enlargement needed to absorb
+  // `other` (Guttman's ChooseLeaf criterion).
+  double Enlargement(const Rect& other) const;
+  // Volume of the intersection; 0 when disjoint.
+  double OverlapArea(const Rect& other) const;
+
+  // MINDIST(p, R): squared L2 distance from a point to the rectangle; the
+  // standard kNN branch-and-bound bound. Zero when p is inside.
+  double MinDistSquared(const Point& p) const;
+
+  // L_inf MINDIST: max over dimensions of the per-axis distance from p to
+  // the rectangle. For any x inside R, Linf(p, x) >= MinDistLinf(p, R) —
+  // the bound that drives the exact D_tw kNN search (the feature lower
+  // bound is an L_inf metric).
+  double MinDistLinf(const Point& p) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b);
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_RTREE_GEOMETRY_H_

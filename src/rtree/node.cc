@@ -1,0 +1,28 @@
+#include "rtree/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace warpindex {
+
+Rect RTreeNode::ComputeMbr() const {
+  assert(!entries.empty());
+  Rect mbr = entries[0].rect;
+  for (size_t i = 1; i < entries.size(); ++i) {
+    mbr = mbr.UnionWith(entries[i].rect);
+  }
+  return mbr;
+}
+
+size_t EntryBytes(int dims) {
+  return static_cast<size_t>(dims) * 2 * sizeof(double) + sizeof(int64_t);
+}
+
+size_t NodeCapacityForPage(size_t page_size_bytes, int dims,
+                           size_t header_bytes) {
+  const size_t payload =
+      page_size_bytes > header_bytes ? page_size_bytes - header_bytes : 0;
+  return std::max<size_t>(2, payload / EntryBytes(dims));
+}
+
+}  // namespace warpindex

@@ -1,0 +1,71 @@
+// R-tree node layout.
+//
+// Nodes are sized to a disk page: capacity is derived from the page size
+// and the entry footprint (2 * dims coordinates + one id), mirroring a
+// paged on-disk R-tree so that "node accesses" equal "page accesses" for
+// the disk cost model (paper §5.1 uses 1 KB pages).
+
+#ifndef WARPINDEX_RTREE_NODE_H_
+#define WARPINDEX_RTREE_NODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rtree/geometry.h"
+
+namespace warpindex {
+
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNodeId = -1;
+
+// One slot of a node: an MBR plus either a child node (internal nodes) or a
+// record id (leaves).
+struct RTreeEntry {
+  Rect rect;
+  NodeId child = kInvalidNodeId;  // internal entries
+  int64_t record_id = -1;         // leaf entries
+
+  static RTreeEntry Leaf(const Rect& rect, int64_t record_id) {
+    RTreeEntry e;
+    e.rect = rect;
+    e.record_id = record_id;
+    return e;
+  }
+  static RTreeEntry Internal(const Rect& rect, NodeId child) {
+    RTreeEntry e;
+    e.rect = rect;
+    e.child = child;
+    return e;
+  }
+};
+
+struct RTreeNode {
+  NodeId id = kInvalidNodeId;
+  NodeId parent = kInvalidNodeId;
+  // 0 for leaves; the root carries the largest level.
+  int level = 0;
+  // X-tree-style supernode: allowed to exceed the page capacity because
+  // every candidate split would produce heavily overlapping directory
+  // MBRs (Berchtold et al.). Occupies multiple contiguous pages.
+  bool supernode = false;
+  std::vector<RTreeEntry> entries;
+
+  bool IsLeaf() const { return level == 0; }
+
+  // MBR of all entries. Requires a non-empty node.
+  Rect ComputeMbr() const;
+};
+
+// On-page footprint of one entry in bytes: 2 * dims * sizeof(double)
+// coordinates plus an 8-byte child/record id.
+size_t EntryBytes(int dims);
+
+// Maximum entries per node for a page of `page_size_bytes` with a
+// `header_bytes` page header. Always at least 2 (an R-tree needs fan-out
+// >= 2 even under absurdly small pages).
+size_t NodeCapacityForPage(size_t page_size_bytes, int dims,
+                           size_t header_bytes = 24);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_RTREE_NODE_H_

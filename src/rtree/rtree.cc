@@ -1,0 +1,587 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+namespace warpindex {
+
+RTree::RTree(int dims, RTreeOptions options)
+    : dims_(dims), options_(options) {
+  assert(dims >= 1 && dims <= kMaxRTreeDims);
+  assert(options_.min_fill_fraction > 0.0 &&
+         options_.min_fill_fraction <= 0.5);
+  capacity_ = NodeCapacityForPage(options_.page_size_bytes, dims_);
+  min_fill_ = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(capacity_) *
+                             options_.min_fill_fraction));
+  root_ = AllocateNode(/*level=*/0);
+}
+
+NodeId RTree::AllocateNode(int level) {
+  ++live_nodes_;
+  if (!free_list_.empty()) {
+    const NodeId id = free_list_.back();
+    free_list_.pop_back();
+    RTreeNode* n = node(id);
+    n->parent = kInvalidNodeId;
+    n->level = level;
+    n->supernode = false;
+    n->entries.clear();
+    return id;
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto n = std::make_unique<RTreeNode>();
+  n->id = id;
+  n->level = level;
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void RTree::FreeNode(NodeId id) {
+  assert(live_nodes_ > 0);
+  --live_nodes_;
+  node(id)->entries.clear();
+  node(id)->parent = kInvalidNodeId;
+  free_list_.push_back(id);
+}
+
+int RTree::height() const { return node(root_)->level + 1; }
+
+size_t RTree::PagesOfNode(NodeId id) const {
+  const RTreeNode* n = node(id);
+  if (!n->supernode) {
+    return 1;
+  }
+  const size_t bytes = n->entries.size() * EntryBytes(dims_) + 24;
+  return std::max<size_t>(
+      1, (bytes + options_.page_size_bytes - 1) / options_.page_size_bytes);
+}
+
+size_t RTree::TotalPages() const {
+  size_t pages = 0;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    pages += PagesOfNode(id);
+    const RTreeNode* n = node(id);
+    if (!n->IsLeaf()) {
+      for (const RTreeEntry& e : n->entries) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return pages;
+}
+
+size_t RTree::supernode_count() const {
+  size_t count = 0;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    const RTreeNode* n = node(id);
+    if (n->supernode) {
+      ++count;
+    }
+    if (!n->IsLeaf()) {
+      for (const RTreeEntry& e : n->entries) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return count;
+}
+
+NodeId RTree::ChooseSubtree(const RTreeNode& n, const Rect& rect) const {
+  assert(!n.IsLeaf() && !n.entries.empty());
+  // R*-style: at the level just above the leaves, minimize overlap
+  // enlargement; elsewhere minimize area enlargement (ties by area).
+  const bool use_overlap =
+      options_.split_policy == SplitPolicy::kRStar && n.level == 1;
+  size_t best = 0;
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  double best_tertiary = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n.entries.size(); ++i) {
+    const Rect& r = n.entries[i].rect;
+    double primary;
+    double secondary;
+    double tertiary;
+    if (use_overlap) {
+      const Rect enlarged = r.UnionWith(rect);
+      double overlap_delta = 0.0;
+      for (size_t j = 0; j < n.entries.size(); ++j) {
+        if (j == i) continue;
+        overlap_delta += enlarged.OverlapArea(n.entries[j].rect) -
+                         r.OverlapArea(n.entries[j].rect);
+      }
+      primary = overlap_delta;
+      secondary = r.Enlargement(rect);
+      tertiary = r.Area();
+    } else {
+      primary = r.Enlargement(rect);
+      secondary = r.Area();
+      tertiary = 0.0;
+    }
+    if (primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary &&
+         tertiary < best_tertiary)) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_tertiary = tertiary;
+      best = i;
+    }
+  }
+  return n.entries[best].child;
+}
+
+void RTree::Insert(const Rect& rect, int64_t record_id) {
+  assert(rect.dims == dims_ && rect.IsValid());
+  std::vector<bool> reinserted_levels(
+      static_cast<size_t>(node(root_)->level) + 2, false);
+  InsertAtLevel(RTreeEntry::Leaf(rect, record_id), /*level=*/0,
+                &reinserted_levels);
+  ++size_;
+}
+
+void RTree::InsertAtLevel(RTreeEntry entry, int level,
+                          std::vector<bool>* reinserted_levels) {
+  // Descend to the target level.
+  NodeId current = root_;
+  while (node(current)->level > level) {
+    current = ChooseSubtree(*node(current), entry.rect);
+  }
+  RTreeNode* n = node(current);
+  assert(n->level == level);
+  if (entry.child != kInvalidNodeId) {
+    node(entry.child)->parent = current;
+  }
+  n->entries.push_back(entry);
+  if (n->entries.size() > capacity_) {
+    HandleOverflow(current, reinserted_levels);
+  } else {
+    AdjustUpward(current);
+  }
+}
+
+void RTree::HandleOverflow(NodeId node_id,
+                           std::vector<bool>* reinserted_levels) {
+  RTreeNode* n = node(node_id);
+  if (n->supernode) {
+    // An existing supernode simply grows.
+    AdjustUpward(node_id);
+    return;
+  }
+  const size_t level_idx = static_cast<size_t>(n->level);
+  const bool can_reinsert =
+      options_.forced_reinsert && node_id != root_ &&
+      level_idx < reinserted_levels->size() &&
+      !(*reinserted_levels)[level_idx];
+  if (!can_reinsert) {
+    SplitNode(node_id, reinserted_levels);
+    return;
+  }
+  (*reinserted_levels)[level_idx] = true;
+
+  // Evict the `reinsert_fraction` entries farthest from the node's center
+  // and reinsert them (R*-tree OverflowTreatment).
+  const Rect mbr = n->ComputeMbr();
+  struct Scored {
+    double dist = 0.0;
+    size_t index = 0;
+  };
+  std::vector<Scored> scored(n->entries.size());
+  for (size_t i = 0; i < n->entries.size(); ++i) {
+    double d2 = 0.0;
+    for (int d = 0; d < dims_; ++d) {
+      const double delta = n->entries[i].rect.Center(d) - mbr.Center(d);
+      d2 += delta * delta;
+    }
+    scored[i] = {d2, i};
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.dist > b.dist; });
+  size_t evict = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(n->entries.size()) *
+                             options_.reinsert_fraction));
+  evict = std::min(evict, n->entries.size() - min_fill_);
+
+  std::vector<RTreeEntry> evicted;
+  std::vector<bool> remove(n->entries.size(), false);
+  for (size_t i = 0; i < evict; ++i) {
+    remove[scored[i].index] = true;
+  }
+  std::vector<RTreeEntry> kept;
+  kept.reserve(n->entries.size() - evict);
+  for (size_t i = 0; i < n->entries.size(); ++i) {
+    if (remove[i]) {
+      evicted.push_back(n->entries[i]);
+    } else {
+      kept.push_back(n->entries[i]);
+    }
+  }
+  n->entries = std::move(kept);
+  const int level = n->level;
+  AdjustUpward(node_id);
+  for (RTreeEntry& e : evicted) {
+    InsertAtLevel(e, level, reinserted_levels);
+  }
+}
+
+void RTree::SplitNode(NodeId node_id, std::vector<bool>* reinserted_levels) {
+  RTreeNode* n = node(node_id);
+  const int level = n->level;
+  auto [group_a, group_b] =
+      SplitEntries(n->entries, min_fill_, options_.split_policy);
+  if (options_.allow_supernodes && !n->IsLeaf()) {
+    // X-tree overflow treatment: if the best split yields directory MBRs
+    // overlapping more than the threshold fraction of their union, keep
+    // the node as a multi-page supernode instead.
+    Rect mbr_a = group_a[0].rect;
+    for (const RTreeEntry& e : group_a) mbr_a = mbr_a.UnionWith(e.rect);
+    Rect mbr_b = group_b[0].rect;
+    for (const RTreeEntry& e : group_b) mbr_b = mbr_b.UnionWith(e.rect);
+    const double overlap = mbr_a.OverlapArea(mbr_b);
+    const double union_area = mbr_a.UnionWith(mbr_b).Area();
+    if (union_area > 0.0 &&
+        overlap / union_area > options_.supernode_overlap_threshold) {
+      n->supernode = true;
+      AdjustUpward(node_id);
+      return;
+    }
+  }
+  n->entries = std::move(group_a);
+
+  const NodeId sibling_id = AllocateNode(level);
+  // AllocateNode may grow the arena and invalidate `n`.
+  n = node(node_id);
+  RTreeNode* sibling = node(sibling_id);
+  sibling->entries = std::move(group_b);
+  if (level > 0) {
+    for (const RTreeEntry& e : sibling->entries) {
+      node(e.child)->parent = sibling_id;
+    }
+    for (const RTreeEntry& e : n->entries) {
+      node(e.child)->parent = node_id;
+    }
+  }
+
+  if (node_id == root_) {
+    const NodeId new_root = AllocateNode(level + 1);
+    n = node(node_id);
+    sibling = node(sibling_id);
+    RTreeNode* root_node = node(new_root);
+    root_node->entries.push_back(
+        RTreeEntry::Internal(n->ComputeMbr(), node_id));
+    root_node->entries.push_back(
+        RTreeEntry::Internal(sibling->ComputeMbr(), sibling_id));
+    n->parent = new_root;
+    sibling->parent = new_root;
+    root_ = new_root;
+    reinserted_levels->resize(static_cast<size_t>(level) + 2, false);
+    return;
+  }
+
+  const NodeId parent_id = n->parent;
+  sibling->parent = parent_id;
+  RTreeNode* parent = node(parent_id);
+  // Refresh this node's MBR in the parent and add the sibling.
+  for (RTreeEntry& e : parent->entries) {
+    if (e.child == node_id) {
+      e.rect = n->ComputeMbr();
+      break;
+    }
+  }
+  parent->entries.push_back(
+      RTreeEntry::Internal(sibling->ComputeMbr(), sibling_id));
+  if (parent->entries.size() > capacity_) {
+    HandleOverflow(parent_id, reinserted_levels);
+  } else {
+    AdjustUpward(parent_id);
+  }
+}
+
+void RTree::AdjustUpward(NodeId node_id) {
+  NodeId current = node_id;
+  while (current != root_) {
+    const RTreeNode* n = node(current);
+    const NodeId parent_id = n->parent;
+    RTreeNode* parent = node(parent_id);
+    const Rect mbr = n->ComputeMbr();
+    for (RTreeEntry& e : parent->entries) {
+      if (e.child == current) {
+        e.rect = mbr;
+        break;
+      }
+    }
+    current = parent_id;
+  }
+}
+
+bool RTree::Delete(const Rect& rect, int64_t record_id) {
+  const NodeId leaf_id = FindLeaf(root_, rect, record_id);
+  if (leaf_id == kInvalidNodeId) {
+    return false;
+  }
+  RTreeNode* leaf = node(leaf_id);
+  for (size_t i = 0; i < leaf->entries.size(); ++i) {
+    if (leaf->entries[i].record_id == record_id &&
+        leaf->entries[i].rect == rect) {
+      leaf->entries.erase(leaf->entries.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  --size_;
+  CondenseTree(leaf_id);
+  return true;
+}
+
+NodeId RTree::FindLeaf(NodeId subtree, const Rect& rect,
+                       int64_t record_id) const {
+  const RTreeNode* n = node(subtree);
+  if (n->IsLeaf()) {
+    for (const RTreeEntry& e : n->entries) {
+      if (e.record_id == record_id && e.rect == rect) {
+        return subtree;
+      }
+    }
+    return kInvalidNodeId;
+  }
+  for (const RTreeEntry& e : n->entries) {
+    if (e.rect.Contains(rect)) {
+      const NodeId found = FindLeaf(e.child, rect, record_id);
+      if (found != kInvalidNodeId) {
+        return found;
+      }
+    }
+  }
+  return kInvalidNodeId;
+}
+
+void RTree::CondenseTree(NodeId leaf_id) {
+  // Walk up removing underfull nodes; their entries are reinserted at
+  // their original level afterwards (Guttman's CondenseTree).
+  struct Orphan {
+    RTreeEntry entry;
+    int level = 0;
+  };
+  std::vector<Orphan> orphans;
+  NodeId current = leaf_id;
+  while (current != root_) {
+    RTreeNode* n = node(current);
+    const NodeId parent_id = n->parent;
+    RTreeNode* parent = node(parent_id);
+    if (n->entries.size() < min_fill_) {
+      for (const RTreeEntry& e : n->entries) {
+        orphans.push_back({e, n->level});
+      }
+      for (size_t i = 0; i < parent->entries.size(); ++i) {
+        if (parent->entries[i].child == current) {
+          parent->entries.erase(parent->entries.begin() +
+                                static_cast<ptrdiff_t>(i));
+          break;
+        }
+      }
+      FreeNode(current);
+    } else {
+      if (n->supernode && n->entries.size() <= capacity_) {
+        n->supernode = false;
+      }
+      const Rect mbr = n->ComputeMbr();
+      for (RTreeEntry& e : parent->entries) {
+        if (e.child == current) {
+          e.rect = mbr;
+          break;
+        }
+      }
+    }
+    current = parent_id;
+  }
+
+  // Shrink the root: an internal root with one child is replaced by it.
+  while (!node(root_)->IsLeaf() && node(root_)->entries.size() == 1) {
+    const NodeId old_root = root_;
+    root_ = node(root_)->entries[0].child;
+    node(root_)->parent = kInvalidNodeId;
+    FreeNode(old_root);
+  }
+
+  for (const Orphan& o : orphans) {
+    std::vector<bool> reinserted_levels(
+        static_cast<size_t>(node(root_)->level) + 2, true);
+    InsertAtLevel(o.entry, o.level, &reinserted_levels);
+  }
+}
+
+std::vector<int64_t> RTree::RangeSearch(const Rect& query,
+                                        RTreeQueryStats* stats) const {
+  assert(query.dims == dims_);
+  std::vector<int64_t> results;
+  std::vector<NodeId> stack;
+  stack.push_back(root_);
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (stats != nullptr) {
+      stats->nodes_accessed += PagesOfNode(id);
+      if (stats->accessed_nodes != nullptr) {
+        stats->accessed_nodes->push_back(id);
+      }
+    }
+    const RTreeNode* n = node(id);
+    for (const RTreeEntry& e : n->entries) {
+      if (!query.Intersects(e.rect)) {
+        continue;
+      }
+      if (n->IsLeaf()) {
+        results.push_back(e.record_id);
+      } else {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<RTree::Neighbor> RTree::NearestNeighbors(
+    const Point& p, size_t k, RTreeQueryStats* stats) const {
+  assert(p.dims == dims_);
+  std::vector<Neighbor> results;
+  if (k == 0) {
+    return results;
+  }
+  struct QueueItem {
+    double dist2 = 0.0;
+    NodeId node_id = kInvalidNodeId;  // kInvalidNodeId => record item
+    int64_t record_id = -1;
+  };
+  const auto cmp = [](const QueueItem& a, const QueueItem& b) {
+    return a.dist2 > b.dist2;
+  };
+  std::priority_queue<QueueItem, std::vector<QueueItem>, decltype(cmp)> queue(
+      cmp);
+  queue.push({0.0, root_, -1});
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (item.node_id == kInvalidNodeId) {
+      results.push_back({item.record_id, std::sqrt(item.dist2)});
+      if (results.size() == k) {
+        break;
+      }
+      continue;
+    }
+    if (stats != nullptr) {
+      stats->nodes_accessed += PagesOfNode(item.node_id);
+    }
+    const RTreeNode* n = node(item.node_id);
+    for (const RTreeEntry& e : n->entries) {
+      const double d2 = e.rect.MinDistSquared(p);
+      if (n->IsLeaf()) {
+        queue.push({d2, kInvalidNodeId, e.record_id});
+      } else {
+        queue.push({d2, e.child, -1});
+      }
+    }
+  }
+  return results;
+}
+
+RTree::LinfNearestIterator::LinfNearestIterator(const RTree* tree,
+                                                const Point& p,
+                                                RTreeQueryStats* stats)
+    : tree_(tree), point_(p), stats_(stats) {
+  queue_.push({0.0, tree_->root_, -1});
+}
+
+bool RTree::LinfNearestIterator::Next(Neighbor* out) {
+  while (!queue_.empty()) {
+    const QueueItem item = queue_.top();
+    queue_.pop();
+    if (item.node_id == kInvalidNodeId) {
+      out->record_id = item.record_id;
+      out->distance = item.dist;
+      return true;
+    }
+    if (stats_ != nullptr) {
+      stats_->nodes_accessed += tree_->PagesOfNode(item.node_id);
+    }
+    const RTreeNode* n = tree_->node(item.node_id);
+    for (const RTreeEntry& e : n->entries) {
+      const double d = e.rect.MinDistLinf(point_);
+      if (n->IsLeaf()) {
+        queue_.push({d, kInvalidNodeId, e.record_id});
+      } else {
+        queue_.push({d, e.child, -1});
+      }
+    }
+  }
+  return false;
+}
+
+Status RTree::CheckSubtree(NodeId node_id, int expected_level, bool is_root,
+                           size_t* records_seen) const {
+  const RTreeNode* n = node(node_id);
+  std::ostringstream err;
+  if (n->level != expected_level) {
+    err << "node " << node_id << " at level " << n->level << ", expected "
+        << expected_level;
+    return Status::Internal(err.str());
+  }
+  if (!n->supernode && n->entries.size() > capacity_) {
+    err << "node " << node_id << " overfull: " << n->entries.size();
+    return Status::Internal(err.str());
+  }
+  if (n->supernode && (n->IsLeaf() || !options_.allow_supernodes)) {
+    err << "node " << node_id << " is an unexpected supernode";
+    return Status::Internal(err.str());
+  }
+  if (!is_root && n->entries.size() < min_fill_) {
+    err << "node " << node_id << " underfull: " << n->entries.size();
+    return Status::Internal(err.str());
+  }
+  if (is_root && !n->IsLeaf() && n->entries.size() < 2) {
+    return Status::Internal("internal root with fewer than 2 children");
+  }
+  if (n->IsLeaf()) {
+    *records_seen += n->entries.size();
+    return Status::Ok();
+  }
+  for (const RTreeEntry& e : n->entries) {
+    const RTreeNode* child = node(e.child);
+    if (child->parent != node_id) {
+      err << "child " << e.child << " has stale parent pointer";
+      return Status::Internal(err.str());
+    }
+    const Rect child_mbr = child->ComputeMbr();
+    if (!(e.rect == child_mbr)) {
+      err << "entry MBR for child " << e.child << " is " << e.rect.ToString()
+          << " but child MBR is " << child_mbr.ToString();
+      return Status::Internal(err.str());
+    }
+    WARPINDEX_RETURN_IF_ERROR(
+        CheckSubtree(e.child, expected_level - 1, false, records_seen));
+  }
+  return Status::Ok();
+}
+
+Status RTree::CheckInvariants() const {
+  size_t records_seen = 0;
+  WARPINDEX_RETURN_IF_ERROR(
+      CheckSubtree(root_, node(root_)->level, true, &records_seen));
+  if (records_seen != size_) {
+    std::ostringstream err;
+    err << "record count mismatch: tree holds " << records_seen
+        << ", size() reports " << size_;
+    return Status::Internal(err.str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,234 @@
+#include "rtree/rtree_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+constexpr char kMagic[4] = {'W', 'I', 'R', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+Status SaveRTreeToFile(const RTree& tree, const std::string& path) {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+
+  // Dense preorder remap (skips free-list holes).
+  std::vector<NodeId> order;
+  std::vector<int32_t> remap(tree.nodes_.size(), -1);
+  order.reserve(tree.live_nodes_);
+  std::vector<NodeId> stack = {tree.root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    remap[static_cast<size_t>(id)] = static_cast<int32_t>(order.size());
+    order.push_back(id);
+    const RTreeNode* n = tree.node(id);
+    if (!n->IsLeaf()) {
+      for (const RTreeEntry& e : n->entries) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+
+  const uint32_t dims = static_cast<uint32_t>(tree.dims_);
+  const uint64_t page_size = tree.options_.page_size_bytes;
+  const uint8_t split = static_cast<uint8_t>(tree.options_.split_policy);
+  const double min_fill = tree.options_.min_fill_fraction;
+  const uint8_t reinsert = tree.options_.forced_reinsert ? 1 : 0;
+  const double reinsert_fraction = tree.options_.reinsert_fraction;
+  const uint8_t supernodes = tree.options_.allow_supernodes ? 1 : 0;
+  const double supernode_threshold =
+      tree.options_.supernode_overlap_threshold;
+  const uint64_t size = tree.size_;
+  const uint32_t node_count = static_cast<uint32_t>(order.size());
+  if (!WriteBytes(f, kMagic, sizeof(kMagic)) ||
+      !WriteBytes(f, &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f, &dims, sizeof(dims)) ||
+      !WriteBytes(f, &page_size, sizeof(page_size)) ||
+      !WriteBytes(f, &split, sizeof(split)) ||
+      !WriteBytes(f, &min_fill, sizeof(min_fill)) ||
+      !WriteBytes(f, &reinsert, sizeof(reinsert)) ||
+      !WriteBytes(f, &reinsert_fraction, sizeof(reinsert_fraction)) ||
+      !WriteBytes(f, &supernodes, sizeof(supernodes)) ||
+      !WriteBytes(f, &supernode_threshold, sizeof(supernode_threshold)) ||
+      !WriteBytes(f, &size, sizeof(size)) ||
+      !WriteBytes(f, &node_count, sizeof(node_count))) {
+    return Status::IoError("short write: " + path);
+  }
+
+  for (const NodeId id : order) {
+    const RTreeNode* n = tree.node(id);
+    const int32_t level = n->level;
+    const uint8_t supernode = n->supernode ? 1 : 0;
+    const uint32_t entry_count = static_cast<uint32_t>(n->entries.size());
+    if (!WriteBytes(f, &level, sizeof(level)) ||
+        !WriteBytes(f, &supernode, sizeof(supernode)) ||
+        !WriteBytes(f, &entry_count, sizeof(entry_count))) {
+      return Status::IoError("short write: " + path);
+    }
+    for (const RTreeEntry& e : n->entries) {
+      for (int d = 0; d < tree.dims_; ++d) {
+        const double lo = e.rect.min[static_cast<size_t>(d)];
+        const double hi = e.rect.max[static_cast<size_t>(d)];
+        if (!WriteBytes(f, &lo, sizeof(lo)) ||
+            !WriteBytes(f, &hi, sizeof(hi))) {
+          return Status::IoError("short write: " + path);
+        }
+      }
+      const int64_t ref =
+          n->IsLeaf() ? e.record_id
+                      : static_cast<int64_t>(
+                            remap[static_cast<size_t>(e.child)]);
+      if (!WriteBytes(f, &ref, sizeof(ref))) {
+        return Status::IoError("short write: " + path);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status LoadRTreeFromFile(const std::string& path, RTree* out) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::FILE* f = file.get();
+
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t dims = 0;
+  uint64_t page_size = 0;
+  uint8_t split = 0;
+  double min_fill = 0.0;
+  uint8_t reinsert = 0;
+  double reinsert_fraction = 0.0;
+  uint8_t supernodes = 0;
+  double supernode_threshold = 0.0;
+  uint64_t size = 0;
+  uint32_t node_count = 0;
+  if (!ReadBytes(f, magic, sizeof(magic))) {
+    return Status::IoError("short read: " + path);
+  }
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (!ReadBytes(f, &version, sizeof(version)) ||
+      !ReadBytes(f, &dims, sizeof(dims)) ||
+      !ReadBytes(f, &page_size, sizeof(page_size)) ||
+      !ReadBytes(f, &split, sizeof(split)) ||
+      !ReadBytes(f, &min_fill, sizeof(min_fill)) ||
+      !ReadBytes(f, &reinsert, sizeof(reinsert)) ||
+      !ReadBytes(f, &reinsert_fraction, sizeof(reinsert_fraction)) ||
+      !ReadBytes(f, &supernodes, sizeof(supernodes)) ||
+      !ReadBytes(f, &supernode_threshold, sizeof(supernode_threshold)) ||
+      !ReadBytes(f, &size, sizeof(size)) ||
+      !ReadBytes(f, &node_count, sizeof(node_count))) {
+    return Status::IoError("short read: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported index version in " + path);
+  }
+  if (dims < 1 || dims > kMaxRTreeDims || split > 2 || node_count == 0 ||
+      min_fill <= 0.0 || min_fill > 0.5) {
+    return Status::InvalidArgument("corrupt index header in " + path);
+  }
+
+  RTreeOptions options;
+  options.page_size_bytes = static_cast<size_t>(page_size);
+  options.split_policy = static_cast<SplitPolicy>(split);
+  options.min_fill_fraction = min_fill;
+  options.forced_reinsert = reinsert != 0;
+  options.reinsert_fraction = reinsert_fraction;
+  options.allow_supernodes = supernodes != 0;
+  options.supernode_overlap_threshold = supernode_threshold;
+
+  RTree tree(static_cast<int>(dims), options);
+  // The constructor made node 0 (the root); allocate the rest.
+  for (uint32_t i = 1; i < node_count; ++i) {
+    tree.AllocateNode(0);
+  }
+  for (uint32_t i = 0; i < node_count; ++i) {
+    RTreeNode* n = tree.node(static_cast<NodeId>(i));
+    int32_t level = 0;
+    uint8_t supernode = 0;
+    uint32_t entry_count = 0;
+    if (!ReadBytes(f, &level, sizeof(level)) ||
+        !ReadBytes(f, &supernode, sizeof(supernode)) ||
+        !ReadBytes(f, &entry_count, sizeof(entry_count))) {
+      return Status::IoError("short read: " + path);
+    }
+    if (level < 0 || supernode > 1 ||
+        (supernode == 0 && entry_count > tree.capacity())) {
+      return Status::InvalidArgument("corrupt node in " + path);
+    }
+    n->level = level;
+    n->supernode = supernode != 0;
+    n->entries.resize(entry_count);
+    for (uint32_t ei = 0; ei < entry_count; ++ei) {
+      RTreeEntry& e = n->entries[ei];
+      e.rect.dims = static_cast<int>(dims);
+      for (uint32_t d = 0; d < dims; ++d) {
+        if (!ReadBytes(f, &e.rect.min[d], sizeof(double)) ||
+            !ReadBytes(f, &e.rect.max[d], sizeof(double))) {
+          return Status::IoError("short read: " + path);
+        }
+      }
+      int64_t ref = 0;
+      if (!ReadBytes(f, &ref, sizeof(ref))) {
+        return Status::IoError("short read: " + path);
+      }
+      if (level == 0) {
+        e.record_id = ref;
+      } else {
+        if (ref < 0 || ref >= static_cast<int64_t>(node_count)) {
+          return Status::InvalidArgument("corrupt child ref in " + path);
+        }
+        e.child = static_cast<NodeId>(ref);
+      }
+    }
+  }
+  // Wire parent pointers.
+  for (uint32_t i = 0; i < node_count; ++i) {
+    RTreeNode* n = tree.node(static_cast<NodeId>(i));
+    if (n->IsLeaf()) {
+      continue;
+    }
+    for (const RTreeEntry& e : n->entries) {
+      tree.node(e.child)->parent = static_cast<NodeId>(i);
+    }
+  }
+  tree.root_ = 0;
+  tree.size_ = static_cast<size_t>(size);
+
+  WARPINDEX_RETURN_IF_ERROR(tree.CheckInvariants());
+  *out = std::move(tree);
+  return Status::Ok();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,29 @@
+// R-tree persistence: a paged index is only useful if it survives
+// restarts. The format serializes the tree structure with node ids
+// remapped to a dense preorder, so free-list holes never reach disk.
+//
+//   magic "WIRT" | u32 version | u32 dims | options | u64 size |
+//   u32 node_count | root (always node 0) ... nodes in preorder:
+//   i32 level, u32 entry_count, entries (2*dims doubles + i64 child-or-
+//   record id).
+
+#ifndef WARPINDEX_RTREE_RTREE_IO_H_
+#define WARPINDEX_RTREE_RTREE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace warpindex {
+
+// Writes `tree` to `path` (overwriting).
+Status SaveRTreeToFile(const RTree& tree, const std::string& path);
+
+// Reads a tree previously written by SaveRTreeToFile. On success `*out`
+// is replaced. Structural invariants are re-validated after load.
+Status LoadRTreeFromFile(const std::string& path, RTree* out);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_RTREE_RTREE_IO_H_

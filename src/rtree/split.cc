@@ -1,0 +1,260 @@
+#include "rtree/split.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace warpindex {
+namespace {
+
+using EntryList = std::vector<RTreeEntry>;
+using SplitResult = std::pair<EntryList, EntryList>;
+
+// Guttman quadratic PickSeeds: the pair wasting the most area.
+std::pair<size_t, size_t> QuadraticPickSeeds(const EntryList& entries) {
+  size_t best_a = 0;
+  size_t best_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t a = 0; a + 1 < entries.size(); ++a) {
+    for (size_t b = a + 1; b < entries.size(); ++b) {
+      const double waste = entries[a].rect.UnionWith(entries[b].rect).Area() -
+                           entries[a].rect.Area() - entries[b].rect.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  return {best_a, best_b};
+}
+
+// Guttman linear PickSeeds: per dimension, find the entry with the highest
+// low side and the one with the lowest high side; normalize the separation
+// by the dimension's width and take the dimension with the greatest
+// normalized separation.
+std::pair<size_t, size_t> LinearPickSeeds(const EntryList& entries) {
+  const int dims = entries[0].rect.dims;
+  size_t best_a = 0;
+  size_t best_b = 1;
+  double best_separation = -std::numeric_limits<double>::infinity();
+  for (int d = 0; d < dims; ++d) {
+    const size_t k = static_cast<size_t>(d);
+    size_t highest_low = 0;
+    size_t lowest_high = 0;
+    double dim_min = std::numeric_limits<double>::infinity();
+    double dim_max = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const Rect& r = entries[i].rect;
+      if (r.min[k] > entries[highest_low].rect.min[k]) {
+        highest_low = i;
+      }
+      if (r.max[k] < entries[lowest_high].rect.max[k]) {
+        lowest_high = i;
+      }
+      dim_min = std::min(dim_min, r.min[k]);
+      dim_max = std::max(dim_max, r.max[k]);
+    }
+    if (highest_low == lowest_high) {
+      continue;
+    }
+    const double width = dim_max - dim_min;
+    const double separation = entries[highest_low].rect.min[k] -
+                              entries[lowest_high].rect.max[k];
+    const double normalized = width > 0.0 ? separation / width : separation;
+    if (normalized > best_separation) {
+      best_separation = normalized;
+      best_a = lowest_high;
+      best_b = highest_low;
+    }
+  }
+  if (best_a == best_b) {
+    best_b = best_a == 0 ? 1 : 0;
+  }
+  return {best_a, best_b};
+}
+
+// Shared distribution loop for the two Guttman variants. `quadratic`
+// selects PickNext by max enlargement difference; linear assigns in input
+// order.
+SplitResult GuttmanSplit(EntryList entries, size_t min_fill, bool quadratic) {
+  const auto seeds =
+      quadratic ? QuadraticPickSeeds(entries) : LinearPickSeeds(entries);
+  EntryList group_a;
+  EntryList group_b;
+  Rect mbr_a = entries[seeds.first].rect;
+  Rect mbr_b = entries[seeds.second].rect;
+  group_a.push_back(entries[seeds.first]);
+  group_b.push_back(entries[seeds.second]);
+
+  EntryList remaining;
+  remaining.reserve(entries.size() - 2);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seeds.first && i != seeds.second) {
+      remaining.push_back(std::move(entries[i]));
+    }
+  }
+
+  while (!remaining.empty()) {
+    // If one group must take all remaining entries to reach min_fill, do so.
+    if (group_a.size() + remaining.size() == min_fill) {
+      for (auto& e : remaining) {
+        mbr_a = mbr_a.UnionWith(e.rect);
+        group_a.push_back(std::move(e));
+      }
+      remaining.clear();
+      break;
+    }
+    if (group_b.size() + remaining.size() == min_fill) {
+      for (auto& e : remaining) {
+        mbr_b = mbr_b.UnionWith(e.rect);
+        group_b.push_back(std::move(e));
+      }
+      remaining.clear();
+      break;
+    }
+
+    size_t pick = 0;
+    if (quadratic) {
+      // PickNext: entry with the greatest preference for one group.
+      double best_diff = -1.0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        const double da = mbr_a.Enlargement(remaining[i].rect);
+        const double db = mbr_b.Enlargement(remaining[i].rect);
+        const double diff = std::fabs(da - db);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+        }
+      }
+    }
+    RTreeEntry entry = std::move(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+
+    const double da = mbr_a.Enlargement(entry.rect);
+    const double db = mbr_b.Enlargement(entry.rect);
+    bool to_a;
+    if (da != db) {
+      to_a = da < db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = group_a.size() <= group_b.size();
+    }
+    if (to_a) {
+      mbr_a = mbr_a.UnionWith(entry.rect);
+      group_a.push_back(std::move(entry));
+    } else {
+      mbr_b = mbr_b.UnionWith(entry.rect);
+      group_b.push_back(std::move(entry));
+    }
+  }
+  return {std::move(group_a), std::move(group_b)};
+}
+
+Rect MbrOfRange(const EntryList& entries, size_t begin, size_t end) {
+  Rect mbr = entries[begin].rect;
+  for (size_t i = begin + 1; i < end; ++i) {
+    mbr = mbr.UnionWith(entries[i].rect);
+  }
+  return mbr;
+}
+
+// R*-tree split: choose axis by minimal total margin over all candidate
+// distributions, then the distribution on that axis with minimal overlap
+// (ties broken by combined area).
+SplitResult RStarSplit(EntryList entries, size_t min_fill) {
+  const int dims = entries[0].rect.dims;
+  const size_t total = entries.size();
+  const size_t max_k = total - min_fill;  // split position k in [min_fill, max_k]
+
+  int best_axis = 0;
+  bool best_axis_by_upper = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+
+  EntryList sorted = entries;
+  for (int d = 0; d < dims; ++d) {
+    for (const bool by_upper : {false, true}) {
+      const size_t k = static_cast<size_t>(d);
+      std::sort(sorted.begin(), sorted.end(),
+                [k, by_upper](const RTreeEntry& a, const RTreeEntry& b) {
+                  return by_upper ? a.rect.max[k] < b.rect.max[k]
+                                  : a.rect.min[k] < b.rect.min[k];
+                });
+      double margin_sum = 0.0;
+      for (size_t split = min_fill; split <= max_k; ++split) {
+        margin_sum += MbrOfRange(sorted, 0, split).Margin() +
+                      MbrOfRange(sorted, split, total).Margin();
+      }
+      if (margin_sum < best_margin_sum) {
+        best_margin_sum = margin_sum;
+        best_axis = d;
+        best_axis_by_upper = by_upper;
+      }
+    }
+  }
+
+  const size_t k = static_cast<size_t>(best_axis);
+  std::sort(entries.begin(), entries.end(),
+            [k, best_axis_by_upper](const RTreeEntry& a, const RTreeEntry& b) {
+              return best_axis_by_upper ? a.rect.max[k] < b.rect.max[k]
+                                        : a.rect.min[k] < b.rect.min[k];
+            });
+
+  size_t best_split = min_fill;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (size_t split = min_fill; split <= max_k; ++split) {
+    const Rect left = MbrOfRange(entries, 0, split);
+    const Rect right = MbrOfRange(entries, split, total);
+    const double overlap = left.OverlapArea(right);
+    const double area = left.Area() + right.Area();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && area < best_area)) {
+      best_overlap = overlap;
+      best_area = area;
+      best_split = split;
+    }
+  }
+
+  EntryList group_a(entries.begin(),
+                    entries.begin() + static_cast<ptrdiff_t>(best_split));
+  EntryList group_b(entries.begin() + static_cast<ptrdiff_t>(best_split),
+                    entries.end());
+  return {std::move(group_a), std::move(group_b)};
+}
+
+}  // namespace
+
+const char* SplitPolicyName(SplitPolicy policy) {
+  switch (policy) {
+    case SplitPolicy::kLinear:
+      return "linear";
+    case SplitPolicy::kQuadratic:
+      return "quadratic";
+    case SplitPolicy::kRStar:
+      return "rstar";
+  }
+  return "unknown";
+}
+
+SplitResult SplitEntries(std::vector<RTreeEntry> entries, size_t min_fill,
+                         SplitPolicy policy) {
+  assert(entries.size() >= 2);
+  const size_t effective_min_fill =
+      std::max<size_t>(1, std::min(min_fill, entries.size() / 2));
+  switch (policy) {
+    case SplitPolicy::kLinear:
+      return GuttmanSplit(std::move(entries), effective_min_fill,
+                          /*quadratic=*/false);
+    case SplitPolicy::kQuadratic:
+      return GuttmanSplit(std::move(entries), effective_min_fill,
+                          /*quadratic=*/true);
+    case SplitPolicy::kRStar:
+      return RStarSplit(std::move(entries), effective_min_fill);
+  }
+  return GuttmanSplit(std::move(entries), effective_min_fill, true);
+}
+
+}  // namespace warpindex

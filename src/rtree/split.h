@@ -1,0 +1,39 @@
+// Node-splitting policies for the R-tree.
+//
+//   kLinear     Guttman's linear-cost split (greatest normalized
+//               separation seeds, then least-enlargement assignment).
+//   kQuadratic  Guttman's quadratic-cost split (max-dead-area seed pair,
+//               PickNext by enlargement difference) — the classical
+//               default, used by the paper's TW-Sim-Search configuration.
+//   kRStar      Beckmann et al.'s topological split: choose the axis with
+//               minimal margin sum, then the distribution with minimal
+//               overlap (ties by area).
+//
+// All policies guarantee both output groups have >= min_fill entries.
+
+#ifndef WARPINDEX_RTREE_SPLIT_H_
+#define WARPINDEX_RTREE_SPLIT_H_
+
+#include <utility>
+#include <vector>
+
+#include "rtree/node.h"
+
+namespace warpindex {
+
+enum class SplitPolicy {
+  kLinear,
+  kQuadratic,
+  kRStar,
+};
+
+const char* SplitPolicyName(SplitPolicy policy);
+
+// Partitions `entries` (size >= 2) into two non-empty groups, each with at
+// least min(min_fill, entries.size() / 2) entries.
+std::pair<std::vector<RTreeEntry>, std::vector<RTreeEntry>> SplitEntries(
+    std::vector<RTreeEntry> entries, size_t min_fill, SplitPolicy policy);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_RTREE_SPLIT_H_

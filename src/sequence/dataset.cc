@@ -1,0 +1,128 @@
+#include "sequence/dataset.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+namespace warpindex {
+namespace {
+
+constexpr char kMagic[4] = {'W', 'I', 'D', 'S'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t n) {
+  return std::fwrite(data, 1, n, f) == n;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t n) {
+  return std::fread(data, 1, n, f) == n;
+}
+
+}  // namespace
+
+Dataset::Dataset(std::vector<Sequence> sequences)
+    : sequences_(std::move(sequences)) {
+  for (size_t i = 0; i < sequences_.size(); ++i) {
+    sequences_[i].set_id(static_cast<SequenceId>(i));
+  }
+}
+
+void Dataset::Add(Sequence s) {
+  s.set_id(static_cast<SequenceId>(sequences_.size()));
+  sequences_.push_back(std::move(s));
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_sequences = sequences_.size();
+  if (sequences_.empty()) {
+    return stats;
+  }
+  stats.min_length = std::numeric_limits<size_t>::max();
+  stats.global_min = std::numeric_limits<double>::infinity();
+  stats.global_max = -std::numeric_limits<double>::infinity();
+  for (const Sequence& s : sequences_) {
+    stats.total_elements += s.size();
+    stats.min_length = std::min(stats.min_length, s.size());
+    stats.max_length = std::max(stats.max_length, s.size());
+    for (double v : s.elements()) {
+      stats.global_min = std::min(stats.global_min, v);
+      stats.global_max = std::max(stats.global_max, v);
+    }
+  }
+  stats.avg_length = static_cast<double>(stats.total_elements) /
+                     static_cast<double>(stats.num_sequences);
+  return stats;
+}
+
+Status Dataset::SaveToFile(const std::string& path) const {
+  FileHandle file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  const uint64_t count = sequences_.size();
+  if (!WriteBytes(f, kMagic, sizeof(kMagic)) ||
+      !WriteBytes(f, &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f, &count, sizeof(count))) {
+    return Status::IoError("short write: " + path);
+  }
+  for (const Sequence& s : sequences_) {
+    const uint64_t len = s.size();
+    if (!WriteBytes(f, &len, sizeof(len)) ||
+        !WriteBytes(f, s.data(), len * sizeof(double))) {
+      return Status::IoError("short write: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Dataset::LoadFromFile(const std::string& path, Dataset* out) {
+  FileHandle file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f, magic, sizeof(magic)) ||
+      !ReadBytes(f, &version, sizeof(version)) ||
+      !ReadBytes(f, &count, sizeof(count))) {
+    return Status::IoError("short read: " + path);
+  }
+  if (!std::equal(magic, magic + 4, kMagic)) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported dataset version in " + path);
+  }
+  std::vector<Sequence> sequences;
+  sequences.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len = 0;
+    if (!ReadBytes(f, &len, sizeof(len))) {
+      return Status::IoError("short read: " + path);
+    }
+    std::vector<double> elements(len);
+    if (len > 0 && !ReadBytes(f, elements.data(), len * sizeof(double))) {
+      return Status::IoError("short read: " + path);
+    }
+    sequences.emplace_back(std::move(elements));
+  }
+  *out = Dataset(std::move(sequences));
+  return Status::Ok();
+}
+
+}  // namespace warpindex

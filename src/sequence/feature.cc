@@ -1,0 +1,45 @@
+#include "sequence/feature.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace warpindex {
+
+std::string FeatureVector::ToString() const {
+  std::ostringstream os;
+  os << "(first=" << first << ", last=" << last << ", greatest=" << greatest
+     << ", smallest=" << smallest << ")";
+  return os.str();
+}
+
+FeatureVector ExtractFeature(const Sequence& s) {
+  assert(!s.empty());
+  FeatureVector f;
+  f.first = s[0];
+  f.last = s[s.size() - 1];
+  f.greatest = s[0];
+  f.smallest = s[0];
+  for (size_t i = 1; i < s.size(); ++i) {
+    f.greatest = std::max(f.greatest, s[i]);
+    f.smallest = std::min(f.smallest, s[i]);
+  }
+  return f;
+}
+
+double DtwLowerBoundDistance(const FeatureVector& a, const FeatureVector& b) {
+  const double d_first = std::fabs(a.first - b.first);
+  const double d_last = std::fabs(a.last - b.last);
+  const double d_greatest = std::fabs(a.greatest - b.greatest);
+  const double d_smallest = std::fabs(a.smallest - b.smallest);
+  return std::max(std::max(d_first, d_last),
+                  std::max(d_greatest, d_smallest));
+}
+
+bool WithinLowerBoundTolerance(const FeatureVector& a, const FeatureVector& b,
+                               double epsilon) {
+  return DtwLowerBoundDistance(a, b) <= epsilon;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,61 @@
+// The paper's 4-tuple feature vector and the D_tw-lb lower-bound distance.
+//
+// Feature(S) = (First(S), Last(S), Greatest(S), Smallest(S))      [§4.2]
+// D_tw-lb(S, Q) = L_inf(Feature(S), Feature(Q))                   [Def. 3]
+//
+// Properties (proved in the paper, tested in tests/feature_test.cc and
+// tests/lower_bound_property_test.cc):
+//   * invariant under time warping (warping only repeats elements),
+//   * D_tw-lb(S, Q) <= D_tw(S, Q) with L_inf base distance (Theorem 1),
+//   * D_tw-lb satisfies the triangular inequality (Theorem 2), so a
+//     multi-dimensional index over feature vectors never produces a false
+//     dismissal (Corollary 1).
+
+#ifndef WARPINDEX_SEQUENCE_FEATURE_H_
+#define WARPINDEX_SEQUENCE_FEATURE_H_
+
+#include <array>
+#include <string>
+
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+// Dimensionality of the paper's feature space.
+inline constexpr int kFeatureDims = 4;
+
+// The time-warping-invariant 4-tuple extracted from a sequence.
+struct FeatureVector {
+  double first = 0.0;
+  double last = 0.0;
+  double greatest = 0.0;
+  double smallest = 0.0;
+
+  // The tuple as a point in 4-d space, in index order
+  // (first, last, greatest, smallest).
+  std::array<double, kFeatureDims> AsPoint() const {
+    return {first, last, greatest, smallest};
+  }
+
+  std::string ToString() const;
+
+  friend bool operator==(const FeatureVector& a, const FeatureVector& b) {
+    return a.first == b.first && a.last == b.last &&
+           a.greatest == b.greatest && a.smallest == b.smallest;
+  }
+};
+
+// Extracts Feature(S) in a single O(|S|) pass. Requires |S| >= 1.
+FeatureVector ExtractFeature(const Sequence& s);
+
+// D_tw-lb(S, Q) = L_inf distance between the two feature tuples.
+double DtwLowerBoundDistance(const FeatureVector& a, const FeatureVector& b);
+
+// True iff DtwLowerBoundDistance(a, b) <= epsilon; the square-range
+// predicate evaluated by the R-tree range query in Algorithm 1.
+bool WithinLowerBoundTolerance(const FeatureVector& a, const FeatureVector& b,
+                               double epsilon);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SEQUENCE_FEATURE_H_

@@ -1,0 +1,41 @@
+#include "sequence/query_workload.h"
+
+#include <cassert>
+
+#include "common/prng.h"
+
+namespace warpindex {
+namespace {
+
+Sequence PerturbWith(const Sequence& base, Prng* prng) {
+  const double half_std = base.StdDev() / 2.0;
+  Sequence query;
+  query.Reserve(base.size());
+  for (double v : base.elements()) {
+    query.Append(v + prng->UniformDouble(-half_std, half_std));
+  }
+  return query;
+}
+
+}  // namespace
+
+std::vector<Sequence> GenerateQueryWorkload(
+    const Dataset& dataset, const QueryWorkloadOptions& options) {
+  assert(!dataset.empty());
+  Prng prng(options.seed);
+  std::vector<Sequence> queries;
+  queries.reserve(options.num_queries);
+  for (size_t i = 0; i < options.num_queries; ++i) {
+    const size_t pick = static_cast<size_t>(
+        prng.UniformInt(0, static_cast<int64_t>(dataset.size()) - 1));
+    queries.push_back(PerturbWith(dataset[pick], &prng));
+  }
+  return queries;
+}
+
+Sequence PerturbSequence(const Sequence& base, uint64_t seed) {
+  Prng prng(seed);
+  return PerturbWith(base, &prng);
+}
+
+}  // namespace warpindex

@@ -1,0 +1,35 @@
+// Query workload generation (paper §5.1).
+//
+// Each query sequence is produced by: (1) selecting a random data sequence;
+// (2) drawing, for every element, a random value from [-std/2, +std/2]
+// where `std` is the standard deviation of the selected sequence; and (3)
+// adding that value to the element. The paper runs 100 such queries per
+// experiment configuration.
+
+#ifndef WARPINDEX_SEQUENCE_QUERY_WORKLOAD_H_
+#define WARPINDEX_SEQUENCE_QUERY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sequence/dataset.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+struct QueryWorkloadOptions {
+  size_t num_queries = 100;
+  uint64_t seed = 7;
+};
+
+// Generates perturbed-copy queries over `dataset` per the paper's recipe.
+// Requires a non-empty dataset. Deterministic in the seed.
+std::vector<Sequence> GenerateQueryWorkload(
+    const Dataset& dataset, const QueryWorkloadOptions& options);
+
+// Single-query variant: perturbs `base` with the paper's recipe.
+Sequence PerturbSequence(const Sequence& base, uint64_t seed);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SEQUENCE_QUERY_WORKLOAD_H_

@@ -1,0 +1,37 @@
+#include "sequence/random_walk_generator.h"
+
+#include <cassert>
+
+#include "common/prng.h"
+
+namespace warpindex {
+
+Dataset GenerateRandomWalkDataset(const RandomWalkOptions& options) {
+  assert(options.min_length >= 1);
+  assert(options.min_length <= options.max_length);
+  assert(options.step_min <= options.step_max);
+  assert(options.start_min <= options.start_max);
+
+  Prng prng(options.seed);
+  Dataset dataset;
+  for (size_t i = 0; i < options.num_sequences; ++i) {
+    const size_t length =
+        options.min_length == options.max_length
+            ? options.min_length
+            : static_cast<size_t>(prng.UniformInt(
+                  static_cast<int64_t>(options.min_length),
+                  static_cast<int64_t>(options.max_length)));
+    Sequence s;
+    s.Reserve(length);
+    double value = prng.UniformDouble(options.start_min, options.start_max);
+    s.Append(value);
+    for (size_t j = 1; j < length; ++j) {
+      value += prng.UniformDouble(options.step_min, options.step_max);
+      s.Append(value);
+    }
+    dataset.Add(std::move(s));
+  }
+  return dataset;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,35 @@
+// Synthetic random-walk workload generator (paper §5.1).
+//
+//   s_i = s_{i-1} + z_i,  z_i ~ U[-0.1, 0.1] IID,  s_1 ~ U[1, 10].
+//
+// Experiments 3 and 4 (Figures 4 and 5) use this generator with fixed or
+// varying sequence count and length.
+
+#ifndef WARPINDEX_SEQUENCE_RANDOM_WALK_GENERATOR_H_
+#define WARPINDEX_SEQUENCE_RANDOM_WALK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "sequence/dataset.h"
+
+namespace warpindex {
+
+struct RandomWalkOptions {
+  size_t num_sequences = 1000;
+  // When min_length == max_length all sequences share one length (the
+  // paper's synthetic setup); otherwise lengths are uniform in the range.
+  size_t min_length = 1000;
+  size_t max_length = 1000;
+  double step_min = -0.1;  // z_i lower bound
+  double step_max = 0.1;   // z_i upper bound
+  double start_min = 1.0;  // s_1 lower bound
+  double start_max = 10.0; // s_1 upper bound
+  uint64_t seed = 42;
+};
+
+// Generates a dataset per the options. Deterministic in the seed.
+Dataset GenerateRandomWalkDataset(const RandomWalkOptions& options);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SEQUENCE_RANDOM_WALK_GENERATOR_H_

@@ -1,0 +1,48 @@
+#include "sequence/sequence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.h"
+
+namespace warpindex {
+
+double Sequence::Greatest() const {
+  assert(!elements_.empty());
+  return *std::max_element(elements_.begin(), elements_.end());
+}
+
+double Sequence::Smallest() const {
+  assert(!elements_.empty());
+  return *std::min_element(elements_.begin(), elements_.end());
+}
+
+double Sequence::Mean() const { return warpindex::Mean(elements_); }
+
+double Sequence::StdDev() const { return warpindex::StdDev(elements_); }
+
+Sequence Sequence::Slice(size_t begin, size_t length) const {
+  assert(begin + length <= elements_.size());
+  return Sequence(std::vector<double>(elements_.begin() + begin,
+                                      elements_.begin() + begin + length));
+}
+
+std::string Sequence::ToString(size_t max_elements) const {
+  std::ostringstream os;
+  os << "<";
+  const size_t shown = std::min(max_elements, elements_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << elements_[i];
+  }
+  if (shown < elements_.size()) {
+    os << ", ... (" << elements_.size() << " elements)";
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace warpindex

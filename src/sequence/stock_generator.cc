@@ -1,0 +1,51 @@
+#include "sequence/stock_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/prng.h"
+
+namespace warpindex {
+
+Dataset GenerateStockDataset(const StockDataOptions& options) {
+  assert(options.min_length >= 2);
+  assert(options.min_length <= options.mean_length);
+  assert(options.mean_length <= options.max_length);
+
+  Prng prng(options.seed);
+  Dataset dataset;
+  for (size_t i = 0; i < options.num_sequences; ++i) {
+    // Length: normal around the mean, clamped to [min, max]. The paper only
+    // reports the mean (231); a spread of ~mean/3 gives a plausible mix of
+    // recently-listed and long-listed series.
+    const double raw_length =
+        static_cast<double>(options.mean_length) +
+        prng.NextGaussian() * static_cast<double>(options.mean_length) / 3.0;
+    const size_t length = std::clamp(
+        static_cast<size_t>(std::llround(std::max(raw_length, 2.0))),
+        options.min_length, options.max_length);
+
+    const double drift =
+        prng.UniformDouble(-options.drift_range, options.drift_range);
+    const double vol = prng.UniformDouble(options.vol_min, options.vol_max);
+
+    Sequence s;
+    s.Reserve(length);
+    double price =
+        prng.UniformDouble(options.start_price_min, options.start_price_max);
+    s.Append(price);
+    for (size_t j = 1; j < length; ++j) {
+      const double ret = drift + vol * prng.NextGaussian();
+      // Clamp the per-step return so a fat Gaussian tail cannot produce a
+      // negative price.
+      price *= 1.0 + std::clamp(ret, -0.5, 0.5);
+      price = std::max(price, 0.01);
+      s.Append(price);
+    }
+    dataset.Add(std::move(s));
+  }
+  return dataset;
+}
+
+}  // namespace warpindex

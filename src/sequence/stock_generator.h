@@ -1,0 +1,49 @@
+// Synthetic stand-in for the paper's S&P 500 stock dataset.
+//
+// The paper uses 545 daily-close price series scraped from
+// biz.swcp.com/stocks (long dead) with an average length of 231. The
+// experiments rely on three properties of that data, all preserved here:
+//   1. sequences of *different* lengths (listings start/stop on different
+//      days), so only a warping distance applies;
+//   2. realistic price autocorrelation (prices are near-random-walks, so
+//      First/Last/Greatest/Smallest spread well in feature space);
+//   3. magnitudes in the dollars range, so that the paper's tolerance
+//      values select between ~0.2% and a few % of the database.
+//
+// We model each series as a geometric random walk with per-series drift and
+// volatility: p_{i+1} = p_i * (1 + mu + sigma * g_i), g_i ~ N(0, 1), start
+// price uniform in a dollars range, lengths drawn around the paper's mean
+// of 231. See DESIGN.md ("Substitutions").
+
+#ifndef WARPINDEX_SEQUENCE_STOCK_GENERATOR_H_
+#define WARPINDEX_SEQUENCE_STOCK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "sequence/dataset.h"
+
+namespace warpindex {
+
+struct StockDataOptions {
+  // Defaults replicate the paper's corpus shape: 545 series, mean length
+  // ~231.
+  size_t num_sequences = 545;
+  size_t mean_length = 231;
+  size_t min_length = 60;
+  size_t max_length = 500;
+  double start_price_min = 5.0;
+  double start_price_max = 120.0;
+  // Per-step drift is uniform in [-drift_range, +drift_range].
+  double drift_range = 0.0005;
+  // Per-series volatility is uniform in [vol_min, vol_max].
+  double vol_min = 0.005;
+  double vol_max = 0.03;
+  uint64_t seed = 2001;  // ICDE 2001
+};
+
+// Generates the synthetic stock dataset. Deterministic in the seed.
+Dataset GenerateStockDataset(const StockDataOptions& options);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SEQUENCE_STOCK_GENERATOR_H_

@@ -1,0 +1,77 @@
+#include "sequence/transforms.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace warpindex {
+
+Sequence Shift(const Sequence& s, double offset) {
+  Sequence out;
+  out.Reserve(s.size());
+  for (double v : s.elements()) {
+    out.Append(v + offset);
+  }
+  return out;
+}
+
+Sequence Scale(const Sequence& s, double factor) {
+  Sequence out;
+  out.Reserve(s.size());
+  for (double v : s.elements()) {
+    out.Append(v * factor);
+  }
+  return out;
+}
+
+Sequence ZNormalize(const Sequence& s) {
+  assert(!s.empty());
+  const double mean = s.Mean();
+  const double std = s.StdDev();
+  Sequence out;
+  out.Reserve(s.size());
+  for (double v : s.elements()) {
+    out.Append(std > 0.0 ? (v - mean) / std : 0.0);
+  }
+  return out;
+}
+
+Sequence MinMaxNormalize(const Sequence& s) {
+  assert(!s.empty());
+  const double lo = s.Smallest();
+  const double hi = s.Greatest();
+  const double span = hi - lo;
+  Sequence out;
+  out.Reserve(s.size());
+  for (double v : s.elements()) {
+    out.Append(span > 0.0 ? (v - lo) / span : 0.0);
+  }
+  return out;
+}
+
+Sequence MovingAverage(const Sequence& s, size_t window) {
+  assert(window >= 1);
+  assert(s.size() >= window);
+  Sequence out;
+  out.Reserve(s.size() - window + 1);
+  double sum = 0.0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    sum += s[i];
+    if (i + 1 >= window) {
+      out.Append(sum / static_cast<double>(window));
+      sum -= s[i + 1 - window];
+    }
+  }
+  return out;
+}
+
+Sequence Difference(const Sequence& s) {
+  assert(s.size() >= 2);
+  Sequence out;
+  out.Reserve(s.size() - 1);
+  for (size_t i = 1; i < s.size(); ++i) {
+    out.Append(s[i] - s[i - 1]);
+  }
+  return out;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,39 @@
+// Sequence transformations from the similarity-search literature the paper
+// builds on (§1): shifting, scaling, normalization [9,12,16], and moving
+// average [17,21]. Real corpora are usually preprocessed with one of these
+// before warping-distance search (e.g. z-normalized stock returns), so the
+// library ships them as first-class utilities.
+
+#ifndef WARPINDEX_SEQUENCE_TRANSFORMS_H_
+#define WARPINDEX_SEQUENCE_TRANSFORMS_H_
+
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+// S + c: adds `offset` to every element.
+Sequence Shift(const Sequence& s, double offset);
+
+// S * c: multiplies every element by `factor`.
+Sequence Scale(const Sequence& s, double factor);
+
+// (S - mean(S)) / std(S). A constant sequence (std == 0) maps to all
+// zeros. Requires a non-empty sequence.
+Sequence ZNormalize(const Sequence& s);
+
+// Min-max normalization into [0, 1]. A constant sequence maps to all
+// zeros. Requires a non-empty sequence.
+Sequence MinMaxNormalize(const Sequence& s);
+
+// Simple moving average with the given window (>= 1). Output has length
+// |S| - window + 1; requires |S| >= window.
+Sequence MovingAverage(const Sequence& s, size_t window);
+
+// First differences: <s_2 - s_1, ..., s_n - s_{n-1}>. Output has length
+// |S| - 1; requires |S| >= 2. (Price series are often differenced before
+// similarity search.)
+Sequence Difference(const Sequence& s);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SEQUENCE_TRANSFORMS_H_

@@ -1,0 +1,33 @@
+#include "storage/buffer_pool.h"
+
+namespace warpindex {
+
+bool BufferPool::Access(PageId page_id, IoStats* stats) {
+  auto it = index_.find(page_id);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (stats != nullptr) {
+    stats->RecordRandomRead();
+  }
+  if (capacity_ == 0) {
+    return false;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page_id);
+  index_[page_id] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,51 @@
+// LRU buffer pool over the sequence store's pages.
+//
+// The pool turns repeated page touches into cache hits: only misses reach
+// the disk model. The scan baselines bypass it (a full scan of a database
+// larger than memory gains nothing from LRU caching and would only evict
+// the working set), matching the paper-era behaviour; the index methods'
+// repeated root/branch touches, by contrast, mostly hit.
+
+#ifndef WARPINDEX_STORAGE_BUFFER_POOL_H_
+#define WARPINDEX_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace warpindex {
+
+class BufferPool {
+ public:
+  // `capacity_pages` frames; zero disables caching (every access misses).
+  explicit BufferPool(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  // Returns true if `page_id` was cached (hit). On a miss, the page is
+  // admitted, the LRU victim evicted, and one random page read charged to
+  // `stats` (when provided).
+  bool Access(PageId page_id, IoStats* stats);
+
+  // Drops all cached pages.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return lru_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  // Front = most recently used.
+  std::list<PageId> lru_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,6 @@
+#include "storage/disk_model.h"
+
+// All members are defined inline in the header; this translation unit
+// exists so the module has an anchor for future out-of-line growth.
+
+namespace warpindex {}  // namespace warpindex

@@ -1,0 +1,40 @@
+// Fixed-size page abstraction for the sequence store.
+
+#ifndef WARPINDEX_STORAGE_PAGE_H_
+#define WARPINDEX_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace warpindex {
+
+using PageId = int64_t;
+inline constexpr PageId kInvalidPageId = -1;
+
+// A raw page of bytes. Records may span pages (spanned layout), so the
+// page carries no slot directory — the store's record directory addresses
+// byte ranges directly.
+class Page {
+ public:
+  explicit Page(size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  size_t size() const { return bytes_.size(); }
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* data() { return bytes_.data(); }
+
+  void Write(size_t offset, const void* src, size_t n) {
+    std::memcpy(bytes_.data() + offset, src, n);
+  }
+  void Read(size_t offset, void* dst, size_t n) const {
+    std::memcpy(dst, bytes_.data() + offset, n);
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_STORAGE_PAGE_H_

@@ -1,0 +1,140 @@
+#include "storage/sequence_store.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace warpindex {
+
+SequenceStore::SequenceStore(const Dataset& dataset, size_t page_size_bytes)
+    : page_size_bytes_(page_size_bytes) {
+  assert(page_size_bytes_ >= sizeof(double));
+  // Pre-size pages for the whole dataset, then serialize via Append's
+  // write path (without charging I/O for the initial load).
+  uint64_t total_bytes = 0;
+  for (const Sequence& s : dataset.sequences()) {
+    total_bytes += sizeof(uint64_t) + s.size() * sizeof(double);
+  }
+  const size_t num_pages = static_cast<size_t>(
+      (total_bytes + page_size_bytes_ - 1) / page_size_bytes_);
+  pages_.reserve(num_pages);
+  directory_.reserve(dataset.size());
+  for (const Sequence& s : dataset.sequences()) {
+    Append(s);
+  }
+}
+
+void SequenceStore::WriteBytesAt(uint64_t offset, const void* src,
+                                 size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(src);
+  while (n > 0) {
+    const size_t page = static_cast<size_t>(offset / page_size_bytes_);
+    const size_t page_offset =
+        static_cast<size_t>(offset % page_size_bytes_);
+    while (page >= pages_.size()) {
+      pages_.emplace_back(page_size_bytes_);
+    }
+    const size_t chunk = std::min(n, page_size_bytes_ - page_offset);
+    pages_[page].Write(page_offset, bytes, chunk);
+    bytes += chunk;
+    offset += chunk;
+    n -= chunk;
+  }
+}
+
+SequenceId SequenceStore::Append(const Sequence& s, IoStats* stats) {
+  DirectoryEntry entry;
+  entry.byte_offset = end_offset_;
+  entry.length = s.size();
+  const uint64_t len = s.size();
+  WriteBytesAt(end_offset_, &len, sizeof(len));
+  WriteBytesAt(end_offset_ + sizeof(len), s.data(),
+               s.size() * sizeof(double));
+  const uint64_t record_bytes = sizeof(len) + s.size() * sizeof(double);
+  end_offset_ += record_bytes;
+  directory_.push_back(entry);
+  ++num_live_;
+  const auto id = static_cast<SequenceId>(directory_.size() - 1);
+  if (stats != nullptr) {
+    stats->RecordWrite(PagesOf(id));
+  }
+  return id;
+}
+
+bool SequenceStore::Remove(SequenceId id) {
+  if (id < 0 || static_cast<size_t>(id) >= directory_.size() ||
+      !directory_[static_cast<size_t>(id)].live) {
+    return false;
+  }
+  directory_[static_cast<size_t>(id)].live = false;
+  --num_live_;
+  return true;
+}
+
+bool SequenceStore::IsLive(SequenceId id) const {
+  return id >= 0 && static_cast<size_t>(id) < directory_.size() &&
+         directory_[static_cast<size_t>(id)].live;
+}
+
+uint64_t SequenceStore::PagesOf(SequenceId id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < directory_.size());
+  const DirectoryEntry& entry = directory_[static_cast<size_t>(id)];
+  const uint64_t bytes = sizeof(uint64_t) + entry.length * sizeof(double);
+  const uint64_t first_page = entry.byte_offset / page_size_bytes_;
+  const uint64_t last_page =
+      (entry.byte_offset + bytes - 1) / page_size_bytes_;
+  return last_page - first_page + 1;
+}
+
+Sequence SequenceStore::Deserialize(const DirectoryEntry& entry) const {
+  uint64_t cursor = entry.byte_offset;
+  auto read_bytes = [&](void* dst, size_t n) {
+    uint8_t* bytes = static_cast<uint8_t*>(dst);
+    while (n > 0) {
+      const size_t page = static_cast<size_t>(cursor / page_size_bytes_);
+      const size_t offset = static_cast<size_t>(cursor % page_size_bytes_);
+      const size_t chunk = std::min(n, page_size_bytes_ - offset);
+      pages_[page].Read(offset, bytes, chunk);
+      bytes += chunk;
+      cursor += chunk;
+      n -= chunk;
+    }
+  };
+  uint64_t len = 0;
+  read_bytes(&len, sizeof(len));
+  assert(len == entry.length);
+  std::vector<double> elements(len);
+  if (len > 0) {
+    read_bytes(elements.data(), len * sizeof(double));
+  }
+  return Sequence(std::move(elements));
+}
+
+Sequence SequenceStore::Fetch(SequenceId id, IoStats* stats) const {
+  assert(IsLive(id));
+  if (stats != nullptr) {
+    stats->RecordRandomRun(PagesOf(id));
+  }
+  Sequence s = Deserialize(directory_[static_cast<size_t>(id)]);
+  s.set_id(id);
+  return s;
+}
+
+void SequenceStore::ScanAll(
+    const std::function<bool(SequenceId, const Sequence&)>& fn,
+    IoStats* stats) const {
+  if (stats != nullptr) {
+    stats->RecordSequentialRun(pages_.size());
+  }
+  for (size_t i = 0; i < directory_.size(); ++i) {
+    if (!directory_[i].live) {
+      continue;
+    }
+    Sequence s = Deserialize(directory_[i]);
+    s.set_id(static_cast<SequenceId>(i));
+    if (!fn(static_cast<SequenceId>(i), s)) {
+      return;
+    }
+  }
+}
+
+}  // namespace warpindex

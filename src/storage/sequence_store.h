@@ -1,0 +1,96 @@
+// SequenceStore: the paged heap file holding the data sequences.
+//
+// Sequences are serialized contiguously into fixed-size pages (spanned
+// layout: a record may cross page boundaries). A directory maps each
+// SequenceId to its byte extent. Two access paths exist, with different
+// I/O cost profiles:
+//
+//   * Fetch(id):   random access — one seek plus the record's pages
+//                  (Algorithm 1, Step-5: read candidates for
+//                  post-processing);
+//   * ScanAll():   sequential access — one seek plus every page (the scan
+//                  baselines' filtering stage).
+//
+// Both charge the supplied IoStats; the disk model turns the counters into
+// simulated milliseconds.
+
+#ifndef WARPINDEX_STORAGE_SEQUENCE_STORE_H_
+#define WARPINDEX_STORAGE_SEQUENCE_STORE_H_
+
+#include <functional>
+#include <vector>
+
+#include "sequence/dataset.h"
+#include "sequence/sequence.h"
+#include "storage/disk_model.h"
+#include "storage/page.h"
+
+namespace warpindex {
+
+class SequenceStore {
+ public:
+  // Serializes every sequence of `dataset` into pages of
+  // `page_size_bytes`.
+  SequenceStore(const Dataset& dataset, size_t page_size_bytes);
+
+  SequenceStore(SequenceStore&&) = default;
+  SequenceStore& operator=(SequenceStore&&) = default;
+  SequenceStore(const SequenceStore&) = delete;
+  SequenceStore& operator=(const SequenceStore&) = delete;
+
+  // All directory slots ever allocated, including tombstoned ones.
+  size_t num_sequences() const { return directory_.size(); }
+  // Slots still live (not removed).
+  size_t num_live() const { return num_live_; }
+  size_t num_pages() const { return pages_.size(); }
+  size_t page_size_bytes() const { return page_size_bytes_; }
+  size_t TotalBytes() const { return pages_.size() * page_size_bytes_; }
+
+  // Pages occupied by a record (for cost estimation).
+  uint64_t PagesOf(SequenceId id) const;
+
+  // Random fetch: deserializes the sequence, charging one random run of
+  // PagesOf(id) pages to `stats` (when provided).
+  Sequence Fetch(SequenceId id, IoStats* stats = nullptr) const;
+
+  // Sequential scan: invokes `fn` for every *live* sequence in id order,
+  // charging one sequential run covering all pages. If `fn` returns false
+  // the scan stops early (the full run is still charged — the paper's
+  // scan methods read the whole database).
+  void ScanAll(const std::function<bool(SequenceId, const Sequence&)>& fn,
+               IoStats* stats = nullptr) const;
+
+  // Appends a sequence at the end of the heap file (allocating pages as
+  // needed) and returns its id. Charges the written pages to `stats`.
+  SequenceId Append(const Sequence& s, IoStats* stats = nullptr);
+
+  // Tombstones a record: scans skip it and Fetch of it is a programmer
+  // error. Returns false if `id` is unknown or already removed. (Space is
+  // not reclaimed — like the paper-era heap files, compaction is a
+  // rebuild.)
+  bool Remove(SequenceId id);
+
+  // True iff `id` names a live record.
+  bool IsLive(SequenceId id) const;
+
+ private:
+  struct DirectoryEntry {
+    uint64_t byte_offset = 0;  // global byte offset of the record
+    uint64_t length = 0;       // element count
+    bool live = true;
+  };
+
+  Sequence Deserialize(const DirectoryEntry& entry) const;
+  void WriteBytesAt(uint64_t offset, const void* src, size_t n);
+
+  size_t page_size_bytes_;
+  std::vector<Page> pages_;
+  std::vector<DirectoryEntry> directory_;
+  // First unused byte in the heap file.
+  uint64_t end_offset_ = 0;
+  size_t num_live_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_STORAGE_SEQUENCE_STORE_H_

@@ -1,0 +1,64 @@
+#include "suffixtree/categorizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace warpindex {
+
+Categorizer::Categorizer(double lo, double hi, size_t num_categories)
+    : lo_(lo),
+      hi_(hi),
+      num_categories_(num_categories),
+      width_((hi - lo) / static_cast<double>(num_categories)) {}
+
+Categorizer Categorizer::EqualWidth(double lo, double hi,
+                                    size_t num_categories) {
+  assert(lo < hi);
+  assert(num_categories >= 1);
+  return Categorizer(lo, hi, num_categories);
+}
+
+Symbol Categorizer::Categorize(double value) const {
+  if (value <= lo_) {
+    return 0;
+  }
+  if (value >= hi_) {
+    return static_cast<Symbol>(num_categories_ - 1);
+  }
+  const auto c = static_cast<Symbol>((value - lo_) / width_);
+  return std::min<Symbol>(c, static_cast<Symbol>(num_categories_ - 1));
+}
+
+std::vector<Symbol> Categorizer::CategorizeSequence(const Sequence& s) const {
+  std::vector<Symbol> symbols;
+  symbols.reserve(s.size());
+  for (double v : s.elements()) {
+    symbols.push_back(Categorize(v));
+  }
+  return symbols;
+}
+
+double Categorizer::IntervalLow(Symbol c) const {
+  assert(c >= 0 && static_cast<size_t>(c) < num_categories_);
+  return lo_ + static_cast<double>(c) * width_;
+}
+
+double Categorizer::IntervalHigh(Symbol c) const {
+  assert(c >= 0 && static_cast<size_t>(c) < num_categories_);
+  return lo_ + static_cast<double>(c + 1) * width_;
+}
+
+double Categorizer::LowerBoundDistance(Symbol c, double value) const {
+  const double lo = IntervalLow(c);
+  const double hi = IntervalHigh(c);
+  if (value < lo) {
+    return lo - value;
+  }
+  if (value > hi) {
+    return value - hi;
+  }
+  return 0.0;
+}
+
+}  // namespace warpindex

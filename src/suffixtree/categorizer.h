@@ -1,0 +1,56 @@
+// Categorization of numeric elements into symbols for ST-Filter
+// (Park et al. [18]; paper §3.4 and §5.1).
+//
+// The paper's ST-Filter configuration uses 100 categories generated with
+// the "equal-length-interval" method: the global element range is cut into
+// equal-width intervals, and every element is replaced by its interval's
+// index. The category interval bounds then give per-element *lower bounds*
+// on the true element distance, which is what makes the suffix-tree
+// traversal a no-false-dismissal filter.
+
+#ifndef WARPINDEX_SUFFIXTREE_CATEGORIZER_H_
+#define WARPINDEX_SUFFIXTREE_CATEGORIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+using Symbol = int32_t;
+
+class Categorizer {
+ public:
+  // Equal-width intervals over [lo, hi]. Requires lo < hi, categories >= 1.
+  static Categorizer EqualWidth(double lo, double hi, size_t num_categories);
+
+  size_t num_categories() const { return num_categories_; }
+
+  // Category of a value; values outside [lo, hi] clamp to the border
+  // categories.
+  Symbol Categorize(double value) const;
+
+  // Converts a whole sequence.
+  std::vector<Symbol> CategorizeSequence(const Sequence& s) const;
+
+  // Interval [IntervalLow(c), IntervalHigh(c)] covered by category c.
+  double IntervalLow(Symbol c) const;
+  double IntervalHigh(Symbol c) const;
+
+  // Lower bound on |value - x| over all x in category c's interval; zero
+  // when the value lies inside.
+  double LowerBoundDistance(Symbol c, double value) const;
+
+ private:
+  Categorizer(double lo, double hi, size_t num_categories);
+
+  double lo_;
+  double hi_;
+  size_t num_categories_;
+  double width_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SUFFIXTREE_CATEGORIZER_H_

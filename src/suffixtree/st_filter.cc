@@ -1,0 +1,283 @@
+#include "suffixtree/st_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+namespace warpindex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+StFilter::StFilter(const Dataset& dataset, StFilterOptions options)
+    : options_(options),
+      categorizer_([&] {
+        const DatasetStats stats = dataset.ComputeStats();
+        // Guard against a degenerate constant-valued dataset.
+        const double lo = stats.global_min;
+        const double hi = stats.global_max > lo ? stats.global_max : lo + 1.0;
+        return Categorizer::EqualWidth(lo, hi, options.num_categories);
+      }()) {
+  for (const Sequence& s : dataset.sequences()) {
+    tree_.AddString(categorizer_.CategorizeSequence(s));
+  }
+}
+
+std::vector<SequenceId> StFilter::FindCandidates(
+    const Sequence& query, double epsilon, StFilterQueryStats* stats) const {
+  assert(!query.empty());
+  const size_t m = query.size();
+  const bool sum = options_.combiner == DtwCombiner::kSum;
+
+  std::vector<SequenceId> candidates;
+  std::unordered_set<int64_t> pages;
+
+  // DFS over the tree. Each frame enters a node's incoming edge with the
+  // DP column computed for the path *above* that edge.
+  struct Frame {
+    SuffixTree::NodeIndex node;
+    std::vector<double> col;  // empty <=> no symbols consumed yet
+    size_t depth = 0;         // symbols consumed above this edge
+  };
+  std::vector<Frame> stack;
+  for (SuffixTree::NodeIndex child = tree_.FirstChild(tree_.root());
+       child != SuffixTree::kNoNode; child = tree_.NextSibling(child)) {
+    stack.push_back({child, {}, 0});
+  }
+  if (stats != nullptr) {
+    ++stats->nodes_visited;  // the root itself
+    pages.insert(tree_.PageOf(tree_.root(), options_.page_size_bytes));
+  }
+
+  std::vector<double> next(m);
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      pages.insert(tree_.PageOf(frame.node, options_.page_size_bytes));
+    }
+
+    const size_t begin = tree_.EdgeBegin(frame.node);
+    const size_t end = tree_.EdgeEnd(frame.node);
+    bool pruned = false;
+    size_t depth = frame.depth;
+    std::vector<double>& col = frame.col;
+
+    for (size_t pos = begin; pos < end; ++pos) {
+      const Symbol symbol = tree_.SymbolAt(pos);
+      if (tree_.IsTerminator(symbol)) {
+        // End of some data string. Whole match <=> the path spells the
+        // entire string (terminator reached at exactly its length).
+        const int64_t string_id = tree_.TerminatorString(symbol);
+        if (depth == tree_.StringLength(string_id) && !col.empty() &&
+            col[m - 1] <= epsilon) {
+          candidates.push_back(static_cast<SequenceId>(string_id));
+        }
+        // Symbols past a terminator belong to later strings; stop.
+        pruned = true;
+        break;
+      }
+
+      // Advance the time-warping DP by one path symbol. Interval costs
+      // lower-bound the true element costs.
+      double row_min = kInf;
+      if (col.empty()) {
+        // First path symbol: D(0,0) = c(0,0); D(0,j) = combine(c, D(0,j-1)).
+        col.resize(m);
+        double upstream = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          const double cost =
+              categorizer_.LowerBoundDistance(symbol, query[j]);
+          if (j == 0) {
+            col[j] = cost;
+          } else {
+            col[j] = sum ? cost + upstream : std::max(cost, upstream);
+          }
+          upstream = col[j];
+          row_min = std::min(row_min, col[j]);
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          const double cost =
+              categorizer_.LowerBoundDistance(symbol, query[j]);
+          double best = col[j];  // (i-1, j)
+          if (j > 0) {
+            best = std::min(best, col[j - 1]);   // (i-1, j-1)
+            best = std::min(best, next[j - 1]);  // (i, j-1)
+          }
+          next[j] = sum ? cost + best : std::max(cost, best);
+          row_min = std::min(row_min, next[j]);
+        }
+        col.swap(next);
+      }
+      if (stats != nullptr) {
+        stats->dp_cells += m;
+      }
+      ++depth;
+      if (row_min > epsilon) {
+        pruned = true;  // nothing below can qualify
+        break;
+      }
+    }
+
+    if (pruned) {
+      continue;
+    }
+    for (SuffixTree::NodeIndex child = tree_.FirstChild(frame.node);
+         child != SuffixTree::kNoNode; child = tree_.NextSibling(child)) {
+      stack.push_back({child, col, depth});
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->pages_accessed = pages.size();
+  }
+  return candidates;
+}
+
+std::vector<StFilter::SubsequenceCandidate>
+StFilter::FindSubsequenceCandidates(const Sequence& query, double epsilon,
+                                    size_t min_length, size_t max_length,
+                                    StFilterQueryStats* stats) const {
+  assert(!query.empty());
+  assert(min_length >= 1 && min_length <= max_length);
+  const size_t m = query.size();
+  const bool sum = options_.combiner == DtwCombiner::kSum;
+
+  std::vector<SubsequenceCandidate> candidates;
+  std::unordered_set<int64_t> pages;
+  const auto touch = [&](SuffixTree::NodeIndex n) {
+    if (stats != nullptr) {
+      ++stats->nodes_visited;
+      pages.insert(tree_.PageOf(n, options_.page_size_bytes));
+    }
+  };
+
+  // Emits one candidate per suffix occurrence below `node`, for a match of
+  // `match_length` symbols ending on `node`'s edge. `depth_above` is the
+  // symbol depth at the top of `node`'s edge.
+  const auto emit_subtree = [&](SuffixTree::NodeIndex node,
+                                size_t depth_above, size_t match_length) {
+    struct SubFrame {
+      SuffixTree::NodeIndex node;
+      size_t depth_above;
+    };
+    std::vector<SubFrame> sub;
+    sub.push_back({node, depth_above});
+    while (!sub.empty()) {
+      const SubFrame frame = sub.back();
+      sub.pop_back();
+      const SuffixTree::NodeIndex first = tree_.FirstChild(frame.node);
+      if (first == SuffixTree::kNoNode) {
+        // Leaf: its suffix starts at EdgeBegin - depth_above.
+        const size_t suffix_start =
+            tree_.EdgeBegin(frame.node) - frame.depth_above;
+        int64_t string_id = 0;
+        size_t offset = 0;
+        if (tree_.LocatePosition(suffix_start, &string_id, &offset)) {
+          candidates.push_back({static_cast<SequenceId>(string_id), offset,
+                                match_length});
+        }
+        continue;
+      }
+      const size_t child_depth = frame.depth_above +
+                                 (tree_.EdgeEnd(frame.node) -
+                                  tree_.EdgeBegin(frame.node));
+      for (SuffixTree::NodeIndex child = first;
+           child != SuffixTree::kNoNode; child = tree_.NextSibling(child)) {
+        sub.push_back({child, child_depth});
+      }
+    }
+  };
+
+  struct Frame {
+    SuffixTree::NodeIndex node;
+    std::vector<double> col;
+    size_t depth = 0;
+  };
+  std::vector<Frame> stack;
+  for (SuffixTree::NodeIndex child = tree_.FirstChild(tree_.root());
+       child != SuffixTree::kNoNode; child = tree_.NextSibling(child)) {
+    stack.push_back({child, {}, 0});
+  }
+  touch(tree_.root());
+
+  std::vector<double> next(m);
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    touch(frame.node);
+
+    const size_t begin = tree_.EdgeBegin(frame.node);
+    const size_t end = tree_.EdgeEnd(frame.node);
+    bool pruned = false;
+    size_t depth = frame.depth;
+    std::vector<double>& col = frame.col;
+
+    for (size_t pos = begin; pos < end; ++pos) {
+      const Symbol symbol = tree_.SymbolAt(pos);
+      if (tree_.IsTerminator(symbol)) {
+        pruned = true;  // paths never continue across a terminator
+        break;
+      }
+      double row_min = kInf;
+      if (col.empty()) {
+        col.resize(m);
+        double upstream = 0.0;
+        for (size_t j = 0; j < m; ++j) {
+          const double cost =
+              categorizer_.LowerBoundDistance(symbol, query[j]);
+          col[j] = j == 0 ? cost
+                          : (sum ? cost + upstream
+                                 : std::max(cost, upstream));
+          upstream = col[j];
+          row_min = std::min(row_min, col[j]);
+        }
+      } else {
+        for (size_t j = 0; j < m; ++j) {
+          const double cost =
+              categorizer_.LowerBoundDistance(symbol, query[j]);
+          double best = col[j];
+          if (j > 0) {
+            best = std::min(best, col[j - 1]);
+            best = std::min(best, next[j - 1]);
+          }
+          next[j] = sum ? cost + best : std::max(cost, best);
+          row_min = std::min(row_min, next[j]);
+        }
+        col.swap(next);
+      }
+      if (stats != nullptr) {
+        stats->dp_cells += m;
+      }
+      ++depth;
+      if (depth >= min_length && depth <= max_length &&
+          col[m - 1] <= epsilon) {
+        emit_subtree(frame.node, frame.depth, depth);
+      }
+      if (row_min > epsilon || depth >= max_length) {
+        pruned = true;
+        break;
+      }
+    }
+
+    if (pruned) {
+      continue;
+    }
+    for (SuffixTree::NodeIndex child = tree_.FirstChild(frame.node);
+         child != SuffixTree::kNoNode; child = tree_.NextSibling(child)) {
+      stack.push_back({child, col, depth});
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->pages_accessed = pages.size();
+  }
+  return candidates;
+}
+
+}  // namespace warpindex

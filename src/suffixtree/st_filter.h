@@ -1,0 +1,106 @@
+// ST-Filter: suffix-tree-based candidate filtering under time warping
+// (Park et al. [18]; the paper's §3.4 comparator).
+//
+// Construction: every data sequence is categorized into a symbol string
+// (suffixtree/categorizer.h) and inserted into a generalized suffix tree.
+//
+// Whole-match filtering: the tree is traversed from the root with a
+// time-warping DP between the query and the *category intervals* along
+// each path. Interval costs lower-bound true element costs, so a subtree
+// is pruned only when no sequence below it can be within epsilon — no
+// false dismissal. A data sequence becomes a candidate when the traversal
+// reaches its terminator through a path spelling the whole string with a
+// DP value <= epsilon.
+//
+// The paper's criticism, reproduced by bench/fig3_stock_elapsed and
+// fig4/fig5: for whole matching the shared-prefix structure the tree
+// exploits is rare, so the traversal visits a node count proportional to
+// the (large) tree, and ST-Filter loses to plain scans at small scale.
+
+#ifndef WARPINDEX_SUFFIXTREE_ST_FILTER_H_
+#define WARPINDEX_SUFFIXTREE_ST_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dtw/base_distance.h"
+#include "sequence/dataset.h"
+#include "suffixtree/categorizer.h"
+#include "suffixtree/suffix_tree.h"
+
+namespace warpindex {
+
+struct StFilterOptions {
+  // Paper §5.1: "we generated 100 categories using the
+  // equal-length-interval method".
+  size_t num_categories = 100;
+  DtwCombiner combiner = DtwCombiner::kMax;
+  size_t page_size_bytes = 1024;
+};
+
+struct StFilterQueryStats {
+  uint64_t nodes_visited = 0;
+  // Distinct suffix-tree pages touched (nodes packed in creation order).
+  uint64_t pages_accessed = 0;
+  uint64_t dp_cells = 0;
+
+  void Reset() { *this = StFilterQueryStats(); }
+};
+
+class StFilter {
+ public:
+  StFilter(const Dataset& dataset, StFilterOptions options);
+
+  StFilter(StFilter&&) = default;
+  StFilter& operator=(StFilter&&) = default;
+  StFilter(const StFilter&) = delete;
+  StFilter& operator=(const StFilter&) = delete;
+
+  // Candidate ids for whole matching: a superset of
+  // { S : D_tw(S, Q) <= epsilon }. Requires a non-empty query.
+  std::vector<SequenceId> FindCandidates(const Sequence& query,
+                                         double epsilon,
+                                         StFilterQueryStats* stats = nullptr)
+      const;
+
+  // One candidate occurrence for subsequence matching.
+  struct SubsequenceCandidate {
+    SequenceId sequence_id = kInvalidSequenceId;
+    size_t offset = 0;
+    size_t length = 0;
+
+    friend bool operator==(const SubsequenceCandidate& a,
+                           const SubsequenceCandidate& b) {
+      return a.sequence_id == b.sequence_id && a.offset == b.offset &&
+             a.length == b.length;
+    }
+  };
+
+  // Subsequence matching — the setting ST-Filter was designed for (paper
+  // §3.4): candidate windows W = S[offset, offset+length) with length in
+  // [min_length, max_length] whose category-interval time-warping lower
+  // bound to Q is <= epsilon. Superset of the true matches in that length
+  // class (no false dismissal); verify with exact D_tw. Every root path of
+  // a qualifying depth contributes the suffix occurrences below it, which
+  // is where the suffix tree's sharing pays off — in contrast to whole
+  // matching, where only full-string paths count.
+  std::vector<SubsequenceCandidate> FindSubsequenceCandidates(
+      const Sequence& query, double epsilon, size_t min_length,
+      size_t max_length, StFilterQueryStats* stats = nullptr) const;
+
+  const SuffixTree& tree() const { return tree_; }
+  const Categorizer& categorizer() const { return categorizer_; }
+  const StFilterOptions& options() const { return options_; }
+
+  // Index footprint in pages under the configured page size.
+  size_t IndexPages() const { return tree_.NumPages(options_.page_size_bytes); }
+
+ private:
+  StFilterOptions options_;
+  Categorizer categorizer_;
+  SuffixTree tree_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SUFFIXTREE_ST_FILTER_H_

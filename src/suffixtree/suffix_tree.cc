@@ -1,0 +1,218 @@
+#include "suffixtree/suffix_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace warpindex {
+
+SuffixTree::SuffixTree() {
+  NewNode(0, 0);  // root; its edge fields are unused
+}
+
+SuffixTree::NodeIndex SuffixTree::NewNode(int32_t start, int32_t end) {
+  assert(nodes_.size() <
+         static_cast<size_t>(std::numeric_limits<NodeIndex>::max()));
+  Node n;
+  n.start = start;
+  n.end = end;
+  nodes_.push_back(n);
+  return static_cast<NodeIndex>(nodes_.size() - 1);
+}
+
+size_t SuffixTree::EdgeEnd(NodeIndex n) const {
+  const Node& node = nodes_[Idx(n)];
+  return node.end == kOpenEnd ? text_.size() : static_cast<size_t>(node.end);
+}
+
+size_t SuffixTree::EdgeLength(NodeIndex n) const {
+  return EdgeEnd(n) - static_cast<size_t>(nodes_[Idx(n)].start);
+}
+
+SuffixTree::NodeIndex SuffixTree::FindChild(NodeIndex parent,
+                                            Symbol first_symbol) const {
+  NodeIndex child = nodes_[Idx(parent)].first_child;
+  while (child != kNoNode) {
+    if (text_[static_cast<size_t>(nodes_[Idx(child)].start)] ==
+        first_symbol) {
+      return child;
+    }
+    child = nodes_[Idx(child)].next_sibling;
+  }
+  return kNoNode;
+}
+
+void SuffixTree::AddChild(NodeIndex parent, NodeIndex child) {
+  nodes_[Idx(child)].next_sibling = nodes_[Idx(parent)].first_child;
+  nodes_[Idx(parent)].first_child = child;
+}
+
+void SuffixTree::ReplaceChild(NodeIndex parent, NodeIndex old_child,
+                              NodeIndex new_child) {
+  NodeIndex* slot = &nodes_[Idx(parent)].first_child;
+  while (*slot != kNoNode) {
+    if (*slot == old_child) {
+      nodes_[Idx(new_child)].next_sibling = nodes_[Idx(old_child)].next_sibling;
+      *slot = new_child;
+      nodes_[Idx(old_child)].next_sibling = kNoNode;
+      return;
+    }
+    slot = &nodes_[Idx(*slot)].next_sibling;
+  }
+  assert(false && "old child not found");
+}
+
+void SuffixTree::Extend(size_t pos) {
+  const Symbol symbol = text_[pos];
+  ++remainder_;
+  NodeIndex need_link = kNoNode;
+  auto add_link = [&](NodeIndex n) {
+    if (need_link != kNoNode) {
+      nodes_[Idx(need_link)].suffix_link = n;
+    }
+    need_link = n;
+  };
+
+  while (remainder_ > 0) {
+    if (active_length_ == 0) {
+      active_edge_ = pos;
+    }
+    const NodeIndex child = FindChild(active_node_, text_[active_edge_]);
+    if (child == kNoNode) {
+      const NodeIndex leaf =
+          NewNode(static_cast<int32_t>(pos), kOpenEnd);
+      AddChild(active_node_, leaf);
+      add_link(active_node_);
+    } else {
+      if (active_length_ >= EdgeLength(child)) {
+        active_edge_ += EdgeLength(child);
+        active_length_ -= EdgeLength(child);
+        active_node_ = child;
+        continue;  // walk down, retry at deeper node
+      }
+      if (text_[static_cast<size_t>(nodes_[Idx(child)].start) +
+                active_length_] == symbol) {
+        // Symbol already present on the edge: rule 3, stop here.
+        ++active_length_;
+        add_link(active_node_);
+        break;
+      }
+      // Split the edge.
+      const int32_t child_start = nodes_[Idx(child)].start;
+      const NodeIndex split = NewNode(
+          child_start, child_start + static_cast<int32_t>(active_length_));
+      ReplaceChild(active_node_, child, split);
+      const NodeIndex leaf = NewNode(static_cast<int32_t>(pos), kOpenEnd);
+      AddChild(split, leaf);
+      nodes_[Idx(child)].start =
+          child_start + static_cast<int32_t>(active_length_);
+      AddChild(split, child);
+      add_link(split);
+    }
+    --remainder_;
+    if (active_node_ == root() && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != root()) {
+      const NodeIndex link = nodes_[Idx(active_node_)].suffix_link;
+      active_node_ = link != kNoNode ? link : root();
+    }
+  }
+}
+
+int64_t SuffixTree::AddString(const std::vector<Symbol>& symbols) {
+  const int64_t string_id = static_cast<int64_t>(string_ranges_.size());
+  const size_t begin = text_.size();
+  string_ranges_.emplace_back(begin, symbols.size());
+  text_.reserve(text_.size() + symbols.size() + 1);
+  for (const Symbol s : symbols) {
+    assert(s >= 0);
+    text_.push_back(s);
+    Extend(text_.size() - 1);
+  }
+  // Unique terminator, strictly negative.
+  text_.push_back(static_cast<Symbol>(-(string_id + 1)));
+  Extend(text_.size() - 1);
+  return string_id;
+}
+
+size_t SuffixTree::StringLength(int64_t id) const {
+  assert(id >= 0 && static_cast<size_t>(id) < string_ranges_.size());
+  return string_ranges_[static_cast<size_t>(id)].second;
+}
+
+size_t SuffixTree::ApproxBytes() const {
+  return text_.size() * sizeof(Symbol) + nodes_.size() * kNodeBytes;
+}
+
+bool SuffixTree::ContainsSubstring(const std::vector<Symbol>& symbols) const {
+  NodeIndex node = root();
+  size_t matched_on_edge = 0;
+  NodeIndex edge_node = kNoNode;
+  for (const Symbol s : symbols) {
+    assert(s >= 0);
+    if (edge_node == kNoNode) {
+      edge_node = FindChild(node, s);
+      if (edge_node == kNoNode) {
+        return false;
+      }
+      matched_on_edge = 1;
+    } else {
+      const size_t pos =
+          static_cast<size_t>(nodes_[Idx(edge_node)].start) + matched_on_edge;
+      if (pos >= EdgeEnd(edge_node) || text_[pos] != s) {
+        if (pos < EdgeEnd(edge_node)) {
+          return false;
+        }
+        node = edge_node;
+        edge_node = FindChild(node, s);
+        if (edge_node == kNoNode) {
+          return false;
+        }
+        matched_on_edge = 1;
+        continue;
+      }
+      ++matched_on_edge;
+    }
+  }
+  return true;
+}
+
+bool SuffixTree::LocatePosition(size_t pos, int64_t* string_id,
+                                size_t* offset) const {
+  assert(pos < text_.size());
+  if (text_[pos] < 0) {
+    return false;  // terminator
+  }
+  // string_ranges_ begins are strictly increasing; find the last range
+  // starting at or before pos.
+  size_t lo = 0;
+  size_t hi = string_ranges_.size();
+  while (lo + 1 < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (string_ranges_[mid].first <= pos) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [begin, length] = string_ranges_[lo];
+  assert(pos >= begin && pos < begin + length);
+  *string_id = static_cast<int64_t>(lo);
+  *offset = pos - begin;
+  return true;
+}
+
+size_t SuffixTree::NumPages(size_t page_size_bytes) const {
+  const size_t nodes_per_page =
+      std::max<size_t>(1, page_size_bytes / kNodeBytes);
+  return (nodes_.size() + nodes_per_page - 1) / nodes_per_page;
+}
+
+int64_t SuffixTree::PageOf(NodeIndex n, size_t page_size_bytes) const {
+  const size_t nodes_per_page =
+      std::max<size_t>(1, page_size_bytes / kNodeBytes);
+  return static_cast<int64_t>(Idx(n) / nodes_per_page);
+}
+
+}  // namespace warpindex

@@ -1,0 +1,114 @@
+// Generalized suffix tree over symbol sequences (Ukkonen's online
+// algorithm), the index structure of the ST-Filter baseline [18].
+//
+// Strings are appended to one global text, each followed by a unique
+// negative terminator symbol, and the tree is extended online — the
+// classical generalized-suffix-tree construction. Terminators are unique,
+// so no query over non-negative symbols can match across a string
+// boundary; traversals simply stop at the first negative symbol on an
+// edge.
+//
+// Memory layout: nodes live in one arena with first-child/next-sibling
+// links (no per-node hash maps) — 28 bytes per node, which is what makes
+// million-node trees feasible and also what the paper's "the suffix tree
+// gets large" criticism is about: ~2 nodes per input symbol no matter how
+// compactly each node is stored.
+
+#ifndef WARPINDEX_SUFFIXTREE_SUFFIX_TREE_H_
+#define WARPINDEX_SUFFIXTREE_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "suffixtree/categorizer.h"
+
+namespace warpindex {
+
+class SuffixTree {
+ public:
+  using NodeIndex = int32_t;
+  static constexpr NodeIndex kNoNode = -1;
+
+  SuffixTree();
+
+  // Appends `symbols` (all must be >= 0) as string number num_strings()
+  // and extends the tree. Returns the string's id.
+  int64_t AddString(const std::vector<Symbol>& symbols);
+
+  size_t num_strings() const { return string_ranges_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  // Length of string `id`, excluding its terminator.
+  size_t StringLength(int64_t id) const;
+  // Total text length including terminators.
+  size_t text_size() const { return text_.size(); }
+
+  // Approximate in-memory footprint (text + node arena), used for the
+  // paged cost model.
+  size_t ApproxBytes() const;
+
+  NodeIndex root() const { return 0; }
+
+  // Navigation (edge label of `n` = text[EdgeBegin(n), EdgeEnd(n)) ).
+  NodeIndex FirstChild(NodeIndex n) const { return nodes_[Idx(n)].first_child; }
+  NodeIndex NextSibling(NodeIndex n) const {
+    return nodes_[Idx(n)].next_sibling;
+  }
+  size_t EdgeBegin(NodeIndex n) const {
+    return static_cast<size_t>(nodes_[Idx(n)].start);
+  }
+  size_t EdgeEnd(NodeIndex n) const;
+  Symbol SymbolAt(size_t pos) const { return text_[pos]; }
+  bool IsTerminator(Symbol s) const { return s < 0; }
+  // The string a terminator symbol belongs to.
+  int64_t TerminatorString(Symbol s) const { return -(s + 1); }
+
+  // Exact substring query over non-negative symbols (testing aid).
+  bool ContainsSubstring(const std::vector<Symbol>& symbols) const;
+
+  // Maps a global text position to (string id, offset within string).
+  // Returns false when `pos` holds a terminator.
+  bool LocatePosition(size_t pos, int64_t* string_id, size_t* offset) const;
+
+  // Number of suffix-tree pages for a given page size, assuming nodes are
+  // packed `page_size / kNodeBytes` per page in creation order.
+  size_t NumPages(size_t page_size_bytes) const;
+  // Page holding node `n` under that layout.
+  int64_t PageOf(NodeIndex n, size_t page_size_bytes) const;
+
+  static constexpr size_t kNodeBytes = 28;
+
+ private:
+  struct Node {
+    int32_t start = 0;  // first text position of the incoming edge label
+    int32_t end = 0;    // one past the last position; kOpenEnd for leaves
+    NodeIndex suffix_link = kNoNode;
+    NodeIndex first_child = kNoNode;
+    NodeIndex next_sibling = kNoNode;
+  };
+  static constexpr int32_t kOpenEnd = -1;
+
+  static size_t Idx(NodeIndex n) { return static_cast<size_t>(n); }
+
+  NodeIndex NewNode(int32_t start, int32_t end);
+  NodeIndex FindChild(NodeIndex parent, Symbol first_symbol) const;
+  void AddChild(NodeIndex parent, NodeIndex child);
+  void ReplaceChild(NodeIndex parent, NodeIndex old_child,
+                    NodeIndex new_child);
+  size_t EdgeLength(NodeIndex n) const;
+  void Extend(size_t pos);
+
+  std::vector<Symbol> text_;
+  std::vector<Node> nodes_;
+  // (begin offset in text_, length) per string, excluding terminators.
+  std::vector<std::pair<size_t, size_t>> string_ranges_;
+
+  // Ukkonen's active point state.
+  NodeIndex active_node_ = 0;
+  size_t active_edge_ = 0;  // text position identifying the edge
+  size_t active_length_ = 0;
+  size_t remainder_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SUFFIXTREE_SUFFIX_TREE_H_

@@ -1,0 +1,109 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(BufferPoolTest, FirstAccessMissesThenHits) {
+  BufferPool pool(4);
+  IoStats stats;
+  EXPECT_FALSE(pool.Access(1, &stats));
+  EXPECT_TRUE(pool.Access(1, &stats));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(stats.random_page_reads, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPool pool(2);
+  pool.Access(1, nullptr);
+  pool.Access(2, nullptr);
+  pool.Access(1, nullptr);  // 1 is now MRU; LRU is 2
+  pool.Access(3, nullptr);  // evicts 2
+  EXPECT_TRUE(pool.Access(1, nullptr));
+  EXPECT_TRUE(pool.Access(3, nullptr));
+  EXPECT_FALSE(pool.Access(2, nullptr));  // was evicted
+}
+
+TEST(BufferPoolTest, CapacityBoundRespected) {
+  BufferPool pool(3);
+  for (PageId p = 0; p < 10; ++p) {
+    pool.Access(p, nullptr);
+  }
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(BufferPoolTest, ZeroCapacityAlwaysMisses) {
+  BufferPool pool(0);
+  IoStats stats;
+  EXPECT_FALSE(pool.Access(1, &stats));
+  EXPECT_FALSE(pool.Access(1, &stats));
+  EXPECT_EQ(stats.random_page_reads, 2u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(BufferPoolTest, ClearDropsEverything) {
+  BufferPool pool(4);
+  pool.Access(1, nullptr);
+  pool.Access(2, nullptr);
+  pool.Clear();
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_FALSE(pool.Access(1, nullptr));
+}
+
+TEST(BufferPoolTest, NullStatsAllowed) {
+  BufferPool pool(2);
+  EXPECT_FALSE(pool.Access(7, nullptr));
+  EXPECT_TRUE(pool.Access(7, nullptr));
+}
+
+TEST(IoStatsTest, RecordersAndMerge) {
+  IoStats a;
+  a.RecordRandomRead(3);
+  a.RecordRandomRun(5);
+  a.RecordSequentialRun(10);
+  a.RecordWrite(2);
+  EXPECT_EQ(a.random_page_reads, 8u);
+  EXPECT_EQ(a.sequential_page_reads, 10u);
+  EXPECT_EQ(a.seeks, 3u + 1u + 1u);
+  EXPECT_EQ(a.page_writes, 2u);
+  EXPECT_EQ(a.TotalPageReads(), 18u);
+
+  IoStats b;
+  b.RecordRandomRead();
+  b.Merge(a);
+  EXPECT_EQ(b.random_page_reads, 9u);
+  EXPECT_EQ(b.seeks, 6u);
+  b.Reset();
+  EXPECT_EQ(b.TotalPageReads(), 0u);
+}
+
+TEST(DiskModelTest, CostsMatchParameters) {
+  // 1 KB pages at 5 MB/s -> 0.2 ms transfer; 9.5 ms seek (paper's disk).
+  const DiskModel model(DiskParameters{}, 1024);
+  EXPECT_NEAR(model.TransferMillisPerPage(), 0.2048, 1e-9);
+
+  IoStats scan;
+  scan.RecordSequentialRun(1000);
+  // One seek + 1000 transfers.
+  EXPECT_NEAR(model.CostMillis(scan), 9.5 + 1000 * 0.2048, 1e-6);
+
+  IoStats random;
+  random.RecordRandomRead(100);
+  // 100 seeks + 100 transfers: random I/O dominated by seeks.
+  EXPECT_NEAR(model.CostMillis(random), 100 * 9.5 + 100 * 0.2048, 1e-6);
+  EXPECT_GT(model.CostMillis(random), model.CostMillis(scan));
+}
+
+TEST(DiskModelTest, RandomReadsCostMoreThanSequentialForSamePageCount) {
+  const DiskModel model(DiskParameters{}, 1024);
+  IoStats seq;
+  seq.RecordSequentialRun(50);
+  IoStats rnd;
+  rnd.RecordRandomRead(50);
+  EXPECT_GT(model.CostMillis(rnd), model.CostMillis(seq));
+}
+
+}  // namespace
+}  // namespace warpindex

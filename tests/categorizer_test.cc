@@ -1,0 +1,88 @@
+#include "suffixtree/categorizer.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(CategorizerTest, PartitionsRangeEvenly) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  EXPECT_EQ(c.num_categories(), 5u);
+  EXPECT_EQ(c.Categorize(0.5), 0);
+  EXPECT_EQ(c.Categorize(2.5), 1);
+  EXPECT_EQ(c.Categorize(9.9), 4);
+}
+
+TEST(CategorizerTest, BoundaryValues) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  EXPECT_EQ(c.Categorize(0.0), 0);
+  EXPECT_EQ(c.Categorize(10.0), 4);
+  // Interior boundary 2.0 belongs to the upper interval (half-open).
+  EXPECT_EQ(c.Categorize(2.0), 1);
+}
+
+TEST(CategorizerTest, ClampsOutOfRangeValues) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  EXPECT_EQ(c.Categorize(-100.0), 0);
+  EXPECT_EQ(c.Categorize(100.0), 4);
+}
+
+TEST(CategorizerTest, IntervalsTileTheRange) {
+  const Categorizer c = Categorizer::EqualWidth(-3.0, 7.0, 4);
+  EXPECT_DOUBLE_EQ(c.IntervalLow(0), -3.0);
+  EXPECT_DOUBLE_EQ(c.IntervalHigh(3), 7.0);
+  for (Symbol s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(c.IntervalHigh(s), c.IntervalLow(s + 1));
+  }
+}
+
+TEST(CategorizerTest, EveryValueFallsInItsInterval) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 1.0, 100);
+  for (int i = 0; i <= 1000; ++i) {
+    const double v = i / 1000.0;
+    const Symbol s = c.Categorize(v);
+    EXPECT_GE(v, c.IntervalLow(s) - 1e-12);
+    EXPECT_LE(v, c.IntervalHigh(s) + 1e-12);
+  }
+}
+
+TEST(CategorizerTest, LowerBoundDistanceZeroInside) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  // Category 1 covers [2, 4].
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(1, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(1, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(1, 4.0), 0.0);
+}
+
+TEST(CategorizerTest, LowerBoundDistanceOutside) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(1, 1.0), 1.0);  // below [2,4]
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(1, 6.5), 2.5);  // above [2,4]
+}
+
+TEST(CategorizerTest, LowerBoundNeverExceedsTrueDistance) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 100.0, 100);
+  // For any pair (v, w): dist(category(v), w) <= |v - w|.
+  for (double v = 0.0; v <= 100.0; v += 3.7) {
+    for (double w = 0.0; w <= 100.0; w += 5.3) {
+      EXPECT_LE(c.LowerBoundDistance(c.Categorize(v), w),
+                std::abs(v - w) + 1e-12);
+    }
+  }
+}
+
+TEST(CategorizerTest, CategorizeSequence) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 10.0, 5);
+  const auto symbols = c.CategorizeSequence(Sequence({0.5, 5.0, 9.9}));
+  EXPECT_EQ(symbols, (std::vector<Symbol>{0, 2, 4}));
+}
+
+TEST(CategorizerTest, SingleCategoryDegenerate) {
+  const Categorizer c = Categorizer::EqualWidth(0.0, 1.0, 1);
+  EXPECT_EQ(c.Categorize(0.3), 0);
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.LowerBoundDistance(0, 2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace warpindex

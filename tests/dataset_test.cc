@@ -1,0 +1,97 @@
+#include "sequence/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace warpindex {
+namespace {
+
+Dataset MakeSmallDataset() {
+  Dataset d;
+  d.Add(Sequence({1.0, 2.0, 3.0}));
+  d.Add(Sequence({-5.0, 10.0}));
+  d.Add(Sequence({0.0, 0.0, 0.0, 0.0, 0.0}));
+  return d;
+}
+
+TEST(DatasetTest, AddAssignsSequentialIds) {
+  const Dataset d = MakeSmallDataset();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].id(), 0);
+  EXPECT_EQ(d[1].id(), 1);
+  EXPECT_EQ(d[2].id(), 2);
+}
+
+TEST(DatasetTest, VectorConstructorAssignsIds) {
+  Dataset d(std::vector<Sequence>{Sequence({1.0}), Sequence({2.0})});
+  EXPECT_EQ(d[0].id(), 0);
+  EXPECT_EQ(d[1].id(), 1);
+}
+
+TEST(DatasetTest, StatsComputedCorrectly) {
+  const DatasetStats stats = MakeSmallDataset().ComputeStats();
+  EXPECT_EQ(stats.num_sequences, 3u);
+  EXPECT_EQ(stats.total_elements, 10u);
+  EXPECT_EQ(stats.min_length, 2u);
+  EXPECT_EQ(stats.max_length, 5u);
+  EXPECT_NEAR(stats.avg_length, 10.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.global_min, -5.0);
+  EXPECT_EQ(stats.global_max, 10.0);
+}
+
+TEST(DatasetTest, EmptyStats) {
+  const DatasetStats stats = Dataset().ComputeStats();
+  EXPECT_EQ(stats.num_sequences, 0u);
+  EXPECT_EQ(stats.total_elements, 0u);
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "/dataset_roundtrip.wids";
+  const Dataset original = MakeSmallDataset();
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  Dataset loaded;
+  ASSERT_TRUE(Dataset::LoadFromFile(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+    EXPECT_EQ(loaded[i].id(), original[i].id());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, RoundTripWithEmptyDataset) {
+  const std::string path = testing::TempDir() + "/dataset_empty.wids";
+  ASSERT_TRUE(Dataset().SaveToFile(path).ok());
+  Dataset loaded = MakeSmallDataset();
+  ASSERT_TRUE(Dataset::LoadFromFile(path, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, LoadRejectsMissingFile) {
+  Dataset d;
+  const Status s = Dataset::LoadFromFile("/nonexistent/nope.wids", &d);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(DatasetTest, LoadRejectsBadMagic) {
+  const std::string path = testing::TempDir() + "/dataset_bad_magic.wids";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("JUNKJUNKJUNKJUNKJUNK", 1, 20, f);
+  std::fclose(f);
+  Dataset d;
+  const Status s = Dataset::LoadFromFile(path, &d);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetTest, SaveRejectsUnwritablePath) {
+  const Status s = MakeSmallDataset().SaveToFile("/nonexistent/dir/x.wids");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace warpindex

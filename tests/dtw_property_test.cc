@@ -1,0 +1,171 @@
+// Property tests for the time-warping distance over randomized inputs,
+// parameterized over the base-distance configurations.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+
+namespace warpindex {
+namespace {
+
+Sequence RandomSequence(Prng* prng, int64_t min_len, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(prng->UniformDouble(-5.0, 5.0));
+  }
+  return s;
+}
+
+Sequence RandomWarp(const Sequence& s, Prng* prng) {
+  Sequence warped;
+  for (double v : s.elements()) {
+    const int64_t copies = prng->UniformInt(1, 3);
+    for (int64_t c = 0; c < copies; ++c) {
+      warped.Append(v);
+    }
+  }
+  return warped;
+}
+
+class DtwPropertyTest : public testing::TestWithParam<DtwOptions> {};
+
+TEST_P(DtwPropertyTest, NonNegativeAndSymmetric) {
+  const Dtw dtw(GetParam());
+  Prng prng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = RandomSequence(&prng, 1, 20);
+    const Sequence b = RandomSequence(&prng, 1, 20);
+    const double d_ab = dtw.Distance(a, b).distance;
+    const double d_ba = dtw.Distance(b, a).distance;
+    EXPECT_GE(d_ab, 0.0);
+    EXPECT_NEAR(d_ab, d_ba, 1e-9);
+  }
+}
+
+TEST_P(DtwPropertyTest, SelfDistanceIsZero) {
+  const Dtw dtw(GetParam());
+  Prng prng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = RandomSequence(&prng, 1, 30);
+    EXPECT_EQ(dtw.Distance(a, a).distance, 0.0);
+  }
+}
+
+TEST_P(DtwPropertyTest, InvariantUnderWarpingOfEitherSide) {
+  // D_tw(S, warp(S)) == 0 and D_tw(warp(S), Q) needs no more than
+  // D_tw(S, Q) ... for the max combiner warping either side cannot change
+  // the optimum; for the sum combiner it cannot *decrease* to below zero.
+  const Dtw dtw(GetParam());
+  Prng prng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Sequence a = RandomSequence(&prng, 1, 15);
+    const Sequence warped = RandomWarp(a, &prng);
+    EXPECT_EQ(dtw.Distance(a, warped).distance, 0.0);
+  }
+}
+
+TEST_P(DtwPropertyTest, ThresholdedAgreesWithExact) {
+  const Dtw dtw(GetParam());
+  Prng prng(4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sequence a = RandomSequence(&prng, 1, 20);
+    const Sequence b = RandomSequence(&prng, 1, 20);
+    const double exact = dtw.Distance(a, b).distance;
+    const double epsilon = prng.UniformDouble(0.0, 10.0);
+    const double thresholded =
+        dtw.DistanceWithThreshold(a, b, epsilon).distance;
+    if (exact <= epsilon) {
+      EXPECT_NEAR(thresholded, exact, 1e-9)
+          << "a=" << a.ToString() << " b=" << b.ToString()
+          << " eps=" << epsilon;
+    } else {
+      EXPECT_TRUE(std::isinf(thresholded))
+          << "exact=" << exact << " eps=" << epsilon
+          << " got=" << thresholded;
+    }
+  }
+}
+
+TEST_P(DtwPropertyTest, PathCostAlwaysEqualsDistance) {
+  const Dtw dtw(GetParam());
+  Prng prng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = RandomSequence(&prng, 1, 15);
+    const Sequence b = RandomSequence(&prng, 1, 15);
+    const DtwPathResult r = dtw.DistanceWithPath(a, b);
+    ASSERT_TRUE(r.path.IsValid(a.size(), b.size()));
+    EXPECT_NEAR(r.path.Cost(a, b, dtw.options()), r.distance, 1e-9);
+    EXPECT_NEAR(r.distance, dtw.Distance(a, b).distance, 1e-9);
+  }
+}
+
+TEST_P(DtwPropertyTest, AnyValidPathUpperBoundsDistance) {
+  // The DP optimum must be <= the cost of the trivial "staircase" path.
+  const Dtw dtw(GetParam());
+  Prng prng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence a = RandomSequence(&prng, 2, 15);
+    const Sequence b = RandomSequence(&prng, 2, 15);
+    std::vector<WarpingStep> steps;
+    size_t i = 0;
+    size_t j = 0;
+    steps.push_back({0, 0});
+    while (i + 1 < a.size() || j + 1 < b.size()) {
+      if (i + 1 < a.size()) ++i;
+      if (j + 1 < b.size()) ++j;
+      steps.push_back({i, j});
+    }
+    const WarpingPath path(std::move(steps));
+    ASSERT_TRUE(path.IsValid(a.size(), b.size()));
+    EXPECT_LE(dtw.Distance(a, b).distance,
+              path.Cost(a, b, dtw.options()) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaseDistances, DtwPropertyTest,
+    testing::Values(DtwOptions::Linf(), DtwOptions::L1(), DtwOptions::L2()),
+    [](const testing::TestParamInfo<DtwOptions>& info) {
+      if (info.param.combiner == DtwCombiner::kMax) return "Linf";
+      return info.param.step == StepCost::kSquared ? "L2" : "L1";
+    });
+
+// The motivating fact of the paper (§1, [25]): D_tw violates the
+// triangular inequality, so metric indexes cannot host it directly.
+TEST(DtwTriangleViolationTest, ExhibitsConcreteViolation) {
+  // Classic counterexample for sum-combined DTW.
+  const Sequence x({0.0});
+  const Sequence y({1.0, 0.0});
+  const Sequence z({1.0, 1.0, 0.0});
+  const Dtw dtw(DtwOptions::L1());
+  const double xz = dtw.Distance(x, z).distance;
+  const double xy = dtw.Distance(x, y).distance;
+  const double yz = dtw.Distance(y, z).distance;
+  EXPECT_GT(xz, xy + yz);
+}
+
+TEST(DtwTriangleViolationTest, RandomSearchFindsViolationForL1) {
+  Prng prng(7);
+  bool found = false;
+  const Dtw dtw(DtwOptions::L1());
+  for (int trial = 0; trial < 2000 && !found; ++trial) {
+    const Sequence x = RandomSequence(&prng, 1, 6);
+    const Sequence y = RandomSequence(&prng, 1, 6);
+    const Sequence z = RandomSequence(&prng, 1, 6);
+    const double xz = dtw.Distance(x, z).distance;
+    const double xy = dtw.Distance(x, y).distance;
+    const double yz = dtw.Distance(y, z).distance;
+    if (xz > xy + yz + 1e-9) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "sum-combined DTW should violate the triangle "
+                        "inequality somewhere in 2000 random triples";
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,114 @@
+// Differential test: the production DP engine against a direct memoized
+// transcription of the paper's recursive Definition 1 / Definition 2.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+
+namespace warpindex {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Literal transcription of Definition 2 (and Definition 1 for the sum
+// combiner): D(i, j) = distance of prefixes s[0..i], q[0..j].
+class ReferenceDtw {
+ public:
+  ReferenceDtw(const Sequence& s, const Sequence& q, DtwCombiner combiner)
+      : s_(s), q_(q), combiner_(combiner),
+        memo_(s.size() * q.size(), -1.0) {}
+
+  double Distance() {
+    if (s_.empty() && q_.empty()) return 0.0;
+    if (s_.empty() || q_.empty()) return kInf;
+    return Solve(s_.size() - 1, q_.size() - 1);
+  }
+
+ private:
+  double Solve(size_t i, size_t j) {
+    double& slot = memo_[i * q_.size() + j];
+    if (slot >= 0.0) {
+      return slot;
+    }
+    const double cost = std::fabs(s_[i] - q_[j]);
+    double best;
+    if (i == 0 && j == 0) {
+      best = cost;
+    } else {
+      double upstream = kInf;
+      if (i > 0) upstream = std::min(upstream, Solve(i - 1, j));
+      if (j > 0) upstream = std::min(upstream, Solve(i, j - 1));
+      if (i > 0 && j > 0) upstream = std::min(upstream, Solve(i - 1, j - 1));
+      best = combiner_ == DtwCombiner::kSum ? cost + upstream
+                                            : std::max(cost, upstream);
+    }
+    slot = best;
+    return best;
+  }
+
+  const Sequence& s_;
+  const Sequence& q_;
+  DtwCombiner combiner_;
+  std::vector<double> memo_;
+};
+
+Sequence RandomSequence(Prng* prng, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(1, max_len);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(prng->UniformDouble(-3.0, 3.0));
+  }
+  return s;
+}
+
+class DtwReferenceTest : public testing::TestWithParam<DtwCombiner> {};
+
+TEST_P(DtwReferenceTest, EngineMatchesRecursiveDefinition) {
+  const DtwCombiner combiner = GetParam();
+  const Dtw dtw(combiner == DtwCombiner::kMax ? DtwOptions::Linf()
+                                              : DtwOptions::L1());
+  Prng prng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Sequence s = RandomSequence(&prng, 18);
+    const Sequence q = RandomSequence(&prng, 18);
+    ReferenceDtw reference(s, q, combiner);
+    EXPECT_NEAR(dtw.Distance(s, q).distance, reference.Distance(), 1e-9)
+        << "s=" << s.ToString(20) << " q=" << q.ToString(20);
+  }
+}
+
+TEST_P(DtwReferenceTest, PathResultMatchesRecursiveDefinition) {
+  const DtwCombiner combiner = GetParam();
+  const Dtw dtw(combiner == DtwCombiner::kMax ? DtwOptions::Linf()
+                                              : DtwOptions::L1());
+  Prng prng(778);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence s = RandomSequence(&prng, 12);
+    const Sequence q = RandomSequence(&prng, 12);
+    ReferenceDtw reference(s, q, combiner);
+    EXPECT_NEAR(dtw.DistanceWithPath(s, q).distance, reference.Distance(),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCombiners, DtwReferenceTest,
+                         testing::Values(DtwCombiner::kMax,
+                                         DtwCombiner::kSum),
+                         [](const testing::TestParamInfo<DtwCombiner>& info) {
+                           return info.param == DtwCombiner::kMax ? "Linf"
+                                                                  : "L1";
+                         });
+
+TEST(DtwReferenceTest, PaperExampleAgainstReference) {
+  const Sequence s({20, 21, 21, 20, 20, 23, 23, 23});
+  const Sequence q({20, 20, 21, 20, 23});
+  ReferenceDtw reference(s, q, DtwCombiner::kMax);
+  EXPECT_EQ(reference.Distance(), 0.0);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,194 @@
+#include "dtw/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace warpindex {
+namespace {
+
+TEST(DtwTest, BothEmptyIsZero) {
+  const Dtw dtw;
+  EXPECT_EQ(dtw.Distance(Sequence(), Sequence()).distance, 0.0);
+}
+
+TEST(DtwTest, OneEmptyIsInfinite) {
+  const Dtw dtw;
+  EXPECT_TRUE(std::isinf(dtw.Distance(Sequence({1.0}), Sequence()).distance));
+  EXPECT_TRUE(std::isinf(dtw.Distance(Sequence(), Sequence({1.0})).distance));
+}
+
+TEST(DtwTest, IdenticalSequencesHaveZeroDistance) {
+  const Dtw dtw;
+  const Sequence s({1.0, 2.0, 3.0, 2.0});
+  EXPECT_EQ(dtw.Distance(s, s).distance, 0.0);
+}
+
+// The paper's introductory example: S and Q both time-warp into
+// <20, 20, 21, 21, 20, 20, 23, 23, 23>, so their distance is exactly zero.
+TEST(DtwTest, PaperIntroductionExampleWarpsToZero) {
+  const Sequence s({20, 21, 21, 20, 20, 23, 23, 23});
+  const Sequence q({20, 20, 21, 20, 23});
+  EXPECT_EQ(Dtw(DtwOptions::Linf()).Distance(s, q).distance, 0.0);
+  EXPECT_EQ(Dtw(DtwOptions::L1()).Distance(s, q).distance, 0.0);
+}
+
+TEST(DtwTest, SingleElementAgainstPairLinf) {
+  // <0> vs <1, 2>: the single element must map to both -> max(1, 2) = 2.
+  const Dtw dtw(DtwOptions::Linf());
+  EXPECT_DOUBLE_EQ(dtw.Distance(Sequence({0.0}), Sequence({1.0, 2.0}))
+                       .distance,
+                   2.0);
+}
+
+TEST(DtwTest, SingleElementAgainstPairL1) {
+  // Sum-combined: 1 + 2 = 3.
+  const Dtw dtw(DtwOptions::L1());
+  EXPECT_DOUBLE_EQ(dtw.Distance(Sequence({0.0}), Sequence({1.0, 2.0}))
+                       .distance,
+                   3.0);
+}
+
+TEST(DtwTest, KnownSmallExampleLinf) {
+  // <1, 3> vs <2>: both elements map to 2 -> max(1, 1) = 1.
+  const Dtw dtw(DtwOptions::Linf());
+  EXPECT_DOUBLE_EQ(dtw.Distance(Sequence({1.0, 3.0}), Sequence({2.0}))
+                       .distance,
+                   1.0);
+}
+
+TEST(DtwTest, L2TakesSqrtOfAccumulatedSquares) {
+  const Dtw dtw(DtwOptions::L2());
+  // Equal lengths, forced diagonal is optimal: sqrt(1^2 + 2^2) = sqrt(5).
+  const double d =
+      dtw.Distance(Sequence({0.0, 0.0}), Sequence({1.0, 2.0})).distance;
+  EXPECT_NEAR(d, std::sqrt(5.0), 1e-12);
+}
+
+TEST(DtwTest, SymmetricInArguments) {
+  const Dtw dtw;
+  const Sequence a({1.0, 5.0, 2.0, 8.0, 3.0});
+  const Sequence b({2.0, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(dtw.Distance(a, b).distance,
+                   dtw.Distance(b, a).distance);
+}
+
+TEST(DtwTest, WarpingAbsorbsElementRepetition) {
+  // Repeating elements must never change the L_inf warping distance.
+  const Dtw dtw;
+  const Sequence s({1.0, 2.0, 3.0});
+  const Sequence warped({1.0, 1.0, 1.0, 2.0, 3.0, 3.0});
+  EXPECT_EQ(dtw.Distance(s, warped).distance, 0.0);
+}
+
+TEST(DtwTest, ThresholdedMatchesExactWhenWithin) {
+  const Dtw dtw;
+  const Sequence a({1.0, 2.0, 3.0, 4.0});
+  const Sequence b({1.5, 2.5, 3.5, 4.5});
+  const double exact = dtw.Distance(a, b).distance;
+  ASSERT_LE(exact, 1.0);
+  EXPECT_DOUBLE_EQ(dtw.DistanceWithThreshold(a, b, 1.0).distance, exact);
+}
+
+TEST(DtwTest, ThresholdedReturnsInfinityBeyondTolerance) {
+  const Dtw dtw;
+  const Sequence a({0.0, 0.0, 0.0});
+  const Sequence b({10.0, 10.0, 10.0});
+  const DtwResult r = dtw.DistanceWithThreshold(a, b, 1.0);
+  EXPECT_TRUE(std::isinf(r.distance));
+}
+
+TEST(DtwTest, EarlyAbandonComputesFewerCells) {
+  const Dtw dtw;
+  Sequence a;
+  Sequence b;
+  for (int i = 0; i < 100; ++i) {
+    a.Append(0.0);
+    b.Append(100.0);
+  }
+  const DtwResult full = dtw.Distance(a, b);
+  const DtwResult pruned = dtw.DistanceWithThreshold(a, b, 0.5);
+  EXPECT_TRUE(std::isinf(pruned.distance));
+  EXPECT_LT(pruned.cells, full.cells / 10);
+}
+
+TEST(DtwTest, WithinToleranceConvenience) {
+  const Dtw dtw;
+  const Sequence a({1.0, 2.0});
+  const Sequence b({1.4, 2.4});
+  EXPECT_TRUE(dtw.WithinTolerance(a, b, 0.5));
+  EXPECT_FALSE(dtw.WithinTolerance(a, b, 0.3));
+}
+
+TEST(DtwTest, BandZeroEqualLengthsIsElementwiseMax) {
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 0;
+  const Dtw dtw(options);
+  const Sequence a({1.0, 5.0, 2.0});
+  const Sequence b({2.0, 4.0, 0.0});
+  // Diagonal-only path: max(|1-2|, |5-4|, |2-0|) = 2.
+  EXPECT_DOUBLE_EQ(dtw.Distance(a, b).distance, 2.0);
+}
+
+TEST(DtwTest, BandNeverDecreasesDistance) {
+  const Sequence a({1.0, 9.0, 1.0, 9.0, 1.0, 9.0});
+  const Sequence b({9.0, 1.0, 9.0, 1.0, 9.0, 1.0});
+  const double unbounded =
+      Dtw(DtwOptions::L1()).Distance(a, b).distance;
+  DtwOptions banded = DtwOptions::L1();
+  banded.band = 1;
+  const double constrained = Dtw(banded).Distance(a, b).distance;
+  EXPECT_GE(constrained, unbounded);
+}
+
+TEST(DtwTest, BandWidensForUnequalLengths) {
+  // Band 0 with unequal lengths must still admit a path.
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 0;
+  const Dtw dtw(options);
+  const Sequence a({1.0, 2.0, 3.0, 4.0});
+  const Sequence b({1.0, 4.0});
+  const double d = dtw.Distance(a, b).distance;
+  EXPECT_FALSE(std::isinf(d));
+}
+
+TEST(DtwTest, PathMatchesDistanceLinf) {
+  const Dtw dtw;
+  const Sequence a({1.0, 5.0, 2.0, 8.0});
+  const Sequence b({2.0, 4.0, 9.0, 1.0, 3.0});
+  const DtwPathResult r = dtw.DistanceWithPath(a, b);
+  EXPECT_TRUE(r.path.IsValid(a.size(), b.size()));
+  EXPECT_DOUBLE_EQ(r.path.Cost(a, b, dtw.options()), r.distance);
+  EXPECT_DOUBLE_EQ(r.distance, dtw.Distance(a, b).distance);
+}
+
+TEST(DtwTest, PathMatchesDistanceL1) {
+  const Dtw dtw(DtwOptions::L1());
+  const Sequence a({3.0, 1.0, 4.0, 1.0, 5.0});
+  const Sequence b({2.0, 7.0, 1.0});
+  const DtwPathResult r = dtw.DistanceWithPath(a, b);
+  EXPECT_TRUE(r.path.IsValid(a.size(), b.size()));
+  EXPECT_DOUBLE_EQ(r.path.Cost(a, b, dtw.options()), r.distance);
+  EXPECT_DOUBLE_EQ(r.distance, dtw.Distance(a, b).distance);
+}
+
+TEST(DtwTest, PathForEmptyInputs) {
+  const Dtw dtw;
+  const DtwPathResult both_empty = dtw.DistanceWithPath(Sequence(),
+                                                        Sequence());
+  EXPECT_EQ(both_empty.distance, 0.0);
+  EXPECT_TRUE(both_empty.path.empty());
+  const DtwPathResult one_empty =
+      dtw.DistanceWithPath(Sequence({1.0}), Sequence());
+  EXPECT_TRUE(std::isinf(one_empty.distance));
+}
+
+TEST(DtwTest, CellCountMatchesMatrixSizeUnconstrained) {
+  const Dtw dtw;
+  const Sequence a({1.0, 2.0, 3.0});
+  const Sequence b({1.0, 2.0});
+  EXPECT_EQ(dtw.Distance(a, b).cells, 6u);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,142 @@
+// Dynamic maintenance: Engine::Insert / Remove keep the store and the
+// feature index consistent, and every search method keeps agreeing with
+// ground truth afterwards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(size_t n = 60) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = 25;
+  options.max_length = 60;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<SequenceId> Sorted(std::vector<SequenceId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EngineDynamicTest, InsertMakesSequenceFindable) {
+  Engine engine(WalkDataset(), EngineOptions{});
+  Sequence fresh({100.0, 101.0, 102.0, 101.0});
+  const SequenceId id = engine.Insert(fresh);
+  EXPECT_EQ(id, 60);
+  EXPECT_TRUE(engine.Contains(id));
+  EXPECT_EQ(engine.live_size(), 61u);
+
+  const SearchResult result = engine.Search(fresh, 0.0);
+  ASSERT_EQ(result.matches.size(), 1u);
+  EXPECT_EQ(result.matches[0], id);
+}
+
+TEST(EngineDynamicTest, RemoveMakesSequenceUnfindableEverywhere) {
+  Engine engine(WalkDataset(), EngineOptions{});
+  const Sequence target = engine.dataset()[10];
+  ASSERT_TRUE(engine.Remove(10));
+  EXPECT_FALSE(engine.Contains(10));
+  EXPECT_EQ(engine.live_size(), 59u);
+
+  for (const MethodKind kind : {MethodKind::kTwSimSearch,
+                                MethodKind::kNaiveScan,
+                                MethodKind::kLbScan}) {
+    const SearchResult result = engine.SearchWith(kind, target, 0.0);
+    EXPECT_EQ(std::find(result.matches.begin(), result.matches.end(), 10),
+              result.matches.end())
+        << MethodKindName(kind);
+  }
+}
+
+TEST(EngineDynamicTest, RemoveTwiceFails) {
+  Engine engine(WalkDataset(), EngineOptions{});
+  EXPECT_TRUE(engine.Remove(5));
+  EXPECT_FALSE(engine.Remove(5));
+  EXPECT_FALSE(engine.Remove(999));
+}
+
+TEST(EngineDynamicTest, MethodsAgreeAfterChurn) {
+  Engine engine(WalkDataset(80), EngineOptions{});
+  // Churn: remove a third, insert replacements.
+  for (SequenceId id = 0; id < 80; id += 3) {
+    ASSERT_TRUE(engine.Remove(id));
+  }
+  RandomWalkOptions extra;
+  extra.num_sequences = 20;
+  extra.min_length = 30;
+  extra.max_length = 50;
+  extra.seed = 777;
+  const Dataset replacements = GenerateRandomWalkDataset(extra);
+  for (const Sequence& s : replacements.sequences()) {
+    engine.Insert(s);
+  }
+  EXPECT_EQ(engine.live_size(), 80u - 27u + 20u);
+  EXPECT_TRUE(engine.feature_index().rtree().CheckInvariants().ok());
+
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 10});
+  for (const Sequence& q : queries) {
+    const auto truth =
+        Sorted(engine.SearchWith(MethodKind::kNaiveScan, q, 0.2).matches);
+    EXPECT_EQ(Sorted(engine.Search(q, 0.2).matches), truth);
+    EXPECT_EQ(
+        Sorted(engine.SearchWith(MethodKind::kLbScan, q, 0.2).matches),
+        truth);
+  }
+}
+
+TEST(EngineDynamicTest, KnnRespectsRemovals) {
+  Engine engine(WalkDataset(), EngineOptions{});
+  const Sequence q = PerturbSequence(engine.dataset()[20], 3);
+  ASSERT_EQ(engine.SearchKnn(q, 1).neighbors[0].id, 20);
+  ASSERT_TRUE(engine.Remove(20));
+  const KnnResult after = engine.SearchKnn(q, 1);
+  ASSERT_EQ(after.neighbors.size(), 1u);
+  EXPECT_NE(after.neighbors[0].id, 20);
+}
+
+TEST(EngineDynamicTest, StFilterRebuildCoversInsertsAndSkipsRemovals) {
+  EngineOptions options;
+  options.build_st_filter = true;
+  options.st_filter_categories = 30;
+  Engine engine(WalkDataset(40), options);
+
+  Sequence fresh({50.0, 51.0, 52.0});
+  const SequenceId id = engine.Insert(fresh);
+  ASSERT_TRUE(engine.Remove(7));
+  const Sequence removed = engine.dataset()[7];
+  engine.RebuildStFilter();
+
+  const SearchResult hit =
+      engine.SearchWith(MethodKind::kStFilter, fresh, 0.0);
+  ASSERT_EQ(hit.matches.size(), 1u);
+  EXPECT_EQ(hit.matches[0], id);
+
+  const SearchResult miss =
+      engine.SearchWith(MethodKind::kStFilter, removed, 0.0);
+  EXPECT_EQ(std::find(miss.matches.begin(), miss.matches.end(), 7),
+            miss.matches.end());
+}
+
+TEST(EngineDynamicTest, StoreAppendAndTombstoneAccounting) {
+  Engine engine(WalkDataset(10), EngineOptions{});
+  const size_t pages_before = engine.store().num_pages();
+  engine.Insert(Sequence(std::vector<double>(1000, 1.0)));
+  EXPECT_GT(engine.store().num_pages(), pages_before);
+  EXPECT_EQ(engine.store().num_sequences(), 11u);
+  engine.Remove(0);
+  // Tombstoning reclaims no pages (heap-file semantics).
+  EXPECT_EQ(engine.store().num_sequences(), 11u);
+  EXPECT_EQ(engine.live_size(), 10u);
+}
+
+}  // namespace
+}  // namespace warpindex

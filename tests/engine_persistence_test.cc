@@ -1,0 +1,124 @@
+// Engine persistence: Save() + Open() must restore identical query
+// behavior — including tombstones — without rebuilding the index.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/engine.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(size_t n = 80) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = 30;
+  options.max_length = 70;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<SequenceId> Sorted(std::vector<SequenceId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(EnginePersistenceTest, RoundTripPreservesQueryResults) {
+  const std::string dir = TempDir("engine_roundtrip");
+  Engine original(WalkDataset(), EngineOptions{});
+  ASSERT_TRUE(original.Save(dir).ok());
+
+  std::unique_ptr<Engine> reopened;
+  ASSERT_TRUE(Engine::Open(dir, EngineOptions{}, &reopened).ok());
+  EXPECT_EQ(reopened->dataset().size(), original.dataset().size());
+  EXPECT_EQ(reopened->feature_index().rtree().node_count(),
+            original.feature_index().rtree().node_count());
+
+  const auto queries = GenerateQueryWorkload(
+      original.dataset(), QueryWorkloadOptions{.num_queries = 10});
+  for (const Sequence& q : queries) {
+    EXPECT_EQ(Sorted(reopened->Search(q, 0.2).matches),
+              Sorted(original.Search(q, 0.2).matches));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EnginePersistenceTest, TombstonesSurviveRoundTrip) {
+  const std::string dir = TempDir("engine_tombstones");
+  Engine original(WalkDataset(), EngineOptions{});
+  ASSERT_TRUE(original.Remove(3));
+  ASSERT_TRUE(original.Remove(42));
+  const SequenceId inserted =
+      original.Insert(Sequence({9.0, 9.5, 10.0, 9.5}));
+  ASSERT_TRUE(original.Save(dir).ok());
+
+  std::unique_ptr<Engine> reopened;
+  ASSERT_TRUE(Engine::Open(dir, EngineOptions{}, &reopened).ok());
+  EXPECT_EQ(reopened->live_size(), original.live_size());
+  EXPECT_FALSE(reopened->Contains(3));
+  EXPECT_FALSE(reopened->Contains(42));
+  EXPECT_TRUE(reopened->Contains(inserted));
+
+  // The removed sequence must not resurface in any method.
+  const Sequence removed = original.dataset()[3];
+  for (const MethodKind kind : {MethodKind::kTwSimSearch,
+                                MethodKind::kNaiveScan,
+                                MethodKind::kLbScan}) {
+    const auto matches = reopened->SearchWith(kind, removed, 0.0).matches;
+    EXPECT_EQ(std::find(matches.begin(), matches.end(), 3), matches.end());
+  }
+  // The inserted one must.
+  const auto hits =
+      reopened->Search(reopened->dataset()[static_cast<size_t>(inserted)],
+                       0.0);
+  EXPECT_NE(std::find(hits.matches.begin(), hits.matches.end(), inserted),
+            hits.matches.end());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EnginePersistenceTest, ReopenedEngineSupportsMutationAndKnn) {
+  const std::string dir = TempDir("engine_mutate");
+  {
+    Engine original(WalkDataset(40), EngineOptions{});
+    ASSERT_TRUE(original.Save(dir).ok());
+  }
+  std::unique_ptr<Engine> engine;
+  ASSERT_TRUE(Engine::Open(dir, EngineOptions{}, &engine).ok());
+  const SequenceId id = engine->Insert(Sequence({1.0, 2.0, 1.0}));
+  EXPECT_EQ(engine->SearchKnn(Sequence({1.0, 2.0, 1.0}), 1).neighbors[0].id,
+            id);
+  EXPECT_TRUE(engine->Remove(0));
+  EXPECT_TRUE(engine->feature_index().rtree().CheckInvariants().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EnginePersistenceTest, PageSizeMismatchRejected) {
+  const std::string dir = TempDir("engine_pagesize");
+  Engine original(WalkDataset(20), EngineOptions{});
+  ASSERT_TRUE(original.Save(dir).ok());
+  EngineOptions other;
+  other.page_size_bytes = 4096;
+  std::unique_ptr<Engine> reopened;
+  const Status status = Engine::Open(dir, other, &reopened);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(EnginePersistenceTest, MissingDirectoryFails) {
+  std::unique_ptr<Engine> engine;
+  EXPECT_FALSE(
+      Engine::Open("/nonexistent/engine_dir", EngineOptions{}, &engine)
+          .ok());
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,192 @@
+#include "fastmap/fastmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "dtw/dtw.h"
+#include "fastmap/fastmap_index.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset SmallDataset(size_t n = 40, size_t len = 30) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = len / 2;
+  options.max_length = len;
+  return GenerateRandomWalkDataset(options);
+}
+
+TEST(FastMapTest, ProducesRequestedDimensionality) {
+  const Dataset d = SmallDataset();
+  FastMapOptions options;
+  options.dims = 3;
+  const FastMap fm(d, options);
+  EXPECT_EQ(fm.dims(), 3);
+  EXPECT_EQ(fm.DataPoint(0).dims, 3);
+}
+
+TEST(FastMapTest, DeterministicInSeed) {
+  const Dataset d = SmallDataset();
+  const FastMap a(d, FastMapOptions{});
+  const FastMap b(d, FastMapOptions{});
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Point pa = a.DataPoint(static_cast<SequenceId>(i));
+    const Point pb = b.DataPoint(static_cast<SequenceId>(i));
+    for (int dd = 0; dd < pa.dims; ++dd) {
+      EXPECT_EQ(pa[dd], pb[dd]);
+    }
+  }
+}
+
+TEST(FastMapTest, EmbedOfDataObjectMatchesStoredPoint) {
+  const Dataset d = SmallDataset(20, 20);
+  FastMapOptions options;
+  options.dims = 2;
+  const FastMap fm(d, options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Point stored = fm.DataPoint(static_cast<SequenceId>(i));
+    const Point embedded = fm.Embed(d[i]);
+    for (int dd = 0; dd < 2; ++dd) {
+      EXPECT_NEAR(embedded[dd], stored[dd], 1e-9);
+    }
+  }
+}
+
+TEST(FastMapTest, SimilarSequencesEmbedNearby) {
+  const Dataset d = SmallDataset(30, 25);
+  FastMapOptions options;
+  options.dims = 4;
+  const FastMap fm(d, options);
+  // A barely-perturbed copy of object 0 must land closer to object 0 than
+  // the average inter-object embedded distance.
+  const Sequence near_copy = PerturbSequence(d[0], 9);
+  const Point p0 = fm.DataPoint(0);
+  const Point pq = fm.Embed(near_copy);
+  double d_near = 0.0;
+  for (int dd = 0; dd < 4; ++dd) {
+    d_near += (pq[dd] - p0[dd]) * (pq[dd] - p0[dd]);
+  }
+  double avg = 0.0;
+  int count = 0;
+  for (size_t i = 1; i < d.size(); ++i) {
+    const Point pi = fm.DataPoint(static_cast<SequenceId>(i));
+    double dist2 = 0.0;
+    for (int dd = 0; dd < 4; ++dd) {
+      dist2 += (pi[dd] - p0[dd]) * (pi[dd] - p0[dd]);
+    }
+    avg += std::sqrt(dist2);
+    ++count;
+  }
+  avg /= count;
+  EXPECT_LT(std::sqrt(d_near), avg);
+}
+
+TEST(FastMapTest, BuildDistanceEvalsAccounted) {
+  const Dataset d = SmallDataset(25, 20);
+  FastMapOptions options;
+  options.dims = 2;
+  const FastMap fm(d, options);
+  // Per axis: pivot scans + projections, all >= N.
+  EXPECT_GE(fm.build_distance_evals(), 2 * d.size());
+}
+
+TEST(FastMapTest, DegenerateAllIdenticalDatasetEmbedsAtOrigin) {
+  // Every pairwise distance is zero, so every pivot pair has dist 0 and
+  // all coordinates collapse to 0 — must not divide by zero.
+  Dataset d;
+  for (int i = 0; i < 10; ++i) {
+    d.Add(Sequence({1.0, 2.0, 3.0}));
+  }
+  FastMapOptions options;
+  options.dims = 3;
+  const FastMap fm(d, options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Point p = fm.DataPoint(static_cast<SequenceId>(i));
+    for (int dd = 0; dd < 3; ++dd) {
+      EXPECT_EQ(p[dd], 0.0);
+    }
+  }
+  const Point q = fm.Embed(Sequence({5.0, 6.0}));
+  for (int dd = 0; dd < 3; ++dd) {
+    EXPECT_EQ(q[dd], 0.0);
+  }
+}
+
+TEST(FastMapTest, SingleObjectDataset) {
+  Dataset d;
+  d.Add(Sequence({1.0, 2.0}));
+  FastMapOptions options;
+  options.dims = 2;
+  const FastMap fm(d, options);
+  const Point p = fm.DataPoint(0);
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_EQ(p[1], 0.0);
+}
+
+TEST(FastMapIndexTest, CandidatesMatchEmbeddedSpaceBruteForce) {
+  const Dataset d = SmallDataset(50, 25);
+  FastMapIndexOptions options;
+  options.fastmap.dims = 3;
+  const FastMapIndex index(d, options);
+  const Sequence q = PerturbSequence(d[5], 77);
+  const double epsilon = 0.4;
+  auto candidates = index.FindCandidates(q, epsilon);
+  std::sort(candidates.begin(), candidates.end());
+
+  const Point pq = index.fastmap().Embed(q);
+  std::vector<SequenceId> expected;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Point pi = index.fastmap().DataPoint(static_cast<SequenceId>(i));
+    bool inside = true;
+    for (int dd = 0; dd < 3; ++dd) {
+      if (std::fabs(pi[dd] - pq[dd]) > epsilon) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) {
+      expected.push_back(static_cast<SequenceId>(i));
+    }
+  }
+  EXPECT_EQ(candidates, expected);
+}
+
+TEST(FastMapIndexTest, RecallCanBeMeasuredAndMayLoseMatches) {
+  // The reason the paper excludes FastMap: candidates are not guaranteed
+  // to cover the true result set. We verify the pipeline runs and that
+  // recall is a well-defined number in [0, 1] (the ablation bench reports
+  // the actual value over many queries).
+  const Dataset d = SmallDataset(60, 30);
+  FastMapIndexOptions options;
+  options.fastmap.dims = 2;
+  const FastMapIndex index(d, options);
+  const Dtw dtw(DtwOptions::Linf());
+  const auto queries =
+      GenerateQueryWorkload(d, QueryWorkloadOptions{.num_queries = 15});
+  size_t truth = 0;
+  size_t covered = 0;
+  const double epsilon = 0.2;
+  for (const Sequence& q : queries) {
+    auto candidates = index.FindCandidates(q, epsilon);
+    std::sort(candidates.begin(), candidates.end());
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (dtw.Distance(d[i], q).distance <= epsilon) {
+        ++truth;
+        if (std::binary_search(candidates.begin(), candidates.end(),
+                               static_cast<SequenceId>(i))) {
+          ++covered;
+        }
+      }
+    }
+  }
+  ASSERT_GT(truth, 0u);  // perturbed copies should match their source
+  EXPECT_LE(covered, truth);
+}
+
+}  // namespace
+}  // namespace warpindex

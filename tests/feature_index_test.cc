@@ -1,0 +1,112 @@
+#include "core/feature_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(size_t n, size_t len, uint64_t seed = 42) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = len / 2;
+  options.max_length = len;
+  options.seed = seed;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<SequenceId> BruteForceRange(const Dataset& d,
+                                        const FeatureVector& qf,
+                                        double epsilon) {
+  std::vector<SequenceId> out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (WithinLowerBoundTolerance(ExtractFeature(d[i]), qf, epsilon)) {
+      out.push_back(static_cast<SequenceId>(i));
+    }
+  }
+  return out;
+}
+
+class FeatureIndexTest : public testing::TestWithParam<bool> {};
+
+TEST_P(FeatureIndexTest, RangeQueryEqualsBruteForceLowerBound) {
+  const Dataset d = WalkDataset(300, 80);
+  FeatureIndexOptions options;
+  options.bulk_load = GetParam();
+  const FeatureIndex index(d, options);
+  EXPECT_EQ(index.size(), d.size());
+  EXPECT_TRUE(index.rtree().CheckInvariants().ok());
+
+  for (const double epsilon : {0.0, 0.05, 0.2, 1.0, 10.0}) {
+    for (size_t qi = 0; qi < 10; ++qi) {
+      const FeatureVector qf = ExtractFeature(d[qi * 17 % d.size()]);
+      auto hits = index.RangeQuery(qf, epsilon);
+      std::sort(hits.begin(), hits.end());
+      EXPECT_EQ(hits, BruteForceRange(d, qf, epsilon))
+          << "eps=" << epsilon << " qi=" << qi;
+    }
+  }
+}
+
+TEST_P(FeatureIndexTest, InsertThenQuery) {
+  const Dataset d = WalkDataset(50, 40);
+  FeatureIndexOptions options;
+  options.bulk_load = GetParam();
+  FeatureIndex index(d, options);
+  const Sequence extra({5.0, 6.0, 7.0});
+  index.Insert(999, ExtractFeature(extra));
+  EXPECT_EQ(index.size(), 51u);
+  const auto hits = index.RangeQuery(ExtractFeature(extra), 0.0);
+  EXPECT_NE(std::find(hits.begin(), hits.end(), 999), hits.end());
+}
+
+TEST_P(FeatureIndexTest, RemoveDropsEntry) {
+  const Dataset d = WalkDataset(50, 40);
+  FeatureIndexOptions options;
+  options.bulk_load = GetParam();
+  FeatureIndex index(d, options);
+  const FeatureVector f0 = ExtractFeature(d[0]);
+  EXPECT_TRUE(index.Remove(0, f0));
+  EXPECT_EQ(index.size(), 49u);
+  const auto hits = index.RangeQuery(f0, 0.0);
+  EXPECT_EQ(std::find(hits.begin(), hits.end(), 0), hits.end());
+  EXPECT_FALSE(index.Remove(0, f0));  // already gone
+}
+
+INSTANTIATE_TEST_SUITE_P(BulkAndIncremental, FeatureIndexTest,
+                         testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "bulk" : "incremental";
+                         });
+
+TEST(FeatureIndexSizeTest, IndexIsSmallFractionOfDatabase) {
+  // Paper §5.2: the R-tree is "less than 4% of the database size" for the
+  // stock corpus (mean length 231 -> one 72-byte entry per ~1.8 KB
+  // record).
+  const Dataset d = WalkDataset(500, 231);
+  const FeatureIndex index(d, FeatureIndexOptions{});
+  const DatasetStats stats = d.ComputeStats();
+  const size_t data_bytes = stats.total_elements * sizeof(double);
+  const size_t index_bytes = index.rtree().TotalBytes();
+  EXPECT_LT(index_bytes, data_bytes / 10);
+}
+
+TEST(FeatureIndexSizeTest, FeatureToPointLayout) {
+  FeatureVector f;
+  f.first = 1.0;
+  f.last = 2.0;
+  f.greatest = 3.0;
+  f.smallest = 0.0;
+  const Point p = FeatureIndex::FeatureToPoint(f);
+  EXPECT_EQ(p.dims, kFeatureDims);
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[1], 2.0);
+  EXPECT_EQ(p[2], 3.0);
+  EXPECT_EQ(p[3], 0.0);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,93 @@
+#include "sequence/feature.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace warpindex {
+namespace {
+
+TEST(FeatureTest, ExtractsFourTuple) {
+  const Sequence s({3.0, 7.0, -1.0, 4.0});
+  const FeatureVector f = ExtractFeature(s);
+  EXPECT_EQ(f.first, 3.0);
+  EXPECT_EQ(f.last, 4.0);
+  EXPECT_EQ(f.greatest, 7.0);
+  EXPECT_EQ(f.smallest, -1.0);
+}
+
+TEST(FeatureTest, SingleElementSequence) {
+  const FeatureVector f = ExtractFeature(Sequence({5.0}));
+  EXPECT_EQ(f.first, 5.0);
+  EXPECT_EQ(f.last, 5.0);
+  EXPECT_EQ(f.greatest, 5.0);
+  EXPECT_EQ(f.smallest, 5.0);
+}
+
+TEST(FeatureTest, AsPointOrderMatchesIndexLayout) {
+  FeatureVector f;
+  f.first = 1.0;
+  f.last = 2.0;
+  f.greatest = 3.0;
+  f.smallest = 0.5;
+  const auto p = f.AsPoint();
+  EXPECT_EQ(p[0], 1.0);
+  EXPECT_EQ(p[1], 2.0);
+  EXPECT_EQ(p[2], 3.0);
+  EXPECT_EQ(p[3], 0.5);
+}
+
+// Applies a random time warping: each element is replicated 1..3 times.
+// Paper §4.2: the feature vector must be invariant to this.
+Sequence RandomWarp(const Sequence& s, Prng* prng) {
+  Sequence warped;
+  for (double v : s.elements()) {
+    const int64_t copies = prng->UniformInt(1, 3);
+    for (int64_t c = 0; c < copies; ++c) {
+      warped.Append(v);
+    }
+  }
+  return warped;
+}
+
+TEST(FeatureTest, InvariantUnderTimeWarping) {
+  Prng prng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sequence s;
+    const int64_t len = prng.UniformInt(1, 30);
+    for (int64_t i = 0; i < len; ++i) {
+      s.Append(prng.UniformDouble(-10.0, 10.0));
+    }
+    const Sequence warped = RandomWarp(s, &prng);
+    EXPECT_EQ(ExtractFeature(s), ExtractFeature(warped));
+  }
+}
+
+TEST(FeatureTest, LowerBoundDistanceIsLinfOnTuples) {
+  FeatureVector a{1.0, 2.0, 3.0, 0.0};
+  FeatureVector b{1.5, 2.0, 5.5, -1.0};
+  // |1-1.5|=0.5, |2-2|=0, |3-5.5|=2.5, |0-(-1)|=1 -> max = 2.5
+  EXPECT_DOUBLE_EQ(DtwLowerBoundDistance(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(DtwLowerBoundDistance(b, a), 2.5);  // symmetric
+  EXPECT_DOUBLE_EQ(DtwLowerBoundDistance(a, a), 0.0);  // identity
+}
+
+TEST(FeatureTest, WithinToleranceMatchesDistance) {
+  FeatureVector a{0.0, 0.0, 1.0, -1.0};
+  FeatureVector b{0.2, -0.2, 1.1, -0.9};
+  const double d = DtwLowerBoundDistance(a, b);
+  EXPECT_TRUE(WithinLowerBoundTolerance(a, b, d));
+  EXPECT_TRUE(WithinLowerBoundTolerance(a, b, d + 0.01));
+  EXPECT_FALSE(WithinLowerBoundTolerance(a, b, d - 0.01));
+}
+
+TEST(FeatureTest, ToStringMentionsAllFields) {
+  const std::string s = ExtractFeature(Sequence({1.0, 2.0})).ToString();
+  EXPECT_NE(s.find("first"), std::string::npos);
+  EXPECT_NE(s.find("last"), std::string::npos);
+  EXPECT_NE(s.find("greatest"), std::string::npos);
+  EXPECT_NE(s.find("smallest"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warpindex

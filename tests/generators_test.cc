@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+TEST(RandomWalkGeneratorTest, RespectsCountAndLength) {
+  RandomWalkOptions options;
+  options.num_sequences = 20;
+  options.min_length = 50;
+  options.max_length = 50;
+  const Dataset d = GenerateRandomWalkDataset(options);
+  ASSERT_EQ(d.size(), 20u);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d[i].size(), 50u);
+  }
+}
+
+TEST(RandomWalkGeneratorTest, StepsAndStartWithinPaperRanges) {
+  RandomWalkOptions options;
+  options.num_sequences = 10;
+  options.min_length = 200;
+  options.max_length = 200;
+  const Dataset d = GenerateRandomWalkDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Sequence& s = d[i];
+    EXPECT_GE(s[0], 1.0);
+    EXPECT_LT(s[0], 10.0);
+    for (size_t j = 1; j < s.size(); ++j) {
+      const double step = s[j] - s[j - 1];
+      EXPECT_GE(step, -0.1);
+      EXPECT_LE(step, 0.1);
+    }
+  }
+}
+
+TEST(RandomWalkGeneratorTest, VariableLengthsStayInRange) {
+  RandomWalkOptions options;
+  options.num_sequences = 50;
+  options.min_length = 10;
+  options.max_length = 30;
+  const Dataset d = GenerateRandomWalkDataset(options);
+  bool saw_different_lengths = false;
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d[i].size(), 10u);
+    EXPECT_LE(d[i].size(), 30u);
+    if (d[i].size() != d[0].size()) {
+      saw_different_lengths = true;
+    }
+  }
+  EXPECT_TRUE(saw_different_lengths);
+}
+
+TEST(RandomWalkGeneratorTest, DeterministicInSeed) {
+  RandomWalkOptions options;
+  options.num_sequences = 5;
+  options.min_length = 20;
+  options.max_length = 20;
+  const Dataset a = GenerateRandomWalkDataset(options);
+  const Dataset b = GenerateRandomWalkDataset(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+  options.seed = 43;
+  const Dataset c = GenerateRandomWalkDataset(options);
+  EXPECT_FALSE(a[0] == c[0]);
+}
+
+TEST(StockGeneratorTest, MatchesPaperCorpusShape) {
+  const Dataset d = GenerateStockDataset(StockDataOptions{});
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_sequences, 545u);  // paper §5.1
+  // Average length close to the paper's 231.
+  EXPECT_GT(stats.avg_length, 200.0);
+  EXPECT_LT(stats.avg_length, 260.0);
+  // Different lengths are the whole point of time warping.
+  EXPECT_LT(stats.min_length, stats.max_length);
+}
+
+TEST(StockGeneratorTest, PricesArePositive) {
+  StockDataOptions options;
+  options.num_sequences = 50;
+  const Dataset d = GenerateStockDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GT(d[i].Smallest(), 0.0);
+  }
+}
+
+TEST(StockGeneratorTest, LengthsWithinConfiguredBounds) {
+  StockDataOptions options;
+  options.num_sequences = 100;
+  const Dataset d = GenerateStockDataset(options);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(d[i].size(), options.min_length);
+    EXPECT_LE(d[i].size(), options.max_length);
+  }
+}
+
+TEST(StockGeneratorTest, DeterministicInSeed) {
+  StockDataOptions options;
+  options.num_sequences = 10;
+  const Dataset a = GenerateStockDataset(options);
+  const Dataset b = GenerateStockDataset(options);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(QueryWorkloadTest, GeneratesRequestedCount) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 10;
+  rw.min_length = 30;
+  rw.max_length = 30;
+  const Dataset d = GenerateRandomWalkDataset(rw);
+  QueryWorkloadOptions qw;
+  qw.num_queries = 17;
+  const auto queries = GenerateQueryWorkload(d, qw);
+  EXPECT_EQ(queries.size(), 17u);
+}
+
+TEST(QueryWorkloadTest, PerturbationBoundedByHalfStdDev) {
+  const Sequence base({0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0});
+  const double half_std = base.StdDev() / 2.0;
+  const Sequence q = PerturbSequence(base, 123);
+  ASSERT_EQ(q.size(), base.size());
+  bool any_changed = false;
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - base[i]), half_std);
+    if (q[i] != base[i]) {
+      any_changed = true;
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(QueryWorkloadTest, QueriesDerivedFromDataSequences) {
+  // Each query must have the same length as some data sequence (the
+  // paper's recipe perturbs a copy, element for element).
+  RandomWalkOptions rw;
+  rw.num_sequences = 5;
+  rw.min_length = 10;
+  rw.max_length = 40;
+  const Dataset d = GenerateRandomWalkDataset(rw);
+  const auto queries =
+      GenerateQueryWorkload(d, QueryWorkloadOptions{.num_queries = 20});
+  for (const Sequence& q : queries) {
+    bool length_matches = false;
+    for (size_t i = 0; i < d.size(); ++i) {
+      if (d[i].size() == q.size()) {
+        length_matches = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(length_matches);
+  }
+}
+
+TEST(QueryWorkloadTest, DeterministicInSeed) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 5;
+  rw.min_length = 20;
+  rw.max_length = 20;
+  const Dataset d = GenerateRandomWalkDataset(rw);
+  const auto a = GenerateQueryWorkload(d, QueryWorkloadOptions{});
+  const auto b = GenerateQueryWorkload(d, QueryWorkloadOptions{});
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace warpindex

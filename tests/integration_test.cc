@@ -1,0 +1,141 @@
+// End-to-end tests over the paper-shaped workloads: the synthetic stock
+// corpus and the random-walk corpus, driven through the Engine facade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+TEST(IntegrationTest, StockCorpusNoFalseDismissalAcrossTolerances) {
+  StockDataOptions stock;
+  stock.num_sequences = 120;  // scaled-down corpus for test runtime
+  EngineOptions options;
+  options.build_st_filter = true;
+  const Engine engine(GenerateStockDataset(stock), options);
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 10});
+
+  // Stock prices are in dollars; use proportionally larger tolerances.
+  for (const double epsilon : {0.5, 2.0, 8.0}) {
+    for (const Sequence& q : queries) {
+      auto truth =
+          engine.SearchWith(MethodKind::kNaiveScan, q, epsilon).matches;
+      std::sort(truth.begin(), truth.end());
+      for (const MethodKind kind : {MethodKind::kTwSimSearch,
+                                    MethodKind::kLbScan,
+                                    MethodKind::kStFilter}) {
+        auto got = engine.SearchWith(kind, q, epsilon).matches;
+        std::sort(got.begin(), got.end());
+        ASSERT_EQ(got, truth)
+            << MethodKindName(kind) << " at eps=" << epsilon;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, IndexStaysSmallRelativeToStockDatabase) {
+  // Paper §5.2: R-tree size < 4% of the database. That figure cannot
+  // include page slack (545 entries * 72 B = 39 KB is already 3.9% of the
+  // 1 MB corpus, and whole 1 KB pages round it up), so we check the raw
+  // entry payload against 4% and the page-rounded footprint against a
+  // slightly looser 8%.
+  const Engine engine(GenerateStockDataset(StockDataOptions{}),
+                      EngineOptions{});
+  const size_t data_bytes = engine.store().TotalBytes();
+  const size_t entry_bytes =
+      engine.feature_index().size() * EntryBytes(kFeatureDims);
+  EXPECT_LT(static_cast<double>(entry_bytes),
+            0.04 * static_cast<double>(data_bytes));
+  const size_t index_bytes = engine.feature_index().rtree().TotalBytes();
+  EXPECT_LT(static_cast<double>(index_bytes),
+            0.08 * static_cast<double>(data_bytes));
+}
+
+TEST(IntegrationTest, TwSimSearchTouchesFractionOfPages) {
+  StockDataOptions stock;
+  stock.num_sequences = 200;
+  const Engine engine(GenerateStockDataset(stock), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 10});
+  uint64_t tw_pages = 0;
+  uint64_t scan_pages = 0;
+  for (const Sequence& q : queries) {
+    tw_pages += engine.SearchWith(MethodKind::kTwSimSearch, q, 1.0)
+                    .cost.io.TotalPageReads();
+    scan_pages += engine.SearchWith(MethodKind::kNaiveScan, q, 1.0)
+                      .cost.io.TotalPageReads();
+  }
+  EXPECT_LT(tw_pages, scan_pages / 4);
+}
+
+TEST(IntegrationTest, SimulatedElapsedFavorsIndexAtSmallTolerance) {
+  // The headline result (Figure 3's shape): TW-Sim-Search beats the scans
+  // under the period disk model when tolerances are small.
+  RandomWalkOptions rw;
+  rw.num_sequences = 400;
+  rw.min_length = 100;
+  rw.max_length = 100;
+  const Engine engine(GenerateRandomWalkDataset(rw), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 5});
+  double tw_ms = 0.0;
+  double lb_ms = 0.0;
+  for (const Sequence& q : queries) {
+    tw_ms += engine.ElapsedMillis(
+        engine.SearchWith(MethodKind::kTwSimSearch, q, 0.1).cost);
+    lb_ms += engine.ElapsedMillis(
+        engine.SearchWith(MethodKind::kLbScan, q, 0.1).cost);
+  }
+  EXPECT_LT(tw_ms, lb_ms);
+}
+
+TEST(IntegrationTest, ResultsDeterministicAcrossEngineRebuilds) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 80;
+  rw.min_length = 40;
+  rw.max_length = 60;
+  const Engine a(GenerateRandomWalkDataset(rw), EngineOptions{});
+  const Engine b(GenerateRandomWalkDataset(rw), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      a.dataset(), QueryWorkloadOptions{.num_queries = 8});
+  for (const Sequence& q : queries) {
+    auto ra = a.Search(q, 0.2).matches;
+    auto rb = b.Search(q, 0.2).matches;
+    std::sort(ra.begin(), ra.end());
+    std::sort(rb.begin(), rb.end());
+    EXPECT_EQ(ra, rb);
+  }
+}
+
+TEST(IntegrationTest, VariableLengthCorpusHandledThroughout) {
+  // The defining property of the paper's setting: queries and data of
+  // different lengths, compared via warping.
+  RandomWalkOptions rw;
+  rw.num_sequences = 100;
+  rw.min_length = 20;
+  rw.max_length = 200;
+  EngineOptions options;
+  options.build_st_filter = true;
+  const Engine engine(GenerateRandomWalkDataset(rw), options);
+  // Query of a length present nowhere in the dataset.
+  Sequence q;
+  for (int i = 0; i < 317; ++i) {
+    q.Append(5.0 + 0.01 * i);
+  }
+  for (const MethodKind kind :
+       {MethodKind::kTwSimSearch, MethodKind::kNaiveScan,
+        MethodKind::kLbScan, MethodKind::kStFilter}) {
+    const auto result = engine.SearchWith(kind, q, 0.5);
+    EXPECT_GE(result.num_candidates, result.matches.size());
+  }
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,141 @@
+// Property tests for the paper's central claims:
+//
+//   Theorem 1    D_tw(S, Q) >= D_tw-lb(S, Q)  (L_inf similarity model)
+//   Theorem 2    D_tw-lb satisfies the triangular inequality
+//   Corollary 1  D_tw <= eps  =>  D_tw-lb <= eps (no false dismissal)
+//   §4.2         Feature(S) is invariant under time warping
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+namespace {
+
+Sequence RandomSequence(Prng* prng, int64_t min_len, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(prng->UniformDouble(-10.0, 10.0));
+  }
+  return s;
+}
+
+// Random-walk sequences, closer to the paper's workloads (smooth, highly
+// autocorrelated) than white noise.
+Sequence RandomWalkSequence(Prng* prng, int64_t min_len, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  double v = prng->UniformDouble(1.0, 10.0);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(v);
+    v += prng->UniformDouble(-0.1, 0.1);
+  }
+  return s;
+}
+
+TEST(Theorem1Test, LowerBoundHoldsOnRandomNoise) {
+  const Dtw dtw(DtwOptions::Linf());
+  Prng prng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Sequence s = RandomSequence(&prng, 1, 25);
+    const Sequence q = RandomSequence(&prng, 1, 25);
+    const double lb =
+        DtwLowerBoundDistance(ExtractFeature(s), ExtractFeature(q));
+    const double exact = dtw.Distance(s, q).distance;
+    ASSERT_LE(lb, exact + 1e-9)
+        << "s=" << s.ToString(25) << " q=" << q.ToString(25);
+  }
+}
+
+TEST(Theorem1Test, LowerBoundHoldsOnRandomWalks) {
+  const Dtw dtw(DtwOptions::Linf());
+  Prng prng(102);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Sequence s = RandomWalkSequence(&prng, 5, 60);
+    const Sequence q = RandomWalkSequence(&prng, 5, 60);
+    const double lb =
+        DtwLowerBoundDistance(ExtractFeature(s), ExtractFeature(q));
+    const double exact = dtw.Distance(s, q).distance;
+    ASSERT_LE(lb, exact + 1e-9);
+  }
+}
+
+TEST(Theorem1Test, LowerBoundIsTightForMonotoneAlignedPairs) {
+  // For pairs differing by a constant shift the bound is exact: every
+  // feature differs by the shift and so does the optimal warping cost.
+  const Sequence s({1.0, 2.0, 3.0, 4.0});
+  Sequence shifted;
+  for (double v : s.elements()) {
+    shifted.Append(v + 0.7);
+  }
+  const double lb =
+      DtwLowerBoundDistance(ExtractFeature(s), ExtractFeature(shifted));
+  const double exact = Dtw(DtwOptions::Linf()).Distance(s, shifted).distance;
+  EXPECT_NEAR(lb, 0.7, 1e-12);
+  EXPECT_NEAR(exact, 0.7, 1e-12);
+}
+
+TEST(Theorem2Test, TriangularInequalityOnRandomTriples) {
+  Prng prng(103);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const FeatureVector x = ExtractFeature(RandomSequence(&prng, 1, 20));
+    const FeatureVector y = ExtractFeature(RandomSequence(&prng, 1, 20));
+    const FeatureVector z = ExtractFeature(RandomSequence(&prng, 1, 20));
+    const double xz = DtwLowerBoundDistance(x, z);
+    const double xy = DtwLowerBoundDistance(x, y);
+    const double yz = DtwLowerBoundDistance(y, z);
+    ASSERT_LE(xz, xy + yz + 1e-12);
+  }
+}
+
+TEST(Theorem2Test, MetricAxioms) {
+  Prng prng(104);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FeatureVector x = ExtractFeature(RandomSequence(&prng, 1, 20));
+    const FeatureVector y = ExtractFeature(RandomSequence(&prng, 1, 20));
+    EXPECT_GE(DtwLowerBoundDistance(x, y), 0.0);
+    EXPECT_DOUBLE_EQ(DtwLowerBoundDistance(x, y),
+                     DtwLowerBoundDistance(y, x));
+    EXPECT_DOUBLE_EQ(DtwLowerBoundDistance(x, x), 0.0);
+  }
+}
+
+TEST(Corollary1Test, NoFalseDismissalUnderAnyTolerance) {
+  const Dtw dtw(DtwOptions::Linf());
+  Prng prng(105);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Sequence s = RandomWalkSequence(&prng, 3, 40);
+    const Sequence q = RandomWalkSequence(&prng, 3, 40);
+    const double epsilon = prng.UniformDouble(0.0, 3.0);
+    const bool exact_match = dtw.Distance(s, q).distance <= epsilon;
+    const bool lb_match = WithinLowerBoundTolerance(
+        ExtractFeature(s), ExtractFeature(q), epsilon);
+    if (exact_match) {
+      ASSERT_TRUE(lb_match) << "false dismissal at eps=" << epsilon;
+    }
+  }
+}
+
+TEST(FeatureInvarianceTest, WarpedSequencesShareFeatures) {
+  Prng prng(106);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sequence s = RandomSequence(&prng, 1, 25);
+    Sequence warped;
+    for (double v : s.elements()) {
+      const int64_t copies = prng.UniformInt(1, 4);
+      for (int64_t c = 0; c < copies; ++c) {
+        warped.Append(v);
+      }
+    }
+    EXPECT_EQ(ExtractFeature(s), ExtractFeature(warped));
+    EXPECT_DOUBLE_EQ(
+        DtwLowerBoundDistance(ExtractFeature(s), ExtractFeature(warped)),
+        0.0);
+  }
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,63 @@
+#include "rtree/node.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(NodeTest, EntryBytesByDimension) {
+  // 2 * dims doubles + 8-byte id.
+  EXPECT_EQ(EntryBytes(1), 24u);
+  EXPECT_EQ(EntryBytes(2), 40u);
+  EXPECT_EQ(EntryBytes(4), 72u);   // the paper's feature index
+  EXPECT_EQ(EntryBytes(8), 136u);
+}
+
+TEST(NodeTest, CapacityForPaperConfiguration) {
+  // 1 KB page, 24-byte header, 72-byte entries -> 13 per node.
+  EXPECT_EQ(NodeCapacityForPage(1024, 4), 13u);
+}
+
+TEST(NodeTest, CapacityScalesWithPageSize) {
+  EXPECT_GT(NodeCapacityForPage(4096, 4), NodeCapacityForPage(1024, 4));
+  EXPECT_EQ(NodeCapacityForPage(8192, 4), (8192u - 24u) / 72u);
+}
+
+TEST(NodeTest, CapacityNeverBelowTwo) {
+  EXPECT_EQ(NodeCapacityForPage(8, 4), 2u);
+  EXPECT_EQ(NodeCapacityForPage(0, 4), 2u);
+  EXPECT_EQ(NodeCapacityForPage(100, 16), 2u);
+}
+
+TEST(NodeTest, LeafAndInternalFactories) {
+  const Rect r = Rect::Make({0.0}, {1.0});
+  const RTreeEntry leaf = RTreeEntry::Leaf(r, 42);
+  EXPECT_EQ(leaf.record_id, 42);
+  EXPECT_EQ(leaf.child, kInvalidNodeId);
+  const RTreeEntry internal = RTreeEntry::Internal(r, 7);
+  EXPECT_EQ(internal.child, 7);
+  EXPECT_EQ(internal.record_id, -1);
+}
+
+TEST(NodeTest, ComputeMbrUnionsAllEntries) {
+  RTreeNode node;
+  node.entries.push_back(RTreeEntry::Leaf(Rect::Make({0.0, 0.0},
+                                                     {1.0, 1.0}),
+                                          0));
+  node.entries.push_back(RTreeEntry::Leaf(Rect::Make({3.0, -2.0},
+                                                     {4.0, 0.5}),
+                                          1));
+  const Rect mbr = node.ComputeMbr();
+  EXPECT_EQ(mbr, Rect::Make({0.0, -2.0}, {4.0, 1.0}));
+}
+
+TEST(NodeTest, LevelZeroIsLeaf) {
+  RTreeNode node;
+  EXPECT_TRUE(node.IsLeaf());
+  node.level = 1;
+  EXPECT_FALSE(node.IsLeaf());
+  EXPECT_FALSE(node.supernode);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,107 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace warpindex {
+namespace {
+
+TEST(PrngTest, DeterministicForEqualSeeds) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = prng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(PrngTest, UniformDoubleRespectsBounds) {
+  Prng prng(7);
+  double min_seen = 1e300;
+  double max_seen = -1e300;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = prng.UniformDouble(-0.1, 0.1);
+    EXPECT_GE(v, -0.1);
+    EXPECT_LT(v, 0.1);
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
+  // The full range should actually be explored.
+  EXPECT_LT(min_seen, -0.09);
+  EXPECT_GT(max_seen, 0.09);
+}
+
+TEST(PrngTest, UniformIntInclusiveBoundsAndCoverage) {
+  Prng prng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = prng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PrngTest, UniformIntSingletonRange) {
+  Prng prng(13);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(prng.UniformInt(42, 42), 42);
+  }
+}
+
+TEST(PrngTest, GaussianMomentsApproximatelyStandard) {
+  Prng prng(17);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = prng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(PrngTest, ForkProducesIndependentStream) {
+  Prng parent(23);
+  Prng child = parent.Fork(1);
+  Prng parent2(23);
+  Prng child2 = parent2.Fork(1);
+  // Forks are deterministic...
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.NextUint64(), child2.NextUint64());
+  }
+  // ...and differ by label.
+  Prng parent3(23);
+  Prng other = parent3.Fork(2);
+  EXPECT_NE(child.NextUint64(), other.NextUint64());
+}
+
+}  // namespace
+}  // namespace warpindex

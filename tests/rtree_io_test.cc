@@ -1,0 +1,188 @@
+#include "rtree/rtree_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/prng.h"
+#include "rtree/bulk_load.h"
+
+namespace warpindex {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(size_t n, int dims, uint64_t seed) {
+  Prng prng(seed);
+  std::vector<RTreeEntry> entries;
+  for (size_t i = 0; i < n; ++i) {
+    Point p;
+    p.dims = dims;
+    for (int d = 0; d < dims; ++d) {
+      p[d] = prng.UniformDouble(0.0, 100.0);
+    }
+    entries.push_back(
+        RTreeEntry::Leaf(Rect::FromPoint(p), static_cast<int64_t>(i)));
+  }
+  return entries;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(RTreeIoTest, RoundTripPreservesQueries) {
+  RTreeOptions options;
+  options.page_size_bytes = 512;
+  RTree original(4, options);
+  for (const auto& e : RandomEntries(800, 4, 1)) {
+    original.Insert(e.rect, e.record_id);
+  }
+  const std::string path = TempPath("rtree_roundtrip.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+
+  RTree loaded(1);
+  ASSERT_TRUE(LoadRTreeFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_EQ(loaded.dims(), 4);
+  EXPECT_EQ(loaded.capacity(), original.capacity());
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+
+  Prng prng(2);
+  for (int trial = 0; trial < 25; ++trial) {
+    Point c;
+    c.dims = 4;
+    for (int d = 0; d < 4; ++d) {
+      c[d] = prng.UniformDouble(0.0, 100.0);
+    }
+    const Rect query = Rect::SquareAround(c, prng.UniformDouble(1.0, 20.0));
+    auto a = original.RangeSearch(query);
+    auto b = loaded.RangeSearch(query);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, RoundTripAfterDeletesSkipsFreeListHoles) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  RTree original(2, options);
+  const auto entries = RandomEntries(400, 2, 3);
+  for (const auto& e : entries) {
+    original.Insert(e.rect, e.record_id);
+  }
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(original.Delete(entries[i].rect, entries[i].record_id));
+  }
+  const std::string path = TempPath("rtree_holes.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+  RTree loaded(1);
+  ASSERT_TRUE(LoadRTreeFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 100u);
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+  auto hits = loaded.RangeSearch(Rect::Make({0.0, 0.0}, {100.0, 100.0}));
+  EXPECT_EQ(hits.size(), 100u);
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, LoadedTreeSupportsMutation) {
+  RTree original(3);
+  for (const auto& e : RandomEntries(200, 3, 5)) {
+    original.Insert(e.rect, e.record_id);
+  }
+  const std::string path = TempPath("rtree_mutate.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+  RTree loaded(1);
+  ASSERT_TRUE(LoadRTreeFromFile(path, &loaded).ok());
+  for (const auto& e : RandomEntries(200, 3, 6)) {
+    loaded.Insert(e.rect, e.record_id + 1000);
+  }
+  EXPECT_EQ(loaded.size(), 400u);
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, BulkLoadedTreeRoundTrips) {
+  const RTree original =
+      BulkLoadStr(4, RTreeOptions{}, RandomEntries(3000, 4, 7));
+  const std::string path = TempPath("rtree_bulk.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+  RTree loaded(1);
+  ASSERT_TRUE(LoadRTreeFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 3000u);
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, SupernodeTreeRoundTrips) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  options.allow_supernodes = true;
+  options.supernode_overlap_threshold = 0.1;
+  RTree original(2, options);
+  Prng prng(21);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 1500; ++i) {
+    const double x = prng.UniformDouble(0.0, 0.5);
+    const double y = prng.UniformDouble(0.0, 0.5);
+    entries.push_back(
+        RTreeEntry::Leaf(Rect::Make({x, y}, {x + 0.5, y + 0.5}), i));
+    original.Insert(entries.back().rect, i);
+  }
+  ASSERT_GT(original.supernode_count(), 0u);
+  const std::string path = TempPath("rtree_supernodes.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+  RTree loaded(1);
+  ASSERT_TRUE(LoadRTreeFromFile(path, &loaded).ok());
+  EXPECT_EQ(loaded.supernode_count(), original.supernode_count());
+  EXPECT_EQ(loaded.TotalPages(), original.TotalPages());
+  EXPECT_TRUE(loaded.CheckInvariants().ok());
+  auto a = original.RangeSearch(Rect::Make({0.2, 0.2}, {0.4, 0.4}));
+  auto b = loaded.RangeSearch(Rect::Make({0.2, 0.2}, {0.4, 0.4}));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, MissingFileFails) {
+  RTree t(1);
+  EXPECT_EQ(LoadRTreeFromFile("/nonexistent/x.wirt", &t).code(),
+            StatusCode::kIoError);
+}
+
+TEST(RTreeIoTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.wirt");
+  std::ofstream(path) << "JUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNKJUNK";
+  RTree t(1);
+  EXPECT_EQ(LoadRTreeFromFile(path, &t).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RTreeIoTest, TruncatedFileRejected) {
+  RTree original(2);
+  for (const auto& e : RandomEntries(100, 2, 9)) {
+    original.Insert(e.rect, e.record_id);
+  }
+  const std::string path = TempPath("truncated.wirt");
+  ASSERT_TRUE(SaveRTreeToFile(original, path).ok());
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path, std::ios::binary)
+      << data.substr(0, data.size() / 2);
+  RTree t(1);
+  const Status status = LoadRTreeFromFile(path, &t);
+  EXPECT_FALSE(status.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace warpindex

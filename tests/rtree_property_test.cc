@@ -1,0 +1,134 @@
+// Randomized workload tests parameterized over split policy x forced
+// reinsertion: interleaved inserts/deletes/queries checked against a
+// brute-force reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/prng.h"
+#include "rtree/rtree.h"
+
+namespace warpindex {
+namespace {
+
+struct Config {
+  SplitPolicy policy;
+  bool forced_reinsert;
+};
+
+class RTreeWorkloadTest : public testing::TestWithParam<Config> {};
+
+TEST_P(RTreeWorkloadTest, MatchesBruteForceUnderMixedWorkload) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  options.split_policy = GetParam().policy;
+  options.forced_reinsert = GetParam().forced_reinsert;
+  RTree tree(2, options);
+
+  Prng prng(31);
+  std::map<int64_t, Point> reference;
+  int64_t next_id = 0;
+
+  for (int step = 0; step < 1500; ++step) {
+    const int64_t op = prng.UniformInt(0, 9);
+    if (op < 6 || reference.empty()) {
+      // Insert.
+      Point p;
+      p.dims = 2;
+      p[0] = prng.UniformDouble(0.0, 100.0);
+      p[1] = prng.UniformDouble(0.0, 100.0);
+      tree.Insert(Rect::FromPoint(p), next_id);
+      reference[next_id] = p;
+      ++next_id;
+    } else if (op < 8) {
+      // Delete a random existing record.
+      auto it = reference.begin();
+      std::advance(it, prng.UniformInt(
+                           0, static_cast<int64_t>(reference.size()) - 1));
+      ASSERT_TRUE(tree.Delete(Rect::FromPoint(it->second), it->first));
+      reference.erase(it);
+    } else {
+      // Range query vs brute force.
+      Point c;
+      c.dims = 2;
+      c[0] = prng.UniformDouble(0.0, 100.0);
+      c[1] = prng.UniformDouble(0.0, 100.0);
+      const Rect query =
+          Rect::SquareAround(c, prng.UniformDouble(0.5, 20.0));
+      auto hits = tree.RangeSearch(query);
+      std::sort(hits.begin(), hits.end());
+      std::vector<int64_t> expected;
+      for (const auto& [id, p] : reference) {
+        if (query.ContainsPoint(p)) {
+          expected.push_back(id);
+        }
+      }
+      ASSERT_EQ(hits, expected) << "at step " << step;
+    }
+    if (step % 250 == 249) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "at step " << step;
+      ASSERT_EQ(tree.size(), reference.size());
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_P(RTreeWorkloadTest, FourDimensionalFeatureWorkload) {
+  // The paper's actual shape: 4-d points, 1 KB pages, square queries.
+  RTreeOptions options;
+  options.page_size_bytes = 1024;
+  options.split_policy = GetParam().policy;
+  options.forced_reinsert = GetParam().forced_reinsert;
+  RTree tree(4, options);
+
+  Prng prng(32);
+  std::vector<Point> points;
+  for (int i = 0; i < 800; ++i) {
+    Point p;
+    p.dims = 4;
+    // Correlated coordinates, like real feature tuples (first ~ last ~
+    // within [smallest, greatest]).
+    const double base = prng.UniformDouble(0.0, 50.0);
+    p[0] = base + prng.UniformDouble(-2.0, 2.0);
+    p[1] = base + prng.UniformDouble(-2.0, 2.0);
+    p[2] = base + prng.UniformDouble(2.0, 4.0);
+    p[3] = base - prng.UniformDouble(2.0, 4.0);
+    points.push_back(p);
+    tree.Insert(Rect::FromPoint(p), i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point& q = points[static_cast<size_t>(
+        prng.UniformInt(0, static_cast<int64_t>(points.size()) - 1))];
+    const Rect query = Rect::SquareAround(q, prng.UniformDouble(0.1, 3.0));
+    auto hits = tree.RangeSearch(query);
+    std::sort(hits.begin(), hits.end());
+    std::vector<int64_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (query.ContainsPoint(points[i])) {
+        expected.push_back(static_cast<int64_t>(i));
+      }
+    }
+    ASSERT_EQ(hits, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndReinsertion, RTreeWorkloadTest,
+    testing::Values(Config{SplitPolicy::kLinear, false},
+                    Config{SplitPolicy::kQuadratic, false},
+                    Config{SplitPolicy::kRStar, false},
+                    Config{SplitPolicy::kQuadratic, true},
+                    Config{SplitPolicy::kRStar, true}),
+    [](const testing::TestParamInfo<Config>& info) {
+      std::string name = SplitPolicyName(info.param.policy);
+      if (info.param.forced_reinsert) {
+        name += "_reinsert";
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,80 @@
+#include "sequence/sequence.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(SequenceTest, EmptySequence) {
+  Sequence s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.id(), kInvalidSequenceId);
+}
+
+TEST(SequenceTest, AccessorsMatchPaperNotation) {
+  const Sequence s({20, 21, 21, 20, 20, 23, 23, 23});
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.First(), 20.0);
+  EXPECT_EQ(s.Last(), 23.0);
+  EXPECT_EQ(s.Greatest(), 23.0);
+  EXPECT_EQ(s.Smallest(), 20.0);
+  EXPECT_EQ(s[1], 21.0);
+}
+
+TEST(SequenceTest, MeanAndStdDev) {
+  const Sequence s({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.StdDev(), 2.0, 1e-12);
+}
+
+TEST(SequenceTest, AppendAndReserve) {
+  Sequence s;
+  s.Reserve(3);
+  s.Append(1.0);
+  s.Append(2.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.Last(), 2.0);
+}
+
+TEST(SequenceTest, SliceExtractsWindow) {
+  const Sequence s({0, 1, 2, 3, 4, 5});
+  const Sequence w = s.Slice(2, 3);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 2.0);
+  EXPECT_EQ(w[2], 4.0);
+}
+
+TEST(SequenceTest, SliceFullAndSingle) {
+  const Sequence s({7, 8, 9});
+  EXPECT_EQ(s.Slice(0, 3), s);
+  const Sequence one = s.Slice(1, 1);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 8.0);
+}
+
+TEST(SequenceTest, EqualityComparesElementsNotIds) {
+  Sequence a({1, 2, 3});
+  Sequence b({1, 2, 3});
+  b.set_id(99);
+  EXPECT_EQ(a, b);
+  const Sequence c({1, 2, 4});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SequenceTest, IdRoundTrip) {
+  Sequence s({1.0});
+  s.set_id(17);
+  EXPECT_EQ(s.id(), 17);
+}
+
+TEST(SequenceTest, ToStringTruncates) {
+  const Sequence s({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.ToString(), "<1, 2, 3, 4, 5>");
+  const std::string truncated = s.ToString(2);
+  EXPECT_NE(truncated.find("<1, 2, ..."), std::string::npos);
+  EXPECT_NE(truncated.find("5 elements"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,145 @@
+// ST-Filter subsequence matching (the setting Park et al. designed it
+// for): candidates must cover every true window match, and the filter
+// must prune meaningfully.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dtw/dtw.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "suffixtree/st_filter.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(size_t n = 12, size_t len = 80) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = len;
+  options.max_length = len;
+  return GenerateRandomWalkDataset(options);
+}
+
+using Candidate = StFilter::SubsequenceCandidate;
+
+std::vector<Candidate> BruteForceMatches(const Dataset& d, const Sequence& q,
+                                         double epsilon, size_t min_len,
+                                         size_t max_len) {
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<Candidate> out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Sequence& s = d[i];
+    for (size_t w = min_len; w <= max_len; ++w) {
+      for (size_t off = 0; off + w <= s.size(); ++off) {
+        if (dtw.Distance(s.Slice(off, w), q).distance <= epsilon) {
+          out.push_back({static_cast<SequenceId>(i), off, w});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(StFilterSubsequenceTest, CandidatesCoverAllTrueMatches) {
+  const Dataset d = WalkDataset();
+  StFilterOptions options;
+  options.num_categories = 30;
+  const StFilter filter(d, options);
+  for (const double epsilon : {0.05, 0.1, 0.2}) {
+    for (int qi = 0; qi < 5; ++qi) {
+      const Sequence q = PerturbSequence(
+          d[static_cast<size_t>(qi * 2)].Slice(
+              static_cast<size_t>(5 + qi * 7), 12),
+          static_cast<uint64_t>(qi));
+      auto candidates =
+          filter.FindSubsequenceCandidates(q, epsilon, 10, 14);
+      const auto sort_key = [](const Candidate& a, const Candidate& b) {
+        return std::tie(a.sequence_id, a.offset, a.length) <
+               std::tie(b.sequence_id, b.offset, b.length);
+      };
+      std::sort(candidates.begin(), candidates.end(), sort_key);
+      for (const Candidate& truth :
+           BruteForceMatches(d, q, epsilon, 10, 14)) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       truth, sort_key))
+            << "missing (" << truth.sequence_id << ", " << truth.offset
+            << ", " << truth.length << ") at eps=" << epsilon;
+      }
+    }
+  }
+}
+
+TEST(StFilterSubsequenceTest, ExactWindowAlwaysACandidate) {
+  const Dataset d = WalkDataset(8, 60);
+  StFilterOptions options;
+  options.num_categories = 50;
+  const StFilter filter(d, options);
+  const Sequence q = d[3].Slice(20, 15);
+  const auto candidates = filter.FindSubsequenceCandidates(q, 0.0, 15, 15);
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                      Candidate{3, 20, 15}),
+            candidates.end());
+}
+
+TEST(StFilterSubsequenceTest, CandidateLengthsRespectBounds) {
+  const Dataset d = WalkDataset(6, 50);
+  const StFilter filter(d, StFilterOptions{.num_categories = 20});
+  const Sequence q = d[0].Slice(10, 12);
+  const auto candidates = filter.FindSubsequenceCandidates(q, 0.3, 9, 13);
+  EXPECT_FALSE(candidates.empty());
+  for (const Candidate& c : candidates) {
+    EXPECT_GE(c.length, 9u);
+    EXPECT_LE(c.length, 13u);
+    EXPECT_LE(c.offset + c.length,
+              d[static_cast<size_t>(c.sequence_id)].size());
+  }
+}
+
+TEST(StFilterSubsequenceTest, NoDuplicateCandidates) {
+  const Dataset d = WalkDataset(6, 50);
+  const StFilter filter(d, StFilterOptions{.num_categories = 20});
+  const Sequence q = PerturbSequence(d[1].Slice(5, 10), 3);
+  auto candidates = filter.FindSubsequenceCandidates(q, 0.2, 8, 12);
+  const auto key = [](const Candidate& a, const Candidate& b) {
+    return std::tie(a.sequence_id, a.offset, a.length) <
+           std::tie(b.sequence_id, b.offset, b.length);
+  };
+  std::sort(candidates.begin(), candidates.end(), key);
+  EXPECT_EQ(std::adjacent_find(candidates.begin(), candidates.end()),
+            candidates.end());
+}
+
+TEST(StFilterSubsequenceTest, FarQueryYieldsNoCandidates) {
+  const Dataset d = WalkDataset(10, 60);
+  const StFilter filter(d, StFilterOptions{.num_categories = 100});
+  const Sequence q(std::vector<double>(10, 500.0));
+  EXPECT_TRUE(filter.FindSubsequenceCandidates(q, 0.1, 8, 12).empty());
+}
+
+TEST(StFilterSubsequenceTest, PruningBeatsExhaustiveEnumeration) {
+  // The candidate set at a small tolerance must be far smaller than the
+  // number of windows in the length class.
+  const Dataset d = WalkDataset(15, 100);
+  const StFilter filter(d, StFilterOptions{.num_categories = 100});
+  const Sequence q = PerturbSequence(d[7].Slice(40, 20), 5);
+  const auto candidates = filter.FindSubsequenceCandidates(q, 0.05, 18, 22);
+  const size_t total_windows = 15 * ((100 - 18 + 1) + (100 - 19 + 1) +
+                                     (100 - 20 + 1) + (100 - 21 + 1) +
+                                     (100 - 22 + 1));
+  EXPECT_LT(candidates.size(), total_windows / 4);
+}
+
+TEST(StFilterSubsequenceTest, StatsPopulated) {
+  const Dataset d = WalkDataset(6, 40);
+  const StFilter filter(d, StFilterOptions{.num_categories = 20});
+  StFilterQueryStats stats;
+  filter.FindSubsequenceCandidates(d[0].Slice(0, 10), 0.1, 8, 12, &stats);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.dp_cells, 0u);
+  EXPECT_GT(stats.pages_accessed, 0u);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,133 @@
+#include "suffixtree/st_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dtw/dtw.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset SmallWalkDataset(size_t n = 60, size_t len = 40) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = len / 2;
+  options.max_length = len;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<SequenceId> TrueMatches(const Dataset& d, const Sequence& q,
+                                    double epsilon) {
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<SequenceId> out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (dtw.Distance(d[i], q).distance <= epsilon) {
+      out.push_back(static_cast<SequenceId>(i));
+    }
+  }
+  return out;
+}
+
+TEST(StFilterTest, CandidatesAreSupersetOfTrueMatches) {
+  const Dataset d = SmallWalkDataset();
+  StFilterOptions options;
+  options.num_categories = 20;
+  const StFilter filter(d, options);
+  const auto queries =
+      GenerateQueryWorkload(d, QueryWorkloadOptions{.num_queries = 20});
+  for (const double epsilon : {0.05, 0.1, 0.3, 1.0}) {
+    for (const Sequence& q : queries) {
+      auto candidates = filter.FindCandidates(q, epsilon);
+      std::sort(candidates.begin(), candidates.end());
+      for (const SequenceId id : TrueMatches(d, q, epsilon)) {
+        EXPECT_TRUE(std::binary_search(candidates.begin(), candidates.end(),
+                                       id))
+            << "false dismissal: id=" << id << " eps=" << epsilon;
+      }
+    }
+  }
+}
+
+TEST(StFilterTest, ExactCopyQueryAlwaysCandidate) {
+  const Dataset d = SmallWalkDataset(30, 25);
+  const StFilter filter(d, StFilterOptions{});
+  for (size_t i = 0; i < d.size(); ++i) {
+    const auto candidates = filter.FindCandidates(d[i], 0.0);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(),
+                        static_cast<SequenceId>(i)),
+              candidates.end());
+  }
+}
+
+TEST(StFilterTest, FiltersAggressivelyForTinyTolerance) {
+  const Dataset d = SmallWalkDataset(100, 60);
+  StFilterOptions options;
+  options.num_categories = 100;
+  const StFilter filter(d, options);
+  // A far-away query: constant level above every random walk.
+  const Sequence q(std::vector<double>(30, 1000.0));
+  const auto candidates = filter.FindCandidates(q, 0.1);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(StFilterTest, MoreCategoriesFilterAtLeastAsWell) {
+  const Dataset d = SmallWalkDataset(80, 50);
+  StFilterOptions coarse;
+  coarse.num_categories = 4;
+  StFilterOptions fine;
+  fine.num_categories = 200;
+  const StFilter coarse_filter(d, coarse);
+  const StFilter fine_filter(d, fine);
+  const auto queries =
+      GenerateQueryWorkload(d, QueryWorkloadOptions{.num_queries = 10});
+  size_t coarse_total = 0;
+  size_t fine_total = 0;
+  for (const Sequence& q : queries) {
+    coarse_total += coarse_filter.FindCandidates(q, 0.1).size();
+    fine_total += fine_filter.FindCandidates(q, 0.1).size();
+  }
+  EXPECT_LE(fine_total, coarse_total);
+}
+
+TEST(StFilterTest, StatsPopulated) {
+  const Dataset d = SmallWalkDataset(40, 30);
+  const StFilter filter(d, StFilterOptions{});
+  StFilterQueryStats stats;
+  filter.FindCandidates(d[0], 0.1, &stats);
+  EXPECT_GT(stats.nodes_visited, 0u);
+  EXPECT_GT(stats.pages_accessed, 0u);
+  EXPECT_GT(stats.dp_cells, 0u);
+  EXPECT_LE(stats.pages_accessed, filter.IndexPages());
+}
+
+TEST(StFilterTest, DuplicateSequencesBothReported) {
+  Dataset d;
+  d.Add(Sequence({1.0, 2.0, 3.0}));
+  d.Add(Sequence({1.0, 2.0, 3.0}));  // identical content
+  d.Add(Sequence({50.0, 60.0}));
+  StFilterOptions options;
+  options.num_categories = 10;
+  const StFilter filter(d, options);
+  auto candidates = filter.FindCandidates(Sequence({1.0, 2.0, 3.0}), 0.5);
+  std::sort(candidates.begin(), candidates.end());
+  EXPECT_EQ(candidates, (std::vector<SequenceId>{0, 1}));
+}
+
+TEST(StFilterTest, PrefixIsNotAWholeMatchCandidateUnlessClose) {
+  // "abc" vs data "abczz...": whole matching must not return the long
+  // sequence merely because the query matches its prefix.
+  Dataset d;
+  d.Add(Sequence({1.0, 2.0, 3.0, 90.0, 95.0}));
+  StFilterOptions options;
+  options.num_categories = 50;
+  const StFilter filter(d, options);
+  const auto candidates = filter.FindCandidates(Sequence({1.0, 2.0, 3.0}),
+                                                1.0);
+  EXPECT_TRUE(candidates.empty());
+}
+
+}  // namespace
+}  // namespace warpindex

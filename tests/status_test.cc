@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("nf").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::IoError("io").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::FailedPrecondition("fp").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("oor").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("int").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("disk on fire").message(), "disk on fire");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  const Status s = Status::IoError("short read");
+  EXPECT_EQ(s.ToString(), "IO_ERROR: short read");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+Status FailsThrough() {
+  WARPINDEX_RETURN_IF_ERROR(Status::NotFound("inner"));
+  return Status::Internal("unreachable");
+}
+
+Status Passes() {
+  WARPINDEX_RETURN_IF_ERROR(Status::Ok());
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Passes().ok());
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,84 @@
+// Cross-validation of the two independent subsequence-matching paths:
+// the §6 window-feature index and ST-Filter's suffix-tree traversal must
+// produce identical exact match sets after post-filtering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/subsequence_index.h"
+#include "dtw/dtw.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "suffixtree/st_filter.h"
+
+namespace warpindex {
+namespace {
+
+using Key = std::tuple<SequenceId, size_t, size_t>;
+
+std::vector<Key> ViaWindowIndex(const Dataset& d, const Sequence& q,
+                                double eps, size_t min_w, size_t max_w) {
+  SubsequenceIndexOptions options;
+  options.min_window = min_w;
+  options.max_window = max_w;
+  const SubsequenceIndex index(&d, options);
+  std::vector<Key> keys;
+  for (const SubsequenceMatch& m : index.Search(q, eps)) {
+    keys.emplace_back(m.sequence_id, m.offset, m.length);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<Key> ViaStFilter(const Dataset& d, const Sequence& q,
+                             double eps, size_t min_w, size_t max_w) {
+  StFilterOptions options;
+  options.num_categories = 40;
+  const StFilter filter(d, options);
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<Key> keys;
+  for (const auto& c :
+       filter.FindSubsequenceCandidates(q, eps, min_w, max_w)) {
+    const Sequence window =
+        d[static_cast<size_t>(c.sequence_id)].Slice(c.offset, c.length);
+    if (dtw.DistanceWithThreshold(window, q, eps).distance <= eps) {
+      keys.emplace_back(c.sequence_id, c.offset, c.length);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(SubsequenceCrossValidationTest, IdenticalMatchSets) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 8;
+  rw.min_length = 60;
+  rw.max_length = 60;
+  const Dataset d = GenerateRandomWalkDataset(rw);
+  for (int qi = 0; qi < 5; ++qi) {
+    const Sequence q = PerturbSequence(
+        d[static_cast<size_t>(qi)].Slice(static_cast<size_t>(qi * 5), 12),
+        static_cast<uint64_t>(qi + 1));
+    for (const double eps : {0.05, 0.15}) {
+      const auto a = ViaWindowIndex(d, q, eps, 10, 14);
+      const auto b = ViaStFilter(d, q, eps, 10, 14);
+      ASSERT_EQ(a, b) << "qi=" << qi << " eps=" << eps;
+    }
+  }
+}
+
+TEST(SubsequenceCrossValidationTest, AgreeOnEmptyResults) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 5;
+  rw.min_length = 40;
+  rw.max_length = 40;
+  const Dataset d = GenerateRandomWalkDataset(rw);
+  const Sequence q(std::vector<double>(12, 300.0));  // far away
+  EXPECT_TRUE(ViaWindowIndex(d, q, 0.1, 10, 14).empty());
+  EXPECT_TRUE(ViaStFilter(d, q, 0.1, 10, 14).empty());
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,171 @@
+#include "core/subsequence_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dtw/dtw.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset SmallDataset(size_t n = 10, size_t len = 60) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = len;
+  options.max_length = len;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<SubsequenceMatch> BruteForce(const Dataset& d,
+                                         const Sequence& q, double epsilon,
+                                         size_t min_w, size_t max_w,
+                                         size_t stride) {
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<SubsequenceMatch> out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    const Sequence& s = d[i];
+    for (size_t w = min_w; w <= max_w; ++w) {
+      for (size_t off = 0; off + w <= s.size(); off += stride) {
+        const Sequence window = s.Slice(off, w);
+        const double dist = dtw.Distance(window, q).distance;
+        if (dist <= epsilon) {
+          out.push_back({static_cast<SequenceId>(i), off, w, dist});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(SubsequenceIndexTest, CountsAllWindows) {
+  const Dataset d = SmallDataset(3, 20);
+  SubsequenceIndexOptions options;
+  options.min_window = 5;
+  options.max_window = 7;
+  const SubsequenceIndex index(&d, options);
+  // Per sequence: (20-5+1) + (20-6+1) + (20-7+1) = 16+15+14 = 45.
+  EXPECT_EQ(index.num_windows(), 3u * 45u);
+}
+
+TEST(SubsequenceIndexTest, StrideReducesWindowCount) {
+  const Dataset d = SmallDataset(2, 30);
+  SubsequenceIndexOptions dense;
+  dense.min_window = 8;
+  dense.max_window = 8;
+  SubsequenceIndexOptions sparse = dense;
+  sparse.stride = 4;
+  const SubsequenceIndex dense_index(&d, dense);
+  const SubsequenceIndex sparse_index(&d, sparse);
+  EXPECT_GT(dense_index.num_windows(), sparse_index.num_windows());
+}
+
+TEST(SubsequenceIndexTest, MatchesBruteForceExactly) {
+  const Dataset d = SmallDataset(6, 40);
+  SubsequenceIndexOptions options;
+  options.min_window = 8;
+  options.max_window = 12;
+  const SubsequenceIndex index(&d, options);
+
+  // Query: a real window, slightly perturbed.
+  Sequence q = d[2].Slice(10, 10);
+  for (const double epsilon : {0.0, 0.05, 0.15}) {
+    auto got = index.Search(q, epsilon);
+    auto expected = BruteForce(d, q, epsilon, 8, 12, 1);
+    std::sort(expected.begin(), expected.end(),
+              [](const SubsequenceMatch& a, const SubsequenceMatch& b) {
+                if (a.sequence_id != b.sequence_id) {
+                  return a.sequence_id < b.sequence_id;
+                }
+                if (a.offset != b.offset) return a.offset < b.offset;
+                return a.length < b.length;
+              });
+    ASSERT_EQ(got.size(), expected.size()) << "eps=" << epsilon;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]);
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-9);
+    }
+  }
+}
+
+TEST(SubsequenceIndexTest, FindsExactWindowAtZeroTolerance) {
+  const Dataset d = SmallDataset(4, 30);
+  SubsequenceIndexOptions options;
+  options.min_window = 10;
+  options.max_window = 10;
+  const SubsequenceIndex index(&d, options);
+  const Sequence q = d[1].Slice(5, 10);
+  const auto matches = index.Search(q, 0.0);
+  const SubsequenceMatch expected{1, 5, 10, 0.0};
+  EXPECT_NE(std::find(matches.begin(), matches.end(), expected),
+            matches.end());
+}
+
+TEST(SubsequenceIndexTest, CostAccountingPopulated) {
+  const Dataset d = SmallDataset(4, 30);
+  SubsequenceIndexOptions options;
+  options.min_window = 6;
+  options.max_window = 10;
+  const SubsequenceIndex index(&d, options);
+  SearchCost cost;
+  index.Search(d[0].Slice(0, 8), 0.1, &cost);
+  EXPECT_GT(cost.index_nodes, 0u);
+  EXPECT_GT(cost.io.random_page_reads, 0u);
+}
+
+TEST(SubsequenceIndexTest, IncrementalBuildAgreesWithBulk) {
+  const Dataset d = SmallDataset(3, 25);
+  SubsequenceIndexOptions bulk;
+  bulk.min_window = 5;
+  bulk.max_window = 8;
+  SubsequenceIndexOptions incremental = bulk;
+  incremental.bulk_load = false;
+  const SubsequenceIndex a(&d, bulk);
+  const SubsequenceIndex b(&d, incremental);
+  const Sequence q = d[0].Slice(3, 6);
+  const auto ma = a.Search(q, 0.1);
+  const auto mb = b.Search(q, 0.1);
+  ASSERT_EQ(ma.size(), mb.size());
+  for (size_t i = 0; i < ma.size(); ++i) {
+    EXPECT_EQ(ma[i], mb[i]);
+  }
+}
+
+TEST(SubsequenceIndexTest, EveryWindowFindsItselfAtZeroTolerance) {
+  // Exhaustive self-retrieval: any error in the sliding min/max feature
+  // extraction would break the zero-radius range query for that window.
+  const Dataset d = SmallDataset(2, 35);
+  SubsequenceIndexOptions options;
+  options.min_window = 4;
+  options.max_window = 9;
+  const SubsequenceIndex index(&d, options);
+  for (size_t si = 0; si < d.size(); ++si) {
+    const Sequence& s = d[si];
+    for (size_t w = 4; w <= 9; ++w) {
+      for (size_t off = 0; off + w <= s.size(); ++off) {
+        const auto matches = index.Search(s.Slice(off, w), 0.0);
+        const SubsequenceMatch expected{static_cast<SequenceId>(si), off, w,
+                                        0.0};
+        ASSERT_NE(std::find(matches.begin(), matches.end(), expected),
+                  matches.end())
+            << "window (" << si << ", " << off << ", " << w << ")";
+      }
+    }
+  }
+}
+
+TEST(SubsequenceIndexTest, ShortSequencesContributeNoWindows) {
+  Dataset d;
+  d.Add(Sequence({1.0, 2.0}));  // shorter than min_window
+  d.Add(Sequence({1.0, 2.0, 3.0, 4.0, 5.0, 6.0}));
+  SubsequenceIndexOptions options;
+  options.min_window = 4;
+  options.max_window = 5;
+  const SubsequenceIndex index(&d, options);
+  // Only the second sequence: (6-4+1) + (6-5+1) = 5 windows.
+  EXPECT_EQ(index.num_windows(), 5u);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,206 @@
+#include "suffixtree/suffix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.h"
+
+namespace warpindex {
+namespace {
+
+std::vector<Symbol> ToSymbols(const std::string& s) {
+  std::vector<Symbol> symbols;
+  for (char c : s) {
+    symbols.push_back(static_cast<Symbol>(c - 'a'));
+  }
+  return symbols;
+}
+
+TEST(SuffixTreeTest, EmptyTree) {
+  const SuffixTree tree;
+  EXPECT_EQ(tree.num_strings(), 0u);
+  EXPECT_EQ(tree.num_nodes(), 1u);  // just the root
+}
+
+TEST(SuffixTreeTest, ContainsEverySubstringOfBanana) {
+  SuffixTree tree;
+  const std::string text = "banana";
+  EXPECT_EQ(tree.AddString(ToSymbols(text)), 0);
+  for (size_t i = 0; i < text.size(); ++i) {
+    for (size_t len = 1; len + i <= text.size(); ++len) {
+      EXPECT_TRUE(tree.ContainsSubstring(ToSymbols(text.substr(i, len))))
+          << text.substr(i, len);
+    }
+  }
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("bananas")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("nab")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("x")));
+}
+
+TEST(SuffixTreeTest, ClassicMississippiCase) {
+  SuffixTree tree;
+  const std::string text = "mississippi";
+  tree.AddString(ToSymbols(text));
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("issi")));
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("ssippi")));
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("mississippi")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("ssissb")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("ppp")));
+}
+
+TEST(SuffixTreeTest, GeneralizedOverMultipleStrings) {
+  SuffixTree tree;
+  EXPECT_EQ(tree.AddString(ToSymbols("abcab")), 0);
+  EXPECT_EQ(tree.AddString(ToSymbols("cabd")), 1);
+  EXPECT_EQ(tree.num_strings(), 2u);
+  EXPECT_EQ(tree.StringLength(0), 5u);
+  EXPECT_EQ(tree.StringLength(1), 4u);
+  // Substrings of either string are found.
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("bca")));
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("abd")));
+  // Nothing matches across the string boundary.
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("abcabc")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("bcabd")));
+}
+
+TEST(SuffixTreeTest, NodeCountLinearInTextSize) {
+  SuffixTree tree;
+  Prng prng(55);
+  size_t total_symbols = 0;
+  for (int s = 0; s < 20; ++s) {
+    std::vector<Symbol> symbols;
+    const int64_t len = prng.UniformInt(10, 100);
+    for (int64_t i = 0; i < len; ++i) {
+      symbols.push_back(static_cast<Symbol>(prng.UniformInt(0, 9)));
+    }
+    total_symbols += symbols.size() + 1;  // + terminator
+    tree.AddString(symbols);
+  }
+  EXPECT_EQ(tree.text_size(), total_symbols);
+  // A suffix tree over n symbols has at most 2n nodes.
+  EXPECT_LE(tree.num_nodes(), 2 * total_symbols);
+  EXPECT_GT(tree.num_nodes(), total_symbols / 2);
+}
+
+TEST(SuffixTreeTest, RandomizedContainsAgainstBruteForce) {
+  Prng prng(56);
+  for (int trial = 0; trial < 10; ++trial) {
+    SuffixTree tree;
+    std::vector<std::vector<Symbol>> strings;
+    const int64_t num_strings = prng.UniformInt(1, 4);
+    for (int64_t s = 0; s < num_strings; ++s) {
+      std::vector<Symbol> symbols;
+      const int64_t len = prng.UniformInt(1, 40);
+      for (int64_t i = 0; i < len; ++i) {
+        symbols.push_back(static_cast<Symbol>(prng.UniformInt(0, 3)));
+      }
+      tree.AddString(symbols);
+      strings.push_back(std::move(symbols));
+    }
+    for (int probe = 0; probe < 50; ++probe) {
+      std::vector<Symbol> needle;
+      const int64_t len = prng.UniformInt(1, 8);
+      for (int64_t i = 0; i < len; ++i) {
+        needle.push_back(static_cast<Symbol>(prng.UniformInt(0, 3)));
+      }
+      bool expected = false;
+      for (const auto& hay : strings) {
+        for (size_t off = 0; off + needle.size() <= hay.size(); ++off) {
+          if (std::equal(needle.begin(), needle.end(), hay.begin() + off)) {
+            expected = true;
+            break;
+          }
+        }
+      }
+      EXPECT_EQ(tree.ContainsSubstring(needle), expected);
+    }
+  }
+}
+
+TEST(SuffixTreeTest, TerminatorHelpers) {
+  SuffixTree tree;
+  tree.AddString(ToSymbols("ab"));
+  tree.AddString(ToSymbols("cd"));
+  EXPECT_TRUE(tree.IsTerminator(-1));
+  EXPECT_FALSE(tree.IsTerminator(0));
+  EXPECT_EQ(tree.TerminatorString(-1), 0);
+  EXPECT_EQ(tree.TerminatorString(-2), 1);
+}
+
+TEST(SuffixTreeTest, PageLayoutAccounting) {
+  SuffixTree tree;
+  tree.AddString(ToSymbols("abcabcabc"));
+  const size_t page_size = 1024;
+  const size_t nodes_per_page = page_size / SuffixTree::kNodeBytes;
+  EXPECT_EQ(tree.NumPages(page_size),
+            (tree.num_nodes() + nodes_per_page - 1) / nodes_per_page);
+  EXPECT_EQ(tree.PageOf(0, page_size), 0);
+  EXPECT_GE(tree.ApproxBytes(),
+            tree.num_nodes() * SuffixTree::kNodeBytes);
+}
+
+TEST(SuffixTreeTest, LocatePositionMapsGlobalToStringOffsets) {
+  SuffixTree tree;
+  tree.AddString(ToSymbols("abc"));   // text positions 0..2, terminator 3
+  tree.AddString(ToSymbols("de"));    // positions 4..5, terminator 6
+  int64_t string_id = -1;
+  size_t offset = 99;
+  ASSERT_TRUE(tree.LocatePosition(0, &string_id, &offset));
+  EXPECT_EQ(string_id, 0);
+  EXPECT_EQ(offset, 0u);
+  ASSERT_TRUE(tree.LocatePosition(2, &string_id, &offset));
+  EXPECT_EQ(string_id, 0);
+  EXPECT_EQ(offset, 2u);
+  ASSERT_TRUE(tree.LocatePosition(4, &string_id, &offset));
+  EXPECT_EQ(string_id, 1);
+  EXPECT_EQ(offset, 0u);
+  ASSERT_TRUE(tree.LocatePosition(5, &string_id, &offset));
+  EXPECT_EQ(string_id, 1);
+  EXPECT_EQ(offset, 1u);
+  // Terminator positions are not part of any string.
+  EXPECT_FALSE(tree.LocatePosition(3, &string_id, &offset));
+  EXPECT_FALSE(tree.LocatePosition(6, &string_id, &offset));
+}
+
+TEST(SuffixTreeTest, LocatePositionAcrossManyStrings) {
+  SuffixTree tree;
+  size_t expected_begin = 0;
+  std::vector<size_t> begins;
+  for (int s = 0; s < 10; ++s) {
+    const size_t len = static_cast<size_t>(3 + s);
+    begins.push_back(expected_begin);
+    std::vector<Symbol> symbols(len, static_cast<Symbol>(s));
+    tree.AddString(symbols);
+    expected_begin += len + 1;  // + terminator
+  }
+  for (int s = 0; s < 10; ++s) {
+    int64_t string_id = -1;
+    size_t offset = 0;
+    ASSERT_TRUE(tree.LocatePosition(begins[static_cast<size_t>(s)] + 2,
+                                    &string_id, &offset));
+    EXPECT_EQ(string_id, s);
+    EXPECT_EQ(offset, 2u);
+  }
+}
+
+TEST(SuffixTreeTest, RepeatedIdenticalStrings) {
+  SuffixTree tree;
+  tree.AddString(ToSymbols("aaa"));
+  tree.AddString(ToSymbols("aaa"));
+  EXPECT_EQ(tree.num_strings(), 2u);
+  EXPECT_TRUE(tree.ContainsSubstring(ToSymbols("aaa")));
+  EXPECT_FALSE(tree.ContainsSubstring(ToSymbols("aaaa")));
+}
+
+TEST(SuffixTreeTest, SingleSymbolStrings) {
+  SuffixTree tree;
+  tree.AddString({5});
+  tree.AddString({7});
+  EXPECT_TRUE(tree.ContainsSubstring({5}));
+  EXPECT_TRUE(tree.ContainsSubstring({7}));
+  EXPECT_FALSE(tree.ContainsSubstring({6}));
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,69 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+// Captures printer output through a temp file.
+std::string Capture(
+    const std::vector<std::string>& columns, bool csv,
+    const std::vector<std::vector<std::string>>& rows) {
+  const std::string path = testing::TempDir() + "/table_capture.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w+");
+  EXPECT_NE(f, nullptr);
+  {
+    TablePrinter table(f, columns, csv);
+    table.PrintHeader();
+    for (const auto& row : rows) {
+      table.PrintRow(row);
+    }
+  }
+  std::fflush(f);
+  std::rewind(f);
+  std::string out;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  return out;
+}
+
+TEST(TablePrinterTest, AlignedModeHasHeaderRuleAndCells) {
+  const std::string out =
+      Capture({"alpha", "beta"}, false, {{"1", "2"}, {"3", "4"}});
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("3"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvModeEmitsCommaRows) {
+  const std::string out =
+      Capture({"a", "b", "c"}, true, {{"1", "2", "3"}});
+  EXPECT_NE(out.find("a,b,c\n"), std::string::npos);
+  EXPECT_NE(out.find("1,2,3\n"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnWidthAtLeastHeaderLength) {
+  const std::string out = Capture({"a_very_long_column_name", "b"}, false,
+                                  {{"x", "y"}});
+  // The rule under the long header is as long as the header.
+  EXPECT_NE(out.find(std::string(23, '-')), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FormatInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FormatInt(1234567890123LL), "1234567890123");
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,115 @@
+#include "sequence/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+
+namespace warpindex {
+namespace {
+
+TEST(TransformsTest, ShiftAddsOffset) {
+  const Sequence out = Shift(Sequence({1.0, 2.0}), 10.0);
+  EXPECT_EQ(out, Sequence({11.0, 12.0}));
+}
+
+TEST(TransformsTest, ScaleMultiplies) {
+  const Sequence out = Scale(Sequence({1.0, -2.0}), 3.0);
+  EXPECT_EQ(out, Sequence({3.0, -6.0}));
+}
+
+TEST(TransformsTest, ZNormalizeHasZeroMeanUnitStd) {
+  const Sequence out = ZNormalize(Sequence({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                            7.0, 9.0}));
+  EXPECT_NEAR(out.Mean(), 0.0, 1e-12);
+  EXPECT_NEAR(out.StdDev(), 1.0, 1e-12);
+}
+
+TEST(TransformsTest, ZNormalizeConstantSequence) {
+  const Sequence out = ZNormalize(Sequence({5.0, 5.0, 5.0}));
+  EXPECT_EQ(out, Sequence({0.0, 0.0, 0.0}));
+}
+
+TEST(TransformsTest, ZNormalizeRemovesShiftAndScale) {
+  Prng prng(3);
+  Sequence s;
+  for (int i = 0; i < 50; ++i) {
+    s.Append(prng.UniformDouble(-5.0, 5.0));
+  }
+  const Sequence transformed = Shift(Scale(s, 3.0), -7.0);
+  const Sequence a = ZNormalize(s);
+  const Sequence b = ZNormalize(transformed);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(TransformsTest, MinMaxNormalizeRangeAndEndpoints) {
+  const Sequence out = MinMaxNormalize(Sequence({10.0, 20.0, 15.0}));
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(TransformsTest, MinMaxNormalizeConstantSequence) {
+  EXPECT_EQ(MinMaxNormalize(Sequence({3.0, 3.0})), Sequence({0.0, 0.0}));
+}
+
+TEST(TransformsTest, MovingAverageKnownValues) {
+  const Sequence out = MovingAverage(Sequence({1.0, 2.0, 3.0, 4.0}), 2);
+  EXPECT_EQ(out, Sequence({1.5, 2.5, 3.5}));
+}
+
+TEST(TransformsTest, MovingAverageWindowOneIsIdentity) {
+  const Sequence s({1.0, 5.0, 2.0});
+  EXPECT_EQ(MovingAverage(s, 1), s);
+}
+
+TEST(TransformsTest, MovingAverageFullWindow) {
+  const Sequence out = MovingAverage(Sequence({2.0, 4.0, 6.0}), 3);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 4.0);
+}
+
+TEST(TransformsTest, MovingAverageSmoothsNoise) {
+  Prng prng(4);
+  Sequence s;
+  for (int i = 0; i < 200; ++i) {
+    s.Append(prng.UniformDouble(-1.0, 1.0));
+  }
+  const Sequence smoothed = MovingAverage(s, 20);
+  EXPECT_LT(smoothed.StdDev(), s.StdDev() / 2.0);
+}
+
+TEST(TransformsTest, DifferenceKnownValues) {
+  const Sequence out = Difference(Sequence({1.0, 4.0, 2.0}));
+  EXPECT_EQ(out, Sequence({3.0, -2.0}));
+}
+
+TEST(TransformsTest, DifferenceRemovesShift) {
+  const Sequence s({1.0, 4.0, 2.0, 8.0});
+  EXPECT_EQ(Difference(s), Difference(Shift(s, 100.0)));
+}
+
+TEST(TransformsTest, NormalizationPreservesWarpingStructure) {
+  // Pipeline check: if S warps to zero distance from Q, the z-normalized
+  // pair does too (normalization is element-wise monotone-affine with the
+  // same parameters only when the sequences share stats — use a warped
+  // copy, which has identical element multiset up to repetition counts...
+  // so just verify distances stay small for a shifted/scaled warped copy
+  // after normalization).
+  const Sequence s({1.0, 2.0, 3.0, 2.0, 1.0});
+  const Sequence warped({1.0, 1.0, 2.0, 3.0, 3.0, 2.0, 1.0});
+  const Sequence disguised = Shift(Scale(warped, 2.5), -4.0);
+  const Dtw dtw(DtwOptions::Linf());
+  // Raw distance is large; normalized distance is small.
+  EXPECT_GT(dtw.Distance(s, disguised).distance, 1.0);
+  // Not exactly zero: warping repeats elements, which shifts the mean/std
+  // the normalization divides by. But the disguise is gone.
+  EXPECT_LT(dtw.Distance(ZNormalize(s), ZNormalize(disguised)).distance,
+            0.3);
+}
+
+}  // namespace
+}  // namespace warpindex

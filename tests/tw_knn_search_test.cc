@@ -1,0 +1,130 @@
+#include "core/tw_knn_search.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/engine.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "sequence/stock_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(size_t n = 150, size_t min_len = 30,
+                    size_t max_len = 80) {
+  RandomWalkOptions options;
+  options.num_sequences = n;
+  options.min_length = min_len;
+  options.max_length = max_len;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<KnnMatch> BruteForceKnn(const Dataset& d, const Sequence& q,
+                                    size_t k) {
+  const Dtw dtw(DtwOptions::Linf());
+  std::vector<KnnMatch> all;
+  for (size_t i = 0; i < d.size(); ++i) {
+    all.push_back(
+        {static_cast<SequenceId>(i), dtw.Distance(d[i], q).distance});
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const KnnMatch& a, const KnnMatch& b) {
+                     return a.distance < b.distance;
+                   });
+  all.resize(std::min(k, all.size()));
+  return all;
+}
+
+TEST(TwKnnSearchTest, MatchesBruteForceDistances) {
+  const Engine engine(WalkDataset(), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 10});
+  for (const Sequence& q : queries) {
+    for (const size_t k : {1u, 3u, 10u}) {
+      const KnnResult got = engine.SearchKnn(q, k);
+      const auto expected = BruteForceKnn(engine.dataset(), q, k);
+      ASSERT_EQ(got.neighbors.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        // Ties can permute ids; distances must agree exactly.
+        EXPECT_NEAR(got.neighbors[i].distance, expected[i].distance, 1e-9)
+            << "k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(TwKnnSearchTest, NearestOfPerturbedCopyIsItsSource) {
+  const Engine engine(WalkDataset(), EngineOptions{});
+  for (const SequenceId source : {0, 17, 64}) {
+    const Sequence q = PerturbSequence(
+        engine.dataset()[static_cast<size_t>(source)],
+        static_cast<uint64_t>(source) + 1);
+    const KnnResult result = engine.SearchKnn(q, 1);
+    ASSERT_EQ(result.neighbors.size(), 1u);
+    EXPECT_EQ(result.neighbors[0].id, source);
+  }
+}
+
+TEST(TwKnnSearchTest, ExactCopyHasDistanceZero) {
+  const Engine engine(WalkDataset(), EngineOptions{});
+  const KnnResult result = engine.SearchKnn(engine.dataset()[5], 1);
+  ASSERT_EQ(result.neighbors.size(), 1u);
+  EXPECT_EQ(result.neighbors[0].id, 5);
+  EXPECT_EQ(result.neighbors[0].distance, 0.0);
+}
+
+TEST(TwKnnSearchTest, DistancesNonDecreasing) {
+  const Engine engine(WalkDataset(), EngineOptions{});
+  const Sequence q = PerturbSequence(engine.dataset()[9], 99);
+  const KnnResult result = engine.SearchKnn(q, 20);
+  ASSERT_EQ(result.neighbors.size(), 20u);
+  for (size_t i = 1; i < result.neighbors.size(); ++i) {
+    EXPECT_GE(result.neighbors[i].distance,
+              result.neighbors[i - 1].distance);
+  }
+}
+
+TEST(TwKnnSearchTest, KLargerThanDatabaseReturnsEverything) {
+  const Engine engine(WalkDataset(12, 20, 30), EngineOptions{});
+  const KnnResult result = engine.SearchKnn(engine.dataset()[0], 50);
+  EXPECT_EQ(result.neighbors.size(), 12u);
+}
+
+TEST(TwKnnSearchTest, RefinesOnlyAFractionOfTheDatabase) {
+  // The filter-and-refine cutoff should spare most exact evaluations when
+  // the query sits close to its source.
+  const Engine engine(WalkDataset(400, 50, 100), EngineOptions{});
+  const Sequence q = PerturbSequence(engine.dataset()[123], 7);
+  const KnnResult result = engine.SearchKnn(q, 5);
+  EXPECT_EQ(result.neighbors.size(), 5u);
+  EXPECT_LT(result.num_refined, engine.dataset().size() / 2);
+  EXPECT_GE(result.num_refined, 5u);
+}
+
+TEST(TwKnnSearchTest, CostsPopulated) {
+  const Engine engine(WalkDataset(), EngineOptions{});
+  const KnnResult result = engine.SearchKnn(engine.dataset()[3], 4);
+  EXPECT_GT(result.cost.index_nodes, 0u);
+  EXPECT_GT(result.cost.io.random_page_reads, 0u);
+  EXPECT_GT(result.cost.dtw_cells, 0u);
+  EXPECT_GE(result.cost.wall_ms, 0.0);
+}
+
+TEST(TwKnnSearchTest, WorksOnStockCorpus) {
+  StockDataOptions stock;
+  stock.num_sequences = 120;
+  const Engine engine(GenerateStockDataset(stock), EngineOptions{});
+  const Sequence q = PerturbSequence(engine.dataset()[40], 11);
+  const KnnResult got = engine.SearchKnn(q, 3);
+  const auto expected = BruteForceKnn(engine.dataset(), q, 3);
+  ASSERT_EQ(got.neighbors.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(got.neighbors[i].distance, expected[i].distance, 1e-9);
+  }
+  EXPECT_EQ(got.neighbors[0].id, 40);
+}
+
+}  // namespace
+}  // namespace warpindex

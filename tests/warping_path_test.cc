@@ -1,0 +1,69 @@
+#include "dtw/warping_path.h"
+
+#include <gtest/gtest.h>
+
+namespace warpindex {
+namespace {
+
+TEST(WarpingPathTest, EmptyPathValidOnlyForEmptySequences) {
+  const WarpingPath p;
+  EXPECT_TRUE(p.IsValid(0, 0));
+  EXPECT_FALSE(p.IsValid(1, 0));
+  EXPECT_FALSE(p.IsValid(0, 1));
+}
+
+TEST(WarpingPathTest, DiagonalPathIsValid) {
+  const WarpingPath p({{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_TRUE(p.IsValid(3, 3));
+}
+
+TEST(WarpingPathTest, StretchingPathIsValid) {
+  const WarpingPath p({{0, 0}, {0, 1}, {1, 1}, {2, 2}, {3, 2}});
+  EXPECT_TRUE(p.IsValid(4, 3));
+}
+
+TEST(WarpingPathTest, BoundaryViolationsDetected) {
+  EXPECT_FALSE(WarpingPath({{1, 0}, {2, 1}}).IsValid(3, 2));  // bad start
+  EXPECT_FALSE(WarpingPath({{0, 0}, {1, 1}}).IsValid(3, 2));  // bad end
+}
+
+TEST(WarpingPathTest, MonotonicityViolationDetected) {
+  const WarpingPath p({{0, 0}, {1, 1}, {0, 2}, {2, 2}});
+  EXPECT_FALSE(p.IsValid(3, 3));
+}
+
+TEST(WarpingPathTest, ContinuityViolationDetected) {
+  // Jump of 2 in i.
+  EXPECT_FALSE(WarpingPath({{0, 0}, {2, 1}}).IsValid(3, 2));
+  // Repeated step (no advance).
+  EXPECT_FALSE(WarpingPath({{0, 0}, {0, 0}, {1, 1}}).IsValid(2, 2));
+}
+
+TEST(WarpingPathTest, CostMaxCombiner) {
+  const Sequence s({0.0, 5.0});
+  const Sequence q({1.0, 4.0});
+  const WarpingPath p({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(p.Cost(s, q, DtwOptions::Linf()), 1.0);
+}
+
+TEST(WarpingPathTest, CostSumCombiner) {
+  const Sequence s({0.0, 5.0});
+  const Sequence q({1.0, 4.0});
+  const WarpingPath p({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(p.Cost(s, q, DtwOptions::L1()), 2.0);
+}
+
+TEST(WarpingPathTest, CostL2TakesSqrt) {
+  const Sequence s({0.0, 0.0});
+  const Sequence q({3.0, 4.0});
+  const WarpingPath p({{0, 0}, {1, 1}});
+  EXPECT_DOUBLE_EQ(p.Cost(s, q, DtwOptions::L2()), 5.0);
+}
+
+TEST(WarpingPathTest, ToStringListsSteps) {
+  const WarpingPath p({{0, 0}, {1, 1}});
+  EXPECT_EQ(p.ToString(), "[(0,0), (1,1)]");
+}
+
+}  // namespace
+}  // namespace warpindex
