@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/exporters.h"
+
 namespace warpindex {
 namespace bench {
 namespace {
@@ -60,6 +62,8 @@ WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
     summary.avg_elapsed_ms += result.cost.wall_ms * cpu_scale + io_ms;
     summary.avg_pages +=
         static_cast<double>(result.cost.io.TotalPageReads());
+    summary.avg_dtw_cells += static_cast<double>(result.cost.dtw_cells);
+    summary.avg_stage_ms.Merge(result.cost.stages);
   }
   const double n = static_cast<double>(queries.size());
   summary.avg_candidates /= n;
@@ -68,6 +72,8 @@ WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
   summary.avg_io_ms /= n;
   summary.avg_elapsed_ms /= n;
   summary.avg_pages /= n;
+  summary.avg_dtw_cells /= n;
+  summary.avg_stage_ms.Scale(1.0 / n);
   summary.candidate_ratio =
       summary.avg_candidates / static_cast<double>(engine.dataset().size());
   return summary;
@@ -80,10 +86,75 @@ void PrintPreamble(const std::string& title, const std::string& paper_ref,
   std::printf("workload:   %s\n\n", workload.c_str());
 }
 
+void PrintStageBreakdown(std::FILE* out, const std::string& label,
+                         const WorkloadSummary& summary) {
+  if (summary.avg_stage_ms.empty()) {
+    return;
+  }
+  std::fprintf(out, "%-14s", label.c_str());
+  for (const auto& [stage, ms] : summary.avg_stage_ms.entries()) {
+    std::fprintf(out, "  %s=%.3fms", stage.c_str(), ms);
+  }
+  std::fprintf(out, "\n");
+}
+
 std::string FormatDouble(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+void MetricsJsonWriter::AddRow(const std::string& method,
+                               const std::string& sweep_name,
+                               double sweep_value,
+                               const WorkloadSummary& summary) {
+  if (!enabled()) {
+    return;
+  }
+  std::string row = "{\"bench\":" + JsonEscape(bench_name_) +
+                    ",\"method\":" + JsonEscape(method) + "," +
+                    JsonEscape(sweep_name) + ":" +
+                    FormatDouble(sweep_value, 6);
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"avg_candidates\":%.6f,\"candidate_ratio\":%.6f,"
+      "\"avg_matches\":%.6f,\"avg_wall_ms\":%.6f,\"avg_io_ms\":%.6f,"
+      "\"avg_elapsed_ms\":%.6f,\"avg_pages\":%.6f,\"avg_dtw_cells\":%.1f",
+      summary.avg_candidates, summary.candidate_ratio, summary.avg_matches,
+      summary.avg_wall_ms, summary.avg_io_ms, summary.avg_elapsed_ms,
+      summary.avg_pages, summary.avg_dtw_cells);
+  row += buf;
+  row += ",\"stages_ms\":{";
+  bool first = true;
+  for (const auto& [stage, ms] : summary.avg_stage_ms.entries()) {
+    if (!first) {
+      row += ",";
+    }
+    first = false;
+    row += JsonEscape(stage) + ":" + FormatDouble(ms, 6);
+  }
+  row += "}}";
+  rows_.push_back(std::move(row));
+}
+
+bool MetricsJsonWriter::Flush() {
+  if (!enabled()) {
+    return false;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --metrics_json file '%s'\n",
+                 path_.c_str());
+    std::exit(1);
+  }
+  for (const std::string& row : rows_) {
+    std::fprintf(f, "%s\n", row.c_str());
+  }
+  std::fclose(f);
+  std::printf("\nwrote %zu metric rows to %s\n", rows_.size(),
+              path_.c_str());
+  return true;
 }
 
 }  // namespace bench

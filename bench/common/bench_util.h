@@ -10,10 +10,12 @@
 #ifndef WARPINDEX_BENCH_COMMON_BENCH_UTIL_H_
 #define WARPINDEX_BENCH_COMMON_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/stage_timings.h"
 #include "sequence/dataset.h"
 #include "sequence/query_workload.h"
 
@@ -33,6 +35,10 @@ struct WorkloadSummary {
   double avg_io_ms = 0.0;       // simulated disk per query
   double avg_elapsed_ms = 0.0;  // wall * cpu_scale + io
   double avg_pages = 0.0;       // page reads per query
+  double avg_dtw_cells = 0.0;   // DP cells per query
+  // Average per-query milliseconds per stage (rtree_search,
+  // candidate_fetch, dtw_postfilter, ...).
+  StageTimings avg_stage_ms;
 };
 
 // Runs every query through `kind` and aggregates. `cpu_scale` multiplies
@@ -49,7 +55,38 @@ WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
 void PrintPreamble(const std::string& title, const std::string& paper_ref,
                    const std::string& workload);
 
+// Prints one "label: stage=ms stage=ms ..." per-stage breakdown line for
+// a workload summary (skipped when no stages were recorded).
+void PrintStageBreakdown(std::FILE* out, const std::string& label,
+                         const WorkloadSummary& summary);
+
 std::string FormatDouble(double v, int precision = 3);
+
+// Accumulates per-(sweep point, method) workload rows and writes them as
+// JSON lines, one object per row, so benches can emit machine-readable
+// per-stage output alongside their tables. Constructed with an empty path
+// it is disabled (AddRow/Flush are no-ops).
+class MetricsJsonWriter {
+ public:
+  MetricsJsonWriter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  // `sweep_name`/`sweep_value` identify the x-axis point (e.g. "eps",
+  // 2.0); `method` the series.
+  void AddRow(const std::string& method, const std::string& sweep_name,
+              double sweep_value, const WorkloadSummary& summary);
+
+  // Writes all rows; exits the process on I/O failure. Returns true if a
+  // file was written (false when disabled).
+  bool Flush();
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace warpindex

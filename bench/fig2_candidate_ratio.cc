@@ -21,6 +21,7 @@ int Run(int argc, char** argv) {
   std::string eps_list = "0.5,1,2,4,8,16";
   int64_t categories = 100;     // paper §5.1
   int64_t seed = 2001;
+  std::string metrics_json;
 
   FlagSet flags("fig2_candidate_ratio");
   flags.AddInt64("n", &num_sequences, "number of stock sequences");
@@ -28,6 +29,9 @@ int Run(int argc, char** argv) {
   flags.AddString("eps", &eps_list, "comma-separated tolerances (dollars)");
   flags.AddInt64("categories", &categories, "ST-Filter category count");
   flags.AddInt64("seed", &seed, "dataset seed");
+  flags.AddString("metrics_json", &metrics_json,
+                  "also write per-method rows (with per-stage ms) to this "
+                  "file as JSON lines");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -49,6 +53,7 @@ int Run(int argc, char** argv) {
       std::to_string(num_sequences) + " synthetic S&P-like sequences, " +
           std::to_string(num_queries) + " perturbed-copy queries per eps");
 
+  bench::MetricsJsonWriter json("fig2_candidate_ratio", metrics_json);
   TablePrinter table(stdout,
                      {"eps", "naive_scan(answers)", "lb_scan", "st_filter",
                       "tw_sim_search", "avg_answers"});
@@ -68,10 +73,15 @@ int Run(int argc, char** argv) {
                     bench::FormatDouble(st.candidate_ratio, 4),
                     bench::FormatDouble(tw.candidate_ratio, 4),
                     bench::FormatDouble(naive.avg_matches, 2)});
+    json.AddRow("naive_scan", "eps", eps, naive);
+    json.AddRow("lb_scan", "eps", eps, lb);
+    json.AddRow("st_filter", "eps", eps, st);
+    json.AddRow("tw_sim_search", "eps", eps, tw);
   }
   std::printf(
       "\nexpected shape: tw_sim_search <= st_filter << lb_scan, all >= "
       "naive_scan's answer ratio.\n");
+  json.Flush();
   return 0;
 }
 

@@ -24,6 +24,7 @@ int Run(int argc, char** argv) {
   int64_t seed = 2001;
 
   double cpu_scale = 100.0;
+  std::string metrics_json;
 
   FlagSet flags("fig3_stock_elapsed");
   flags.AddInt64("n", &num_sequences, "number of stock sequences");
@@ -35,6 +36,9 @@ int Run(int argc, char** argv) {
                   "CPU slowdown factor applied to measured wall time in the "
                   "elapsed metric (~100 matches the paper's 400 MHz "
                   "UltraSPARC-IIi; 1 = raw modern CPU)");
+  flags.AddString("metrics_json", &metrics_json,
+                  "also write per-method rows (with per-stage ms) to this "
+                  "file as JSON lines");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -58,10 +62,12 @@ int Run(int argc, char** argv) {
           " queries per eps; elapsed = measured CPU + simulated 9.5 ms-seek "
           "disk");
 
+  bench::MetricsJsonWriter json("fig3_stock_elapsed", metrics_json);
   TablePrinter table(
       stdout, {"eps", "naive_ms", "lb_scan_ms", "st_filter_ms",
                "tw_sim_ms", "speedup_vs_best_scan"});
   table.PrintHeader();
+  bench::WorkloadSummary last_tw;
   for (const double eps : bench::ParseDoubleList(eps_list)) {
     const auto naive =
         bench::RunWorkload(engine, MethodKind::kNaiveScan, queries, eps, cpu_scale);
@@ -80,10 +86,19 @@ int Run(int argc, char** argv) {
          bench::FormatDouble(st.avg_elapsed_ms, 1),
          bench::FormatDouble(tw.avg_elapsed_ms, 1),
          bench::FormatDouble(best_scan / tw.avg_elapsed_ms, 1)});
+    json.AddRow("naive_scan", "eps", eps, naive);
+    json.AddRow("lb_scan", "eps", eps, lb);
+    json.AddRow("st_filter", "eps", eps, st);
+    json.AddRow("tw_sim_search", "eps", eps, tw);
+    last_tw = tw;
   }
+  std::printf("\nper-stage CPU breakdown at eps=%s (tw_sim_search):\n",
+              eps_list.substr(eps_list.rfind(',') + 1).c_str());
+  bench::PrintStageBreakdown(stdout, "tw_sim_search", last_tw);
   std::printf(
       "\nexpected shape: tw_sim fastest with the speedup growing as eps "
       "shrinks; st_filter worse than naive_scan at this scale.\n");
+  json.Flush();
   return 0;
 }
 

@@ -10,12 +10,20 @@
 //
 //   # compare all four methods on the same query:
 //   $ ./warpindex_cli --dataset walk --query_id 3 --eps 0.1 --compare
+//
+//   # trace a query (one JSON span per line) and print the span tree:
+//   $ ./warpindex_cli --dataset stock --query_id 17 --eps 4 --trace_out=q.jsonl
+//
+//   # run a demo workload and print the metrics snapshot:
+//   $ ./warpindex_cli stats
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "common/flags.h"
 #include "core/engine.h"
+#include "obs/exporters.h"
 #include "sequence/dataset_io.h"
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
@@ -23,6 +31,24 @@
 
 namespace warpindex {
 namespace {
+
+// Indented rendering of a trace's span tree with counters.
+void PrintTraceTree(const Trace& trace) {
+  const auto& spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    int depth = 0;
+    for (int p = spans[i].parent; p >= 0;
+         p = spans[static_cast<size_t>(p)].parent) {
+      ++depth;
+    }
+    std::printf("  %*s%-18s %8.3f ms", depth * 2, "",
+                spans[i].name.c_str(), spans[i].duration_ms);
+    for (const auto& [name, value] : spans[i].counters) {
+      std::printf("  %s=%.0f", name.c_str(), value);
+    }
+    std::printf("\n");
+  }
+}
 
 int Run(int argc, char** argv) {
   std::string dataset_kind = "stock";
@@ -34,6 +60,16 @@ int Run(int argc, char** argv) {
   int64_t k = 0;
   bool compare = false;
   int64_t seed = 1;
+  std::string trace_out;
+
+  // `stats` subcommand: run the configured query workload, then print the
+  // metrics snapshot (Prometheus text). Flags still apply.
+  const bool stats_mode =
+      argc > 1 && std::strcmp(argv[1], "stats") == 0;
+  if (stats_mode) {
+    --argc;
+    ++argv;
+  }
 
   FlagSet flags("warpindex_cli");
   flags.AddString("dataset", &dataset_kind,
@@ -52,13 +88,19 @@ int Run(int argc, char** argv) {
   flags.AddBool("compare", &compare,
                 "also run the scan and ST-Filter baselines");
   flags.AddInt64("seed", &seed, "perturbation seed");
+  flags.AddString("trace_out", &trace_out,
+                  "write the query's span tree to this file as JSON lines");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
   if (eps < 0.0 && k <= 0) {
-    std::fprintf(stderr, "pass --eps <tol> for a range query or --k <n> "
-                         "for kNN\n");
-    return 1;
+    if (stats_mode) {
+      eps = dataset_kind == "stock" ? 4.0 : 0.1;  // demo workload default
+    } else {
+      std::fprintf(stderr, "pass --eps <tol> for a range query or --k <n> "
+                           "for kNN\n");
+      return 1;
+    }
   }
 
   // Load or synthesize the database.
@@ -121,8 +163,12 @@ int Run(int argc, char** argv) {
                 static_cast<long long>(query_id), query.size());
   }
 
+  const bool tracing = !trace_out.empty();
+
   if (k > 0) {
-    const KnnResult result = engine.SearchKnn(query, static_cast<size_t>(k));
+    Trace trace;
+    const KnnResult result = engine.SearchKnn(
+        query, static_cast<size_t>(k), tracing ? &trace : nullptr);
     std::printf("\n%zu nearest sequences under D_tw:\n",
                 result.neighbors.size());
     for (const KnnMatch& n : result.neighbors) {
@@ -133,10 +179,22 @@ int Run(int argc, char** argv) {
                 "elapsed)\n",
                 result.num_refined, result.cost.wall_ms,
                 engine.ElapsedMillis(result.cost));
+    if (tracing) {
+      const Status status = engine.ExportTrace(trace, trace_out, query_id);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("\ntrace (%zu spans, appended to %s):\n",
+                  trace.spans().size(), trace_out.c_str());
+      PrintTraceTree(trace);
+    }
   }
 
   if (eps >= 0.0) {
-    const SearchResult result = engine.Search(query, eps);
+    Trace trace;
+    const SearchResult result =
+        engine.Search(query, eps, tracing ? &trace : nullptr);
     std::printf("\nsequences with D_tw <= %.4f: %zu (from %zu candidates)\n",
                 eps, result.matches.size(), result.num_candidates);
     for (const SequenceId id : result.matches) {
@@ -144,6 +202,16 @@ int Run(int argc, char** argv) {
     }
     std::printf("(%.2f ms CPU, %.1f ms simulated elapsed)\n",
                 result.cost.wall_ms, engine.ElapsedMillis(result.cost));
+    if (tracing) {
+      const Status status = engine.ExportTrace(trace, trace_out, query_id);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("\ntrace (%zu spans, appended to %s):\n",
+                  trace.spans().size(), trace_out.c_str());
+      PrintTraceTree(trace);
+    }
     if (compare) {
       std::printf("\n%-14s %12s %14s\n", "method", "candidates",
                   "elapsed_ms(sim)");
@@ -155,6 +223,11 @@ int Run(int argc, char** argv) {
                     r.num_candidates, engine.ElapsedMillis(r.cost));
       }
     }
+  }
+
+  if (stats_mode) {
+    std::printf("\n== metrics snapshot ==\n%s",
+                MetricsToPrometheusText(engine.MetricsSnapshot()).c_str());
   }
   return 0;
 }

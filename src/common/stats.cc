@@ -1,7 +1,6 @@
 #include "common/stats.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace warpindex {
@@ -16,6 +15,14 @@ void RunningStats::Add(double x) {
 }
 
 void RunningStats::Merge(const RunningStats& other) {
+  if (&other == this) {
+    // Self-merge: the combined stream holds every sample twice, so the
+    // mean and extrema are unchanged while count and M2 double. The
+    // general path below would read `other`'s fields mid-update.
+    count_ *= 2;
+    m2_ *= 2.0;
+    return;
+  }
   if (other.count_ == 0) {
     return;
   }
@@ -62,7 +69,13 @@ double Percentile(std::vector<double> values, double p) {
   if (values.empty()) {
     return 0.0;
   }
-  assert(p >= 0.0 && p <= 1.0);
+  // Clamp rather than assert: an out-of-range p (including NaN) from a
+  // caller must not be UB in release builds.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 1.0) {
+    p = 1.0;
+  }
   std::sort(values.begin(), values.end());
   const double rank = p * static_cast<double>(values.size() - 1);
   const size_t lo = static_cast<size_t>(rank);

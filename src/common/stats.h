@@ -40,8 +40,8 @@ class RunningStats {
 double Mean(const std::vector<double>& values);
 double StdDev(const std::vector<double>& values);
 
-// p in [0, 1]; linear interpolation between order statistics. Returns 0 for
-// an empty input.
+// Linear interpolation between order statistics. `p` is clamped into
+// [0, 1] (NaN clamps to 0). Returns 0 for an empty input.
 double Percentile(std::vector<double> values, double p);
 
 }  // namespace warpindex

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "obs/exporters.h"
 #include "rtree/rtree_io.h"
 
 namespace warpindex {
@@ -81,6 +82,65 @@ void Engine::BuildMethods() {
                                                  options_.dtw);
   naive_scan_ = std::make_unique<NaiveScan>(&store_, options_.dtw);
   lb_scan_ = std::make_unique<LbScan>(&store_, options_.dtw);
+  RegisterMetrics();
+}
+
+void Engine::RegisterMetrics() {
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : &MetricsRegistry::Global();
+  queries_total_ = metrics_->GetCounter(
+      "warpindex_queries_total",
+      "queries served (range + kNN, all methods)");
+  matches_total_ = metrics_->GetCounter("warpindex_query_matches_total",
+                                        "matches returned by range queries");
+  pool_hits_total_ = metrics_->GetCounter(
+      "warpindex_index_pool_hits_total", "index buffer-pool page hits");
+  pool_misses_total_ = metrics_->GetCounter(
+      "warpindex_index_pool_misses_total", "index buffer-pool page misses");
+  latency_ms_hist_ = metrics_->GetHistogram(
+      "warpindex_query_latency_ms",
+      ExponentialBoundaries(0.01, 2.0, 20),
+      "measured CPU wall time per range query (ms)");
+  candidate_ratio_hist_ = metrics_->GetHistogram(
+      "warpindex_query_candidate_ratio",
+      LinearBoundaries(0.05, 0.05, 20),
+      "candidates / live sequences per range query");
+  dtw_cells_hist_ = metrics_->GetHistogram(
+      "warpindex_query_dtw_cells", ExponentialBoundaries(64, 4.0, 16),
+      "exact-DTW DP cells per query");
+  index_nodes_hist_ = metrics_->GetHistogram(
+      "warpindex_query_index_nodes", ExponentialBoundaries(1, 2.0, 14),
+      "index nodes visited per query");
+  knn_latency_ms_hist_ = metrics_->GetHistogram(
+      "warpindex_knn_latency_ms", ExponentialBoundaries(0.01, 2.0, 20),
+      "measured CPU wall time per kNN query (ms)");
+}
+
+void Engine::RecordQueryMetrics(MethodKind kind, const SearchResult& result,
+                                uint64_t pool_hits_before,
+                                uint64_t pool_misses_before) const {
+  (void)kind;
+  queries_total_->Increment();
+  matches_total_->Increment(result.matches.size());
+  latency_ms_hist_->Observe(result.cost.wall_ms);
+  const size_t live = store_.num_live();
+  if (live > 0) {
+    candidate_ratio_hist_->Observe(
+        static_cast<double>(result.num_candidates) /
+        static_cast<double>(live));
+  }
+  dtw_cells_hist_->Observe(static_cast<double>(result.cost.dtw_cells));
+  index_nodes_hist_->Observe(static_cast<double>(result.cost.index_nodes));
+  if (index_pool_ != nullptr) {
+    pool_hits_total_->Increment(index_pool_->hits() - pool_hits_before);
+    pool_misses_total_->Increment(index_pool_->misses() -
+                                  pool_misses_before);
+  }
+}
+
+Status Engine::ExportTrace(const Trace& trace, const std::string& path,
+                           int64_t query_id) const {
+  return AppendTraceJsonLines(trace, path, query_id);
 }
 
 void Engine::RebuildSubsequenceIndex() {
@@ -202,8 +262,33 @@ const SearchMethod& Engine::method(MethodKind kind) const {
 }
 
 SearchResult Engine::SearchWith(MethodKind kind, const Sequence& query,
-                                double epsilon) const {
-  return method(kind).Search(query, epsilon);
+                                double epsilon, Trace* trace) const {
+  const uint64_t pool_hits =
+      index_pool_ != nullptr ? index_pool_->hits() : 0;
+  const uint64_t pool_misses =
+      index_pool_ != nullptr ? index_pool_->misses() : 0;
+  SearchResult result;
+  {
+    ScopedSpan span(trace, "query");
+    TraceCounter(trace, "epsilon", epsilon);
+    result = method(kind).Search(query, epsilon, trace);
+  }
+  RecordQueryMetrics(kind, result, pool_hits, pool_misses);
+  return result;
+}
+
+KnnResult Engine::SearchKnn(const Sequence& query, size_t k,
+                            Trace* trace) const {
+  KnnResult result;
+  {
+    ScopedSpan span(trace, "knn_query");
+    result = tw_knn_search_->Search(query, k, trace);
+  }
+  queries_total_->Increment();
+  knn_latency_ms_hist_->Observe(result.cost.wall_ms);
+  dtw_cells_hist_->Observe(static_cast<double>(result.cost.dtw_cells));
+  index_nodes_hist_->Observe(static_cast<double>(result.cost.index_nodes));
+  return result;
 }
 
 SequenceId Engine::Insert(Sequence s) {

@@ -22,6 +22,8 @@
 #include "core/tw_knn_search.h"
 #include "core/tw_sim_search.h"
 #include "dtw/dtw.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sequence/dataset.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -67,6 +69,9 @@ struct EngineOptions {
   size_t subsequence_stride = 1;
   // Simulated disk parameters for ElapsedMillis().
   DiskParameters disk;
+  // Registry the engine records per-query metrics into. Defaults to the
+  // process-wide MetricsRegistry::Global(); tests point it at their own.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {
@@ -93,21 +98,23 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  // The paper's Algorithm 1 over the feature index.
-  SearchResult Search(const Sequence& query, double epsilon) const {
-    return SearchWith(MethodKind::kTwSimSearch, query, epsilon);
+  // The paper's Algorithm 1 over the feature index. Attach a Trace to
+  // record the query's span tree (see obs/trace.h and
+  // docs/OBSERVABILITY.md); every query also lands in metrics().
+  SearchResult Search(const Sequence& query, double epsilon,
+                      Trace* trace = nullptr) const {
+    return SearchWith(MethodKind::kTwSimSearch, query, epsilon, trace);
   }
 
   // Runs the selected method. kStFilter requires
   // options.build_st_filter == true.
   SearchResult SearchWith(MethodKind kind, const Sequence& query,
-                          double epsilon) const;
+                          double epsilon, Trace* trace = nullptr) const;
 
   // Exact k-nearest-neighbor search under D_tw via the feature index
   // (lower-bound-guided filter and refine; see core/tw_knn_search.h).
-  KnnResult SearchKnn(const Sequence& query, size_t k) const {
-    return tw_knn_search_->Search(query, k);
-  }
+  KnnResult SearchKnn(const Sequence& query, size_t k,
+                      Trace* trace = nullptr) const;
 
   // ---- Dynamic maintenance (paper §4.3.1: the index supports ordinary
   // insertion; the store appends / tombstones).
@@ -166,11 +173,29 @@ class Engine {
     return cost.wall_ms + disk_model_.CostMillis(cost.io);
   }
 
+  // ---- Observability (see docs/OBSERVABILITY.md).
+
+  // The registry this engine records per-query metrics into.
+  MetricsRegistry& metrics() const { return *metrics_; }
+
+  // Point-in-time view of metrics() for the exporters.
+  MetricsRegistry::Snapshot MetricsSnapshot() const {
+    return metrics_->TakeSnapshot();
+  }
+
+  // Appends `trace`'s spans to `path` as JSON lines (one span per line).
+  Status ExportTrace(const Trace& trace, const std::string& path,
+                     int64_t query_id = -1) const;
+
  private:
   // Restores from persisted parts (Open()).
   Engine(Dataset dataset, FeatureIndex index, EngineOptions options);
 
   void BuildMethods();
+  void RegisterMetrics();
+  void RecordQueryMetrics(MethodKind kind, const SearchResult& result,
+                          uint64_t pool_hits_before,
+                          uint64_t pool_misses_before) const;
 
   EngineOptions options_;
   Dataset dataset_;
@@ -186,6 +211,19 @@ class Engine {
   std::unique_ptr<NaiveScan> naive_scan_;
   std::unique_ptr<LbScan> lb_scan_;
   std::unique_ptr<StFilterSearch> st_filter_search_;
+
+  // Metric handles, resolved once at construction (hot-path recording is
+  // pointer increments, no registry lookups).
+  MetricsRegistry* metrics_ = nullptr;
+  Counter* queries_total_ = nullptr;
+  Counter* matches_total_ = nullptr;
+  Counter* pool_hits_total_ = nullptr;
+  Counter* pool_misses_total_ = nullptr;
+  Histogram* latency_ms_hist_ = nullptr;
+  Histogram* candidate_ratio_hist_ = nullptr;
+  Histogram* dtw_cells_hist_ = nullptr;
+  Histogram* index_nodes_hist_ = nullptr;
+  Histogram* knn_latency_ms_hist_ = nullptr;
 };
 
 }  // namespace warpindex

@@ -37,10 +37,10 @@ FeatureIndex::FeatureIndex(const Dataset& dataset,
 
 std::vector<SequenceId> FeatureIndex::RangeQuery(
     const FeatureVector& query_feature, double epsilon,
-    RTreeQueryStats* stats) const {
+    RTreeQueryStats* stats, Trace* trace) const {
   const Rect range =
       Rect::SquareAround(FeatureToPoint(query_feature), epsilon);
-  return tree_.RangeSearch(range, stats);
+  return tree_.RangeSearch(range, stats, trace);
 }
 
 void FeatureIndex::Insert(SequenceId id, const FeatureVector& feature) {

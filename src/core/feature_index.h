@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "obs/trace.h"
 #include "rtree/bulk_load.h"
 #include "rtree/rtree.h"
 #include "sequence/dataset.h"
@@ -37,10 +38,12 @@ class FeatureIndex {
   explicit FeatureIndex(RTree tree);
 
   // Algorithm 1 Step-2: ids of sequences whose feature point lies in the
-  // square of radius epsilon around Feature(query).
+  // square of radius epsilon around Feature(query). When a trace is
+  // attached, node-visit counters land on the caller's open span.
   std::vector<SequenceId> RangeQuery(const FeatureVector& query_feature,
                                      double epsilon,
-                                     RTreeQueryStats* stats = nullptr) const;
+                                     RTreeQueryStats* stats = nullptr,
+                                     Trace* trace = nullptr) const;
 
   // Incremental maintenance.
   void Insert(SequenceId id, const FeatureVector& feature);

@@ -4,28 +4,49 @@
 
 namespace warpindex {
 
-SearchResult LbScan::Search(const Sequence& query, double epsilon) const {
+SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
+                                Trace* trace) const {
   WallTimer timer;
   SearchResult result;
   const Envelope query_env = ComputeEnvelope(query);
   const DtwCombiner combiner = dtw_.options().combiner;
-  store_->ScanAll(
-      [&](SequenceId id, const Sequence& s) {
-        ++result.cost.lb_evals;
-        const double lb = LbYiWithEnvelopes(s, ComputeEnvelope(s), query,
-                                            query_env, combiner);
-        if (lb > epsilon) {
-          return true;  // filtered out, no exact evaluation
-        }
-        ++result.num_candidates;
-        const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
-        result.cost.dtw_cells += d.cells;
-        if (d.distance <= epsilon) {
-          result.matches.push_back(id);
-        }
-        return true;
-      },
-      &result.cost.io);
+  // One sequential pass; lower-bound and exact-DTW time are carved out of
+  // the scan so the stage breakdown partitions the query.
+  double lb_ms = 0.0;
+  double dtw_ms = 0.0;
+  {
+    ScopedSpan span(trace, kStageStorageScan);
+    WallTimer scan_timer;
+    store_->ScanAll(
+        [&](SequenceId id, const Sequence& s) {
+          ++result.cost.lb_evals;
+          WallTimer per_item;
+          const double lb = LbYiWithEnvelopes(s, ComputeEnvelope(s), query,
+                                              query_env, combiner);
+          lb_ms += per_item.ElapsedMillis();
+          if (lb > epsilon) {
+            return true;  // filtered out, no exact evaluation
+          }
+          ++result.num_candidates;
+          per_item.Reset();
+          const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+          dtw_ms += per_item.ElapsedMillis();
+          result.cost.dtw_cells += d.cells;
+          if (d.distance <= epsilon) {
+            result.matches.push_back(id);
+          }
+          return true;
+        },
+        &result.cost.io, trace);
+    result.cost.stages.Add(kStageStorageScan,
+                           scan_timer.ElapsedMillis() - lb_ms - dtw_ms);
+    result.cost.stages.Add(kStageLbYiCascade, lb_ms);
+    result.cost.stages.Add(kStageDtwPostfilter, dtw_ms);
+    TraceCounter(trace, "lb_evals",
+                 static_cast<double>(result.cost.lb_evals));
+    TraceCounter(trace, "dtw_cells",
+                 static_cast<double>(result.cost.dtw_cells));
+  }
   result.cost.wall_ms = timer.ElapsedMillis();
   return result;
 }

@@ -23,7 +23,9 @@ class LbScan : public SearchMethod {
 
   const char* name() const override { return "LB-Scan"; }
 
-  SearchResult Search(const Sequence& query, double epsilon) const override;
+ protected:
+  SearchResult SearchImpl(const Sequence& query, double epsilon,
+                          Trace* trace) const override;
 
  private:
   const SequenceStore* store_;

@@ -4,19 +4,35 @@
 
 namespace warpindex {
 
-SearchResult NaiveScan::Search(const Sequence& query, double epsilon) const {
+SearchResult NaiveScan::SearchImpl(const Sequence& query, double epsilon,
+                                   Trace* trace) const {
   WallTimer timer;
   SearchResult result;
-  store_->ScanAll(
-      [&](SequenceId id, const Sequence& s) {
-        const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
-        result.cost.dtw_cells += d.cells;
-        if (d.distance <= epsilon) {
-          result.matches.push_back(id);
-        }
-        return true;
-      },
-      &result.cost.io);
+  // One sequential pass; exact-DTW time is carved out of the scan so the
+  // stage breakdown partitions the query: storage_scan holds the
+  // deserialize/iterate residue, dtw_postfilter the DP work.
+  double dtw_ms = 0.0;
+  {
+    ScopedSpan span(trace, kStageStorageScan);
+    WallTimer scan_timer;
+    store_->ScanAll(
+        [&](SequenceId id, const Sequence& s) {
+          WallTimer per_item;
+          const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+          dtw_ms += per_item.ElapsedMillis();
+          result.cost.dtw_cells += d.cells;
+          if (d.distance <= epsilon) {
+            result.matches.push_back(id);
+          }
+          return true;
+        },
+        &result.cost.io, trace);
+    result.cost.stages.Add(kStageStorageScan,
+                           scan_timer.ElapsedMillis() - dtw_ms);
+    result.cost.stages.Add(kStageDtwPostfilter, dtw_ms);
+    TraceCounter(trace, "dtw_cells",
+                 static_cast<double>(result.cost.dtw_cells));
+  }
   // No filtering step: the paper's Figure 2 depicts the final answers as
   // Naive-Scan's "candidates".
   result.num_candidates = result.matches.size();

@@ -22,7 +22,9 @@ class NaiveScan : public SearchMethod {
 
   const char* name() const override { return "Naive-Scan"; }
 
-  SearchResult Search(const Sequence& query, double epsilon) const override;
+ protected:
+  SearchResult SearchImpl(const Sequence& query, double epsilon,
+                          Trace* trace) const override;
 
  private:
   const SequenceStore* store_;

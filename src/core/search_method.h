@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stage_timings.h"
+#include "obs/trace.h"
 #include "sequence/sequence.h"
 #include "storage/disk_model.h"
 
@@ -29,6 +31,10 @@ struct SearchCost {
   uint64_t index_nodes = 0;
   // Measured wall-clock time of the query on the actual machine.
   double wall_ms = 0.0;
+  // Where wall_ms went, stage by stage (rtree_search, candidate_fetch,
+  // dtw_postfilter, ...). Stages do not cover setup overhead, so their
+  // sum is slightly below wall_ms.
+  StageTimings stages;
 
   void Reset() { *this = SearchCost(); }
   void Merge(const SearchCost& other) {
@@ -37,6 +43,7 @@ struct SearchCost {
     lb_evals += other.lb_evals;
     index_nodes += other.index_nodes;
     wall_ms += other.wall_ms;
+    stages.Merge(other.stages);
   }
 };
 
@@ -58,9 +65,16 @@ class SearchMethod {
   virtual const char* name() const = 0;
 
   // All data sequences within `epsilon` of `query` under D_tw, plus cost
-  // accounting. Requires a non-empty query and epsilon >= 0.
-  virtual SearchResult Search(const Sequence& query,
-                              double epsilon) const = 0;
+  // accounting. Requires a non-empty query and epsilon >= 0. When a
+  // trace is attached, each stage of the query is recorded as a span.
+  SearchResult Search(const Sequence& query, double epsilon,
+                      Trace* trace = nullptr) const {
+    return SearchImpl(query, epsilon, trace);
+  }
+
+ protected:
+  virtual SearchResult SearchImpl(const Sequence& query, double epsilon,
+                                  Trace* trace) const = 0;
 };
 
 }  // namespace warpindex

@@ -1,34 +1,54 @@
 #include "core/st_filter_search.h"
 
+#include <utility>
+
 #include "common/timer.h"
 
 namespace warpindex {
 
-SearchResult StFilterSearch::Search(const Sequence& query,
-                                    double epsilon) const {
+SearchResult StFilterSearch::SearchImpl(const Sequence& query,
+                                        double epsilon, Trace* trace) const {
   WallTimer timer;
   SearchResult result;
 
-  StFilterQueryStats st_stats;
-  const std::vector<SequenceId> candidates =
-      filter_->FindCandidates(query, epsilon, &st_stats);
-  result.cost.index_nodes = st_stats.nodes_visited;
-  result.cost.dtw_cells += st_stats.dp_cells;
-  // Distinct suffix-tree pages touched, charged as random reads (node
-  // placement in a disk-resident suffix tree has no useful locality).
-  result.cost.io.RecordRandomRead(st_stats.pages_accessed);
+  std::vector<SequenceId> candidates;
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageStFilter);
+    StFilterQueryStats st_stats;
+    candidates = filter_->FindCandidates(query, epsilon, &st_stats);
+    result.cost.index_nodes = st_stats.nodes_visited;
+    result.cost.dtw_cells += st_stats.dp_cells;
+    // Distinct suffix-tree pages touched, charged as random reads (node
+    // placement in a disk-resident suffix tree has no useful locality).
+    result.cost.io.RecordRandomRead(st_stats.pages_accessed);
+    TraceCounter(trace, "st_nodes",
+                 static_cast<double>(st_stats.nodes_visited));
+  }
   result.num_candidates = candidates.size();
 
-  for (const SequenceId id : candidates) {
-    if (!store_->IsLive(id)) {
-      continue;  // tombstoned since the suffix tree was (re)built
+  std::vector<Sequence> fetched;
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageCandidateFetch);
+    fetched.reserve(candidates.size());
+    for (const SequenceId id : candidates) {
+      if (!store_->IsLive(id)) {
+        continue;  // tombstoned since the suffix tree was (re)built
+      }
+      fetched.push_back(store_->Fetch(id, &result.cost.io, trace));
     }
-    const Sequence s = store_->Fetch(id, &result.cost.io);
-    const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
-    result.cost.dtw_cells += d.cells;
-    if (d.distance <= epsilon) {
-      result.matches.push_back(id);
+  }
+
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    for (const Sequence& s : fetched) {
+      const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+      result.cost.dtw_cells += d.cells;
+      if (d.distance <= epsilon) {
+        result.matches.push_back(s.id());
+      }
     }
+    TraceCounter(trace, "dtw_cells",
+                 static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
   return result;

@@ -20,7 +20,9 @@ class StFilterSearch : public SearchMethod {
 
   const char* name() const override { return "ST-Filter"; }
 
-  SearchResult Search(const Sequence& query, double epsilon) const override;
+ protected:
+  SearchResult SearchImpl(const Sequence& query, double epsilon,
+                          Trace* trace) const override;
 
  private:
   const StFilter* filter_;

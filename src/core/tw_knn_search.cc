@@ -9,7 +9,8 @@
 
 namespace warpindex {
 
-KnnResult TwKnnSearch::Search(const Sequence& query, size_t k) const {
+KnnResult TwKnnSearch::Search(const Sequence& query, size_t k,
+                              Trace* trace) const {
   assert(!query.empty());
   assert(k >= 1);
   WallTimer timer;
@@ -30,15 +31,32 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k) const {
                       })>
       top_k;
 
+  // Index descent and exact refinement interleave in the incremental
+  // loop, so both time shares are carved out of one `knn_refine` span.
+  ScopedSpan span(trace, kStageKnnRefine);
+  double descent_ms = 0.0;
+  double fetch_ms = 0.0;
+  double refine_ms = 0.0;
+  WallTimer per_item;
   RTree::Neighbor candidate;
-  while (it.Next(&candidate)) {
+  while (true) {
+    per_item.Reset();
+    const bool has_next = it.Next(&candidate);
+    descent_ms += per_item.ElapsedMillis();
+    if (!has_next) {
+      break;
+    }
     if (top_k.size() == k && candidate.distance > top_k.top().distance) {
       // Every remaining record has lower bound >= this one's, hence exact
       // D_tw >= the current k-th distance: done (no false dismissal).
       break;
     }
-    const Sequence s = store_->Fetch(candidate.record_id, &result.cost.io);
+    per_item.Reset();
+    const Sequence s =
+        store_->Fetch(candidate.record_id, &result.cost.io, trace);
+    fetch_ms += per_item.ElapsedMillis();
     ++result.num_refined;
+    per_item.Reset();
     DtwResult d;
     if (top_k.size() == k) {
       // Thresholded refinement: only distances that would enter the top-k
@@ -47,6 +65,7 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k) const {
     } else {
       d = dtw_.Distance(s, query);
     }
+    refine_ms += per_item.ElapsedMillis();
     result.cost.dtw_cells += d.cells;
     if (top_k.size() < k) {
       top_k.push({candidate.record_id, d.distance});
@@ -55,6 +74,14 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k) const {
       top_k.push({candidate.record_id, d.distance});
     }
   }
+  result.cost.stages.Add(kStageRtreeSearch, descent_ms);
+  result.cost.stages.Add(kStageCandidateFetch, fetch_ms);
+  result.cost.stages.Add(kStageKnnRefine, refine_ms);
+  TraceCounter(trace, "refined", static_cast<double>(result.num_refined));
+  TraceCounter(trace, "dtw_cells",
+               static_cast<double>(result.cost.dtw_cells));
+  TraceCounter(trace, "rtree_nodes",
+               static_cast<double>(rstats.nodes_accessed));
 
   result.cost.index_nodes = rstats.nodes_accessed;
   result.cost.io.RecordRandomRead(rstats.nodes_accessed);

@@ -52,7 +52,10 @@ class TwKnnSearch {
       : index_(index), store_(store), dtw_(dtw_options) {}
 
   // Exact kNN of `query` under D_tw. Requires a non-empty query, k >= 1.
-  KnnResult Search(const Sequence& query, size_t k) const;
+  // When a trace is attached, the filter-and-refine loop is recorded as
+  // a `knn_refine` span with per-stage breakdown in the returned cost.
+  KnnResult Search(const Sequence& query, size_t k,
+                   Trace* trace = nullptr) const;
 
  private:
   const FeatureIndex* index_;

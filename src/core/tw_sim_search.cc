@@ -1,13 +1,15 @@
 #include "core/tw_sim_search.h"
 
+#include <utility>
+
 #include "common/timer.h"
 #include "dtw/lb_yi.h"
 #include "sequence/feature.h"
 
 namespace warpindex {
 
-SearchResult TwSimSearch::Search(const Sequence& query,
-                                 double epsilon) const {
+SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
+                                     Trace* trace) const {
   WallTimer timer;
   SearchResult result;
 
@@ -20,36 +22,66 @@ SearchResult TwSimSearch::Search(const Sequence& query,
   if (index_pool_ != nullptr) {
     rstats.accessed_nodes = &accessed;
   }
-  const std::vector<SequenceId> candidates =
-      index_->RangeQuery(query_feature, epsilon, &rstats);
-  result.cost.index_nodes = rstats.nodes_accessed;
-  if (index_pool_ != nullptr) {
-    // Only pool misses reach the disk (each R-tree node is one page).
-    for (const NodeId id : accessed) {
-      index_pool_->Access(id, &result.cost.io);
+  std::vector<SequenceId> candidates;
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageRtreeSearch);
+    candidates = index_->RangeQuery(query_feature, epsilon, &rstats, trace);
+    result.cost.index_nodes = rstats.nodes_accessed;
+    if (index_pool_ != nullptr) {
+      // Only pool misses reach the disk (each R-tree node is one page).
+      for (const NodeId id : accessed) {
+        index_pool_->Access(id, &result.cost.io, trace);
+      }
+    } else {
+      result.cost.io.RecordRandomRead(rstats.nodes_accessed);
     }
-  } else {
-    result.cost.io.RecordRandomRead(rstats.nodes_accessed);
   }
   result.num_candidates = candidates.size();
 
-  // Step-4..7: post-processing with the exact time-warping distance.
-  const Envelope query_env =
-      lb_cascade_ ? ComputeEnvelope(query) : Envelope{};
-  for (const SequenceId id : candidates) {
-    const Sequence s = store_->Fetch(id, &result.cost.io);
-    if (lb_cascade_) {
+  // Step-5: read the candidate sequences from the store.
+  std::vector<Sequence> fetched;
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageCandidateFetch);
+    fetched.reserve(candidates.size());
+    for (const SequenceId id : candidates) {
+      fetched.push_back(store_->Fetch(id, &result.cost.io, trace));
+    }
+  }
+
+  // Optional LB_Yi cascade: discard candidates the O(n) bound already
+  // rules out (LB_Yi <= D_tw, so answers are unchanged).
+  if (lb_cascade_) {
+    StageTimer stage(&result.cost.stages, trace, kStageLbYiCascade);
+    const Envelope query_env = ComputeEnvelope(query);
+    size_t kept = 0;
+    for (size_t i = 0; i < fetched.size(); ++i) {
       ++result.cost.lb_evals;
-      if (LbYiWithEnvelopes(s, ComputeEnvelope(s), query, query_env,
-                            dtw_.options().combiner) > epsilon) {
-        continue;  // LB_Yi <= D_tw, so this cannot be a match
+      if (LbYiWithEnvelopes(fetched[i], ComputeEnvelope(fetched[i]), query,
+                            query_env,
+                            dtw_.options().combiner) <= epsilon) {
+        if (kept != i) {
+          fetched[kept] = std::move(fetched[i]);
+        }
+        ++kept;
       }
     }
-    const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
-    result.cost.dtw_cells += d.cells;
-    if (d.distance <= epsilon) {
-      result.matches.push_back(id);
+    fetched.resize(kept);
+    TraceCounter(trace, "lb_evals",
+                 static_cast<double>(result.cost.lb_evals));
+  }
+
+  // Step-4..7: post-processing with the exact time-warping distance.
+  {
+    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    for (const Sequence& s : fetched) {
+      const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+      result.cost.dtw_cells += d.cells;
+      if (d.distance <= epsilon) {
+        result.matches.push_back(s.id());
+      }
     }
+    TraceCounter(trace, "dtw_cells",
+                 static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
   return result;

@@ -41,7 +41,9 @@ class TwSimSearch : public SearchMethod {
 
   const char* name() const override { return "TW-Sim-Search"; }
 
-  SearchResult Search(const Sequence& query, double epsilon) const override;
+ protected:
+  SearchResult SearchImpl(const Sequence& query, double epsilon,
+                          Trace* trace) const override;
 
  private:
   const FeatureIndex* index_;

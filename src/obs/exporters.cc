@@ -1,0 +1,227 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace warpindex {
+namespace {
+
+// Shortest round-trippable representation; JSON has no Inf/NaN, so those
+// degrade to null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  // Shortest string over all precisions that still round-trips ("%.1g"
+  // of 10 is "1e+01", but "%.2g" gives the shorter "10").
+  char best[64];
+  std::snprintf(best, sizeof(best), "%.17g", v);
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, v);
+    if (std::strtod(candidate, nullptr) == v) {
+      if (std::strlen(candidate) < std::strlen(best)) {
+        std::memcpy(best, candidate, std::strlen(candidate) + 1);
+      }
+    }
+  }
+  return best;
+}
+
+void AppendCounterObject(
+    const std::vector<std::pair<std::string, double>>& counters,
+    std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) {
+      out->push_back(',');
+    }
+    first = false;
+    out->append(JsonEscape(name));
+    out->push_back(':');
+    out->append(JsonNumber(value));
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          out.append(buf);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string TraceToJsonLines(const Trace& trace, int64_t query_id) {
+  std::string out;
+  const std::vector<TraceSpan>& spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& span = spans[i];
+    out.push_back('{');
+    if (query_id >= 0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "\"query\":%" PRId64 ",", query_id);
+      out.append(buf);
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "\"span\":%zu,\"parent\":%d,", i,
+                  span.parent);
+    out.append(buf);
+    out.append("\"name\":");
+    out.append(JsonEscape(span.name));
+    out.append(",\"start_ms\":");
+    out.append(JsonNumber(span.start_ms));
+    out.append(",\"duration_ms\":");
+    out.append(JsonNumber(span.duration_ms));
+    if (!span.counters.empty()) {
+      out.append(",\"counters\":");
+      AppendCounterObject(span.counters, &out);
+    }
+    out.append("}\n");
+  }
+  return out;
+}
+
+Status AppendTraceJsonLines(const Trace& trace, const std::string& path,
+                            int64_t query_id) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file " + path);
+  }
+  const std::string lines = TraceToJsonLines(trace, query_id);
+  const bool ok =
+      lines.empty() ||
+      std::fwrite(lines.data(), 1, lines.size(), f) == lines.size();
+  std::fclose(f);
+  return ok ? Status::Ok()
+            : Status::IoError("short write to trace file " + path);
+}
+
+std::string MetricsToPrometheusText(
+    const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& counter : snapshot.counters) {
+    if (!counter.help.empty()) {
+      out.append("# HELP " + counter.name + " " + counter.help + "\n");
+    }
+    out.append("# TYPE " + counter.name + " counter\n");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, counter.value);
+    out.append(counter.name + " " + buf + "\n");
+  }
+  for (const auto& hist : snapshot.histograms) {
+    if (!hist.help.empty()) {
+      out.append("# HELP " + hist.name + " " + hist.help + "\n");
+    }
+    out.append("# TYPE " + hist.name + " histogram\n");
+    const Histogram::Snapshot& s = hist.snapshot;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < s.boundaries.size(); ++i) {
+      cumulative += s.bucket_counts[i];
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+      out.append(hist.name + "_bucket{le=\"" +
+                 JsonNumber(s.boundaries[i]).c_str() + "\"} " + buf +
+                 "\n");
+    }
+    cumulative += s.bucket_counts.back();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+    out.append(hist.name + "_bucket{le=\"+Inf\"} " + std::string(buf) +
+               "\n");
+    out.append(hist.name + "_sum " + JsonNumber(s.stats.sum()) + "\n");
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  static_cast<uint64_t>(s.stats.count()));
+    out.append(hist.name + "_count " + buf + "\n");
+  }
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& counter : snapshot.counters) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, counter.value);
+    out.append(JsonEscape(counter.name) + ":" + buf);
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& hist : snapshot.histograms) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    const Histogram::Snapshot& s = hist.snapshot;
+    out.append(JsonEscape(hist.name) + ":{");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                  static_cast<uint64_t>(s.stats.count()));
+    out.append("\"count\":" + std::string(buf));
+    out.append(",\"sum\":" + JsonNumber(s.stats.sum()));
+    out.append(",\"mean\":" + JsonNumber(s.stats.mean()));
+    out.append(",\"min\":" +
+               JsonNumber(s.stats.count() == 0 ? 0.0 : s.stats.min()));
+    out.append(",\"max\":" +
+               JsonNumber(s.stats.count() == 0 ? 0.0 : s.stats.max()));
+    out.append(",\"stddev\":" + JsonNumber(s.stats.stddev()));
+    out.append(",\"boundaries\":[");
+    for (size_t i = 0; i < s.boundaries.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      out.append(JsonNumber(s.boundaries[i]));
+    }
+    out.append("],\"bucket_counts\":[");
+    for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, s.bucket_counts[i]);
+      out.append(buf);
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+}  // namespace warpindex

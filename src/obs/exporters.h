@@ -1,0 +1,44 @@
+// Rendering traces and metric snapshots for consumption outside the
+// process.
+//
+//   * TraceToJsonLines: one JSON object per span (jaeger-style flat
+//     list; `parent` indexes earlier lines), appendable across queries.
+//   * MetricsToPrometheusText: the text exposition format (counters plus
+//     cumulative-bucket histograms with _bucket/_sum/_count series).
+//   * MetricsToJson: the same snapshot as one JSON document, for benches
+//     and scripts that post-process results.
+//
+// Formats are documented in docs/OBSERVABILITY.md.
+
+#ifndef WARPINDEX_OBS_EXPORTERS_H_
+#define WARPINDEX_OBS_EXPORTERS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace warpindex {
+
+// JSON string literal (quotes and escapes `text`).
+std::string JsonEscape(const std::string& text);
+
+// One line per span:
+//   {"span":0,"parent":-1,"name":"query","start_ms":0.01,
+//    "duration_ms":2.5,"counters":{"pages_read":12}}
+// `query_id` tags every line so multiple traces can share one file; pass
+// a negative id to omit the tag.
+std::string TraceToJsonLines(const Trace& trace, int64_t query_id = -1);
+
+// Appends TraceToJsonLines(trace) to `path` (created if missing).
+Status AppendTraceJsonLines(const Trace& trace, const std::string& path,
+                            int64_t query_id = -1);
+
+std::string MetricsToPrometheusText(
+    const MetricsRegistry::Snapshot& snapshot);
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_EXPORTERS_H_

@@ -1,0 +1,111 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace warpindex {
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(std::move(boundaries)),
+      buckets_(boundaries_.size() + 1, 0) {
+  assert(std::is_sorted(boundaries_.begin(), boundaries_.end()));
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(boundaries_.begin(),
+                                           boundaries_.end(), value) -
+                          boundaries_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[bucket];
+  stats_.Add(value);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.boundaries = boundaries_;
+  snapshot.bucket_counts = buckets_;
+  snapshot.stats = stats_;
+  return snapshot;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.count();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.sum();
+}
+
+std::vector<double> ExponentialBoundaries(double start, double factor,
+                                          size_t count) {
+  assert(start > 0.0 && factor > 1.0);
+  std::vector<double> edges;
+  edges.reserve(count);
+  double edge = start;
+  for (size_t i = 0; i < count; ++i) {
+    edges.push_back(edge);
+    edge *= factor;
+  }
+  return edges;
+}
+
+std::vector<double> LinearBoundaries(double start, double step,
+                                     size_t count) {
+  assert(step > 0.0);
+  std::vector<double> edges;
+  edges.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    edges.push_back(start + step * static_cast<double>(i));
+  }
+  return edges;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CounterSlot& slot = counters_[name];
+  if (slot.counter == nullptr) {
+    slot.help = help;
+    slot.counter = std::make_unique<Counter>();
+  }
+  return slot.counter.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> boundaries,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramSlot& slot = histograms_[name];
+  if (slot.histogram == nullptr) {
+    slot.help = help;
+    slot.histogram = std::make_unique<Histogram>(std::move(boundaries));
+  }
+  return slot.histogram.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, slot] : counters_) {
+    snapshot.counters.push_back(
+        CounterEntry{name, slot.help, slot.counter->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, slot] : histograms_) {
+    snapshot.histograms.push_back(
+        HistogramEntry{name, slot.help, slot.histogram->TakeSnapshot()});
+  }
+  return snapshot;
+}
+
+}  // namespace warpindex

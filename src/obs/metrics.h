@@ -1,0 +1,139 @@
+// Process-wide metrics: named counters and fixed-boundary histograms.
+//
+// The registry is the aggregation side of the observability layer: traces
+// answer "where did THIS query go", metrics answer "how is the engine
+// doing overall" (query latency distribution, candidate ratio, DTW cells
+// per query, buffer-pool hit rate). Engines record into a registry after
+// every query; exporters (obs/exporters.h) render snapshots as
+// Prometheus-style text or JSON.
+//
+// Metric handles (Counter*, Histogram*) are stable for the registry's
+// lifetime: look them up once, record through the pointer on the hot
+// path. Counters are atomic; histograms take a small per-histogram lock
+// (queries are per-engine single-threaded today, but the registry is
+// process-wide and must tolerate concurrent engines).
+
+#ifndef WARPINDEX_OBS_METRICS_H_
+#define WARPINDEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace warpindex {
+
+// Monotonically increasing count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Fixed-boundary histogram over doubles. `boundaries` are the inclusive
+// upper edges of the finite buckets (ascending); one overflow bucket
+// catches everything above the last edge. Summary moments (count, sum,
+// mean, min, max, stddev) ride on RunningStats.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void Observe(double value);
+
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  struct Snapshot {
+    std::vector<double> boundaries;
+    // boundaries.size() + 1 entries; the last is the overflow bucket.
+    std::vector<uint64_t> bucket_counts;
+    RunningStats stats;
+  };
+  Snapshot TakeSnapshot() const;
+
+  uint64_t count() const;
+  double sum() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> boundaries_;
+  std::vector<uint64_t> buckets_;
+  RunningStats stats_;
+};
+
+// Common boundary recipes.
+// {start, start*factor, start*factor^2, ...} with `count` edges.
+std::vector<double> ExponentialBoundaries(double start, double factor,
+                                          size_t count);
+// {start, start+step, ...} with `count` edges.
+std::vector<double> LinearBoundaries(double start, double step,
+                                     size_t count);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The shared process-wide registry (what Engine records into unless
+  // told otherwise).
+  static MetricsRegistry& Global();
+
+  // Returns the counter named `name`, creating it on first use. `help`
+  // is kept from the first registration.
+  Counter* GetCounter(const std::string& name,
+                      const std::string& help = "");
+
+  // Returns the histogram named `name`, creating it with `boundaries` on
+  // first use (later calls reuse the existing instance; their boundaries
+  // are ignored).
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> boundaries,
+                          const std::string& help = "");
+
+  struct CounterEntry {
+    std::string name;
+    std::string help;
+    uint64_t value = 0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    std::string help;
+    Histogram::Snapshot snapshot;
+  };
+  struct Snapshot {
+    std::vector<CounterEntry> counters;      // name order
+    std::vector<HistogramEntry> histograms;  // name order
+  };
+  // Consistent-enough point-in-time view for the exporters.
+  Snapshot TakeSnapshot() const;
+
+ private:
+  struct CounterSlot {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+  };
+  struct HistogramSlot {
+    std::string help;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, CounterSlot> counters_;
+  std::map<std::string, HistogramSlot> histograms_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_METRICS_H_

@@ -1,0 +1,50 @@
+#include "obs/stage_timings.h"
+
+namespace warpindex {
+
+void StageTimings::Add(std::string_view stage, double ms) {
+  for (auto& [name, total] : entries_) {
+    if (name == stage) {
+      total += ms;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(stage), ms);
+}
+
+double StageTimings::Get(std::string_view stage) const {
+  for (const auto& [name, total] : entries_) {
+    if (name == stage) {
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+double StageTimings::TotalMillis() const {
+  double total = 0.0;
+  for (const auto& [name, ms] : entries_) {
+    total += ms;
+  }
+  return total;
+}
+
+void StageTimings::Merge(const StageTimings& other) {
+  if (&other == this) {
+    for (auto& [name, ms] : entries_) {
+      ms *= 2.0;
+    }
+    return;
+  }
+  for (const auto& [name, ms] : other.entries_) {
+    Add(name, ms);
+  }
+}
+
+void StageTimings::Scale(double factor) {
+  for (auto& [name, ms] : entries_) {
+    ms *= factor;
+  }
+}
+
+}  // namespace warpindex

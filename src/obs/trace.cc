@@ -1,0 +1,52 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+namespace warpindex {
+
+size_t Trace::BeginSpan(std::string_view name) {
+  TraceSpan span;
+  span.name.assign(name.data(), name.size());
+  span.parent = open_stack_.empty()
+                    ? -1
+                    : static_cast<int>(open_stack_.back());
+  span.start_ms = ElapsedMillis();
+  spans_.push_back(std::move(span));
+  const size_t index = spans_.size() - 1;
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Trace::EndSpan(size_t index) {
+  assert(!open_stack_.empty() && open_stack_.back() == index &&
+         "spans must close innermost-first");
+  TraceSpan& span = spans_[index];
+  span.duration_ms = ElapsedMillis() - span.start_ms;
+  open_stack_.pop_back();
+}
+
+void Trace::AddCounter(std::string_view name, double delta) {
+  if (open_stack_.empty()) {
+    return;
+  }
+  TraceSpan& span = spans_[open_stack_.back()];
+  for (auto& [key, value] : span.counters) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  span.counters.emplace_back(std::string(name), delta);
+}
+
+double Trace::TotalMillis(std::string_view name) const {
+  double total = 0.0;
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) {
+      total += span.duration_ms;
+    }
+  }
+  return total;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,111 @@
+// Per-query tracing: a span tree recording where a query spends its time.
+//
+// A Trace is created by the caller (one per query), passed as an optional
+// `Trace*` down the search path, and read back as a tree of TraceSpans.
+// Every layer opens a ScopedSpan around its stage (`rtree_search`,
+// `candidate_fetch`, `dtw_postfilter`, ...) and attaches counters (pages
+// read, nodes visited, DP cells) to the innermost open span.
+//
+// Cost discipline: with no trace attached (the default everywhere), the
+// instrumentation is a null-pointer test and nothing else — no clock
+// reads, no allocation. Spans use the steady clock, so durations are
+// monotonic and immune to wall-clock adjustment.
+//
+// Traces are single-threaded, like the query path that fills them.
+
+#ifndef WARPINDEX_OBS_TRACE_H_
+#define WARPINDEX_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace warpindex {
+
+// One node of the span tree. Spans are stored in begin order; `parent`
+// indexes into Trace::spans() (-1 for a root span).
+struct TraceSpan {
+  std::string name;
+  int parent = -1;
+  // Offset from Trace construction, and duration, both in milliseconds.
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  // Named counters accumulated while this span was innermost (insertion
+  // order preserved; duplicates are summed).
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+class Trace {
+ public:
+  Trace() : origin_(Clock::now()) {}
+
+  // Opens a span as a child of the innermost open span and returns its
+  // index. Prefer ScopedSpan over calling this directly.
+  size_t BeginSpan(std::string_view name);
+
+  // Closes the span at `index` (must be the innermost open span).
+  void EndSpan(size_t index);
+
+  // Adds `delta` to counter `name` on the innermost open span; dropped if
+  // no span is open.
+  void AddCounter(std::string_view name, double delta);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // Sum of durations of all spans named `name` (0 if none).
+  double TotalMillis(std::string_view name) const;
+
+  // Number of spans still open (0 once the query has finished).
+  size_t open_depth() const { return open_stack_.size(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     origin_)
+        .count();
+  }
+
+  Clock::time_point origin_;
+  std::vector<TraceSpan> spans_;
+  std::vector<size_t> open_stack_;
+};
+
+// RAII guard opening a span for the lifetime of a scope. A null trace
+// makes construction and destruction no-ops.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string_view name) : trace_(trace) {
+    if (trace_ != nullptr) {
+      index_ = trace_->BeginSpan(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (trace_ != nullptr) {
+      trace_->EndSpan(index_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  size_t index_ = 0;
+};
+
+// Counter attach that tolerates a null trace (the common case).
+inline void TraceCounter(Trace* trace, std::string_view name,
+                         double delta) {
+  if (trace != nullptr) {
+    trace->AddCounter(name, delta);
+  }
+}
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_TRACE_H_

@@ -420,14 +420,17 @@ void RTree::CondenseTree(NodeId leaf_id) {
 }
 
 std::vector<int64_t> RTree::RangeSearch(const Rect& query,
-                                        RTreeQueryStats* stats) const {
+                                        RTreeQueryStats* stats,
+                                        Trace* trace) const {
   assert(query.dims == dims_);
   std::vector<int64_t> results;
   std::vector<NodeId> stack;
   stack.push_back(root_);
+  uint64_t visited_pages = 0;
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
+    visited_pages += PagesOfNode(id);
     if (stats != nullptr) {
       stats->nodes_accessed += PagesOfNode(id);
       if (stats->accessed_nodes != nullptr) {
@@ -446,6 +449,7 @@ std::vector<int64_t> RTree::RangeSearch(const Rect& query,
       }
     }
   }
+  TraceCounter(trace, "rtree_nodes", static_cast<double>(visited_pages));
   return results;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "rtree/geometry.h"
 #include "rtree/node.h"
 #include "rtree/split.h"
@@ -75,9 +76,12 @@ class RTree {
   // no such entry exists.
   bool Delete(const Rect& rect, int64_t record_id);
 
-  // All record ids whose MBR intersects `query`.
+  // All record ids whose MBR intersects `query`. When a trace is
+  // attached, the visited-node count is added as an `rtree_nodes`
+  // counter on the innermost open span.
   std::vector<int64_t> RangeSearch(const Rect& query,
-                                   RTreeQueryStats* stats = nullptr) const;
+                                   RTreeQueryStats* stats = nullptr,
+                                   Trace* trace = nullptr) const;
 
   struct Neighbor {
     int64_t record_id = -1;

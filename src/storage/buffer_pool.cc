@@ -2,14 +2,16 @@
 
 namespace warpindex {
 
-bool BufferPool::Access(PageId page_id, IoStats* stats) {
+bool BufferPool::Access(PageId page_id, IoStats* stats, Trace* trace) {
   auto it = index_.find(page_id);
   if (it != index_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
+    TraceCounter(trace, "pool_hits", 1.0);
     return true;
   }
   ++misses_;
+  TraceCounter(trace, "pool_misses", 1.0);
   if (stats != nullptr) {
     stats->RecordRandomRead();
   }

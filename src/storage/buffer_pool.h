@@ -13,6 +13,7 @@
 #include <list>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "storage/disk_model.h"
 #include "storage/page.h"
 
@@ -26,8 +27,9 @@ class BufferPool {
 
   // Returns true if `page_id` was cached (hit). On a miss, the page is
   // admitted, the LRU victim evicted, and one random page read charged to
-  // `stats` (when provided).
-  bool Access(PageId page_id, IoStats* stats);
+  // `stats` (when provided). A trace (optional) receives `pool_hits` /
+  // `pool_misses` counters on the innermost open span.
+  bool Access(PageId page_id, IoStats* stats, Trace* trace = nullptr);
 
   // Drops all cached pages.
   void Clear();

@@ -109,11 +109,13 @@ Sequence SequenceStore::Deserialize(const DirectoryEntry& entry) const {
   return Sequence(std::move(elements));
 }
 
-Sequence SequenceStore::Fetch(SequenceId id, IoStats* stats) const {
+Sequence SequenceStore::Fetch(SequenceId id, IoStats* stats,
+                              Trace* trace) const {
   assert(IsLive(id));
   if (stats != nullptr) {
     stats->RecordRandomRun(PagesOf(id));
   }
+  TraceCounter(trace, "pages_read", static_cast<double>(PagesOf(id)));
   Sequence s = Deserialize(directory_[static_cast<size_t>(id)]);
   s.set_id(id);
   return s;
@@ -121,10 +123,11 @@ Sequence SequenceStore::Fetch(SequenceId id, IoStats* stats) const {
 
 void SequenceStore::ScanAll(
     const std::function<bool(SequenceId, const Sequence&)>& fn,
-    IoStats* stats) const {
+    IoStats* stats, Trace* trace) const {
   if (stats != nullptr) {
     stats->RecordSequentialRun(pages_.size());
   }
+  TraceCounter(trace, "pages_read", static_cast<double>(pages_.size()));
   for (size_t i = 0; i < directory_.size(); ++i) {
     if (!directory_[i].live) {
       continue;

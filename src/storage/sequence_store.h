@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sequence/dataset.h"
 #include "sequence/sequence.h"
 #include "storage/disk_model.h"
@@ -50,15 +51,19 @@ class SequenceStore {
   uint64_t PagesOf(SequenceId id) const;
 
   // Random fetch: deserializes the sequence, charging one random run of
-  // PagesOf(id) pages to `stats` (when provided).
-  Sequence Fetch(SequenceId id, IoStats* stats = nullptr) const;
+  // PagesOf(id) pages to `stats` (when provided). A trace (optional)
+  // receives the page count as a `pages_read` counter on the innermost
+  // open span.
+  Sequence Fetch(SequenceId id, IoStats* stats = nullptr,
+                 Trace* trace = nullptr) const;
 
   // Sequential scan: invokes `fn` for every *live* sequence in id order,
   // charging one sequential run covering all pages. If `fn` returns false
   // the scan stops early (the full run is still charged — the paper's
-  // scan methods read the whole database).
+  // scan methods read the whole database). A trace (optional) receives
+  // the page count as a `pages_read` counter.
   void ScanAll(const std::function<bool(SequenceId, const Sequence&)>& fn,
-               IoStats* stats = nullptr) const;
+               IoStats* stats = nullptr, Trace* trace = nullptr) const;
 
   // Appends a sequence at the end of the heap file (allocating pages as
   // needed) and returns its id. Charges the written pages to `stats`.

@@ -1,0 +1,180 @@
+// Metrics registry: counters, histogram bucketing, boundary recipes, the
+// Prometheus/JSON exporters, and the engine's per-query recording.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "obs/exporters.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+TEST(CounterTest, IncrementsByDelta) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(HistogramTest, BucketsByInclusiveUpperEdge) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (edges are inclusive)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(100.0); // overflow
+  const Histogram::Snapshot snap = h.TakeSnapshot();
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+  EXPECT_DOUBLE_EQ(snap.stats.min(), 0.5);
+  EXPECT_DOUBLE_EQ(snap.stats.max(), 100.0);
+}
+
+TEST(HistogramTest, BoundaryRecipes) {
+  const std::vector<double> exp = ExponentialBoundaries(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const std::vector<double> lin = LinearBoundaries(0.5, 0.25, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.5);
+  EXPECT_DOUBLE_EQ(lin[2], 1.0);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "first help");
+  Counter* b = registry.GetCounter("x_total", "ignored help");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+
+  Histogram* h1 = registry.GetHistogram("y_ms", {1.0, 2.0}, "lat");
+  Histogram* h2 = registry.GetHistogram("y_ms", {99.0});  // reused, ignored
+  EXPECT_EQ(h1, h2);
+  ASSERT_EQ(h1->boundaries().size(), 2u);
+  h1->Observe(1.5);
+
+  const MetricsRegistry::Snapshot snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "x_total");
+  EXPECT_EQ(snap.counters[0].help, "first help");
+  EXPECT_EQ(snap.counters[0].value, 3u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "y_ms");
+  EXPECT_EQ(snap.histograms[0].snapshot.stats.count(), 1u);
+}
+
+TEST(MetricsRegistryTest, GlobalIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+TEST(MetricsExportTest, PrometheusTextFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("warp_queries_total", "queries served")
+      ->Increment(7);
+  Histogram* h = registry.GetHistogram("warp_latency_ms", {1.0, 10.0},
+                                       "per-query latency");
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  const std::string text =
+      MetricsToPrometheusText(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# HELP warp_queries_total queries served"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE warp_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_queries_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE warp_latency_ms histogram"),
+            std::string::npos);
+  // Buckets are cumulative in the exposition format.
+  EXPECT_NE(text.find("warp_latency_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_sum 55.5"), std::string::npos);
+}
+
+TEST(MetricsExportTest, JsonSnapshotFormat) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total")->Increment(2);
+  registry.GetHistogram("b_ms", {1.0})->Observe(3.0);
+  const std::string json = MetricsToJson(registry.TakeSnapshot());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"b_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":3"), std::string::npos);
+}
+
+TEST(EngineMetricsTest, QueriesLandInTheConfiguredRegistry) {
+  RandomWalkOptions rw;
+  rw.num_sequences = 60;
+  rw.min_length = 40;
+  rw.max_length = 80;
+  auto registry = std::make_unique<MetricsRegistry>();
+  EngineOptions options;
+  options.metrics = registry.get();
+  options.index_buffer_pages = 32;
+  const Engine engine(GenerateRandomWalkDataset(rw), options);
+
+  const Sequence query = PerturbSequence(engine.dataset()[4], 5);
+  const SearchResult result = engine.Search(query, 3.0);
+  engine.Search(query, 3.0);
+  engine.SearchKnn(query, 3);
+
+  // Two range queries plus one kNN query.
+  EXPECT_EQ(
+      engine.metrics().GetCounter("warpindex_queries_total")->value(),
+      3u);
+  const uint64_t matches =
+      engine.metrics().GetCounter("warpindex_query_matches_total")->value();
+  EXPECT_EQ(matches, 2 * result.matches.size());
+  EXPECT_EQ(engine.metrics()
+                .GetHistogram("warpindex_query_latency_ms", {})
+                ->count(),
+            2u);
+  EXPECT_EQ(engine.metrics()
+                .GetHistogram("warpindex_knn_latency_ms", {})
+                ->count(),
+            1u);
+  // The warmed index pool records activity into the registry too.
+  const uint64_t hits =
+      engine.metrics()
+          .GetCounter("warpindex_index_pool_hits_total")
+          ->value();
+  const uint64_t misses =
+      engine.metrics()
+          .GetCounter("warpindex_index_pool_misses_total")
+          ->value();
+  EXPECT_GT(hits + misses, 0u);
+
+  // None of this leaked into the global registry.
+  const MetricsRegistry::Snapshot global =
+      MetricsRegistry::Global().TakeSnapshot();
+  for (const auto& counter : global.counters) {
+    if (counter.name == "warpindex_queries_total") {
+      EXPECT_EQ(counter.value, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace warpindex

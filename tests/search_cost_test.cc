@@ -1,0 +1,111 @@
+// SearchCost aggregation: Merge must be additive across every field
+// (including the per-stage breakdown) and Reset must produce a
+// reusable zero cost.
+
+#include "core/search_method.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/stage_timings.h"
+
+namespace warpindex {
+namespace {
+
+SearchCost MakeCost(double scale) {
+  SearchCost cost;
+  cost.io.RecordRandomRead(static_cast<uint64_t>(2 * scale));
+  cost.io.RecordSequentialRun(static_cast<uint64_t>(10 * scale));
+  cost.dtw_cells = static_cast<uint64_t>(100 * scale);
+  cost.lb_evals = static_cast<uint64_t>(5 * scale);
+  cost.index_nodes = static_cast<uint64_t>(3 * scale);
+  cost.wall_ms = 1.5 * scale;
+  cost.stages.Add(kStageRtreeSearch, 0.5 * scale);
+  cost.stages.Add(kStageDtwPostfilter, 1.0 * scale);
+  return cost;
+}
+
+TEST(SearchCostTest, MergeIsAdditive) {
+  SearchCost a = MakeCost(1.0);
+  const SearchCost b = MakeCost(2.0);
+  a.Merge(b);
+
+  EXPECT_EQ(a.io.random_page_reads, 6u);
+  EXPECT_EQ(a.io.sequential_page_reads, 30u);
+  EXPECT_EQ(a.io.seeks, 2u + 1u + 4u + 1u);
+  EXPECT_EQ(a.dtw_cells, 300u);
+  EXPECT_EQ(a.lb_evals, 15u);
+  EXPECT_EQ(a.index_nodes, 9u);
+  EXPECT_DOUBLE_EQ(a.wall_ms, 4.5);
+  // StageTimings merge additively, stage by stage.
+  EXPECT_DOUBLE_EQ(a.stages.Get(kStageRtreeSearch), 1.5);
+  EXPECT_DOUBLE_EQ(a.stages.Get(kStageDtwPostfilter), 3.0);
+  EXPECT_DOUBLE_EQ(a.stages.TotalMillis(), 4.5);
+}
+
+TEST(SearchCostTest, MergeBringsInStagesMissingOnTheLeft) {
+  SearchCost a;
+  SearchCost b;
+  b.stages.Add(kStageLbYiCascade, 0.25);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.stages.Get(kStageLbYiCascade), 0.25);
+  EXPECT_EQ(a.stages.size(), 1u);
+}
+
+TEST(SearchCostTest, ResetClearsEverything) {
+  SearchCost cost = MakeCost(3.0);
+  ASSERT_FALSE(cost.stages.empty());
+  cost.Reset();
+
+  EXPECT_EQ(cost.io.random_page_reads, 0u);
+  EXPECT_EQ(cost.io.sequential_page_reads, 0u);
+  EXPECT_EQ(cost.io.seeks, 0u);
+  EXPECT_EQ(cost.dtw_cells, 0u);
+  EXPECT_EQ(cost.lb_evals, 0u);
+  EXPECT_EQ(cost.index_nodes, 0u);
+  EXPECT_DOUBLE_EQ(cost.wall_ms, 0.0);
+  EXPECT_TRUE(cost.stages.empty());
+  EXPECT_DOUBLE_EQ(cost.stages.TotalMillis(), 0.0);
+}
+
+TEST(SearchCostTest, ResetThenMergeAccumulatesFresh) {
+  SearchCost acc = MakeCost(1.0);
+  acc.Reset();
+  acc.Merge(MakeCost(1.0));
+  acc.Merge(MakeCost(1.0));
+  EXPECT_EQ(acc.dtw_cells, 200u);
+  EXPECT_DOUBLE_EQ(acc.stages.Get(kStageRtreeSearch), 1.0);
+}
+
+TEST(StageTimingsTest, AddAccumulatesAndKeepsInsertionOrder) {
+  StageTimings stages;
+  stages.Add("b", 1.0);
+  stages.Add("a", 2.0);
+  stages.Add("b", 0.5);
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages.entries()[0].first, "b");
+  EXPECT_DOUBLE_EQ(stages.entries()[0].second, 1.5);
+  EXPECT_EQ(stages.entries()[1].first, "a");
+  EXPECT_DOUBLE_EQ(stages.Get("a"), 2.0);
+  EXPECT_DOUBLE_EQ(stages.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(stages.TotalMillis(), 3.5);
+}
+
+TEST(StageTimingsTest, SelfMergeDoubles) {
+  StageTimings stages;
+  stages.Add("x", 1.25);
+  stages.Merge(stages);
+  EXPECT_DOUBLE_EQ(stages.Get("x"), 2.5);
+  EXPECT_EQ(stages.size(), 1u);
+}
+
+TEST(StageTimingsTest, ScaleMultipliesEveryStage) {
+  StageTimings stages;
+  stages.Add("x", 2.0);
+  stages.Add("y", 4.0);
+  stages.Scale(0.5);
+  EXPECT_DOUBLE_EQ(stages.Get("x"), 1.0);
+  EXPECT_DOUBLE_EQ(stages.Get("y"), 2.0);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -69,6 +69,28 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(d.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, SelfMergeDoublesTheStream) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(3.0);
+  s.Merge(s);
+  // Equivalent to having seen {1, 3, 1, 3}.
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 8.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, EmptySelfMergeStaysEmpty) {
+  RunningStats s;
+  s.Merge(s);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
 TEST(StatsHelpersTest, MeanAndStdDev) {
   EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
   EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
@@ -81,6 +103,17 @@ TEST(StatsHelpersTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 40.0);
   EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 25.0);
   EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+TEST(StatsHelpersTest, PercentileClampsOutOfRangeP) {
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -0.5), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, -1e300), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.5), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1e300), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, std::nan("")), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 2.0), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,283 @@
+// Tracing layer: span-tree mechanics, the traced engine search path
+// (acceptance: stage spans must account for the query's wall time), and
+// the JSON-lines exporter.
+
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "obs/exporters.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+TEST(TraceTest, SpanTreeStructure) {
+  Trace trace;
+  const size_t root = trace.BeginSpan("query");
+  const size_t child_a = trace.BeginSpan("rtree_search");
+  trace.EndSpan(child_a);
+  const size_t child_b = trace.BeginSpan("dtw_postfilter");
+  const size_t grandchild = trace.BeginSpan("inner");
+  trace.EndSpan(grandchild);
+  trace.EndSpan(child_b);
+  trace.EndSpan(root);
+
+  ASSERT_EQ(trace.spans().size(), 4u);
+  EXPECT_EQ(trace.open_depth(), 0u);
+  EXPECT_EQ(trace.spans()[root].parent, -1);
+  EXPECT_EQ(trace.spans()[child_a].parent, static_cast<int>(root));
+  EXPECT_EQ(trace.spans()[child_b].parent, static_cast<int>(root));
+  EXPECT_EQ(trace.spans()[grandchild].parent, static_cast<int>(child_b));
+  // Children are contained in the root's duration.
+  EXPECT_GE(trace.spans()[root].duration_ms,
+            trace.spans()[child_a].duration_ms +
+                trace.spans()[child_b].duration_ms);
+  EXPECT_GE(trace.spans()[child_b].duration_ms,
+            trace.spans()[grandchild].duration_ms);
+}
+
+TEST(TraceTest, CountersAttachToInnermostOpenSpan) {
+  Trace trace;
+  const size_t root = trace.BeginSpan("query");
+  trace.AddCounter("pages_read", 3);
+  const size_t child = trace.BeginSpan("candidate_fetch");
+  trace.AddCounter("pages_read", 2);
+  trace.AddCounter("pages_read", 2);
+  trace.EndSpan(child);
+  trace.AddCounter("dtw_cells", 100);
+  trace.EndSpan(root);
+
+  ASSERT_EQ(trace.spans()[child].counters.size(), 1u);
+  EXPECT_EQ(trace.spans()[child].counters[0].first, "pages_read");
+  EXPECT_EQ(trace.spans()[child].counters[0].second, 4.0);
+  ASSERT_EQ(trace.spans()[root].counters.size(), 2u);
+  EXPECT_EQ(trace.spans()[root].counters[0].second, 3.0);
+  EXPECT_EQ(trace.spans()[root].counters[1].first, "dtw_cells");
+}
+
+TEST(TraceTest, ScopedSpanNullTraceIsNoop) {
+  ScopedSpan span(nullptr, "anything");
+  TraceCounter(nullptr, "anything", 1.0);  // must not crash
+}
+
+TEST(TraceTest, TotalMillisSumsSameNamedSpans) {
+  Trace trace;
+  for (int i = 0; i < 3; ++i) {
+    trace.EndSpan(trace.BeginSpan("stage"));
+  }
+  EXPECT_GE(trace.TotalMillis("stage"), 0.0);
+  EXPECT_EQ(trace.TotalMillis("absent"), 0.0);
+}
+
+class TracedEngineTest : public testing::Test {
+ protected:
+  Engine* MakeEngine(bool lb_cascade, size_t pool_pages = 0) {
+    RandomWalkOptions rw;
+    rw.num_sequences = 200;
+    rw.min_length = 100;
+    rw.max_length = 200;
+    EngineOptions options;
+    options.lb_cascade = lb_cascade;
+    options.index_buffer_pages = pool_pages;
+    options.metrics = &registry_;  // keep tests out of the global registry
+    return new Engine(GenerateRandomWalkDataset(rw), options);
+  }
+
+ private:
+  MetricsRegistry registry_;
+};
+
+// Acceptance criterion: a traced Engine::Search produces a span tree
+// whose stage spans sum to within 10% of SearchCost::wall_ms. A large
+// epsilon makes the query heavy (every candidate is refined with a full
+// DTW), so the untimed residue (feature extraction, vector setup) is
+// negligible against the staged work.
+TEST_F(TracedEngineTest, StageSpansAccountForWallTime) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/false));
+  const Sequence query =
+      PerturbSequence(engine->dataset()[7], /*seed=*/42);
+
+  Trace trace;
+  const SearchResult result = engine->Search(query, /*epsilon=*/10.0,
+                                             &trace);
+  ASSERT_GT(result.num_candidates, 0u);
+  ASSERT_GT(result.cost.wall_ms, 0.0);
+  EXPECT_EQ(trace.open_depth(), 0u);
+
+  // The span tree has a `query` root with the stage spans below it.
+  ASSERT_FALSE(trace.spans().empty());
+  EXPECT_EQ(trace.spans()[0].name, "query");
+  EXPECT_GT(trace.TotalMillis(kStageRtreeSearch), 0.0);
+  EXPECT_GT(trace.TotalMillis(kStageDtwPostfilter), 0.0);
+
+  const double staged = trace.TotalMillis(kStageRtreeSearch) +
+                        trace.TotalMillis(kStageCandidateFetch) +
+                        trace.TotalMillis(kStageLbYiCascade) +
+                        trace.TotalMillis(kStageDtwPostfilter);
+  EXPECT_GT(staged, 0.9 * result.cost.wall_ms);
+  EXPECT_LE(staged, 1.1 * result.cost.wall_ms);
+
+  // The always-on StageTimings breakdown matches the spans' story.
+  EXPECT_GT(result.cost.stages.TotalMillis(), 0.9 * result.cost.wall_ms);
+  EXPECT_LE(result.cost.stages.TotalMillis(), 1.1 * result.cost.wall_ms);
+  EXPECT_GT(result.cost.stages.Get(kStageDtwPostfilter), 0.0);
+}
+
+TEST_F(TracedEngineTest, LbCascadeStageAppearsWhenEnabled) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/true));
+  const Sequence query =
+      PerturbSequence(engine->dataset()[3], /*seed=*/7);
+  Trace trace;
+  const SearchResult result = engine->Search(query, 10.0, &trace);
+  ASSERT_GT(result.cost.lb_evals, 0u);
+  EXPECT_GT(trace.TotalMillis(kStageLbYiCascade), 0.0);
+  EXPECT_GT(result.cost.stages.Get(kStageLbYiCascade), 0.0);
+}
+
+TEST_F(TracedEngineTest, CountersRecordPagesAndCells) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/false));
+  const Sequence query = PerturbSequence(engine->dataset()[0], 1);
+  Trace trace;
+  const SearchResult result = engine->Search(query, 5.0, &trace);
+
+  double traced_pages = 0.0;
+  double traced_cells = 0.0;
+  for (const TraceSpan& span : trace.spans()) {
+    for (const auto& [name, value] : span.counters) {
+      if (name == "pages_read") {
+        traced_pages += value;
+      } else if (name == "dtw_cells") {
+        traced_cells += value;
+      }
+    }
+  }
+  // Data-page reads of the fetch stage (index pages are charged as
+  // random reads, not store pages).
+  EXPECT_EQ(traced_pages,
+            static_cast<double>(result.cost.io.random_page_reads -
+                                result.cost.index_nodes));
+  EXPECT_EQ(traced_cells, static_cast<double>(result.cost.dtw_cells));
+}
+
+TEST_F(TracedEngineTest, BufferPoolCountersReachTrace) {
+  std::unique_ptr<Engine> engine(
+      MakeEngine(/*lb_cascade=*/false, /*pool_pages=*/64));
+  const Sequence query = PerturbSequence(engine->dataset()[0], 1);
+  // Warm the pool, then trace: the second query should see hits.
+  engine->Search(query, 1.0);
+  Trace trace;
+  engine->Search(query, 1.0, &trace);
+  double hits = 0.0;
+  for (const TraceSpan& span : trace.spans()) {
+    for (const auto& [name, value] : span.counters) {
+      if (name == "pool_hits") {
+        hits += value;
+      }
+    }
+  }
+  EXPECT_GT(hits, 0.0);
+}
+
+TEST_F(TracedEngineTest, KnnSearchProducesRefineSpan) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/false));
+  const Sequence query = PerturbSequence(engine->dataset()[11], 3);
+  Trace trace;
+  const KnnResult result = engine->SearchKnn(query, 5, &trace);
+  EXPECT_EQ(result.neighbors.size(), 5u);
+  EXPECT_EQ(trace.spans()[0].name, "knn_query");
+  EXPECT_GT(trace.TotalMillis(kStageKnnRefine), 0.0);
+  EXPECT_GT(result.cost.stages.Get(kStageKnnRefine), 0.0);
+}
+
+TEST_F(TracedEngineTest, UntracedSearchRecordsStagesButNoSpans) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/false));
+  const Sequence query = PerturbSequence(engine->dataset()[2], 9);
+  const SearchResult result = engine->Search(query, 2.0);
+  EXPECT_FALSE(result.cost.stages.empty());
+}
+
+// Crude JSON-lines validation: every line is one object with balanced
+// braces and quotes outside of string literals.
+void ExpectValidJsonLine(const std::string& line) {
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : line) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      ASSERT_GE(depth, 0) << line;
+    }
+  }
+  EXPECT_EQ(depth, 0) << line;
+  EXPECT_FALSE(in_string) << line;
+}
+
+TEST_F(TracedEngineTest, JsonLinesExportRoundTrip) {
+  std::unique_ptr<Engine> engine(MakeEngine(/*lb_cascade=*/true));
+  const Sequence query = PerturbSequence(engine->dataset()[5], 77);
+  Trace trace;
+  engine->Search(query, 5.0, &trace);
+
+  const std::string text = TraceToJsonLines(trace, /*query_id=*/5);
+  std::istringstream lines(text);
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    ExpectValidJsonLine(line);
+    EXPECT_NE(line.find("\"query\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"duration_ms\":"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, trace.spans().size());
+  EXPECT_NE(text.find("\"name\":\"rtree_search\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"dtw_postfilter\""), std::string::npos);
+
+  // ExportTrace appends to a file.
+  const std::string path = testing::TempDir() + "/trace_test.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(engine->ExportTrace(trace, path, 5).ok());
+  ASSERT_TRUE(engine->ExportTrace(trace, path, 6).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  size_t file_lines = 0;
+  while (std::getline(in, line)) {
+    ExpectValidJsonLine(line);
+    ++file_lines;
+  }
+  EXPECT_EQ(file_lines, 2 * trace.spans().size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, EscapesSpecialCharacters) {
+  Trace trace;
+  const size_t span = trace.BeginSpan("weird \"name\"\n\\path");
+  trace.EndSpan(span);
+  const std::string text = TraceToJsonLines(trace);
+  EXPECT_NE(text.find("weird \\\"name\\\"\\n\\\\path"),
+            std::string::npos);
+  ExpectValidJsonLine(text.substr(0, text.size() - 1));
+}
+
+}  // namespace
+}  // namespace warpindex
