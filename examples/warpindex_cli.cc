@@ -16,13 +16,21 @@
 //
 //   # run a demo workload and print the metrics snapshot:
 //   $ ./warpindex_cli stats
+//
+//   # batch-serve a query workload over a thread pool:
+//   $ ./warpindex_cli serve --dataset stock --threads 4 --eps 4
+//   $ ./warpindex_cli serve --data my_series.csv --queries patterns.csv \
+//         --threads 8 --eps 0.5
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/stats.h"
 #include "core/engine.h"
+#include "exec/query_executor.h"
 #include "obs/exporters.h"
 #include "sequence/dataset_io.h"
 #include "sequence/query_workload.h"
@@ -31,6 +39,156 @@
 
 namespace warpindex {
 namespace {
+
+// Loads --data CSV when given, else synthesizes the named built-in corpus.
+bool LoadDatabase(const std::string& data_path,
+                  const std::string& dataset_kind, Dataset* dataset) {
+  if (!data_path.empty()) {
+    const Status status = LoadDatasetFromCsv(data_path, dataset);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return false;
+    }
+    return true;
+  }
+  if (dataset_kind == "stock") {
+    *dataset = GenerateStockDataset(StockDataOptions{});
+    return true;
+  }
+  if (dataset_kind == "walk") {
+    RandomWalkOptions rw;
+    rw.num_sequences = 1000;
+    rw.min_length = 100;
+    rw.max_length = 200;
+    *dataset = GenerateRandomWalkDataset(rw);
+    return true;
+  }
+  std::fprintf(stderr, "unknown --dataset '%s'\n", dataset_kind.c_str());
+  return false;
+}
+
+bool ParseMethod(const std::string& name, MethodKind* kind) {
+  if (name == "tw") {
+    *kind = MethodKind::kTwSimSearch;
+  } else if (name == "naive") {
+    *kind = MethodKind::kNaiveScan;
+  } else if (name == "lb") {
+    *kind = MethodKind::kLbScan;
+  } else if (name == "st") {
+    *kind = MethodKind::kStFilter;
+  } else {
+    std::fprintf(stderr, "unknown --method '%s' (tw | naive | lb | st)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+// `serve` subcommand: batch-mode serving path. Loads a database, builds
+// the index once, then runs a query workload through the concurrent
+// QueryExecutor and reports throughput and latency percentiles.
+int RunServe(int argc, char** argv) {
+  std::string dataset_kind = "stock";
+  std::string data_path;
+  std::string queries_path;
+  int64_t num_queries = 100;
+  double eps = -1.0;
+  std::string method = "tw";
+  int64_t threads = 4;
+  int64_t repeat = 1;
+  int64_t seed = 1;
+  bool show_metrics = false;
+
+  FlagSet flags("warpindex_cli serve");
+  flags.AddString("dataset", &dataset_kind,
+                  "built-in corpus when --data is absent: stock | walk");
+  flags.AddString("data", &data_path, "CSV file with one sequence per line");
+  flags.AddString("queries", &queries_path,
+                  "CSV file with one query per line; omitted = generate "
+                  "--num_queries perturbed-copy queries");
+  flags.AddInt64("num_queries", &num_queries,
+                 "generated workload size when --queries is absent");
+  flags.AddDouble("eps", &eps, "tolerance for every range query");
+  flags.AddString("method", &method, "tw | naive | lb | st");
+  flags.AddInt64("threads", &threads, "executor worker count");
+  flags.AddInt64("repeat", &repeat, "times to run the whole batch");
+  flags.AddInt64("seed", &seed, "generated-workload seed");
+  flags.AddBool("metrics", &show_metrics,
+                "print the metrics snapshot (Prometheus text) afterwards");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (eps < 0.0) {
+    eps = dataset_kind == "stock" && data_path.empty() ? 4.0 : 0.1;
+  }
+  MethodKind kind;
+  if (!ParseMethod(method, &kind)) {
+    return 1;
+  }
+
+  Dataset dataset;
+  if (!LoadDatabase(data_path, dataset_kind, &dataset) || dataset.empty()) {
+    return 1;
+  }
+  EngineOptions options;
+  options.build_st_filter = kind == MethodKind::kStFilter;
+  const Engine engine(std::move(dataset), options);
+
+  std::vector<Sequence> queries;
+  if (!queries_path.empty()) {
+    Dataset query_set;
+    const Status status = LoadDatasetFromCsv(queries_path, &query_set);
+    if (!status.ok() || query_set.empty()) {
+      std::fprintf(stderr, "cannot load queries: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < query_set.size(); ++i) {
+      queries.push_back(query_set[i]);
+    }
+  } else {
+    QueryWorkloadOptions workload;
+    workload.num_queries = static_cast<size_t>(num_queries);
+    workload.seed = static_cast<uint64_t>(seed);
+    queries = GenerateQueryWorkload(engine.dataset(), workload);
+  }
+
+  std::vector<QueryRequest> requests;
+  requests.reserve(queries.size());
+  for (Sequence& q : queries) {
+    requests.push_back(QueryRequest{kind, std::move(q), eps});
+  }
+
+  QueryExecutorOptions executor_options;
+  executor_options.num_threads = static_cast<size_t>(threads);
+  QueryExecutor executor(&engine, executor_options);
+  std::printf("serving %zu %s queries (eps=%.4f) over %zu threads\n",
+              requests.size(), MethodKindName(kind), eps,
+              executor.num_threads());
+
+  for (int64_t round = 0; round < repeat; ++round) {
+    const BatchResult batch = executor.SubmitBatch(requests);
+    std::vector<double> latencies;
+    latencies.reserve(batch.results.size());
+    size_t total_matches = 0;
+    for (const SearchResult& r : batch.results) {
+      latencies.push_back(r.cost.wall_ms);
+      total_matches += r.matches.size();
+    }
+    std::printf(
+        "batch %lld: %.1f queries/s (%.2f ms wall), %zu matches, "
+        "service p50=%.3f ms p99=%.3f ms\n",
+        static_cast<long long>(round), batch.queries_per_sec,
+        batch.wall_ms, total_matches, Percentile(latencies, 0.5),
+        Percentile(latencies, 0.99));
+  }
+
+  if (show_metrics) {
+    std::printf("\n== metrics snapshot ==\n%s",
+                MetricsToPrometheusText(engine.MetricsSnapshot()).c_str());
+  }
+  return 0;
+}
 
 // Indented rendering of a trace's span tree with counters.
 void PrintTraceTree(const Trace& trace) {
@@ -61,6 +219,11 @@ int Run(int argc, char** argv) {
   bool compare = false;
   int64_t seed = 1;
   std::string trace_out;
+
+  // `serve` subcommand: concurrent batch serving (own flag set).
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return RunServe(argc - 1, argv + 1);
+  }
 
   // `stats` subcommand: run the configured query workload, then print the
   // metrics snapshot (Prometheus text). Flags still apply.
@@ -105,22 +268,7 @@ int Run(int argc, char** argv) {
 
   // Load or synthesize the database.
   Dataset dataset;
-  if (!data_path.empty()) {
-    const Status status = LoadDatasetFromCsv(data_path, &dataset);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-  } else if (dataset_kind == "stock") {
-    dataset = GenerateStockDataset(StockDataOptions{});
-  } else if (dataset_kind == "walk") {
-    RandomWalkOptions rw;
-    rw.num_sequences = 1000;
-    rw.min_length = 100;
-    rw.max_length = 200;
-    dataset = GenerateRandomWalkDataset(rw);
-  } else {
-    std::fprintf(stderr, "unknown --dataset '%s'\n", dataset_kind.c_str());
+  if (!LoadDatabase(data_path, dataset_kind, &dataset)) {
     return 1;
   }
   if (dataset.empty()) {

@@ -116,9 +116,8 @@ void Engine::RegisterMetrics() {
       "measured CPU wall time per kNN query (ms)");
 }
 
-void Engine::RecordQueryMetrics(MethodKind kind, const SearchResult& result,
-                                uint64_t pool_hits_before,
-                                uint64_t pool_misses_before) const {
+void Engine::RecordQueryMetrics(MethodKind kind,
+                                const SearchResult& result) const {
   (void)kind;
   queries_total_->Increment();
   matches_total_->Increment(result.matches.size());
@@ -131,11 +130,11 @@ void Engine::RecordQueryMetrics(MethodKind kind, const SearchResult& result,
   }
   dtw_cells_hist_->Observe(static_cast<double>(result.cost.dtw_cells));
   index_nodes_hist_->Observe(static_cast<double>(result.cost.index_nodes));
-  if (index_pool_ != nullptr) {
-    pool_hits_total_->Increment(index_pool_->hits() - pool_hits_before);
-    pool_misses_total_->Increment(index_pool_->misses() -
-                                  pool_misses_before);
-  }
+  // Per-query pool counters from the result, not before/after deltas of
+  // the shared pool — concurrent queries would corrupt each other's
+  // attribution.
+  pool_hits_total_->Increment(result.cost.pool_hits);
+  pool_misses_total_->Increment(result.cost.pool_misses);
 }
 
 Status Engine::ExportTrace(const Trace& trace, const std::string& path,
@@ -262,18 +261,15 @@ const SearchMethod& Engine::method(MethodKind kind) const {
 }
 
 SearchResult Engine::SearchWith(MethodKind kind, const Sequence& query,
-                                double epsilon, Trace* trace) const {
-  const uint64_t pool_hits =
-      index_pool_ != nullptr ? index_pool_->hits() : 0;
-  const uint64_t pool_misses =
-      index_pool_ != nullptr ? index_pool_->misses() : 0;
+                                double epsilon, Trace* trace,
+                                DtwScratch* scratch) const {
   SearchResult result;
   {
     ScopedSpan span(trace, "query");
     TraceCounter(trace, "epsilon", epsilon);
-    result = method(kind).Search(query, epsilon, trace);
+    result = method(kind).Search(query, epsilon, trace, scratch);
   }
-  RecordQueryMetrics(kind, result, pool_hits, pool_misses);
+  RecordQueryMetrics(kind, result);
   return result;
 }
 

@@ -7,6 +7,17 @@
 //   Engine engine(std::move(dataset), EngineOptions{});
 //   SearchResult r = engine.Search(query, /*epsilon=*/0.1);
 //   for (SequenceId id : r.matches) { ... }
+//
+// Thread-safety contract: all const query entry points — Search,
+// SearchWith, SearchKnn, SearchSubsequences — are safe to call
+// concurrently from any number of threads. The read path holds no shared
+// mutable state: the index buffer pool is internally lock-striped, and
+// per-query metrics land in an internally synchronized registry. Each
+// caller must pass its own Trace/DtwScratch (those are per-thread
+// objects). Mutations — Insert, Remove, Rebuild* — require external
+// exclusion: no query may run concurrently with them. For a pooled
+// multi-threaded serving loop, see exec/query_executor.h and
+// docs/CONCURRENCY.md.
 
 #ifndef WARPINDEX_CORE_ENGINE_H_
 #define WARPINDEX_CORE_ENGINE_H_
@@ -54,8 +65,9 @@ struct EngineOptions {
   bool build_st_filter = false;
   size_t st_filter_categories = 100;
   // Index-page buffer pool frames for TW-Sim-Search (0 disables). With a
-  // pool, hot index pages stop paying random reads across queries; the
-  // engine becomes single-threaded for queries.
+  // pool, hot index pages stop paying random reads across queries. The
+  // pool is thread-safe (lock-striped shards), so queries stay safe to
+  // run concurrently; see docs/CONCURRENCY.md.
   size_t index_buffer_pages = 0;
   // Insert the O(n) LB_Yi bound before exact DTW in TW-Sim-Search's
   // post-processing (answers unchanged, DTW cells drop). Off by default
@@ -107,9 +119,12 @@ class Engine {
   }
 
   // Runs the selected method. kStFilter requires
-  // options.build_st_filter == true.
+  // options.build_st_filter == true. `scratch` (optional) provides
+  // reusable DTW buffers — the concurrent executor passes one per worker
+  // so repeated queries stop allocating; answers are unchanged.
   SearchResult SearchWith(MethodKind kind, const Sequence& query,
-                          double epsilon, Trace* trace = nullptr) const;
+                          double epsilon, Trace* trace = nullptr,
+                          DtwScratch* scratch = nullptr) const;
 
   // Exact k-nearest-neighbor search under D_tw via the feature index
   // (lower-bound-guided filter and refine; see core/tw_knn_search.h).
@@ -156,6 +171,9 @@ class Engine {
   void RebuildSubsequenceIndex();
 
   const SearchMethod& method(MethodKind kind) const;
+  // The TW-Sim-Search instance (never null); the concurrent executor's
+  // intra-query parallel post-filter builds on its FilterAndFetch().
+  const TwSimSearch& tw_sim_search() const { return *tw_sim_search_; }
   bool has_st_filter() const { return st_filter_ != nullptr; }
 
   const Dataset& dataset() const { return dataset_; }
@@ -193,9 +211,7 @@ class Engine {
 
   void BuildMethods();
   void RegisterMetrics();
-  void RecordQueryMetrics(MethodKind kind, const SearchResult& result,
-                          uint64_t pool_hits_before,
-                          uint64_t pool_misses_before) const;
+  void RecordQueryMetrics(MethodKind kind, const SearchResult& result) const;
 
   EngineOptions options_;
   Dataset dataset_;

@@ -5,9 +5,13 @@
 namespace warpindex {
 
 SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
-                                Trace* trace) const {
+                                Trace* trace, DtwScratch* scratch) const {
   WallTimer timer;
   SearchResult result;
+  DtwScratch local_scratch;
+  if (scratch == nullptr) {
+    scratch = &local_scratch;  // reused across sequences within the scan
+  }
   const Envelope query_env = ComputeEnvelope(query);
   const DtwCombiner combiner = dtw_.options().combiner;
   // One sequential pass; lower-bound and exact-DTW time are carved out of
@@ -29,7 +33,8 @@ SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
           }
           ++result.num_candidates;
           per_item.Reset();
-          const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+          const DtwResult d =
+              dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
           dtw_ms += per_item.ElapsedMillis();
           result.cost.dtw_cells += d.cells;
           if (d.distance <= epsilon) {

@@ -25,7 +25,7 @@ class LbScan : public SearchMethod {
 
  protected:
   SearchResult SearchImpl(const Sequence& query, double epsilon,
-                          Trace* trace) const override;
+                          Trace* trace, DtwScratch* scratch) const override;
 
  private:
   const SequenceStore* store_;

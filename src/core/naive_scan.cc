@@ -5,9 +5,14 @@
 namespace warpindex {
 
 SearchResult NaiveScan::SearchImpl(const Sequence& query, double epsilon,
-                                   Trace* trace) const {
+                                   Trace* trace,
+                                   DtwScratch* scratch) const {
   WallTimer timer;
   SearchResult result;
+  DtwScratch local_scratch;
+  if (scratch == nullptr) {
+    scratch = &local_scratch;  // reused across sequences within the scan
+  }
   // One sequential pass; exact-DTW time is carved out of the scan so the
   // stage breakdown partitions the query: storage_scan holds the
   // deserialize/iterate residue, dtw_postfilter the DP work.
@@ -18,7 +23,8 @@ SearchResult NaiveScan::SearchImpl(const Sequence& query, double epsilon,
     store_->ScanAll(
         [&](SequenceId id, const Sequence& s) {
           WallTimer per_item;
-          const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+          const DtwResult d =
+              dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
           dtw_ms += per_item.ElapsedMillis();
           result.cost.dtw_cells += d.cells;
           if (d.distance <= epsilon) {

@@ -24,7 +24,7 @@ class NaiveScan : public SearchMethod {
 
  protected:
   SearchResult SearchImpl(const Sequence& query, double epsilon,
-                          Trace* trace) const override;
+                          Trace* trace, DtwScratch* scratch) const override;
 
  private:
   const SequenceStore* store_;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "dtw/dtw.h"
 #include "obs/stage_timings.h"
 #include "obs/trace.h"
 #include "sequence/sequence.h"
@@ -29,6 +30,12 @@ struct SearchCost {
   uint64_t lb_evals = 0;
   // Index nodes visited (R-tree nodes or suffix-tree nodes).
   uint64_t index_nodes = 0;
+  // Index buffer-pool hits/misses attributable to THIS query (TW-Sim-
+  // Search with a pool only). Counted per query rather than read off the
+  // shared pool's cumulative counters so concurrent queries never steal
+  // each other's deltas.
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
   // Measured wall-clock time of the query on the actual machine.
   double wall_ms = 0.0;
   // Where wall_ms went, stage by stage (rtree_search, candidate_fetch,
@@ -42,6 +49,8 @@ struct SearchCost {
     dtw_cells += other.dtw_cells;
     lb_evals += other.lb_evals;
     index_nodes += other.index_nodes;
+    pool_hits += other.pool_hits;
+    pool_misses += other.pool_misses;
     wall_ms += other.wall_ms;
     stages.Merge(other.stages);
   }
@@ -58,6 +67,11 @@ struct SearchResult {
 };
 
 // Interface over the four search strategies.
+//
+// Thread-safety: Search() is const and safe to call concurrently from
+// any number of threads — implementations keep all per-query state on
+// the stack (or in the caller-supplied trace/scratch, which must not be
+// shared across threads). See docs/CONCURRENCY.md.
 class SearchMethod {
  public:
   virtual ~SearchMethod() = default;
@@ -67,14 +81,20 @@ class SearchMethod {
   // All data sequences within `epsilon` of `query` under D_tw, plus cost
   // accounting. Requires a non-empty query and epsilon >= 0. When a
   // trace is attached, each stage of the query is recorded as a span.
+  // `scratch` (optional) supplies reusable DTW rolling-array buffers —
+  // the executor passes each worker's scratch so repeated queries stop
+  // allocating; answers are identical either way. Both out-params are
+  // single-threaded objects owned by the caller.
   SearchResult Search(const Sequence& query, double epsilon,
-                      Trace* trace = nullptr) const {
-    return SearchImpl(query, epsilon, trace);
+                      Trace* trace = nullptr,
+                      DtwScratch* scratch = nullptr) const {
+    return SearchImpl(query, epsilon, trace, scratch);
   }
 
  protected:
   virtual SearchResult SearchImpl(const Sequence& query, double epsilon,
-                                  Trace* trace) const = 0;
+                                  Trace* trace,
+                                  DtwScratch* scratch) const = 0;
 };
 
 }  // namespace warpindex

@@ -7,9 +7,14 @@
 namespace warpindex {
 
 SearchResult StFilterSearch::SearchImpl(const Sequence& query,
-                                        double epsilon, Trace* trace) const {
+                                        double epsilon, Trace* trace,
+                                        DtwScratch* scratch) const {
   WallTimer timer;
   SearchResult result;
+  DtwScratch local_scratch;
+  if (scratch == nullptr) {
+    scratch = &local_scratch;  // reused across candidates within the query
+  }
 
   std::vector<SequenceId> candidates;
   {
@@ -41,7 +46,8 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
   {
     StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
-      const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+      const DtwResult d =
+          dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
       result.cost.dtw_cells += d.cells;
       if (d.distance <= epsilon) {
         result.matches.push_back(s.id());

@@ -22,7 +22,7 @@ class StFilterSearch : public SearchMethod {
 
  protected:
   SearchResult SearchImpl(const Sequence& query, double epsilon,
-                          Trace* trace) const override;
+                          Trace* trace, DtwScratch* scratch) const override;
 
  private:
   const StFilter* filter_;

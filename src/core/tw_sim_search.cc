@@ -8,11 +8,10 @@
 
 namespace warpindex {
 
-SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
-                                     Trace* trace) const {
-  WallTimer timer;
-  SearchResult result;
-
+std::vector<Sequence> TwSimSearch::FilterAndFetch(const Sequence& query,
+                                                  double epsilon,
+                                                  SearchResult* result,
+                                                  Trace* trace) const {
   // Step-1: feature extraction.
   const FeatureVector query_feature = ExtractFeature(query);
 
@@ -24,29 +23,48 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
   }
   std::vector<SequenceId> candidates;
   {
-    StageTimer stage(&result.cost.stages, trace, kStageRtreeSearch);
+    StageTimer stage(&result->cost.stages, trace, kStageRtreeSearch);
     candidates = index_->RangeQuery(query_feature, epsilon, &rstats, trace);
-    result.cost.index_nodes = rstats.nodes_accessed;
+    result->cost.index_nodes = rstats.nodes_accessed;
     if (index_pool_ != nullptr) {
       // Only pool misses reach the disk (each R-tree node is one page).
       for (const NodeId id : accessed) {
-        index_pool_->Access(id, &result.cost.io, trace);
+        if (index_pool_->Access(id, &result->cost.io, trace)) {
+          ++result->cost.pool_hits;
+        } else {
+          ++result->cost.pool_misses;
+        }
       }
     } else {
-      result.cost.io.RecordRandomRead(rstats.nodes_accessed);
+      result->cost.io.RecordRandomRead(rstats.nodes_accessed);
     }
   }
-  result.num_candidates = candidates.size();
+  result->num_candidates = candidates.size();
 
   // Step-5: read the candidate sequences from the store.
   std::vector<Sequence> fetched;
   {
-    StageTimer stage(&result.cost.stages, trace, kStageCandidateFetch);
+    StageTimer stage(&result->cost.stages, trace, kStageCandidateFetch);
     fetched.reserve(candidates.size());
     for (const SequenceId id : candidates) {
-      fetched.push_back(store_->Fetch(id, &result.cost.io, trace));
+      fetched.push_back(store_->Fetch(id, &result->cost.io, trace));
     }
   }
+  return fetched;
+}
+
+SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
+                                     Trace* trace,
+                                     DtwScratch* scratch) const {
+  WallTimer timer;
+  SearchResult result;
+  DtwScratch local_scratch;
+  if (scratch == nullptr) {
+    scratch = &local_scratch;  // reused across candidates within the query
+  }
+
+  std::vector<Sequence> fetched =
+      FilterAndFetch(query, epsilon, &result, trace);
 
   // Optional LB_Yi cascade: discard candidates the O(n) bound already
   // rules out (LB_Yi <= D_tw, so answers are unchanged).
@@ -74,7 +92,8 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
   {
     StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
-      const DtwResult d = dtw_.DistanceWithThreshold(s, query, epsilon);
+      const DtwResult d =
+          dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
       result.cost.dtw_cells += d.cells;
       if (d.distance <= epsilon) {
         result.matches.push_back(s.id());

@@ -25,8 +25,11 @@ class TwSimSearch : public SearchMethod {
  public:
   // `index` and `store` must outlive this object. `index_pool` (optional,
   // borrowed) caches index pages across queries: hot pages (the root and
-  // upper levels) stop paying random reads. The pool makes Search
-  // stateful — single-threaded use only.
+  // upper levels) stop paying random reads. The pool is itself
+  // thread-safe (lock-striped shards, see storage/buffer_pool.h), so
+  // Search stays safe to call from many threads even with a pool —
+  // per-query hit/miss attribution lands in SearchCost, not on shared
+  // counters.
   //
   // `lb_cascade` inserts the O(n) LB_Yi bound between the feature filter
   // and the exact DTW in Step-6 — D_tw-lb <= LB_Yi <= D_tw, so a
@@ -34,22 +37,33 @@ class TwSimSearch : public SearchMethod {
   // became standard practice, e.g. in the UCR suite.) Answers are
   // unchanged; only dtw_cells drop.
   TwSimSearch(const FeatureIndex* index, const SequenceStore* store,
-              DtwOptions dtw_options, BufferPool* index_pool = nullptr,
+              DtwOptions dtw_options,
+              const BufferPool* index_pool = nullptr,
               bool lb_cascade = false)
       : index_(index), store_(store), dtw_(dtw_options),
         index_pool_(index_pool), lb_cascade_(lb_cascade) {}
 
   const char* name() const override { return "TW-Sim-Search"; }
 
+  // Algorithm 1 Steps 1-5 on their own: feature extraction, index range
+  // query, and candidate fetch, with I/O and node costs accounted into
+  // `result` (stages rtree_search + candidate_fetch). Returns the fetched
+  // candidate sequences in index-return order. The concurrent executor
+  // uses this to run the remaining post-filter step in parallel chunks;
+  // SearchImpl composes it with PostFilter for the sequential path.
+  std::vector<Sequence> FilterAndFetch(const Sequence& query,
+                                       double epsilon, SearchResult* result,
+                                       Trace* trace) const;
+
  protected:
   SearchResult SearchImpl(const Sequence& query, double epsilon,
-                          Trace* trace) const override;
+                          Trace* trace, DtwScratch* scratch) const override;
 
  private:
   const FeatureIndex* index_;
   const SequenceStore* store_;
   Dtw dtw_;
-  BufferPool* index_pool_;
+  const BufferPool* index_pool_;
   bool lb_cascade_;
 };
 

@@ -26,7 +26,8 @@ inline size_t EffectiveBand(const DtwOptions& options, size_t n, size_t m) {
 }  // namespace
 
 DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
-                              double threshold) const {
+                              double threshold,
+                              DtwScratch* scratch) const {
   // D_tw is symmetric; keep the shorter sequence on the columns to bound
   // rolling-array memory by min(|S|, |Q|).
   const Sequence& s = s_in.size() >= q_in.size() ? s_in : q_in;
@@ -50,8 +51,14 @@ DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
   const double internal_threshold =
       options_.take_sqrt ? threshold * threshold : threshold;
 
-  std::vector<double> prev(m, kInfiniteDistance);
-  std::vector<double> curr(m, kInfiniteDistance);
+  // With a scratch, assign() reuses the retained capacity; the local
+  // vectors stay empty and cost nothing.
+  std::vector<double> local_prev;
+  std::vector<double> local_curr;
+  std::vector<double>& prev = scratch != nullptr ? scratch->prev_ : local_prev;
+  std::vector<double>& curr = scratch != nullptr ? scratch->curr_ : local_curr;
+  prev.assign(m, kInfiniteDistance);
+  curr.assign(m, kInfiniteDistance);
 
   for (size_t i = 0; i < n; ++i) {
     const size_t j_lo = i >= band ? i - band : 0;
@@ -101,14 +108,16 @@ DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
   return result;
 }
 
-DtwResult Dtw::Distance(const Sequence& s, const Sequence& q) const {
-  return ComputeRolling(s, q, kInfiniteDistance);
+DtwResult Dtw::Distance(const Sequence& s, const Sequence& q,
+                        DtwScratch* scratch) const {
+  return ComputeRolling(s, q, kInfiniteDistance, scratch);
 }
 
 DtwResult Dtw::DistanceWithThreshold(const Sequence& s, const Sequence& q,
-                                     double epsilon) const {
+                                     double epsilon,
+                                     DtwScratch* scratch) const {
   assert(epsilon >= 0.0);
-  return ComputeRolling(s, q, epsilon);
+  return ComputeRolling(s, q, epsilon, scratch);
 }
 
 DtwPathResult Dtw::DistanceWithPath(const Sequence& s,

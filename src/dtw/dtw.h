@@ -17,8 +17,10 @@
 #ifndef WARPINDEX_DTW_DTW_H_
 #define WARPINDEX_DTW_DTW_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "dtw/base_distance.h"
 #include "dtw/warping_path.h"
@@ -46,6 +48,30 @@ struct DtwPathResult {
   WarpingPath path;
 };
 
+// Reusable rolling-array buffers for Dtw's distance evaluations. A fresh
+// pair of DP rows per evaluation is pure heap churn when a query
+// post-filters hundreds of candidates; passing one DtwScratch through the
+// loop (or keeping one per executor worker, reused across queries) makes
+// every evaluation after the first allocation-free. Results are
+// bit-identical with and without a scratch.
+//
+// Thread-safety: a DtwScratch is mutable state — use one per thread.
+class DtwScratch {
+ public:
+  DtwScratch() = default;
+
+  DtwScratch(const DtwScratch&) = delete;
+  DtwScratch& operator=(const DtwScratch&) = delete;
+
+  // Largest row capacity retained so far (for tests/introspection).
+  size_t capacity() const { return prev_.capacity(); }
+
+ private:
+  friend class Dtw;
+  std::vector<double> prev_;
+  std::vector<double> curr_;
+};
+
 class Dtw {
  public:
   explicit Dtw(DtwOptions options = DtwOptions::Linf())
@@ -53,14 +79,17 @@ class Dtw {
 
   const DtwOptions& options() const { return options_; }
 
-  // Exact D_tw(S, Q). Rolling-array DP, O(min(|S|,|Q|)) memory.
-  DtwResult Distance(const Sequence& s, const Sequence& q) const;
+  // Exact D_tw(S, Q). Rolling-array DP, O(min(|S|,|Q|)) memory. When
+  // `scratch` is non-null its buffers are reused instead of allocating.
+  DtwResult Distance(const Sequence& s, const Sequence& q,
+                     DtwScratch* scratch = nullptr) const;
 
   // Thresholded decision procedure: returns the exact distance when
   // D_tw(S, Q) <= epsilon, and kInfiniteDistance otherwise (possibly
   // abandoning early). Never returns a finite value > epsilon.
   DtwResult DistanceWithThreshold(const Sequence& s, const Sequence& q,
-                                  double epsilon) const;
+                                  double epsilon,
+                                  DtwScratch* scratch = nullptr) const;
 
   // Convenience: D_tw(S, Q) <= epsilon?
   bool WithinTolerance(const Sequence& s, const Sequence& q,
@@ -73,7 +102,7 @@ class Dtw {
 
  private:
   DtwResult ComputeRolling(const Sequence& s, const Sequence& q,
-                           double threshold) const;
+                           double threshold, DtwScratch* scratch) const;
 
   DtwOptions options_;
 };

@@ -1,0 +1,274 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace warpindex {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Decrements the in-flight gauge on every exit path, including a query
+// that throws through the future.
+class InflightGuard {
+ public:
+  explicit InflightGuard(Gauge* gauge) : gauge_(gauge) {}
+  ~InflightGuard() { gauge_->Decrement(); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  Gauge* gauge_;
+};
+
+size_t DefaultThreads(size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const Engine* engine,
+                             QueryExecutorOptions options)
+    : engine_(engine),
+      options_(options),
+      pool_(DefaultThreads(options.num_threads)) {
+  worker_scratch_.reserve(pool_.num_threads());
+  for (size_t i = 0; i < pool_.num_threads(); ++i) {
+    worker_scratch_.push_back(std::make_unique<DtwScratch>());
+  }
+  MetricsRegistry& metrics = engine_->metrics();
+  queries_total_ = metrics.GetCounter(
+      "warpindex_exec_queries_total",
+      "queries executed by the concurrent executor");
+  batches_total_ = metrics.GetCounter(
+      "warpindex_exec_batches_total", "SubmitBatch calls");
+  inflight_ = metrics.GetGauge(
+      "warpindex_exec_inflight_queries",
+      "queries submitted to the executor but not yet finished");
+  queue_wait_ms_ = metrics.GetHistogram(
+      "warpindex_exec_queue_wait_ms",
+      ExponentialBoundaries(0.001, 2.0, 24),
+      "submit-to-start wait in the executor's work queue (ms)");
+  batch_ms_ = metrics.GetHistogram(
+      "warpindex_exec_batch_ms", ExponentialBoundaries(0.1, 2.0, 24),
+      "wall time per SubmitBatch call (ms)");
+}
+
+DtwScratch* QueryExecutor::CurrentWorkerScratch() {
+  // Only ever called from this pool's own tasks, so the thread-local
+  // worker index addresses worker_scratch_ of this executor.
+  const int worker = ThreadPool::current_worker_index();
+  if (worker >= 0 &&
+      static_cast<size_t>(worker) < worker_scratch_.size()) {
+    return worker_scratch_[static_cast<size_t>(worker)].get();
+  }
+  return nullptr;
+}
+
+SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
+                                     double epsilon, Trace* trace) {
+  queries_total_->Increment();
+  return engine_->SearchWith(kind, query, epsilon, trace,
+                             CurrentWorkerScratch());
+}
+
+std::future<SearchResult> QueryExecutor::Submit(MethodKind kind,
+                                                Sequence query,
+                                                double epsilon,
+                                                Trace* trace) {
+  inflight_->Increment();
+  const auto submitted = std::chrono::steady_clock::now();
+  try {
+    return pool_.Submit(
+        [this, kind, q = std::move(query), epsilon, trace, submitted]() {
+          InflightGuard guard(inflight_);
+          queue_wait_ms_->Observe(MillisSince(submitted));
+          return RunQuery(kind, q, epsilon, trace);
+        });
+  } catch (...) {
+    inflight_->Decrement();  // pool rejected the task (shut down)
+    throw;
+  }
+}
+
+BatchResult QueryExecutor::SubmitBatch(
+    const std::vector<QueryRequest>& requests,
+    const BatchOptions& batch_options) {
+  BatchResult batch;
+  batch.results.resize(requests.size());
+  if (batch_options.collect_traces) {
+    batch.traces.resize(requests.size());
+  }
+  batches_total_->Increment();
+
+  WallTimer timer;
+  std::vector<std::future<void>> futures;
+  futures.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    inflight_->Increment();
+    const auto submitted = std::chrono::steady_clock::now();
+    futures.push_back(pool_.Submit([this, &requests, &batch, i,
+                                    collect = batch_options.collect_traces,
+                                    submitted]() {
+      InflightGuard guard(inflight_);
+      queue_wait_ms_->Observe(MillisSince(submitted));
+      const QueryRequest& request = requests[i];
+      // Slot i is this task's alone — disjoint writes need no lock.
+      Trace* trace = collect ? &batch.traces[i] : nullptr;
+      batch.results[i] =
+          RunQuery(request.method, request.query, request.epsilon, trace);
+    }));
+  }
+  // Wait for every task before surfacing any exception: the tasks write
+  // into `batch`, which must stay alive until the last one finishes.
+  for (std::future<void>& f : futures) {
+    f.wait();
+  }
+  for (std::future<void>& f : futures) {
+    f.get();  // rethrows the first failed query, if any
+  }
+
+  batch.wall_ms = timer.ElapsedMillis();
+  batch_ms_->Observe(batch.wall_ms);
+  batch.queries_per_sec =
+      batch.wall_ms > 0.0
+          ? static_cast<double>(requests.size()) / (batch.wall_ms / 1000.0)
+          : 0.0;
+  return batch;
+}
+
+SearchResult QueryExecutor::SearchParallel(const Sequence& query,
+                                           double epsilon, Trace* trace) {
+  WallTimer timer;
+  SearchResult result;
+  queries_total_->Increment();
+  inflight_->Increment();
+  InflightGuard guard(inflight_);
+
+  {
+    ScopedSpan span(trace, "query");
+    TraceCounter(trace, "epsilon", epsilon);
+    std::vector<Sequence> fetched =
+        engine_->tw_sim_search().FilterAndFetch(query, epsilon, &result,
+                                                trace);
+
+    const size_t chunk_size = std::max<size_t>(1, options_.postfilter_chunk);
+    const size_t num_chunks =
+        (fetched.size() + chunk_size - 1) / chunk_size;
+
+    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    if (num_chunks <= 1) {
+      // Not worth fanning out; identical to the sequential Step-4..7.
+      DtwScratch scratch;
+      const Dtw dtw(engine_->options().dtw);
+      for (const Sequence& s : fetched) {
+        const DtwResult d =
+            dtw.DistanceWithThreshold(s, query, epsilon, &scratch);
+        result.cost.dtw_cells += d.cells;
+        if (d.distance <= epsilon) {
+          result.matches.push_back(s.id());
+        }
+      }
+    } else {
+      // Shared chunk cursor. The context is a shared_ptr so a straggler
+      // helper task that runs after this call returned (every chunk
+      // already claimed) touches only heap state, never our stack.
+      struct Context {
+        const Sequence* query = nullptr;
+        double epsilon = 0.0;
+        Dtw dtw;
+        std::vector<Sequence> fetched;
+        size_t chunk_size = 0;
+        size_t num_chunks = 0;
+        // Indexed by chunk: outputs stay in candidate order.
+        std::vector<std::vector<SequenceId>> chunk_matches;
+        std::vector<uint64_t> chunk_cells;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        std::mutex mu;
+        std::condition_variable all_done;
+      };
+      auto ctx = std::make_shared<Context>();
+      ctx->query = &query;
+      ctx->epsilon = epsilon;
+      ctx->dtw = Dtw(engine_->options().dtw);
+      ctx->fetched = std::move(fetched);
+      ctx->chunk_size = chunk_size;
+      ctx->num_chunks = num_chunks;
+      ctx->chunk_matches.resize(num_chunks);
+      ctx->chunk_cells.resize(num_chunks, 0);
+
+      auto work = [ctx]() {
+        DtwScratch scratch;  // one per participating thread
+        for (;;) {
+          const size_t c = ctx->next.fetch_add(1, std::memory_order_relaxed);
+          if (c >= ctx->num_chunks) {
+            return;
+          }
+          const size_t begin = c * ctx->chunk_size;
+          const size_t end =
+              std::min(ctx->fetched.size(), begin + ctx->chunk_size);
+          std::vector<SequenceId>& matches = ctx->chunk_matches[c];
+          uint64_t cells = 0;
+          for (size_t i = begin; i < end; ++i) {
+            const DtwResult d = ctx->dtw.DistanceWithThreshold(
+                ctx->fetched[i], *ctx->query, ctx->epsilon, &scratch);
+            cells += d.cells;
+            if (d.distance <= ctx->epsilon) {
+              matches.push_back(ctx->fetched[i].id());
+            }
+          }
+          ctx->chunk_cells[c] = cells;
+          if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+              ctx->num_chunks) {
+            std::lock_guard<std::mutex> lock(ctx->mu);
+            ctx->all_done.notify_all();
+          }
+        }
+      };
+
+      // Idle workers help; the calling thread always participates, so
+      // completion never depends on the pool having free capacity (no
+      // deadlock when called from inside a pool task).
+      const size_t helpers = std::min(pool_.num_threads(), num_chunks - 1);
+      for (size_t i = 0; i < helpers; ++i) {
+        pool_.TrySubmitDetached(work);
+      }
+      work();
+      {
+        std::unique_lock<std::mutex> lock(ctx->mu);
+        ctx->all_done.wait(lock, [&ctx]() {
+          return ctx->done.load(std::memory_order_acquire) ==
+                 ctx->num_chunks;
+        });
+      }
+
+      for (size_t c = 0; c < num_chunks; ++c) {
+        result.cost.dtw_cells += ctx->chunk_cells[c];
+        result.matches.insert(result.matches.end(),
+                              ctx->chunk_matches[c].begin(),
+                              ctx->chunk_matches[c].end());
+      }
+    }
+    TraceCounter(trace, "dtw_cells",
+                 static_cast<double>(result.cost.dtw_cells));
+  }
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace warpindex

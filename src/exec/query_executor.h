@@ -1,0 +1,134 @@
+// Concurrent query execution over an Engine: the server core's serving
+// path.
+//
+// The executor owns a fixed ThreadPool and runs range queries of any
+// MethodKind over it, two ways:
+//
+//   * Inter-query parallelism — Submit() enqueues one query and returns a
+//     future; SubmitBatch() runs a whole workload and blocks until every
+//     result is in, reporting batch wall time and throughput. Queries are
+//     embarrassingly parallel (the Engine's read path is const and
+//     thread-safe; see core/engine.h), so N workers give ~N× throughput
+//     until memory bandwidth saturates.
+//
+//   * Intra-query parallelism — SearchParallel() runs TW-Sim-Search with
+//     its post-filter stage (Algorithm 1 Steps 4..7, the DTW-heavy part)
+//     chunked across the pool: the candidate list is split into fixed
+//     chunks claimed off an atomic cursor by the calling thread plus any
+//     idle workers. Matches come back in candidate order, so answers are
+//     byte-identical to the sequential path.
+//
+// Each worker keeps a DtwScratch reused across every query it executes,
+// so steady-state serving performs no per-query DP-row allocations.
+//
+// Observability: the executor registers into the engine's metrics
+// registry — a queue-wait histogram (submit → execution start), an
+// in-flight gauge, query/batch counters, and a batch-latency histogram.
+// With BatchOptions::collect_traces each query's span tree is recorded by
+// its worker into a per-query Trace (traces are single-threaded objects;
+// the batch result carries one per query, in request order — export them
+// with Engine::ExportTrace tagged by query index).
+//
+// Thread-safety: Submit/SubmitBatch/SearchParallel may be called from
+// multiple threads concurrently. Do not mutate the engine (Insert/
+// Remove/Rebuild*) while queries are in flight.
+
+#ifndef WARPINDEX_EXEC_QUERY_EXECUTOR_H_
+#define WARPINDEX_EXEC_QUERY_EXECUTOR_H_
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/thread_pool.h"
+
+namespace warpindex {
+
+struct QueryExecutorOptions {
+  // Worker count; 0 picks std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  // Candidates per chunk for SearchParallel's post-filter fan-out.
+  size_t postfilter_chunk = 16;
+};
+
+// One range query of a batch.
+struct QueryRequest {
+  MethodKind method = MethodKind::kTwSimSearch;
+  Sequence query;
+  double epsilon = 0.0;
+};
+
+struct BatchOptions {
+  // Record a Trace per query (filled by the executing worker).
+  bool collect_traces = false;
+};
+
+struct BatchResult {
+  // One entry per request, in request order.
+  std::vector<SearchResult> results;
+  // One trace per request (request order); empty unless collect_traces.
+  std::vector<Trace> traces;
+  // Wall time of the whole batch and the resulting throughput.
+  double wall_ms = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+class QueryExecutor {
+ public:
+  // `engine` is borrowed and must outlive the executor.
+  explicit QueryExecutor(const Engine* engine,
+                         QueryExecutorOptions options = {});
+
+  // Drains in-flight work (ThreadPool shutdown).
+  ~QueryExecutor() = default;
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  // Enqueues one query; the future carries the result (or the exception
+  // the query threw). `trace` (optional, caller-owned, must outlive the
+  // future's completion) is filled by the executing worker.
+  std::future<SearchResult> Submit(MethodKind kind, Sequence query,
+                                   double epsilon, Trace* trace = nullptr);
+
+  // Runs `requests` over the pool and blocks until all results are in.
+  BatchResult SubmitBatch(const std::vector<QueryRequest>& requests,
+                          const BatchOptions& batch_options = {});
+
+  // TW-Sim-Search with the post-filter stage parallelized across the
+  // pool. Answers (matches, num_candidates, dtw_cells, I/O) are
+  // identical to engine().Search(); only wall time shrinks. Safe to call
+  // even from inside a pool task: the calling thread participates in the
+  // chunk work, so progress never depends on idle workers.
+  SearchResult SearchParallel(const Sequence& query, double epsilon,
+                              Trace* trace = nullptr);
+
+  const Engine& engine() const { return *engine_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  // Runs one query on the calling (worker) thread with its scratch.
+  SearchResult RunQuery(MethodKind kind, const Sequence& query,
+                        double epsilon, Trace* trace);
+
+  DtwScratch* CurrentWorkerScratch();
+
+  const Engine* engine_;
+  QueryExecutorOptions options_;
+  ThreadPool pool_;
+  // One scratch per worker, indexed by ThreadPool::current_worker_index().
+  std::vector<std::unique_ptr<DtwScratch>> worker_scratch_;
+
+  // Metric handles (engine's registry).
+  Counter* queries_total_ = nullptr;
+  Counter* batches_total_ = nullptr;
+  Gauge* inflight_ = nullptr;
+  Histogram* queue_wait_ms_ = nullptr;
+  Histogram* batch_ms_ = nullptr;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_EXEC_QUERY_EXECUTOR_H_

@@ -1,0 +1,93 @@
+#include "exec/thread_pool.h"
+
+#include <stdexcept>
+
+namespace warpindex {
+namespace {
+
+// Thread-local worker identity, set for the lifetime of WorkerLoop.
+thread_local int tls_worker_index = -1;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = 1;
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+int ThreadPool::current_worker_index() { return tls_worker_index; }
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      throw std::runtime_error("ThreadPool::Submit after Shutdown");
+    }
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::TrySubmitDetached(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return false;
+    }
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      // Joining is owned by the first caller; later callers may return
+      // while the drain completes (the destructor always runs last).
+      return;
+    }
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = static_cast<int>(worker_index);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown_ && drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Run outside the lock. packaged_task stores any exception in the
+    // future; detached helpers are required not to throw.
+    task();
+  }
+}
+
+}  // namespace warpindex

@@ -143,6 +143,15 @@ std::string MetricsToPrometheusText(
     std::snprintf(buf, sizeof(buf), "%" PRIu64, counter.value);
     out.append(counter.name + " " + buf + "\n");
   }
+  for (const auto& gauge : snapshot.gauges) {
+    if (!gauge.help.empty()) {
+      out.append("# HELP " + gauge.name + " " + gauge.help + "\n");
+    }
+    out.append("# TYPE " + gauge.name + " gauge\n");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, gauge.value);
+    out.append(gauge.name + " " + buf + "\n");
+  }
   for (const auto& hist : snapshot.histograms) {
     if (!hist.help.empty()) {
       out.append("# HELP " + hist.name + " " + hist.help + "\n");
@@ -182,6 +191,17 @@ std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%" PRIu64, counter.value);
     out.append(JsonEscape(counter.name) + ":" + buf);
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& gauge : snapshot.gauges) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, gauge.value);
+    out.append(JsonEscape(gauge.name) + ":" + buf);
   }
   out.append("},\"histograms\":{");
   first = true;

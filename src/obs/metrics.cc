@@ -80,6 +80,17 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
   return slot.counter.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GaugeSlot& slot = gauges_[name];
+  if (slot.gauge == nullptr) {
+    slot.help = help;
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return slot.gauge.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> boundaries,
                                          const std::string& help) {
@@ -99,6 +110,11 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   for (const auto& [name, slot] : counters_) {
     snapshot.counters.push_back(
         CounterEntry{name, slot.help, slot.counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, slot] : gauges_) {
+    snapshot.gauges.push_back(
+        GaugeEntry{name, slot.help, slot.gauge->value()});
   }
   snapshot.histograms.reserve(histograms_.size());
   for (const auto& [name, slot] : histograms_) {

@@ -9,9 +9,10 @@
 //
 // Metric handles (Counter*, Histogram*) are stable for the registry's
 // lifetime: look them up once, record through the pointer on the hot
-// path. Counters are atomic; histograms take a small per-histogram lock
-// (queries are per-engine single-threaded today, but the registry is
-// process-wide and must tolerate concurrent engines).
+// path. Counters and gauges are atomic; histograms take a small
+// per-histogram lock. The registry is fully thread-safe: the concurrent
+// query executor records from every worker, and the process-wide default
+// registry must tolerate concurrent engines besides.
 
 #ifndef WARPINDEX_OBS_METRICS_H_
 #define WARPINDEX_OBS_METRICS_H_
@@ -40,6 +41,27 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+// A value that can go up and down — e.g. the executor's in-flight query
+// count. Atomic, like Counter.
+class Gauge {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Decrement(int64_t delta = 1) {
+    value_.fetch_sub(delta, std::memory_order_relaxed);
+  }
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> value_{0};
 };
 
 // Fixed-boundary histogram over doubles. `boundaries` are the inclusive
@@ -95,6 +117,9 @@ class MetricsRegistry {
   Counter* GetCounter(const std::string& name,
                       const std::string& help = "");
 
+  // Returns the gauge named `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+
   // Returns the histogram named `name`, creating it with `boundaries` on
   // first use (later calls reuse the existing instance; their boundaries
   // are ignored).
@@ -107,6 +132,11 @@ class MetricsRegistry {
     std::string help;
     uint64_t value = 0;
   };
+  struct GaugeEntry {
+    std::string name;
+    std::string help;
+    int64_t value = 0;
+  };
   struct HistogramEntry {
     std::string name;
     std::string help;
@@ -114,6 +144,7 @@ class MetricsRegistry {
   };
   struct Snapshot {
     std::vector<CounterEntry> counters;      // name order
+    std::vector<GaugeEntry> gauges;          // name order
     std::vector<HistogramEntry> histograms;  // name order
   };
   // Consistent-enough point-in-time view for the exporters.
@@ -124,6 +155,10 @@ class MetricsRegistry {
     std::string help;
     std::unique_ptr<Counter> counter;
   };
+  struct GaugeSlot {
+    std::string help;
+    std::unique_ptr<Gauge> gauge;
+  };
   struct HistogramSlot {
     std::string help;
     std::unique_ptr<Histogram> histogram;
@@ -131,6 +166,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, CounterSlot> counters_;
+  std::map<std::string, GaugeSlot> gauges_;
   std::map<std::string, HistogramSlot> histograms_;
 };
 

@@ -11,7 +11,10 @@
 // reads, no allocation. Spans use the steady clock, so durations are
 // monotonic and immune to wall-clock adjustment.
 //
-// Traces are single-threaded, like the query path that fills them.
+// A Trace is a single-threaded object: one query fills one trace. Under
+// the concurrent executor each worker uses its own Trace per query and
+// the batch collects them afterwards (exec/query_executor.h) — traces
+// are never shared across threads while being written.
 
 #ifndef WARPINDEX_OBS_TRACE_H_
 #define WARPINDEX_OBS_TRACE_H_

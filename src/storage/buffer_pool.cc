@@ -1,35 +1,87 @@
 #include "storage/buffer_pool.h"
 
 namespace warpindex {
+namespace {
 
-bool BufferPool::Access(PageId page_id, IoStats* stats, Trace* trace) {
-  auto it = index_.find(page_id);
-  if (it != index_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
+size_t FloorPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p * 2 <= v) {
+    p *= 2;
+  }
+  return p;
+}
+
+size_t PickShardCount(size_t capacity_pages, size_t requested) {
+  if (requested == 0) {
+    requested = capacity_pages >= BufferPool::kShardingThreshold
+                    ? BufferPool::kMaxShards
+                    : 1;
+  }
+  if (requested > BufferPool::kMaxShards) {
+    requested = BufferPool::kMaxShards;
+  }
+  return FloorPowerOfTwo(requested);
+}
+
+}  // namespace
+
+BufferPool::BufferPool(size_t capacity_pages, size_t num_shards)
+    : capacity_(capacity_pages),
+      shards_(PickShardCount(capacity_pages, num_shards)) {
+  shard_mask_ = shards_.size() - 1;
+  shard_capacity_ = capacity_ / shards_.size();
+  if (capacity_ > 0 && shard_capacity_ == 0) {
+    shard_capacity_ = 1;
+  }
+}
+
+bool BufferPool::Access(PageId page_id, IoStats* stats,
+                        Trace* trace) const {
+  Shard& shard = ShardFor(page_id);
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(page_id);
+    hit = it != shard.index.end();
+    if (hit) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else if (shard_capacity_ > 0) {
+      if (shard.lru.size() >= shard_capacity_) {
+        shard.index.erase(shard.lru.back());
+        shard.lru.pop_back();
+      }
+      shard.lru.push_front(page_id);
+      shard.index[page_id] = shard.lru.begin();
+    }
+  }
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     TraceCounter(trace, "pool_hits", 1.0);
     return true;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   TraceCounter(trace, "pool_misses", 1.0);
   if (stats != nullptr) {
     stats->RecordRandomRead();
   }
-  if (capacity_ == 0) {
-    return false;
-  }
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back());
-    lru_.pop_back();
-  }
-  lru_.push_front(page_id);
-  index_[page_id] = lru_.begin();
   return false;
 }
 
-void BufferPool::Clear() {
-  lru_.clear();
-  index_.clear();
+void BufferPool::Clear() const {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t BufferPool::size() const {
+  size_t total = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
 }
 
 }  // namespace warpindex

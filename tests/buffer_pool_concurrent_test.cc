@@ -1,0 +1,113 @@
+// Concurrency stress for the sharded BufferPool. The functional LRU
+// behaviour is covered by buffer_pool_test.cc; here we hammer one pool
+// from many threads and check the invariants that must survive any
+// interleaving. Run under TSan in CI to certify the locking.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+
+namespace warpindex {
+namespace {
+
+TEST(BufferPoolConcurrentTest, AutoShardingKicksInForLargePools) {
+  const BufferPool small(8);
+  EXPECT_EQ(small.num_shards(), 1u);  // exact LRU for small pools
+  const BufferPool large(256);
+  EXPECT_GT(large.num_shards(), 1u);
+  EXPECT_LE(large.num_shards(), BufferPool::kMaxShards);
+  const BufferPool forced(256, 4);
+  EXPECT_EQ(forced.num_shards(), 4u);
+}
+
+TEST(BufferPoolConcurrentTest, CountersConserveUnderConcurrentAccess) {
+  const BufferPool pool(128);
+  constexpr int kThreads = 8;
+  constexpr int kAccessesPerThread = 20000;
+  constexpr PageId kPageSpace = 512;  // larger than capacity: real evictions
+
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> local_hits(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &local_hits, t]() {
+      IoStats stats;
+      uint64_t hits = 0;
+      // Skewed stride per thread: plenty of overlap across threads, so
+      // shards see concurrent hits, misses, and evictions.
+      for (int i = 0; i < kAccessesPerThread; ++i) {
+        const PageId page =
+            static_cast<PageId>((i * (t + 1) + t) % kPageSpace);
+        if (pool.Access(page, &stats)) {
+          ++hits;
+        }
+      }
+      local_hits[static_cast<size_t>(t)] = hits;
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  uint64_t expected_hits = 0;
+  for (uint64_t h : local_hits) {
+    expected_hits += h;
+  }
+  // Every access is exactly one hit or one miss, across all threads.
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<uint64_t>(kThreads) * kAccessesPerThread);
+  EXPECT_EQ(pool.hits(), expected_hits);
+  // No shard may overflow its share of the frame budget.
+  EXPECT_LE(pool.size(), pool.capacity());
+}
+
+TEST(BufferPoolConcurrentTest, ClearRacesWithAccess) {
+  const BufferPool pool(128);
+  std::atomic<bool> stop{false};
+  std::thread clearer([&pool, &stop]() {
+    while (!stop.load()) {
+      pool.Clear();
+    }
+  });
+  std::vector<std::thread> accessors;
+  for (int t = 0; t < 4; ++t) {
+    accessors.emplace_back([&pool, t]() {
+      IoStats stats;
+      for (int i = 0; i < 50000; ++i) {
+        pool.Access(static_cast<PageId>((i + t * 13) % 300), &stats);
+      }
+    });
+  }
+  for (std::thread& t : accessors) {
+    t.join();
+  }
+  stop.store(true);
+  clearer.join();
+  EXPECT_EQ(pool.hits() + pool.misses(), 4u * 50000u);
+  EXPECT_LE(pool.size(), pool.capacity());
+}
+
+TEST(BufferPoolConcurrentTest, ZeroCapacityPoolNeverCaches) {
+  const BufferPool pool(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool]() {
+      IoStats stats;
+      for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(pool.Access(static_cast<PageId>(i % 10), &stats));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.misses(), 4u * 1000u);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -190,5 +190,36 @@ TEST(DtwTest, CellCountMatchesMatrixSizeUnconstrained) {
   EXPECT_EQ(dtw.Distance(a, b).cells, 6u);
 }
 
+// One DtwScratch reused across computations of different shapes must give
+// bit-identical answers to scratch-free calls — the concurrent executor
+// reuses a worker's scratch across every query it serves.
+TEST(DtwTest, ReusedScratchIsBitIdenticalToScratchFree) {
+  const Dtw dtw;
+  const Sequence seqs[] = {
+      Sequence({1.0, 5.0, 2.0, 8.0, 3.0, 7.0}),
+      Sequence({2.0, 4.0}),
+      Sequence({9.0, 1.0, 3.0, 6.0, 6.0, 2.0, 5.0, 0.5}),
+      Sequence({4.0, 4.0, 4.0}),
+  };
+  DtwScratch scratch;
+  for (const Sequence& a : seqs) {
+    for (const Sequence& b : seqs) {
+      const DtwResult plain = dtw.Distance(a, b);
+      const DtwResult reused = dtw.Distance(a, b, &scratch);
+      EXPECT_EQ(plain.distance, reused.distance);
+      EXPECT_EQ(plain.cells, reused.cells);
+      // Early-abandon path too: the threshold prunes rows, and the
+      // scratch (sized for an earlier, longer pair) must not leak stale
+      // DP values into the live prefix.
+      const DtwResult plain_thr = dtw.DistanceWithThreshold(a, b, 3.0);
+      const DtwResult reused_thr =
+          dtw.DistanceWithThreshold(a, b, 3.0, &scratch);
+      EXPECT_EQ(plain_thr.distance, reused_thr.distance);
+      EXPECT_EQ(plain_thr.cells, reused_thr.cells);
+    }
+  }
+  EXPECT_GT(scratch.capacity(), 0u);
+}
+
 }  // namespace
 }  // namespace warpindex

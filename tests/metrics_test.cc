@@ -81,6 +81,40 @@ TEST(MetricsRegistryTest, GlobalIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
 }
 
+TEST(GaugeTest, MovesBothWays) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Increment();
+  g.Increment();
+  g.Decrement();
+  EXPECT_EQ(g.value(), 1);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(MetricsRegistryTest, GaugeHandlesAreStable) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("warp_inflight", "in-flight queries");
+  EXPECT_EQ(registry.GetGauge("warp_inflight"), g);
+  g->Increment();
+  const MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "warp_inflight");
+  EXPECT_EQ(snapshot.gauges[0].help, "in-flight queries");
+  EXPECT_EQ(snapshot.gauges[0].value, 1);
+}
+
+TEST(MetricsExportTest, GaugeInBothExporters) {
+  MetricsRegistry registry;
+  registry.GetGauge("warp_inflight", "in-flight queries")->Set(3);
+  const MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+  const std::string text = MetricsToPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE warp_inflight gauge"), std::string::npos);
+  EXPECT_NE(text.find("warp_inflight 3"), std::string::npos);
+  const std::string json = MetricsToJson(snapshot);
+  EXPECT_NE(json.find("\"warp_inflight\":3"), std::string::npos);
+}
+
 TEST(MetricsExportTest, PrometheusTextFormat) {
   MetricsRegistry registry;
   registry.GetCounter("warp_queries_total", "queries served")

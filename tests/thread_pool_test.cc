@@ -1,0 +1,116 @@
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsStableAndInRange) {
+  ThreadPool pool(3);
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);  // not a pool thread
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(
+        pool.Submit([]() { return ThreadPool::current_worker_index(); }));
+  }
+  std::set<int> seen;
+  for (auto& f : futures) {
+    const int index = f.get();
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 3);
+    seen.insert(index);
+  }
+  EXPECT_FALSE(seen.empty());
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
+  // One worker, many slow tasks: most are still queued when Shutdown is
+  // called, and the drain policy must run every one of them.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([&executed]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      executed.fetch_add(1);
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(executed.load(), 16);
+  for (auto& f : futures) {
+    f.get();  // all futures are satisfied, none abandoned
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([]() { return 1; }), std::runtime_error);
+  EXPECT_FALSE(pool.TrySubmitDetached([]() {}));
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // no deadlock, no double-join
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return 7; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("query failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task is still alive.
+  EXPECT_EQ(pool.Submit([]() { return 8; }).get(), 8);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 8; ++t) {
+    submitters.emplace_back([&pool, &total]() {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 50; ++i) {
+        futures.push_back(pool.Submit([&total]() { total.fetch_add(1); }));
+      }
+      for (auto& f : futures) {
+        f.get();
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+}  // namespace
+}  // namespace warpindex
