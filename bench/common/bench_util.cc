@@ -63,7 +63,9 @@ WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
     summary.avg_pages +=
         static_cast<double>(result.cost.io.TotalPageReads());
     summary.avg_dtw_cells += static_cast<double>(result.cost.dtw_cells);
+    summary.avg_dtw_evals += static_cast<double>(result.cost.dtw_evals);
     summary.avg_stage_ms.Merge(result.cost.stages);
+    summary.total_prunes.Merge(result.cost.prunes);
   }
   const double n = static_cast<double>(queries.size());
   summary.avg_candidates /= n;
@@ -73,6 +75,7 @@ WorkloadSummary RunWorkload(const Engine& engine, MethodKind kind,
   summary.avg_elapsed_ms /= n;
   summary.avg_pages /= n;
   summary.avg_dtw_cells /= n;
+  summary.avg_dtw_evals /= n;
   summary.avg_stage_ms.Scale(1.0 / n);
   summary.candidate_ratio =
       summary.avg_candidates / static_cast<double>(engine.dataset().size());
@@ -120,10 +123,11 @@ void MetricsJsonWriter::AddRow(const std::string& method,
       buf, sizeof(buf),
       ",\"avg_candidates\":%.6f,\"candidate_ratio\":%.6f,"
       "\"avg_matches\":%.6f,\"avg_wall_ms\":%.6f,\"avg_io_ms\":%.6f,"
-      "\"avg_elapsed_ms\":%.6f,\"avg_pages\":%.6f,\"avg_dtw_cells\":%.1f",
+      "\"avg_elapsed_ms\":%.6f,\"avg_pages\":%.6f,\"avg_dtw_cells\":%.1f,"
+      "\"avg_dtw_evals\":%.3f",
       summary.avg_candidates, summary.candidate_ratio, summary.avg_matches,
       summary.avg_wall_ms, summary.avg_io_ms, summary.avg_elapsed_ms,
-      summary.avg_pages, summary.avg_dtw_cells);
+      summary.avg_pages, summary.avg_dtw_cells, summary.avg_dtw_evals);
   row += buf;
   row += ",\"stages_ms\":{";
   bool first = true;
@@ -133,6 +137,18 @@ void MetricsJsonWriter::AddRow(const std::string& method,
     }
     first = false;
     row += JsonEscape(stage) + ":" + FormatDouble(ms, 6);
+  }
+  row += "},\"prunes\":{";
+  first = true;
+  for (const auto& [stage, counts] : summary.total_prunes.entries()) {
+    if (!first) {
+      row += ",";
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), ":{\"in\":%llu,\"pruned\":%llu}",
+                  static_cast<unsigned long long>(counts.in),
+                  static_cast<unsigned long long>(counts.pruned));
+    row += JsonEscape(stage) + buf;
   }
   row += "}}";
   rows_.push_back(std::move(row));

@@ -36,9 +36,13 @@ struct WorkloadSummary {
   double avg_elapsed_ms = 0.0;  // wall * cpu_scale + io
   double avg_pages = 0.0;       // page reads per query
   double avg_dtw_cells = 0.0;   // DP cells per query
+  double avg_dtw_evals = 0.0;   // exact-DTW evaluations started per query
   // Average per-query milliseconds per stage (rtree_search,
   // candidate_fetch, dtw_postfilter, ...).
   StageTimings avg_stage_ms;
+  // Candidates-in / pruned per filtering stage, summed over the whole
+  // workload (integer counters, so totals rather than averages).
+  StageCounters total_prunes;
 };
 
 // Runs every query through `kind` and aggregates. `cpu_scale` multiplies

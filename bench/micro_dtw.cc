@@ -1,11 +1,15 @@
 // Microbenchmarks for the DTW engine: full evaluation vs thresholded
 // early-abandoning vs Sakoe-Chiba banding, across sequence lengths and
-// base distances.
+// base distances, plus the envelope lower bounds of the filter cascade
+// (ns per candidate and tightness relative to exact banded DTW, LB_Yi,
+// and the feature-level D_tw-lb).
 
 #include <benchmark/benchmark.h>
 
 #include "common/prng.h"
 #include "dtw/dtw.h"
+#include "dtw/lb_improved.h"
+#include "dtw/lb_keogh.h"
 #include "dtw/lb_yi.h"
 #include "sequence/feature.h"
 
@@ -113,6 +117,94 @@ void BM_DtwLowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DtwLowerBound);
+
+// ---- Envelope lower bounds (the cascade's lb_keogh / lb_improved
+// stages). Arg(0) is the sequence length, Arg(1) the Sakoe-Chiba radius.
+// items_processed counts candidates, so the report's items/s inverts to
+// ns per candidate — the unit the CascadePlanner's cost model estimates.
+
+void BM_ComputeBandEnvelope(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const size_t radius = static_cast<size_t>(state.range(1));
+  const Sequence q = MakeWalk(len, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeBandEnvelope(q, radius));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ComputeBandEnvelope)
+    ->Args({256, 8})
+    ->Args({256, 32})
+    ->Args({1024, 16});
+
+void BM_LbKeogh(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const int band = static_cast<int>(state.range(1));
+  DtwOptions options = DtwOptions::Linf();
+  options.band = band;
+  const Sequence q = MakeWalk(len, 1);
+  const Sequence s = MakeWalk(len, 2);
+  const BandEnvelope env = ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbKeogh(s, q, env, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LbKeogh)->Args({256, 8})->Args({256, 32})->Args({1024, 16});
+
+void BM_LbImproved(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const int band = static_cast<int>(state.range(1));
+  DtwOptions options = DtwOptions::Linf();
+  options.band = band;
+  const Sequence q = MakeWalk(len, 1);
+  const Sequence s = MakeWalk(len, 2);
+  const BandEnvelope env = ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbImproved(s, q, env, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LbImproved)->Args({256, 8})->Args({256, 32})->Args({1024, 16});
+
+// Tightness of the whole bound ladder at one banded configuration:
+// counters report mean bound / exact-DTW over a pool of walk pairs (1.0
+// would be a perfect bound), so the speed rows above can be read against
+// how much pruning power each extra nanosecond buys.
+void BM_EnvelopeBoundTightness(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  const int band = static_cast<int>(state.range(1));
+  DtwOptions options = DtwOptions::Linf();
+  options.band = band;
+  const Dtw dtw(options);
+  constexpr int kPairs = 50;
+  double feature_sum = 0.0;
+  double yi_sum = 0.0;
+  double keogh_sum = 0.0;
+  double improved_sum = 0.0;
+  for (auto _ : state) {
+    feature_sum = yi_sum = keogh_sum = improved_sum = 0.0;
+    for (int p = 0; p < kPairs; ++p) {
+      const Sequence q = MakeWalk(len, 1 + 2 * static_cast<uint64_t>(p));
+      const Sequence s = MakeWalk(len, 2 + 2 * static_cast<uint64_t>(p));
+      const BandEnvelope env =
+          ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+      const double exact = dtw.Distance(s, q).distance;
+      feature_sum +=
+          DtwLowerBoundDistance(ExtractFeature(s), ExtractFeature(q)) /
+          exact;
+      yi_sum += LbYi(s, q, options) / exact;
+      keogh_sum += LbKeogh(s, q, env, options) / exact;
+      improved_sum += LbImproved(s, q, env, options) / exact;
+    }
+    benchmark::DoNotOptimize(improved_sum);
+  }
+  state.counters["tight_feature"] = feature_sum / kPairs;
+  state.counters["tight_yi"] = yi_sum / kPairs;
+  state.counters["tight_keogh"] = keogh_sum / kPairs;
+  state.counters["tight_improved"] = improved_sum / kPairs;
+}
+BENCHMARK(BM_EnvelopeBoundTightness)->Args({256, 8})->Args({256, 64});
 
 }  // namespace
 }  // namespace warpindex

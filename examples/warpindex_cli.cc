@@ -76,12 +76,51 @@ bool ParseMethod(const std::string& name, MethodKind* kind) {
     *kind = MethodKind::kLbScan;
   } else if (name == "st") {
     *kind = MethodKind::kStFilter;
+  } else if (name == "cascade") {
+    *kind = MethodKind::kTwSimSearchCascade;
   } else {
-    std::fprintf(stderr, "unknown --method '%s' (tw | naive | lb | st)\n",
+    std::fprintf(stderr,
+                 "unknown --method '%s' (tw | naive | lb | st | cascade)\n",
                  name.c_str());
     return false;
   }
   return true;
+}
+
+bool ParsePlan(const std::string& name, PlanMode* mode) {
+  if (name == "paper") {
+    *mode = PlanMode::kPaper;
+  } else if (name == "cascade") {
+    *mode = PlanMode::kCascade;
+  } else if (name == "auto") {
+    *mode = PlanMode::kAuto;
+  } else {
+    std::fprintf(stderr, "unknown --plan '%s' (paper | cascade | auto)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Per-stage pruning summary of one or many queries (--method cascade, or
+// tw with the LB_Yi cascade); silent when no stage recorded counters.
+void PrintPruneTable(const StageCounters& prunes) {
+  if (prunes.empty()) {
+    return;
+  }
+  std::printf("\nper-stage pruning:\n");
+  std::printf("  %-22s %12s %12s %9s\n", "stage", "in", "pruned",
+              "pruned%");
+  for (const auto& [stage, counts] : prunes.entries()) {
+    const double pct =
+        counts.in > 0
+            ? 100.0 * static_cast<double>(counts.pruned) /
+                  static_cast<double>(counts.in)
+            : 0.0;
+    std::printf("  %-22s %12llu %12llu %8.1f%%\n", stage.c_str(),
+                static_cast<unsigned long long>(counts.in),
+                static_cast<unsigned long long>(counts.pruned), pct);
+  }
 }
 
 // `serve` subcommand: batch-mode serving path. Loads a database, builds
@@ -94,6 +133,7 @@ int RunServe(int argc, char** argv) {
   int64_t num_queries = 100;
   double eps = -1.0;
   std::string method = "tw";
+  std::string plan = "cascade";
   int64_t threads = 4;
   int64_t repeat = 1;
   int64_t seed = 1;
@@ -109,7 +149,9 @@ int RunServe(int argc, char** argv) {
   flags.AddInt64("num_queries", &num_queries,
                  "generated workload size when --queries is absent");
   flags.AddDouble("eps", &eps, "tolerance for every range query");
-  flags.AddString("method", &method, "tw | naive | lb | st");
+  flags.AddString("method", &method, "tw | naive | lb | st | cascade");
+  flags.AddString("plan", &plan,
+                  "--method cascade stage planning: paper | cascade | auto");
   flags.AddInt64("threads", &threads, "executor worker count");
   flags.AddInt64("repeat", &repeat, "times to run the whole batch");
   flags.AddInt64("seed", &seed, "generated-workload seed");
@@ -125,6 +167,10 @@ int RunServe(int argc, char** argv) {
   if (!ParseMethod(method, &kind)) {
     return 1;
   }
+  PlanMode plan_mode;
+  if (!ParsePlan(plan, &plan_mode)) {
+    return 1;
+  }
 
   Dataset dataset;
   if (!LoadDatabase(data_path, dataset_kind, &dataset) || dataset.empty()) {
@@ -132,6 +178,7 @@ int RunServe(int argc, char** argv) {
   }
   EngineOptions options;
   options.build_st_filter = kind == MethodKind::kStFilter;
+  options.cascade_planner.mode = plan_mode;
   const Engine engine(std::move(dataset), options);
 
   std::vector<Sequence> queries;
@@ -162,10 +209,19 @@ int RunServe(int argc, char** argv) {
   QueryExecutorOptions executor_options;
   executor_options.num_threads = static_cast<size_t>(threads);
   QueryExecutor executor(&engine, executor_options);
-  std::printf("serving %zu %s queries (eps=%.4f) over %zu threads\n",
-              requests.size(), MethodKindName(kind), eps,
-              executor.num_threads());
+  if (kind == MethodKind::kTwSimSearchCascade) {
+    std::printf("serving %zu %s queries (eps=%.4f, plan=%s) over %zu "
+                "threads\n",
+                requests.size(), MethodKindName(kind), eps,
+                PlanModeName(plan_mode), executor.num_threads());
+  } else {
+    std::printf("serving %zu %s queries (eps=%.4f) over %zu threads\n",
+                requests.size(), MethodKindName(kind), eps,
+                executor.num_threads());
+  }
 
+  StageCounters batch_prunes;
+  uint64_t total_dtw_evals = 0;
   for (int64_t round = 0; round < repeat; ++round) {
     const BatchResult batch = executor.SubmitBatch(requests);
     std::vector<double> latencies;
@@ -174,6 +230,8 @@ int RunServe(int argc, char** argv) {
     for (const SearchResult& r : batch.results) {
       latencies.push_back(r.cost.wall_ms);
       total_matches += r.matches.size();
+      batch_prunes.Merge(r.cost.prunes);
+      total_dtw_evals += r.cost.dtw_evals;
     }
     std::printf(
         "batch %lld: %.1f queries/s (%.2f ms wall), %zu matches, "
@@ -181,6 +239,11 @@ int RunServe(int argc, char** argv) {
         static_cast<long long>(round), batch.queries_per_sec,
         batch.wall_ms, total_matches, Percentile(latencies, 0.5),
         Percentile(latencies, 0.99));
+  }
+  PrintPruneTable(batch_prunes);
+  if (total_dtw_evals > 0) {
+    std::printf("exact-DTW evaluations: %llu\n",
+                static_cast<unsigned long long>(total_dtw_evals));
   }
 
   if (show_metrics) {
@@ -219,6 +282,8 @@ int Run(int argc, char** argv) {
   bool compare = false;
   int64_t seed = 1;
   std::string trace_out;
+  std::string method = "tw";
+  std::string plan = "cascade";
 
   // `serve` subcommand: concurrent batch serving (own flag set).
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
@@ -253,7 +318,19 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "perturbation seed");
   flags.AddString("trace_out", &trace_out,
                   "write the query's span tree to this file as JSON lines");
+  flags.AddString("method", &method,
+                  "range-query method: tw | naive | lb | st | cascade");
+  flags.AddString("plan", &plan,
+                  "--method cascade stage planning: paper | cascade | auto");
   if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  MethodKind method_kind;
+  if (!ParseMethod(method, &method_kind)) {
+    return 1;
+  }
+  PlanMode plan_mode;
+  if (!ParsePlan(plan, &plan_mode)) {
     return 1;
   }
   if (eps < 0.0 && k <= 0) {
@@ -281,7 +358,8 @@ int Run(int argc, char** argv) {
               stats.avg_length);
 
   EngineOptions options;
-  options.build_st_filter = compare;
+  options.build_st_filter = compare || method_kind == MethodKind::kStFilter;
+  options.cascade_planner.mode = plan_mode;
   const Engine engine(std::move(dataset), options);
 
   // Build the query.
@@ -341,8 +419,8 @@ int Run(int argc, char** argv) {
 
   if (eps >= 0.0) {
     Trace trace;
-    const SearchResult result =
-        engine.Search(query, eps, tracing ? &trace : nullptr);
+    const SearchResult result = engine.SearchWith(
+        method_kind, query, eps, tracing ? &trace : nullptr);
     std::printf("\nsequences with D_tw <= %.4f: %zu (from %zu candidates)\n",
                 eps, result.matches.size(), result.num_candidates);
     for (const SequenceId id : result.matches) {
@@ -350,6 +428,7 @@ int Run(int argc, char** argv) {
     }
     std::printf("(%.2f ms CPU, %.1f ms simulated elapsed)\n",
                 result.cost.wall_ms, engine.ElapsedMillis(result.cost));
+    PrintPruneTable(result.cost.prunes);
     if (tracing) {
       const Status status = engine.ExportTrace(trace, trace_out, query_id);
       if (!status.ok()) {
@@ -361,13 +440,14 @@ int Run(int argc, char** argv) {
       PrintTraceTree(trace);
     }
     if (compare) {
-      std::printf("\n%-14s %12s %14s\n", "method", "candidates",
+      std::printf("\n%-22s %12s %14s\n", "method", "candidates",
                   "elapsed_ms(sim)");
       for (const MethodKind kind :
-           {MethodKind::kTwSimSearch, MethodKind::kLbScan,
-            MethodKind::kNaiveScan, MethodKind::kStFilter}) {
+           {MethodKind::kTwSimSearch, MethodKind::kTwSimSearchCascade,
+            MethodKind::kLbScan, MethodKind::kNaiveScan,
+            MethodKind::kStFilter}) {
         const SearchResult r = engine.SearchWith(kind, query, eps);
-        std::printf("%-14s %12zu %14.1f\n", MethodKindName(kind),
+        std::printf("%-22s %12zu %14.1f\n", MethodKindName(kind),
                     r.num_candidates, engine.ElapsedMillis(r.cost));
       }
     }

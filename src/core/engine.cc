@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <system_error>
+#include <utility>
 
 #include "obs/exporters.h"
 #include "rtree/rtree_io.h"
@@ -37,6 +39,8 @@ const char* MethodKindName(MethodKind kind) {
       return "LB-Scan";
     case MethodKind::kStFilter:
       return "ST-Filter";
+    case MethodKind::kTwSimSearchCascade:
+      return "TW-Sim-Search-Cascade";
   }
   return "unknown";
 }
@@ -78,6 +82,8 @@ void Engine::BuildMethods() {
   tw_sim_search_ = std::make_unique<TwSimSearch>(
       &feature_index_, &store_, options_.dtw, index_pool_.get(),
       options_.lb_cascade);
+  tw_sim_search_cascade_ = std::make_unique<TwSimSearchCascade>(
+      tw_sim_search_.get(), options_.dtw, options_.cascade_planner);
   tw_knn_search_ = std::make_unique<TwKnnSearch>(&feature_index_, &store_,
                                                  options_.dtw);
   naive_scan_ = std::make_unique<NaiveScan>(&store_, options_.dtw);
@@ -114,6 +120,30 @@ void Engine::RegisterMetrics() {
   knn_latency_ms_hist_ = metrics_->GetHistogram(
       "warpindex_knn_latency_ms", ExponentialBoundaries(0.01, 2.0, 20),
       "measured CPU wall time per kNN query (ms)");
+  dtw_evals_total_ = metrics_->GetCounter(
+      "warpindex_query_dtw_evals_total",
+      "exact-DTW evaluations started across all range queries");
+  // One in/pruned counter pair per known filtering stage, matching the
+  // SearchCost::prunes stage names.
+  const std::pair<std::string_view, std::string_view> stages[] = {
+      {kStageFeatureLbCascade, "feature_lb"},
+      {kStageLbYiCascade, "lb_yi"},
+      {kStageLbKeoghCascade, "lb_keogh"},
+      {kStageLbImprovedCascade, "lb_improved"},
+      {kStageDtwPostfilter, "dtw"},
+  };
+  prune_handles_.clear();
+  for (const auto& [stage, short_name] : stages) {
+    StagePruneHandles handles;
+    handles.stage = stage;
+    handles.in = metrics_->GetCounter(
+        "warpindex_cascade_" + std::string(short_name) + "_in_total",
+        "candidates entering the " + std::string(stage) + " stage");
+    handles.pruned = metrics_->GetCounter(
+        "warpindex_cascade_" + std::string(short_name) + "_pruned_total",
+        "candidates eliminated by the " + std::string(stage) + " stage");
+    prune_handles_.push_back(handles);
+  }
 }
 
 void Engine::RecordQueryMetrics(MethodKind kind,
@@ -135,6 +165,16 @@ void Engine::RecordQueryMetrics(MethodKind kind,
   // attribution.
   pool_hits_total_->Increment(result.cost.pool_hits);
   pool_misses_total_->Increment(result.cost.pool_misses);
+  dtw_evals_total_->Increment(result.cost.dtw_evals);
+  for (const auto& [stage, counts] : result.cost.prunes.entries()) {
+    for (const StagePruneHandles& handles : prune_handles_) {
+      if (handles.stage == stage) {
+        handles.in->Increment(counts.in);
+        handles.pruned->Increment(counts.pruned);
+        break;
+      }
+    }
+  }
 }
 
 Status Engine::ExportTrace(const Trace& trace, const std::string& path,
@@ -256,6 +296,8 @@ const SearchMethod& Engine::method(MethodKind kind) const {
       assert(st_filter_search_ != nullptr &&
              "construct the Engine with build_st_filter=true");
       return *st_filter_search_;
+    case MethodKind::kTwSimSearchCascade:
+      return *tw_sim_search_cascade_;
   }
   return *tw_sim_search_;
 }

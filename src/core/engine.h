@@ -23,6 +23,8 @@
 #define WARPINDEX_CORE_ENGINE_H_
 
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "core/feature_index.h"
 #include "core/lb_scan.h"
@@ -35,6 +37,7 @@
 #include "dtw/dtw.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/cascade_search.h"
 #include "sequence/dataset.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -48,6 +51,10 @@ enum class MethodKind {
   kNaiveScan,
   kLbScan,
   kStFilter,
+  // TW-Sim-Search with the planned lower-bound cascade between the index
+  // filter and exact DTW (src/plan/). Identical answers, fewer DTW
+  // evaluations; see docs/PLANNER.md.
+  kTwSimSearchCascade,
 };
 
 const char* MethodKindName(MethodKind kind);
@@ -73,6 +80,10 @@ struct EngineOptions {
   // post-processing (answers unchanged, DTW cells drop). Off by default
   // to match the paper's Algorithm 1 exactly.
   bool lb_cascade = false;
+  // Planner configuration for MethodKind::kTwSimSearchCascade (plan
+  // mode, fixed plan, cost-model knobs). The default runs the full
+  // lower-bound cascade on every query; see docs/PLANNER.md.
+  CascadePlannerOptions cascade_planner;
   // Build the §6 subsequence-matching window index too (opt-in: its size
   // is O(total elements * window range / stride)).
   bool build_subsequence_index = false;
@@ -174,6 +185,11 @@ class Engine {
   // The TW-Sim-Search instance (never null); the concurrent executor's
   // intra-query parallel post-filter builds on its FilterAndFetch().
   const TwSimSearch& tw_sim_search() const { return *tw_sim_search_; }
+  // The cascade variant (never null); the executor's parallel
+  // cascade path builds on its FilterFetchAndPrune().
+  const TwSimSearchCascade& tw_sim_search_cascade() const {
+    return *tw_sim_search_cascade_;
+  }
   bool has_st_filter() const { return st_filter_ != nullptr; }
 
   const Dataset& dataset() const { return dataset_; }
@@ -223,6 +239,7 @@ class Engine {
   DiskModel disk_model_;
 
   std::unique_ptr<TwSimSearch> tw_sim_search_;
+  std::unique_ptr<TwSimSearchCascade> tw_sim_search_cascade_;
   std::unique_ptr<TwKnnSearch> tw_knn_search_;
   std::unique_ptr<NaiveScan> naive_scan_;
   std::unique_ptr<LbScan> lb_scan_;
@@ -240,6 +257,15 @@ class Engine {
   Histogram* dtw_cells_hist_ = nullptr;
   Histogram* index_nodes_hist_ = nullptr;
   Histogram* knn_latency_ms_hist_ = nullptr;
+  Counter* dtw_evals_total_ = nullptr;
+  // Per-stage pruning counters (candidates-in / pruned per filtering
+  // stage), pre-resolved for the known stage names.
+  struct StagePruneHandles {
+    std::string_view stage;
+    Counter* in = nullptr;
+    Counter* pruned = nullptr;
+  };
+  std::vector<StagePruneHandles> prune_handles_;
 };
 
 }  // namespace warpindex

@@ -13,7 +13,7 @@ SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
     scratch = &local_scratch;  // reused across sequences within the scan
   }
   const Envelope query_env = ComputeEnvelope(query);
-  const DtwCombiner combiner = dtw_.options().combiner;
+  const DtwOptions& options = dtw_.options();
   // One sequential pass; lower-bound and exact-DTW time are carved out of
   // the scan so the stage breakdown partitions the query.
   double lb_ms = 0.0;
@@ -26,13 +26,14 @@ SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
           ++result.cost.lb_evals;
           WallTimer per_item;
           const double lb = LbYiWithEnvelopes(s, ComputeEnvelope(s), query,
-                                              query_env, combiner);
+                                              query_env, options);
           lb_ms += per_item.ElapsedMillis();
           if (lb > epsilon) {
             return true;  // filtered out, no exact evaluation
           }
           ++result.num_candidates;
           per_item.Reset();
+          ++result.cost.dtw_evals;
           const DtwResult d =
               dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
           dtw_ms += per_item.ElapsedMillis();

@@ -23,6 +23,7 @@ SearchResult NaiveScan::SearchImpl(const Sequence& query, double epsilon,
     store_->ScanAll(
         [&](SequenceId id, const Sequence& s) {
           WallTimer per_item;
+          ++result.cost.dtw_evals;
           const DtwResult d =
               dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
           dtw_ms += per_item.ElapsedMillis();

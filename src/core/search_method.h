@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dtw/dtw.h"
+#include "obs/stage_counters.h"
 #include "obs/stage_timings.h"
 #include "obs/trace.h"
 #include "sequence/sequence.h"
@@ -25,6 +26,10 @@ struct SearchCost {
   IoStats io;
   // DP cells computed by exact D_tw evaluations (scan or post-processing).
   uint64_t dtw_cells = 0;
+  // Exact D_tw evaluations started (each may early-abandon; dtw_cells is
+  // the finer-grained cost). The cascade ablation's headline metric: a
+  // better filter pipeline performs strictly fewer of these at equal ε.
+  uint64_t dtw_evals = 0;
   // Lower-bound evaluations (D_lb in LB-Scan; D_tw-lb happens inside the
   // R-tree and is accounted as index_nodes).
   uint64_t lb_evals = 0;
@@ -42,17 +47,22 @@ struct SearchCost {
   // dtw_postfilter, ...). Stages do not cover setup overhead, so their
   // sum is slightly below wall_ms.
   StageTimings stages;
+  // Candidates-in / candidates-pruned per filtering stage (populated by
+  // methods with a filter pipeline; empty otherwise).
+  StageCounters prunes;
 
   void Reset() { *this = SearchCost(); }
   void Merge(const SearchCost& other) {
     io.Merge(other.io);
     dtw_cells += other.dtw_cells;
+    dtw_evals += other.dtw_evals;
     lb_evals += other.lb_evals;
     index_nodes += other.index_nodes;
     pool_hits += other.pool_hits;
     pool_misses += other.pool_misses;
     wall_ms += other.wall_ms;
     stages.Merge(other.stages);
+    prunes.Merge(other.prunes);
   }
 };
 

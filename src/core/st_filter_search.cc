@@ -46,6 +46,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
   {
     StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
+      ++result.cost.dtw_evals;
       const DtwResult d =
           dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
       result.cost.dtw_cells += d.cells;

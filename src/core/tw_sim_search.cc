@@ -71,12 +71,12 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
   if (lb_cascade_) {
     StageTimer stage(&result.cost.stages, trace, kStageLbYiCascade);
     const Envelope query_env = ComputeEnvelope(query);
+    const size_t in = fetched.size();
     size_t kept = 0;
     for (size_t i = 0; i < fetched.size(); ++i) {
       ++result.cost.lb_evals;
       if (LbYiWithEnvelopes(fetched[i], ComputeEnvelope(fetched[i]), query,
-                            query_env,
-                            dtw_.options().combiner) <= epsilon) {
+                            query_env, dtw_.options()) <= epsilon) {
         if (kept != i) {
           fetched[kept] = std::move(fetched[i]);
         }
@@ -84,6 +84,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
       }
     }
     fetched.resize(kept);
+    result.cost.prunes.Record(kStageLbYiCascade, in, in - kept);
     TraceCounter(trace, "lb_evals",
                  static_cast<double>(result.cost.lb_evals));
   }
@@ -92,6 +93,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
   {
     StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
+      ++result.cost.dtw_evals;
       const DtwResult d =
           dtw_.DistanceWithThreshold(s, query, epsilon, scratch);
       result.cost.dtw_cells += d.cells;
@@ -99,6 +101,8 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
         result.matches.push_back(s.id());
       }
     }
+    result.cost.prunes.Record(kStageDtwPostfilter, fetched.size(),
+                              fetched.size() - result.matches.size());
     TraceCounter(trace, "dtw_cells",
                  static_cast<double>(result.cost.dtw_cells));
   }

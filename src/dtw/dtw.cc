@@ -13,17 +13,16 @@ inline double Combine(double cost, double upstream, DtwCombiner combiner) {
                                        : std::max(cost, upstream);
 }
 
-// Effective Sakoe-Chiba radius: a path from (0,0) to (n-1,m-1) needs the
-// band to admit |i - j| up to |n - m|.
-inline size_t EffectiveBand(const DtwOptions& options, size_t n, size_t m) {
+}  // namespace
+
+size_t EffectiveSakoeChibaRadius(const DtwOptions& options, size_t n,
+                                 size_t m) {
   if (options.band < 0) {
     return std::max(n, m);  // unconstrained
   }
   const size_t min_needed = n > m ? n - m : m - n;
   return std::max(static_cast<size_t>(options.band), min_needed);
 }
-
-}  // namespace
 
 DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
                               double threshold,
@@ -45,7 +44,7 @@ DtwResult Dtw::ComputeRolling(const Sequence& s_in, const Sequence& q_in,
 
   const size_t n = s.size();
   const size_t m = q.size();
-  const size_t band = EffectiveBand(options_, n, m);
+  const size_t band = EffectiveSakoeChibaRadius(options_, n, m);
   // Work in the accumulated domain; take_sqrt is applied on exit, so the
   // threshold must be squared-domain too.
   const double internal_threshold =
@@ -134,7 +133,7 @@ DtwPathResult Dtw::DistanceWithPath(const Sequence& s,
 
   const size_t n = s.size();
   const size_t m = q.size();
-  const size_t band = EffectiveBand(options_, n, m);
+  const size_t band = EffectiveSakoeChibaRadius(options_, n, m);
   std::vector<double> dp(n * m, kInfiniteDistance);
   auto at = [&](size_t i, size_t j) -> double& { return dp[i * m + j]; };
 

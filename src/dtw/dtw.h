@@ -31,6 +31,14 @@ namespace warpindex {
 inline constexpr double kInfiniteDistance =
     std::numeric_limits<double>::infinity();
 
+// Effective Sakoe-Chiba radius for a pair of lengths (n, m): the
+// configured radius widened to at least |n - m| so a path from (0,0) to
+// (n-1,m-1) always exists; max(n, m) when unconstrained. Shared with the
+// envelope lower bounds (dtw/lb_keogh.h), whose windows must admit every
+// alignment the DP admits.
+size_t EffectiveSakoeChibaRadius(const DtwOptions& options, size_t n,
+                                 size_t m);
+
 // Result of a DTW evaluation.
 struct DtwResult {
   // The distance; kInfiniteDistance when a thresholded evaluation abandoned

@@ -1,0 +1,39 @@
+#include "dtw/lb_improved.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "dtw/dtw.h"
+
+namespace warpindex {
+
+double LbImproved(const Sequence& s, const Sequence& q,
+                  const BandEnvelope& q_env, const DtwOptions& options) {
+  assert(!s.empty() && !q.empty());
+  const size_t radius =
+      EffectiveSakoeChibaRadius(options, s.size(), q.size());
+
+  std::vector<double> h;
+  double part1;
+  if (q_env.radius >= radius) {
+    part1 = internal::OneSidedKeogh(s, q_env, radius, options, &h);
+  } else {
+    const BandEnvelope widened = ComputeBandEnvelope(q, radius);
+    part1 = internal::OneSidedKeogh(s, widened, radius, options, &h);
+  }
+
+  const Sequence h_seq(std::move(h));
+  const BandEnvelope h_env = ComputeBandEnvelope(h_seq, radius);
+  const double part2 =
+      internal::OneSidedKeogh(q, h_env, radius, options, nullptr);
+
+  const double acc = options.combiner == DtwCombiner::kSum
+                         ? part1 + part2
+                         : std::max(part1, part2);
+  return options.take_sqrt ? std::sqrt(acc) : acc;
+}
+
+}  // namespace warpindex

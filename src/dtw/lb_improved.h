@@ -1,0 +1,45 @@
+// LB_Improved: Lemire's two-pass refinement of LB_Keogh (arXiv:0811.3301),
+// adapted to the three base-distance models.
+//
+// Pass 1 is plain LB_Keogh of S against Q's envelope, but it also records
+// the projection h of S onto that envelope (h_i = S_i clamped into
+// [L_i, U_i]). Pass 2 adds the cost forced onto Q by h's envelope:
+//
+//   * sum-combined (L1/L2):  LB = keogh(S, Env(Q)) + keogh(Q, Env(h))
+//   * max-combined (L_inf):  LB = max of the two parts
+//
+// Validity (sum case, Lemire Prop. 2 generalised): for any warping path,
+// each step cost(S_i, Q_j) with |i - j| <= r splits as
+// cost >= cost(S_i, h_i) + cost(h_i, Q_j) when S_i is outside the window
+// (the clamp puts h_i between S_i and Q_j; for squared costs the cross
+// term 2(S_i - h_i)(h_i - Q_j) is non-negative), and cost >= cost(h_i, Q_j)
+// when inside (h_i = S_i). Charging the first part per-i recovers pass 1
+// and the second part is >= LB_Keogh(Q, Env(h)) because h_i lies in Q_j's
+// radius-r window. In the max case the same per-step inequality
+// cost(S_i, Q_j) >= max(cost(S_i, h_i), cost(h_i, Q_j)) holds (|S_i - Q_j|
+// >= |S_i - h_i| and >= |h_i - Q_j| whenever Q_j is inside S_i's window),
+// so the path max dominates both parts.
+//
+// Always >= LB_Keogh (it adds a non-negative second pass), still O(n), and
+// in practice prunes a large fraction of the candidates LB_Keogh lets
+// through — at roughly 2x its cost, which is what the cascade planner's
+// cost model weighs.
+
+#ifndef WARPINDEX_DTW_LB_IMPROVED_H_
+#define WARPINDEX_DTW_LB_IMPROVED_H_
+
+#include "dtw/base_distance.h"
+#include "dtw/lb_keogh.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+// Lower-bounds Dtw(options).Distance(s, q); always >= the LbKeogh of the
+// same arguments. `q_env` as for LbKeogh (recomputed internally when too
+// narrow for the pair). Same domain as Dtw::Distance (sqrt for L2).
+double LbImproved(const Sequence& s, const Sequence& q,
+                  const BandEnvelope& q_env, const DtwOptions& options);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_DTW_LB_IMPROVED_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace warpindex {
 namespace {
@@ -53,6 +54,41 @@ double LbYiWithEnvelopes(const Sequence& s, const Envelope& s_env,
 double LbYi(const Sequence& s, const Sequence& q, DtwCombiner combiner) {
   return LbYiWithEnvelopes(s, ComputeEnvelope(s), q, ComputeEnvelope(q),
                            combiner);
+}
+
+namespace {
+
+// One-sided bound in the accumulated (pre-sqrt) domain with the
+// configured step cost.
+double OneSidedAccumulated(const Sequence& s, const Envelope& other,
+                           const DtwOptions& options) {
+  const bool sum = options.combiner == DtwCombiner::kSum;
+  const bool squared = options.step == StepCost::kSquared;
+  double acc = 0.0;
+  for (double v : s.elements()) {
+    const double d = DistToInterval(v, other.smallest, other.greatest);
+    const double cost = squared ? d * d : d;
+    acc = sum ? acc + cost : std::max(acc, cost);
+  }
+  return acc;
+}
+
+}  // namespace
+
+double LbYiWithEnvelopes(const Sequence& s, const Envelope& s_env,
+                         const Sequence& q, const Envelope& q_env,
+                         const DtwOptions& options) {
+  assert(!s.empty() && !q.empty());
+  // Both one-sided bounds hold in the accumulated domain, so their max
+  // does too; sqrt is monotone, so it commutes with the max.
+  const double acc = std::max(OneSidedAccumulated(s, q_env, options),
+                              OneSidedAccumulated(q, s_env, options));
+  return options.take_sqrt ? std::sqrt(acc) : acc;
+}
+
+double LbYi(const Sequence& s, const Sequence& q, const DtwOptions& options) {
+  return LbYiWithEnvelopes(s, ComputeEnvelope(s), q, ComputeEnvelope(q),
+                           options);
 }
 
 }  // namespace warpindex

@@ -42,6 +42,19 @@ double LbYiWithEnvelopes(const Sequence& s, const Envelope& s_env,
                          const Sequence& q, const Envelope& q_env,
                          DtwCombiner combiner);
 
+// DtwOptions-aware variants: accumulate the configured step cost
+// (|.| or (.)^2) and apply take_sqrt on exit, so the bound is valid for
+// all three base-distance models and directly comparable to
+// Dtw::Distance. The combiner-only overloads above are correct for the
+// absolute step cost (L1 / L_inf) but NOT for the L2 convention — a sum
+// of absolute interval distances does not lower-bound the sqrt of a sum
+// of squares.
+double LbYi(const Sequence& s, const Sequence& q, const DtwOptions& options);
+
+double LbYiWithEnvelopes(const Sequence& s, const Envelope& s_env,
+                         const Sequence& q, const Envelope& q_env,
+                         const DtwOptions& options);
+
 }  // namespace warpindex
 
 #endif  // WARPINDEX_DTW_LB_YI_H_

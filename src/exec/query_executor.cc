@@ -152,25 +152,36 @@ BatchResult QueryExecutor::SubmitBatch(
 }
 
 SearchResult QueryExecutor::SearchParallel(const Sequence& query,
-                                           double epsilon, Trace* trace) {
+                                           double epsilon, Trace* trace,
+                                           bool use_cascade) {
   WallTimer timer;
   SearchResult result;
   queries_total_->Increment();
   inflight_->Increment();
   InflightGuard guard(inflight_);
 
+  CascadeObservation obs;
   {
     ScopedSpan span(trace, "query");
     TraceCounter(trace, "epsilon", epsilon);
+    // The lower-bound cascade (when requested) runs on the calling
+    // thread — its stages are O(n) per candidate and prune the list the
+    // chunked DTW fan-out then works through.
     std::vector<Sequence> fetched =
-        engine_->tw_sim_search().FilterAndFetch(query, epsilon, &result,
-                                                trace);
+        use_cascade
+            ? engine_->tw_sim_search_cascade().FilterFetchAndPrune(
+                  query, epsilon, &result, trace, &obs)
+            : engine_->tw_sim_search().FilterAndFetch(query, epsilon,
+                                                      &result, trace);
 
     const size_t chunk_size = std::max<size_t>(1, options_.postfilter_chunk);
     const size_t num_chunks =
         (fetched.size() + chunk_size - 1) / chunk_size;
 
-    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    ScopedSpan dtw_span(trace, kStageDtwPostfilter);
+    WallTimer dtw_timer;
+    const size_t dtw_in = fetched.size();
+    result.cost.dtw_evals += dtw_in;
     if (num_chunks <= 1) {
       // Not worth fanning out; identical to the sequential Step-4..7.
       DtwScratch scratch;
@@ -263,6 +274,16 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                               ctx->chunk_matches[c].begin(),
                               ctx->chunk_matches[c].end());
       }
+    }
+    const double dtw_ms = dtw_timer.ElapsedMillis();
+    const size_t dtw_pruned = dtw_in - result.matches.size();
+    result.cost.stages.Add(kStageDtwPostfilter, dtw_ms);
+    result.cost.prunes.Record(kStageDtwPostfilter, dtw_in, dtw_pruned);
+    if (use_cascade) {
+      obs.dtw.in += dtw_in;
+      obs.dtw.pruned += dtw_pruned;
+      obs.dtw.ms += dtw_ms;
+      engine_->tw_sim_search_cascade().ObserveOutcome(obs);
     }
     TraceCounter(trace, "dtw_cells",
                  static_cast<double>(result.cost.dtw_cells));

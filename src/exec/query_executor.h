@@ -101,8 +101,16 @@ class QueryExecutor {
   // identical to engine().Search(); only wall time shrinks. Safe to call
   // even from inside a pool task: the calling thread participates in the
   // chunk work, so progress never depends on idle workers.
+  //
+  // With `use_cascade`, the planned lower-bound cascade
+  // (engine().tw_sim_search_cascade()) runs on the calling thread
+  // between the fetch and the parallel DTW fan-out, so only the
+  // survivors pay chunked DP; answers are still identical (see
+  // docs/PLANNER.md), and the executed query feeds the planner's cost
+  // model exactly like the sequential path.
   SearchResult SearchParallel(const Sequence& query, double epsilon,
-                              Trace* trace = nullptr);
+                              Trace* trace = nullptr,
+                              bool use_cascade = false);
 
   const Engine& engine() const { return *engine_; }
   size_t num_threads() const { return pool_.num_threads(); }

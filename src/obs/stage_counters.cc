@@ -1,0 +1,32 @@
+#include "obs/stage_counters.h"
+
+namespace warpindex {
+
+void StageCounters::Record(std::string_view stage, uint64_t in,
+                           uint64_t pruned) {
+  for (auto& [name, counts] : entries_) {
+    if (name == stage) {
+      counts.in += in;
+      counts.pruned += pruned;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(stage), StageCounts{in, pruned});
+}
+
+StageCounts StageCounters::Get(std::string_view stage) const {
+  for (const auto& [name, counts] : entries_) {
+    if (name == stage) {
+      return counts;
+    }
+  }
+  return StageCounts{};
+}
+
+void StageCounters::Merge(const StageCounters& other) {
+  for (const auto& [name, counts] : other.entries_) {
+    Record(name, counts.in, counts.pruned);
+  }
+}
+
+}  // namespace warpindex

@@ -1,0 +1,61 @@
+// Per-stage pruning counters of a filtering pipeline, carried inside
+// SearchCost next to the StageTimings breakdown.
+//
+// Each filtering stage of a query (feature D_tw-lb, LB_Yi, LB_Keogh,
+// LB_Improved, exact DTW) records how many candidates it saw and how many
+// it eliminated; Merge folds the counters additively across queries so a
+// workload reports the pruning power of every stage, and the engine
+// exports the same numbers through the metrics registry.
+//
+// Stage names are shared with the timing spans (the kStage* constants in
+// obs/stage_timings.h) so timings, counters, and traces line up.
+
+#ifndef WARPINDEX_OBS_STAGE_COUNTERS_H_
+#define WARPINDEX_OBS_STAGE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace warpindex {
+
+// Candidates entering / eliminated by one stage. `pruned <= in`; the
+// survivors (`in - pruned`) are the next stage's input.
+struct StageCounts {
+  uint64_t in = 0;
+  uint64_t pruned = 0;
+};
+
+// Small insertion-ordered map of stage name -> StageCounts. Pipelines
+// touch at most a handful of stages, so linear probing beats a real map
+// (same rationale as StageTimings).
+class StageCounters {
+ public:
+  // Adds `in` / `pruned` to `stage` (creating it at the end of the order
+  // if new).
+  void Record(std::string_view stage, uint64_t in, uint64_t pruned);
+
+  // Accumulated counts for `stage`; zeros if never recorded.
+  StageCounts Get(std::string_view stage) const;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Folds `other` into this breakdown additively (stage by stage).
+  void Merge(const StageCounters& other);
+
+  void Reset() { entries_.clear(); }
+
+  const std::vector<std::pair<std::string, StageCounts>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, StageCounts>> entries_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_STAGE_COUNTERS_H_

@@ -1,0 +1,112 @@
+// CascadePlanner: chooses which lower-bound stages a query runs.
+//
+// Modes:
+//   kPaper    no lower-bound stage — the paper's Algorithm 1 verbatim
+//             (index filter, then exact DTW). Reproduction runs.
+//   kCascade  the full fixed cascade (feature_lb > lb_yi > lb_keogh >
+//             lb_improved > dtw). The safe default: every stage is a
+//             valid bound, so the only risk is wasted bound evaluations.
+//   kAuto     cost-based: keep a stage only when its measured cost is
+//             beaten by the work it is expected to save downstream.
+//   kFixed    an explicit stage subset (the ablation bench sweeps these).
+//
+// The kAuto cost model. For every stage the planner maintains EWMA
+// estimates of
+//
+//   unit_cost(stage)   milliseconds per candidate evaluated
+//   pass_rate(stage)   fraction of candidates the stage lets through
+//
+// observed online from executed queries (Observe()). A plan is built by
+// walking the canonical stage order BACKWARD from exact DTW, tracking
+// `downstream` = expected per-candidate cost of everything after the
+// current stage. A stage earns its place iff
+//
+//   unit_cost(stage) < (1 - pass_rate(stage)) * downstream
+//
+// i.e. evaluating the bound on one candidate costs less than the
+// downstream work it prunes in expectation; included stages update
+// downstream = unit_cost + pass_rate * downstream. The first
+// `warmup_queries` plans and every `explore_every`-th plan thereafter
+// run the full cascade so every stage keeps fresh statistics even after
+// being dropped (selectivity drifts with the workload).
+//
+// Whatever the mode chooses, answers are identical — stages only ever
+// prune candidates whose bound strictly exceeds epsilon (see
+// filter_cascade.h); planning affects cost, never correctness.
+//
+// Thread-safety: Choose() and Observe() are internally synchronized; one
+// planner may serve concurrent queries (the executor's SubmitBatch path).
+
+#ifndef WARPINDEX_PLAN_CASCADE_PLANNER_H_
+#define WARPINDEX_PLAN_CASCADE_PLANNER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "plan/filter_cascade.h"
+
+namespace warpindex {
+
+enum class PlanMode {
+  kPaper,
+  kCascade,
+  kAuto,
+  kFixed,
+};
+
+const char* PlanModeName(PlanMode mode);
+
+struct CascadePlannerOptions {
+  PlanMode mode = PlanMode::kCascade;
+  // The plan used by kFixed (and the starting statistics-free shape of
+  // kAuto's exploration).
+  CascadePlan fixed;
+  // kAuto: first plans that always run the full cascade.
+  size_t warmup_queries = 8;
+  // kAuto: after warm-up, every explore_every-th plan runs the full
+  // cascade to refresh statistics for dropped stages. 0 disables.
+  size_t explore_every = 32;
+  // EWMA smoothing for unit cost and pass rate, in (0, 1].
+  double ewma_alpha = 0.2;
+};
+
+class CascadePlanner {
+ public:
+  explicit CascadePlanner(CascadePlannerOptions options = {});
+
+  const CascadePlannerOptions& options() const { return options_; }
+  PlanMode mode() const { return options_.mode; }
+
+  // The plan for the next query. Thread-safe.
+  CascadePlan Choose();
+
+  // Folds one executed query's per-stage observations into the cost
+  // model. Thread-safe; cheap (a handful of multiplies under a mutex).
+  void Observe(const CascadeObservation& obs);
+
+  // Introspection (tests, bench tables).
+  struct StageStats {
+    double unit_cost_ms = 0.0;  // per candidate evaluated
+    double pass_rate = 1.0;     // kept / in
+    uint64_t updates = 0;       // Observe() calls that saw this stage
+  };
+  StageStats stage_stats(CascadeStage stage) const;
+  StageStats dtw_stats() const;
+  uint64_t plans_chosen() const;
+
+ private:
+  CascadePlan ChooseAutoLocked();
+
+  CascadePlannerOptions options_;
+
+  mutable std::mutex mu_;
+  std::array<StageStats, kNumCascadeStages> lb_stats_;
+  StageStats dtw_stats_;
+  uint64_t plans_chosen_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_PLAN_CASCADE_PLANNER_H_

@@ -1,0 +1,209 @@
+// CascadePlanner (plan/cascade_planner.h): fixed modes return their
+// shape verbatim; kAuto warms up on the full cascade, learns per-stage
+// unit costs and pass rates from observations, keeps only stages that
+// pay for themselves, and periodically re-explores dropped stages.
+
+#include "plan/cascade_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+using Stages = std::vector<CascadeStage>;
+
+// One synthetic executed query: per-lb-stage (in, pruned, ms) triples
+// plus the dtw stage's.
+CascadeObservation MakeObservation(
+    const std::vector<std::tuple<CascadeStage, uint64_t, uint64_t, double>>&
+        lb,
+    uint64_t dtw_in, uint64_t dtw_pruned, double dtw_ms) {
+  CascadeObservation obs;
+  for (const auto& [stage, in, pruned, ms] : lb) {
+    obs.at(stage).in = in;
+    obs.at(stage).pruned = pruned;
+    obs.at(stage).ms = ms;
+  }
+  obs.dtw.in = dtw_in;
+  obs.dtw.pruned = dtw_pruned;
+  obs.dtw.ms = dtw_ms;
+  return obs;
+}
+
+TEST(CascadePlannerTest, PaperModeChoosesNoLowerBoundStage) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kPaper;
+  CascadePlanner planner(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(planner.Choose().stages.empty());
+  }
+  EXPECT_EQ(planner.plans_chosen(), 5u);
+}
+
+TEST(CascadePlannerTest, CascadeModeChoosesFullCascade) {
+  CascadePlanner planner;  // default mode: kCascade
+  EXPECT_EQ(planner.Choose().stages, CascadePlan::Full().stages);
+}
+
+TEST(CascadePlannerTest, FixedModeChoosesTheFixedPlan) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kFixed;
+  options.fixed.stages = {CascadeStage::kFeatureLb, CascadeStage::kLbKeogh};
+  CascadePlanner planner(options);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(planner.Choose().stages, options.fixed.stages);
+  }
+}
+
+TEST(CascadePlannerTest, AutoWarmupRunsTheFullCascade) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.warmup_queries = 4;
+  options.explore_every = 0;
+  CascadePlanner planner(options);
+  for (size_t i = 0; i < options.warmup_queries; ++i) {
+    EXPECT_EQ(planner.Choose().stages, CascadePlan::Full().stages)
+        << "warm-up plan " << i;
+  }
+}
+
+TEST(CascadePlannerTest, AutoKeepsCheapSelectiveStagesDropsUselessOnes) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.warmup_queries = 0;
+  options.explore_every = 0;
+  CascadePlanner planner(options);
+
+  // feature_lb: 0.0001 ms/candidate, prunes 90% — clearly worth it.
+  // lb_yi: 0.01 ms/candidate, prunes NOTHING — pure overhead.
+  // dtw: 1 ms/candidate downstream.
+  const CascadeObservation obs = MakeObservation(
+      {{CascadeStage::kFeatureLb, 100, 90, 0.01},
+       {CascadeStage::kLbYi, 10, 0, 0.1}},
+      /*dtw_in=*/10, /*dtw_pruned=*/5, /*dtw_ms=*/10.0);
+  planner.Observe(obs);
+
+  const CascadePlan plan = planner.Choose();
+  EXPECT_EQ(plan.stages, Stages{CascadeStage::kFeatureLb})
+      << "chose " << plan.ToString();
+}
+
+TEST(CascadePlannerTest, AutoDropsExpensiveStageWhoseSavingsAreTooSmall) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.warmup_queries = 0;
+  options.explore_every = 0;
+  CascadePlanner planner(options);
+
+  // lb_improved costs 0.9 ms/candidate but only prunes 10% of a 1
+  // ms/candidate dtw stage: 0.9 > 0.1 * 1.0, not worth it.
+  const CascadeObservation obs = MakeObservation(
+      {{CascadeStage::kLbImproved, 100, 10, 90.0}},
+      /*dtw_in=*/90, /*dtw_pruned=*/45, /*dtw_ms=*/90.0);
+  planner.Observe(obs);
+  EXPECT_TRUE(planner.Choose().stages.empty());
+}
+
+TEST(CascadePlannerTest, AutoReexploresPeriodically) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.warmup_queries = 1;
+  options.explore_every = 3;
+  CascadePlanner planner(options);
+
+  // Statistics that make every stage a loser, so the greedy plan is
+  // empty — except on warm-up and every 3rd plan, which must re-run the
+  // full cascade to refresh dropped stages' statistics.
+  CascadeObservation obs = MakeObservation(
+      {{CascadeStage::kFeatureLb, 100, 0, 1.0},
+       {CascadeStage::kLbYi, 100, 0, 1.0},
+       {CascadeStage::kLbKeogh, 100, 0, 1.0},
+       {CascadeStage::kLbImproved, 100, 0, 1.0}},
+      /*dtw_in=*/100, /*dtw_pruned=*/50, /*dtw_ms=*/1.0);
+  planner.Observe(obs);
+
+  const Stages full = CascadePlan::Full().stages;
+  for (int plan_number = 1; plan_number <= 9; ++plan_number) {
+    const CascadePlan plan = planner.Choose();
+    const bool warming = plan_number <= 1;
+    const bool exploring = plan_number % 3 == 0;
+    if (warming || exploring) {
+      EXPECT_EQ(plan.stages, full) << "plan " << plan_number;
+    } else {
+      EXPECT_TRUE(plan.stages.empty()) << "plan " << plan_number;
+    }
+  }
+}
+
+TEST(CascadePlannerTest, ObserveMaintainsEwmaStatsPerStage) {
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.ewma_alpha = 0.5;
+  CascadePlanner planner(options);
+
+  planner.Observe(MakeObservation({{CascadeStage::kLbKeogh, 100, 80, 10.0}},
+                                  20, 10, 40.0));
+  // First observation seeds the estimate directly.
+  CascadePlanner::StageStats stats =
+      planner.stage_stats(CascadeStage::kLbKeogh);
+  EXPECT_DOUBLE_EQ(stats.unit_cost_ms, 0.1);
+  EXPECT_DOUBLE_EQ(stats.pass_rate, 0.2);
+  EXPECT_EQ(stats.updates, 1u);
+  EXPECT_DOUBLE_EQ(planner.dtw_stats().unit_cost_ms, 2.0);
+
+  planner.Observe(MakeObservation({{CascadeStage::kLbKeogh, 100, 40, 30.0}},
+                                  60, 30, 120.0));
+  stats = planner.stage_stats(CascadeStage::kLbKeogh);
+  EXPECT_DOUBLE_EQ(stats.unit_cost_ms, 0.5 * 0.1 + 0.5 * 0.3);
+  EXPECT_DOUBLE_EQ(stats.pass_rate, 0.5 * 0.2 + 0.5 * 0.6);
+  EXPECT_EQ(stats.updates, 2u);
+  // A stage the query never ran keeps its defaults.
+  EXPECT_EQ(planner.stage_stats(CascadeStage::kLbImproved).updates, 0u);
+}
+
+TEST(CascadePlannerTest, ConcurrentChooseAndObserveAreSafe) {
+  // Exercised under TSan in CI: the planner is shared by every worker of
+  // the concurrent executor.
+  CascadePlannerOptions options;
+  options.mode = PlanMode::kAuto;
+  options.warmup_queries = 2;
+  options.explore_every = 4;
+  CascadePlanner planner(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&planner]() {
+      for (int i = 0; i < kIterations; ++i) {
+        const CascadePlan plan = planner.Choose();
+        CascadeObservation obs;
+        uint64_t in = 64;
+        for (const CascadeStage stage : plan.stages) {
+          obs.at(stage).in = in;
+          obs.at(stage).pruned = in / 4;
+          obs.at(stage).ms = 0.01;
+          in -= in / 4;
+        }
+        obs.dtw.in = in;
+        obs.dtw.pruned = in / 2;
+        obs.dtw.ms = 1.0;
+        planner.Observe(obs);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(planner.plans_chosen(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,223 @@
+// FilterCascade (plan/filter_cascade.h): for every plan — no stage, any
+// single stage, the full cascade — the surviving answer set is exactly
+// the brute-force exact-DTW answer set (no false dismissals, ties at
+// epsilon kept), and the per-stage accounting (prune counters, timings,
+// observations) is recorded consistently.
+
+#include "plan/filter_cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+
+namespace warpindex {
+namespace {
+
+Sequence RandomWalkSequence(Prng* prng, int64_t min_len, int64_t max_len,
+                            SequenceId id) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  double v = prng->UniformDouble(-1.0, 1.0);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(v);
+    v += prng->UniformDouble(-0.15, 0.15);
+  }
+  s.set_id(id);
+  return s;
+}
+
+std::vector<Sequence> MakeCandidates(Prng* prng, size_t n) {
+  std::vector<Sequence> candidates;
+  candidates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    candidates.push_back(RandomWalkSequence(prng, 5, 40,
+                                            static_cast<SequenceId>(i)));
+  }
+  return candidates;
+}
+
+std::vector<SequenceId> BruteForceMatches(
+    const std::vector<Sequence>& candidates, const Sequence& query,
+    double epsilon, const DtwOptions& options) {
+  const Dtw dtw(options);
+  std::vector<SequenceId> matches;
+  for (const Sequence& s : candidates) {
+    if (dtw.Distance(s, query).distance <= epsilon) {
+      matches.push_back(s.id());
+    }
+  }
+  return matches;
+}
+
+// Every plan shape worth distinguishing: empty (paper), each stage alone,
+// pairs out of canonical adjacency, and the full cascade.
+std::vector<CascadePlan> AllPlanShapes() {
+  using S = CascadeStage;
+  return {
+      CascadePlan::Paper(),
+      CascadePlan{{S::kFeatureLb}},
+      CascadePlan{{S::kLbYi}},
+      CascadePlan{{S::kLbKeogh}},
+      CascadePlan{{S::kLbImproved}},
+      CascadePlan{{S::kFeatureLb, S::kLbKeogh}},
+      CascadePlan{{S::kLbYi, S::kLbImproved}},
+      CascadePlan::Full(),
+  };
+}
+
+TEST(FilterCascadeTest, AnswersMatchBruteForceForEveryPlanAndMode) {
+  Prng prng(201);
+  std::vector<DtwOptions> modes = {DtwOptions::Linf(), DtwOptions::L1(),
+                                   DtwOptions::L2()};
+  for (DtwOptions& options : modes) {
+    for (const int band : {-1, 3}) {
+      options.band = band;
+      const FilterCascade cascade(options);
+      const std::vector<Sequence> candidates = MakeCandidates(&prng, 60);
+      for (int trial = 0; trial < 8; ++trial) {
+        const Sequence query = RandomWalkSequence(&prng, 5, 40, -1);
+        const double epsilon = prng.UniformDouble(0.1, 2.0);
+        const std::vector<SequenceId> expected =
+            BruteForceMatches(candidates, query, epsilon, options);
+        for (const CascadePlan& plan : AllPlanShapes()) {
+          SearchResult result;
+          cascade.Run(query, epsilon, candidates, plan, &result,
+                      /*trace=*/nullptr, /*scratch=*/nullptr);
+          ASSERT_EQ(result.matches, expected)
+              << "plan=" << plan.ToString() << " band=" << band
+              << " eps=" << epsilon;
+        }
+      }
+    }
+  }
+}
+
+TEST(FilterCascadeTest, RunLbStagesPlusManualDtwEqualsRun) {
+  Prng prng(202);
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 4;
+  const FilterCascade cascade(options);
+  const Dtw dtw(options);
+  const std::vector<Sequence> candidates = MakeCandidates(&prng, 50);
+  const Sequence query = RandomWalkSequence(&prng, 10, 30, -1);
+  const double epsilon = 0.8;
+  const CascadePlan plan = CascadePlan::Full();
+
+  SearchResult full;
+  cascade.Run(query, epsilon, candidates, plan, &full, nullptr, nullptr);
+
+  SearchResult staged;
+  std::vector<Sequence> survivors = candidates;
+  cascade.RunLbStages(query, epsilon, &survivors, plan, &staged, nullptr);
+  std::vector<SequenceId> matches;
+  for (const Sequence& s : survivors) {
+    if (dtw.Distance(s, query).distance <= epsilon) {
+      matches.push_back(s.id());
+    }
+  }
+  EXPECT_EQ(matches, full.matches);
+  // The split path reports the same lower-bound work.
+  EXPECT_EQ(staged.cost.lb_evals, full.cost.lb_evals);
+}
+
+TEST(FilterCascadeTest, RecordsPerStageCountersAndTimings) {
+  Prng prng(203);
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 2;
+  const FilterCascade cascade(options);
+  const std::vector<Sequence> candidates = MakeCandidates(&prng, 40);
+  const Sequence query = RandomWalkSequence(&prng, 10, 30, -1);
+
+  SearchResult result;
+  CascadeObservation obs;
+  cascade.Run(query, /*epsilon=*/0.5, candidates, CascadePlan::Full(),
+              &result, nullptr, nullptr, &obs);
+
+  // First stage sees the whole list; each later stage sees the previous
+  // stage's survivors; dtw sees the last survivors.
+  uint64_t expect_in = candidates.size();
+  for (const CascadeStage stage :
+       {CascadeStage::kFeatureLb, CascadeStage::kLbYi,
+        CascadeStage::kLbKeogh, CascadeStage::kLbImproved}) {
+    const StageCounts counts = result.cost.prunes.Get(CascadeStageName(stage));
+    ASSERT_EQ(counts.in, expect_in) << CascadeStageName(stage);
+    ASSERT_LE(counts.pruned, counts.in);
+    EXPECT_EQ(obs.at(stage).in, counts.in);
+    EXPECT_EQ(obs.at(stage).pruned, counts.pruned);
+    EXPECT_GT(result.cost.stages.Get(CascadeStageName(stage)), 0.0);
+    expect_in -= counts.pruned;
+  }
+  const StageCounts dtw_counts = result.cost.prunes.Get(kStageDtwPostfilter);
+  EXPECT_EQ(dtw_counts.in, expect_in);
+  EXPECT_EQ(dtw_counts.in - dtw_counts.pruned, result.matches.size());
+  EXPECT_EQ(obs.dtw.in, expect_in);
+  EXPECT_EQ(result.cost.dtw_evals, expect_in);
+  // Every candidate entering a bound stage costs one lb evaluation.
+  uint64_t expected_lb_evals = 0;
+  for (const auto& [stage, counts] : result.cost.prunes.entries()) {
+    if (stage != kStageDtwPostfilter) {
+      expected_lb_evals += counts.in;
+    }
+  }
+  EXPECT_EQ(result.cost.lb_evals, expected_lb_evals);
+}
+
+TEST(FilterCascadeTest, TieAtEpsilonIsNeverPruned) {
+  // A candidate at exactly epsilon: S = Q + c elementwise, so under the
+  // L_inf model every stage's bound and the exact distance all equal c.
+  // Algorithm 1 accepts D_tw <= eps, so the cascade must keep the tie at
+  // every stage, for every plan.
+  const std::vector<double> base = {1.0, 2.5, 2.0, 3.5, 3.0};
+  const double c = 0.75;
+  Sequence query(base);
+  std::vector<double> shifted = base;
+  for (double& v : shifted) {
+    v += c;
+  }
+  std::vector<Sequence> candidates = {Sequence(shifted, /*id=*/7)};
+
+  for (const int band : {-1, 0, 2}) {
+    DtwOptions options = DtwOptions::Linf();
+    options.band = band;
+    ASSERT_DOUBLE_EQ(Dtw(options).Distance(candidates[0], query).distance, c);
+    const FilterCascade cascade(options);
+    for (const CascadePlan& plan : AllPlanShapes()) {
+      SearchResult result;
+      cascade.Run(query, /*epsilon=*/c, candidates, plan, &result, nullptr,
+                  nullptr);
+      ASSERT_EQ(result.matches, std::vector<SequenceId>{7})
+          << "tie dropped by plan=" << plan.ToString() << " band=" << band;
+    }
+    // Just below the tie the candidate must be rejected — by the exact
+    // stage, not necessarily by any bound.
+    SearchResult below;
+    cascade.Run(query, c - 1e-9, candidates, CascadePlan::Full(), &below,
+                nullptr, nullptr);
+    EXPECT_TRUE(below.matches.empty());
+  }
+}
+
+TEST(FilterCascadeTest, EmptyCandidateListIsANoop) {
+  const FilterCascade cascade(DtwOptions::Linf());
+  const Sequence query(std::vector<double>{1.0, 2.0});
+  SearchResult result;
+  cascade.Run(query, 1.0, {}, CascadePlan::Full(), &result, nullptr,
+              nullptr);
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.cost.dtw_evals, 0u);
+  EXPECT_EQ(result.cost.lb_evals, 0u);
+}
+
+TEST(CascadePlanTest, ToStringAlwaysEndsInDtw) {
+  EXPECT_EQ(CascadePlan::Paper().ToString(), "dtw");
+  const std::string full = CascadePlan::Full().ToString();
+  EXPECT_EQ(full,
+            "feature_lb_cascade > lb_yi_cascade > lb_keogh_cascade > "
+            "lb_improved_cascade > dtw");
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,265 @@
+// Envelope lower bounds (dtw/lb_keogh.h, dtw/lb_improved.h): envelope
+// construction against a brute-force reference, bound validity across
+// base distances / bands / length mismatches, the LB_Keogh <= LB_Improved
+// dominance, and the full-width degeneracy to the one-sided LB_Yi bound.
+
+#include "dtw/lb_keogh.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/prng.h"
+#include "dtw/dtw.h"
+#include "dtw/lb_improved.h"
+#include "dtw/lb_yi.h"
+
+namespace warpindex {
+namespace {
+
+Sequence RandomSequence(Prng* prng, int64_t min_len, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(prng->UniformDouble(-5.0, 5.0));
+  }
+  return s;
+}
+
+Sequence RandomWalkSequence(Prng* prng, int64_t min_len, int64_t max_len) {
+  Sequence s;
+  const int64_t len = prng->UniformInt(min_len, max_len);
+  double v = prng->UniformDouble(-1.0, 1.0);
+  for (int64_t i = 0; i < len; ++i) {
+    s.Append(v);
+    v += prng->UniformDouble(-0.2, 0.2);
+  }
+  return s;
+}
+
+// Brute-force window min/max for the envelope reference.
+double WindowExtreme(const Sequence& s, size_t j, size_t r, bool want_max) {
+  const size_t lo = j >= r ? j - r : 0;
+  const size_t hi = std::min(s.size() - 1, j + r);
+  double v = s[lo];
+  for (size_t k = lo + 1; k <= hi; ++k) {
+    v = want_max ? std::max(v, s[k]) : std::min(v, s[k]);
+  }
+  return v;
+}
+
+TEST(BandEnvelopeTest, MatchesBruteForceWindows) {
+  Prng prng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Sequence s = RandomSequence(&prng, 1, 40);
+    for (const size_t r : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                           s.size(), size_t{1000}}) {
+      const BandEnvelope env = ComputeBandEnvelope(s, r);
+      ASSERT_EQ(env.size(), s.size());
+      ASSERT_EQ(env.radius, r);
+      for (size_t j = 0; j < s.size(); ++j) {
+        ASSERT_DOUBLE_EQ(env.lower[j], WindowExtreme(s, j, r, false))
+            << "r=" << r << " j=" << j;
+        ASSERT_DOUBLE_EQ(env.upper[j], WindowExtreme(s, j, r, true))
+            << "r=" << r << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BandEnvelopeTest, SuffixArraysMatchBruteForce) {
+  Prng prng(42);
+  const Sequence s = RandomSequence(&prng, 10, 30);
+  const BandEnvelope env = ComputeBandEnvelope(s, 2);
+  for (size_t j = 0; j < s.size(); ++j) {
+    double lo = s[j];
+    double hi = s[j];
+    for (size_t k = j; k < s.size(); ++k) {
+      lo = std::min(lo, s[k]);
+      hi = std::max(hi, s[k]);
+    }
+    EXPECT_DOUBLE_EQ(env.suffix_min[j], lo);
+    EXPECT_DOUBLE_EQ(env.suffix_max[j], hi);
+  }
+}
+
+TEST(BandEnvelopeTest, ZeroRadiusEnvelopeIsTheSequenceItself) {
+  const Sequence s({3.0, -1.0, 4.0, 1.5});
+  const BandEnvelope env = ComputeBandEnvelope(s, 0);
+  for (size_t j = 0; j < s.size(); ++j) {
+    EXPECT_DOUBLE_EQ(env.lower[j], s[j]);
+    EXPECT_DOUBLE_EQ(env.upper[j], s[j]);
+  }
+}
+
+TEST(BandEnvelopeTest, FullWidthRadiusDoesNotOverflow) {
+  const Sequence s({1.0, 2.0, 0.5});
+  const BandEnvelope env = ComputeBandEnvelope(s, kFullWidthRadius);
+  EXPECT_EQ(env.radius, kFullWidthRadius);
+  for (size_t j = 0; j < s.size(); ++j) {
+    EXPECT_DOUBLE_EQ(env.lower[j], 0.5);
+    EXPECT_DOUBLE_EQ(env.upper[j], 2.0);
+  }
+}
+
+std::vector<DtwOptions> AllModes(int band) {
+  DtwOptions linf = DtwOptions::Linf();
+  DtwOptions l1 = DtwOptions::L1();
+  DtwOptions l2 = DtwOptions::L2();
+  linf.band = band;
+  l1.band = band;
+  l2.band = band;
+  return {linf, l1, l2};
+}
+
+TEST(LbKeoghTest, LowerBoundsBandedDtwAllModesAndBands) {
+  Prng prng(43);
+  for (const int band : {-1, 0, 1, 3, 100}) {
+    for (const DtwOptions& options : AllModes(band)) {
+      const Dtw dtw(options);
+      for (int trial = 0; trial < 120; ++trial) {
+        const Sequence s = RandomWalkSequence(&prng, 2, 40);
+        const Sequence q = RandomWalkSequence(&prng, 2, 40);
+        const BandEnvelope q_env =
+            ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+        const double lb = LbKeogh(s, q, q_env, options);
+        const double exact = dtw.Distance(s, q).distance;
+        ASSERT_LE(lb, exact + 1e-9)
+            << "band=" << band << " s=" << s.ToString(40)
+            << " q=" << q.ToString(40);
+      }
+    }
+  }
+}
+
+TEST(LbKeoghTest, NarrowEnvelopeFallbackStaysValid) {
+  // The envelope is built with radius 1 but the pair's length gap forces
+  // a much wider effective band — LbKeogh must recompute rather than use
+  // the too-narrow windows.
+  Prng prng(44);
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 1;
+  const Dtw dtw(options);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sequence s = RandomWalkSequence(&prng, 30, 40);
+    const Sequence q = RandomWalkSequence(&prng, 2, 6);
+    const BandEnvelope q_env = ComputeBandEnvelope(q, 1);
+    const double lb = LbKeogh(s, q, q_env, options);
+    ASSERT_LE(lb, dtw.Distance(s, q).distance + 1e-9);
+  }
+}
+
+TEST(LbKeoghTest, FullWidthEnvelopeEqualsOneSidedLbYi) {
+  // With a full-width envelope every window is [min Q, max Q], so the
+  // bound degenerates to LB_Yi's one-sided term (s against Q's global
+  // envelope) and can never exceed the two-sided LbYi.
+  Prng prng(45);
+  const DtwOptions options = DtwOptions::Linf();  // unconstrained
+  for (int trial = 0; trial < 100; ++trial) {
+    const Sequence s = RandomSequence(&prng, 1, 30);
+    const Sequence q = RandomSequence(&prng, 1, 30);
+    const BandEnvelope q_env = ComputeBandEnvelope(q, kFullWidthRadius);
+    const double keogh = LbKeogh(s, q, q_env, options);
+    const double yi = LbYi(s, q, options);
+    ASSERT_LE(keogh, yi + 1e-12);
+  }
+}
+
+TEST(LbKeoghTest, ZeroBandIdenticalLengthsIsPointwiseDistance) {
+  // band = 0 with equal lengths leaves a single warping path (the
+  // diagonal); the envelope is the sequence itself, so the bound equals
+  // the exact distance.
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 0;
+  const Sequence s({1.0, 5.0, 2.0});
+  const Sequence q({2.0, 3.0, 2.5});
+  const BandEnvelope q_env = ComputeBandEnvelope(q, 0);
+  const double lb = LbKeogh(s, q, q_env, options);
+  const double exact = Dtw(options).Distance(s, q).distance;
+  EXPECT_DOUBLE_EQ(lb, exact);
+  EXPECT_DOUBLE_EQ(lb, 2.0);  // max(|1-2|, |5-3|, |2-2.5|)
+}
+
+TEST(LbImprovedTest, DominatesLbKeoghAllModesAndBands) {
+  Prng prng(46);
+  for (const int band : {-1, 0, 2, 50}) {
+    for (const DtwOptions& options : AllModes(band)) {
+      for (int trial = 0; trial < 100; ++trial) {
+        const Sequence s = RandomWalkSequence(&prng, 2, 35);
+        const Sequence q = RandomWalkSequence(&prng, 2, 35);
+        const BandEnvelope q_env =
+            ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+        const double keogh = LbKeogh(s, q, q_env, options);
+        const double improved = LbImproved(s, q, q_env, options);
+        ASSERT_GE(improved, keogh - 1e-9) << "band=" << band;
+      }
+    }
+  }
+}
+
+TEST(LbImprovedTest, LowerBoundsBandedDtwAllModesAndBands) {
+  Prng prng(47);
+  for (const int band : {-1, 0, 1, 4, 100}) {
+    for (const DtwOptions& options : AllModes(band)) {
+      const Dtw dtw(options);
+      for (int trial = 0; trial < 120; ++trial) {
+        const Sequence s = RandomWalkSequence(&prng, 2, 40);
+        const Sequence q = RandomWalkSequence(&prng, 2, 40);
+        const BandEnvelope q_env =
+            ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+        const double lb = LbImproved(s, q, q_env, options);
+        const double exact = dtw.Distance(s, q).distance;
+        ASSERT_LE(lb, exact + 1e-9)
+            << "band=" << band << " s=" << s.ToString(40)
+            << " q=" << q.ToString(40);
+      }
+    }
+  }
+}
+
+TEST(LbImprovedTest, TighterThanKeoghOnShiftedWalks) {
+  // A banded sum-combined config where the second pass adds real pruning
+  // power (under the max combiner the second one-sided term rarely
+  // exceeds the first): aggregate tightness over offset random walks.
+  Prng prng(48);
+  DtwOptions options = DtwOptions::L1();
+  options.band = 4;
+  double keogh_sum = 0.0;
+  double improved_sum = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Sequence q = RandomWalkSequence(&prng, 20, 30);
+    Sequence s;
+    for (double v : q.elements()) {
+      s.Append(v + prng.UniformDouble(-0.5, 0.5));
+    }
+    const BandEnvelope q_env =
+        ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+    keogh_sum += LbKeogh(s, q, q_env, options);
+    improved_sum += LbImproved(s, q, q_env, options);
+  }
+  EXPECT_GT(improved_sum, keogh_sum);
+}
+
+TEST(OneSidedKeoghTest, ProjectionClampsIntoEnvelope) {
+  const Sequence q({0.0, 1.0, 2.0, 3.0});
+  const Sequence s({-1.0, 1.5, 10.0, 2.5});
+  const DtwOptions options = DtwOptions::Linf();
+  const BandEnvelope env = ComputeBandEnvelope(q, 1);
+  std::vector<double> h;
+  internal::OneSidedKeogh(s, env, 1, options, &h);
+  ASSERT_EQ(h.size(), s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(h[i], env.lower[i]);
+    EXPECT_LE(h[i], env.upper[i]);
+    // h is the nearest point of the window, so it never moves past s.
+    EXPECT_LE(std::min(s[i], env.lower[i]), h[i]);
+    EXPECT_LE(h[i], std::max(s[i], env.upper[i]));
+  }
+  EXPECT_DOUBLE_EQ(h[0], 0.0);   // clamped up to window min
+  EXPECT_DOUBLE_EQ(h[1], 1.5);   // inside, unchanged
+  EXPECT_DOUBLE_EQ(h[2], 3.0);   // clamped down to window max
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -4,11 +4,20 @@
 //   Theorem 2    D_tw-lb satisfies the triangular inequality
 //   Corollary 1  D_tw <= eps  =>  D_tw-lb <= eps (no false dismissal)
 //   §4.2         Feature(S) is invariant under time warping
+//
+// plus the envelope-bound chain underpinning the filter cascade
+// (docs/PLANNER.md): LB_Keogh <= LB_Improved <= banded D_tw for every
+// base-distance model and band width, including 0 and wider than the
+// sequences.
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/prng.h"
 #include "dtw/dtw.h"
+#include "dtw/lb_improved.h"
+#include "dtw/lb_keogh.h"
 #include "sequence/feature.h"
 
 namespace warpindex {
@@ -115,6 +124,84 @@ TEST(Corollary1Test, NoFalseDismissalUnderAnyTolerance) {
         ExtractFeature(s), ExtractFeature(q), epsilon);
     if (exact_match) {
       ASSERT_TRUE(lb_match) << "false dismissal at eps=" << epsilon;
+    }
+  }
+}
+
+// LB_Keogh <= LB_Improved <= banded D_tw, for every base-distance model
+// and band width — including band 0 (diagonal-only paths) and bands wider
+// than the sequences (equivalent to unconstrained).
+TEST(EnvelopeBoundChainTest, KeoghLeImprovedLeBandedDtwOnRandomNoise) {
+  Prng prng(107);
+  const std::vector<int> bands = {-1, 0, 1, 3, 8, 100};
+  for (const int band : bands) {
+    std::vector<DtwOptions> modes = {DtwOptions::Linf(), DtwOptions::L1(),
+                                     DtwOptions::L2()};
+    for (DtwOptions& options : modes) {
+      options.band = band;
+      const Dtw dtw(options);
+      for (int trial = 0; trial < 100; ++trial) {
+        const Sequence s = RandomSequence(&prng, 1, 30);
+        const Sequence q = RandomSequence(&prng, 1, 30);
+        const BandEnvelope q_env =
+            ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+        const double keogh = LbKeogh(s, q, q_env, options);
+        const double improved = LbImproved(s, q, q_env, options);
+        const double exact = dtw.Distance(s, q).distance;
+        ASSERT_LE(keogh, improved + 1e-9)
+            << "band=" << band << " s=" << s.ToString(30)
+            << " q=" << q.ToString(30);
+        ASSERT_LE(improved, exact + 1e-9)
+            << "band=" << band << " s=" << s.ToString(30)
+            << " q=" << q.ToString(30);
+      }
+    }
+  }
+}
+
+TEST(EnvelopeBoundChainTest, KeoghLeImprovedLeBandedDtwOnRandomWalks) {
+  Prng prng(108);
+  const std::vector<int> bands = {-1, 0, 2, 5, 64};
+  for (const int band : bands) {
+    std::vector<DtwOptions> modes = {DtwOptions::Linf(), DtwOptions::L1(),
+                                     DtwOptions::L2()};
+    for (DtwOptions& options : modes) {
+      options.band = band;
+      const Dtw dtw(options);
+      for (int trial = 0; trial < 100; ++trial) {
+        const Sequence s = RandomWalkSequence(&prng, 5, 50);
+        const Sequence q = RandomWalkSequence(&prng, 5, 50);
+        const BandEnvelope q_env =
+            ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+        const double keogh = LbKeogh(s, q, q_env, options);
+        const double improved = LbImproved(s, q, q_env, options);
+        const double exact = dtw.Distance(s, q).distance;
+        ASSERT_LE(keogh, improved + 1e-9) << "band=" << band;
+        ASSERT_LE(improved, exact + 1e-9) << "band=" << band;
+      }
+    }
+  }
+}
+
+// The cascade's no-false-dismissal contract at the property level: any
+// pair within eps under banded D_tw is within eps under both envelope
+// bounds (they prune only on strict excess).
+TEST(EnvelopeBoundChainTest, NoFalseDismissalUnderAnyTolerance) {
+  Prng prng(109);
+  DtwOptions options = DtwOptions::Linf();
+  options.band = 4;
+  const Dtw dtw(options);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Sequence s = RandomWalkSequence(&prng, 3, 40);
+    const Sequence q = RandomWalkSequence(&prng, 3, 40);
+    const double epsilon = prng.UniformDouble(0.0, 3.0);
+    if (dtw.Distance(s, q).distance <= epsilon) {
+      const BandEnvelope q_env =
+          ComputeBandEnvelope(q, EnvelopeRadiusFor(options));
+      ASSERT_LE(LbKeogh(s, q, q_env, options), epsilon + 1e-12)
+          << "LB_Keogh false dismissal at eps=" << epsilon;
+      ASSERT_LE(LbImproved(s, q, q_env, options), epsilon + 1e-12)
+          << "LB_Improved false dismissal at eps=" << epsilon;
     }
   }
 }

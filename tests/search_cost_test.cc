@@ -16,11 +16,16 @@ SearchCost MakeCost(double scale) {
   cost.io.RecordRandomRead(static_cast<uint64_t>(2 * scale));
   cost.io.RecordSequentialRun(static_cast<uint64_t>(10 * scale));
   cost.dtw_cells = static_cast<uint64_t>(100 * scale);
+  cost.dtw_evals = static_cast<uint64_t>(8 * scale);
   cost.lb_evals = static_cast<uint64_t>(5 * scale);
   cost.index_nodes = static_cast<uint64_t>(3 * scale);
   cost.wall_ms = 1.5 * scale;
   cost.stages.Add(kStageRtreeSearch, 0.5 * scale);
   cost.stages.Add(kStageDtwPostfilter, 1.0 * scale);
+  cost.prunes.Record(kStageLbKeoghCascade, static_cast<uint64_t>(20 * scale),
+                     static_cast<uint64_t>(12 * scale));
+  cost.prunes.Record(kStageDtwPostfilter, static_cast<uint64_t>(8 * scale),
+                     static_cast<uint64_t>(4 * scale));
   return cost;
 }
 
@@ -33,6 +38,7 @@ TEST(SearchCostTest, MergeIsAdditive) {
   EXPECT_EQ(a.io.sequential_page_reads, 30u);
   EXPECT_EQ(a.io.seeks, 2u + 1u + 4u + 1u);
   EXPECT_EQ(a.dtw_cells, 300u);
+  EXPECT_EQ(a.dtw_evals, 24u);
   EXPECT_EQ(a.lb_evals, 15u);
   EXPECT_EQ(a.index_nodes, 9u);
   EXPECT_DOUBLE_EQ(a.wall_ms, 4.5);
@@ -40,6 +46,21 @@ TEST(SearchCostTest, MergeIsAdditive) {
   EXPECT_DOUBLE_EQ(a.stages.Get(kStageRtreeSearch), 1.5);
   EXPECT_DOUBLE_EQ(a.stages.Get(kStageDtwPostfilter), 3.0);
   EXPECT_DOUBLE_EQ(a.stages.TotalMillis(), 4.5);
+  // StageCounters merge additively too (in and pruned separately).
+  EXPECT_EQ(a.prunes.Get(kStageLbKeoghCascade).in, 60u);
+  EXPECT_EQ(a.prunes.Get(kStageLbKeoghCascade).pruned, 36u);
+  EXPECT_EQ(a.prunes.Get(kStageDtwPostfilter).in, 24u);
+  EXPECT_EQ(a.prunes.Get(kStageDtwPostfilter).pruned, 12u);
+}
+
+TEST(SearchCostTest, MergeBringsInPruneStagesMissingOnTheLeft) {
+  SearchCost a;
+  SearchCost b;
+  b.prunes.Record(kStageLbImprovedCascade, 10, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.prunes.Get(kStageLbImprovedCascade).in, 10u);
+  EXPECT_EQ(a.prunes.Get(kStageLbImprovedCascade).pruned, 3u);
+  EXPECT_EQ(a.prunes.size(), 1u);
 }
 
 TEST(SearchCostTest, MergeBringsInStagesMissingOnTheLeft) {
@@ -60,11 +81,13 @@ TEST(SearchCostTest, ResetClearsEverything) {
   EXPECT_EQ(cost.io.sequential_page_reads, 0u);
   EXPECT_EQ(cost.io.seeks, 0u);
   EXPECT_EQ(cost.dtw_cells, 0u);
+  EXPECT_EQ(cost.dtw_evals, 0u);
   EXPECT_EQ(cost.lb_evals, 0u);
   EXPECT_EQ(cost.index_nodes, 0u);
   EXPECT_DOUBLE_EQ(cost.wall_ms, 0.0);
   EXPECT_TRUE(cost.stages.empty());
   EXPECT_DOUBLE_EQ(cost.stages.TotalMillis(), 0.0);
+  EXPECT_TRUE(cost.prunes.empty());
 }
 
 TEST(SearchCostTest, ResetThenMergeAccumulatesFresh) {
