@@ -92,6 +92,42 @@ void BM_RTreeKnn(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeKnn)->Arg(10000)->Arg(100000);
 
+// HealthStats itself (one full traversal), reported with the structure
+// quality it measures: leaf occupancy and the directory-level overlap /
+// dead-space estimates. range(1) selects construction — bulk-loaded
+// trees should show visibly higher occupancy than one-at-a-time
+// insertion (the §4.3.1 argument for bulk loading, now measurable live
+// via /statusz).
+void BM_RTreeHealthStats(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool bulk = state.range(1) != 0;
+  const auto entries = FeatureLikeEntries(n, 11);
+  RTree tree(4);
+  if (bulk) {
+    tree = BulkLoadStr(4, RTreeOptions{}, entries);
+  } else {
+    for (const auto& e : entries) {
+      tree.Insert(e.rect, e.record_id);
+    }
+  }
+  RTreeHealth health;
+  for (auto _ : state) {
+    health = tree.HealthStats();
+    benchmark::DoNotOptimize(health.nodes);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(health.nodes));
+  state.counters["leaf_occupancy_pct"] = 100.0 * health.leaf_occupancy;
+  state.counters["overlap_ratio"] = health.overlap_ratio;
+  state.counters["dead_space_ratio"] = health.dead_space_ratio;
+  state.SetLabel(bulk ? "bulk_load" : "insert_one_at_a_time");
+}
+BENCHMARK(BM_RTreeHealthStats)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1});
+
 void BM_RTreeDelete(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   const auto entries = FeatureLikeEntries(n, 9);

@@ -90,7 +90,7 @@ int Run(int argc, char** argv) {
   }
 
   TablePrinter table(stdout, {"threads", "qps", "batch_ms", "p50_ms",
-                              "p99_ms", "scaling_vs_1t"});
+                              "p99_ms", "p999_ms", "scaling_vs_1t"});
   table.PrintHeader();
   double qps_1t = 0.0;
   for (const int64_t threads : bench::ParseIntList(thread_list)) {
@@ -119,18 +119,21 @@ int Run(int argc, char** argv) {
     const double scaling = qps_1t > 0.0 ? best_qps / qps_1t : 0.0;
     const double p50 = Percentile(latencies, 0.5);
     const double p99 = Percentile(latencies, 0.99);
+    const double p999 = Percentile(latencies, 0.999);
     table.PrintRow({std::to_string(threads), bench::FormatDouble(best_qps, 1),
                     bench::FormatDouble(best_wall, 2),
                     bench::FormatDouble(p50, 3), bench::FormatDouble(p99, 3),
+                    bench::FormatDouble(p999, 3),
                     bench::FormatDouble(scaling, 2)});
     if (json != nullptr) {
       std::fprintf(json,
                    "{\"bench\":\"micro_throughput\",\"method\":\"%s\","
                    "\"threads\":%lld,\"queries\":%zu,\"qps\":%.3f,"
                    "\"batch_ms\":%.3f,\"p50_ms\":%.5f,\"p99_ms\":%.5f,"
-                   "\"scaling_vs_1t\":%.3f}\n",
+                   "\"p999_ms\":%.5f,\"scaling_vs_1t\":%.3f}\n",
                    method.c_str(), static_cast<long long>(threads),
-                   requests.size(), best_qps, best_wall, p50, p99, scaling);
+                   requests.size(), best_qps, best_wall, p50, p99, p999,
+                   scaling);
     }
   }
   if (json != nullptr) {

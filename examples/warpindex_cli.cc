@@ -21,17 +21,29 @@
 //   $ ./warpindex_cli serve --dataset stock --threads 4 --eps 4
 //   $ ./warpindex_cli serve --data my_series.csv --queries patterns.csv \
 //         --threads 8 --eps 0.5
+//
+//   # serve with the live introspection server and scrape it:
+//   $ ./warpindex_cli serve --dataset stock --http_port 8080 --linger_s 600 &
+//   $ ./warpindex_cli inspect --http_port 8080 --endpoint /statusz
+//   $ curl -s localhost:8080/metrics
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/stats.h"
 #include "core/engine.h"
+#include "exec/introspection.h"
 #include "exec/query_executor.h"
 #include "obs/exporters.h"
+#include "obs/flight_recorder.h"
+#include "obs/httpd.h"
+#include "obs/slow_log.h"
 #include "sequence/dataset_io.h"
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
@@ -123,9 +135,18 @@ void PrintPruneTable(const StageCounters& prunes) {
   }
 }
 
+// Set by SIGINT/SIGTERM so the --linger_s wait exits cleanly (CI smoke
+// kills the backgrounded server with TERM and expects exit 0).
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
+
 // `serve` subcommand: batch-mode serving path. Loads a database, builds
 // the index once, then runs a query workload through the concurrent
-// QueryExecutor and reports throughput and latency percentiles.
+// QueryExecutor and reports throughput and latency percentiles. With
+// --http_port it also runs the live introspection server (/metrics,
+// /statusz, /slowlog, /flightrecorder; see docs/OBSERVABILITY.md) and
+// --linger_s keeps it scrapeable after the batches finish.
 int RunServe(int argc, char** argv) {
   std::string dataset_kind = "stock";
   std::string data_path;
@@ -138,6 +159,10 @@ int RunServe(int argc, char** argv) {
   int64_t repeat = 1;
   int64_t seed = 1;
   bool show_metrics = false;
+  int64_t http_port = -1;
+  double linger_s = 0.0;
+  int64_t flight_capacity = 256;
+  int64_t slow_worst_k = 32;
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -157,7 +182,22 @@ int RunServe(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "generated-workload seed");
   flags.AddBool("metrics", &show_metrics,
                 "print the metrics snapshot (Prometheus text) afterwards");
+  flags.AddInt64("http_port", &http_port,
+                 "run the introspection HTTP server on 127.0.0.1:<port> "
+                 "(0 = ephemeral; negative = disabled)");
+  flags.AddDouble("linger_s", &linger_s,
+                  "keep the HTTP server scrapeable this many seconds after "
+                  "the batches finish (SIGINT/SIGTERM ends it early)");
+  flags.AddInt64("flight_capacity", &flight_capacity,
+                 "flight-recorder ring size (last N completed queries)");
+  flags.AddInt64("slow_worst_k", &slow_worst_k,
+                 "slow-query log size (worst K queries by latency)");
   if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flight_capacity <= 0 || slow_worst_k <= 0) {
+    std::fprintf(stderr,
+                 "--flight_capacity and --slow_worst_k must be positive\n");
     return 1;
   }
   if (eps < 0.0) {
@@ -206,9 +246,43 @@ int RunServe(int argc, char** argv) {
     requests.push_back(QueryRequest{kind, std::move(q), eps});
   }
 
+  // Always-on flight recorder and slow-query log: every completed query
+  // lands in both, whether or not the HTTP server is up.
+  FlightRecorderOptions recorder_options;
+  recorder_options.capacity = static_cast<size_t>(flight_capacity);
+  FlightRecorder flight_recorder(recorder_options);
+  SlowQueryLog slow_log(static_cast<size_t>(slow_worst_k));
+
   QueryExecutorOptions executor_options;
   executor_options.num_threads = static_cast<size_t>(threads);
+  executor_options.flight_recorder = &flight_recorder;
+  executor_options.slow_log = &slow_log;
   QueryExecutor executor(&engine, executor_options);
+
+  if (http_port > 65535) {
+    std::fprintf(stderr, "--http_port out of range\n");
+    return 1;
+  }
+  IntrospectionServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(http_port > 0 ? http_port : 0);
+  IntrospectionServer server(server_options);
+  if (http_port >= 0) {
+    RegisterIntrospectionRoutes(
+        &server, IntrospectionOptions{.engine = &engine,
+                                      .executor = &executor,
+                                      .flight_recorder = &flight_recorder,
+                                      .slow_log = &slow_log});
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot start introspection server: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("introspection server on http://127.0.0.1:%u "
+                "(/healthz /metrics /statusz /slowlog /flightrecorder)\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+  }
   if (kind == MethodKind::kTwSimSearchCascade) {
     std::printf("serving %zu %s queries (eps=%.4f, plan=%s) over %zu "
                 "threads\n",
@@ -235,10 +309,11 @@ int RunServe(int argc, char** argv) {
     }
     std::printf(
         "batch %lld: %.1f queries/s (%.2f ms wall), %zu matches, "
-        "service p50=%.3f ms p99=%.3f ms\n",
+        "service p50=%.3f ms p99=%.3f ms p999=%.3f ms\n",
         static_cast<long long>(round), batch.queries_per_sec,
         batch.wall_ms, total_matches, Percentile(latencies, 0.5),
-        Percentile(latencies, 0.99));
+        Percentile(latencies, 0.99), Percentile(latencies, 0.999));
+    std::fflush(stdout);
   }
   PrintPruneTable(batch_prunes);
   if (total_dtw_evals > 0) {
@@ -249,6 +324,71 @@ int RunServe(int argc, char** argv) {
   if (show_metrics) {
     std::printf("\n== metrics snapshot ==\n%s",
                 MetricsToPrometheusText(engine.MetricsSnapshot()).c_str());
+  }
+
+  // Keep the introspection server scrapeable (CI smoke and operators
+  // curl the endpoints while we linger here).
+  if (server.running() && linger_s > 0.0) {
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    std::printf("lingering %.0f s for scrapes (SIGINT/SIGTERM to stop)\n",
+                linger_s);
+    std::fflush(stdout);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(linger_s));
+    while (g_stop_requested == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Stop();
+    std::printf("introspection server stopped (%llu requests served)\n",
+                static_cast<unsigned long long>(server.requests_served()));
+  }
+  return 0;
+}
+
+// `inspect` subcommand: one-shot client for a running introspection
+// server — fetches an endpoint and prints the body to stdout.
+int RunInspect(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int64_t http_port = 0;
+  std::string endpoint = "/statusz";
+  int64_t timeout_ms = 5000;
+
+  FlagSet flags("warpindex_cli inspect");
+  flags.AddString("host", &host, "server address (numeric IPv4)");
+  flags.AddInt64("http_port", &http_port,
+                 "port of a running `serve --http_port` instance");
+  flags.AddString("endpoint", &endpoint,
+                  "/healthz | /metrics | /statusz | /slowlog | "
+                  "/flightrecorder");
+  flags.AddInt64("timeout_ms", &timeout_ms, "socket timeout");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (http_port <= 0 || http_port > 65535) {
+    std::fprintf(stderr, "pass --http_port of a running server\n");
+    return 1;
+  }
+
+  std::string body;
+  int status_code = 0;
+  const Status status =
+      HttpGet(host, static_cast<uint16_t>(http_port), endpoint, &body,
+              &status_code, static_cast<int>(timeout_ms));
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fputs(body.c_str(), stdout);
+  if (!body.empty() && body.back() != '\n') {
+    std::fputc('\n', stdout);
+  }
+  if (status_code != 200) {
+    std::fprintf(stderr, "HTTP %d\n", status_code);
+    return 1;
   }
   return 0;
 }
@@ -288,6 +428,11 @@ int Run(int argc, char** argv) {
   // `serve` subcommand: concurrent batch serving (own flag set).
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return RunServe(argc - 1, argv + 1);
+  }
+
+  // `inspect` subcommand: scrape a running introspection server.
+  if (argc > 1 && std::strcmp(argv[1], "inspect") == 0) {
+    return RunInspect(argc - 1, argv + 1);
   }
 
   // `stats` subcommand: run the configured query workload, then print the

@@ -182,6 +182,19 @@ Status Engine::ExportTrace(const Trace& trace, const std::string& path,
   return AppendTraceJsonLines(trace, path, query_id);
 }
 
+Engine::Health Engine::TakeHealthSnapshot() const {
+  Health health;
+  health.dataset_sequences = dataset_.size();
+  health.live_sequences = store_.num_live();
+  health.index_entries = feature_index_.size();
+  health.index = feature_index_.rtree().HealthStats();
+  if (index_pool_ != nullptr) {
+    health.has_pool = true;
+    health.pool = index_pool_->TakeStatsSnapshot();
+  }
+  return health;
+}
+
 void Engine::RebuildSubsequenceIndex() {
   assert(options_.build_subsequence_index);
   SubsequenceIndexOptions sub;

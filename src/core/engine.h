@@ -209,6 +209,20 @@ class Engine {
 
   // ---- Observability (see docs/OBSERVABILITY.md).
 
+  // Point-in-time health of the engine's storage and index layers, the
+  // core of /statusz (exec/introspection.h). Safe to call concurrently
+  // with queries; one full index traversal, so poll it from dashboards,
+  // not per query.
+  struct Health {
+    size_t dataset_sequences = 0;
+    size_t live_sequences = 0;
+    size_t index_entries = 0;
+    RTreeHealth index;
+    bool has_pool = false;
+    BufferPool::StatsSnapshot pool;  // zeros when !has_pool
+  };
+  Health TakeHealthSnapshot() const;
+
   // The registry this engine records per-query metrics into.
   MetricsRegistry& metrics() const { return *metrics_; }
 

@@ -1,0 +1,204 @@
+#include "exec/introspection.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/exporters.h"
+#include "plan/cascade_planner.h"
+
+namespace warpindex {
+namespace {
+
+// Local finite-number formatter (JSON has no Inf/NaN).
+std::string Num(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string RTreeHealthJson(const RTreeHealth& h) {
+  std::string out = "{";
+  out += "\"height\":" + std::to_string(h.height);
+  out += ",\"records\":" + std::to_string(h.records);
+  out += ",\"nodes\":" + std::to_string(h.nodes);
+  out += ",\"leaves\":" + std::to_string(h.leaves);
+  out += ",\"supernodes\":" + std::to_string(h.supernodes);
+  out += ",\"pages\":" + std::to_string(h.pages);
+  out += ",\"bytes\":" + std::to_string(h.bytes);
+  out += ",\"node_capacity\":" + std::to_string(h.node_capacity);
+  out += ",\"leaf_occupancy\":" + Num(h.leaf_occupancy);
+  out += ",\"overlap_ratio\":" + Num(h.overlap_ratio);
+  out += ",\"dead_space_ratio\":" + Num(h.dead_space_ratio);
+  out += ",\"levels\":[";
+  for (size_t i = 0; i < h.levels.size(); ++i) {
+    const RTreeHealth::LevelStats& level = h.levels[i];
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += "{\"level\":" + std::to_string(level.level);
+    out += ",\"nodes\":" + std::to_string(level.nodes);
+    out += ",\"entries\":" + std::to_string(level.entries);
+    out += ",\"avg_occupancy\":" + Num(level.avg_occupancy);
+    out += ",\"min_occupancy\":" + Num(level.min_occupancy) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string PlannerJson(const CascadePlanner::Snapshot& p) {
+  std::string out = "{";
+  out += "\"mode\":" + JsonEscape(PlanModeName(p.mode));
+  out += ",\"plans_chosen\":" + std::to_string(p.plans_chosen);
+  out += ",\"current_plan\":" + JsonEscape(p.current_plan.ToString());
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < p.stages.size(); ++i) {
+    const CascadePlanner::StageSnapshot& stage = p.stages[i];
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += JsonEscape(std::string(CascadeStageName(stage.stage)));
+    out += ":{\"unit_cost_ms\":" + Num(stage.stats.unit_cost_ms);
+    out += ",\"pass_rate\":" + Num(stage.stats.pass_rate);
+    out += ",\"updates\":" + std::to_string(stage.stats.updates);
+    out += std::string(",\"in_current_plan\":") +
+           (stage.in_current_plan ? "true" : "false") + "}";
+  }
+  out += "},\"dtw\":{\"unit_cost_ms\":" + Num(p.dtw.unit_cost_ms);
+  out += ",\"pass_rate\":" + Num(p.dtw.pass_rate);
+  out += ",\"updates\":" + std::to_string(p.dtw.updates) + "}}";
+  return out;
+}
+
+}  // namespace
+
+std::string StatuszJson(const IntrospectionOptions& options,
+                        double uptime_s) {
+  const Engine& engine = *options.engine;
+  const Engine::Health health = engine.TakeHealthSnapshot();
+
+  std::string out = "{\"build\":{";
+  out += "\"name\":\"warpindex\"";
+  out += ",\"version\":" + JsonEscape(kWarpIndexVersion);
+#if defined(__VERSION__)
+  out += ",\"compiler\":" + JsonEscape(__VERSION__);
+#endif
+  out += ",\"cxx_standard\":" + std::to_string(__cplusplus);
+  out += "},\"uptime_s\":" + Num(uptime_s);
+
+  out += ",\"dataset\":{\"sequences\":" +
+         std::to_string(health.dataset_sequences);
+  out += ",\"live\":" + std::to_string(health.live_sequences);
+  out += ",\"index_entries\":" + std::to_string(health.index_entries) +
+         "}";
+
+  out += ",\"engine\":{\"page_size_bytes\":" +
+         std::to_string(engine.options().page_size_bytes);
+  out += ",\"index_buffer_pages\":" +
+         std::to_string(engine.options().index_buffer_pages) + "}";
+
+  if (options.executor != nullptr) {
+    const QueryExecutor::Snapshot exec = options.executor->TakeSnapshot();
+    out += ",\"executor\":{\"threads\":" +
+           std::to_string(exec.num_threads);
+    out += ",\"in_flight\":" + std::to_string(exec.in_flight);
+    out += ",\"queue_depth\":" + std::to_string(exec.queue_depth);
+    out += ",\"queries_total\":" + std::to_string(exec.queries_total);
+    out += ",\"batches_total\":" + std::to_string(exec.batches_total) +
+           "}";
+  } else {
+    out += ",\"executor\":null";
+  }
+
+  if (health.has_pool) {
+    out += ",\"buffer_pool\":{\"capacity\":" +
+           std::to_string(health.pool.capacity);
+    out += ",\"cached\":" + std::to_string(health.pool.cached);
+    out += ",\"shards\":" + std::to_string(health.pool.shards);
+    out += ",\"hits\":" + std::to_string(health.pool.hits);
+    out += ",\"misses\":" + std::to_string(health.pool.misses);
+    out += ",\"hit_ratio\":" + Num(health.pool.hit_ratio) + "}";
+  } else {
+    out += ",\"buffer_pool\":null";
+  }
+
+  out += ",\"rtree\":" + RTreeHealthJson(health.index);
+  out += ",\"planner\":" +
+         PlannerJson(engine.tw_sim_search_cascade().planner().TakeSnapshot());
+
+  if (options.flight_recorder != nullptr) {
+    const FlightRecorder& recorder = *options.flight_recorder;
+    out += ",\"flight_recorder\":{\"capacity\":" +
+           std::to_string(recorder.capacity());
+    out += ",\"sample_every\":" + std::to_string(recorder.sample_every());
+    out += ",\"offered\":" + std::to_string(recorder.offered());
+    out += ",\"recorded\":" + std::to_string(recorder.recorded()) + "}";
+  } else {
+    out += ",\"flight_recorder\":null";
+  }
+
+  if (options.slow_log != nullptr) {
+    out += ",\"slow_log\":{\"capacity\":" +
+           std::to_string(options.slow_log->capacity());
+    out += ",\"offered\":" + std::to_string(options.slow_log->offered());
+    out += ",\"admission_threshold_ms\":" +
+           Num(options.slow_log->admission_threshold_ms()) + "}";
+  } else {
+    out += ",\"slow_log\":null";
+  }
+
+  out += "}";
+  return out;
+}
+
+void RegisterIntrospectionRoutes(IntrospectionServer* server,
+                                 const IntrospectionOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+
+  server->Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{.body = "ok\n"};
+  });
+
+  server->Handle("/metrics", [options](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        MetricsToPrometheusText(options.engine->MetricsSnapshot());
+    return response;
+  });
+
+  server->Handle("/statusz", [options, started](const HttpRequest&) {
+    const double uptime_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = StatuszJson(options, uptime_s);
+    return response;
+  });
+
+  server->Handle("/slowlog", [options](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = FlightRecordsToJson(
+        options.slow_log != nullptr ? options.slow_log->Snapshot()
+                                    : std::vector<FlightRecord>{});
+    return response;
+  });
+
+  server->Handle("/flightrecorder", [options](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = FlightRecordsToJson(
+        options.flight_recorder != nullptr
+            ? options.flight_recorder->Snapshot()
+            : std::vector<FlightRecord>{});
+    return response;
+  });
+}
+
+}  // namespace warpindex

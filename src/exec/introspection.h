@@ -1,0 +1,64 @@
+// Wires the serving stack into the introspection HTTP server
+// (obs/httpd.h): one call registers every operator-facing endpoint over
+// an Engine and (optionally) its QueryExecutor, FlightRecorder, and
+// SlowQueryLog.
+//
+// Endpoints (reference with sample payloads in docs/OBSERVABILITY.md):
+//
+//   /healthz          liveness: "ok\n" while the process serves
+//   /metrics          Prometheus text exposition of the engine registry
+//   /statusz          JSON: build info, uptime, executor gauges,
+//                     buffer-pool hit ratio, R-tree health, planner
+//                     cost-model snapshot, recorder/slow-log state
+//   /slowlog          JSON: the worst-K queries by latency, slowest
+//                     first, with per-stage timings and prune counters
+//   /flightrecorder   JSON: the last N completed queries, oldest first
+//
+// Every handler renders from the snapshot APIs (Engine::
+// TakeHealthSnapshot, CascadePlanner::TakeSnapshot, BufferPool::
+// TakeStatsSnapshot, QueryExecutor::TakeSnapshot, FlightRecorder/
+// SlowQueryLog::Snapshot), all of which are safe against in-flight
+// queries — scraping never pauses serving. Do not mutate the engine
+// (Insert/Remove/Rebuild*) while the server is running; the same
+// exclusion rule as for queries (docs/CONCURRENCY.md).
+
+#ifndef WARPINDEX_EXEC_INTROSPECTION_H_
+#define WARPINDEX_EXEC_INTROSPECTION_H_
+
+#include <string>
+
+#include "core/engine.h"
+#include "exec/query_executor.h"
+#include "obs/flight_recorder.h"
+#include "obs/httpd.h"
+#include "obs/slow_log.h"
+
+namespace warpindex {
+
+// Library version reported in /statusz build info.
+inline constexpr const char* kWarpIndexVersion = "0.4.0";
+
+struct IntrospectionOptions {
+  const Engine* engine = nullptr;        // required
+  const QueryExecutor* executor = nullptr;  // optional
+  const FlightRecorder* flight_recorder = nullptr;
+  const SlowQueryLog* slow_log = nullptr;
+};
+
+// Registers /healthz, /metrics, /statusz, /slowlog, and /flightrecorder
+// on `server` (call before Start()). All pointers in `options` are
+// borrowed and must outlive the server. Null optionals render as JSON
+// null in /statusz; /slowlog and /flightrecorder answer 404-free with an
+// empty record list.
+void RegisterIntrospectionRoutes(IntrospectionServer* server,
+                                 const IntrospectionOptions& options);
+
+// The /statusz document (exposed separately so tests and the CLI can
+// render it without a socket). `uptime_s` is the caller's serving-start
+// clock.
+std::string StatuszJson(const IntrospectionOptions& options,
+                        double uptime_s);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_EXEC_INTROSPECTION_H_

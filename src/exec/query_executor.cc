@@ -82,8 +82,48 @@ DtwScratch* QueryExecutor::CurrentWorkerScratch() {
 SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
                                      double epsilon, Trace* trace) {
   queries_total_->Increment();
-  return engine_->SearchWith(kind, query, epsilon, trace,
-                             CurrentWorkerScratch());
+  SearchResult result = engine_->SearchWith(kind, query, epsilon, trace,
+                                            CurrentWorkerScratch());
+  RecordFlight(kind, query, epsilon, result);
+  return result;
+}
+
+void QueryExecutor::RecordFlight(MethodKind kind, const Sequence& query,
+                                 double epsilon,
+                                 const SearchResult& result) const {
+  if (options_.flight_recorder == nullptr && options_.slow_log == nullptr) {
+    return;
+  }
+  FlightRecord record;
+  record.method = MethodKindName(kind);
+  record.epsilon = epsilon;
+  record.query_length = query.size();
+  record.matches = result.matches.size();
+  record.num_candidates = result.num_candidates;
+  record.wall_ms = result.cost.wall_ms;
+  record.dtw_evals = result.cost.dtw_evals;
+  record.dtw_cells = result.cost.dtw_cells;
+  record.index_nodes = result.cost.index_nodes;
+  record.pool_hits = result.cost.pool_hits;
+  record.pool_misses = result.cost.pool_misses;
+  record.stage_ms = result.cost.stages;
+  record.prunes = result.cost.prunes;
+  if (options_.slow_log != nullptr) {
+    options_.slow_log->Record(record);
+  }
+  if (options_.flight_recorder != nullptr) {
+    options_.flight_recorder->Record(std::move(record));
+  }
+}
+
+QueryExecutor::Snapshot QueryExecutor::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.num_threads = pool_.num_threads();
+  snapshot.queue_depth = pool_.queue_depth();
+  snapshot.in_flight = inflight_->value();
+  snapshot.queries_total = queries_total_->value();
+  snapshot.batches_total = batches_total_->value();
+  return snapshot;
 }
 
 std::future<SearchResult> QueryExecutor::Submit(MethodKind kind,
@@ -289,6 +329,9 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                  static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
+  RecordFlight(use_cascade ? MethodKind::kTwSimSearchCascade
+                           : MethodKind::kTwSimSearch,
+               query, epsilon, result);
   return result;
 }
 

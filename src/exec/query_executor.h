@@ -42,6 +42,8 @@
 
 #include "core/engine.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/slow_log.h"
 
 namespace warpindex {
 
@@ -50,6 +52,12 @@ struct QueryExecutorOptions {
   size_t num_threads = 0;
   // Candidates per chunk for SearchParallel's post-filter fan-out.
   size_t postfilter_chunk = 16;
+  // Optional always-on query history sinks (borrowed; must outlive the
+  // executor). Every completed query is offered to both — the recorder
+  // samples, the slow log keeps the worst-K — feeding /flightrecorder
+  // and /slowlog (see exec/introspection.h).
+  FlightRecorder* flight_recorder = nullptr;
+  SlowQueryLog* slow_log = nullptr;
 };
 
 // One range query of a batch.
@@ -116,10 +124,27 @@ class QueryExecutor {
   size_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
 
+  // Point-in-time serving-path gauges for live introspection (/statusz).
+  // Safe to call concurrently with queries; values are relaxed atomic
+  // reads, coherent enough for a dashboard.
+  struct Snapshot {
+    size_t num_threads = 0;
+    size_t queue_depth = 0;
+    int64_t in_flight = 0;
+    uint64_t queries_total = 0;
+    uint64_t batches_total = 0;
+  };
+  Snapshot TakeSnapshot() const;
+
  private:
   // Runs one query on the calling (worker) thread with its scratch.
   SearchResult RunQuery(MethodKind kind, const Sequence& query,
                         double epsilon, Trace* trace);
+
+  // Offers a finished query to the configured flight recorder / slow
+  // log (no-op when neither is set).
+  void RecordFlight(MethodKind kind, const Sequence& query, double epsilon,
+                    const SearchResult& result) const;
 
   DtwScratch* CurrentWorkerScratch();
 

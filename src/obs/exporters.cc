@@ -86,6 +86,45 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+std::string PrometheusEscapeHelp(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabelValue(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string TraceToJsonLines(const Trace& trace, int64_t query_id) {
   std::string out;
   const std::vector<TraceSpan>& spans = trace.spans();
@@ -136,7 +175,8 @@ std::string MetricsToPrometheusText(
   std::string out;
   for (const auto& counter : snapshot.counters) {
     if (!counter.help.empty()) {
-      out.append("# HELP " + counter.name + " " + counter.help + "\n");
+      out.append("# HELP " + counter.name + " " +
+                 PrometheusEscapeHelp(counter.help) + "\n");
     }
     out.append("# TYPE " + counter.name + " counter\n");
     char buf[32];
@@ -145,7 +185,8 @@ std::string MetricsToPrometheusText(
   }
   for (const auto& gauge : snapshot.gauges) {
     if (!gauge.help.empty()) {
-      out.append("# HELP " + gauge.name + " " + gauge.help + "\n");
+      out.append("# HELP " + gauge.name + " " +
+                 PrometheusEscapeHelp(gauge.help) + "\n");
     }
     out.append("# TYPE " + gauge.name + " gauge\n");
     char buf[32];
@@ -154,7 +195,8 @@ std::string MetricsToPrometheusText(
   }
   for (const auto& hist : snapshot.histograms) {
     if (!hist.help.empty()) {
-      out.append("# HELP " + hist.name + " " + hist.help + "\n");
+      out.append("# HELP " + hist.name + " " +
+                 PrometheusEscapeHelp(hist.help) + "\n");
     }
     out.append("# TYPE " + hist.name + " histogram\n");
     const Histogram::Snapshot& s = hist.snapshot;
@@ -164,8 +206,8 @@ std::string MetricsToPrometheusText(
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
       out.append(hist.name + "_bucket{le=\"" +
-                 JsonNumber(s.boundaries[i]).c_str() + "\"} " + buf +
-                 "\n");
+                 PrometheusEscapeLabelValue(JsonNumber(s.boundaries[i])) +
+                 "\"} " + buf + "\n");
     }
     cumulative += s.bucket_counts.back();
     char buf[32];
@@ -223,6 +265,9 @@ std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot) {
     out.append(",\"max\":" +
                JsonNumber(s.stats.count() == 0 ? 0.0 : s.stats.max()));
     out.append(",\"stddev\":" + JsonNumber(s.stats.stddev()));
+    out.append(",\"p50\":" + JsonNumber(s.EstimatePercentile(0.5)));
+    out.append(",\"p99\":" + JsonNumber(s.EstimatePercentile(0.99)));
+    out.append(",\"p999\":" + JsonNumber(s.EstimatePercentile(0.999)));
     out.append(",\"boundaries\":[");
     for (size_t i = 0; i < s.boundaries.size(); ++i) {
       if (i > 0) {
@@ -241,6 +286,68 @@ std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot) {
     out.append("]}");
   }
   out.append("}}");
+  return out;
+}
+
+std::string FlightRecordToJson(const FlightRecord& record) {
+  char buf[48];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.seq);
+  out.append("\"seq\":" + std::string(buf));
+  out.append(",\"timestamp_ms\":" + JsonNumber(record.timestamp_ms));
+  out.append(",\"method\":" + JsonEscape(record.method));
+  out.append(",\"epsilon\":" + JsonNumber(record.epsilon));
+  out.append(",\"query_length\":" + std::to_string(record.query_length));
+  out.append(",\"matches\":" + std::to_string(record.matches));
+  out.append(",\"num_candidates\":" +
+             std::to_string(record.num_candidates));
+  out.append(",\"wall_ms\":" + JsonNumber(record.wall_ms));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.dtw_evals);
+  out.append(",\"dtw_evals\":" + std::string(buf));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.dtw_cells);
+  out.append(",\"dtw_cells\":" + std::string(buf));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.index_nodes);
+  out.append(",\"index_nodes\":" + std::string(buf));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.pool_hits);
+  out.append(",\"pool_hits\":" + std::string(buf));
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, record.pool_misses);
+  out.append(",\"pool_misses\":" + std::string(buf));
+  out.append(",\"stages_ms\":{");
+  bool first = true;
+  for (const auto& [stage, ms] : record.stage_ms.entries()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(JsonEscape(stage) + ":" + JsonNumber(ms));
+  }
+  out.append("},\"prunes\":{");
+  first = true;
+  for (const auto& [stage, counts] : record.prunes.entries()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, counts.in);
+    out.append(JsonEscape(stage) + ":{\"in\":" + std::string(buf));
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, counts.pruned);
+    out.append(",\"pruned\":" + std::string(buf) + "}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string FlightRecordsToJson(
+    const std::vector<FlightRecord>& records) {
+  std::string out =
+      "{\"count\":" + std::to_string(records.size()) + ",\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out.append(FlightRecordToJson(records[i]));
+  }
+  out.append("]}");
   return out;
 }
 

@@ -14,8 +14,10 @@
 #define WARPINDEX_OBS_EXPORTERS_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -23,6 +25,12 @@ namespace warpindex {
 
 // JSON string literal (quotes and escapes `text`).
 std::string JsonEscape(const std::string& text);
+
+// Prometheus text-format escaping. HELP text escapes `\` and newline;
+// label values additionally escape `"`. Without these a help string or
+// label containing a newline corrupts every series after it.
+std::string PrometheusEscapeHelp(const std::string& text);
+std::string PrometheusEscapeLabelValue(const std::string& text);
 
 // One line per span:
 //   {"span":0,"parent":-1,"name":"query","start_ms":0.01,
@@ -37,7 +45,18 @@ Status AppendTraceJsonLines(const Trace& trace, const std::string& path,
 
 std::string MetricsToPrometheusText(
     const MetricsRegistry::Snapshot& snapshot);
+// Histogram objects include estimated "p50"/"p99"/"p999" quantiles (see
+// Histogram::Snapshot::EstimatePercentile) alongside the raw buckets.
 std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot);
+
+// One FlightRecord as a JSON object (stage timings and prune counters as
+// nested objects keyed by stage name).
+std::string FlightRecordToJson(const FlightRecord& record);
+
+// A record list as one JSON document: {"count":N,"records":[...]}.
+// Renders both `/flightrecorder` (oldest first) and `/slowlog` (slowest
+// first) — the caller picks the ordering by what Snapshot() it passes.
+std::string FlightRecordsToJson(const std::vector<FlightRecord>& records);
 
 }  // namespace warpindex
 

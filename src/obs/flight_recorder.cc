@@ -1,0 +1,67 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+
+namespace warpindex {
+
+namespace {
+
+size_t PickStripes(size_t requested, size_t capacity) {
+  if (requested > 0) {
+    return std::min(requested, capacity);
+  }
+  return std::min<size_t>(8, capacity);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(options),
+      capacity_(std::max<size_t>(1, options.capacity)),
+      origin_(std::chrono::steady_clock::now()),
+      slots_(capacity_),
+      stripes_(PickStripes(options.num_stripes, capacity_)) {
+  if (options_.sample_every == 0) {
+    options_.sample_every = 1;
+  }
+}
+
+void FlightRecorder::Record(FlightRecord record) {
+  const uint64_t offered =
+      offered_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.sample_every > 1 &&
+      offered % options_.sample_every != 0) {
+    return;
+  }
+  const uint64_t seq =
+      recorded_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.seq = seq;
+  record.timestamp_ms = ElapsedMillis();
+  const size_t slot = static_cast<size_t>((seq - 1) % capacity_);
+  Stripe& stripe = stripes_[slot % stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  slots_[slot] = std::move(record);
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot() const {
+  std::vector<FlightRecord> out;
+  out.reserve(capacity_);
+  // One stripe at a time: writers on other stripes keep flowing while we
+  // copy. A slot overwritten between stripes just shows its newer record;
+  // ordering by seq afterwards keeps the view coherent.
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t slot = s; slot < capacity_; slot += stripes_.size()) {
+      if (slots_[slot].seq != 0) {
+        out.push_back(slots_[slot]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+}  // namespace warpindex

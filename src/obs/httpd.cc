@@ -1,0 +1,336 @@
+#include "obs/httpd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace warpindex {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+// Writes the whole buffer, tolerating partial writes and EINTR.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string SerializeResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+// Reads from `fd` until the end of the header block ("\r\n\r\n") or
+// `max_bytes`. GET requests carry no body, so the headers are the whole
+// request.
+bool ReadRequest(int fd, size_t max_bytes, std::string* raw) {
+  char buf[2048];
+  while (raw->size() < max_bytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;  // timeout or reset
+    }
+    if (n == 0) {
+      return false;  // peer closed before finishing the request
+    }
+    raw->append(buf, static_cast<size_t>(n));
+    if (raw->find("\r\n\r\n") != std::string::npos ||
+        raw->find("\n\n") != std::string::npos) {
+      return true;
+    }
+  }
+  return true;  // oversized; the caller rejects with 431
+}
+
+// Parses "GET /path?query HTTP/1.1" into `request`.
+bool ParseRequestLine(const std::string& raw, HttpRequest* request) {
+  const size_t line_end = raw.find_first_of("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  const size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) {
+    return false;
+  }
+  const size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos) {
+    return false;
+  }
+  request->method = line.substr(0, method_end);
+  std::string target =
+      line.substr(method_end + 1, target_end - method_end - 1);
+  if (target.empty() || target[0] != '/') {
+    return false;
+  }
+  const size_t q = target.find('?');
+  if (q == std::string::npos) {
+    request->path = std::move(target);
+    request->query.clear();
+  } else {
+    request->path = target.substr(0, q);
+    request->query = target.substr(q + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+IntrospectionServer::IntrospectionServer(IntrospectionServerOptions options)
+    : options_(std::move(options)) {}
+
+IntrospectionServer::~IntrospectionServer() { Stop(); }
+
+void IntrospectionServer::Handle(std::string path, HttpHandler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+Status IntrospectionServer::Start() {
+  if (running()) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Errno("bind " + options_.bind_address + ":" +
+                                std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const Status status = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this]() { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void IntrospectionServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  // Unblock the accept(2) in flight; closing alone is not guaranteed to
+  // wake a blocked accept on all platforms, shutdown is (on Linux).
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void IntrospectionServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // listen socket gone
+    }
+    ServeConnection(fd);
+    ::close(fd);
+  }
+}
+
+void IntrospectionServer::ServeConnection(int fd) {
+  SetIoTimeout(fd, options_.io_timeout_ms);
+  std::string raw;
+  if (!ReadRequest(fd, options_.max_request_bytes, &raw)) {
+    return;
+  }
+  HttpResponse response;
+  HttpRequest request;
+  if (raw.size() >= options_.max_request_bytes) {
+    response.status = 431;
+    response.body = "request too large\n";
+  } else if (!ParseRequestLine(raw, &request)) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else if (request.method != "GET" && request.method != "HEAD") {
+    response.status = 405;
+    response.body = "only GET is served here\n";
+  } else {
+    const auto it = routes_.find(request.path);
+    if (it == routes_.end()) {
+      response.status = 404;
+      response.body = "no route " + request.path + "; try:\n";
+      for (const auto& [path, handler] : routes_) {
+        response.body += "  " + path + "\n";
+      }
+    } else {
+      try {
+        response = it->second(request);
+      } catch (const std::exception& e) {
+        response = HttpResponse{};
+        response.status = 500;
+        response.body = std::string("handler error: ") + e.what() + "\n";
+      } catch (...) {
+        response = HttpResponse{};
+        response.status = 500;
+        response.body = "handler error\n";
+      }
+    }
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  if (request.method == "HEAD") {
+    response.body.clear();
+  }
+  WriteAll(fd, SerializeResponse(response));
+}
+
+Status HttpGet(const std::string& host, uint16_t port,
+               const std::string& path, std::string* body,
+               int* status_code, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Errno("socket");
+  }
+  SetIoTimeout(fd, timeout_ms);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host " + host +
+                                   " (numeric IPv4 only)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return Errno("send");
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Errno("recv");
+    }
+    if (n == 0) {
+      break;
+    }
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
+  if (raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::IoError("not an HTTP response");
+  }
+  const size_t version_end = raw.find(' ');
+  if (version_end == std::string::npos) {
+    return Status::IoError("malformed status line");
+  }
+  if (status_code != nullptr) {
+    *status_code = std::atoi(raw.c_str() + version_end + 1);
+  }
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("missing header terminator");
+  }
+  *body = raw.substr(header_end + 4);
+  return Status::Ok();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,130 @@
+// A small, dependency-free introspection HTTP server.
+//
+// Serves GET requests over blocking BSD sockets from one background
+// accept thread: accept, read the request, dispatch the matching handler,
+// write the response, close. Connections are therefore bounded by
+// construction — exactly one request is in flight at a time and the
+// kernel listen backlog queues the rest — which is the right trade for an
+// operator-facing port: scrapes are rare, handlers are cheap snapshot
+// renders, and the serving path never competes with query threads for
+// anything but the snapshot locks the handlers themselves take.
+//
+// Routes are exact-path handlers registered before Start():
+//
+//   IntrospectionServer server({.port = 8080});
+//   server.Handle("/healthz", [](const HttpRequest&) {
+//     return HttpResponse{.body = "ok\n"};
+//   });
+//   server.Start();           // binds, spawns the accept thread
+//   ...
+//   server.Stop();            // unblocks accept, joins
+//
+// Port 0 binds an ephemeral port; port() reports the real one (tests use
+// this to avoid collisions). The server speaks just enough HTTP/1.1 for
+// curl, Prometheus scrapers, and the bundled HttpGet client: request
+// line + headers in, status line + Content-Length + Connection: close
+// out. Anything fancier (keep-alive, chunking, TLS) is out of scope for
+// an introspection port.
+//
+// Thread-safety: Handle() before Start(); Start()/Stop() from one thread;
+// handlers run on the accept thread and must be thread-safe against
+// whatever state they read (snapshot APIs are; see docs/CONCURRENCY.md).
+
+#ifndef WARPINDEX_OBS_HTTPD_H_
+#define WARPINDEX_OBS_HTTPD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace warpindex {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string path;    // "/statusz" (query string stripped)
+  std::string query;   // "verbose=1" (after '?', may be empty)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct IntrospectionServerOptions {
+  // Loopback by default: the introspection port is operator-facing, not
+  // internet-facing.
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral (read the real port back with port()).
+  uint16_t port = 0;
+  int backlog = 16;
+  // Requests larger than this are rejected with 431.
+  size_t max_request_bytes = 8192;
+  // Per-connection socket read/write timeout.
+  int io_timeout_ms = 2000;
+};
+
+class IntrospectionServer {
+ public:
+  explicit IntrospectionServer(IntrospectionServerOptions options = {});
+  ~IntrospectionServer();  // Stop()
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  // Registers `handler` for exact-match GETs of `path`. Call before
+  // Start().
+  void Handle(std::string path, HttpHandler handler);
+
+  // Binds, listens, and spawns the accept thread. Fails (with an IoError
+  // naming errno) when the address is unavailable or sockets cannot be
+  // created — callers in restricted environments should treat that as
+  // "introspection unavailable", not fatal.
+  Status Start();
+
+  // Unblocks the accept thread and joins it. Idempotent; run by the
+  // destructor.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (the real one when options.port was 0); 0 before
+  // Start().
+  uint16_t port() const { return port_; }
+  const IntrospectionServerOptions& options() const { return options_; }
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  IntrospectionServerOptions options_;
+  std::map<std::string, HttpHandler> routes_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+// Minimal blocking HTTP GET against a numeric IPv4 address (the client
+// side of the server above; powers `warpindex_cli inspect`). Fills `body`
+// with the response body and, when non-null, `status_code` with the HTTP
+// status. Returns ok for any well-formed HTTP response, including
+// non-200s.
+Status HttpGet(const std::string& host, uint16_t port,
+               const std::string& path, std::string* body,
+               int* status_code = nullptr, int timeout_ms = 5000);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_HTTPD_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace warpindex {
 
@@ -28,6 +29,44 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
   snapshot.bucket_counts = buckets_;
   snapshot.stats = stats_;
   return snapshot;
+}
+
+double Histogram::Snapshot::EstimatePercentile(double p) const {
+  const uint64_t total = static_cast<uint64_t>(stats.count());
+  if (total == 0) {
+    return 0.0;
+  }
+  if (std::isnan(p) || p < 0.0) {
+    p = 0.0;
+  } else if (p > 1.0) {
+    p = 1.0;
+  }
+  // Rank of the target sample, 1-based, matching the cumulative counts.
+  const double rank = p * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    const uint64_t in_bucket = bucket_counts[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (i == bucket_counts.size() - 1) {
+        // Overflow bucket: no upper edge, report the observed maximum.
+        return stats.max();
+      }
+      const double upper = boundaries[i];
+      const double lower = i == 0 ? std::min(stats.min(), upper)
+                                  : boundaries[i - 1];
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      const double estimate = lower + (upper - lower) * fraction;
+      // Never report outside what was actually observed.
+      return std::min(std::max(estimate, stats.min()), stats.max());
+    }
+    cumulative += in_bucket;
+  }
+  return stats.max();
 }
 
 uint64_t Histogram::count() const {
@@ -69,8 +108,32 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+bool IsValidMetricName(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) {
+    return false;
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!head(c) && !(c >= '0' && c <= '9')) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
+  if (!IsValidMetricName(name)) {
+    rejected_names_.fetch_add(1, std::memory_order_relaxed);
+    return &invalid_counter_sink_;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   CounterSlot& slot = counters_[name];
   if (slot.counter == nullptr) {
@@ -82,6 +145,10 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& help) {
+  if (!IsValidMetricName(name)) {
+    rejected_names_.fetch_add(1, std::memory_order_relaxed);
+    return &invalid_gauge_sink_;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   GaugeSlot& slot = gauges_[name];
   if (slot.gauge == nullptr) {
@@ -94,6 +161,15 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> boundaries,
                                          const std::string& help) {
+  if (!IsValidMetricName(name)) {
+    rejected_names_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (invalid_histogram_sink_ == nullptr) {
+      invalid_histogram_sink_ =
+          std::make_unique<Histogram>(std::move(boundaries));
+    }
+    return invalid_histogram_sink_.get();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   HistogramSlot& slot = histograms_[name];
   if (slot.histogram == nullptr) {

@@ -81,6 +81,13 @@ class Histogram {
     // boundaries.size() + 1 entries; the last is the overflow bucket.
     std::vector<uint64_t> bucket_counts;
     RunningStats stats;
+
+    // Estimated p-quantile (p clamped into [0, 1]) from the bucket
+    // counts: linear interpolation inside the owning bucket, clamped to
+    // the observed [min, max]. Exact for p=0/p=1; elsewhere accurate to
+    // the bucket resolution — good enough for p50/p99/p999 dashboards
+    // without retaining raw samples. Returns 0 when empty.
+    double EstimatePercentile(double p) const;
   };
   Snapshot TakeSnapshot() const;
 
@@ -102,6 +109,11 @@ std::vector<double> ExponentialBoundaries(double start, double factor,
 std::vector<double> LinearBoundaries(double start, double step,
                                      size_t count);
 
+// True iff `name` matches the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Names failing this would render the whole
+// scrape unparseable, so the registry rejects them at registration time.
+bool IsValidMetricName(const std::string& name);
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -114,6 +126,12 @@ class MetricsRegistry {
 
   // Returns the counter named `name`, creating it on first use. `help`
   // is kept from the first registration.
+  //
+  // Name validation (all three getters): a name failing
+  // IsValidMetricName() is rejected — the call still returns a usable
+  // metric so instrumented code never null-checks, but it is a private
+  // sink that no snapshot or exporter ever includes, keeping scraped
+  // output parseable. rejected_names() counts such registrations.
   Counter* GetCounter(const std::string& name,
                       const std::string& help = "");
 
@@ -126,6 +144,11 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> boundaries,
                           const std::string& help = "");
+
+  // Registrations rejected for an invalid metric name.
+  uint64_t rejected_names() const {
+    return rejected_names_.load(std::memory_order_relaxed);
+  }
 
   struct CounterEntry {
     std::string name;
@@ -168,6 +191,11 @@ class MetricsRegistry {
   std::map<std::string, CounterSlot> counters_;
   std::map<std::string, GaugeSlot> gauges_;
   std::map<std::string, HistogramSlot> histograms_;
+  // Sinks handed out for invalid names; never exported.
+  Counter invalid_counter_sink_;
+  Gauge invalid_gauge_sink_;
+  std::unique_ptr<Histogram> invalid_histogram_sink_;
+  std::atomic<uint64_t> rejected_names_{0};
 };
 
 }  // namespace warpindex

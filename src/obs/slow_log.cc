@@ -1,0 +1,63 @@
+#include "obs/slow_log.h"
+
+#include <algorithm>
+
+namespace warpindex {
+
+namespace {
+
+// Min-heap order: the cheapest (fastest) record bubbles to the front.
+bool FasterThan(const FlightRecord& a, const FlightRecord& b) {
+  if (a.wall_ms != b.wall_ms) {
+    return a.wall_ms > b.wall_ms;  // std::push_heap wants a max-heap cmp
+  }
+  return a.seq < b.seq;  // equal latency: evict the newer one first
+}
+
+}  // namespace
+
+SlowQueryLog::SlowQueryLog(size_t worst_k)
+    : capacity_(std::max<size_t>(1, worst_k)) {}
+
+void SlowQueryLog::Record(FlightRecord record) {
+  record.seq = offered_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.timestamp_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - origin_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (heap_.size() < capacity_) {
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), FasterThan);
+    return;
+  }
+  if (record.wall_ms <= heap_.front().wall_ms) {
+    return;  // not slower than the current worst-K floor
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), FasterThan);
+  heap_.back() = std::move(record);
+  std::push_heap(heap_.begin(), heap_.end(), FasterThan);
+}
+
+std::vector<FlightRecord> SlowQueryLog::Snapshot() const {
+  std::vector<FlightRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = heap_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecord& a, const FlightRecord& b) {
+              if (a.wall_ms != b.wall_ms) {
+                return a.wall_ms > b.wall_ms;  // slowest first
+              }
+              return a.seq < b.seq;  // then oldest first
+            });
+  return out;
+}
+
+double SlowQueryLog::admission_threshold_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heap_.size() < capacity_ ? 0.0 : heap_.front().wall_ms;
+}
+
+}  // namespace warpindex

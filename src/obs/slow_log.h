@@ -1,0 +1,71 @@
+// SlowQueryLog: the worst-K completed queries by latency.
+//
+// The flight recorder answers "what happened recently"; the slow log
+// answers "what were the worst queries ever" — tail latency is what a
+// production search service is judged on, and the slowest queries carry
+// the evidence (per-stage timings, cascade prune counters, candidate
+// counts) of WHY they were slow. The log keeps the K highest-latency
+// FlightRecords seen since startup; a new query enters only by evicting
+// the fastest of the current worst-K, so the set is monotone: entries
+// only ever get slower.
+//
+// Thread-safety: Record() and Snapshot() are internally synchronized (one
+// mutex around a K-element min-heap; K is small, so the critical section
+// is a comparison and occasionally a heap sift).
+
+#ifndef WARPINDEX_OBS_SLOW_LOG_H_
+#define WARPINDEX_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace warpindex {
+
+class SlowQueryLog {
+ public:
+  // Retains the `worst_k` highest-latency records (clamped to >= 1).
+  explicit SlowQueryLog(size_t worst_k = 32);
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  // Offers one completed query; kept iff it ranks among the worst-K by
+  // wall_ms. `record.seq` and `record.timestamp_ms` are restamped with
+  // the log's own arrival counter and clock (the flight recorder keeps
+  // its own numbering). Thread-safe.
+  void Record(FlightRecord record);
+
+  // The retained records, slowest first (ties broken oldest-first).
+  // Thread-safe against writers.
+  std::vector<FlightRecord> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  // Queries offered to Record() (kept or not).
+  uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  // Latency floor for admission: the fastest retained record's wall_ms,
+  // or 0 while the log is not yet full. A cheap pre-check for callers
+  // that want to skip building a record at all.
+  double admission_threshold_ms() const;
+
+ private:
+  const size_t capacity_;
+  const std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  // Min-heap on wall_ms: heap_[0] is the fastest retained record — the
+  // next eviction victim.
+  std::vector<FlightRecord> heap_;
+  std::atomic<uint64_t> offered_{0};
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_SLOW_LOG_H_

@@ -53,7 +53,7 @@ void CascadePlanner::Observe(const CascadeObservation& obs) {
   UpdateStats(&dtw_stats_, obs.dtw, options_.ewma_alpha);
 }
 
-CascadePlan CascadePlanner::ChooseAutoLocked() {
+CascadePlan CascadePlanner::ChooseAutoLocked() const {
   const bool warming = plans_chosen_ <= options_.warmup_queries;
   const bool exploring =
       options_.explore_every > 0 &&
@@ -117,6 +117,41 @@ CascadePlanner::StageStats CascadePlanner::dtw_stats() const {
 uint64_t CascadePlanner::plans_chosen() const {
   std::lock_guard<std::mutex> lock(mu_);
   return plans_chosen_;
+}
+
+CascadePlanner::Snapshot CascadePlanner::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snapshot;
+  snapshot.mode = options_.mode;
+  snapshot.plans_chosen = plans_chosen_;
+  switch (options_.mode) {
+    case PlanMode::kPaper:
+      snapshot.current_plan = CascadePlan::Paper();
+      break;
+    case PlanMode::kCascade:
+      snapshot.current_plan = CascadePlan::Full();
+      break;
+    case PlanMode::kFixed:
+      snapshot.current_plan = options_.fixed;
+      break;
+    case PlanMode::kAuto:
+      // ChooseAutoLocked reads plans_chosen_ but does not bump it, so
+      // the explore cadence is unaffected by snapshots.
+      snapshot.current_plan = ChooseAutoLocked();
+      break;
+  }
+  for (size_t i = 0; i < kNumCascadeStages; ++i) {
+    snapshot.stages[i].stage = static_cast<CascadeStage>(i);
+    snapshot.stages[i].stats = lb_stats_[i];
+    for (const CascadeStage s : snapshot.current_plan.stages) {
+      if (s == snapshot.stages[i].stage) {
+        snapshot.stages[i].in_current_plan = true;
+        break;
+      }
+    }
+  }
+  snapshot.dtw = dtw_stats_;
+  return snapshot;
 }
 
 }  // namespace warpindex

@@ -96,8 +96,28 @@ class CascadePlanner {
   StageStats dtw_stats() const;
   uint64_t plans_chosen() const;
 
+  // Point-in-time view of the planner for live introspection (/statusz):
+  // the cost-model state behind every stage plus the plan the next query
+  // would get. Taking a snapshot does NOT count as choosing a plan —
+  // scraping the endpoint never perturbs kAuto's warmup/explore cadence.
+  struct StageSnapshot {
+    CascadeStage stage;
+    StageStats stats;
+    bool in_current_plan = false;
+  };
+  struct Snapshot {
+    PlanMode mode = PlanMode::kCascade;
+    uint64_t plans_chosen = 0;
+    // What Choose() would return for the next query (kAuto: the cost
+    // model's current pick, ignoring the explore cadence).
+    CascadePlan current_plan;
+    std::array<StageSnapshot, kNumCascadeStages> stages;
+    StageStats dtw;
+  };
+  Snapshot TakeSnapshot() const;
+
  private:
-  CascadePlan ChooseAutoLocked();
+  CascadePlan ChooseAutoLocked() const;
 
   CascadePlannerOptions options_;
 

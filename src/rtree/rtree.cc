@@ -588,4 +588,96 @@ Status RTree::CheckInvariants() const {
   return Status::Ok();
 }
 
+RTreeHealth RTree::HealthStats() const {
+  RTreeHealth health;
+  health.height = height();
+  health.records = size_;
+  health.node_capacity = capacity_;
+  health.pages = TotalPages();
+  health.bytes = TotalBytes();
+  health.levels.resize(static_cast<size_t>(health.height));
+  for (size_t lvl = 0; lvl < health.levels.size(); ++lvl) {
+    health.levels[lvl].level = static_cast<int>(lvl);
+    health.levels[lvl].min_occupancy = 1e300;  // replaced by first node
+  }
+
+  double overlap_sum = 0.0;
+  double dead_space_sum = 0.0;
+  size_t directory_nodes_with_volume = 0;
+
+  // Iterative pre-order walk from the root (free-listed nodes are
+  // unreachable, so no liveness bookkeeping is needed).
+  std::vector<NodeId> pending = {root_};
+  while (!pending.empty()) {
+    const NodeId id = pending.back();
+    pending.pop_back();
+    const RTreeNode* n = node(id);
+    ++health.nodes;
+    if (n->supernode) {
+      ++health.supernodes;
+    }
+    if (n->IsLeaf()) {
+      ++health.leaves;
+    }
+
+    RTreeHealth::LevelStats& level =
+        health.levels[static_cast<size_t>(n->level)];
+    ++level.nodes;
+    level.entries += n->entries.size();
+    const double occupancy =
+        static_cast<double>(n->entries.size()) /
+        static_cast<double>(capacity_ * PagesOfNode(id));
+    level.min_occupancy = std::min(level.min_occupancy, occupancy);
+
+    if (!n->IsLeaf()) {
+      for (const RTreeEntry& e : n->entries) {
+        pending.push_back(e.child);
+      }
+      // Directory quality: how much of this node's claimed volume its
+      // children re-claim from each other (overlap) or never cover at
+      // all (dead space). Leaf entries are point rects with zero
+      // volume, so these ratios only exist above the leaf level — and a
+      // directory node whose own MBR is degenerate contributes nothing.
+      const double node_volume = n->entries.empty()
+                                     ? 0.0
+                                     : n->ComputeMbr().Area();
+      if (node_volume > 0.0) {
+        double pairwise_overlap = 0.0;
+        double child_volume = 0.0;
+        for (size_t i = 0; i < n->entries.size(); ++i) {
+          child_volume += n->entries[i].rect.Area();
+          for (size_t j = i + 1; j < n->entries.size(); ++j) {
+            pairwise_overlap +=
+                n->entries[i].rect.OverlapArea(n->entries[j].rect);
+          }
+        }
+        overlap_sum += pairwise_overlap / node_volume;
+        dead_space_sum +=
+            std::max(0.0, 1.0 - child_volume / node_volume);
+        ++directory_nodes_with_volume;
+      }
+    }
+  }
+
+  for (RTreeHealth::LevelStats& level : health.levels) {
+    if (level.nodes > 0) {
+      level.avg_occupancy =
+          static_cast<double>(level.entries) /
+          static_cast<double>(level.nodes * capacity_);
+    } else {
+      level.min_occupancy = 0.0;
+    }
+  }
+  if (!health.levels.empty()) {
+    health.leaf_occupancy = health.levels.front().avg_occupancy;
+  }
+  if (directory_nodes_with_volume > 0) {
+    health.overlap_ratio =
+        overlap_sum / static_cast<double>(directory_nodes_with_volume);
+    health.dead_space_ratio =
+        dead_space_sum / static_cast<double>(directory_nodes_with_volume);
+  }
+  return health;
+}
+
 }  // namespace warpindex

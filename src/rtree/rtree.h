@@ -46,6 +46,46 @@ struct RTreeOptions {
   double supernode_overlap_threshold = 0.2;
 };
 
+// Structural health snapshot of a tree (RTree::HealthStats): the index-
+// quality numbers that predict query cost — occupancy says how many
+// pages the same entries need, directory overlap says how many subtrees
+// a point query must descend (Exact Indexing under DTW ties both
+// directly to node accesses). Served live via /statusz and tracked by
+// bench/micro_rtree so regressions show up in the perf trajectory.
+struct RTreeHealth {
+  int height = 0;          // levels (1 for a root-only tree)
+  size_t records = 0;      // stored data entries
+  size_t nodes = 0;        // live nodes
+  size_t leaves = 0;
+  size_t supernodes = 0;
+  size_t pages = 0;        // disk pages (supernodes span several)
+  size_t bytes = 0;        // pages * page_size
+  size_t node_capacity = 0;  // entries per single-page node
+
+  struct LevelStats {
+    int level = 0;  // 0 = leaf level
+    size_t nodes = 0;
+    size_t entries = 0;
+    // entries / (nodes * capacity); > 1 possible on supernode levels.
+    double avg_occupancy = 0.0;
+    double min_occupancy = 0.0;
+  };
+  // One entry per level, leaf level first.
+  std::vector<LevelStats> levels;
+
+  // Leaf-level average occupancy (the headline fill factor).
+  double leaf_occupancy = 0.0;
+  // Directory quality, averaged over internal nodes (leaf entries are
+  // degenerate point rects, so volumes only exist above them):
+  //   overlap_ratio    sum of pairwise child-MBR overlap volume divided
+  //                    by the node MBR volume (0 = perfectly disjoint)
+  //   dead_space_ratio 1 - (sum of child volumes / node MBR volume),
+  //                    clamped at 0 (space the node claims but no child
+  //                    covers — range queries descend it for nothing)
+  double overlap_ratio = 0.0;
+  double dead_space_ratio = 0.0;
+};
+
 struct RTreeQueryStats {
   // Page accesses performed by the query (a supernode counts as several).
   uint64_t nodes_accessed = 0;
@@ -160,6 +200,14 @@ class RTree {
   // Structural validation for tests: fill factors, MBR containment,
   // uniform leaf level, parent back-pointers.
   Status CheckInvariants() const;
+
+  // Point-in-time structural health (occupancy per level, directory
+  // overlap/dead-space estimates). One full traversal — O(nodes *
+  // fan-out^2) for the pairwise overlap term — so call it from
+  // introspection endpoints and benches, not per query. Const and safe
+  // to run concurrently with queries (the tree is immutable while
+  // serving; see docs/CONCURRENCY.md).
+  RTreeHealth HealthStats() const;
 
  private:
   friend RTree BulkLoadStr(int dims, const RTreeOptions& options,

@@ -84,4 +84,20 @@ size_t BufferPool::size() const {
   return total;
 }
 
+BufferPool::StatsSnapshot BufferPool::TakeStatsSnapshot() const {
+  StatsSnapshot snapshot;
+  snapshot.capacity = capacity_;
+  snapshot.cached = size();
+  snapshot.shards = shards_.size();
+  snapshot.hits = hits();
+  snapshot.misses = misses();
+  const uint64_t accesses = snapshot.hits + snapshot.misses;
+  snapshot.hit_ratio =
+      accesses > 0
+          ? static_cast<double>(snapshot.hits) /
+                static_cast<double>(accesses)
+          : 0.0;
+  return snapshot;
+}
+
 }  // namespace warpindex

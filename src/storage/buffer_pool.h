@@ -71,6 +71,21 @@ class BufferPool {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  // Point-in-time view for live introspection (/statusz). Safe to call
+  // concurrently with Access(); hits/misses are read together but
+  // relaxed, so the ratio is approximate under churn — fine for a
+  // dashboard, don't assert on it in a race.
+  struct StatsSnapshot {
+    size_t capacity = 0;
+    size_t cached = 0;
+    size_t shards = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    // hits / (hits + misses); 0 before any access.
+    double hit_ratio = 0.0;
+  };
+  StatsSnapshot TakeStatsSnapshot() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;

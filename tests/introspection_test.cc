@@ -1,0 +1,225 @@
+// Integration test for the live introspection stack: an Engine plus its
+// QueryExecutor, flight recorder, and slow log behind the HTTP server,
+// scraped while queries are in flight. Runs under TSan in CI to certify
+// that endpoint rendering races nothing on the query path.
+
+#include "exec/introspection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/query_executor.h"
+#include "obs/flight_recorder.h"
+#include "obs/slow_log.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+
+namespace warpindex {
+namespace {
+
+Dataset TestDataset() {
+  RandomWalkOptions options;
+  options.num_sequences = 60;
+  options.min_length = 20;
+  options.max_length = 48;
+  options.seed = 11;
+  return GenerateRandomWalkDataset(options);
+}
+
+// Crude whole-document JSON validation (same approach as trace_test):
+// balanced braces/brackets and quotes outside string literals.
+void ExpectValidJson(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_EQ(text.back(), '}');
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      ASSERT_GE(depth, 0) << text;
+    }
+  }
+  EXPECT_EQ(depth, 0) << text;
+  EXPECT_FALSE(in_string) << text;
+}
+
+class IntrospectionTest : public testing::Test {
+ protected:
+  IntrospectionTest()
+      : engine_(TestDataset(),
+                [this] {
+                  EngineOptions options;
+                  options.metrics = &registry_;  // isolated per fixture
+                  options.index_buffer_pages = 16;
+                  return options;
+                }()),
+        executor_(&engine_, [this] {
+          QueryExecutorOptions options;
+          options.num_threads = 2;
+          options.flight_recorder = &flight_recorder_;
+          options.slow_log = &slow_log_;
+          return options;
+        }()) {}
+
+  void RunQueries(size_t n) {
+    QueryWorkloadOptions workload;
+    workload.num_queries = n;
+    workload.seed = 23;
+    std::vector<Sequence> queries =
+        GenerateQueryWorkload(engine_.dataset(), workload);
+    std::vector<QueryRequest> requests;
+    requests.reserve(queries.size());
+    for (Sequence& q : queries) {
+      requests.push_back(
+          QueryRequest{MethodKind::kTwSimSearch, std::move(q), 0.25});
+    }
+    executor_.SubmitBatch(requests);
+  }
+
+  IntrospectionOptions Options() const {
+    return IntrospectionOptions{.engine = &engine_,
+                                .executor = &executor_,
+                                .flight_recorder = &flight_recorder_,
+                                .slow_log = &slow_log_};
+  }
+
+  MetricsRegistry registry_;
+  FlightRecorder flight_recorder_;
+  SlowQueryLog slow_log_;
+  Engine engine_;
+  QueryExecutor executor_;
+};
+
+TEST_F(IntrospectionTest, StatuszJsonIsValidAndComplete) {
+  RunQueries(8);
+  const std::string json = StatuszJson(Options(), /*uptime_s=*/1.5);
+  ExpectValidJson(json);
+  // The acceptance-criterion fields: R-tree health, planner snapshot,
+  // buffer-pool hit ratio, in-flight gauge.
+  EXPECT_NE(json.find("\"rtree\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"height\":"), std::string::npos);
+  EXPECT_NE(json.find("\"overlap_ratio\":"), std::string::npos);
+  EXPECT_NE(json.find("\"planner\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"current_plan\":"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_ratio\":"), std::string::npos);
+  EXPECT_NE(json.find("\"in_flight\":"), std::string::npos);
+  EXPECT_NE(json.find("\"queries_total\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_s\":1.5"), std::string::npos);
+  EXPECT_NE(json.find(std::string("\"version\":\"") + kWarpIndexVersion),
+            std::string::npos);
+}
+
+TEST_F(IntrospectionTest, StatuszRendersNullForAbsentComponents) {
+  IntrospectionOptions options;
+  options.engine = &engine_;
+  const std::string json = StatuszJson(options, 0.0);
+  ExpectValidJson(json);
+  EXPECT_NE(json.find("\"executor\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"flight_recorder\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"slow_log\":null"), std::string::npos);
+}
+
+TEST_F(IntrospectionTest, EndpointsServeOverHttp) {
+  IntrospectionServer server;
+  RegisterIntrospectionRoutes(&server, Options());
+  const Status start_status = server.Start();
+  if (!start_status.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << start_status.ToString();
+  }
+  RunQueries(8);
+
+  std::string body;
+  int status_code = 0;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/healthz", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  EXPECT_EQ(body, "ok\n");
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/metrics", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  EXPECT_NE(body.find("# TYPE warpindex_queries_total counter"),
+            std::string::npos);
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/statusz", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/slowlog", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+  EXPECT_NE(body.find("\"count\":8"), std::string::npos);
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/flightrecorder",
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+  EXPECT_NE(body.find("\"count\":8"), std::string::npos);
+}
+
+// The TSan target: queries and endpoint scrapes in flight together.
+TEST_F(IntrospectionTest, ConcurrentQueriesAndScrapes) {
+  IntrospectionServer server;
+  RegisterIntrospectionRoutes(&server, Options());
+  const Status start_status = server.Start();
+  if (!start_status.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << start_status.ToString();
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> scrape_failures{0};
+  std::thread scraper([&] {
+    const char* endpoints[] = {"/statusz", "/metrics", "/slowlog",
+                               "/flightrecorder", "/healthz"};
+    size_t i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::string body;
+      int status_code = 0;
+      if (!HttpGet("127.0.0.1", server.port(),
+                   endpoints[i++ % std::size(endpoints)], &body,
+                   &status_code)
+               .ok() ||
+          status_code != 200) {
+        scrape_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  for (int round = 0; round < 4; ++round) {
+    RunQueries(6);
+  }
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(scrape_failures.load(), 0);
+  EXPECT_EQ(flight_recorder_.offered(), 24u);
+  EXPECT_EQ(slow_log_.offered(), 24u);
+  EXPECT_GT(server.requests_served(), 0u);
+}
+
+}  // namespace
+}  // namespace warpindex

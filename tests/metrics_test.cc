@@ -210,5 +210,119 @@ TEST(EngineMetricsTest, QueriesLandInTheConfiguredRegistry) {
   }
 }
 
+TEST(MetricNameTest, GrammarMatchesPrometheus) {
+  EXPECT_TRUE(IsValidMetricName("warpindex_queries_total"));
+  EXPECT_TRUE(IsValidMetricName("a"));
+  EXPECT_TRUE(IsValidMetricName("_leading_underscore"));
+  EXPECT_TRUE(IsValidMetricName("ns:subsystem:name"));
+  EXPECT_TRUE(IsValidMetricName("Name9"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("newline\nname"));
+  EXPECT_FALSE(IsValidMetricName("quote\"name"));
+}
+
+TEST(MetricNameTest, InvalidNamesGetSinksAndNeverExport) {
+  MetricsRegistry registry;
+  Counter* bad_counter = registry.GetCounter("bad name");
+  ASSERT_NE(bad_counter, nullptr);  // instrumented code keeps working
+  bad_counter->Increment(7);
+  Gauge* bad_gauge = registry.GetGauge("also-bad");
+  ASSERT_NE(bad_gauge, nullptr);
+  Histogram* bad_histogram = registry.GetHistogram("3rd\nbad", {1.0});
+  ASSERT_NE(bad_histogram, nullptr);
+  bad_histogram->Observe(0.5);
+  EXPECT_EQ(registry.rejected_names(), 3u);
+
+  // A good metric registered alongside still exports; the sinks don't.
+  registry.GetCounter("good_total")->Increment();
+  const MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].name, "good_total");
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+  const std::string text = MetricsToPrometheusText(snapshot);
+  EXPECT_EQ(text.find("bad"), std::string::npos);
+}
+
+TEST(PrometheusEscapingTest, HelpAndLabelValues) {
+  EXPECT_EQ(PrometheusEscapeHelp("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+  // HELP text keeps quotes verbatim; label values escape them.
+  EXPECT_EQ(PrometheusEscapeHelp("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(PrometheusEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabelValue("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PrometheusEscapingTest, HelpWithNewlineStaysOneLine) {
+  MetricsRegistry registry;
+  registry.GetCounter("evil_total", "line one\nline two")->Increment();
+  const std::string text =
+      MetricsToPrometheusText(registry.TakeSnapshot());
+  // Every line is either a comment or a sample — an unescaped newline in
+  // HELP would produce a "line two" line that parses as garbage.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(pos, end - pos);
+    if (!line.empty()) {
+      EXPECT_TRUE(line[0] == '#' || line.rfind("evil_total", 0) == 0)
+          << line;
+    }
+    pos = end + 1;
+  }
+  EXPECT_NE(text.find("line one\\nline two"), std::string::npos);
+}
+
+TEST(HistogramPercentileTest, EstimatesFromCumulativeBuckets) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(0.5 + static_cast<double>(i % 4));  // 0.5, 1.5, 2.5, 3.5
+  }
+  const Histogram::Snapshot snapshot = h.TakeSnapshot();
+  // Quarter of the mass in each of the first three buckets' ranges.
+  EXPECT_GT(snapshot.EstimatePercentile(0.99), 3.0);
+  EXPECT_LE(snapshot.EstimatePercentile(0.99), 4.0);
+  EXPECT_LE(snapshot.EstimatePercentile(0.10), 1.0);
+  // Estimates never leave the observed range.
+  EXPECT_GE(snapshot.EstimatePercentile(0.0), 0.5);
+  EXPECT_LE(snapshot.EstimatePercentile(1.0), 3.5);
+  // Monotone in p.
+  EXPECT_LE(snapshot.EstimatePercentile(0.5),
+            snapshot.EstimatePercentile(0.9));
+  EXPECT_LE(snapshot.EstimatePercentile(0.9),
+            snapshot.EstimatePercentile(0.999));
+}
+
+TEST(HistogramPercentileTest, OverflowBucketClampsToMax) {
+  Histogram h({1.0});
+  h.Observe(100.0);
+  h.Observe(200.0);
+  const Histogram::Snapshot snapshot = h.TakeSnapshot();
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(0.999), 200.0);
+}
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.TakeSnapshot().EstimatePercentile(0.99), 0.0);
+}
+
+TEST(HistogramPercentileTest, JsonExportCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency_ms", {1.0, 10.0});
+  for (int i = 0; i < 50; ++i) {
+    h->Observe(0.5);
+  }
+  const std::string json = MetricsToJson(registry.TakeSnapshot());
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace warpindex

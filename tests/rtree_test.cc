@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/prng.h"
+#include "rtree/bulk_load.h"
 
 namespace warpindex {
 namespace {
@@ -222,6 +224,83 @@ TEST(RTreeTest, DuplicatePointsSupported) {
   const auto hits = tree.RangeSearch(Rect::SquareAround(
       Point::Make({5.0, 5.0}), 0.1));
   EXPECT_EQ(hits.size(), 100u);
+}
+
+TEST(RTreeTest, HealthStatsOnEmptyTree) {
+  const RTree tree(2);
+  const RTreeHealth health = tree.HealthStats();
+  EXPECT_EQ(health.height, 1);
+  EXPECT_EQ(health.records, 0u);
+  EXPECT_EQ(health.nodes, 1u);
+  EXPECT_EQ(health.leaves, 1u);
+  ASSERT_EQ(health.levels.size(), 1u);
+  EXPECT_EQ(health.levels[0].entries, 0u);
+  EXPECT_DOUBLE_EQ(health.overlap_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(health.dead_space_ratio, 0.0);
+}
+
+TEST(RTreeTest, HealthStatsMatchesTreeAccessors) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  RTree tree(2, options);
+  Prng prng(77);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(Rect::FromPoint(RandomPoint(2, &prng)), i);
+  }
+  const RTreeHealth health = tree.HealthStats();
+  EXPECT_EQ(health.height, tree.height());
+  EXPECT_EQ(health.records, tree.size());
+  EXPECT_EQ(health.nodes, tree.node_count());
+  EXPECT_EQ(health.bytes, tree.TotalBytes());
+  EXPECT_EQ(health.node_capacity, tree.capacity());
+
+  // Per-level bookkeeping must add up: level 0 (leaves) holds every
+  // record, each deeper level holds one entry per node below it.
+  ASSERT_EQ(health.levels.size(), static_cast<size_t>(health.height));
+  EXPECT_EQ(health.levels[0].entries, health.records);
+  size_t nodes_total = 0;
+  for (size_t i = 0; i < health.levels.size(); ++i) {
+    nodes_total += health.levels[i].nodes;
+    if (i > 0) {
+      EXPECT_EQ(health.levels[i].entries, health.levels[i - 1].nodes);
+    }
+    EXPECT_GT(health.levels[i].avg_occupancy, 0.0);
+    EXPECT_LE(health.levels[i].avg_occupancy, 1.0);
+    EXPECT_LE(health.levels[i].min_occupancy,
+              health.levels[i].avg_occupancy);
+  }
+  EXPECT_EQ(nodes_total, health.nodes);
+  EXPECT_DOUBLE_EQ(health.leaf_occupancy, health.levels[0].avg_occupancy);
+
+  // Ratio estimates are normalized.
+  EXPECT_GE(health.overlap_ratio, 0.0);
+  EXPECT_GE(health.dead_space_ratio, 0.0);
+  EXPECT_LE(health.dead_space_ratio, 1.0);
+}
+
+TEST(RTreeTest, HealthStatsBulkLoadPacksTighterThanInsertion) {
+  RTreeOptions options;
+  options.page_size_bytes = 256;
+  Prng prng(5);
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 800; ++i) {
+    entries.push_back(
+        RTreeEntry::Leaf(Rect::FromPoint(RandomPoint(2, &prng)), i));
+  }
+
+  RTree incremental(2, options);
+  for (const RTreeEntry& entry : entries) {
+    incremental.Insert(entry.rect, entry.record_id);
+  }
+  RTree packed = BulkLoadStr(2, options, entries);
+
+  const RTreeHealth inc_health = incremental.HealthStats();
+  const RTreeHealth packed_health = packed.HealthStats();
+  EXPECT_EQ(inc_health.records, packed_health.records);
+  // The bulk loader fills leaves near capacity; one-at-a-time insertion
+  // leaves split residue around ~70%.
+  EXPECT_GT(packed_health.leaf_occupancy, inc_health.leaf_occupancy);
+  EXPECT_LE(packed_health.nodes, inc_health.nodes);
 }
 
 }  // namespace

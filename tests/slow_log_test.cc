@@ -1,0 +1,144 @@
+#include "obs/slow_log.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace warpindex {
+namespace {
+
+FlightRecord MakeRecord(double wall_ms) {
+  FlightRecord record;
+  record.method = "TW-Sim-Search";
+  record.wall_ms = wall_ms;
+  return record;
+}
+
+TEST(SlowQueryLogTest, KeepsEverythingUnderCapacity) {
+  SlowQueryLog log(8);
+  log.Record(MakeRecord(3.0));
+  log.Record(MakeRecord(1.0));
+  log.Record(MakeRecord(2.0));
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot[0].wall_ms, 3.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].wall_ms, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].wall_ms, 1.0);
+  EXPECT_EQ(log.offered(), 3u);
+}
+
+TEST(SlowQueryLogTest, EvictsFastestWhenFull) {
+  SlowQueryLog log(3);
+  log.Record(MakeRecord(5.0));
+  log.Record(MakeRecord(1.0));
+  log.Record(MakeRecord(3.0));
+  // 1.0 is the floor; 2.0 evicts it, then 4.0 evicts 2.0.
+  log.Record(MakeRecord(2.0));
+  log.Record(MakeRecord(4.0));
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot[0].wall_ms, 5.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].wall_ms, 4.0);
+  EXPECT_DOUBLE_EQ(snapshot[2].wall_ms, 3.0);
+}
+
+TEST(SlowQueryLogTest, RejectsRecordsAtOrBelowTheFloor) {
+  SlowQueryLog log(2);
+  log.Record(MakeRecord(10.0));
+  log.Record(MakeRecord(5.0));
+  EXPECT_DOUBLE_EQ(log.admission_threshold_ms(), 5.0);
+  // Equal to the floor: the incumbent keeps its slot.
+  log.Record(MakeRecord(5.0));
+  log.Record(MakeRecord(4.0));
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_DOUBLE_EQ(snapshot[0].wall_ms, 10.0);
+  EXPECT_DOUBLE_EQ(snapshot[1].wall_ms, 5.0);
+  EXPECT_EQ(snapshot[1].seq, 2u);  // the first 5.0, not the later tie
+  EXPECT_EQ(log.offered(), 4u);
+}
+
+TEST(SlowQueryLogTest, AdmissionThresholdZeroWhileNotFull) {
+  SlowQueryLog log(4);
+  EXPECT_DOUBLE_EQ(log.admission_threshold_ms(), 0.0);
+  log.Record(MakeRecord(7.0));
+  EXPECT_DOUBLE_EQ(log.admission_threshold_ms(), 0.0);
+}
+
+TEST(SlowQueryLogTest, WorstKEvictionOrderOverManyRecords) {
+  constexpr size_t kWorstK = 8;
+  SlowQueryLog log(kWorstK);
+  // Offer the permutation 0, 99, 1, 98, 2, 97, ... of 0..99; the log
+  // must retain exactly 92..99 regardless of arrival order.
+  for (int i = 0; i < 100; ++i) {
+    const int value = (i % 2 == 0) ? i / 2 : 99 - i / 2;
+    log.Record(MakeRecord(static_cast<double>(value)));
+  }
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), kWorstK);
+  for (size_t i = 0; i < kWorstK; ++i) {
+    EXPECT_DOUBLE_EQ(snapshot[i].wall_ms, static_cast<double>(99 - i));
+  }
+  EXPECT_DOUBLE_EQ(log.admission_threshold_ms(), 92.0);
+}
+
+TEST(SlowQueryLogTest, CapacityClampedToAtLeastOne) {
+  SlowQueryLog log(0);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Record(MakeRecord(1.0));
+  log.Record(MakeRecord(2.0));
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot[0].wall_ms, 2.0);
+}
+
+// Concurrent writers racing a snapshot reader; the final retained set
+// must be exactly the K slowest offered. Runs under TSan in CI.
+TEST(SlowQueryLogConcurrentTest, WritersRacingSnapshotReader) {
+  constexpr size_t kWorstK = 16;
+  constexpr int kWriters = 4;
+  constexpr int kRecordsPerWriter = 1000;
+  SlowQueryLog log(kWorstK);
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::vector<FlightRecord> snapshot = log.Snapshot();
+      EXPECT_LE(snapshot.size(), kWorstK);
+      for (size_t i = 1; i < snapshot.size(); ++i) {
+        EXPECT_GE(snapshot[i - 1].wall_ms, snapshot[i].wall_ms);
+      }
+    }
+  });
+
+  // Writer w offers latencies w, kWriters + w, 2*kWriters + w, ... so
+  // the global worst-K is known exactly.
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&log, w] {
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        log.Record(MakeRecord(static_cast<double>(i * kWriters + w)));
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  const int total = kWriters * kRecordsPerWriter;
+  const std::vector<FlightRecord> snapshot = log.Snapshot();
+  ASSERT_EQ(snapshot.size(), kWorstK);
+  for (size_t i = 0; i < kWorstK; ++i) {
+    EXPECT_DOUBLE_EQ(snapshot[i].wall_ms,
+                     static_cast<double>(total - 1 - static_cast<int>(i)));
+  }
+  EXPECT_EQ(log.offered(), static_cast<uint64_t>(total));
+}
+
+}  // namespace
+}  // namespace warpindex
