@@ -48,6 +48,7 @@
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
 #include "sequence/stock_generator.h"
+#include "shard/sharded_engine.h"
 
 namespace warpindex {
 namespace {
@@ -135,6 +136,47 @@ void PrintPruneTable(const StageCounters& prunes) {
   }
 }
 
+// Either serving flavor behind one pointer: a single Engine
+// (--shards=1) or a ShardedEngine over K per-shard engines. The
+// EngineLike interface is all the executor and the query paths need.
+struct ServingEngine {
+  std::unique_ptr<Engine> single;
+  std::unique_ptr<ShardedEngine> sharded;
+
+  const EngineLike* get() const {
+    return single != nullptr ? static_cast<const EngineLike*>(single.get())
+                             : sharded.get();
+  }
+};
+
+// Builds the serving engine from parsed --shards/--partition flags.
+// Consumes `dataset`.
+bool BuildServingEngine(Dataset dataset, const EngineOptions& options,
+                        int64_t shards, const std::string& partition,
+                        FlightRecorder* flight_recorder,
+                        ServingEngine* out) {
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return false;
+  }
+  if (shards == 1) {
+    out->single = std::make_unique<Engine>(std::move(dataset), options);
+    return true;
+  }
+  ShardedEngineOptions sharded_options;
+  sharded_options.num_shards = static_cast<size_t>(shards);
+  if (!ParsePartitionerKind(partition, &sharded_options.partitioner)) {
+    std::fprintf(stderr, "unknown --partition '%s' (hash | range)\n",
+                 partition.c_str());
+    return false;
+  }
+  sharded_options.engine = options;
+  sharded_options.flight_recorder = flight_recorder;
+  out->sharded = std::make_unique<ShardedEngine>(std::move(dataset),
+                                                 sharded_options);
+  return true;
+}
+
 // Set by SIGINT/SIGTERM so the --linger_s wait exits cleanly (CI smoke
 // kills the backgrounded server with TERM and expects exit 0).
 volatile std::sig_atomic_t g_stop_requested = 0;
@@ -163,6 +205,8 @@ int RunServe(int argc, char** argv) {
   double linger_s = 0.0;
   int64_t flight_capacity = 256;
   int64_t slow_worst_k = 32;
+  int64_t shards = 1;
+  std::string partition = "hash";
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -192,6 +236,12 @@ int RunServe(int argc, char** argv) {
                  "flight-recorder ring size (last N completed queries)");
   flags.AddInt64("slow_worst_k", &slow_worst_k,
                  "slow-query log size (worst K queries by latency)");
+  flags.AddInt64("shards", &shards,
+                 "partition the database across this many per-shard "
+                 "engines with scatter-gather fan-out (1 = unsharded)");
+  flags.AddString("partition", &partition,
+                  "--shards>1 partitioner: hash | range (range enables "
+                  "feature-MBR shard pruning on clustered data)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -216,11 +266,9 @@ int RunServe(int argc, char** argv) {
   if (!LoadDatabase(data_path, dataset_kind, &dataset) || dataset.empty()) {
     return 1;
   }
-  EngineOptions options;
-  options.build_st_filter = kind == MethodKind::kStFilter;
-  options.cascade_planner.mode = plan_mode;
-  const Engine engine(std::move(dataset), options);
 
+  // Build the workload before the dataset moves into the engine (a
+  // sharded engine splits it and keeps no global copy).
   std::vector<Sequence> queries;
   if (!queries_path.empty()) {
     Dataset query_set;
@@ -237,7 +285,7 @@ int RunServe(int argc, char** argv) {
     QueryWorkloadOptions workload;
     workload.num_queries = static_cast<size_t>(num_queries);
     workload.seed = static_cast<uint64_t>(seed);
-    queries = GenerateQueryWorkload(engine.dataset(), workload);
+    queries = GenerateQueryWorkload(dataset, workload);
   }
 
   std::vector<QueryRequest> requests;
@@ -253,11 +301,25 @@ int RunServe(int argc, char** argv) {
   FlightRecorder flight_recorder(recorder_options);
   SlowQueryLog slow_log(static_cast<size_t>(slow_worst_k));
 
+  EngineOptions options;
+  options.build_st_filter = kind == MethodKind::kStFilter;
+  options.cascade_planner.mode = plan_mode;
+  ServingEngine engine;
+  if (!BuildServingEngine(std::move(dataset), options, shards, partition,
+                          &flight_recorder, &engine)) {
+    return 1;
+  }
+
   QueryExecutorOptions executor_options;
   executor_options.num_threads = static_cast<size_t>(threads);
   executor_options.flight_recorder = &flight_recorder;
   executor_options.slow_log = &slow_log;
-  QueryExecutor executor(&engine, executor_options);
+  QueryExecutor executor(engine.get(), executor_options);
+  if (engine.sharded != nullptr) {
+    // The sharded engine fans each query out over the executor's own
+    // pool (the calling worker participates; see docs/SHARDING.md).
+    engine.sharded->AttachPool(&executor.pool());
+  }
 
   if (http_port > 65535) {
     std::fprintf(stderr, "--http_port out of range\n");
@@ -268,7 +330,8 @@ int RunServe(int argc, char** argv) {
   IntrospectionServer server(server_options);
   if (http_port >= 0) {
     RegisterIntrospectionRoutes(
-        &server, IntrospectionOptions{.engine = &engine,
+        &server, IntrospectionOptions{.engine = engine.single.get(),
+                                      .sharded = engine.sharded.get(),
                                       .executor = &executor,
                                       .flight_recorder = &flight_recorder,
                                       .slow_log = &slow_log});
@@ -282,6 +345,11 @@ int RunServe(int argc, char** argv) {
                 "(/healthz /metrics /statusz /slowlog /flightrecorder)\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
+  }
+  if (engine.sharded != nullptr) {
+    std::printf("sharded engine: %zu shards, %s partitioning\n",
+                engine.sharded->num_shards(),
+                PartitionerKindName(engine.sharded->partitioner()));
   }
   if (kind == MethodKind::kTwSimSearchCascade) {
     std::printf("serving %zu %s queries (eps=%.4f, plan=%s) over %zu "
@@ -322,8 +390,10 @@ int RunServe(int argc, char** argv) {
   }
 
   if (show_metrics) {
-    std::printf("\n== metrics snapshot ==\n%s",
-                MetricsToPrometheusText(engine.MetricsSnapshot()).c_str());
+    std::printf(
+        "\n== metrics snapshot ==\n%s",
+        MetricsToPrometheusText(engine.get()->metrics().TakeSnapshot())
+            .c_str());
   }
 
   // Keep the introspection server scrapeable (CI smoke and operators
@@ -424,6 +494,8 @@ int Run(int argc, char** argv) {
   std::string trace_out;
   std::string method = "tw";
   std::string plan = "cascade";
+  int64_t shards = 1;
+  std::string partition = "hash";
 
   // `serve` subcommand: concurrent batch serving (own flag set).
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
@@ -467,6 +539,11 @@ int Run(int argc, char** argv) {
                   "range-query method: tw | naive | lb | st | cascade");
   flags.AddString("plan", &plan,
                   "--method cascade stage planning: paper | cascade | auto");
+  flags.AddInt64("shards", &shards,
+                 "partition the database across this many per-shard "
+                 "engines with scatter-gather fan-out (1 = unsharded)");
+  flags.AddString("partition", &partition,
+                  "--shards>1 partitioner: hash | range");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -502,12 +579,8 @@ int Run(int argc, char** argv) {
               stats.num_sequences, stats.min_length, stats.max_length,
               stats.avg_length);
 
-  EngineOptions options;
-  options.build_st_filter = compare || method_kind == MethodKind::kStFilter;
-  options.cascade_planner.mode = plan_mode;
-  const Engine engine(std::move(dataset), options);
-
-  // Build the query.
+  // Build the query before the dataset moves into the engine (a sharded
+  // engine splits it and keeps no global copy).
   Sequence query;
   if (!query_path.empty()) {
     Dataset queries;
@@ -519,19 +592,37 @@ int Run(int argc, char** argv) {
     }
     query = queries[0];
   } else {
-    if (query_id < 0 ||
-        static_cast<size_t>(query_id) >= engine.dataset().size()) {
+    if (query_id < 0 || static_cast<size_t>(query_id) >= dataset.size()) {
       std::fprintf(stderr, "--query_id out of range\n");
       return 1;
     }
-    const Sequence& base =
-        engine.dataset()[static_cast<size_t>(query_id)];
+    const Sequence& base = dataset[static_cast<size_t>(query_id)];
     query = perturb
                 ? PerturbSequence(base, static_cast<uint64_t>(seed))
                 : base;
     std::printf("query: %s copy of sequence #%lld (%zu elements)\n",
                 perturb ? "perturbed" : "exact",
                 static_cast<long long>(query_id), query.size());
+  }
+
+  EngineOptions options;
+  options.build_st_filter = compare || method_kind == MethodKind::kStFilter;
+  options.cascade_planner.mode = plan_mode;
+  ServingEngine serving;
+  if (!BuildServingEngine(std::move(dataset), options, shards, partition,
+                          nullptr, &serving)) {
+    return 1;
+  }
+  const EngineLike& engine = *serving.get();
+  // Trace export is a plain span-to-JSON writer; any shard's engine
+  // serves for a sharded trace.
+  const Engine& trace_engine = serving.single != nullptr
+                                   ? *serving.single
+                                   : serving.sharded->shard(0);
+  if (serving.sharded != nullptr) {
+    std::printf("sharded engine: %zu shards, %s partitioning\n",
+                serving.sharded->num_shards(),
+                PartitionerKindName(serving.sharded->partitioner()));
   }
 
   const bool tracing = !trace_out.empty();
@@ -551,7 +642,7 @@ int Run(int argc, char** argv) {
                 result.num_refined, result.cost.wall_ms,
                 engine.ElapsedMillis(result.cost));
     if (tracing) {
-      const Status status = engine.ExportTrace(trace, trace_out, query_id);
+      const Status status = trace_engine.ExportTrace(trace, trace_out, query_id);
       if (!status.ok()) {
         std::fprintf(stderr, "%s\n", status.ToString().c_str());
         return 1;
@@ -575,7 +666,7 @@ int Run(int argc, char** argv) {
                 result.cost.wall_ms, engine.ElapsedMillis(result.cost));
     PrintPruneTable(result.cost.prunes);
     if (tracing) {
-      const Status status = engine.ExportTrace(trace, trace_out, query_id);
+      const Status status = trace_engine.ExportTrace(trace, trace_out, query_id);
       if (!status.ok()) {
         std::fprintf(stderr, "%s\n", status.ToString().c_str());
         return 1;
@@ -600,7 +691,7 @@ int Run(int argc, char** argv) {
 
   if (stats_mode) {
     std::printf("\n== metrics snapshot ==\n%s",
-                MetricsToPrometheusText(engine.MetricsSnapshot()).c_str());
+                MetricsToPrometheusText(engine.metrics().TakeSnapshot()).c_str());
   }
   return 0;
 }

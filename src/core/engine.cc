@@ -330,10 +330,16 @@ SearchResult Engine::SearchWith(MethodKind kind, const Sequence& query,
 
 KnnResult Engine::SearchKnn(const Sequence& query, size_t k,
                             Trace* trace) const {
+  return SearchKnnBounded(query, k, trace, nullptr);
+}
+
+KnnResult Engine::SearchKnnBounded(const Sequence& query, size_t k,
+                                   Trace* trace,
+                                   SharedKnnBound* shared_bound) const {
   KnnResult result;
   {
     ScopedSpan span(trace, "knn_query");
-    result = tw_knn_search_->Search(query, k, trace);
+    result = tw_knn_search_->Search(query, k, trace, shared_bound);
   }
   queries_total_->Increment();
   knn_latency_ms_hist_->Observe(result.cost.wall_ms);

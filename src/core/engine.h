@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/engine_like.h"
 #include "core/feature_index.h"
 #include "core/lb_scan.h"
 #include "core/naive_scan.h"
@@ -97,7 +98,7 @@ struct EngineOptions {
   MetricsRegistry* metrics = nullptr;
 };
 
-class Engine {
+class Engine : public EngineLike {
  public:
   // Takes ownership of the dataset.
   Engine(Dataset dataset, EngineOptions options);
@@ -135,12 +136,23 @@ class Engine {
   // so repeated queries stop allocating; answers are unchanged.
   SearchResult SearchWith(MethodKind kind, const Sequence& query,
                           double epsilon, Trace* trace = nullptr,
-                          DtwScratch* scratch = nullptr) const;
+                          DtwScratch* scratch = nullptr) const override;
 
   // Exact k-nearest-neighbor search under D_tw via the feature index
   // (lower-bound-guided filter and refine; see core/tw_knn_search.h).
   KnnResult SearchKnn(const Sequence& query, size_t k,
-                      Trace* trace = nullptr) const;
+                      Trace* trace = nullptr) const override;
+
+  // SearchKnn with a cross-partition pruning bound: the sharded engine's
+  // per-shard searchers share one SharedKnnBound so each shard abandons
+  // candidates the global k-th distance already excludes. With a foreign
+  // bound active the local answer may omit globally-hopeless candidates;
+  // only the shard merge is complete (see shard/sharded_engine.h).
+  KnnResult SearchKnnBounded(const Sequence& query, size_t k, Trace* trace,
+                             SharedKnnBound* shared_bound) const;
+
+  // This engine IS a single-index engine (EngineLike).
+  const Engine* AsSingleEngine() const override { return this; }
 
   // ---- Dynamic maintenance (paper §4.3.1: the index supports ordinary
   // insertion; the store appends / tombstones).
@@ -203,7 +215,7 @@ class Engine {
 
   // Simulated elapsed time of a query: measured CPU wall time plus the
   // disk model's cost for the recorded I/O.
-  double ElapsedMillis(const SearchCost& cost) const {
+  double ElapsedMillis(const SearchCost& cost) const override {
     return cost.wall_ms + disk_model_.CostMillis(cost.io);
   }
 
@@ -224,7 +236,7 @@ class Engine {
   Health TakeHealthSnapshot() const;
 
   // The registry this engine records per-query metrics into.
-  MetricsRegistry& metrics() const { return *metrics_; }
+  MetricsRegistry& metrics() const override { return *metrics_; }
 
   // Point-in-time view of metrics() for the exporters.
   MetricsRegistry::Snapshot MetricsSnapshot() const {

@@ -1,0 +1,58 @@
+// EngineLike: the query-serving surface shared by the single-index
+// Engine (core/engine.h) and the partitioned ShardedEngine
+// (shard/sharded_engine.h).
+//
+// The concurrent executor (exec/query_executor.h) serves through this
+// interface, so a thread pool built for one engine shape serves the
+// other unchanged: Submit/SubmitBatch only ever need "run this method at
+// this tolerance" plus the metrics registry the serving layer records
+// into. Intra-query parallelism that reaches into TW-Sim-Search's
+// internals (QueryExecutor::SearchParallel) is single-engine-only and
+// guarded via AsSingleEngine().
+//
+// Thread-safety contract: like Engine, every method here must be safe to
+// call concurrently from any number of threads (implementations keep
+// per-query state on the stack or in caller-supplied objects).
+
+#ifndef WARPINDEX_CORE_ENGINE_LIKE_H_
+#define WARPINDEX_CORE_ENGINE_LIKE_H_
+
+#include "core/search_method.h"
+#include "core/tw_knn_search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+enum class MethodKind;
+class Engine;
+
+class EngineLike {
+ public:
+  virtual ~EngineLike() = default;
+
+  // Runs the selected range-query method; see Engine::SearchWith.
+  virtual SearchResult SearchWith(MethodKind kind, const Sequence& query,
+                                  double epsilon, Trace* trace = nullptr,
+                                  DtwScratch* scratch = nullptr) const = 0;
+
+  // Exact k-nearest-neighbor search under D_tw; see Engine::SearchKnn.
+  virtual KnnResult SearchKnn(const Sequence& query, size_t k,
+                              Trace* trace = nullptr) const = 0;
+
+  // The registry per-query metrics land in.
+  virtual MetricsRegistry& metrics() const = 0;
+
+  // Simulated elapsed time of a query under the disk model.
+  virtual double ElapsedMillis(const SearchCost& cost) const = 0;
+
+  // The underlying single-index Engine, or null when this is a
+  // partitioned engine. Callers that need Engine internals (the
+  // executor's intra-query SearchParallel) go through here.
+  virtual const Engine* AsSingleEngine() const { return nullptr; }
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CORE_ENGINE_LIKE_H_

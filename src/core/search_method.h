@@ -7,6 +7,7 @@
 #ifndef WARPINDEX_CORE_SEARCH_METHOD_H_
 #define WARPINDEX_CORE_SEARCH_METHOD_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -63,6 +64,19 @@ struct SearchCost {
     wall_ms += other.wall_ms;
     stages.Merge(other.stages);
     prunes.Merge(other.prunes);
+  }
+
+  // Folds in the cost of work that ran CONCURRENTLY with this cost (the
+  // sharded engine's per-shard sub-queries): resource counters — page
+  // reads, DTW cells/evals, lower-bound evals, index nodes, pool traffic,
+  // per-stage attribution — are machine work actually performed and stay
+  // additive, but wall time takes the max, because concurrent sub-queries
+  // overlap and only the critical path elapses. Summing wall here would
+  // double-count: K shards at 1 ms each finish in ~1 ms, not K ms.
+  void MergeParallel(const SearchCost& other) {
+    const double critical_path_ms = std::max(wall_ms, other.wall_ms);
+    Merge(other);
+    wall_ms = critical_path_ms;
   }
 };
 

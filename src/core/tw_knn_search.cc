@@ -9,8 +9,8 @@
 
 namespace warpindex {
 
-KnnResult TwKnnSearch::Search(const Sequence& query, size_t k,
-                              Trace* trace) const {
+KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
+                              SharedKnnBound* shared_bound) const {
   assert(!query.empty());
   assert(k >= 1);
   WallTimer timer;
@@ -24,12 +24,24 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k,
   RTree::LinfNearestIterator it =
       index_->rtree().NearestLinf(qp, &rstats);
 
-  // Max-heap of the best k exact distances seen so far.
+  // Max-heap of the best k matches seen so far: the top is the current
+  // k-th place under the canonical (distance, id) order, i.e. the first
+  // entry a better candidate evicts.
   std::priority_queue<KnnMatch, std::vector<KnnMatch>,
-                      decltype([](const KnnMatch& a, const KnnMatch& b) {
-                        return a.distance < b.distance;
-                      })>
-      top_k;
+                      decltype(&KnnMatchOrder)>
+      top_k(&KnnMatchOrder);
+
+  // The tightest distance any candidate must beat (or tie, for the id
+  // tie-break) to matter: our own k-th distance once the heap is full,
+  // further tightened by what concurrent searchers over sibling
+  // partitions have proven.
+  const auto cutoff = [&]() {
+    double c = top_k.size() == k ? top_k.top().distance : kInfiniteDistance;
+    if (shared_bound != nullptr) {
+      c = std::min(c, shared_bound->Current());
+    }
+    return c;
+  };
 
   // Index descent and exact refinement interleave in the incremental
   // loop, so both time shares are carved out of one `knn_refine` span.
@@ -46,9 +58,11 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k,
     if (!has_next) {
       break;
     }
-    if (top_k.size() == k && candidate.distance > top_k.top().distance) {
+    if (candidate.distance > cutoff()) {
       // Every remaining record has lower bound >= this one's, hence exact
-      // D_tw >= the current k-th distance: done (no false dismissal).
+      // D_tw >= the proven k-th distance: done (no false dismissal).
+      // Strictly greater only — a candidate tying the cutoff can still
+      // enter the answer through the id tie-break.
       break;
     }
     per_item.Reset();
@@ -57,21 +71,28 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k,
     fetch_ms += per_item.ElapsedMillis();
     ++result.num_refined;
     per_item.Reset();
+    const double threshold = cutoff();
     DtwResult d;
-    if (top_k.size() == k) {
-      // Thresholded refinement: only distances that would enter the top-k
-      // matter, so abandon above the current k-th distance.
-      d = dtw_.DistanceWithThreshold(s, query, top_k.top().distance);
+    if (threshold < kInfiniteDistance) {
+      // Thresholded refinement: only distances at or below the cutoff
+      // matter, so abandon above it (exact when d <= threshold).
+      d = dtw_.DistanceWithThreshold(s, query, threshold);
     } else {
       d = dtw_.Distance(s, query);
     }
     refine_ms += per_item.ElapsedMillis();
     result.cost.dtw_cells += d.cells;
+    const KnnMatch match{candidate.record_id, d.distance};
     if (top_k.size() < k) {
-      top_k.push({candidate.record_id, d.distance});
-    } else if (d.distance < top_k.top().distance) {
+      if (match.distance <= threshold) {
+        top_k.push(match);
+      }
+    } else if (KnnMatchOrder(match, top_k.top())) {
       top_k.pop();
-      top_k.push({candidate.record_id, d.distance});
+      top_k.push(match);
+    }
+    if (shared_bound != nullptr && top_k.size() == k) {
+      shared_bound->Tighten(top_k.top().distance);
     }
   }
   result.cost.stages.Add(kStageRtreeSearch, descent_ms);

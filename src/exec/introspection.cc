@@ -73,13 +73,90 @@ std::string PlannerJson(const CascadePlanner::Snapshot& p) {
   return out;
 }
 
+std::string BufferPoolJson(const BufferPool::StatsSnapshot& pool) {
+  std::string out = "{\"capacity\":" + std::to_string(pool.capacity);
+  out += ",\"cached\":" + std::to_string(pool.cached);
+  out += ",\"shards\":" + std::to_string(pool.shards);
+  out += ",\"hits\":" + std::to_string(pool.hits);
+  out += ",\"misses\":" + std::to_string(pool.misses);
+  out += ",\"hit_ratio\":" + Num(pool.hit_ratio) + "}";
+  return out;
+}
+
+std::string FeatureMbrJson(const ShardFeatureBounds& bounds) {
+  if (!bounds.valid) {
+    return "null";
+  }
+  std::string out = "{\"min\":[";
+  for (int d = 0; d < bounds.mbr.dims; ++d) {
+    if (d > 0) {
+      out.push_back(',');
+    }
+    out += Num(bounds.mbr.min[static_cast<size_t>(d)]);
+  }
+  out += "],\"max\":[";
+  for (int d = 0; d < bounds.mbr.dims; ++d) {
+    if (d > 0) {
+      out.push_back(',');
+    }
+    out += Num(bounds.mbr.max[static_cast<size_t>(d)]);
+  }
+  out += "]}";
+  return out;
+}
+
+// One /statusz row per shard: data/index health, serving counters, and
+// the pruning MBR — the acceptance surface for "is shard i healthy and
+// is pruning actually skipping it".
+std::string ShardingJson(const ShardedEngine::Health& health) {
+  std::string out = "{\"num_shards\":" + std::to_string(health.num_shards);
+  out += ",\"partitioner\":" +
+         JsonEscape(PartitionerKindName(health.partitioner));
+  out += ",\"queries_total\":" + std::to_string(health.queries_total);
+  out += ",\"subqueries_total\":" +
+         std::to_string(health.subqueries_total);
+  out += ",\"shards_skipped_total\":" +
+         std::to_string(health.shards_skipped_total);
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < health.shards.size(); ++i) {
+    const ShardedEngine::ShardStatus& shard = health.shards[i];
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += "{\"shard\":" + std::to_string(shard.shard_index);
+    out += ",\"sequences\":" +
+           std::to_string(shard.health.dataset_sequences);
+    out += ",\"live\":" + std::to_string(shard.health.live_sequences);
+    out += ",\"index_entries\":" +
+           std::to_string(shard.health.index_entries);
+    out += ",\"queries\":" + std::to_string(shard.queries);
+    out += ",\"skipped\":" + std::to_string(shard.skipped);
+    out += ",\"feature_mbr\":" + FeatureMbrJson(shard.bounds);
+    out += ",\"rtree\":" + RTreeHealthJson(shard.health.index);
+    out += ",\"buffer_pool\":" +
+           (shard.health.has_pool ? BufferPoolJson(shard.health.pool)
+                                  : std::string("null"));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// The registry behind whichever engine flavor is being served.
+MetricsRegistry* RegistryOf(const IntrospectionOptions& options) {
+  if (options.engine != nullptr) {
+    return &options.engine->metrics();
+  }
+  if (options.sharded != nullptr) {
+    return &options.sharded->metrics();
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 std::string StatuszJson(const IntrospectionOptions& options,
                         double uptime_s) {
-  const Engine& engine = *options.engine;
-  const Engine::Health health = engine.TakeHealthSnapshot();
-
   std::string out = "{\"build\":{";
   out += "\"name\":\"warpindex\"";
   out += ",\"version\":" + JsonEscape(kWarpIndexVersion);
@@ -89,16 +166,36 @@ std::string StatuszJson(const IntrospectionOptions& options,
   out += ",\"cxx_standard\":" + std::to_string(__cplusplus);
   out += "},\"uptime_s\":" + Num(uptime_s);
 
-  out += ",\"dataset\":{\"sequences\":" +
-         std::to_string(health.dataset_sequences);
-  out += ",\"live\":" + std::to_string(health.live_sequences);
-  out += ",\"index_entries\":" + std::to_string(health.index_entries) +
-         "}";
-
-  out += ",\"engine\":{\"page_size_bytes\":" +
-         std::to_string(engine.options().page_size_bytes);
-  out += ",\"index_buffer_pages\":" +
-         std::to_string(engine.options().index_buffer_pages) + "}";
+  Engine::Health health;  // single-engine sections (empty when sharded)
+  if (options.engine != nullptr) {
+    health = options.engine->TakeHealthSnapshot();
+    out += ",\"dataset\":{\"sequences\":" +
+           std::to_string(health.dataset_sequences);
+    out += ",\"live\":" + std::to_string(health.live_sequences);
+    out += ",\"index_entries\":" + std::to_string(health.index_entries) +
+           "}";
+    out += ",\"engine\":{\"page_size_bytes\":" +
+           std::to_string(options.engine->options().page_size_bytes);
+    out += ",\"index_buffer_pages\":" +
+           std::to_string(options.engine->options().index_buffer_pages) +
+           "}";
+  } else if (options.sharded != nullptr) {
+    const ShardedEngine& sharded = *options.sharded;
+    size_t index_entries = 0;
+    // Aggregate dataset view; the per-shard split is in "sharding".
+    for (size_t s = 0; s < sharded.num_shards(); ++s) {
+      index_entries += sharded.shard(s).feature_index().size();
+    }
+    out += ",\"dataset\":{\"sequences\":" +
+           std::to_string(sharded.total_sequences());
+    out += ",\"live\":" + std::to_string(sharded.live_size());
+    out += ",\"index_entries\":" + std::to_string(index_entries) + "}";
+    const EngineOptions& engine_options = sharded.shard(0).options();
+    out += ",\"engine\":{\"page_size_bytes\":" +
+           std::to_string(engine_options.page_size_bytes);
+    out += ",\"index_buffer_pages\":" +
+           std::to_string(engine_options.index_buffer_pages) + "}";
+  }
 
   if (options.executor != nullptr) {
     const QueryExecutor::Snapshot exec = options.executor->TakeSnapshot();
@@ -113,21 +210,31 @@ std::string StatuszJson(const IntrospectionOptions& options,
     out += ",\"executor\":null";
   }
 
-  if (health.has_pool) {
-    out += ",\"buffer_pool\":{\"capacity\":" +
-           std::to_string(health.pool.capacity);
-    out += ",\"cached\":" + std::to_string(health.pool.cached);
-    out += ",\"shards\":" + std::to_string(health.pool.shards);
-    out += ",\"hits\":" + std::to_string(health.pool.hits);
-    out += ",\"misses\":" + std::to_string(health.pool.misses);
-    out += ",\"hit_ratio\":" + Num(health.pool.hit_ratio) + "}";
+  if (options.engine != nullptr && health.has_pool) {
+    out += ",\"buffer_pool\":" + BufferPoolJson(health.pool);
   } else {
     out += ",\"buffer_pool\":null";
   }
 
-  out += ",\"rtree\":" + RTreeHealthJson(health.index);
-  out += ",\"planner\":" +
-         PlannerJson(engine.tw_sim_search_cascade().planner().TakeSnapshot());
+  // Single-engine index/planner detail; the sharded equivalents live
+  // per shard inside "sharding" (each shard has its own R-tree and
+  // CascadePlanner).
+  if (options.engine != nullptr) {
+    out += ",\"rtree\":" + RTreeHealthJson(health.index);
+    out += ",\"planner\":" +
+           PlannerJson(options.engine->tw_sim_search_cascade()
+                           .planner()
+                           .TakeSnapshot());
+  } else {
+    out += ",\"rtree\":null,\"planner\":null";
+  }
+
+  if (options.sharded != nullptr) {
+    out += ",\"sharding\":" +
+           ShardingJson(options.sharded->TakeHealthSnapshot());
+  } else {
+    out += ",\"sharding\":null";
+  }
 
   if (options.flight_recorder != nullptr) {
     const FlightRecorder& recorder = *options.flight_recorder;
@@ -165,8 +272,10 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
   server->Handle("/metrics", [options](const HttpRequest&) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body =
-        MetricsToPrometheusText(options.engine->MetricsSnapshot());
+    MetricsRegistry* registry = RegistryOf(options);
+    response.body = registry != nullptr
+                        ? MetricsToPrometheusText(registry->TakeSnapshot())
+                        : "";
     return response;
   });
 

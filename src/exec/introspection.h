@@ -32,14 +32,22 @@
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
 #include "obs/slow_log.h"
+#include "shard/sharded_engine.h"
 
 namespace warpindex {
 
 // Library version reported in /statusz build info.
-inline constexpr const char* kWarpIndexVersion = "0.4.0";
+inline constexpr const char* kWarpIndexVersion = "0.5.0";
 
 struct IntrospectionOptions {
-  const Engine* engine = nullptr;        // required
+  // Exactly one of `engine` / `sharded` must be set: the serving engine
+  // the endpoints describe. With `sharded`, /statusz renders a
+  // "sharding" section with one entry per shard (sequence counts,
+  // sub-query/skip counters, feature MBR, and full R-tree health) and
+  // /metrics exports the shared registry, including the
+  // warpindex_shard_* series.
+  const Engine* engine = nullptr;
+  const ShardedEngine* sharded = nullptr;
   const QueryExecutor* executor = nullptr;  // optional
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;

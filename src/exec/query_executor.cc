@@ -41,7 +41,7 @@ size_t DefaultThreads(size_t requested) {
 
 }  // namespace
 
-QueryExecutor::QueryExecutor(const Engine* engine,
+QueryExecutor::QueryExecutor(const EngineLike* engine,
                              QueryExecutorOptions options)
     : engine_(engine),
       options_(options),
@@ -200,6 +200,20 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
   inflight_->Increment();
   InflightGuard guard(inflight_);
 
+  const Engine* single = engine_->AsSingleEngine();
+  if (single == nullptr) {
+    // Composite engine (ShardedEngine): its SearchWith already fans the
+    // query out across shards on this executor's pool — that fan-out is
+    // the intra-query parallelism here, and the chunked post-filter
+    // below does not apply. Answers are identical either way.
+    const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
+                                        : MethodKind::kTwSimSearch;
+    result = engine_->SearchWith(kind, query, epsilon, trace,
+                                 CurrentWorkerScratch());
+    RecordFlight(kind, query, epsilon, result);
+    return result;
+  }
+
   CascadeObservation obs;
   {
     ScopedSpan span(trace, "query");
@@ -209,10 +223,10 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
     // chunked DTW fan-out then works through.
     std::vector<Sequence> fetched =
         use_cascade
-            ? engine_->tw_sim_search_cascade().FilterFetchAndPrune(
+            ? single->tw_sim_search_cascade().FilterFetchAndPrune(
                   query, epsilon, &result, trace, &obs)
-            : engine_->tw_sim_search().FilterAndFetch(query, epsilon,
-                                                      &result, trace);
+            : single->tw_sim_search().FilterAndFetch(query, epsilon,
+                                                     &result, trace);
 
     const size_t chunk_size = std::max<size_t>(1, options_.postfilter_chunk);
     const size_t num_chunks =
@@ -225,7 +239,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
     if (num_chunks <= 1) {
       // Not worth fanning out; identical to the sequential Step-4..7.
       DtwScratch scratch;
-      const Dtw dtw(engine_->options().dtw);
+      const Dtw dtw(single->options().dtw);
       for (const Sequence& s : fetched) {
         const DtwResult d =
             dtw.DistanceWithThreshold(s, query, epsilon, &scratch);
@@ -256,7 +270,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
       auto ctx = std::make_shared<Context>();
       ctx->query = &query;
       ctx->epsilon = epsilon;
-      ctx->dtw = Dtw(engine_->options().dtw);
+      ctx->dtw = Dtw(single->options().dtw);
       ctx->fetched = std::move(fetched);
       ctx->chunk_size = chunk_size;
       ctx->num_chunks = num_chunks;
@@ -323,7 +337,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
       obs.dtw.in += dtw_in;
       obs.dtw.pruned += dtw_pruned;
       obs.dtw.ms += dtw_ms;
-      engine_->tw_sim_search_cascade().ObserveOutcome(obs);
+      single->tw_sim_search_cascade().ObserveOutcome(obs);
     }
     TraceCounter(trace, "dtw_cells",
                  static_cast<double>(result.cost.dtw_cells));

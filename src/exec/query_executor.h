@@ -1,5 +1,7 @@
-// Concurrent query execution over an Engine: the server core's serving
-// path.
+// Concurrent query execution over an engine: the server core's serving
+// path. The executor serves any EngineLike — a single Engine or a
+// ShardedEngine (which borrows this executor's pool for its own
+// scatter-gather fan-out; see shard/sharded_engine.h).
 //
 // The executor owns a fixed ThreadPool and runs range queries of any
 // MethodKind over it, two ways:
@@ -85,7 +87,7 @@ struct BatchResult {
 class QueryExecutor {
  public:
   // `engine` is borrowed and must outlive the executor.
-  explicit QueryExecutor(const Engine* engine,
+  explicit QueryExecutor(const EngineLike* engine,
                          QueryExecutorOptions options = {});
 
   // Drains in-flight work (ThreadPool shutdown).
@@ -110,6 +112,11 @@ class QueryExecutor {
   // even from inside a pool task: the calling thread participates in the
   // chunk work, so progress never depends on idle workers.
   //
+  // On an engine that is not a single index (AsSingleEngine() == null,
+  // i.e. a ShardedEngine), the chunked post-filter does not apply; the
+  // query runs through SearchWith instead, whose per-shard fan-out IS
+  // the intra-query parallelism. Answers are identical either way.
+  //
   // With `use_cascade`, the planned lower-bound cascade
   // (engine().tw_sim_search_cascade()) runs on the calling thread
   // between the fetch and the parallel DTW fan-out, so only the
@@ -120,7 +127,7 @@ class QueryExecutor {
                               Trace* trace = nullptr,
                               bool use_cascade = false);
 
-  const Engine& engine() const { return *engine_; }
+  const EngineLike& engine() const { return *engine_; }
   size_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
 
@@ -148,7 +155,7 @@ class QueryExecutor {
 
   DtwScratch* CurrentWorkerScratch();
 
-  const Engine* engine_;
+  const EngineLike* engine_;
   QueryExecutorOptions options_;
   ThreadPool pool_;
   // One scratch per worker, indexed by ThreadPool::current_worker_index().

@@ -312,6 +312,7 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   out.append(",\"pool_hits\":" + std::string(buf));
   std::snprintf(buf, sizeof(buf), "%" PRIu64, record.pool_misses);
   out.append(",\"pool_misses\":" + std::string(buf));
+  out.append(",\"shard\":" + std::to_string(record.shard));
   out.append(",\"stages_ms\":{");
   bool first = true;
   for (const auto& [stage, ms] : record.stage_ms.entries()) {

@@ -62,6 +62,9 @@ struct FlightRecord {
   // SearchCost (names are the kStage* constants).
   StageTimings stage_ms;
   StageCounters prunes;
+  // Shard that ran this (sub-)query, or -1 for an unsharded query / the
+  // merged record of a sharded one (shard/sharded_engine.h).
+  int32_t shard = -1;
 };
 
 struct FlightRecorderOptions {

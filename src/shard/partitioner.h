@@ -1,0 +1,89 @@
+// Partitioners: how a ShardedEngine splits one logical database across K
+// per-shard Engines (shard/sharded_engine.h).
+//
+// Two strategies, both deterministic in the dataset alone:
+//
+//   * kHash — shard = mix64(id) mod K. Uniform spread regardless of data
+//     distribution; every shard's feature MBR covers roughly the whole
+//     feature space, so range queries fan out to all shards.
+//
+//   * kRange — sequences are sorted by their 4-d feature tuple
+//     (First, Last, Greatest, Smallest; lexicographic, ties by id) and
+//     cut into K near-equal contiguous runs. Feature-space locality
+//     lands in one shard, so shard MBRs separate on clustered data and
+//     the engine's MBR pruning filter can skip whole shards.
+//
+// Exactness of MBR shard pruning (either partitioner — it is a property
+// of the MBR, not the assignment): every live sequence S of shard i has
+// Feature(S) inside mbr_i, so for any query Q
+//
+//   D_tw-lb(S, Q) = L_inf(Feature(S), Feature(Q))
+//                >= MinDistLinf(Feature(Q), mbr_i).
+//
+// If that MINDIST exceeds epsilon strictly, Theorem 1 (D_tw-lb <= D_tw)
+// puts every sequence of the shard strictly outside the answer — the
+// same no-false-dismissal argument Algorithm 1 makes per sequence, lifted
+// to a shard. Ties at epsilon keep the shard, matching the `<= epsilon`
+// query predicate.
+//
+// Within a shard, local ids are assigned in increasing GLOBAL id order,
+// so per-shard (distance, id) orderings agree with the global ordering —
+// the property the deterministic kNN tie-break relies on.
+
+#ifndef WARPINDEX_SHARD_PARTITIONER_H_
+#define WARPINDEX_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtree/geometry.h"
+#include "sequence/dataset.h"
+#include "sequence/feature.h"
+
+namespace warpindex {
+
+enum class PartitionerKind : uint32_t {
+  kHash = 0,
+  kRange = 1,
+};
+
+const char* PartitionerKindName(PartitionerKind kind);
+// Parses "hash" / "range"; false (and *kind untouched) otherwise.
+bool ParsePartitionerKind(const std::string& name, PartitionerKind* kind);
+
+// The assignment of every sequence to its shard.
+struct ShardAssignment {
+  size_t num_shards = 0;
+  // shard_of[global id] in [0, num_shards).
+  std::vector<uint32_t> shard_of;
+};
+
+// Deterministic 64-bit mix (SplitMix64 finalizer); fixed here rather
+// than std::hash so assignments are stable across standard libraries —
+// a saved manifest must mean the same partition everywhere.
+uint64_t MixSequenceId(uint64_t id);
+
+// Assigns every sequence of `dataset` to one of `num_shards` shards.
+// Requires num_shards >= 1. Deterministic in (dataset, kind, K).
+ShardAssignment AssignShards(const Dataset& dataset, PartitionerKind kind,
+                             size_t num_shards);
+
+// The 4-d feature-space MBR of one shard's sequences: the box fed to
+// MinDistLinf for shard pruning. `valid` is false for an empty shard
+// (prune it unconditionally).
+struct ShardFeatureBounds {
+  Rect mbr;  // dims == kFeatureDims when valid
+  bool valid = false;
+
+  // Grows the box to cover `f`.
+  void Cover(const FeatureVector& f);
+};
+
+// Per-shard feature MBRs for an assignment over `dataset`.
+std::vector<ShardFeatureBounds> ComputeShardBounds(
+    const Dataset& dataset, const ShardAssignment& assignment);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SHARD_PARTITIONER_H_

@@ -1,0 +1,70 @@
+#include "shard/scatter_gather.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace warpindex {
+
+void ScatterGather::Run(size_t num_tasks,
+                        std::function<void(size_t)> fn) const {
+  if (num_tasks == 0) {
+    return;
+  }
+  if (num_tasks == 1 || pool_ == nullptr || pool_->num_threads() == 0) {
+    for (size_t i = 0; i < num_tasks; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Shared on the heap: a helper task that starts after Run returned
+  // (every index already claimed) touches only this context, never the
+  // caller's stack. The function object itself lives here for the same
+  // reason; its captures are safe because any invocation with a valid
+  // index finishes before the done-count releases Run.
+  struct Context {
+    std::function<void(size_t)> fn;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto ctx = std::make_shared<Context>();
+  ctx->fn = std::move(fn);
+  ctx->num_tasks = num_tasks;
+
+  auto work = [ctx]() {
+    for (;;) {
+      const size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= ctx->num_tasks) {
+        return;
+      }
+      ctx->fn(i);
+      if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          ctx->num_tasks) {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->all_done.notify_all();
+      }
+    }
+  };
+
+  // Idle workers help; the calling thread always participates, so
+  // completion never depends on the pool having free capacity (no
+  // deadlock when called from inside a pool task).
+  const size_t helpers = std::min(pool_->num_threads(), num_tasks - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool_->TrySubmitDetached(work);
+  }
+  work();
+  std::unique_lock<std::mutex> lock(ctx->mu);
+  ctx->all_done.wait(lock, [&ctx]() {
+    return ctx->done.load(std::memory_order_acquire) == ctx->num_tasks;
+  });
+}
+
+}  // namespace warpindex

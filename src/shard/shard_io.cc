@@ -1,0 +1,89 @@
+#include "shard/shard_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace warpindex {
+namespace {
+
+constexpr char kMagic[4] = {'W', 'I', 'S', 'M'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+std::string ShardSubdir(size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04zu", index);
+  return buf;
+}
+
+Status SaveShardManifest(const std::string& path,
+                         const ShardManifest& manifest) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot write shard manifest " + path);
+  }
+  const uint32_t version = kVersion;
+  const uint32_t num_shards =
+      static_cast<uint32_t>(manifest.assignment.num_shards);
+  const uint32_t partitioner = static_cast<uint32_t>(manifest.partitioner);
+  const uint64_t page_size = manifest.page_size_bytes;
+  const uint64_t count = manifest.assignment.shard_of.size();
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  ok = ok && std::fwrite(&version, sizeof(version), 1, f) == 1;
+  ok = ok && std::fwrite(&num_shards, sizeof(num_shards), 1, f) == 1;
+  ok = ok && std::fwrite(&partitioner, sizeof(partitioner), 1, f) == 1;
+  ok = ok && std::fwrite(&page_size, sizeof(page_size), 1, f) == 1;
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  ok = ok &&
+       (count == 0 ||
+        std::fwrite(manifest.assignment.shard_of.data(), sizeof(uint32_t),
+                    count, f) == count);
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IoError("short manifest write: " + path);
+}
+
+Status LoadShardManifest(const std::string& path, ShardManifest* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot read shard manifest " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint32_t num_shards = 0;
+  uint32_t partitioner = 0;
+  uint64_t page_size = 0;
+  uint64_t count = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  ok = ok && std::fread(&version, sizeof(version), 1, f) == 1 &&
+       version == kVersion;
+  ok = ok && std::fread(&num_shards, sizeof(num_shards), 1, f) == 1 &&
+       num_shards >= 1;
+  ok = ok && std::fread(&partitioner, sizeof(partitioner), 1, f) == 1 &&
+       partitioner <= static_cast<uint32_t>(PartitionerKind::kRange);
+  ok = ok && std::fread(&page_size, sizeof(page_size), 1, f) == 1;
+  ok = ok && std::fread(&count, sizeof(count), 1, f) == 1;
+  if (ok) {
+    out->assignment.shard_of.resize(count);
+    ok = count == 0 ||
+         std::fread(out->assignment.shard_of.data(), sizeof(uint32_t),
+                    count, f) == count;
+  }
+  std::fclose(f);
+  if (!ok) {
+    return Status::IoError("corrupt shard manifest " + path);
+  }
+  for (const uint32_t shard : out->assignment.shard_of) {
+    if (shard >= num_shards) {
+      return Status::IoError("corrupt shard manifest " + path +
+                             ": assignment out of range");
+    }
+  }
+  out->partitioner = static_cast<PartitionerKind>(partitioner);
+  out->page_size_bytes = static_cast<size_t>(page_size);
+  out->assignment.num_shards = num_shards;
+  return Status::Ok();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,49 @@
+// Sharded-engine persistence: one manifest file describing the partition
+// plus one saved Engine directory per shard.
+//
+// Layout of a saved ShardedEngine directory:
+//
+//   <dir>/manifest.wism      shard count, partitioner, page size, and the
+//                            full global-id -> shard assignment
+//   <dir>/shard-0000/...     Engine::Save of shard 0
+//   <dir>/shard-0001/...     ...
+//
+// The manifest is authoritative: reopening validates the caller's
+// requested shard count, partitioner, and page size against it and
+// REJECTS mismatches instead of silently re-partitioning — a database
+// saved as 8 range-partitioned shards answers queries as exactly that,
+// or not at all. (Global ids are positions in the original dataset; the
+// persisted assignment restores the id mapping without re-running the
+// partitioner, whose input ordering is gone after the split.)
+//
+// Binary format (little-endian host, same convention as dataset.wids):
+//   magic "WISM" | u32 version | u32 num_shards | u32 partitioner |
+//   u64 page_size_bytes | u64 num_sequences | u32 shard_of[num_sequences]
+
+#ifndef WARPINDEX_SHARD_SHARD_IO_H_
+#define WARPINDEX_SHARD_SHARD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "shard/partitioner.h"
+
+namespace warpindex {
+
+struct ShardManifest {
+  PartitionerKind partitioner = PartitionerKind::kHash;
+  size_t page_size_bytes = 0;
+  ShardAssignment assignment;
+};
+
+// Subdirectory of shard `index` under a sharded-engine directory
+// ("shard-0000", ...).
+std::string ShardSubdir(size_t index);
+
+Status SaveShardManifest(const std::string& path,
+                         const ShardManifest& manifest);
+Status LoadShardManifest(const std::string& path, ShardManifest* out);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_SHARD_SHARD_IO_H_

@@ -1,0 +1,345 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include "common/timer.h"
+#include "shard/shard_io.h"
+
+namespace warpindex {
+namespace {
+
+Point QueryFeaturePoint(const Sequence& query) {
+  const std::array<double, kFeatureDims> p = ExtractFeature(query).AsPoint();
+  return Point::FromArray(p.data(), kFeatureDims);
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(Dataset dataset, ShardedEngineOptions options)
+    : options_(std::move(options)) {
+  assert(options_.num_shards >= 1);
+  ShardAssignment assignment =
+      AssignShards(dataset, options_.partitioner, options_.num_shards);
+  BuildFromDataset(std::move(dataset), std::move(assignment));
+}
+
+ShardedEngine::ShardedEngine(std::vector<std::unique_ptr<Engine>> shards,
+                             ShardedEngineOptions options,
+                             ShardAssignment assignment)
+    : options_(std::move(options)), shards_(std::move(shards)) {
+  BuildIdMaps(std::move(assignment));
+  ComputeBoundsFromShards();
+  InitWiring();
+}
+
+void ShardedEngine::BuildFromDataset(Dataset dataset,
+                                     ShardAssignment assignment) {
+  // Split into per-shard datasets. Dataset::Add re-ids each copy to its
+  // position, and we visit global ids ascending, so shard-local ids
+  // preserve global order (the kNN tie-break relies on this; see
+  // shard/partitioner.h).
+  std::vector<Dataset> parts(assignment.num_shards);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    parts[assignment.shard_of[i]].Add(dataset[i]);
+  }
+  shards_.reserve(parts.size());
+  for (Dataset& part : parts) {
+    shards_.push_back(
+        std::make_unique<Engine>(std::move(part), options_.engine));
+  }
+  BuildIdMaps(std::move(assignment));
+  ComputeBoundsFromShards();
+  InitWiring();
+}
+
+void ShardedEngine::BuildIdMaps(ShardAssignment assignment) {
+  shard_of_ = std::move(assignment.shard_of);
+  const size_t n = shard_of_.size();
+  local_of_.resize(n);
+  global_of_.assign(shards_.size(), {});
+  for (size_t g = 0; g < n; ++g) {
+    const uint32_t s = shard_of_[g];
+    local_of_[g] = static_cast<SequenceId>(global_of_[s].size());
+    global_of_[s].push_back(static_cast<SequenceId>(g));
+  }
+}
+
+void ShardedEngine::ComputeBoundsFromShards() {
+  // Over live sequences only (Open() restores tombstones): a dead
+  // sequence must not widen the pruning MBR.
+  bounds_.assign(shards_.size(), ShardFeatureBounds{});
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Engine& engine = *shards_[s];
+    const Dataset& data = engine.dataset();
+    for (size_t local = 0; local < data.size(); ++local) {
+      if (engine.Contains(static_cast<SequenceId>(local))) {
+        bounds_[s].Cover(ExtractFeature(data[local]));
+      }
+    }
+  }
+}
+
+void ShardedEngine::InitWiring() {
+  shard_queries_ = std::vector<std::atomic<uint64_t>>(shards_.size());
+  shard_skipped_ = std::vector<std::atomic<uint64_t>>(shards_.size());
+  MetricsRegistry& registry = metrics();
+  queries_total_ =
+      registry.GetCounter("warpindex_shard_queries_total",
+                          "Logical queries served by the sharded engine");
+  subqueries_total_ =
+      registry.GetCounter("warpindex_shard_subqueries_total",
+                          "Per-shard sub-queries executed");
+  skipped_total_ =
+      registry.GetCounter("warpindex_shard_skipped_total",
+                          "Shard visits avoided by feature-MBR pruning");
+  fanout_hist_ = registry.GetHistogram(
+      "warpindex_shard_fanout", LinearBoundaries(1.0, 1.0, 16),
+      "Shards queried per logical query");
+}
+
+size_t ShardedEngine::live_size() const {
+  size_t live = 0;
+  for (const auto& shard : shards_) {
+    live += shard->live_size();
+  }
+  return live;
+}
+
+SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
+                                       double epsilon, Trace* trace,
+                                       DtwScratch* /*scratch*/) const {
+  WallTimer timer;
+  logical_queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_total_->Increment();
+  const Point feature_point = QueryFeaturePoint(query);
+
+  // Shard pruning: a shard whose feature MBR is strictly farther than
+  // epsilon (L_inf MINDIST) holds no sequence within D_tw-lb <= epsilon,
+  // hence none within D_tw <= epsilon (Theorem 1 lifted to the MBR; see
+  // shard/partitioner.h). Ties at epsilon keep the shard. Exact for
+  // every MethodKind — the predicate is a property of the answer set.
+  std::vector<size_t> active;
+  active.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (bounds_[s].valid &&
+        bounds_[s].mbr.MinDistLinf(feature_point) <= epsilon) {
+      active.push_back(s);
+    } else {
+      shard_skipped_[s].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  skipped_total_->Increment(shards_.size() - active.size());
+  subqueries_total_->Increment(active.size());
+  fanout_hist_->Observe(static_cast<double>(active.size()));
+
+  std::vector<SearchResult> partials(active.size());
+  {
+    ScopedSpan span(trace, "scatter_gather");
+    TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
+    TraceCounter(trace, "shards_skipped",
+                 static_cast<double>(shards_.size() - active.size()));
+    ScatterGather(pool_).Run(active.size(), [&](size_t i) {
+      const size_t s = active[i];
+      DtwScratch scratch;
+      partials[i] =
+          shards_[s]->SearchWith(kind, query, epsilon, nullptr, &scratch);
+      shard_queries_[s].fetch_add(1, std::memory_order_relaxed);
+      RecordShardFlight(s, MethodKindName(kind), epsilon, query.size(),
+                        partials[i]);
+    });
+  }
+
+  SearchResult result;
+  for (size_t i = 0; i < active.size(); ++i) {
+    const SearchResult& partial = partials[i];
+    result.num_candidates += partial.num_candidates;
+    for (const SequenceId local : partial.matches) {
+      result.matches.push_back(ToGlobalId(active[i], local));
+    }
+    result.cost.MergeParallel(partial.cost);
+  }
+  // Canonical answer order: ascending global id, independent of shard
+  // count and completion order.
+  std::sort(result.matches.begin(), result.matches.end());
+  // Resource counters stay as MergeParallel left them (work summed);
+  // wall time is the measured end-to-end latency of the sharded query.
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
+                                   Trace* trace) const {
+  WallTimer timer;
+  logical_queries_.fetch_add(1, std::memory_order_relaxed);
+  queries_total_->Increment();
+
+  // No epsilon to prune against up front — only empty shards are skipped.
+  // The SharedKnnBound provides the dynamic equivalent: as soon as any
+  // shard proves a k-th distance, the others prune against it mid-flight.
+  std::vector<size_t> active;
+  active.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (bounds_[s].valid) {
+      active.push_back(s);
+    } else {
+      shard_skipped_[s].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  skipped_total_->Increment(shards_.size() - active.size());
+  subqueries_total_->Increment(active.size());
+  fanout_hist_->Observe(static_cast<double>(active.size()));
+
+  SharedKnnBound shared_bound;
+  std::vector<KnnResult> partials(active.size());
+  {
+    ScopedSpan span(trace, "scatter_gather");
+    TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
+    ScatterGather(pool_).Run(active.size(), [&](size_t i) {
+      const size_t s = active[i];
+      partials[i] =
+          shards_[s]->SearchKnnBounded(query, k, nullptr, &shared_bound);
+      shard_queries_[s].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Merge: every shard's survivors, remapped to global ids, in the
+  // canonical (distance, id) order, truncated to k. Per-shard local
+  // lists may vary with bound-propagation timing, but only by members
+  // the global top-k provably excludes, so the merged prefix is
+  // deterministic (see docs/SHARDING.md).
+  KnnResult result;
+  std::vector<KnnMatch> merged;
+  for (size_t i = 0; i < active.size(); ++i) {
+    result.num_refined += partials[i].num_refined;
+    result.cost.MergeParallel(partials[i].cost);
+    for (KnnMatch match : partials[i].neighbors) {
+      match.id = ToGlobalId(active[i], match.id);
+      merged.push_back(match);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), KnnMatchOrder);
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  result.neighbors = std::move(merged);
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+void ShardedEngine::RecordShardFlight(size_t shard_index, const char* method,
+                                      double epsilon, size_t query_length,
+                                      const SearchResult& result) const {
+  if (options_.flight_recorder == nullptr) {
+    return;
+  }
+  FlightRecord record;
+  record.method = method;
+  record.epsilon = epsilon;
+  record.query_length = query_length;
+  record.matches = result.matches.size();
+  record.num_candidates = result.num_candidates;
+  record.wall_ms = result.cost.wall_ms;
+  record.dtw_evals = result.cost.dtw_evals;
+  record.dtw_cells = result.cost.dtw_cells;
+  record.index_nodes = result.cost.index_nodes;
+  record.pool_hits = result.cost.pool_hits;
+  record.pool_misses = result.cost.pool_misses;
+  record.stage_ms = result.cost.stages;
+  record.prunes = result.cost.prunes;
+  record.shard = static_cast<int32_t>(shard_index);
+  options_.flight_recorder->Record(std::move(record));
+}
+
+Status ShardedEngine::Save(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  ShardManifest manifest;
+  manifest.partitioner = options_.partitioner;
+  manifest.page_size_bytes = options_.engine.page_size_bytes;
+  manifest.assignment.num_shards = shards_.size();
+  manifest.assignment.shard_of = shard_of_;
+  WARPINDEX_RETURN_IF_ERROR(
+      SaveShardManifest(dir + "/manifest.wism", manifest));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    WARPINDEX_RETURN_IF_ERROR(shards_[s]->Save(dir + "/" + ShardSubdir(s)));
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::Open(const std::string& dir,
+                           ShardedEngineOptions options,
+                           std::unique_ptr<ShardedEngine>* out) {
+  ShardManifest manifest;
+  WARPINDEX_RETURN_IF_ERROR(
+      LoadShardManifest(dir + "/manifest.wism", &manifest));
+  if (manifest.assignment.num_shards != options.num_shards) {
+    return Status::InvalidArgument(
+        "shard count mismatch: saved " +
+        std::to_string(manifest.assignment.num_shards) + ", requested " +
+        std::to_string(options.num_shards));
+  }
+  if (manifest.partitioner != options.partitioner) {
+    return Status::InvalidArgument(
+        std::string("partitioner mismatch: saved ") +
+        PartitionerKindName(manifest.partitioner) + ", requested " +
+        PartitionerKindName(options.partitioner));
+  }
+  if (manifest.page_size_bytes != options.engine.page_size_bytes) {
+    return Status::InvalidArgument(
+        "page size mismatch between saved shards and EngineOptions");
+  }
+  std::vector<std::unique_ptr<Engine>> shards;
+  shards.reserve(options.num_shards);
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    std::unique_ptr<Engine> shard;
+    WARPINDEX_RETURN_IF_ERROR(
+        Engine::Open(dir + "/" + ShardSubdir(s), options.engine, &shard));
+    shards.push_back(std::move(shard));
+  }
+  auto engine = std::unique_ptr<ShardedEngine>(new ShardedEngine(
+      std::move(shards), std::move(options), std::move(manifest.assignment)));
+  // The manifest's assignment and the shard directories travel
+  // separately; make sure they still describe the same database.
+  for (size_t s = 0; s < engine->shards_.size(); ++s) {
+    if (engine->shards_[s]->dataset().size() !=
+        engine->global_of_[s].size()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " holds a different sequence count than the manifest assigns");
+    }
+  }
+  *out = std::move(engine);
+  return Status::Ok();
+}
+
+ShardedEngine::Health ShardedEngine::TakeHealthSnapshot() const {
+  Health health;
+  health.num_shards = shards_.size();
+  health.partitioner = options_.partitioner;
+  // Per-instance state, not the registry counters: the registry can be
+  // shared across engines, but Health describes this engine alone.
+  health.queries_total = logical_queries_.load(std::memory_order_relaxed);
+  health.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardStatus& status = health.shards[s];
+    status.shard_index = s;
+    status.health = shards_[s]->TakeHealthSnapshot();
+    status.bounds = bounds_[s];
+    status.queries = shard_queries_[s].load(std::memory_order_relaxed);
+    status.skipped = shard_skipped_[s].load(std::memory_order_relaxed);
+    health.subqueries_total += status.queries;
+    health.shards_skipped_total += status.skipped;
+  }
+  return health;
+}
+
+}  // namespace warpindex

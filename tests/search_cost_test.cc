@@ -53,6 +53,53 @@ TEST(SearchCostTest, MergeIsAdditive) {
   EXPECT_EQ(a.prunes.Get(kStageDtwPostfilter).pruned, 12u);
 }
 
+// MergeParallel pins the sharded-merge semantics: resource counters
+// (I/O, DTW work, lower-bound evals, index nodes, pool traffic, stage
+// attribution, prunes) sum — they are machine work actually performed —
+// but wall time takes the max, because the merged costs ran
+// concurrently and only the critical path elapses.
+TEST(SearchCostTest, MergeParallelSumsResourcesAndTakesMaxWall) {
+  SearchCost a = MakeCost(1.0);
+  const SearchCost b = MakeCost(2.0);
+  a.MergeParallel(b);
+
+  // Wall: max(1.5, 3.0), NOT 4.5 — K concurrent shards at t ms each
+  // finish in ~t ms.
+  EXPECT_DOUBLE_EQ(a.wall_ms, 3.0);
+  // Everything else: identical to additive Merge.
+  EXPECT_EQ(a.io.random_page_reads, 6u);
+  EXPECT_EQ(a.io.sequential_page_reads, 30u);
+  EXPECT_EQ(a.dtw_cells, 300u);
+  EXPECT_EQ(a.dtw_evals, 24u);
+  EXPECT_EQ(a.lb_evals, 15u);
+  EXPECT_EQ(a.index_nodes, 9u);
+  EXPECT_DOUBLE_EQ(a.stages.Get(kStageRtreeSearch), 1.5);
+  EXPECT_DOUBLE_EQ(a.stages.Get(kStageDtwPostfilter), 3.0);
+  EXPECT_EQ(a.prunes.Get(kStageLbKeoghCascade).in, 60u);
+  EXPECT_EQ(a.prunes.Get(kStageLbKeoghCascade).pruned, 36u);
+}
+
+TEST(SearchCostTest, MergeParallelKeepsOwnWallWhenOtherIsFaster) {
+  SearchCost slow = MakeCost(4.0);
+  slow.MergeParallel(MakeCost(1.0));
+  EXPECT_DOUBLE_EQ(slow.wall_ms, 6.0);  // max(6.0, 1.5)
+  EXPECT_EQ(slow.dtw_evals, 40u);       // still summed
+}
+
+TEST(SearchCostTest, MergeParallelFoldIsOrderIndependentOnWall) {
+  SearchCost forward;
+  forward.MergeParallel(MakeCost(1.0));
+  forward.MergeParallel(MakeCost(3.0));
+  forward.MergeParallel(MakeCost(2.0));
+  SearchCost backward;
+  backward.MergeParallel(MakeCost(2.0));
+  backward.MergeParallel(MakeCost(3.0));
+  backward.MergeParallel(MakeCost(1.0));
+  EXPECT_DOUBLE_EQ(forward.wall_ms, 4.5);  // max over the three
+  EXPECT_DOUBLE_EQ(forward.wall_ms, backward.wall_ms);
+  EXPECT_EQ(forward.dtw_cells, backward.dtw_cells);
+}
+
 TEST(SearchCostTest, MergeBringsInPruneStagesMissingOnTheLeft) {
   SearchCost a;
   SearchCost b;

@@ -1,0 +1,135 @@
+// The sharding acceptance property: for every shard count, both
+// partitioners, every search method, and kNN, a ShardedEngine answers
+// bit-identically to a single Engine over the same dataset — with a real
+// thread pool attached, so running this under TSan also certifies the
+// scatter-gather fan-out and the shared kNN bound are race-free.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/thread_pool.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "shard/sharded_engine.h"
+
+namespace warpindex {
+namespace {
+
+Dataset WalkDataset(uint64_t seed) {
+  RandomWalkOptions options;
+  options.num_sequences = 90;
+  options.min_length = 20;
+  options.max_length = 48;
+  options.seed = seed;
+  return GenerateRandomWalkDataset(options);
+}
+
+std::vector<SequenceId> Sorted(std::vector<SequenceId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class ShardPropertyTest : public ::testing::TestWithParam<PartitionerKind> {
+};
+
+TEST_P(ShardPropertyTest, EveryMethodMatchesSingleEngineForEveryK) {
+  const uint64_t seeds[] = {3, 71};
+  for (const uint64_t seed : seeds) {
+    const Engine single(WalkDataset(seed), EngineOptions{});
+    const auto queries = GenerateQueryWorkload(
+        single.dataset(),
+        QueryWorkloadOptions{.num_queries = 6, .seed = seed + 1});
+
+    for (const size_t k : {1u, 2u, 4u, 7u}) {
+      ShardedEngineOptions options;
+      options.num_shards = k;
+      options.partitioner = GetParam();
+      ShardedEngine sharded(WalkDataset(seed), options);
+      ThreadPool pool(4);
+      sharded.AttachPool(&pool);
+
+      const MethodKind kinds[] = {
+          MethodKind::kTwSimSearch, MethodKind::kTwSimSearchCascade,
+          MethodKind::kNaiveScan, MethodKind::kLbScan};
+      for (const Sequence& q : queries) {
+        for (const double epsilon : {0.1, 0.35}) {
+          const std::vector<SequenceId> expected =
+              Sorted(single.Search(q, epsilon).matches);
+          for (const MethodKind kind : kinds) {
+            EXPECT_EQ(sharded.SearchWith(kind, q, epsilon).matches,
+                      expected)
+                << "seed=" << seed << " K=" << k << " method="
+                << MethodKindName(kind) << " eps=" << epsilon;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardPropertyTest, KnnMatchesSingleEngineForEveryK) {
+  const Engine single(WalkDataset(13), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      single.dataset(), QueryWorkloadOptions{.num_queries = 6, .seed = 14});
+
+  for (const size_t k : {1u, 2u, 4u, 7u}) {
+    ShardedEngineOptions options;
+    options.num_shards = k;
+    options.partitioner = GetParam();
+    ShardedEngine sharded(WalkDataset(13), options);
+    ThreadPool pool(4);
+    sharded.AttachPool(&pool);
+
+    for (const Sequence& q : queries) {
+      for (const size_t nn : {1u, 4u, 10u}) {
+        const KnnResult expected = single.SearchKnn(q, nn);
+        const KnnResult got = sharded.SearchKnn(q, nn);
+        ASSERT_EQ(got.neighbors.size(), expected.neighbors.size())
+            << "K=" << k << " nn=" << nn;
+        for (size_t i = 0; i < expected.neighbors.size(); ++i) {
+          EXPECT_EQ(got.neighbors[i].id, expected.neighbors[i].id)
+              << "K=" << k << " nn=" << nn << " i=" << i;
+          EXPECT_EQ(got.neighbors[i].distance,
+                    expected.neighbors[i].distance)
+              << "K=" << k << " nn=" << nn << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardPropertyTest, SequentialFallbackWithoutPoolIsIdentical) {
+  // No AttachPool: shards run inline on the caller. Same answers — the
+  // pool is a latency optimization, never a correctness ingredient.
+  const Engine single(WalkDataset(29), EngineOptions{});
+  ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.partitioner = GetParam();
+  const ShardedEngine sharded(WalkDataset(29), options);
+  const auto queries = GenerateQueryWorkload(
+      single.dataset(), QueryWorkloadOptions{.num_queries = 5, .seed = 30});
+  for (const Sequence& q : queries) {
+    EXPECT_EQ(sharded.Search(q, 0.3).matches,
+              Sorted(single.Search(q, 0.3).matches));
+    const KnnResult expected = single.SearchKnn(q, 5);
+    const KnnResult got = sharded.SearchKnn(q, 5);
+    ASSERT_EQ(got.neighbors.size(), expected.neighbors.size());
+    for (size_t i = 0; i < expected.neighbors.size(); ++i) {
+      EXPECT_EQ(got.neighbors[i].id, expected.neighbors[i].id);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitioners, ShardPropertyTest,
+                         ::testing::Values(PartitionerKind::kHash,
+                                           PartitionerKind::kRange),
+                         [](const auto& info) {
+                           return std::string(
+                               PartitionerKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace warpindex

@@ -112,6 +112,81 @@ TEST(TwKnnSearchTest, CostsPopulated) {
   EXPECT_GE(result.cost.wall_ms, 0.0);
 }
 
+TEST(TwKnnSearchTest, TiesResolveByIdDeterministically) {
+  // Five exact copies of one sequence: the distance-0 tie at every rank
+  // must resolve by SequenceId, so the answer is the lowest ids in
+  // increasing order — regardless of heap insertion order.
+  Dataset source = WalkDataset(40, 20, 30);
+  std::vector<Sequence> sequences;
+  for (size_t i = 0; i < source.size(); ++i) {
+    sequences.push_back(source[i]);
+  }
+  const Sequence dup = source[10];
+  sequences.push_back(dup);  // id 40
+  sequences.push_back(dup);  // id 41
+  sequences.push_back(dup);  // id 42
+  sequences.push_back(dup);  // id 43
+  const Engine engine(Dataset(std::move(sequences)), EngineOptions{});
+
+  const KnnResult result = engine.SearchKnn(dup, 3);
+  ASSERT_EQ(result.neighbors.size(), 3u);
+  EXPECT_EQ(result.neighbors[0].id, 10);
+  EXPECT_EQ(result.neighbors[1].id, 40);
+  EXPECT_EQ(result.neighbors[2].id, 41);
+  for (const KnnMatch& m : result.neighbors) {
+    EXPECT_EQ(m.distance, 0.0);
+  }
+  // The canonical comparator agrees with the returned order.
+  EXPECT_TRUE(std::is_sorted(result.neighbors.begin(),
+                             result.neighbors.end(), KnnMatchOrder));
+}
+
+TEST(TwKnnSearchTest, KnnMatchOrderBreaksDistanceTiesById) {
+  const KnnMatch near_low{3, 1.0};
+  const KnnMatch near_high{7, 1.0};
+  const KnnMatch far{1, 2.0};
+  EXPECT_TRUE(KnnMatchOrder(near_low, near_high));
+  EXPECT_FALSE(KnnMatchOrder(near_high, near_low));
+  EXPECT_TRUE(KnnMatchOrder(near_high, far));
+  EXPECT_FALSE(KnnMatchOrder(far, near_low));
+  EXPECT_FALSE(KnnMatchOrder(near_low, near_low));  // irreflexive
+}
+
+TEST(SharedKnnBoundTest, TightenOnlyEverDecreases) {
+  SharedKnnBound bound;
+  EXPECT_EQ(bound.Current(), kInfiniteDistance);
+  bound.Tighten(5.0);
+  EXPECT_EQ(bound.Current(), 5.0);
+  bound.Tighten(9.0);  // looser: ignored
+  EXPECT_EQ(bound.Current(), 5.0);
+  bound.Tighten(2.5);
+  EXPECT_EQ(bound.Current(), 2.5);
+}
+
+TEST(SharedKnnBoundTest, PreTightenedBoundKeepsTopKExact) {
+  // A foreign searcher may publish the global k-th distance before this
+  // partition starts. Pruning is strictly-greater-than, so everything in
+  // the true top-k — including ties AT the bound — must still surface.
+  const Engine engine(WalkDataset(200, 30, 60), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      engine.dataset(), QueryWorkloadOptions{.num_queries = 6, .seed = 5});
+  for (const Sequence& q : queries) {
+    const KnnResult unbounded = engine.SearchKnn(q, 7);
+    ASSERT_EQ(unbounded.neighbors.size(), 7u);
+    SharedKnnBound bound;
+    bound.Tighten(unbounded.neighbors.back().distance);
+    const KnnResult bounded = engine.SearchKnnBounded(q, 7, nullptr, &bound);
+    ASSERT_EQ(bounded.neighbors.size(), 7u);
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_EQ(bounded.neighbors[i].id, unbounded.neighbors[i].id);
+      EXPECT_EQ(bounded.neighbors[i].distance,
+                unbounded.neighbors[i].distance);
+    }
+    // The bounded search should refine no MORE than the unbounded one.
+    EXPECT_LE(bounded.num_refined, unbounded.num_refined);
+  }
+}
+
 TEST(TwKnnSearchTest, WorksOnStockCorpus) {
   StockDataOptions stock;
   stock.num_sequences = 120;
