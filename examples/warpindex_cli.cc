@@ -44,6 +44,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
 #include "obs/slow_log.h"
+#include "obs/trace_store.h"
 #include "sequence/dataset_io.h"
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
@@ -207,6 +208,10 @@ int RunServe(int argc, char** argv) {
   int64_t slow_worst_k = 32;
   int64_t shards = 1;
   std::string partition = "hash";
+  int64_t trace_capacity = 64;
+  double trace_slow_ms = 5.0;
+  double trace_sample = 0.05;
+  std::string trace_events_out;
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -242,6 +247,17 @@ int RunServe(int argc, char** argv) {
   flags.AddString("partition", &partition,
                   "--shards>1 partitioner: hash | range (range enables "
                   "feature-MBR shard pruning on clustered data)");
+  flags.AddInt64("trace_capacity", &trace_capacity,
+                 "tail-sampled trace store size behind /tracez "
+                 "(0 = tracing disabled)");
+  flags.AddDouble("trace_slow_ms", &trace_slow_ms,
+                  "always keep traces at least this slow (ms)");
+  flags.AddDouble("trace_sample", &trace_sample,
+                  "probability of keeping an otherwise-unremarkable trace "
+                  "(1 = keep all)");
+  flags.AddString("trace_events_out", &trace_events_out,
+                  "write the retained traces as Chrome/Perfetto "
+                  "trace-event JSON to this file after the batches");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -301,6 +317,18 @@ int RunServe(int argc, char** argv) {
   FlightRecorder flight_recorder(recorder_options);
   SlowQueryLog slow_log(static_cast<size_t>(slow_worst_k));
 
+  // Tail-sampled trace retention behind /tracez (and the trace-event
+  // export): the executor traces queries and the store keeps the slow /
+  // errored / shard-skewed / sampled ones.
+  std::unique_ptr<TraceStore> trace_store;
+  if (trace_capacity > 0) {
+    TraceStoreOptions trace_options;
+    trace_options.capacity = static_cast<size_t>(trace_capacity);
+    trace_options.slow_ms = trace_slow_ms;
+    trace_options.sample_probability = trace_sample;
+    trace_store = std::make_unique<TraceStore>(trace_options);
+  }
+
   EngineOptions options;
   options.build_st_filter = kind == MethodKind::kStFilter;
   options.cascade_planner.mode = plan_mode;
@@ -314,6 +342,7 @@ int RunServe(int argc, char** argv) {
   executor_options.num_threads = static_cast<size_t>(threads);
   executor_options.flight_recorder = &flight_recorder;
   executor_options.slow_log = &slow_log;
+  executor_options.trace_store = trace_store.get();
   QueryExecutor executor(engine.get(), executor_options);
   if (engine.sharded != nullptr) {
     // The sharded engine fans each query out over the executor's own
@@ -334,7 +363,8 @@ int RunServe(int argc, char** argv) {
                                       .sharded = engine.sharded.get(),
                                       .executor = &executor,
                                       .flight_recorder = &flight_recorder,
-                                      .slow_log = &slow_log});
+                                      .slow_log = &slow_log,
+                                      .trace_store = trace_store.get()});
     const Status status = server.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "cannot start introspection server: %s\n",
@@ -342,7 +372,8 @@ int RunServe(int argc, char** argv) {
       return 1;
     }
     std::printf("introspection server on http://127.0.0.1:%u "
-                "(/healthz /metrics /statusz /slowlog /flightrecorder)\n",
+                "(/healthz /metrics /statusz /slowlog /flightrecorder "
+                "/tracez)\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
   }
@@ -389,6 +420,37 @@ int RunServe(int argc, char** argv) {
                 static_cast<unsigned long long>(total_dtw_evals));
   }
 
+  if (trace_store != nullptr) {
+    std::printf("trace store: %llu offered, %llu kept (slow=%llu "
+                "error=%llu skew=%llu sampled=%llu)\n",
+                static_cast<unsigned long long>(trace_store->offered()),
+                static_cast<unsigned long long>(trace_store->kept()),
+                static_cast<unsigned long long>(trace_store->kept_slow()),
+                static_cast<unsigned long long>(trace_store->kept_error()),
+                static_cast<unsigned long long>(trace_store->kept_skew()),
+                static_cast<unsigned long long>(
+                    trace_store->kept_sampled()));
+    if (!trace_events_out.empty()) {
+      const std::vector<CompletedTrace> kept = trace_store->Snapshot();
+      std::vector<const Trace*> traces;
+      traces.reserve(kept.size());
+      for (const CompletedTrace& t : kept) {
+        traces.push_back(&t.trace);
+      }
+      const Status status = WriteTraceEventsFile(traces, trace_events_out);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %zu retained traces to %s (trace-event JSON)\n",
+                  traces.size(), trace_events_out.c_str());
+    }
+  } else if (!trace_events_out.empty()) {
+    std::fprintf(stderr,
+                 "--trace_events_out needs --trace_capacity > 0\n");
+    return 1;
+  }
+
   if (show_metrics) {
     std::printf(
         "\n== metrics snapshot ==\n%s",
@@ -433,7 +495,7 @@ int RunInspect(int argc, char** argv) {
                  "port of a running `serve --http_port` instance");
   flags.AddString("endpoint", &endpoint,
                   "/healthz | /metrics | /statusz | /slowlog | "
-                  "/flightrecorder");
+                  "/flightrecorder | /tracez");
   flags.AddInt64("timeout_ms", &timeout_ms, "socket timeout");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -492,6 +554,7 @@ int Run(int argc, char** argv) {
   bool compare = false;
   int64_t seed = 1;
   std::string trace_out;
+  std::string trace_events_out;
   std::string method = "tw";
   std::string plan = "cascade";
   int64_t shards = 1;
@@ -535,6 +598,9 @@ int Run(int argc, char** argv) {
   flags.AddInt64("seed", &seed, "perturbation seed");
   flags.AddString("trace_out", &trace_out,
                   "write the query's span tree to this file as JSON lines");
+  flags.AddString("trace_events_out", &trace_events_out,
+                  "write the query's span tree to this file as "
+                  "Chrome/Perfetto trace-event JSON (ui.perfetto.dev)");
   flags.AddString("method", &method,
                   "range-query method: tw | naive | lb | st | cascade");
   flags.AddString("plan", &plan,
@@ -625,7 +691,10 @@ int Run(int argc, char** argv) {
                 PartitionerKindName(serving.sharded->partitioner()));
   }
 
-  const bool tracing = !trace_out.empty();
+  const bool tracing = !trace_out.empty() || !trace_events_out.empty();
+  // Traces headed for the trace-event file (one timeline document, so
+  // both a kNN and a range trace from this invocation share it).
+  std::vector<Trace> event_traces;
 
   if (k > 0) {
     Trace trace;
@@ -642,14 +711,22 @@ int Run(int argc, char** argv) {
                 result.num_refined, result.cost.wall_ms,
                 engine.ElapsedMillis(result.cost));
     if (tracing) {
-      const Status status = trace_engine.ExportTrace(trace, trace_out, query_id);
-      if (!status.ok()) {
-        std::fprintf(stderr, "%s\n", status.ToString().c_str());
-        return 1;
+      if (!trace_out.empty()) {
+        const Status status =
+            trace_engine.ExportTrace(trace, trace_out, query_id);
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+        std::printf("\ntrace (%zu spans, appended to %s):\n",
+                    trace.spans().size(), trace_out.c_str());
+      } else {
+        std::printf("\ntrace (%zu spans):\n", trace.spans().size());
       }
-      std::printf("\ntrace (%zu spans, appended to %s):\n",
-                  trace.spans().size(), trace_out.c_str());
       PrintTraceTree(trace);
+      if (!trace_events_out.empty()) {
+        event_traces.push_back(trace);
+      }
     }
   }
 
@@ -666,14 +743,22 @@ int Run(int argc, char** argv) {
                 result.cost.wall_ms, engine.ElapsedMillis(result.cost));
     PrintPruneTable(result.cost.prunes);
     if (tracing) {
-      const Status status = trace_engine.ExportTrace(trace, trace_out, query_id);
-      if (!status.ok()) {
-        std::fprintf(stderr, "%s\n", status.ToString().c_str());
-        return 1;
+      if (!trace_out.empty()) {
+        const Status status =
+            trace_engine.ExportTrace(trace, trace_out, query_id);
+        if (!status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+        std::printf("\ntrace (%zu spans, appended to %s):\n",
+                    trace.spans().size(), trace_out.c_str());
+      } else {
+        std::printf("\ntrace (%zu spans):\n", trace.spans().size());
       }
-      std::printf("\ntrace (%zu spans, appended to %s):\n",
-                  trace.spans().size(), trace_out.c_str());
       PrintTraceTree(trace);
+      if (!trace_events_out.empty()) {
+        event_traces.push_back(trace);
+      }
     }
     if (compare) {
       std::printf("\n%-22s %12s %14s\n", "method", "candidates",
@@ -687,6 +772,23 @@ int Run(int argc, char** argv) {
                     r.num_candidates, engine.ElapsedMillis(r.cost));
       }
     }
+  }
+
+  if (!trace_events_out.empty()) {
+    std::vector<const Trace*> traces;
+    traces.reserve(event_traces.size());
+    for (const Trace& t : event_traces) {
+      traces.push_back(&t);
+    }
+    const Status status =
+        trace_engine.ExportTraceEvents(traces, trace_events_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace(s) to %s (trace-event JSON; open in "
+                "ui.perfetto.dev)\n",
+                traces.size(), trace_events_out.c_str());
   }
 
   if (stats_mode) {

@@ -182,6 +182,11 @@ Status Engine::ExportTrace(const Trace& trace, const std::string& path,
   return AppendTraceJsonLines(trace, path, query_id);
 }
 
+Status Engine::ExportTraceEvents(const std::vector<const Trace*>& traces,
+                                 const std::string& path) const {
+  return WriteTraceEventsFile(traces, path);
+}
+
 Engine::Health Engine::TakeHealthSnapshot() const {
   Health health;
   health.dataset_sequences = dataset_.size();

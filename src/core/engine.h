@@ -247,6 +247,12 @@ class Engine : public EngineLike {
   Status ExportTrace(const Trace& trace, const std::string& path,
                      int64_t query_id = -1) const;
 
+  // Writes `traces` to `path` as one Chrome/Perfetto trace-event JSON
+  // document (overwrites; open it in ui.perfetto.dev). See
+  // obs/exporters.h TraceEventsJson.
+  Status ExportTraceEvents(const std::vector<const Trace*>& traces,
+                           const std::string& path) const;
+
  private:
   // Restores from persisted parts (Open()).
   Engine(Dataset dataset, FeatureIndex index, EngineOptions options);

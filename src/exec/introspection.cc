@@ -142,6 +142,71 @@ std::string ShardingJson(const ShardedEngine::Health& health) {
   return out;
 }
 
+// One /tracez row: the tail summary plus the full stitched span tree.
+std::string CompletedTraceJson(const CompletedTrace& trace) {
+  std::string out = "{\"seq\":" + std::to_string(trace.seq);
+  out += ",\"trace_id\":" + JsonEscape(TraceIdHex(trace.trace.trace_id()));
+  out += ",\"timestamp_ms\":" + Num(trace.timestamp_ms);
+  out += ",\"method\":" + JsonEscape(trace.method);
+  out += ",\"epsilon\":" + Num(trace.epsilon);
+  out += ",\"query_length\":" + std::to_string(trace.query_length);
+  out += ",\"matches\":" + std::to_string(trace.matches);
+  out += ",\"wall_ms\":" + Num(trace.wall_ms);
+  out += std::string(",\"errored\":") + (trace.errored ? "true" : "false");
+  out += ",\"keep\":" + JsonEscape(TraceKeepName(trace.keep));
+  size_t shards = 0;
+  for (const TraceSpan& span : trace.trace.spans()) {
+    if (span.name == "shard") {
+      ++shards;
+    }
+  }
+  out += ",\"shards\":" + std::to_string(shards);
+  out += ",\"shard_skew_ratio\":" +
+         Num(TraceStore::ShardSkewRatio(trace.trace));
+  out += ",\"spans\":" + TraceToJsonArray(trace.trace) + "}";
+  return out;
+}
+
+std::string TracezListJson(const TraceStore* store) {
+  if (store == nullptr) {
+    return "{\"count\":0,\"traces\":[]}";
+  }
+  const std::vector<CompletedTrace> traces = store->Snapshot();
+  std::string out = "{\"count\":" + std::to_string(traces.size());
+  out += ",\"offered\":" + std::to_string(store->offered());
+  out += ",\"kept\":" + std::to_string(store->kept());
+  out += ",\"kept_slow\":" + std::to_string(store->kept_slow());
+  out += ",\"kept_error\":" + std::to_string(store->kept_error());
+  out += ",\"kept_shard_skew\":" + std::to_string(store->kept_skew());
+  out += ",\"kept_sampled\":" + std::to_string(store->kept_sampled());
+  out += ",\"traces\":[";
+  for (size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += CompletedTraceJson(traces[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+// "id=<hex>" from a /tracez query string, or empty.
+std::string TraceIdParam(const std::string& query) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string param = query.substr(pos, end - pos);
+    if (param.rfind("id=", 0) == 0) {
+      return param.substr(3);
+    }
+    pos = end + 1;
+  }
+  return "";
+}
+
 // The registry behind whichever engine flavor is being served.
 MetricsRegistry* RegistryOf(const IntrospectionOptions& options) {
   if (options.engine != nullptr) {
@@ -157,12 +222,12 @@ MetricsRegistry* RegistryOf(const IntrospectionOptions& options) {
 
 std::string StatuszJson(const IntrospectionOptions& options,
                         double uptime_s) {
+  const BuildInfo build = GetBuildInfo();
   std::string out = "{\"build\":{";
   out += "\"name\":\"warpindex\"";
-  out += ",\"version\":" + JsonEscape(kWarpIndexVersion);
-#if defined(__VERSION__)
-  out += ",\"compiler\":" + JsonEscape(__VERSION__);
-#endif
+  out += ",\"version\":" + JsonEscape(build.version);
+  out += ",\"compiler\":" + JsonEscape(build.compiler);
+  out += ",\"build_type\":" + JsonEscape(build.build_type);
   out += ",\"cxx_standard\":" + std::to_string(__cplusplus);
   out += "},\"uptime_s\":" + Num(uptime_s);
 
@@ -257,6 +322,27 @@ std::string StatuszJson(const IntrospectionOptions& options,
     out += ",\"slow_log\":null";
   }
 
+  if (options.trace_store != nullptr) {
+    const TraceStore& store = *options.trace_store;
+    out += ",\"trace_store\":{\"capacity\":" +
+           std::to_string(store.capacity());
+    out += ",\"slow_ms\":" + Num(store.options().slow_ms);
+    out += ",\"sample_probability\":" +
+           Num(store.options().sample_probability);
+    out += ",\"skew_ratio\":" + Num(store.options().skew_ratio);
+    out += ",\"head_sample_every\":" +
+           std::to_string(store.options().head_sample_every);
+    out += ",\"offered\":" + std::to_string(store.offered());
+    out += ",\"kept\":" + std::to_string(store.kept());
+    out += ",\"kept_slow\":" + std::to_string(store.kept_slow());
+    out += ",\"kept_error\":" + std::to_string(store.kept_error());
+    out += ",\"kept_shard_skew\":" + std::to_string(store.kept_skew());
+    out += ",\"kept_sampled\":" + std::to_string(store.kept_sampled()) +
+           "}";
+  } else {
+    out += ",\"trace_store\":null";
+  }
+
   out += "}";
   return out;
 }
@@ -273,9 +359,11 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
     MetricsRegistry* registry = RegistryOf(options);
-    response.body = registry != nullptr
-                        ? MetricsToPrometheusText(registry->TakeSnapshot())
-                        : "";
+    const BuildInfo build = GetBuildInfo();
+    response.body =
+        registry != nullptr
+            ? MetricsToPrometheusText(registry->TakeSnapshot(), &build)
+            : MetricsToPrometheusText(MetricsRegistry::Snapshot{}, &build);
     return response;
   });
 
@@ -306,6 +394,28 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
         options.flight_recorder != nullptr
             ? options.flight_recorder->Snapshot()
             : std::vector<FlightRecord>{});
+    return response;
+  });
+
+  server->Handle("/tracez", [options](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    const std::string id_hex = TraceIdParam(request.query);
+    if (id_hex.empty()) {
+      response.body = TracezListJson(options.trace_store);
+      return response;
+    }
+    const uint64_t trace_id = ParseTraceIdHex(id_hex);
+    CompletedTrace trace;
+    if (trace_id == 0 || options.trace_store == nullptr ||
+        !options.trace_store->Find(trace_id, &trace)) {
+      response.status = 404;
+      response.body =
+          "{\"error\":\"no retained trace\",\"id\":" + JsonEscape(id_hex) +
+          "}";
+      return response;
+    }
+    response.body = CompletedTraceJson(trace);
     return response;
   });
 }

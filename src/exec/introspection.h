@@ -7,12 +7,18 @@
 //
 //   /healthz          liveness: "ok\n" while the process serves
 //   /metrics          Prometheus text exposition of the engine registry
+//                     (plus the warpindex_build_info info metric)
 //   /statusz          JSON: build info, uptime, executor gauges,
 //                     buffer-pool hit ratio, R-tree health, planner
-//                     cost-model snapshot, recorder/slow-log state
+//                     cost-model snapshot, recorder/slow-log/trace-store
+//                     state
 //   /slowlog          JSON: the worst-K queries by latency, slowest
 //                     first, with per-stage timings and prune counters
 //   /flightrecorder   JSON: the last N completed queries, oldest first
+//   /tracez           JSON: the tail-sampled trace store — recent
+//                     stitched traces with full span trees; ?id=<hex>
+//                     fetches one trace by the trace_id that /slowlog
+//                     and /flightrecorder rows carry
 //
 // Every handler renders from the snapshot APIs (Engine::
 // TakeHealthSnapshot, CascadePlanner::TakeSnapshot, BufferPool::
@@ -29,15 +35,14 @@
 
 #include "core/engine.h"
 #include "exec/query_executor.h"
+#include "obs/exporters.h"  // kWarpIndexVersion, GetBuildInfo
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
 #include "obs/slow_log.h"
+#include "obs/trace_store.h"
 #include "shard/sharded_engine.h"
 
 namespace warpindex {
-
-// Library version reported in /statusz build info.
-inline constexpr const char* kWarpIndexVersion = "0.5.0";
 
 struct IntrospectionOptions {
   // Exactly one of `engine` / `sharded` must be set: the serving engine
@@ -51,13 +56,16 @@ struct IntrospectionOptions {
   const QueryExecutor* executor = nullptr;  // optional
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;
+  // Tail-sampled trace store behind /tracez (obs/trace_store.h).
+  const TraceStore* trace_store = nullptr;
 };
 
-// Registers /healthz, /metrics, /statusz, /slowlog, and /flightrecorder
-// on `server` (call before Start()). All pointers in `options` are
-// borrowed and must outlive the server. Null optionals render as JSON
-// null in /statusz; /slowlog and /flightrecorder answer 404-free with an
-// empty record list.
+// Registers /healthz, /metrics, /statusz, /slowlog, /flightrecorder, and
+// /tracez on `server` (call before Start()). All pointers in `options`
+// are borrowed and must outlive the server. Null optionals render as
+// JSON null in /statusz; /slowlog, /flightrecorder, and /tracez answer
+// 404-free with an empty record list (except /tracez?id=<hex>, which is
+// 404 when no retained trace has that id).
 void RegisterIntrospectionRoutes(IntrospectionServer* server,
                                  const IntrospectionOptions& options);
 

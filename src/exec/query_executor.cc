@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/timer.h"
@@ -82,19 +83,67 @@ DtwScratch* QueryExecutor::CurrentWorkerScratch() {
 SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
                                      double epsilon, Trace* trace) {
   queries_total_->Increment();
-  SearchResult result = engine_->SearchWith(kind, query, epsilon, trace,
-                                            CurrentWorkerScratch());
-  RecordFlight(kind, query, epsilon, result);
+  // Executor-initiated tracing: with a trace store configured and no
+  // caller trace, trace the query ourselves (head-gated) so the tail
+  // sampler has material. Untraced queries pay only the null tests.
+  std::optional<Trace> local;
+  if (trace == nullptr && options_.trace_store != nullptr &&
+      options_.trace_store->ShouldTrace()) {
+    local.emplace();
+    trace = &*local;
+  }
+  std::optional<WallTimer> timer;
+  if (trace != nullptr) {
+    timer.emplace();
+  }
+  SearchResult result;
+  try {
+    result = engine_->SearchWith(kind, query, epsilon, trace,
+                                 CurrentWorkerScratch());
+  } catch (...) {
+    // The ScopedSpans unwound with the stack, so the trace is closed and
+    // offerable — errored traces are exactly what tail sampling keeps.
+    if (trace != nullptr) {
+      OfferTrace(kind, query, epsilon, *trace, 0, timer->ElapsedMillis(),
+                 /*errored=*/true);
+    }
+    throw;
+  }
+  if (trace != nullptr) {
+    OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
+               result.cost.wall_ms, /*errored=*/false);
+  }
+  RecordFlight(kind, query, epsilon, result,
+               trace != nullptr ? trace->trace_id() : 0);
   return result;
 }
 
+void QueryExecutor::OfferTrace(MethodKind kind, const Sequence& query,
+                               double epsilon, const Trace& trace,
+                               size_t matches, double wall_ms,
+                               bool errored) const {
+  if (options_.trace_store == nullptr) {
+    return;
+  }
+  CompletedTrace completed;
+  completed.method = MethodKindName(kind);
+  completed.epsilon = epsilon;
+  completed.query_length = query.size();
+  completed.matches = matches;
+  completed.wall_ms = wall_ms;
+  completed.errored = errored;
+  completed.trace = trace;  // copy: the caller may still own the original
+  options_.trace_store->Offer(std::move(completed));
+}
+
 void QueryExecutor::RecordFlight(MethodKind kind, const Sequence& query,
-                                 double epsilon,
-                                 const SearchResult& result) const {
+                                 double epsilon, const SearchResult& result,
+                                 uint64_t trace_id) const {
   if (options_.flight_recorder == nullptr && options_.slow_log == nullptr) {
     return;
   }
   FlightRecord record;
+  record.trace_id = trace_id;
   record.method = MethodKindName(kind);
   record.epsilon = epsilon;
   record.query_length = query.size();
@@ -200,6 +249,14 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
   inflight_->Increment();
   InflightGuard guard(inflight_);
 
+  // Same executor-initiated tracing as RunQuery.
+  std::optional<Trace> local;
+  if (trace == nullptr && options_.trace_store != nullptr &&
+      options_.trace_store->ShouldTrace()) {
+    local.emplace();
+    trace = &*local;
+  }
+
   const Engine* single = engine_->AsSingleEngine();
   if (single == nullptr) {
     // Composite engine (ShardedEngine): its SearchWith already fans the
@@ -210,7 +267,12 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                                         : MethodKind::kTwSimSearch;
     result = engine_->SearchWith(kind, query, epsilon, trace,
                                  CurrentWorkerScratch());
-    RecordFlight(kind, query, epsilon, result);
+    if (trace != nullptr) {
+      OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
+                 result.cost.wall_ms, /*errored=*/false);
+    }
+    RecordFlight(kind, query, epsilon, result,
+                 trace != nullptr ? trace->trace_id() : 0);
     return result;
   }
 
@@ -343,9 +405,14 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                  static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
-  RecordFlight(use_cascade ? MethodKind::kTwSimSearchCascade
-                           : MethodKind::kTwSimSearch,
-               query, epsilon, result);
+  const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
+                                      : MethodKind::kTwSimSearch;
+  if (trace != nullptr) {
+    OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
+               result.cost.wall_ms, /*errored=*/false);
+  }
+  RecordFlight(kind, query, epsilon, result,
+               trace != nullptr ? trace->trace_id() : 0);
   return result;
 }
 

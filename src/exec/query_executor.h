@@ -27,9 +27,13 @@
 // registry — a queue-wait histogram (submit → execution start), an
 // in-flight gauge, query/batch counters, and a batch-latency histogram.
 // With BatchOptions::collect_traces each query's span tree is recorded by
-// its worker into a per-query Trace (traces are single-threaded objects;
-// the batch result carries one per query, in request order — export them
-// with Engine::ExportTrace tagged by query index).
+// its worker into a per-query Trace (traces are single-writer objects;
+// sharded queries stitch per-shard child traces via TraceContext — see
+// obs/trace.h). The batch result carries one per query, in request
+// order — export them with Engine::ExportTrace tagged by query index.
+// With QueryExecutorOptions::trace_store set, the executor additionally
+// head-gates its own traces on untraced queries and offers every
+// finished (or thrown) trace for tail-based retention behind /tracez.
 //
 // Thread-safety: Submit/SubmitBatch/SearchParallel may be called from
 // multiple threads concurrently. Do not mutate the engine (Insert/
@@ -46,6 +50,7 @@
 #include "exec/thread_pool.h"
 #include "obs/flight_recorder.h"
 #include "obs/slow_log.h"
+#include "obs/trace_store.h"
 
 namespace warpindex {
 
@@ -60,6 +65,15 @@ struct QueryExecutorOptions {
   // and /slowlog (see exec/introspection.h).
   FlightRecorder* flight_recorder = nullptr;
   SlowQueryLog* slow_log = nullptr;
+  // Optional tail-sampled trace retention (borrowed; must outlive the
+  // executor). When set, queries that arrive WITHOUT a caller trace are
+  // traced by the executor itself (gated by TraceStore::ShouldTrace) and
+  // every finished trace — executor-created or caller-supplied — is
+  // offered for the tail keep/drop decision, feeding /tracez. Flight and
+  // slow-log records carry the trace_id for cross-linking. Without a
+  // store (and no caller trace) the hot path stays null-pointer-test
+  // only.
+  TraceStore* trace_store = nullptr;
 };
 
 // One range query of a batch.
@@ -149,9 +163,16 @@ class QueryExecutor {
                         double epsilon, Trace* trace);
 
   // Offers a finished query to the configured flight recorder / slow
-  // log (no-op when neither is set).
+  // log (no-op when neither is set). `trace_id` (0 = untraced) links the
+  // record to its /tracez entry.
   void RecordFlight(MethodKind kind, const Sequence& query, double epsilon,
-                    const SearchResult& result) const;
+                    const SearchResult& result, uint64_t trace_id) const;
+
+  // Offers a finished trace to the trace store's tail sampler (no-op
+  // without a store).
+  void OfferTrace(MethodKind kind, const Sequence& query, double epsilon,
+                  const Trace& trace, size_t matches, double wall_ms,
+                  bool errored) const;
 
   DtwScratch* CurrentWorkerScratch();
 

@@ -1,10 +1,13 @@
 #include "obs/exporters.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
+#include <utility>
 
 namespace warpindex {
 namespace {
@@ -48,7 +51,51 @@ void AppendCounterObject(
   out->push_back('}');
 }
 
+// The shared span-object body of TraceToJsonLines and TraceToJsonArray.
+void AppendSpanObject(const TraceSpan& span, size_t index,
+                      std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"span\":%zu,\"parent\":%d,", index,
+                span.parent);
+  out->append(buf);
+  out->append("\"name\":");
+  out->append(JsonEscape(span.name));
+  out->append(",\"start_ms\":");
+  out->append(JsonNumber(span.start_ms));
+  out->append(",\"duration_ms\":");
+  out->append(JsonNumber(span.duration_ms));
+  if (span.shard >= 0 || span.tid > 0) {
+    std::snprintf(buf, sizeof(buf), ",\"shard\":%d,\"tid\":%u",
+                  span.shard, span.tid);
+    out->append(buf);
+  }
+  if (!span.counters.empty()) {
+    out->append(",\"counters\":");
+    AppendCounterObject(span.counters, out);
+  }
+}
+
+// Perfetto lane mapping: one pid per shard (pid 0 = unsharded / the
+// merging layer), tid straight from the span tag.
+int EventPid(const TraceSpan& span) { return span.shard + 1; }
+
 }  // namespace
+
+BuildInfo GetBuildInfo() {
+  BuildInfo info;
+  info.version = kWarpIndexVersion;
+#if defined(__VERSION__)
+  info.compiler = __VERSION__;
+#else
+  info.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  info.build_type = "optimized";
+#else
+  info.build_type = "debug";
+#endif
+  return info;
+}
 
 std::string JsonEscape(const std::string& text) {
   std::string out;
@@ -125,33 +172,60 @@ std::string PrometheusEscapeLabelValue(const std::string& text) {
   return out;
 }
 
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return buf;
+}
+
+uint64_t ParseTraceIdHex(const std::string& hex) {
+  if (hex.empty() || hex.size() > 16) {
+    return 0;
+  }
+  uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return 0;
+    }
+  }
+  return value;
+}
+
 std::string TraceToJsonLines(const Trace& trace, int64_t query_id) {
   std::string out;
   const std::vector<TraceSpan>& spans = trace.spans();
   for (size_t i = 0; i < spans.size(); ++i) {
-    const TraceSpan& span = spans[i];
     out.push_back('{');
     if (query_id >= 0) {
       char buf[48];
       std::snprintf(buf, sizeof(buf), "\"query\":%" PRId64 ",", query_id);
       out.append(buf);
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "\"span\":%zu,\"parent\":%d,", i,
-                  span.parent);
-    out.append(buf);
-    out.append("\"name\":");
-    out.append(JsonEscape(span.name));
-    out.append(",\"start_ms\":");
-    out.append(JsonNumber(span.start_ms));
-    out.append(",\"duration_ms\":");
-    out.append(JsonNumber(span.duration_ms));
-    if (!span.counters.empty()) {
-      out.append(",\"counters\":");
-      AppendCounterObject(span.counters, &out);
-    }
+    AppendSpanObject(spans[i], i, &out);
     out.append("}\n");
   }
+  return out;
+}
+
+std::string TraceToJsonArray(const Trace& trace) {
+  std::string out = "[";
+  const std::vector<TraceSpan>& spans = trace.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out.push_back('{');
+    AppendSpanObject(spans[i], i, &out);
+    out.push_back('}');
+  }
+  out.push_back(']');
   return out;
 }
 
@@ -170,9 +244,112 @@ Status AppendTraceJsonLines(const Trace& trace, const std::string& path,
             : Status::IoError("short write to trace file " + path);
 }
 
+std::string TraceEventsJson(const std::vector<const Trace*>& traces) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto append_event = [&out, &first](const std::string& event) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(event);
+  };
+
+  // Name the lanes once across all traces: every distinct pid gets a
+  // process_name, every (pid, tid) a thread_name.
+  std::set<int> pids;
+  std::set<std::pair<int, uint32_t>> lanes;
+  for (const Trace* trace : traces) {
+    if (trace == nullptr) {
+      continue;
+    }
+    for (const TraceSpan& span : trace->spans()) {
+      pids.insert(EventPid(span));
+      lanes.insert({EventPid(span), span.tid});
+    }
+  }
+  for (const int pid : pids) {
+    const std::string name =
+        pid == 0 ? std::string("query") : "shard " + std::to_string(pid - 1);
+    append_event("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+                 std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+                 JsonEscape(name) + "}}");
+  }
+  for (const auto& [pid, tid] : lanes) {
+    const std::string name =
+        tid == 0 ? std::string("caller")
+                 : "worker " + std::to_string(tid - 1);
+    append_event("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+                 std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+                 ",\"args\":{\"name\":" + JsonEscape(name) + "}}");
+  }
+
+  // Lay consecutive traces out left to right: each trace is shifted past
+  // the previous one's extent so a store snapshot reads as one session.
+  double offset_ms = 0.0;
+  for (const Trace* trace : traces) {
+    if (trace == nullptr) {
+      continue;
+    }
+    double extent_ms = 0.0;
+    for (const TraceSpan& span : trace->spans()) {
+      extent_ms = std::max(extent_ms, span.start_ms + span.duration_ms);
+      std::string event = "{\"name\":";
+      event += JsonEscape(span.name);
+      event += ",\"cat\":\"query\",\"ph\":\"X\",\"ts\":";
+      event += JsonNumber((offset_ms + span.start_ms) * 1000.0);
+      event += ",\"dur\":";
+      event += JsonNumber(span.duration_ms * 1000.0);
+      event += ",\"pid\":" + std::to_string(EventPid(span));
+      event += ",\"tid\":" + std::to_string(span.tid);
+      event += ",\"args\":{\"trace_id\":";
+      event += JsonEscape(TraceIdHex(trace->trace_id()));
+      for (const auto& [name, value] : span.counters) {
+        event.push_back(',');
+        event += JsonEscape(name);
+        event.push_back(':');
+        event += JsonNumber(value);
+      }
+      event += "}}";
+      append_event(event);
+    }
+    offset_ms += extent_ms + 1.0;  // 1 ms gutter between traces
+  }
+  out.append("]}");
+  return out;
+}
+
+Status WriteTraceEventsFile(const std::vector<const Trace*>& traces,
+                            const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace-events file " + path);
+  }
+  const std::string doc = TraceEventsJson(traces) + "\n";
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok ? Status::Ok()
+            : Status::IoError("short write to trace-events file " + path);
+}
+
 std::string MetricsToPrometheusText(
-    const MetricsRegistry::Snapshot& snapshot) {
+    const MetricsRegistry::Snapshot& snapshot,
+    const BuildInfo* build_info) {
   std::string out;
+  if (build_info != nullptr) {
+    out.append(
+        "# HELP warpindex_build_info Build metadata; the value is always "
+        "1\n");
+    out.append("# TYPE warpindex_build_info gauge\n");
+    out.append("warpindex_build_info{version=\"" +
+               PrometheusEscapeLabelValue(build_info->version) +
+               "\",compiler=\"" +
+               PrometheusEscapeLabelValue(build_info->compiler) +
+               "\",build_type=\"" +
+               PrometheusEscapeLabelValue(build_info->build_type) +
+               "\"} 1\n");
+  }
   for (const auto& counter : snapshot.counters) {
     if (!counter.help.empty()) {
       out.append("# HELP " + counter.name + " " +
@@ -222,8 +399,17 @@ std::string MetricsToPrometheusText(
   return out;
 }
 
-std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot) {
-  std::string out = "{\"counters\":{";
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot,
+                          const BuildInfo* build_info) {
+  std::string out = "{";
+  if (build_info != nullptr) {
+    out.append("\"build_info\":{\"version\":" +
+               JsonEscape(build_info->version));
+    out.append(",\"compiler\":" + JsonEscape(build_info->compiler));
+    out.append(",\"build_type\":" + JsonEscape(build_info->build_type) +
+               "},");
+  }
+  out.append("\"counters\":{");
   bool first = true;
   for (const auto& counter : snapshot.counters) {
     if (!first) {
@@ -295,6 +481,10 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   std::snprintf(buf, sizeof(buf), "%" PRIu64, record.seq);
   out.append("\"seq\":" + std::string(buf));
   out.append(",\"timestamp_ms\":" + JsonNumber(record.timestamp_ms));
+  out.append(",\"trace_id\":" +
+             (record.trace_id == 0
+                  ? std::string("null")
+                  : JsonEscape(TraceIdHex(record.trace_id))));
   out.append(",\"method\":" + JsonEscape(record.method));
   out.append(",\"epsilon\":" + JsonNumber(record.epsilon));
   out.append(",\"query_length\":" + std::to_string(record.query_length));

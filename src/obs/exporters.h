@@ -3,6 +3,13 @@
 //
 //   * TraceToJsonLines: one JSON object per span (jaeger-style flat
 //     list; `parent` indexes earlier lines), appendable across queries.
+//   * TraceToJsonArray: the same spans as one JSON array (what /tracez
+//     embeds per trace).
+//   * TraceEventsJson: Chrome/Perfetto trace-event format — load the
+//     file in ui.perfetto.dev or chrome://tracing. Spans map to complete
+//     ("X") events; the per-span shard tag becomes the pid lane and the
+//     worker tag the tid lane, so a stitched scatter-gather query renders
+//     one track group per shard.
 //   * MetricsToPrometheusText: the text exposition format (counters plus
 //     cumulative-bucket histograms with _bucket/_sum/_count series).
 //   * MetricsToJson: the same snapshot as one JSON document, for benches
@@ -13,6 +20,7 @@
 #ifndef WARPINDEX_OBS_EXPORTERS_H_
 #define WARPINDEX_OBS_EXPORTERS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,6 +31,21 @@
 
 namespace warpindex {
 
+// Library version (also reported in /statusz build info and the
+// warpindex_build_info metric).
+inline constexpr const char* kWarpIndexVersion = "0.6.0";
+
+// Static facts about this binary, exported as the warpindex_build_info
+// metric (Prometheus info-metric convention: labels carry the facts, the
+// value is always 1) and shown on /statusz.
+struct BuildInfo {
+  std::string version;
+  std::string compiler;
+  std::string build_type;  // "optimized" (NDEBUG) or "debug"
+};
+// The running library's build info.
+BuildInfo GetBuildInfo();
+
 // JSON string literal (quotes and escapes `text`).
 std::string JsonEscape(const std::string& text);
 
@@ -32,25 +55,55 @@ std::string JsonEscape(const std::string& text);
 std::string PrometheusEscapeHelp(const std::string& text);
 std::string PrometheusEscapeLabelValue(const std::string& text);
 
+// 16-char lowercase hex rendering of a trace id (the form /tracez,
+// /slowlog, and /flightrecorder cross-link by), and its inverse.
+// ParseTraceIdHex returns 0 (the invalid id) on malformed input.
+std::string TraceIdHex(uint64_t trace_id);
+uint64_t ParseTraceIdHex(const std::string& hex);
+
 // One line per span:
 //   {"span":0,"parent":-1,"name":"query","start_ms":0.01,
 //    "duration_ms":2.5,"counters":{"pages_read":12}}
-// `query_id` tags every line so multiple traces can share one file; pass
-// a negative id to omit the tag.
+// Spans carrying execution tags (stitched shard subtrees) add
+// "shard"/"tid". `query_id` tags every line so multiple traces can share
+// one file; pass a negative id to omit the tag.
 std::string TraceToJsonLines(const Trace& trace, int64_t query_id = -1);
+
+// The same span objects as one JSON array ("[...]"), for embedding in a
+// larger document (/tracez).
+std::string TraceToJsonArray(const Trace& trace);
 
 // Appends TraceToJsonLines(trace) to `path` (created if missing).
 Status AppendTraceJsonLines(const Trace& trace, const std::string& path,
                             int64_t query_id = -1);
 
+// Chrome trace-event JSON for one or more traces:
+//   {"displayTimeUnit":"ms","traceEvents":[...]}
+// Each span becomes a complete event (ts/dur in microseconds); pid =
+// span.shard + 1 (so unsharded spans share pid 0), tid = span.tid, and
+// metadata events name the lanes ("shard 3", "worker 2"). Consecutive
+// traces are laid out left to right on one timeline (each shifted past
+// the previous trace's extent) so a store snapshot reads as a session.
+std::string TraceEventsJson(const std::vector<const Trace*>& traces);
+
+// Writes TraceEventsJson to `path` (overwritten: the format is one JSON
+// document, not appendable lines).
+Status WriteTraceEventsFile(const std::vector<const Trace*>& traces,
+                            const std::string& path);
+
+// `build_info` (optional) prepends the warpindex_build_info series.
 std::string MetricsToPrometheusText(
-    const MetricsRegistry::Snapshot& snapshot);
+    const MetricsRegistry::Snapshot& snapshot,
+    const BuildInfo* build_info = nullptr);
 // Histogram objects include estimated "p50"/"p99"/"p999" quantiles (see
 // Histogram::Snapshot::EstimatePercentile) alongside the raw buckets.
-std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot);
+// `build_info` (optional) adds a "build_info" object.
+std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot,
+                          const BuildInfo* build_info = nullptr);
 
 // One FlightRecord as a JSON object (stage timings and prune counters as
-// nested objects keyed by stage name).
+// nested objects keyed by stage name; trace_id as hex, null when the
+// query carried no trace).
 std::string FlightRecordToJson(const FlightRecord& record);
 
 // A record list as one JSON document: {"count":N,"records":[...]}.

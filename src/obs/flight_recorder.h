@@ -47,6 +47,9 @@ struct FlightRecord {
   // Completion time in milliseconds since the recorder was created
   // (steady clock).
   double timestamp_ms = 0.0;
+  // Trace id of the query's trace, or 0 when the query ran untraced.
+  // Cross-links /flightrecorder and /slowlog rows to /tracez?id=<hex>.
+  uint64_t trace_id = 0;
   std::string method;
   double epsilon = 0.0;
   size_t query_length = 0;

@@ -1,8 +1,35 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace warpindex {
+namespace {
+
+// SplitMix64 finalizer (same mix as shard/partitioner.h): a bijective
+// scramble so consecutive counter values yield well-spread ids.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t NewTraceId() {
+  // Counter mixed with a once-per-process seed so ids from separate runs
+  // appended to one trace file rarely collide.
+  static const uint64_t process_seed = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  static std::atomic<uint64_t> counter{1};
+  uint64_t id = 0;
+  do {
+    id = Mix64(process_seed ^
+               counter.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);
+  return id;
+}
 
 size_t Trace::BeginSpan(std::string_view name) {
   TraceSpan span;
@@ -11,6 +38,8 @@ size_t Trace::BeginSpan(std::string_view name) {
                     ? -1
                     : static_cast<int>(open_stack_.back());
   span.start_ms = ElapsedMillis();
+  span.shard = tag_shard_;
+  span.tid = tag_tid_;
   spans_.push_back(std::move(span));
   const size_t index = spans_.size() - 1;
   open_stack_.push_back(index);
@@ -37,6 +66,29 @@ void Trace::AddCounter(std::string_view name, double delta) {
     }
   }
   span.counters.emplace_back(std::string(name), delta);
+}
+
+size_t Trace::AppendSpan(TraceSpan span) {
+  assert((span.parent < 0 ||
+          static_cast<size_t>(span.parent) < spans_.size()) &&
+         "appended span must reference an earlier span or be a root");
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void Trace::Adopt(size_t parent_index, const Trace& child) {
+  assert(parent_index < spans_.size() &&
+         "stitch target must be an existing span");
+  assert(child.open_depth() == 0 &&
+         "child trace must be finished before stitching");
+  const int base = static_cast<int>(spans_.size());
+  spans_.reserve(spans_.size() + child.spans_.size());
+  for (const TraceSpan& span : child.spans_) {
+    TraceSpan copy = span;
+    copy.parent = span.parent < 0 ? static_cast<int>(parent_index)
+                                  : base + span.parent;
+    spans_.push_back(std::move(copy));
+  }
 }
 
 double Trace::TotalMillis(std::string_view name) const {

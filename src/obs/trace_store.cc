@@ -1,0 +1,175 @@
+#include "obs/trace_store.h"
+
+#include <algorithm>
+
+namespace warpindex {
+namespace {
+
+size_t PickStripes(size_t requested, size_t capacity) {
+  if (requested > 0) {
+    return std::min(requested, capacity);
+  }
+  return std::min<size_t>(8, capacity);
+}
+
+// SplitMix64 finalizer; the tail-sampling coin must be cheap, lock-free,
+// and deterministic per (seed, offer index).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UniformFromBits(uint64_t bits) {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* TraceKeepName(TraceKeep keep) {
+  switch (keep) {
+    case TraceKeep::kNone:
+      return "none";
+    case TraceKeep::kSlow:
+      return "slow";
+    case TraceKeep::kError:
+      return "error";
+    case TraceKeep::kShardSkew:
+      return "shard_skew";
+    case TraceKeep::kSampled:
+      return "sampled";
+  }
+  return "unknown";
+}
+
+TraceStore::TraceStore(TraceStoreOptions options)
+    : options_(options),
+      capacity_(std::max<size_t>(1, options.capacity)),
+      origin_(std::chrono::steady_clock::now()),
+      slots_(capacity_),
+      stripes_(PickStripes(options.num_stripes, capacity_)) {
+  if (options_.head_sample_every == 0) {
+    options_.head_sample_every = 1;
+  }
+}
+
+bool TraceStore::ShouldTrace() {
+  const uint64_t n = head_counter_.fetch_add(1, std::memory_order_relaxed);
+  return options_.head_sample_every <= 1 ||
+         n % options_.head_sample_every == 0;
+}
+
+double TraceStore::ShardSkewRatio(const Trace& trace) {
+  double max_ms = 0.0;
+  double total_ms = 0.0;
+  size_t shards = 0;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "shard") {
+      max_ms = std::max(max_ms, span.duration_ms);
+      total_ms += span.duration_ms;
+      ++shards;
+    }
+  }
+  if (shards < 2 || total_ms <= 0.0) {
+    return 0.0;
+  }
+  return max_ms / (total_ms / static_cast<double>(shards));
+}
+
+TraceKeep TraceStore::Classify(const CompletedTrace& trace) {
+  if (options_.slow_ms > 0.0 && trace.wall_ms >= options_.slow_ms) {
+    return TraceKeep::kSlow;
+  }
+  if (trace.errored) {
+    return TraceKeep::kError;
+  }
+  if (options_.skew_ratio > 1.0 &&
+      ShardSkewRatio(trace.trace) >= options_.skew_ratio) {
+    return TraceKeep::kShardSkew;
+  }
+  if (options_.sample_probability > 0.0) {
+    const uint64_t n =
+        coin_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (UniformFromBits(Mix64(options_.seed ^ n)) <
+        options_.sample_probability) {
+      return TraceKeep::kSampled;
+    }
+  }
+  return TraceKeep::kNone;
+}
+
+TraceKeep TraceStore::Offer(CompletedTrace trace) {
+  offered_.fetch_add(1, std::memory_order_relaxed);
+  const TraceKeep keep = Classify(trace);
+  if (keep == TraceKeep::kNone) {
+    return keep;  // dropped before touching any lock
+  }
+  switch (keep) {
+    case TraceKeep::kSlow:
+      kept_slow_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TraceKeep::kError:
+      kept_error_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TraceKeep::kShardSkew:
+      kept_skew_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TraceKeep::kSampled:
+      kept_sampled_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case TraceKeep::kNone:
+      break;
+  }
+  const uint64_t seq = kept_.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace.seq = seq;
+  trace.timestamp_ms = ElapsedMillis();
+  trace.keep = keep;
+  const size_t slot = static_cast<size_t>((seq - 1) % capacity_);
+  Stripe& stripe = stripes_[slot % stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  slots_[slot] = std::move(trace);
+  return keep;
+}
+
+std::vector<CompletedTrace> TraceStore::Snapshot() const {
+  std::vector<CompletedTrace> out;
+  out.reserve(capacity_);
+  // One stripe at a time (writers on other stripes keep flowing); sorting
+  // by seq afterwards restores a coherent oldest-first view.
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t slot = s; slot < capacity_; slot += stripes_.size()) {
+      if (slots_[slot].seq != 0) {
+        out.push_back(slots_[slot]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CompletedTrace& a, const CompletedTrace& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+bool TraceStore::Find(uint64_t trace_id, CompletedTrace* out) const {
+  bool found = false;
+  uint64_t best_seq = 0;
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (size_t slot = s; slot < capacity_; slot += stripes_.size()) {
+      const CompletedTrace& candidate = slots_[slot];
+      if (candidate.seq != 0 &&
+          candidate.trace.trace_id() == trace_id &&
+          candidate.seq > best_seq) {
+        *out = candidate;
+        best_seq = candidate.seq;
+        found = true;
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,170 @@
+// TraceStore: a lock-striped ring of recently completed query traces
+// with TAIL-BASED sampling — the keep/drop decision runs at query END,
+// when the trace's latency, error state, and shard skew are known.
+//
+// Head sampling (trace or don't trace) cannot keep "the interesting
+// queries": whether a query turns out slow, errored, or shard-skewed is
+// only known once it finishes. So the serving layer traces queries
+// (gated by ShouldTrace(), a cheap every-k head limiter) and offers every
+// finished trace here; the store then keeps traces that are
+//
+//   * slow        — wall_ms >= options.slow_ms,
+//   * errored     — the query threw,
+//   * shard-skew  — the slowest per-shard subtree ran >= options.
+//                   skew_ratio times the mean (a scatter-gather straggler
+//                   the merged latency alone would hide), or
+//   * sampled     — a deterministic-PRNG coin at options.
+//                   sample_probability, so /tracez always has baseline
+//                   examples of healthy traffic,
+//
+// and drops the rest before they touch the ring. `/tracez` (see
+// exec/introspection.h) serves the retained traces; `/slowlog` and
+// `/flightrecorder` rows cross-link by trace_id.
+//
+// Thread-safety: ShouldTrace(), Offer(), Snapshot(), and Find() may race
+// freely. Offer() is one atomic seq pick plus a short stripe-mutex hold
+// to move the trace in (same discipline as obs/flight_recorder.h);
+// dropped traces never take a lock.
+
+#ifndef WARPINDEX_OBS_TRACE_STORE_H_
+#define WARPINDEX_OBS_TRACE_STORE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace warpindex {
+
+// Why a trace was retained (kNone = dropped).
+enum class TraceKeep : uint8_t {
+  kNone = 0,
+  kSlow,
+  kError,
+  kShardSkew,
+  kSampled,
+};
+const char* TraceKeepName(TraceKeep keep);
+
+// One finished query's trace plus the summary the tail decision and the
+// /tracez listing need. The serving layer fills everything except `seq`,
+// `timestamp_ms`, and `keep` (assigned on admission).
+struct CompletedTrace {
+  uint64_t seq = 0;          // admission number (1-based; 0 = empty slot)
+  double timestamp_ms = 0.0; // completion, ms since the store was created
+  std::string method;
+  double epsilon = 0.0;
+  size_t query_length = 0;
+  size_t matches = 0;
+  double wall_ms = 0.0;
+  bool errored = false;
+  TraceKeep keep = TraceKeep::kNone;
+  Trace trace;  // the stitched span tree
+};
+
+struct TraceStoreOptions {
+  // Ring capacity in retained traces.
+  size_t capacity = 64;
+  // Lock stripes; 0 picks min(8, capacity).
+  size_t num_stripes = 0;
+  // Keep every trace at least this slow (the slow-log admission idea as
+  // a static threshold). <= 0 disables the slowness rule.
+  double slow_ms = 5.0;
+  // Probability of keeping an otherwise-unremarkable trace.
+  double sample_probability = 0.05;
+  // A trace whose slowest per-shard subtree ("shard" spans) took >=
+  // skew_ratio times the mean per-shard time is a skew outlier. <= 1
+  // disables the rule; traces touching < 2 shards never match.
+  double skew_ratio = 4.0;
+  // ShouldTrace() head gate: trace every k-th query (1 = every query).
+  uint64_t head_sample_every = 1;
+  // Seed of the deterministic tail-sampling coin.
+  uint64_t seed = 1;
+};
+
+class TraceStore {
+ public:
+  explicit TraceStore(TraceStoreOptions options = {});
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  // Head gate for the serving layer: true when the next query should
+  // carry a trace at all (every k-th call). One relaxed atomic increment.
+  bool ShouldTrace();
+
+  // Tail decision: classifies `trace`, stores it if it matched any keep
+  // rule, and returns the reason (kNone = dropped). Thread-safe.
+  TraceKeep Offer(CompletedTrace trace);
+
+  // The retained traces, oldest first. Thread-safe against writers.
+  std::vector<CompletedTrace> Snapshot() const;
+
+  // Copies the retained trace with this trace_id into `out` (the most
+  // recent one, should ids ever collide). False if none is retained.
+  bool Find(uint64_t trace_id, CompletedTrace* out) const;
+
+  // The per-shard skew ratio the kShardSkew rule tests: max / mean of
+  // the durations of root-stitched "shard" spans, or 0 when fewer than
+  // two shards ran. Exposed for tests and /statusz explainability.
+  static double ShardSkewRatio(const Trace& trace);
+
+  size_t capacity() const { return capacity_; }
+  const TraceStoreOptions& options() const { return options_; }
+  // Traces offered to Offer() (kept or not).
+  uint64_t offered() const {
+    return offered_.load(std::memory_order_relaxed);
+  }
+  // Traces retained, total and per keep reason.
+  uint64_t kept() const { return kept_.load(std::memory_order_relaxed); }
+  uint64_t kept_slow() const {
+    return kept_slow_.load(std::memory_order_relaxed);
+  }
+  uint64_t kept_error() const {
+    return kept_error_.load(std::memory_order_relaxed);
+  }
+  uint64_t kept_skew() const {
+    return kept_skew_.load(std::memory_order_relaxed);
+  }
+  uint64_t kept_sampled() const {
+    return kept_sampled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+  };
+
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  // The tail rules, in precedence order (slow > error > skew > coin).
+  TraceKeep Classify(const CompletedTrace& trace);
+
+  TraceStoreOptions options_;
+  size_t capacity_;
+  std::chrono::steady_clock::time_point origin_;
+  // slots_[i] is guarded by stripes_[i % stripes_.size()].mu.
+  mutable std::vector<CompletedTrace> slots_;
+  mutable std::vector<Stripe> stripes_;
+  std::atomic<uint64_t> head_counter_{0};
+  std::atomic<uint64_t> coin_counter_{0};
+  std::atomic<uint64_t> offered_{0};
+  std::atomic<uint64_t> kept_{0};
+  std::atomic<uint64_t> kept_slow_{0};
+  std::atomic<uint64_t> kept_error_{0};
+  std::atomic<uint64_t> kept_skew_{0};
+  std::atomic<uint64_t> kept_sampled_{0};
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_TRACE_STORE_H_

@@ -137,21 +137,61 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
   subqueries_total_->Increment(active.size());
   fanout_hist_->Observe(static_cast<double>(active.size()));
 
+  const uint64_t trace_id = trace != nullptr ? trace->trace_id() : 0;
   std::vector<SearchResult> partials(active.size());
   {
     ScopedSpan span(trace, "scatter_gather");
     TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
     TraceCounter(trace, "shards_skipped",
                  static_cast<double>(shards_.size() - active.size()));
+    TraceCounter(trace, "partitioner",
+                 static_cast<double>(options_.partitioner));
+    MarkSkippedShards(trace, active);
+
+    // Cross-thread tracing: the Trace object itself is single-writer, so
+    // each sub-task records into its own child Trace built from the
+    // scatter_gather span's context (same trace_id, same clock zero) and
+    // the children are stitched back after the barrier, in shard order —
+    // the stitched shape is deterministic however the pool interleaves.
+    std::vector<Trace> subs;
+    if (trace != nullptr) {
+      subs.assign(active.size(),
+                  Trace(trace->ContextForSpan(span.index())));
+    }
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i];
       DtwScratch scratch;
+      Trace* sub = trace != nullptr ? &subs[i] : nullptr;
+      size_t shard_span = 0;
+      if (sub != nullptr) {
+        sub->SetThreadTag(
+            static_cast<int32_t>(s),
+            static_cast<uint32_t>(ThreadPool::current_worker_index() + 1));
+        shard_span = sub->BeginSpan("shard");
+        sub->AddCounter("shard_index", static_cast<double>(s));
+      }
       partials[i] =
-          shards_[s]->SearchWith(kind, query, epsilon, nullptr, &scratch);
+          shards_[s]->SearchWith(kind, query, epsilon, sub, &scratch);
+      if (sub != nullptr) {
+        sub->AddCounter("candidates",
+                        static_cast<double>(partials[i].num_candidates));
+        sub->AddCounter("matches",
+                        static_cast<double>(partials[i].matches.size()));
+        sub->AddCounter("index_nodes",
+                        static_cast<double>(partials[i].cost.index_nodes));
+        sub->AddCounter("dtw_evals",
+                        static_cast<double>(partials[i].cost.dtw_evals));
+        sub->EndSpan(shard_span);
+      }
       shard_queries_[s].fetch_add(1, std::memory_order_relaxed);
       RecordShardFlight(s, MethodKindName(kind), epsilon, query.size(),
-                        partials[i]);
+                        partials[i], trace_id);
     });
+    if (trace != nullptr) {
+      for (const Trace& sub : subs) {
+        trace->Adopt(span.index(), sub);
+      }
+    }
   }
 
   SearchResult result;
@@ -199,12 +239,44 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
   {
     ScopedSpan span(trace, "scatter_gather");
     TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
+    TraceCounter(trace, "partitioner",
+                 static_cast<double>(options_.partitioner));
+    MarkSkippedShards(trace, active);
+
+    // Same stitching discipline as SearchWith: one child Trace per
+    // sub-query, adopted in shard order after the barrier.
+    std::vector<Trace> subs;
+    if (trace != nullptr) {
+      subs.assign(active.size(),
+                  Trace(trace->ContextForSpan(span.index())));
+    }
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i];
+      Trace* sub = trace != nullptr ? &subs[i] : nullptr;
+      size_t shard_span = 0;
+      if (sub != nullptr) {
+        sub->SetThreadTag(
+            static_cast<int32_t>(s),
+            static_cast<uint32_t>(ThreadPool::current_worker_index() + 1));
+        shard_span = sub->BeginSpan("shard");
+        sub->AddCounter("shard_index", static_cast<double>(s));
+      }
       partials[i] =
-          shards_[s]->SearchKnnBounded(query, k, nullptr, &shared_bound);
+          shards_[s]->SearchKnnBounded(query, k, sub, &shared_bound);
+      if (sub != nullptr) {
+        sub->AddCounter("neighbors",
+                        static_cast<double>(partials[i].neighbors.size()));
+        sub->AddCounter("refined",
+                        static_cast<double>(partials[i].num_refined));
+        sub->EndSpan(shard_span);
+      }
       shard_queries_[s].fetch_add(1, std::memory_order_relaxed);
     });
+    if (trace != nullptr) {
+      for (const Trace& sub : subs) {
+        trace->Adopt(span.index(), sub);
+      }
+    }
   }
 
   // Merge: every shard's survivors, remapped to global ids, in the
@@ -231,13 +303,36 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
   return result;
 }
 
+void ShardedEngine::MarkSkippedShards(
+    Trace* trace, const std::vector<size_t>& active) const {
+  if (trace == nullptr || active.size() == shards_.size()) {
+    return;
+  }
+  // `active` is sorted ascending (built by one forward scan), so one
+  // cursor finds the gaps.
+  size_t cursor = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (cursor < active.size() && active[cursor] == s) {
+      ++cursor;
+      continue;
+    }
+    trace->SetThreadTag(static_cast<int32_t>(s), 0);
+    const size_t marker = trace->BeginSpan("shard_skipped");
+    trace->AddCounter("shard_index", static_cast<double>(s));
+    trace->EndSpan(marker);
+  }
+  trace->SetThreadTag(-1, 0);
+}
+
 void ShardedEngine::RecordShardFlight(size_t shard_index, const char* method,
                                       double epsilon, size_t query_length,
-                                      const SearchResult& result) const {
+                                      const SearchResult& result,
+                                      uint64_t trace_id) const {
   if (options_.flight_recorder == nullptr) {
     return;
   }
   FlightRecord record;
+  record.trace_id = trace_id;
   record.method = method;
   record.epsilon = epsilon;
   record.query_length = query_length;

@@ -108,9 +108,13 @@ class ShardedEngine : public EngineLike {
   // Scatter-gather over the non-prunable shards; matches are global ids
   // sorted ascending. `scratch` is accepted for interface compatibility
   // but unused — each per-shard task keeps its own scratch (sub-queries
-  // run on different threads). Per-shard span trees are not collected
-  // (traces are single-threaded); the caller's trace gets one
-  // scatter_gather span with fanout/skip counters instead.
+  // run on different threads). With a trace attached, the caller's trace
+  // gets one scatter_gather span (fanout/skip/partitioner counters) and
+  // every sub-query records into its own child Trace — built from
+  // ContextForSpan, tagged with (shard, pool worker) — which is stitched
+  // back under the scatter_gather span after the gather barrier, in
+  // shard order, so one query yields ONE tree holding every per-shard
+  // subtree. Pruned shards leave zero-duration "shard_skipped" markers.
   SearchResult SearchWith(MethodKind kind, const Sequence& query,
                           double epsilon, Trace* trace = nullptr,
                           DtwScratch* scratch = nullptr) const override;
@@ -189,7 +193,14 @@ class ShardedEngine : public EngineLike {
   void RegisterMetrics();
   void RecordShardFlight(size_t shard_index, const char* method,
                          double epsilon, size_t query_length,
-                         const SearchResult& result) const;
+                         const SearchResult& result,
+                         uint64_t trace_id) const;
+
+  // Appends a zero-duration "shard_skipped" marker span (tagged with the
+  // shard) for every shard not in `active`, under the currently open
+  // span. No-op without a trace.
+  void MarkSkippedShards(Trace* trace,
+                         const std::vector<size_t>& active) const;
 
   ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Engine>> shards_;

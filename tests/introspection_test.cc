@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "exec/query_executor.h"
+#include "obs/exporters.h"
 #include "obs/flight_recorder.h"
 #include "obs/slow_log.h"
+#include "obs/trace_store.h"
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
 
@@ -63,7 +65,12 @@ void ExpectValidJson(const std::string& text) {
 class IntrospectionTest : public testing::Test {
  protected:
   IntrospectionTest()
-      : engine_(TestDataset(),
+      : trace_store_([] {
+          TraceStoreOptions options;
+          options.sample_probability = 1.0;  // retain every query's trace
+          return options;
+        }()),
+        engine_(TestDataset(),
                 [this] {
                   EngineOptions options;
                   options.metrics = &registry_;  // isolated per fixture
@@ -75,6 +82,7 @@ class IntrospectionTest : public testing::Test {
           options.num_threads = 2;
           options.flight_recorder = &flight_recorder_;
           options.slow_log = &slow_log_;
+          options.trace_store = &trace_store_;
           return options;
         }()) {}
 
@@ -97,12 +105,14 @@ class IntrospectionTest : public testing::Test {
     return IntrospectionOptions{.engine = &engine_,
                                 .executor = &executor_,
                                 .flight_recorder = &flight_recorder_,
-                                .slow_log = &slow_log_};
+                                .slow_log = &slow_log_,
+                                .trace_store = &trace_store_};
   }
 
   MetricsRegistry registry_;
   FlightRecorder flight_recorder_;
   SlowQueryLog slow_log_;
+  TraceStore trace_store_;
   Engine engine_;
   QueryExecutor executor_;
 };
@@ -124,6 +134,11 @@ TEST_F(IntrospectionTest, StatuszJsonIsValidAndComplete) {
   EXPECT_NE(json.find("\"uptime_s\":1.5"), std::string::npos);
   EXPECT_NE(json.find(std::string("\"version\":\"") + kWarpIndexVersion),
             std::string::npos);
+  // Build identification and the trace-store health section.
+  EXPECT_NE(json.find("\"compiler\":"), std::string::npos);
+  EXPECT_NE(json.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_store\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"offered\":8"), std::string::npos);
 }
 
 TEST_F(IntrospectionTest, StatuszRendersNullForAbsentComponents) {
@@ -134,6 +149,7 @@ TEST_F(IntrospectionTest, StatuszRendersNullForAbsentComponents) {
   EXPECT_NE(json.find("\"executor\":null"), std::string::npos);
   EXPECT_NE(json.find("\"flight_recorder\":null"), std::string::npos);
   EXPECT_NE(json.find("\"slow_log\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_store\":null"), std::string::npos);
 }
 
 TEST_F(IntrospectionTest, EndpointsServeOverHttp) {
@@ -159,6 +175,14 @@ TEST_F(IntrospectionTest, EndpointsServeOverHttp) {
   EXPECT_EQ(status_code, 200);
   EXPECT_NE(body.find("# TYPE warpindex_queries_total counter"),
             std::string::npos);
+  // The build-info series, Prometheus info-metric convention: constant 1
+  // with the identifying facts as labels.
+  EXPECT_NE(body.find("# TYPE warpindex_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(body.find(std::string("warpindex_build_info{version=\"") +
+                      kWarpIndexVersion + "\""),
+            std::string::npos);
+  EXPECT_NE(body.find("build_type="), std::string::npos);
 
   ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/statusz", &body,
                       &status_code)
@@ -181,6 +205,69 @@ TEST_F(IntrospectionTest, EndpointsServeOverHttp) {
   EXPECT_NE(body.find("\"count\":8"), std::string::npos);
 }
 
+TEST_F(IntrospectionTest, TracezListsAndLooksUpRetainedTraces) {
+  IntrospectionServer server;
+  RegisterIntrospectionRoutes(&server, Options());
+  const Status start_status = server.Start();
+  if (!start_status.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << start_status.ToString();
+  }
+  RunQueries(8);
+
+  std::string body;
+  int status_code = 0;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/tracez", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+  // sample_probability = 1 retains all eight traces, spans included.
+  EXPECT_NE(body.find("\"count\":8"), std::string::npos);
+  EXPECT_NE(body.find("\"offered\":8"), std::string::npos);
+  EXPECT_NE(body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(body.find("\"shard_skew_ratio\":"), std::string::npos);
+
+  // Lookup by id: take a retained trace's id straight from the store.
+  const std::vector<CompletedTrace> kept = trace_store_.Snapshot();
+  ASSERT_FALSE(kept.empty());
+  const std::string id_hex = TraceIdHex(kept.back().trace.trace_id());
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/tracez?id=" + id_hex,
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+  EXPECT_NE(body.find("\"trace_id\":\"" + id_hex + "\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"keep\":"), std::string::npos);
+
+  // Unknown and malformed ids both 404 with a JSON error body.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(),
+                      "/tracez?id=00000000deadbeef", &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 404);
+  ExpectValidJson(body);
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/tracez?id=not-hex",
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 404);
+  ExpectValidJson(body);
+}
+
+TEST_F(IntrospectionTest, FlightRecordsCarryTraceIds) {
+  RunQueries(4);
+  // Every query was traced (head gate 1), so every flight record should
+  // cross-link to a trace id — the /flightrecorder → /tracez join key.
+  const std::vector<FlightRecord> records = flight_recorder_.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (const FlightRecord& record : records) {
+    EXPECT_NE(record.trace_id, 0u);
+  }
+  const std::string json = FlightRecordsToJson(records);
+  EXPECT_NE(json.find("\"trace_id\":\"" + TraceIdHex(records[0].trace_id) +
+                      "\""),
+            std::string::npos);
+}
+
 // The TSan target: queries and endpoint scrapes in flight together.
 TEST_F(IntrospectionTest, ConcurrentQueriesAndScrapes) {
   IntrospectionServer server;
@@ -194,7 +281,7 @@ TEST_F(IntrospectionTest, ConcurrentQueriesAndScrapes) {
   std::atomic<int> scrape_failures{0};
   std::thread scraper([&] {
     const char* endpoints[] = {"/statusz", "/metrics", "/slowlog",
-                               "/flightrecorder", "/healthz"};
+                               "/flightrecorder", "/tracez", "/healthz"};
     size_t i = 0;
     while (!done.load(std::memory_order_acquire)) {
       std::string body;

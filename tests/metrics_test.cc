@@ -312,6 +312,28 @@ TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(h.TakeSnapshot().EstimatePercentile(0.99), 0.0);
 }
 
+TEST(HistogramPercentileTest, DefaultSnapshotIsZeroForAnyP) {
+  // A default-constructed snapshot has no buckets at all; the count guard
+  // must fire before any bucket indexing.
+  const Histogram::Snapshot snapshot;
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(2.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleSampleReportsThatSample) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(1.5);
+  const Histogram::Snapshot snapshot = h.TakeSnapshot();
+  // Every percentile of a one-sample distribution is that sample; the
+  // interpolation must not stray outside [min, max] = [1.5, 1.5].
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snapshot.EstimatePercentile(p), 1.5) << "p=" << p;
+  }
+}
+
 TEST(HistogramPercentileTest, JsonExportCarriesQuantiles) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("latency_ms", {1.0, 10.0});

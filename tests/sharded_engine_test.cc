@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "exec/query_executor.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
 
@@ -401,6 +403,140 @@ TEST(ShardedEngineTest, ShardMetricsLandInTheSharedRegistry) {
   // epsilon; each logical query fans out to all four shards.
   EXPECT_EQ(sub, 8u);
   EXPECT_TRUE(saw_fanout);
+}
+
+// The tree shape a stitched trace must reproduce regardless of which
+// thread ran which shard: (name, parent, shard) per span, in span order.
+// tid is deliberately excluded — it varies with pool scheduling.
+struct SpanShape {
+  std::string name;
+  int parent;
+  int32_t shard;
+  bool operator==(const SpanShape& other) const {
+    return name == other.name && parent == other.parent &&
+           shard == other.shard;
+  }
+};
+
+std::vector<SpanShape> ShapeOf(const Trace& trace) {
+  std::vector<SpanShape> shape;
+  shape.reserve(trace.spans().size());
+  for (const TraceSpan& span : trace.spans()) {
+    shape.push_back(SpanShape{span.name, span.parent, span.shard});
+  }
+  return shape;
+}
+
+TEST(ShardedTracingTest, OneStitchedTraceContainsEveryShardSubtree) {
+  const ShardedEngine sharded(WalkDataset(),
+                              ShardOptions(4, PartitionerKind::kHash));
+  const Sequence q = PerturbSequence(sharded.shard(0).dataset()[0], 3);
+  Trace trace;
+  // Epsilon large enough that no shard is pruned: all four must appear.
+  (void)sharded.Search(q, 50.0, &trace);
+
+  int scatter_gather = -1;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    if (trace.spans()[i].name == "scatter_gather") {
+      scatter_gather = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(scatter_gather, 0);
+
+  std::vector<int32_t> shard_tags;
+  for (size_t i = 0; i < trace.spans().size(); ++i) {
+    const TraceSpan& span = trace.spans()[i];
+    if (span.name != "shard") {
+      continue;
+    }
+    // Each per-shard subtree hangs off the scatter-gather span and is
+    // tagged with its shard id, both on the span and as a counter.
+    EXPECT_EQ(span.parent, scatter_gather);
+    shard_tags.push_back(span.shard);
+    bool saw_index = false;
+    for (const auto& [key, value] : span.counters) {
+      if (key == "shard_index") {
+        saw_index = true;
+        EXPECT_DOUBLE_EQ(value, static_cast<double>(span.shard));
+      }
+    }
+    EXPECT_TRUE(saw_index);
+    // The shard's own engine recorded inside the subtree: at least one
+    // descendant span carrying the same shard tag.
+    bool saw_child = false;
+    for (size_t j = 0; j < trace.spans().size(); ++j) {
+      if (trace.spans()[j].parent == static_cast<int>(i)) {
+        saw_child = true;
+        EXPECT_EQ(trace.spans()[j].shard, span.shard);
+      }
+    }
+    EXPECT_TRUE(saw_child);
+  }
+  std::sort(shard_tags.begin(), shard_tags.end());
+  EXPECT_EQ(shard_tags, (std::vector<int32_t>{0, 1, 2, 3}));
+}
+
+TEST(ShardedTracingTest, StitchedShapeIsIdenticalWithAndWithoutPool) {
+  ShardedEngine sharded(WalkDataset(),
+                        ShardOptions(3, PartitionerKind::kRange));
+  const Sequence q = PerturbSequence(sharded.shard(1).dataset()[0], 9);
+
+  Trace detached;
+  (void)sharded.Search(q, 50.0, &detached);
+
+  ThreadPool pool(4);
+  sharded.AttachPool(&pool);
+  Trace attached;
+  (void)sharded.Search(q, 50.0, &attached);
+  sharded.AttachPool(nullptr);
+
+  // Stitching in shard order makes the tree shape deterministic: the
+  // same query yields the same (name, parent, shard) sequence whether
+  // shards ran inline on the caller or raced on pool workers.
+  EXPECT_EQ(ShapeOf(detached), ShapeOf(attached));
+  EXPECT_NE(detached.trace_id(), attached.trace_id());
+}
+
+TEST(ShardedTracingTest, PrunedShardsLeaveSkipMarkers) {
+  ShardedEngineOptions options = ShardOptions(2, PartitionerKind::kRange);
+  const ShardedEngine sharded(ClusteredDataset(), options);
+  // A query inside the low cluster at tight epsilon prunes the far
+  // shard; the trace must still account for it with a skip marker.
+  const Sequence q = PerturbSequence(sharded.shard(0).dataset()[0], 13);
+  Trace trace;
+  (void)sharded.Search(q, 0.25, &trace);
+
+  size_t searched = 0;
+  size_t skipped = 0;
+  std::vector<int32_t> seen;
+  for (const TraceSpan& span : trace.spans()) {
+    if (span.name == "shard") {
+      ++searched;
+      seen.push_back(span.shard);
+    } else if (span.name == "shard_skipped") {
+      ++skipped;
+      seen.push_back(span.shard);
+      EXPECT_LT(span.duration_ms, 1.0);  // a marker, not real work
+    }
+  }
+  EXPECT_GE(searched, 1u);
+  EXPECT_GE(skipped, 1u);
+  // Together the searched and skipped markers cover both shards.
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<int32_t>{0, 1}));
+}
+
+TEST(ShardedTracingTest, UntracedShardedSearchRecordsNoSpans) {
+  ShardedEngine sharded(WalkDataset(),
+                        ShardOptions(3, PartitionerKind::kHash));
+  const Sequence q = PerturbSequence(sharded.shard(0).dataset()[0], 5);
+  // The null-trace fan-out is the production default; it must work with
+  // and without a pool and allocate no spans anywhere.
+  const SearchResult without_pool = sharded.Search(q, 0.4, nullptr);
+  ThreadPool pool(2);
+  sharded.AttachPool(&pool);
+  const SearchResult with_pool = sharded.Search(q, 0.4, nullptr);
+  EXPECT_EQ(without_pool.matches, with_pool.matches);
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// TraceStore: tail-based keep rules (slow / error / shard-skew /
+// probabilistic), ring eviction, id lookup, head gating, and the
+// concurrent writers-vs-snapshot discipline (run under TSan in CI).
+
+#include "obs/trace_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace warpindex {
+namespace {
+
+// A finished trace whose "shard" root spans have the given durations —
+// fabricated through AppendSpan, so no clocks and no sleeps.
+Trace MakeShardedTrace(const std::vector<double>& shard_ms) {
+  Trace trace;
+  TraceSpan root;
+  root.name = "query";
+  root.duration_ms = 1.0;
+  trace.AppendSpan(root);
+  for (size_t s = 0; s < shard_ms.size(); ++s) {
+    TraceSpan shard;
+    shard.name = "shard";
+    shard.parent = 0;
+    shard.duration_ms = shard_ms[s];
+    shard.shard = static_cast<int32_t>(s);
+    trace.AppendSpan(shard);
+  }
+  return trace;
+}
+
+CompletedTrace MakeCompleted(double wall_ms, bool errored = false,
+                             std::vector<double> shard_ms = {}) {
+  CompletedTrace trace;
+  trace.method = "tw_sim_search";
+  trace.epsilon = 1.0;
+  trace.query_length = 100;
+  trace.wall_ms = wall_ms;
+  trace.errored = errored;
+  trace.trace = MakeShardedTrace(shard_ms);
+  return trace;
+}
+
+TraceStoreOptions NoCoinOptions() {
+  TraceStoreOptions options;
+  options.slow_ms = 10.0;
+  options.sample_probability = 0.0;  // isolate the deterministic rules
+  options.skew_ratio = 4.0;
+  return options;
+}
+
+TEST(TraceStoreTest, KeepNameCoversEveryReason) {
+  EXPECT_STREQ(TraceKeepName(TraceKeep::kNone), "none");
+  EXPECT_STREQ(TraceKeepName(TraceKeep::kSlow), "slow");
+  EXPECT_STREQ(TraceKeepName(TraceKeep::kError), "error");
+  EXPECT_STREQ(TraceKeepName(TraceKeep::kShardSkew), "shard_skew");
+  EXPECT_STREQ(TraceKeepName(TraceKeep::kSampled), "sampled");
+}
+
+TEST(TraceStoreTest, SlowTracesAreAlwaysKept) {
+  TraceStore store(NoCoinOptions());
+  EXPECT_EQ(store.Offer(MakeCompleted(10.0)), TraceKeep::kSlow);
+  EXPECT_EQ(store.Offer(MakeCompleted(9.99)), TraceKeep::kNone);
+  EXPECT_EQ(store.offered(), 2u);
+  EXPECT_EQ(store.kept(), 1u);
+  EXPECT_EQ(store.kept_slow(), 1u);
+}
+
+TEST(TraceStoreTest, ErroredTracesAreKept) {
+  TraceStore store(NoCoinOptions());
+  EXPECT_EQ(store.Offer(MakeCompleted(0.1, /*errored=*/true)),
+            TraceKeep::kError);
+  EXPECT_EQ(store.kept_error(), 1u);
+  // Slow takes precedence over errored in the reported reason.
+  EXPECT_EQ(store.Offer(MakeCompleted(50.0, /*errored=*/true)),
+            TraceKeep::kSlow);
+}
+
+TEST(TraceStoreTest, ShardSkewOutliersAreKept) {
+  TraceStore store(NoCoinOptions());
+  // Balanced shards: max/mean = 1 — dropped.
+  EXPECT_EQ(store.Offer(MakeCompleted(1.0, false, {1.0, 1.0, 1.0, 1.0})),
+            TraceKeep::kNone);
+  // One straggler: max 8, mean 2 — ratio 4 trips the rule.
+  EXPECT_EQ(store.Offer(MakeCompleted(1.0, false, {8.0, 0.0, 0.0, 0.0})),
+            TraceKeep::kShardSkew);
+  EXPECT_EQ(store.kept_skew(), 1u);
+}
+
+TEST(TraceStoreTest, ShardSkewRatioMath) {
+  EXPECT_EQ(TraceStore::ShardSkewRatio(MakeShardedTrace({})), 0.0);
+  EXPECT_EQ(TraceStore::ShardSkewRatio(MakeShardedTrace({5.0})), 0.0);
+  EXPECT_EQ(TraceStore::ShardSkewRatio(MakeShardedTrace({0.0, 0.0})), 0.0);
+  EXPECT_DOUBLE_EQ(
+      TraceStore::ShardSkewRatio(MakeShardedTrace({2.0, 2.0})), 1.0);
+  EXPECT_DOUBLE_EQ(
+      TraceStore::ShardSkewRatio(MakeShardedTrace({6.0, 2.0, 1.0})), 2.0);
+}
+
+TEST(TraceStoreTest, CoinAtProbabilityOneKeepsEverything) {
+  TraceStoreOptions options = NoCoinOptions();
+  options.sample_probability = 1.0;
+  TraceStore store(options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(store.Offer(MakeCompleted(0.1)), TraceKeep::kSampled);
+  }
+  EXPECT_EQ(store.kept_sampled(), 10u);
+}
+
+TEST(TraceStoreTest, CoinIsDeterministicPerSeed) {
+  TraceStoreOptions options = NoCoinOptions();
+  options.sample_probability = 0.3;
+  options.seed = 7;
+  TraceStore a(options);
+  TraceStore b(options);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.Offer(MakeCompleted(0.1)), b.Offer(MakeCompleted(0.1)));
+  }
+  EXPECT_EQ(a.kept_sampled(), b.kept_sampled());
+  // ~30% keep rate, loosely bounded (deterministic, so no flake).
+  EXPECT_GT(a.kept_sampled(), 5u);
+  EXPECT_LT(a.kept_sampled(), 40u);
+}
+
+TEST(TraceStoreTest, RingEvictsOldestKeptTraces) {
+  TraceStoreOptions options = NoCoinOptions();
+  options.capacity = 4;
+  TraceStore store(options);
+  for (int i = 0; i < 10; ++i) {
+    store.Offer(MakeCompleted(100.0 + i));
+  }
+  const std::vector<CompletedTrace> kept = store.Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  // Oldest-first snapshot of the newest four admissions (seq 7..10).
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].seq, 7 + i);
+    EXPECT_DOUBLE_EQ(kept[i].wall_ms, 100.0 + 6 + static_cast<double>(i));
+    EXPECT_EQ(kept[i].keep, TraceKeep::kSlow);
+  }
+  EXPECT_EQ(store.kept(), 10u);  // counter keeps counting past eviction
+}
+
+TEST(TraceStoreTest, DroppedTracesNeverReachTheRing) {
+  TraceStore store(NoCoinOptions());
+  for (int i = 0; i < 8; ++i) {
+    store.Offer(MakeCompleted(0.5));
+  }
+  EXPECT_TRUE(store.Snapshot().empty());
+  EXPECT_EQ(store.offered(), 8u);
+  EXPECT_EQ(store.kept(), 0u);
+}
+
+TEST(TraceStoreTest, FindByTraceId) {
+  TraceStore store(NoCoinOptions());
+  CompletedTrace slow = MakeCompleted(42.0);
+  const uint64_t id = slow.trace.trace_id();
+  store.Offer(std::move(slow));
+  store.Offer(MakeCompleted(43.0));
+
+  CompletedTrace found;
+  ASSERT_TRUE(store.Find(id, &found));
+  EXPECT_EQ(found.trace.trace_id(), id);
+  EXPECT_DOUBLE_EQ(found.wall_ms, 42.0);
+  EXPECT_FALSE(store.Find(id ^ 0x5555, &found));
+  EXPECT_FALSE(store.Find(0, &found));
+}
+
+TEST(TraceStoreTest, ShouldTraceHonorsHeadGate) {
+  TraceStoreOptions options;
+  options.head_sample_every = 1;
+  TraceStore every(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(every.ShouldTrace());
+  }
+  options.head_sample_every = 4;
+  TraceStore fourth(options);
+  int traced = 0;
+  for (int i = 0; i < 16; ++i) {
+    traced += fourth.ShouldTrace() ? 1 : 0;
+  }
+  EXPECT_EQ(traced, 4);
+}
+
+TEST(TraceStoreTest, CapacityIsClampedToAtLeastOne) {
+  TraceStoreOptions options = NoCoinOptions();
+  options.capacity = 0;
+  TraceStore store(options);
+  EXPECT_EQ(store.capacity(), 1u);
+  store.Offer(MakeCompleted(99.0));
+  EXPECT_EQ(store.Snapshot().size(), 1u);
+}
+
+// The TSan acceptance test: many writer threads offering keepers while a
+// reader snapshots and looks traces up — the /tracez scrape racing live
+// serving. Run with -fsanitize=thread in CI (sanitizer matrix).
+TEST(TraceStoreConcurrencyTest, WritersRaceSnapshotsCleanly) {
+  TraceStoreOptions options = NoCoinOptions();
+  options.capacity = 32;
+  options.num_stripes = 4;
+  TraceStore store(options);
+
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 200;
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    CompletedTrace found;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::vector<CompletedTrace> kept = store.Snapshot();
+      // Snapshot invariants under race: occupied slots only, seqs
+      // strictly increasing (sorted, unique).
+      for (size_t i = 0; i < kept.size(); ++i) {
+        EXPECT_NE(kept[i].seq, 0u);
+        if (i > 0) {
+          EXPECT_LT(kept[i - 1].seq, kept[i].seq);
+        }
+      }
+      if (!kept.empty()) {
+        store.Find(kept.back().trace.trace_id(), &found);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w]() {
+      for (int i = 0; i < kPerWriter; ++i) {
+        // Mix keeps and drops: even offers are slow, odd ones dropped.
+        const double wall = i % 2 == 0 ? 50.0 + w : 0.1;
+        store.Offer(MakeCompleted(wall, /*errored=*/false, {1.0, 1.0}));
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(store.offered(),
+            static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(store.kept(),
+            static_cast<uint64_t>(kWriters * kPerWriter / 2));
+  const std::vector<CompletedTrace> kept = store.Snapshot();
+  EXPECT_EQ(kept.size(), store.capacity());
+  std::set<uint64_t> seqs;
+  for (const CompletedTrace& trace : kept) {
+    EXPECT_EQ(trace.keep, TraceKeep::kSlow);
+    seqs.insert(trace.seq);
+  }
+  EXPECT_EQ(seqs.size(), kept.size());
+}
+
+}  // namespace
+}  // namespace warpindex
