@@ -94,21 +94,63 @@ BENCHMARK(BM_RTreeKnn)->Arg(10000)->Arg(100000);
 
 // HealthStats itself (one full traversal), reported with the structure
 // quality it measures: leaf occupancy and the directory-level overlap /
-// dead-space estimates. range(1) selects construction — bulk-loaded
-// trees should show visibly higher occupancy than one-at-a-time
-// insertion (the §4.3.1 argument for bulk loading, now measurable live
-// via /statusz).
+// dead-space estimates. range(1) selects construction:
+//   0  insert_quadratic        one-at-a-time, legacy quadratic splits
+//   1  insert_rstar_reinsert   one-at-a-time with the R*-style knobs the
+//                              ingest delta shards use (forced reinsert,
+//                              0.3 reinsert fraction, 0.4 distribution
+//                              factor)
+//   2  bulk_packed             STR bulk load, leaves packed to 100%
+//   3  bulk_fill70_stream      STR at 0.7 fill, then the last 10% of the
+//                              entries inserted R*-style — the compacted
+//                              base + streaming writes shape
+// Bulk-loaded trees should show visibly higher occupancy than
+// one-at-a-time insertion (the §4.3.1 argument for bulk loading, now
+// measurable live via /statusz), and the R* knobs should cut overlap /
+// dead space relative to the quadratic insert path.
 void BM_RTreeHealthStats(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  const bool bulk = state.range(1) != 0;
+  const int64_t config = state.range(1);
   const auto entries = FeatureLikeEntries(n, 11);
+  RTreeOptions rstar;
+  rstar.split_policy = SplitPolicy::kRStar;
+  rstar.forced_reinsert = true;
+  rstar.reinsert_fraction = 0.3;
+  rstar.split_distribution_factor = 0.4;
   RTree tree(4);
-  if (bulk) {
-    tree = BulkLoadStr(4, RTreeOptions{}, entries);
-  } else {
-    for (const auto& e : entries) {
-      tree.Insert(e.rect, e.record_id);
+  const char* label = "insert_quadratic";
+  switch (config) {
+    case 0:
+      for (const auto& e : entries) {
+        tree.Insert(e.rect, e.record_id);
+      }
+      break;
+    case 1:
+      tree = RTree(4, rstar);
+      for (const auto& e : entries) {
+        tree.Insert(e.rect, e.record_id);
+      }
+      label = "insert_rstar_reinsert";
+      break;
+    case 2:
+      tree = BulkLoadStr(4, RTreeOptions{}, entries);
+      label = "bulk_packed";
+      break;
+    case 3: {
+      RTreeOptions headroom = rstar;
+      headroom.bulk_fill_fraction = 0.7;
+      const size_t base = n - n / 10;
+      tree = BulkLoadStr(4, headroom,
+                         {entries.begin(), entries.begin() + base});
+      for (size_t i = base; i < entries.size(); ++i) {
+        tree.Insert(entries[i].rect, entries[i].record_id);
+      }
+      label = "bulk_fill70_stream";
+      break;
     }
+    default:
+      state.SkipWithError("unknown config");
+      return;
   }
   RTreeHealth health;
   for (auto _ : state) {
@@ -120,13 +162,17 @@ void BM_RTreeHealthStats(benchmark::State& state) {
   state.counters["leaf_occupancy_pct"] = 100.0 * health.leaf_occupancy;
   state.counters["overlap_ratio"] = health.overlap_ratio;
   state.counters["dead_space_ratio"] = health.dead_space_ratio;
-  state.SetLabel(bulk ? "bulk_load" : "insert_one_at_a_time");
+  state.SetLabel(label);
 }
 BENCHMARK(BM_RTreeHealthStats)
     ->Args({10000, 0})
     ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 3})
     ->Args({100000, 0})
-    ->Args({100000, 1});
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 3});
 
 void BM_RTreeDelete(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

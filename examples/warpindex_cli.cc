@@ -22,23 +22,30 @@
 //   $ ./warpindex_cli serve --data my_series.csv --queries patterns.csv \
 //         --threads 8 --eps 0.5
 //
+//   # serve a writable ingest engine: stream inserts/deletes through the
+//   # pool while the batches run, verify against a from-scratch engine:
+//   $ ./warpindex_cli serve --ingest --shards 4 --ingest_writes 2000
+//
 //   # serve with the live introspection server and scrape it:
 //   $ ./warpindex_cli serve --dataset stock --http_port 8080 --linger_s 600 &
 //   $ ./warpindex_cli inspect --http_port 8080 --endpoint /statusz
 //   $ curl -s localhost:8080/metrics
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
 #include "common/stats.h"
 #include "core/engine.h"
 #include "exec/introspection.h"
+#include "ingest/ingest_engine.h"
 #include "exec/query_executor.h"
 #include "obs/exporters.h"
 #include "obs/flight_recorder.h"
@@ -137,14 +144,19 @@ void PrintPruneTable(const StageCounters& prunes) {
   }
 }
 
-// Either serving flavor behind one pointer: a single Engine
-// (--shards=1) or a ShardedEngine over K per-shard engines. The
-// EngineLike interface is all the executor and the query paths need.
+// Any serving flavor behind one pointer: a single Engine (--shards=1),
+// a ShardedEngine over K per-shard engines, or a writable IngestEngine
+// (`serve --ingest`). The EngineLike interface is all the executor and
+// the query paths need.
 struct ServingEngine {
   std::unique_ptr<Engine> single;
   std::unique_ptr<ShardedEngine> sharded;
+  std::unique_ptr<IngestEngine> ingest;
 
   const EngineLike* get() const {
+    if (ingest != nullptr) {
+      return ingest.get();
+    }
     return single != nullptr ? static_cast<const EngineLike*>(single.get())
                              : sharded.get();
   }
@@ -212,6 +224,11 @@ int RunServe(int argc, char** argv) {
   double trace_slow_ms = 5.0;
   double trace_sample = 0.05;
   std::string trace_events_out;
+  bool ingest = false;
+  int64_t ingest_writes = 2000;
+  int64_t ingest_delete_every = 7;
+  double ingest_rate = 0.0;
+  int64_t ingest_compact_entries = 128;
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -258,7 +275,28 @@ int RunServe(int argc, char** argv) {
   flags.AddString("trace_events_out", &trace_events_out,
                   "write the retained traces as Chrome/Perfetto "
                   "trace-event JSON to this file after the batches");
+  flags.AddBool("ingest", &ingest,
+                "serve from a writable IngestEngine and stream "
+                "--ingest_writes inserts/deletes concurrently with the "
+                "query batches (see docs/INGEST.md)");
+  flags.AddInt64("ingest_writes", &ingest_writes,
+                 "--ingest: inserts streamed while the batches run");
+  flags.AddInt64("ingest_delete_every", &ingest_delete_every,
+                 "--ingest: delete one earlier insert every N inserts "
+                 "(0 = no deletes)");
+  flags.AddDouble("ingest_rate", &ingest_rate,
+                  "--ingest: throttle writes to this many per second "
+                  "(0 = unthrottled)");
+  flags.AddInt64("ingest_compact_entries", &ingest_compact_entries,
+                 "--ingest: delta entries per shard that trigger a "
+                 "background compaction");
   if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (ingest && (ingest_writes < 0 || ingest_compact_entries <= 0)) {
+    std::fprintf(stderr,
+                 "--ingest_writes must be >= 0 and "
+                 "--ingest_compact_entries positive\n");
     return 1;
   }
   if (flight_capacity <= 0 || slow_worst_k <= 0) {
@@ -332,9 +370,36 @@ int RunServe(int argc, char** argv) {
   EngineOptions options;
   options.build_st_filter = kind == MethodKind::kStFilter;
   options.cascade_planner.mode = plan_mode;
+  // --ingest verification rebuilds a from-scratch reference over the
+  // final live set, so keep the base rows before the dataset moves.
+  Dataset ingest_base;
+  if (ingest) {
+    ingest_base = dataset;
+  }
+  const size_t base_size = dataset.size();
   ServingEngine engine;
-  if (!BuildServingEngine(std::move(dataset), options, shards, partition,
-                          &flight_recorder, &engine)) {
+  if (ingest) {
+    if (shards < 1) {
+      std::fprintf(stderr, "--shards must be >= 1\n");
+      return 1;
+    }
+    IngestOptions ingest_options;
+    ingest_options.num_shards = static_cast<size_t>(shards);
+    if (!ParsePartitionerKind(partition, &ingest_options.partitioner)) {
+      std::fprintf(stderr, "unknown --partition '%s' (hash | range)\n",
+                   partition.c_str());
+      return 1;
+    }
+    ingest_options.engine = options;
+    ingest_options.compact_max_delta_entries =
+        static_cast<size_t>(ingest_compact_entries);
+    ingest_options.compact_max_tombstones =
+        static_cast<size_t>(ingest_compact_entries);
+    ingest_options.trace_store = trace_store.get();
+    engine.ingest = std::make_unique<IngestEngine>(std::move(dataset),
+                                                   ingest_options);
+  } else if (!BuildServingEngine(std::move(dataset), options, shards,
+                                 partition, &flight_recorder, &engine)) {
     return 1;
   }
 
@@ -349,6 +414,13 @@ int RunServe(int argc, char** argv) {
     // pool (the calling worker participates; see docs/SHARDING.md).
     engine.sharded->AttachPool(&executor.pool());
   }
+  if (engine.ingest != nullptr) {
+    // Same fan-out pool; the executor additionally becomes the write
+    // path (SubmitInsert/SubmitDelete) and the compactor schedules its
+    // merges on the pool too.
+    engine.ingest->AttachPool(&executor.pool());
+    executor.AttachIngest(engine.ingest.get());
+  }
 
   if (http_port > 65535) {
     std::fprintf(stderr, "--http_port out of range\n");
@@ -361,6 +433,7 @@ int RunServe(int argc, char** argv) {
     RegisterIntrospectionRoutes(
         &server, IntrospectionOptions{.engine = engine.single.get(),
                                       .sharded = engine.sharded.get(),
+                                      .ingest = engine.ingest.get(),
                                       .executor = &executor,
                                       .flight_recorder = &flight_recorder,
                                       .slow_log = &slow_log,
@@ -382,6 +455,14 @@ int RunServe(int argc, char** argv) {
                 engine.sharded->num_shards(),
                 PartitionerKindName(engine.sharded->partitioner()));
   }
+  if (engine.ingest != nullptr) {
+    std::printf("ingest engine: %zu shards, %s partitioning, compaction "
+                "at %lld delta entries; streaming %lld writes\n",
+                engine.ingest->num_shards(),
+                PartitionerKindName(engine.ingest->partitioner()),
+                static_cast<long long>(ingest_compact_entries),
+                static_cast<long long>(ingest_writes));
+  }
   if (kind == MethodKind::kTwSimSearchCascade) {
     std::printf("serving %zu %s queries (eps=%.4f, plan=%s) over %zu "
                 "threads\n",
@@ -391,6 +472,75 @@ int RunServe(int argc, char** argv) {
     std::printf("serving %zu %s queries (eps=%.4f) over %zu threads\n",
                 requests.size(), MethodKindName(kind), eps,
                 executor.num_threads());
+  }
+
+  // --ingest writer: streams inserts (and periodic deletes) through the
+  // executor's pool while the query batches run below, so snapshot reads
+  // and background compaction are exercised under real concurrency.
+  std::vector<std::pair<SequenceId, Sequence>> inserted;
+  std::vector<SequenceId> deleted;
+  bool write_error = false;
+  std::thread writer;
+  if (engine.ingest != nullptr && ingest_writes > 0) {
+    writer = std::thread([&] {
+      std::vector<std::pair<std::future<SequenceId>, Sequence>> pending;
+      pending.reserve(static_cast<size_t>(ingest_writes));
+      std::vector<SequenceId> ids(static_cast<size_t>(ingest_writes), -1);
+      // Futures are single-shot; resolve lazily so a victim lookup and
+      // the final drain never both call get() on one.
+      const auto resolve = [&](size_t j) {
+        if (ids[j] < 0) {
+          ids[j] = pending[j].first.get();
+        }
+        return ids[j];
+      };
+      std::vector<std::future<bool>> delete_acks;
+      const auto start = std::chrono::steady_clock::now();
+      SequenceId next_base_victim = 0;
+      uint64_t deletes_issued = 0;
+      for (int64_t i = 0; i < ingest_writes; ++i) {
+        if (ingest_rate > 0.0) {
+          std::this_thread::sleep_until(
+              start +
+              std::chrono::duration_cast<
+                  std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(static_cast<double>(i) /
+                                                ingest_rate)));
+        }
+        Sequence row = PerturbSequence(
+            ingest_base[static_cast<size_t>(i) % ingest_base.size()],
+            static_cast<uint64_t>(seed) * 1000003ull +
+                static_cast<uint64_t>(i));
+        Sequence to_insert = row;
+        pending.emplace_back(executor.SubmitInsert(std::move(to_insert)),
+                             std::move(row));
+        if (ingest_delete_every > 0 &&
+            (i + 1) % ingest_delete_every == 0) {
+          // Alternate victims between a base row and an acknowledged
+          // insert, so tombstones land on both sides of the base/delta
+          // split.
+          SequenceId victim;
+          if (deletes_issued % 2 == 0 &&
+              static_cast<size_t>(next_base_victim) < base_size) {
+            victim = next_base_victim++;
+          } else {
+            victim = resolve(
+                static_cast<size_t>(i + 1 - ingest_delete_every));
+          }
+          ++deletes_issued;
+          deleted.push_back(victim);
+          delete_acks.push_back(executor.SubmitDelete(victim));
+        }
+      }
+      for (size_t j = 0; j < pending.size(); ++j) {
+        inserted.emplace_back(resolve(j), std::move(pending[j].second));
+      }
+      for (std::future<bool>& ack : delete_acks) {
+        if (!ack.get()) {
+          write_error = true;
+        }
+      }
+    });
   }
 
   StageCounters batch_prunes;
@@ -418,6 +568,135 @@ int RunServe(int argc, char** argv) {
   if (total_dtw_evals > 0) {
     std::printf("exact-DTW evaluations: %llu\n",
                 static_cast<unsigned long long>(total_dtw_evals));
+  }
+
+  if (engine.ingest != nullptr) {
+    if (writer.joinable()) {
+      writer.join();
+    }
+    // Let the background compactor drain the write backlog so the
+    // summary and the verification below see a quiesced engine.
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    IngestEngine::Health health = engine.ingest->TakeHealthSnapshot();
+    while (health.compaction_backlog > 0 &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      health = engine.ingest->TakeHealthSnapshot();
+    }
+    std::printf("ingest: %llu inserts, %llu deletes, %llu compactions "
+                "(%llu cut rebalances), epoch %llu, %zu live of %zu "
+                "ids, backlog %zu\n",
+                static_cast<unsigned long long>(health.inserts_total),
+                static_cast<unsigned long long>(health.deletes_total),
+                static_cast<unsigned long long>(health.compactions_total),
+                static_cast<unsigned long long>(
+                    health.cut_rebalances_total),
+                static_cast<unsigned long long>(health.epoch),
+                health.live_sequences, health.id_space,
+                health.compaction_backlog);
+
+    // Verify the consistency contract (docs/INGEST.md): a from-scratch
+    // engine over the final live set must answer bit-identically.
+    std::sort(inserted.begin(), inserted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Dataset ref = std::move(ingest_base);
+    bool ok = true;
+    if (write_error) {
+      std::fprintf(stderr, "ingest verify: a delete was not acknowledged\n");
+      ok = false;
+    }
+    for (auto& [id, row] : inserted) {
+      if (static_cast<size_t>(id) != ref.size()) {
+        // Ids must be the contiguous dataset positions.
+        std::fprintf(stderr,
+                     "ingest verify: insert id %lld, expected %zu\n",
+                     static_cast<long long>(id), ref.size());
+        ok = false;
+        break;
+      }
+      ref.Add(std::move(row));
+    }
+    if (ok) {
+      Engine reference(std::move(ref), options);
+      for (const SequenceId id : deleted) {
+        if (!reference.Remove(id)) {
+          std::fprintf(stderr,
+                       "ingest verify: reference Remove(%lld) failed\n",
+                       static_cast<long long>(id));
+          ok = false;
+        }
+      }
+      const size_t nq = std::min<size_t>(requests.size(), 8);
+      for (size_t i = 0; i < nq && ok; ++i) {
+        const Sequence& q = requests[i].query;
+        const SearchResult got =
+            engine.get()->SearchWith(MethodKind::kTwSimSearch, q, eps);
+        const SearchResult want =
+            reference.SearchWith(MethodKind::kTwSimSearch, q, eps);
+        // The ingest merge emits ascending global ids; a single engine
+        // answers in index traversal order. Compare as id sets.
+        std::vector<SequenceId> want_sorted = want.matches;
+        std::sort(want_sorted.begin(), want_sorted.end());
+        if (got.matches != want_sorted) {
+          std::fprintf(stderr,
+                       "ingest verify: range answers differ on query %zu "
+                       "(%zu vs %zu matches)\n",
+                       i, got.matches.size(), want.matches.size());
+          std::vector<SequenceId> extra;
+          std::set_difference(got.matches.begin(), got.matches.end(),
+                              want_sorted.begin(), want_sorted.end(),
+                              std::back_inserter(extra));
+          std::vector<SequenceId> missing;
+          std::set_difference(want_sorted.begin(), want_sorted.end(),
+                              got.matches.begin(), got.matches.end(),
+                              std::back_inserter(missing));
+          for (size_t n = 0; n < extra.size() && n < 5; ++n) {
+            std::fprintf(stderr, "  extra match #%lld\n",
+                         static_cast<long long>(extra[n]));
+          }
+          for (size_t n = 0; n < missing.size() && n < 5; ++n) {
+            std::fprintf(stderr, "  missing match #%lld\n",
+                         static_cast<long long>(missing[n]));
+          }
+          ok = false;
+        }
+        const KnnResult got_knn = engine.get()->SearchKnn(q, 5);
+        const KnnResult want_knn = reference.SearchKnn(q, 5);
+        if (got_knn.neighbors.size() != want_knn.neighbors.size()) {
+          std::fprintf(stderr,
+                       "ingest verify: kNN sizes differ on query %zu "
+                       "(%zu vs %zu)\n",
+                       i, got_knn.neighbors.size(),
+                       want_knn.neighbors.size());
+          ok = false;
+        } else {
+          for (size_t n = 0; n < got_knn.neighbors.size(); ++n) {
+            if (got_knn.neighbors[n].id != want_knn.neighbors[n].id ||
+                got_knn.neighbors[n].distance !=
+                    want_knn.neighbors[n].distance) {
+              std::fprintf(
+                  stderr,
+                  "ingest verify: kNN neighbor %zu differs on query %zu "
+                  "(#%lld d=%.17g vs #%lld d=%.17g)\n",
+                  n, i, static_cast<long long>(got_knn.neighbors[n].id),
+                  got_knn.neighbors[n].distance,
+                  static_cast<long long>(want_knn.neighbors[n].id),
+                  want_knn.neighbors[n].distance);
+              ok = false;
+            }
+          }
+        }
+      }
+    }
+    if (!ok) {
+      std::fprintf(stderr, "ingest verify FAILED\n");
+      return 1;
+    }
+    std::printf("ingest verify ok (%zu live sequences, answers match a "
+                "from-scratch engine)\n",
+                engine.ingest->live_size());
+    std::fflush(stdout);
   }
 
   if (trace_store != nullptr) {

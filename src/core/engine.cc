@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <system_error>
 #include <utility>
@@ -17,6 +18,11 @@ RTreeOptions MakeRTreeOptions(const EngineOptions& options) {
   RTreeOptions rtree;
   rtree.page_size_bytes = options.page_size_bytes;
   rtree.split_policy = options.split_policy;
+  rtree.min_fill_fraction = options.rtree_min_fill_fraction;
+  rtree.forced_reinsert = options.rtree_forced_reinsert;
+  rtree.reinsert_fraction = options.rtree_reinsert_fraction;
+  rtree.split_distribution_factor = options.rtree_split_distribution_factor;
+  rtree.bulk_fill_fraction = options.rtree_bulk_fill_fraction;
   return rtree;
 }
 
@@ -210,12 +216,18 @@ void Engine::RebuildSubsequenceIndex() {
   sub.dtw = options_.dtw;
   subsequence_index_ =
       std::make_unique<SubsequenceIndex>(&dataset_, sub);
+  subsequence_index_stale_ = false;
 }
 
 std::vector<SubsequenceMatch> Engine::SearchSubsequences(
     const Sequence& query, double epsilon, SearchCost* cost) const {
   assert(subsequence_index_ != nullptr &&
          "construct the Engine with build_subsequence_index=true");
+  if (subsequence_index_stale_) {
+    throw std::logic_error(
+        "subsequence index is stale: Insert() added sequences the window "
+        "index does not cover; call RebuildSubsequenceIndex() first");
+  }
   std::vector<SubsequenceMatch> matches =
       subsequence_index_->Search(query, epsilon, cost);
   // Suppress matches inside tombstoned sequences.
@@ -360,6 +372,11 @@ SequenceId Engine::Insert(Sequence s) {
   const SequenceId id = store_.Append(stored);
   assert(id == stored.id());
   feature_index_.Insert(id, ExtractFeature(stored));
+  if (subsequence_index_ != nullptr) {
+    // The window index has no entries for the new sequence; answering
+    // from it would silently miss matches. See SearchSubsequences.
+    subsequence_index_stale_ = true;
+  }
   return id;
 }
 

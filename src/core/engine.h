@@ -68,6 +68,17 @@ struct EngineOptions {
   // Feature index configuration.
   SplitPolicy split_policy = SplitPolicy::kQuadratic;
   bool bulk_load = true;
+  // R*-style insert tuning for the feature index (see rtree/rtree.h).
+  // The defaults reproduce the paper configuration; the streaming ingest
+  // path (src/ingest/) is the intended consumer — delta inserts and
+  // compacted rebuilds keep insert-built trees near bulk-load quality
+  // with forced reinsertion + a distribution-factor R* split + bulk-load
+  // headroom (bulk_fill_fraction < 1).
+  double rtree_min_fill_fraction = 0.4;
+  bool rtree_forced_reinsert = false;
+  double rtree_reinsert_fraction = 0.3;
+  double rtree_split_distribution_factor = 0.0;
+  double rtree_bulk_fill_fraction = 1.0;
   // Build the ST-Filter baseline too (its suffix tree is expensive; only
   // the comparison benches need it).
   bool build_st_filter = false;
@@ -180,11 +191,17 @@ class Engine : public EngineLike {
 
   // ---- Subsequence matching (paper §6). Requires
   // options.build_subsequence_index. Matches inside tombstoned sequences
-  // are suppressed; after Insert(), call RebuildSubsequenceIndex() to
-  // cover the new sequences.
+  // are suppressed (Remove() stays exact without a rebuild), but Insert()
+  // leaves the window index blind to the new sequence — a silent
+  // false-dismissal footgun. Insert() therefore marks the index STALE:
+  // SearchSubsequences throws std::logic_error until
+  // RebuildSubsequenceIndex() runs, so staleness is a hard error instead
+  // of a quietly incomplete answer.
   bool has_subsequence_index() const {
     return subsequence_index_ != nullptr;
   }
+  // True after an Insert() that the window index does not cover yet.
+  bool subsequence_index_stale() const { return subsequence_index_stale_; }
   const SubsequenceIndex* subsequence_index() const {
     return subsequence_index_.get();
   }
@@ -267,6 +284,10 @@ class Engine : public EngineLike {
   FeatureIndex feature_index_;
   std::unique_ptr<StFilter> st_filter_;
   std::unique_ptr<SubsequenceIndex> subsequence_index_;
+  // Set by Insert() while a subsequence index exists; cleared by
+  // RebuildSubsequenceIndex(). Guards SearchSubsequences against silent
+  // false dismissals on uncovered sequences.
+  bool subsequence_index_stale_ = false;
   std::unique_ptr<BufferPool> index_pool_;
   DiskModel disk_model_;
 

@@ -27,6 +27,7 @@ namespace warpindex {
 
 enum class MethodKind;
 class Engine;
+class IngestEngine;
 
 class EngineLike {
  public:
@@ -51,6 +52,13 @@ class EngineLike {
   // partitioned engine. Callers that need Engine internals (the
   // executor's intra-query SearchParallel) go through here.
   virtual const Engine* AsSingleEngine() const { return nullptr; }
+
+  // The writable streaming-ingest engine (ingest/ingest_engine.h), or
+  // null for the build-then-serve shapes. Serving layers that accept
+  // writes (QueryExecutor::SubmitInsert/SubmitDelete, the /statusz
+  // ingest section) discover the delta-aware engine through here without
+  // the core layer depending on src/ingest/.
+  virtual const IngestEngine* AsIngestEngine() const { return nullptr; }
 };
 
 }  // namespace warpindex

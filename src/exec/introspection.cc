@@ -190,6 +190,46 @@ std::string TracezListJson(const TraceStore* store) {
   return out;
 }
 
+// One /statusz row per ingest shard: base vs delta split, write rate,
+// and compaction history — the acceptance surface for "is the write
+// path keeping up and is the compactor draining it".
+std::string IngestJson(const IngestEngine::Health& health) {
+  std::string out = "{\"num_shards\":" + std::to_string(health.num_shards);
+  out += ",\"partitioner\":" +
+         JsonEscape(PartitionerKindName(health.partitioner));
+  out += ",\"epoch\":" + std::to_string(health.epoch);
+  out += ",\"live\":" + std::to_string(health.live_sequences);
+  out += ",\"id_space\":" + std::to_string(health.id_space);
+  out += ",\"inserts_total\":" + std::to_string(health.inserts_total);
+  out += ",\"deletes_total\":" + std::to_string(health.deletes_total);
+  out += ",\"compactions_total\":" +
+         std::to_string(health.compactions_total);
+  out += ",\"cut_rebalances_total\":" +
+         std::to_string(health.cut_rebalances_total);
+  out += ",\"compaction_backlog\":" +
+         std::to_string(health.compaction_backlog);
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < health.shards.size(); ++i) {
+    const IngestEngine::ShardStatus& shard = health.shards[i];
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += "{\"shard\":" + std::to_string(shard.shard_index);
+    out += ",\"base_sequences\":" + std::to_string(shard.base_sequences);
+    out += ",\"delta_entries\":" + std::to_string(shard.delta_entries);
+    out += ",\"tombstones\":" + std::to_string(shard.tombstones);
+    out += ",\"writes_total\":" + std::to_string(shard.writes_total);
+    out += ",\"write_rate_per_s\":" + Num(shard.write_rate_per_s);
+    out += ",\"compactions\":" + std::to_string(shard.compactions);
+    out += ",\"last_compaction_ms\":" + Num(shard.last_compaction_ms);
+    out += ",\"feature_mbr\":" + FeatureMbrJson(shard.bounds);
+    out += ",\"rtree\":" + RTreeHealthJson(shard.base_health.index);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 // "id=<hex>" from a /tracez query string, or empty.
 std::string TraceIdParam(const std::string& query) {
   size_t pos = 0;
@@ -215,6 +255,9 @@ MetricsRegistry* RegistryOf(const IntrospectionOptions& options) {
   if (options.sharded != nullptr) {
     return &options.sharded->metrics();
   }
+  if (options.ingest != nullptr) {
+    return &options.ingest->metrics();
+  }
   return nullptr;
 }
 
@@ -230,6 +273,13 @@ std::string StatuszJson(const IntrospectionOptions& options,
   out += ",\"build_type\":" + JsonEscape(build.build_type);
   out += ",\"cxx_standard\":" + std::to_string(__cplusplus);
   out += "},\"uptime_s\":" + Num(uptime_s);
+
+  // One ingest snapshot reused for the dataset line and the "ingest"
+  // section (TakeHealthSnapshot traverses every base index).
+  IngestEngine::Health ingest_health;
+  if (options.ingest != nullptr) {
+    ingest_health = options.ingest->TakeHealthSnapshot();
+  }
 
   Engine::Health health;  // single-engine sections (empty when sharded)
   if (options.engine != nullptr) {
@@ -256,6 +306,23 @@ std::string StatuszJson(const IntrospectionOptions& options,
     out += ",\"live\":" + std::to_string(sharded.live_size());
     out += ",\"index_entries\":" + std::to_string(index_entries) + "}";
     const EngineOptions& engine_options = sharded.shard(0).options();
+    out += ",\"engine\":{\"page_size_bytes\":" +
+           std::to_string(engine_options.page_size_bytes);
+    out += ",\"index_buffer_pages\":" +
+           std::to_string(engine_options.index_buffer_pages) + "}";
+  } else if (options.ingest != nullptr) {
+    size_t index_entries = 0;
+    size_t delta_entries = 0;
+    for (const IngestEngine::ShardStatus& shard : ingest_health.shards) {
+      index_entries += shard.base_health.index_entries;
+      delta_entries += shard.delta_entries;
+    }
+    out += ",\"dataset\":{\"sequences\":" +
+           std::to_string(ingest_health.id_space);
+    out += ",\"live\":" + std::to_string(ingest_health.live_sequences);
+    out += ",\"index_entries\":" + std::to_string(index_entries);
+    out += ",\"delta_entries\":" + std::to_string(delta_entries) + "}";
+    const EngineOptions& engine_options = options.ingest->options().engine;
     out += ",\"engine\":{\"page_size_bytes\":" +
            std::to_string(engine_options.page_size_bytes);
     out += ",\"index_buffer_pages\":" +
@@ -299,6 +366,12 @@ std::string StatuszJson(const IntrospectionOptions& options,
            ShardingJson(options.sharded->TakeHealthSnapshot());
   } else {
     out += ",\"sharding\":null";
+  }
+
+  if (options.ingest != nullptr) {
+    out += ",\"ingest\":" + IngestJson(ingest_health);
+  } else {
+    out += ",\"ingest\":null";
   }
 
   if (options.flight_recorder != nullptr) {

@@ -35,6 +35,7 @@
 
 #include "core/engine.h"
 #include "exec/query_executor.h"
+#include "ingest/ingest_engine.h"
 #include "obs/exporters.h"  // kWarpIndexVersion, GetBuildInfo
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
@@ -45,14 +46,18 @@
 namespace warpindex {
 
 struct IntrospectionOptions {
-  // Exactly one of `engine` / `sharded` must be set: the serving engine
-  // the endpoints describe. With `sharded`, /statusz renders a
-  // "sharding" section with one entry per shard (sequence counts,
-  // sub-query/skip counters, feature MBR, and full R-tree health) and
-  // /metrics exports the shared registry, including the
-  // warpindex_shard_* series.
+  // Exactly one of `engine` / `sharded` / `ingest` must be set: the
+  // serving engine the endpoints describe. With `sharded`, /statusz
+  // renders a "sharding" section with one entry per shard (sequence
+  // counts, sub-query/skip counters, feature MBR, and full R-tree
+  // health) and /metrics exports the shared registry, including the
+  // warpindex_shard_* series. With `ingest`, /statusz renders an
+  // "ingest" section instead — epoch, write totals, and per-shard
+  // base/delta/compaction state — and /metrics carries the
+  // warpindex_ingest_* series (see docs/INGEST.md).
   const Engine* engine = nullptr;
   const ShardedEngine* sharded = nullptr;
+  const IngestEngine* ingest = nullptr;
   const QueryExecutor* executor = nullptr;  // optional
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;

@@ -8,7 +8,10 @@
 #include <optional>
 #include <utility>
 
+#include <stdexcept>
+
 #include "common/timer.h"
+#include "ingest/ingest_engine.h"
 
 namespace warpindex {
 namespace {
@@ -192,6 +195,23 @@ std::future<SearchResult> QueryExecutor::Submit(MethodKind kind,
     inflight_->Decrement();  // pool rejected the task (shut down)
     throw;
   }
+}
+
+std::future<SequenceId> QueryExecutor::SubmitInsert(Sequence s) {
+  if (ingest_ == nullptr) {
+    throw std::logic_error("SubmitInsert requires AttachIngest()");
+  }
+  return pool_.Submit(
+      [ingest = ingest_, seq = std::move(s)]() mutable {
+        return ingest->Insert(std::move(seq));
+      });
+}
+
+std::future<bool> QueryExecutor::SubmitDelete(SequenceId id) {
+  if (ingest_ == nullptr) {
+    throw std::logic_error("SubmitDelete requires AttachIngest()");
+  }
+  return pool_.Submit([ingest = ingest_, id]() { return ingest->Delete(id); });
 }
 
 BatchResult QueryExecutor::SubmitBatch(

@@ -54,6 +54,8 @@
 
 namespace warpindex {
 
+class IngestEngine;
+
 struct QueryExecutorOptions {
   // Worker count; 0 picks std::thread::hardware_concurrency().
   size_t num_threads = 0;
@@ -145,6 +147,28 @@ class QueryExecutor {
   size_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
 
+  // ---- Write submission (streaming ingest; see docs/INGEST.md).
+  //
+  // Wires the executor's pool as the engine's write path: SubmitInsert /
+  // SubmitDelete enqueue the mutation like a query and return a future
+  // for its outcome, so a serving loop drives reads AND writes through
+  // one pool with one backpressure signal (queue_depth). Requires the
+  // ingest engine to be the engine this executor serves (its write path
+  // is internally synchronized against its own queries — the
+  // no-mutation-while-querying rule of Engine/ShardedEngine does NOT
+  // apply to it). Wire before serving; not thread-safe against in-flight
+  // submissions.
+  void AttachIngest(IngestEngine* ingest) { ingest_ = ingest; }
+  IngestEngine* ingest() const { return ingest_; }
+
+  // Enqueues one insert; the future carries the assigned global id (or
+  // the exception the write threw). Requires AttachIngest.
+  std::future<SequenceId> SubmitInsert(Sequence s);
+
+  // Enqueues one delete; the future carries Delete()'s result. Requires
+  // AttachIngest.
+  std::future<bool> SubmitDelete(SequenceId id);
+
   // Point-in-time serving-path gauges for live introspection (/statusz).
   // Safe to call concurrently with queries; values are relaxed atomic
   // reads, coherent enough for a dashboard.
@@ -177,6 +201,7 @@ class QueryExecutor {
   DtwScratch* CurrentWorkerScratch();
 
   const EngineLike* engine_;
+  IngestEngine* ingest_ = nullptr;
   QueryExecutorOptions options_;
   ThreadPool pool_;
   // One scratch per worker, indexed by ThreadPool::current_worker_index().

@@ -1,0 +1,93 @@
+#include "ingest/compactor.h"
+
+#include <chrono>
+
+#include "common/timer.h"
+#include "ingest/ingest_engine.h"
+
+namespace warpindex {
+
+Compactor::Compactor(IngestEngine* engine, double poll_ms, bool use_pool)
+    : engine_(engine),
+      poll_ms_(poll_ms > 0.0 ? poll_ms : 25.0),
+      use_pool_(use_pool),
+      pending_(engine->num_shards()),
+      last_writes_(engine->num_shards(), 0) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !thread_.joinable()) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // Drain: a scheduled pool job touches the engine and clears its pending
+  // flag last, so waiting on the flags guarantees no compaction outlives
+  // us. (The pool's drain-don't-drop shutdown runs queued jobs, so every
+  // set flag eventually clears.)
+  for (std::atomic<bool>& pending : pending_) {
+    while (pending.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Compactor::Loop() {
+  WallTimer since_last;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::duration<double, std::milli>(poll_ms_),
+                   [&] { return stop_; });
+      if (stop_) {
+        return;
+      }
+    }
+    const double dt_s = since_last.ElapsedSeconds();
+    since_last.Reset();
+
+    size_t backlog = 0;
+    for (size_t s = 0; s < pending_.size(); ++s) {
+      const DeltaShard::Stats stats = engine_->DeltaStats(s);
+      if (dt_s > 0.0) {
+        engine_->SetWriteRate(
+            s, static_cast<double>(stats.writes_total - last_writes_[s]) /
+                   dt_s);
+      }
+      last_writes_[s] = stats.writes_total;
+
+      if (!engine_->ShouldCompact(s)) {
+        continue;
+      }
+      ++backlog;
+      if (pending_[s].exchange(true, std::memory_order_acq_rel)) {
+        continue;  // a compaction of this shard is already in flight
+      }
+      auto job = [this, s] {
+        engine_->CompactShard(s);
+        pending_[s].store(false, std::memory_order_release);
+      };
+      bool scheduled = false;
+      if (use_pool_ && engine_->pool() != nullptr) {
+        scheduled = engine_->pool()->TrySubmitDetached(job);
+      }
+      if (!scheduled) {
+        job();
+      }
+    }
+    engine_->SetCompactionBacklog(backlog);
+    polls_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace warpindex

@@ -1,0 +1,73 @@
+// Compactor: the ingest engine's background maintenance thread.
+//
+// One thread polls every delta shard on a fixed cadence and, for each
+// shard over a compaction trigger (entry count, tombstone count, or
+// entry age — IngestEngine::ShouldCompact), schedules one CompactShard
+// call — on the engine's attached pool when configured (so the poll
+// loop never blocks on a merge), inline on the poll thread otherwise.
+// A per-shard pending flag keeps at most one outstanding compaction per
+// shard however slow merges get.
+//
+// The poll loop doubles as the write-rate sampler: each tick it derives
+// every shard's writes/second from the delta's cumulative write counter
+// and publishes it for /statusz, plus the backlog gauge (shards
+// currently over threshold).
+//
+// Shutdown: Stop() (also the destructor) wakes and joins the poll
+// thread, then waits for every in-flight scheduled compaction to finish
+// — the jobs touch the engine, and the engine's destructor destroys the
+// compactor first, so no compaction can outlive the engine.
+
+#ifndef WARPINDEX_INGEST_COMPACTOR_H_
+#define WARPINDEX_INGEST_COMPACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace warpindex {
+
+class IngestEngine;
+
+class Compactor {
+ public:
+  // `engine` is borrowed and must outlive this object. `use_pool` runs
+  // triggered compactions via the engine's attached pool when one is
+  // wired (falling back inline when submission fails or no pool is
+  // attached).
+  Compactor(IngestEngine* engine, double poll_ms, bool use_pool);
+  ~Compactor();
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  // Stops polling, joins the thread, and drains scheduled compactions.
+  // Idempotent.
+  void Stop();
+
+  uint64_t polls() const { return polls_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  IngestEngine* engine_;
+  const double poll_ms_;
+  const bool use_pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+
+  // One outstanding compaction per shard at most.
+  std::vector<std::atomic<bool>> pending_;
+  std::vector<uint64_t> last_writes_;
+  std::atomic<uint64_t> polls_{0};
+  std::thread thread_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_INGEST_COMPACTOR_H_

@@ -1,0 +1,883 @@
+#include "ingest/ingest_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <system_error>
+#include <utility>
+
+#include "ingest/compactor.h"
+#include "shard/shard_io.h"
+
+namespace warpindex {
+namespace {
+
+Point QueryFeaturePoint(const FeatureVector& f) {
+  const std::array<double, kFeatureDims> p = f.AsPoint();
+  return Point::FromArray(p.data(), kFeatureDims);
+}
+
+FeatureKey LowestFeatureKey() {
+  FeatureKey key;
+  key.fill(-std::numeric_limits<double>::infinity());
+  return key;
+}
+
+// Count of `dead` ids (sorted) present in `global_of` (sorted): how many
+// of a base shard's rows a query's tombstone filter can remove — the kNN
+// per-shard k inflation.
+size_t CountDeadInBase(const std::vector<SequenceId>& global_of,
+                       const std::vector<SequenceId>& dead) {
+  size_t count = 0;
+  size_t cursor = 0;
+  for (const SequenceId id : dead) {
+    while (cursor < global_of.size() && global_of[cursor] < id) {
+      ++cursor;
+    }
+    if (cursor < global_of.size() && global_of[cursor] == id) {
+      ++count;
+      ++cursor;
+    }
+  }
+  return count;
+}
+
+bool IsDead(const std::vector<SequenceId>& dead, SequenceId id) {
+  return std::binary_search(dead.begin(), dead.end(), id);
+}
+
+}  // namespace
+
+IngestEngine::IngestEngine(Dataset dataset, IngestOptions options)
+    : options_(std::move(options)),
+      disk_model_(options_.engine.disk, options_.engine.page_size_bytes),
+      dtw_(options_.engine.dtw) {
+  assert(options_.num_shards >= 1);
+  ShardAssignment assignment =
+      AssignShards(dataset, options_.partitioner, options_.num_shards);
+
+  // Split into per-shard datasets in ascending global id order, exactly
+  // like ShardedEngine: shard-local ids preserve global order, which the
+  // kNN tie-break and the compaction merge both rely on.
+  std::vector<Dataset> parts(assignment.num_shards);
+  std::vector<std::vector<SequenceId>> global_of(assignment.num_shards);
+  for (size_t g = 0; g < dataset.size(); ++g) {
+    const uint32_t s = assignment.shard_of[g];
+    parts[s].Add(dataset[g]);
+    global_of[s].push_back(static_cast<SequenceId>(g));
+  }
+
+  auto view = std::make_shared<ShardView>();
+  view->shards.resize(assignment.num_shards);
+  for (size_t s = 0; s < assignment.num_shards; ++s) {
+    BaseShard& shard = view->shards[s];
+    shard.engine =
+        std::make_shared<Engine>(std::move(parts[s]), options_.engine);
+    shard.global_of = std::make_shared<const std::vector<SequenceId>>(
+        std::move(global_of[s]));
+    for (size_t local = 0; local < shard.engine->dataset().size(); ++local) {
+      shard.bounds.Cover(ExtractFeature(shard.engine->dataset()[local]));
+    }
+  }
+  if (options_.partitioner == PartitionerKind::kRange) {
+    // Initial routing cuts: each shard's maximum feature key, prefix-max
+    // so the sequence is non-decreasing. An empty database leaves every
+    // cut at -inf, routing all inserts to the last shard until its first
+    // compaction rebalances (see MaybeRebalanceCuts).
+    view->range_cuts.assign(assignment.num_shards, LowestFeatureKey());
+    for (size_t s = 0; s < assignment.num_shards; ++s) {
+      const Dataset& data = view->shards[s].engine->dataset();
+      for (size_t local = 0; local < data.size(); ++local) {
+        view->range_cuts[s] =
+            std::max(view->range_cuts[s], FeatureKeyOf(ExtractFeature(data[local])));
+      }
+      if (s > 0) {
+        view->range_cuts[s] =
+            std::max(view->range_cuts[s], view->range_cuts[s - 1]);
+      }
+    }
+  }
+  view_ = std::move(view);
+  part_of_ = std::move(assignment.shard_of);
+  live_count_.store(static_cast<int64_t>(dataset.size()),
+                    std::memory_order_relaxed);
+  InitWiring();
+}
+
+IngestEngine::IngestEngine(std::shared_ptr<const ShardView> view,
+                           std::vector<uint32_t> part_of,
+                           IngestOptions options)
+    : options_(std::move(options)),
+      disk_model_(options_.engine.disk, options_.engine.page_size_bytes),
+      dtw_(options_.engine.dtw),
+      view_(std::move(view)),
+      part_of_(std::move(part_of)) {
+  int64_t live = 0;
+  for (const BaseShard& shard : view_->shards) {
+    live += static_cast<int64_t>(shard.engine->live_size());
+  }
+  live_count_.store(live, std::memory_order_relaxed);
+  InitWiring();
+}
+
+IngestEngine::~IngestEngine() {
+  // The compactor must drain (its jobs touch *this) before any member
+  // goes away.
+  compactor_.reset();
+}
+
+void IngestEngine::InitWiring() {
+  const size_t k = view_->shards.size();
+  deltas_.clear();
+  deltas_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    deltas_.push_back(std::make_unique<DeltaShard>());
+  }
+  shard_compactions_ = std::vector<std::atomic<uint64_t>>(k);
+  shard_last_compaction_ms_ = std::vector<std::atomic<double>>(k);
+
+  metrics_ = options_.engine.metrics != nullptr ? options_.engine.metrics
+                                                : &MetricsRegistry::Global();
+  inserts_total_ = metrics_->GetCounter("warpindex_ingest_inserts_total",
+                                        "Sequences inserted via ingest");
+  deletes_total_ = metrics_->GetCounter("warpindex_ingest_deletes_total",
+                                        "Sequences tombstoned via ingest");
+  compactions_total_ =
+      metrics_->GetCounter("warpindex_ingest_compactions_total",
+                           "Delta-into-base merges completed");
+  cut_rebalances_total_ =
+      metrics_->GetCounter("warpindex_ingest_cut_rebalances_total",
+                           "Range-partitioner cut recomputations");
+  delta_entries_gauge_ =
+      metrics_->GetGauge("warpindex_ingest_delta_entries",
+                         "Buffered delta entries across all shards");
+  backlog_gauge_ = metrics_->GetGauge(
+      "warpindex_ingest_compaction_backlog",
+      "Shards currently over a compaction trigger threshold");
+  compaction_ms_hist_ = metrics_->GetHistogram(
+      "warpindex_ingest_compaction_ms", ExponentialBoundaries(0.1, 2.0, 16),
+      "Compaction duration (freeze + rebuild + swap), ms");
+  shard_delta_gauges_.clear();
+  for (size_t s = 0; s < k; ++s) {
+    shard_delta_gauges_.push_back(metrics_->GetGauge(
+        "warpindex_ingest_delta_entries_shard" + std::to_string(s),
+        "Buffered delta entries of shard " + std::to_string(s)));
+  }
+
+  if (options_.start_compactor) {
+    compactor_ = std::make_unique<Compactor>(this, options_.compact_poll_ms,
+                                             options_.compact_on_pool);
+  }
+}
+
+size_t IngestEngine::id_space() const {
+  std::lock_guard<std::mutex> lock(ids_mu_);
+  return part_of_.size();
+}
+
+std::shared_ptr<const ShardView> IngestEngine::CurrentView() const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  return view_;
+}
+
+IngestEngine::QuerySnapshot IngestEngine::AcquireSnapshot() const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  QuerySnapshot snap;
+  snap.view = view_;
+  snap.parts.reserve(deltas_.size());
+  for (const auto& delta : deltas_) {
+    snap.parts.push_back(delta->TakeSnapshot());
+  }
+  return snap;
+}
+
+double IngestEngine::ElapsedMillis(const SearchCost& cost) const {
+  return cost.wall_ms + disk_model_.CostMillis(cost.io);
+}
+
+size_t IngestEngine::RouteInsert(const ShardView& view,
+                                 const FeatureVector& feature,
+                                 SequenceId id) const {
+  if (options_.partitioner == PartitionerKind::kRange &&
+      !view.range_cuts.empty()) {
+    return RouteByRangeCuts(view.range_cuts, FeatureKeyOf(feature));
+  }
+  return static_cast<size_t>(MixSequenceId(static_cast<uint64_t>(id)) %
+                             view.shards.size());
+}
+
+SequenceId IngestEngine::Insert(Sequence s) {
+  assert(!s.empty());
+  const FeatureVector feature = ExtractFeature(s);
+
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  const std::shared_ptr<const ShardView>& view = view_;
+  SequenceId id;
+  size_t part;
+  {
+    std::lock_guard<std::mutex> ids(ids_mu_);
+    id = static_cast<SequenceId>(part_of_.size());
+    part = RouteInsert(*view, feature, id);
+    part_of_.push_back(static_cast<uint32_t>(part));
+  }
+  s.set_id(id);
+  DeltaEntry entry;
+  entry.id = id;
+  entry.feature = feature;
+  entry.sequence = std::make_shared<const Sequence>(std::move(s));
+  entry.appended_ms = clock_.ElapsedMillis();
+  deltas_[part]->Append(std::move(entry));
+
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  inserts_total_->Increment();
+  delta_entries_gauge_->Increment();
+  shard_delta_gauges_[part]->Increment();
+  return id;
+}
+
+bool IngestEngine::Delete(SequenceId id) {
+  if (id < 0) {
+    return false;
+  }
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  const std::shared_ptr<const ShardView>& view = view_;
+  uint32_t part;
+  {
+    std::lock_guard<std::mutex> ids(ids_mu_);
+    if (static_cast<size_t>(id) >= part_of_.size()) {
+      return false;
+    }
+    part = part_of_[static_cast<size_t>(id)];
+  }
+  if (part == kDroppedShard) {
+    return false;
+  }
+
+  // Is `id` currently a live base row of its partition? (A compacted-away
+  // id is absent from global_of; a buffered insert is present only in the
+  // delta, which MarkDead checks itself.)
+  const BaseShard& base = view->shards[part];
+  bool base_live = false;
+  const std::vector<SequenceId>& global_of = *base.global_of;
+  const auto it =
+      std::lower_bound(global_of.begin(), global_of.end(), id);
+  if (it != global_of.end() && *it == id) {
+    const SequenceId local =
+        static_cast<SequenceId>(it - global_of.begin());
+    base_live = base.engine->Contains(local);
+  }
+
+  const DeltaShard::DeadMark mark = deltas_[part]->MarkDead(id, base_live);
+  if (mark != DeltaShard::DeadMark::kMarked) {
+    return false;
+  }
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  deletes_total_->Increment();
+  return true;
+}
+
+SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
+                                      double epsilon, Trace* trace,
+                                      DtwScratch* /*scratch*/) const {
+  WallTimer timer;
+  const QuerySnapshot snap = AcquireSnapshot();
+  const FeatureVector qfeat = ExtractFeature(query);
+  const Point feature_point = QueryFeaturePoint(qfeat);
+
+  // A partition participates if its base survives the feature-MBR prune
+  // (same exactness argument as ShardedEngine; shard/partitioner.h) or
+  // its delta buffers anything visible. A pruned base contributes no
+  // matches, so its tombstones are irrelevant to this query.
+  struct ActivePart {
+    size_t part = 0;
+    bool base = false;
+  };
+  std::vector<ActivePart> active;
+  active.reserve(snap.view->shards.size());
+  for (size_t s = 0; s < snap.view->shards.size(); ++s) {
+    const ShardFeatureBounds& bounds = snap.view->shards[s].bounds;
+    const bool base_hit =
+        bounds.valid && bounds.mbr.MinDistLinf(feature_point) <= epsilon;
+    if (base_hit || !snap.parts[s].entries.empty()) {
+      active.push_back({s, base_hit});
+    }
+  }
+
+  struct PartResult {
+    SearchResult base;
+    SearchResult delta;
+  };
+  std::vector<PartResult> partials(active.size());
+  {
+    ScopedSpan span(trace, "scatter_gather");
+    TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
+    TraceCounter(trace, "epoch", static_cast<double>(snap.view->epoch));
+
+    // Same cross-thread stitching discipline as ShardedEngine: one child
+    // Trace per sub-task, adopted in partition order after the barrier.
+    std::vector<Trace> subs;
+    if (trace != nullptr) {
+      subs.assign(active.size(), Trace(trace->ContextForSpan(span.index())));
+    }
+    ScatterGather(pool_).Run(active.size(), [&](size_t i) {
+      const size_t s = active[i].part;
+      DtwScratch scratch;
+      Trace* sub = trace != nullptr ? &subs[i] : nullptr;
+      size_t shard_span = 0;
+      if (sub != nullptr) {
+        sub->SetThreadTag(
+            static_cast<int32_t>(s),
+            static_cast<uint32_t>(ThreadPool::current_worker_index() + 1));
+        shard_span = sub->BeginSpan("shard");
+        sub->AddCounter("shard_index", static_cast<double>(s));
+      }
+      if (active[i].base) {
+        partials[i].base = snap.view->shards[s].engine->SearchWith(
+            kind, query, epsilon, sub, &scratch);
+      }
+      {
+        // Delta scan: Algorithm 1's predicate over the buffered entries —
+        // D_tw-lb pre-filter on the stored feature, thresholded DTW on
+        // survivors. Entry ids are already global; tombstoned entries are
+        // not in the snapshot.
+        ScopedSpan delta_span(sub, "delta_scan");
+        SearchResult& delta = partials[i].delta;
+        for (const DeltaEntry& entry : snap.parts[s].entries) {
+          ++delta.cost.lb_evals;
+          if (DtwLowerBoundDistance(entry.feature, qfeat) > epsilon) {
+            continue;
+          }
+          ++delta.num_candidates;
+          const DtwResult r = dtw_.DistanceWithThreshold(
+              *entry.sequence, query, epsilon, &scratch);
+          ++delta.cost.dtw_evals;
+          delta.cost.dtw_cells += r.cells;
+          if (r.distance <= epsilon) {
+            delta.matches.push_back(entry.id);
+          }
+        }
+        if (sub != nullptr) {
+          sub->AddCounter("delta_entries",
+                          static_cast<double>(snap.parts[s].entries.size()));
+          sub->AddCounter("delta_matches",
+                          static_cast<double>(partials[i].delta.matches.size()));
+        }
+      }
+      if (sub != nullptr) {
+        sub->EndSpan(shard_span);
+      }
+    });
+    if (trace != nullptr) {
+      for (const Trace& sub : subs) {
+        trace->Adopt(span.index(), sub);
+      }
+    }
+  }
+
+  // Merge: base matches remapped to global ids with the partition's
+  // tombstones filtered exactly, plus the delta matches, in ascending
+  // global id order — the canonical answer order.
+  SearchResult result;
+  for (size_t i = 0; i < active.size(); ++i) {
+    const size_t s = active[i].part;
+    const PartResult& partial = partials[i];
+    const std::vector<SequenceId>& global_of = *snap.view->shards[s].global_of;
+    const std::vector<SequenceId>& dead = snap.parts[s].dead;
+    result.num_candidates +=
+        partial.base.num_candidates + partial.delta.num_candidates;
+    for (const SequenceId local : partial.base.matches) {
+      const SequenceId g = global_of[static_cast<size_t>(local)];
+      if (!IsDead(dead, g)) {
+        result.matches.push_back(g);
+      }
+    }
+    for (const SequenceId g : partial.delta.matches) {
+      result.matches.push_back(g);
+    }
+    // Base and delta scans ran sequentially within the task (serial
+    // merge); across tasks they overlapped (parallel merge).
+    SearchCost task_cost = partial.base.cost;
+    task_cost.Merge(partial.delta.cost);
+    result.cost.MergeParallel(task_cost);
+  }
+  std::sort(result.matches.begin(), result.matches.end());
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
+                                  Trace* trace) const {
+  WallTimer timer;
+  const QuerySnapshot snap = AcquireSnapshot();
+  const FeatureVector qfeat = ExtractFeature(query);
+
+  SharedKnnBound shared_bound;
+
+  // Delta pre-scan on the calling thread, BEFORE the base fan-out: the
+  // buffered entries are few, and any k-th distance they prove
+  // pre-tightens the shared bound every base searcher prunes against.
+  // Standard top-k max-heap in the canonical (distance, id) order;
+  // pruning is strictly-greater so ties at the bound survive.
+  std::vector<KnnMatch> delta_hits;
+  SearchCost delta_cost;
+  size_t delta_refined = 0;
+  {
+    ScopedSpan delta_span(trace, "delta_scan");
+    DtwScratch scratch;
+    for (const DeltaShard::Snapshot& part : snap.parts) {
+      for (const DeltaEntry& entry : part.entries) {
+        ++delta_cost.lb_evals;
+        const double bound = shared_bound.Current();
+        if (DtwLowerBoundDistance(entry.feature, qfeat) > bound) {
+          continue;
+        }
+        const DtwResult r = dtw_.DistanceWithThreshold(*entry.sequence, query,
+                                                       bound, &scratch);
+        ++delta_refined;
+        ++delta_cost.dtw_evals;
+        delta_cost.dtw_cells += r.cells;
+        if (r.distance > bound) {
+          continue;
+        }
+        const KnnMatch match{entry.id, r.distance};
+        if (delta_hits.size() < k) {
+          delta_hits.push_back(match);
+          std::push_heap(delta_hits.begin(), delta_hits.end(), KnnMatchOrder);
+          if (delta_hits.size() == k) {
+            shared_bound.Tighten(delta_hits.front().distance);
+          }
+        } else if (KnnMatchOrder(match, delta_hits.front())) {
+          std::pop_heap(delta_hits.begin(), delta_hits.end(), KnnMatchOrder);
+          delta_hits.back() = match;
+          std::push_heap(delta_hits.begin(), delta_hits.end(), KnnMatchOrder);
+          shared_bound.Tighten(delta_hits.front().distance);
+        }
+      }
+    }
+    TraceCounter(trace, "delta_refined", static_cast<double>(delta_refined));
+  }
+
+  // Base fan-out. Each base is asked for k + (its tombstone hit count)
+  // neighbors: even if every tombstoned row of the shard lands in its
+  // local top list, k live survivors remain — so the shard's k_s-th
+  // distance still upper-bounds the global k-th and the SharedKnnBound
+  // stays valid, and the dead-filtered merge can never starve below k.
+  std::vector<size_t> active;
+  active.reserve(snap.view->shards.size());
+  for (size_t s = 0; s < snap.view->shards.size(); ++s) {
+    if (snap.view->shards[s].bounds.valid) {
+      active.push_back(s);
+    }
+  }
+  std::vector<KnnResult> partials(active.size());
+  {
+    ScopedSpan span(trace, "scatter_gather");
+    TraceCounter(trace, "shard_fanout", static_cast<double>(active.size()));
+    TraceCounter(trace, "epoch", static_cast<double>(snap.view->epoch));
+    std::vector<Trace> subs;
+    if (trace != nullptr) {
+      subs.assign(active.size(), Trace(trace->ContextForSpan(span.index())));
+    }
+    ScatterGather(pool_).Run(active.size(), [&](size_t i) {
+      const size_t s = active[i];
+      Trace* sub = trace != nullptr ? &subs[i] : nullptr;
+      size_t shard_span = 0;
+      if (sub != nullptr) {
+        sub->SetThreadTag(
+            static_cast<int32_t>(s),
+            static_cast<uint32_t>(ThreadPool::current_worker_index() + 1));
+        shard_span = sub->BeginSpan("shard");
+        sub->AddCounter("shard_index", static_cast<double>(s));
+      }
+      const size_t k_s =
+          k + CountDeadInBase(*snap.view->shards[s].global_of,
+                              snap.parts[s].dead);
+      partials[i] = snap.view->shards[s].engine->SearchKnnBounded(
+          query, k_s, sub, &shared_bound);
+      if (sub != nullptr) {
+        sub->AddCounter("neighbors",
+                        static_cast<double>(partials[i].neighbors.size()));
+        sub->AddCounter("refined",
+                        static_cast<double>(partials[i].num_refined));
+        sub->EndSpan(shard_span);
+      }
+    });
+    if (trace != nullptr) {
+      for (const Trace& sub : subs) {
+        trace->Adopt(span.index(), sub);
+      }
+    }
+  }
+
+  // Merge: base survivors remapped and tombstone-filtered, plus the delta
+  // top list, in canonical (distance, id) order, truncated to k.
+  KnnResult result;
+  result.num_refined = delta_refined;
+  result.cost = delta_cost;
+  std::vector<KnnMatch> merged;
+  for (size_t i = 0; i < active.size(); ++i) {
+    const size_t s = active[i];
+    const std::vector<SequenceId>& global_of = *snap.view->shards[s].global_of;
+    const std::vector<SequenceId>& dead = snap.parts[s].dead;
+    result.num_refined += partials[i].num_refined;
+    result.cost.MergeParallel(partials[i].cost);
+    for (KnnMatch match : partials[i].neighbors) {
+      match.id = global_of[static_cast<size_t>(match.id)];
+      if (!IsDead(dead, match.id)) {
+        merged.push_back(match);
+      }
+    }
+  }
+  merged.insert(merged.end(), delta_hits.begin(), delta_hits.end());
+  std::sort(merged.begin(), merged.end(), KnnMatchOrder);
+  if (merged.size() > k) {
+    merged.resize(k);
+  }
+  result.neighbors = std::move(merged);
+  result.cost.wall_ms = timer.ElapsedMillis();
+  return result;
+}
+
+bool IngestEngine::CompactShard(size_t s) {
+  assert(s < deltas_.size());
+  std::lock_guard<std::mutex> compaction(compaction_mu_);
+  WallTimer timer;
+
+  Trace trace;
+  const bool tracing = options_.trace_store != nullptr;
+  size_t root_span = 0;
+  if (tracing) {
+    root_span = trace.BeginSpan("compaction");
+    trace.AddCounter("shard_index", static_cast<double>(s));
+  }
+
+  // Freeze: the delta log prefix + tombstone set this merge will consume.
+  std::shared_ptr<const ShardView> view;
+  DeltaShard::Frozen frozen;
+  {
+    ScopedSpan freeze_span(tracing ? &trace : nullptr, "freeze");
+    std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+    view = view_;
+    frozen = deltas_[s]->Freeze();
+  }
+  if (frozen.entry_count == 0 && frozen.dead.empty()) {
+    if (tracing) {
+      trace.EndSpan(root_span);
+    }
+    return false;
+  }
+
+  // Build the replacement base off-lock: the live base rows minus the
+  // frozen tombstones, merged with the frozen live entries, in ascending
+  // global id order (Dataset::Add re-ids to local position, so the new
+  // global_of is exactly the merged id list).
+  const BaseShard& base = view->shards[s];
+  std::shared_ptr<const Engine> new_engine;
+  std::shared_ptr<const std::vector<SequenceId>> new_global;
+  ShardFeatureBounds new_bounds;
+  {
+    ScopedSpan build_span(tracing ? &trace : nullptr, "build");
+    std::vector<std::pair<SequenceId, const Sequence*>> rows;
+    const std::vector<SequenceId>& global_of = *base.global_of;
+    rows.reserve(global_of.size() + frozen.entry_count);
+    for (size_t local = 0; local < global_of.size(); ++local) {
+      const SequenceId g = global_of[local];
+      if (!base.engine->Contains(static_cast<SequenceId>(local)) ||
+          IsDead(frozen.dead, g)) {
+        continue;
+      }
+      rows.push_back({g, &base.engine->dataset()[local]});
+    }
+    std::vector<std::pair<SequenceId, const Sequence*>> delta_rows;
+    delta_rows.reserve(frozen.entry_count);
+    for (size_t i = 0; i < frozen.entry_count; ++i) {
+      const DeltaEntry& entry = frozen.entries[i];
+      if (!IsDead(frozen.dead, entry.id)) {
+        delta_rows.push_back({entry.id, entry.sequence.get()});
+      }
+    }
+    // Concurrent inserts may append out of id order; the base list is
+    // ascending by construction.
+    std::sort(delta_rows.begin(), delta_rows.end());
+    rows.insert(rows.end(), delta_rows.begin(), delta_rows.end());
+    std::inplace_merge(rows.begin(), rows.end() - delta_rows.size(),
+                       rows.end());
+
+    Dataset merged;
+    std::vector<SequenceId> ids;
+    ids.reserve(rows.size());
+    for (const auto& [g, seq] : rows) {
+      merged.Add(*seq);
+      ids.push_back(g);
+      new_bounds.Cover(ExtractFeature(*seq));
+    }
+    if (tracing) {
+      trace.AddCounter("merged_rows", static_cast<double>(rows.size()));
+      trace.AddCounter("frozen_entries",
+                       static_cast<double>(frozen.entry_count));
+      trace.AddCounter("frozen_tombstones",
+                       static_cast<double>(frozen.dead.size()));
+    }
+    new_engine = std::make_shared<Engine>(std::move(merged), options_.engine);
+    new_global =
+        std::make_shared<const std::vector<SequenceId>>(std::move(ids));
+  }
+
+  // Swap: publish the next epoch and drop the frozen writes from the
+  // delta under one writer hold, so no query can pair the new base with
+  // a delta that no longer buffers those writes (or vice versa).
+  {
+    ScopedSpan swap_span(tracing ? &trace : nullptr, "swap");
+    std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+    auto next = std::make_shared<ShardView>(*view_);
+    next->shards[s].engine = std::move(new_engine);
+    next->shards[s].global_of = std::move(new_global);
+    next->shards[s].bounds = new_bounds;
+    next->epoch = view_->epoch + 1;
+    MaybeRebalanceCuts(next.get(), s);
+    deltas_[s]->ApplyCompaction(frozen);
+    view_ = std::move(next);
+  }
+
+  const double duration_ms = timer.ElapsedMillis();
+  compactions_total_->Increment();
+  shard_compactions_[s].fetch_add(1, std::memory_order_relaxed);
+  shard_last_compaction_ms_[s].store(duration_ms, std::memory_order_relaxed);
+  compaction_ms_hist_->Observe(duration_ms);
+  delta_entries_gauge_->Decrement(static_cast<int64_t>(frozen.entry_count));
+  shard_delta_gauges_[s]->Decrement(static_cast<int64_t>(frozen.entry_count));
+
+  if (tracing) {
+    trace.EndSpan(root_span);
+    CompletedTrace completed;
+    completed.method = "compaction";
+    completed.wall_ms = duration_ms;
+    completed.matches = frozen.entry_count;
+    completed.trace = std::move(trace);
+    options_.trace_store->Offer(std::move(completed));
+  }
+  return true;
+}
+
+size_t IngestEngine::CompactAll() {
+  size_t merged = 0;
+  for (size_t s = 0; s < deltas_.size(); ++s) {
+    if (CompactShard(s)) {
+      ++merged;
+    }
+  }
+  return merged;
+}
+
+void IngestEngine::MaybeRebalanceCuts(ShardView* next, size_t s) {
+  if (options_.partitioner != PartitionerKind::kRange ||
+      options_.rebalance_factor <= 1.0 || next->shards.size() < 2 ||
+      next->range_cuts.empty()) {
+    return;
+  }
+  size_t total = 0;
+  for (const BaseShard& shard : next->shards) {
+    total += shard.global_of->size();
+  }
+  const size_t size_s = next->shards[s].global_of->size();
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(next->shards.size());
+  if (size_s < 8 ||
+      static_cast<double>(size_s) <= options_.rebalance_factor * avg) {
+    return;
+  }
+  // Median split of the outgrown shard's keys: future inserts for its
+  // upper half route to the right neighbor. Routing only — placement
+  // never changes answers — so no data moves.
+  const Dataset& data = next->shards[s].engine->dataset();
+  std::vector<FeatureKey> keys;
+  keys.reserve(data.size());
+  for (size_t local = 0; local < data.size(); ++local) {
+    keys.push_back(FeatureKeyOf(ExtractFeature(data[local])));
+  }
+  auto median = keys.begin() + keys.size() / 2;
+  std::nth_element(keys.begin(), median, keys.end());
+  if (s + 1 < next->shards.size()) {
+    next->range_cuts[s] = *median;
+  } else {
+    // The last shard has no right neighbor; lowering the PREVIOUS cut
+    // would move keys left, so only ever raise it toward the median.
+    next->range_cuts[s - 1] = std::max(next->range_cuts[s - 1], *median);
+  }
+  cut_rebalances_.fetch_add(1, std::memory_order_relaxed);
+  cut_rebalances_total_->Increment();
+}
+
+Status IngestEngine::Save(const std::string& dir) {
+  CompactAll();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  const std::shared_ptr<const ShardView> view = CurrentView();
+  ShardManifest manifest;
+  manifest.partitioner = options_.partitioner;
+  manifest.page_size_bytes = options_.engine.page_size_bytes;
+  manifest.assignment.num_shards = view->shards.size();
+  {
+    std::lock_guard<std::mutex> ids(ids_mu_);
+    manifest.assignment.shard_of.assign(part_of_.size(), kDroppedShard);
+  }
+  for (size_t s = 0; s < view->shards.size(); ++s) {
+    for (const SequenceId g : *view->shards[s].global_of) {
+      manifest.assignment.shard_of[static_cast<size_t>(g)] =
+          static_cast<uint32_t>(s);
+    }
+  }
+  manifest.range_cuts.assign(view->range_cuts.begin(),
+                             view->range_cuts.end());
+  WARPINDEX_RETURN_IF_ERROR(
+      SaveShardManifest(dir + "/manifest.wism", manifest));
+  for (size_t s = 0; s < view->shards.size(); ++s) {
+    WARPINDEX_RETURN_IF_ERROR(
+        view->shards[s].engine->Save(dir + "/" + ShardSubdir(s)));
+  }
+  return Status::Ok();
+}
+
+Status IngestEngine::Open(const std::string& dir, IngestOptions options,
+                          std::unique_ptr<IngestEngine>* out) {
+  ShardManifest manifest;
+  WARPINDEX_RETURN_IF_ERROR(
+      LoadShardManifest(dir + "/manifest.wism", &manifest));
+  if (manifest.assignment.num_shards != options.num_shards) {
+    return Status::InvalidArgument(
+        "shard count mismatch: saved " +
+        std::to_string(manifest.assignment.num_shards) + ", requested " +
+        std::to_string(options.num_shards));
+  }
+  if (manifest.partitioner != options.partitioner) {
+    return Status::InvalidArgument(
+        std::string("partitioner mismatch: saved ") +
+        PartitionerKindName(manifest.partitioner) + ", requested " +
+        PartitionerKindName(options.partitioner));
+  }
+  if (manifest.page_size_bytes != options.engine.page_size_bytes) {
+    return Status::InvalidArgument(
+        "page size mismatch between saved shards and EngineOptions");
+  }
+
+  auto view = std::make_shared<ShardView>();
+  view->shards.resize(options.num_shards);
+  std::vector<std::vector<SequenceId>> global_of(options.num_shards);
+  for (size_t g = 0; g < manifest.assignment.shard_of.size(); ++g) {
+    const uint32_t s = manifest.assignment.shard_of[g];
+    if (s == kDroppedShard) {
+      continue;
+    }
+    global_of[s].push_back(static_cast<SequenceId>(g));
+  }
+  for (size_t s = 0; s < options.num_shards; ++s) {
+    std::unique_ptr<Engine> shard;
+    WARPINDEX_RETURN_IF_ERROR(
+        Engine::Open(dir + "/" + ShardSubdir(s), options.engine, &shard));
+    if (shard->dataset().size() != global_of[s].size()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) +
+          " holds a different sequence count than the manifest assigns");
+    }
+    BaseShard& base = view->shards[s];
+    base.engine = std::shared_ptr<const Engine>(std::move(shard));
+    for (size_t local = 0; local < base.engine->dataset().size(); ++local) {
+      if (base.engine->Contains(static_cast<SequenceId>(local))) {
+        base.bounds.Cover(ExtractFeature(base.engine->dataset()[local]));
+      }
+    }
+    base.global_of = std::make_shared<const std::vector<SequenceId>>(
+        std::move(global_of[s]));
+  }
+  if (options.partitioner == PartitionerKind::kRange) {
+    if (!manifest.range_cuts.empty()) {
+      view->range_cuts.assign(manifest.range_cuts.begin(),
+                              manifest.range_cuts.end());
+    } else {
+      // v1 manifest (pre-ingest writer): recompute the initial cuts the
+      // Dataset constructor would have produced.
+      view->range_cuts.assign(options.num_shards, LowestFeatureKey());
+      for (size_t s = 0; s < options.num_shards; ++s) {
+        const Dataset& data = view->shards[s].engine->dataset();
+        for (size_t local = 0; local < data.size(); ++local) {
+          view->range_cuts[s] = std::max(
+              view->range_cuts[s], FeatureKeyOf(ExtractFeature(data[local])));
+        }
+        if (s > 0) {
+          view->range_cuts[s] =
+              std::max(view->range_cuts[s], view->range_cuts[s - 1]);
+        }
+      }
+    }
+  }
+  out->reset(new IngestEngine(std::move(view),
+                              std::move(manifest.assignment.shard_of),
+                              std::move(options)));
+  return Status::Ok();
+}
+
+bool IngestEngine::ShouldCompact(size_t s) const {
+  const DeltaShard::Stats stats = deltas_[s]->TakeStats();
+  if (stats.entries >= options_.compact_max_delta_entries) {
+    return true;
+  }
+  if (stats.dead >= options_.compact_max_tombstones) {
+    return true;
+  }
+  if (options_.compact_max_delta_age_ms > 0.0 && stats.entries > 0 &&
+      clock_.ElapsedMillis() - stats.oldest_ms >=
+          options_.compact_max_delta_age_ms) {
+    return true;
+  }
+  return false;
+}
+
+void IngestEngine::SetCompactionBacklog(size_t backlog) {
+  backlog_gauge_->Set(static_cast<int64_t>(backlog));
+}
+
+IngestEngine::Health IngestEngine::TakeHealthSnapshot() const {
+  Health health;
+  const std::shared_ptr<const ShardView> view = CurrentView();
+  health.num_shards = view->shards.size();
+  health.partitioner = options_.partitioner;
+  health.epoch = view->epoch;
+  health.live_sequences = live_size();
+  health.id_space = id_space();
+  health.inserts_total = inserts_.load(std::memory_order_relaxed);
+  health.deletes_total = deletes_.load(std::memory_order_relaxed);
+  health.cut_rebalances_total =
+      cut_rebalances_.load(std::memory_order_relaxed);
+  health.shards.resize(view->shards.size());
+  for (size_t s = 0; s < view->shards.size(); ++s) {
+    ShardStatus& status = health.shards[s];
+    status.shard_index = s;
+    status.base_sequences = view->shards[s].global_of->size();
+    const DeltaShard::Stats stats = deltas_[s]->TakeStats();
+    status.delta_entries = stats.entries;
+    status.tombstones = stats.dead;
+    status.writes_total = stats.writes_total;
+    status.write_rate_per_s = deltas_[s]->write_rate();
+    status.compactions = shard_compactions_[s].load(std::memory_order_relaxed);
+    status.last_compaction_ms =
+        shard_last_compaction_ms_[s].load(std::memory_order_relaxed);
+    status.base_health = view->shards[s].engine->TakeHealthSnapshot();
+    status.bounds = view->shards[s].bounds;
+    health.compactions_total += status.compactions;
+    if (ShouldCompact(s)) {
+      ++health.compaction_backlog;
+    }
+  }
+  return health;
+}
+
+}  // namespace warpindex

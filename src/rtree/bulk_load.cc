@@ -78,6 +78,15 @@ RTree BulkLoadStr(int dims, const RTreeOptions& options,
   }
   const size_t record_count = leaf_entries.size();
 
+  // Packing capacity: bulk_fill_fraction < 1 leaves insert headroom in
+  // every node (see RTreeOptions); clamped so nodes keep >= 2 entries.
+  const double fill =
+      options.bulk_fill_fraction > 0.0 && options.bulk_fill_fraction <= 1.0
+          ? options.bulk_fill_fraction
+          : 1.0;
+  const size_t pack_capacity = std::max<size_t>(
+      2, static_cast<size_t>(static_cast<double>(tree.capacity()) * fill));
+
   // Pack level by level until one group remains; that group becomes the
   // root's entries.
   EntryList current = std::move(leaf_entries);
@@ -86,7 +95,7 @@ RTree BulkLoadStr(int dims, const RTreeOptions& options,
   tree.FreeNode(tree.root_);
   while (true) {
     std::vector<EntryList> groups;
-    StrPack(std::move(current), /*dim=*/0, dims, tree.capacity(), &groups);
+    StrPack(std::move(current), /*dim=*/0, dims, pack_capacity, &groups);
     if (groups.size() == 1) {
       const NodeId root = tree.AllocateNode(level);
       RTreeNode* root_node = tree.node(root);

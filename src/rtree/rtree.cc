@@ -238,7 +238,8 @@ void RTree::SplitNode(NodeId node_id, std::vector<bool>* reinserted_levels) {
   RTreeNode* n = node(node_id);
   const int level = n->level;
   auto [group_a, group_b] =
-      SplitEntries(n->entries, min_fill_, options_.split_policy);
+      SplitEntries(n->entries, min_fill_, options_.split_policy,
+                   options_.split_distribution_factor);
   if (options_.allow_supernodes && !n->IsLeaf()) {
     // X-tree overflow treatment: if the best split yields directory MBRs
     // overlapping more than the threshold fraction of their union, keep

@@ -38,6 +38,18 @@ struct RTreeOptions {
   bool forced_reinsert = false;
   // Fraction of entries evicted by a forced reinsert.
   double reinsert_fraction = 0.3;
+  // R*-style split distribution factor: the minimum group size a split
+  // may produce, as a fraction of the overflowing node (Beckmann et
+  // al.'s m = factor * M; 0.4 is the paper's recommendation). 0 keeps
+  // the legacy behavior of deriving the candidate range from
+  // min_fill_fraction alone. Only the kRStar policy consults it.
+  double split_distribution_factor = 0.0;
+  // STR bulk-load packing fraction: nodes are packed to
+  // bulk_fill_fraction * capacity instead of 100%, leaving insert
+  // headroom so a bulk-loaded tree absorbs streaming inserts without
+  // immediately splitting every touched leaf (snippet-3-style fill
+  // factor). 1.0 = classic fully-packed STR.
+  double bulk_fill_fraction = 1.0;
   // X-tree-style supernodes (paper §4.3.1 lists the X-tree among the
   // usable indexes): when a *directory* node split would produce MBRs
   // whose overlap exceeds `supernode_overlap_threshold` of their union,

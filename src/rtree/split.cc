@@ -240,7 +240,7 @@ const char* SplitPolicyName(SplitPolicy policy) {
 }
 
 SplitResult SplitEntries(std::vector<RTreeEntry> entries, size_t min_fill,
-                         SplitPolicy policy) {
+                         SplitPolicy policy, double distribution_factor) {
   assert(entries.size() >= 2);
   const size_t effective_min_fill =
       std::max<size_t>(1, std::min(min_fill, entries.size() / 2));
@@ -251,8 +251,20 @@ SplitResult SplitEntries(std::vector<RTreeEntry> entries, size_t min_fill,
     case SplitPolicy::kQuadratic:
       return GuttmanSplit(std::move(entries), effective_min_fill,
                           /*quadratic=*/true);
-    case SplitPolicy::kRStar:
-      return RStarSplit(std::move(entries), effective_min_fill);
+    case SplitPolicy::kRStar: {
+      // m = factor * M, never below the structural minimum fill and never
+      // above half the node (so at least one candidate split remains).
+      size_t dist_min = effective_min_fill;
+      if (distribution_factor > 0.0) {
+        dist_min = std::max(
+            dist_min, static_cast<size_t>(
+                          static_cast<double>(entries.size()) *
+                          distribution_factor));
+        dist_min = std::max<size_t>(
+            1, std::min(dist_min, entries.size() / 2));
+      }
+      return RStarSplit(std::move(entries), dist_min);
+    }
   }
   return GuttmanSplit(std::move(entries), effective_min_fill, true);
 }

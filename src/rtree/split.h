@@ -31,8 +31,15 @@ const char* SplitPolicyName(SplitPolicy policy);
 
 // Partitions `entries` (size >= 2) into two non-empty groups, each with at
 // least min(min_fill, entries.size() / 2) entries.
+//
+// `distribution_factor` (kRStar only) widens or narrows the candidate
+// split positions: each group must hold at least
+// max(min_fill, floor(entries.size() * distribution_factor)) entries
+// (Beckmann et al.'s m = factor * M, classically 0.4). 0 derives the
+// range from min_fill alone (legacy behavior).
 std::pair<std::vector<RTreeEntry>, std::vector<RTreeEntry>> SplitEntries(
-    std::vector<RTreeEntry> entries, size_t min_fill, SplitPolicy policy);
+    std::vector<RTreeEntry> entries, size_t min_fill, SplitPolicy policy,
+    double distribution_factor = 0.0);
 
 }  // namespace warpindex
 

@@ -7,7 +7,8 @@ namespace warpindex {
 namespace {
 
 constexpr char kMagic[4] = {'W', 'I', 'S', 'M'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 
 }  // namespace
 
@@ -23,7 +24,7 @@ Status SaveShardManifest(const std::string& path,
   if (f == nullptr) {
     return Status::IoError("cannot write shard manifest " + path);
   }
-  const uint32_t version = kVersion;
+  const uint32_t version = kVersionV2;
   const uint32_t num_shards =
       static_cast<uint32_t>(manifest.assignment.num_shards);
   const uint32_t partitioner = static_cast<uint32_t>(manifest.partitioner);
@@ -39,6 +40,17 @@ Status SaveShardManifest(const std::string& path,
        (count == 0 ||
         std::fwrite(manifest.assignment.shard_of.data(), sizeof(uint32_t),
                     count, f) == count);
+  // v2 trailing block: the range partitioner's routing cut points.
+  const uint32_t has_cuts = manifest.range_cuts.empty() ? 0 : 1;
+  ok = ok && std::fwrite(&has_cuts, sizeof(has_cuts), 1, f) == 1;
+  if (has_cuts != 0) {
+    ok = ok && manifest.range_cuts.size() == manifest.assignment.num_shards;
+    for (const auto& cut : manifest.range_cuts) {
+      ok = ok &&
+           std::fwrite(cut.data(), sizeof(double), cut.size(), f) ==
+               cut.size();
+    }
+  }
   std::fclose(f);
   return ok ? Status::Ok() : Status::IoError("short manifest write: " + path);
 }
@@ -57,7 +69,7 @@ Status LoadShardManifest(const std::string& path, ShardManifest* out) {
   bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
             std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
   ok = ok && std::fread(&version, sizeof(version), 1, f) == 1 &&
-       version == kVersion;
+       (version == kVersionV1 || version == kVersionV2);
   ok = ok && std::fread(&num_shards, sizeof(num_shards), 1, f) == 1 &&
        num_shards >= 1;
   ok = ok && std::fread(&partitioner, sizeof(partitioner), 1, f) == 1 &&
@@ -70,12 +82,25 @@ Status LoadShardManifest(const std::string& path, ShardManifest* out) {
          std::fread(out->assignment.shard_of.data(), sizeof(uint32_t),
                     count, f) == count;
   }
+  out->range_cuts.clear();
+  if (ok && version >= kVersionV2) {
+    uint32_t has_cuts = 0;
+    ok = std::fread(&has_cuts, sizeof(has_cuts), 1, f) == 1 && has_cuts <= 1;
+    if (ok && has_cuts != 0) {
+      out->range_cuts.resize(num_shards);
+      for (auto& cut : out->range_cuts) {
+        ok = ok && std::fread(cut.data(), sizeof(double), cut.size(), f) ==
+                       cut.size();
+      }
+    }
+  }
   std::fclose(f);
   if (!ok) {
     return Status::IoError("corrupt shard manifest " + path);
   }
   for (const uint32_t shard : out->assignment.shard_of) {
-    if (shard >= num_shards) {
+    // kDroppedShard (v2): the id was deleted and compacted away.
+    if (shard >= num_shards && shard != kDroppedShard) {
       return Status::IoError("corrupt shard manifest " + path +
                              ": assignment out of range");
     }

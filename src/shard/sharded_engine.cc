@@ -64,6 +64,13 @@ void ShardedEngine::BuildIdMaps(ShardAssignment assignment) {
   global_of_.assign(shards_.size(), {});
   for (size_t g = 0; g < n; ++g) {
     const uint32_t s = shard_of_[g];
+    if (s == kDroppedShard) {
+      // Manifest v2: the id was deleted and compacted away (see
+      // shard/shard_io.h); it keeps its slot in the global id space but
+      // maps to no shard.
+      local_of_[g] = kInvalidSequenceId;
+      continue;
+    }
     local_of_[g] = static_cast<SequenceId>(global_of_[s].size());
     global_of_[s].push_back(static_cast<SequenceId>(g));
   }

@@ -148,7 +148,9 @@ class ShardedEngine : public EngineLike {
   SequenceId ToGlobalId(size_t shard_index, SequenceId local) const {
     return global_of_[shard_index][static_cast<size_t>(local)];
   }
-  // (shard, local id) of a global id.
+  // (shard, local id) of a global id. For an id a v2 manifest marks
+  // dropped (deleted + compacted; see shard/shard_io.h) the local id is
+  // kInvalidSequenceId.
   std::pair<size_t, SequenceId> ToShardLocal(SequenceId global) const {
     const size_t g = static_cast<size_t>(global);
     return {shard_of_[g], local_of_[g]};

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/engine.h"
 #include "sequence/query_workload.h"
@@ -124,6 +125,32 @@ TEST(EngineDynamicTest, StFilterRebuildCoversInsertsAndSkipsRemovals) {
       engine.SearchWith(MethodKind::kStFilter, removed, 0.0);
   EXPECT_EQ(std::find(miss.matches.begin(), miss.matches.end(), 7),
             miss.matches.end());
+}
+
+TEST(EngineDynamicTest, InsertMarksSubsequenceIndexStale) {
+  EngineOptions options;
+  options.build_subsequence_index = true;
+  options.subsequence_min_window = 8;
+  options.subsequence_max_window = 12;
+  Engine engine(WalkDataset(20), options);
+  const Sequence q = engine.dataset()[2].Slice(3, 11);
+  EXPECT_FALSE(engine.subsequence_index_stale());
+  EXPECT_NO_THROW(engine.SearchSubsequences(q, 0.0));
+
+  // Insert leaves the window index blind to the new sequence — querying
+  // it would be a silent false dismissal, so it must throw instead.
+  engine.Insert(Sequence(std::vector<double>(30, 2.0)));
+  EXPECT_TRUE(engine.subsequence_index_stale());
+  EXPECT_THROW(engine.SearchSubsequences(q, 0.0), std::logic_error);
+
+  // Remove alone does NOT invalidate (tombstoned matches are filtered
+  // exactly), and a rebuild clears the staleness.
+  engine.RebuildSubsequenceIndex();
+  EXPECT_FALSE(engine.subsequence_index_stale());
+  EXPECT_NO_THROW(engine.SearchSubsequences(q, 0.0));
+  ASSERT_TRUE(engine.Remove(4));
+  EXPECT_FALSE(engine.subsequence_index_stale());
+  EXPECT_NO_THROW(engine.SearchSubsequences(q, 0.0));
 }
 
 TEST(EngineDynamicTest, StoreAppendAndTombstoneAccounting) {
