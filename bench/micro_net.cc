@@ -1,0 +1,260 @@
+// Serving-plane overhead: the wire router vs the in-process engine.
+//
+// Saves a sharded database, starts one shard-server per shard plus a
+// router over loopback (the same classes `warpindex_cli shard-serve` /
+// `route` run, minus the process boundary), and runs identical range and
+// k-NN workloads through both paths at every shard count:
+//
+//   * inproc — ShardedEngine::SearchWith / SearchKnn, the bit-exactness
+//     baseline the router is property-tested against;
+//   * wire   — Router::RouteRange / RouteKnn: JSON serialization, a
+//     framed round trip per shard group, and the router-side merge.
+//
+// The delta between the two rows is the serving plane's tax: framing +
+// JSON + loopback TCP + scatter-gather bookkeeping. `hedge` repeats the
+// wire sweep with hedging enabled (hedge legs add no load while replicas
+// answer inside the hedge delay; the row shows the bookkeeping cost).
+//
+// With --metrics_json each row is also written as a JSON line:
+//   {"bench":"micro_net","serving":"wire","mode":"range","shards":4,
+//    "qps":...,"p50_ms":...,"p99_ms":...}
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_util.h"
+#include "common/flags.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "net/router.h"
+#include "net/shard_server.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "shard/sharded_engine.h"
+
+namespace warpindex {
+namespace {
+
+struct ModeRow {
+  double qps = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+ModeRow Measure(const std::vector<double>& latencies, double wall_ms) {
+  ModeRow row;
+  row.qps = wall_ms > 0.0
+                ? 1e3 * static_cast<double>(latencies.size()) / wall_ms
+                : 0.0;
+  row.p50 = Percentile(latencies, 0.5);
+  row.p99 = Percentile(latencies, 0.99);
+  return row;
+}
+
+int Run(int argc, char** argv) {
+  int64_t num_sequences = 1000;
+  int64_t length = 96;
+  int64_t num_queries = 64;
+  double eps = 0.2;
+  int64_t knn_k = 5;
+  std::string shard_list = "1,2,4";
+  bool hedge = false;
+  std::string metrics_json;
+
+  FlagSet flags("micro_net");
+  flags.AddInt64("n", &num_sequences, "number of sequences");
+  flags.AddInt64("len", &length, "sequence length");
+  flags.AddInt64("queries", &num_queries, "queries per workload");
+  flags.AddDouble("eps", &eps, "range-query tolerance");
+  flags.AddInt64("k", &knn_k, "neighbors per k-NN query");
+  flags.AddString("shards", &shard_list, "shard counts to sweep");
+  flags.AddBool("hedge", &hedge, "also sweep with hedging enabled");
+  flags.AddString("metrics_json", &metrics_json,
+                  "also write one JSON line per row to this file");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  RandomWalkOptions rw;
+  rw.num_sequences = static_cast<size_t>(num_sequences);
+  rw.min_length = static_cast<size_t>(length);
+  rw.max_length = static_cast<size_t>(length);
+  rw.seed = 42;
+  const Dataset dataset = GenerateRandomWalkDataset(rw);
+  const auto queries = GenerateQueryWorkload(
+      dataset,
+      QueryWorkloadOptions{.num_queries = static_cast<size_t>(num_queries)});
+
+  bench::PrintPreamble(
+      "Micro: wire-routed serving vs in-process engine",
+      "framing + JSON + loopback TCP + router merge, answers identical",
+      std::to_string(num_sequences) + " walks of length " +
+          std::to_string(length) + ", " + std::to_string(num_queries) +
+          " queries, eps=" + bench::FormatDouble(eps, 2) +
+          ", k=" + std::to_string(knn_k));
+
+  std::FILE* json = nullptr;
+  if (!metrics_json.empty()) {
+    json = std::fopen(metrics_json.c_str(), "w");
+    if (json == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_json.c_str());
+      return 1;
+    }
+  }
+
+  TablePrinter table(
+      stdout, {"serving", "shards", "mode", "qps", "p50_ms", "p99_ms"});
+  table.PrintHeader();
+  const std::string dir =
+      std::filesystem::temp_directory_path() / "micro_net_db";
+
+  for (const int64_t num_shards : bench::ParseIntList(shard_list)) {
+    std::filesystem::remove_all(dir);
+    ShardedEngineOptions options;
+    options.num_shards = static_cast<size_t>(num_shards);
+    options.partitioner = PartitionerKind::kRange;
+    {
+      const ShardedEngine built(Dataset(dataset.sequences()), options);
+      const Status status = built.Save(dir);
+      if (!status.ok()) {
+        std::fprintf(stderr, "save: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::unique_ptr<ShardedEngine> inproc;
+    if (const Status status = ShardedEngine::Open(dir, options, &inproc);
+        !status.ok()) {
+      std::fprintf(stderr, "open: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::unique_ptr<ShardServer>> servers;
+    RouterOptions router_options;
+    router_options.enable_hedging = false;
+    for (uint32_t shard = 0; shard < static_cast<uint32_t>(num_shards);
+         ++shard) {
+      ShardServerOptions server_options;
+      server_options.db_dir = dir;
+      server_options.serve_shards = {shard};
+      server_options.group = static_cast<int>(shard);
+      std::unique_ptr<ShardServer> server;
+      Status status =
+          ShardServer::Create(std::move(server_options), &server);
+      if (status.ok()) {
+        status = server->Start();
+      }
+      if (!status.ok()) {
+        std::fprintf(stderr, "shard server: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      router_options.groups.push_back(
+          {RouterEndpoint{"127.0.0.1", server->port()}});
+      servers.push_back(std::move(server));
+    }
+
+    struct ServingRow {
+      const char* serving;
+      const char* mode;
+      ModeRow row;
+    };
+    std::vector<ServingRow> rows;
+
+    {  // In-process baseline.
+      std::vector<double> latencies;
+      WallTimer timer;
+      for (const Sequence& q : queries) {
+        WallTimer per_query;
+        (void)inproc->SearchWith(MethodKind::kTwSimSearch, q, eps);
+        latencies.push_back(per_query.ElapsedMillis());
+      }
+      rows.push_back(
+          {"inproc", "range", Measure(latencies, timer.ElapsedMillis())});
+      latencies.clear();
+      timer.Reset();
+      for (const Sequence& q : queries) {
+        WallTimer per_query;
+        (void)inproc->SearchKnn(q, static_cast<size_t>(knn_k));
+        latencies.push_back(per_query.ElapsedMillis());
+      }
+      rows.push_back(
+          {"inproc", "knn", Measure(latencies, timer.ElapsedMillis())});
+    }
+
+    const auto sweep_wire = [&](const char* label, bool enable_hedging) {
+      RouterOptions wire_options = router_options;
+      wire_options.enable_hedging = enable_hedging;
+      std::unique_ptr<Router> router;
+      if (const Status status =
+              Router::Create(std::move(wire_options), &router);
+          !status.ok()) {
+        std::fprintf(stderr, "router: %s\n", status.ToString().c_str());
+        return false;
+      }
+      std::vector<double> latencies;
+      WallTimer timer;
+      for (const Sequence& q : queries) {
+        WallTimer per_query;
+        SearchResult out;
+        (void)router->RouteRange(MethodKind::kTwSimSearch, q, eps,
+                                 nullptr, &out);
+        latencies.push_back(per_query.ElapsedMillis());
+      }
+      rows.push_back(
+          {label, "range", Measure(latencies, timer.ElapsedMillis())});
+      latencies.clear();
+      timer.Reset();
+      for (const Sequence& q : queries) {
+        WallTimer per_query;
+        KnnResult out;
+        (void)router->RouteKnn(q, static_cast<size_t>(knn_k), nullptr,
+                               &out);
+        latencies.push_back(per_query.ElapsedMillis());
+      }
+      rows.push_back(
+          {label, "knn", Measure(latencies, timer.ElapsedMillis())});
+      return true;
+    };
+
+    if (!sweep_wire("wire", false)) {
+      return 1;
+    }
+    if (hedge && !sweep_wire("wire+hedge", true)) {
+      return 1;
+    }
+
+    for (const ServingRow& entry : rows) {
+      table.PrintRow({entry.serving, std::to_string(num_shards),
+                      entry.mode, bench::FormatDouble(entry.row.qps, 1),
+                      bench::FormatDouble(entry.row.p50, 3),
+                      bench::FormatDouble(entry.row.p99, 3)});
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"micro_net\",\"serving\":\"%s\","
+                     "\"mode\":\"%s\",\"shards\":%lld,\"qps\":%.3f,"
+                     "\"p50_ms\":%.5f,\"p99_ms\":%.5f}\n",
+                     entry.serving, entry.mode,
+                     static_cast<long long>(num_shards), entry.row.qps,
+                     entry.row.p50, entry.row.p99);
+      }
+    }
+
+    for (auto& server : servers) {
+      server->Stop();
+    }
+  }
+  std::filesystem::remove_all(dir);
+  if (json != nullptr) {
+    std::fclose(json);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace warpindex
+
+int main(int argc, char** argv) { return warpindex::Run(argc, argv); }

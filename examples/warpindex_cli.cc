@@ -30,6 +30,16 @@
 //   $ ./warpindex_cli serve --dataset stock --http_port 8080 --linger_s 600 &
 //   $ ./warpindex_cli inspect --http_port 8080 --endpoint /statusz
 //   $ curl -s localhost:8080/metrics
+//
+//   # multi-process serving plane (docs/NETWORKING.md): save a sharded
+//   # database, serve each shard in its own process, scatter-gather
+//   # through a router:
+//   $ ./warpindex_cli save --out /tmp/db --dataset stock --shards 2
+//   $ ./warpindex_cli shard-serve --db /tmp/db --shards 0 --port 18091 &
+//   $ ./warpindex_cli shard-serve --db /tmp/db --shards 1 --port 18092 &
+//   $ ./warpindex_cli route --groups '127.0.0.1:18091;127.0.0.1:18092' \
+//         --port 18090 --http_port 18080 &
+//   $ ./warpindex_cli net-query --port 18090 --eps 4 --query_id 17 --k 3
 
 #include <algorithm>
 #include <chrono>
@@ -47,6 +57,11 @@
 #include "exec/introspection.h"
 #include "ingest/ingest_engine.h"
 #include "exec/query_executor.h"
+#include "net/router.h"
+#include "net/serialize.h"
+#include "net/shard_server.h"
+#include "net/wire_client.h"
+#include "net/wire_server.h"
 #include "obs/exporters.h"
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
@@ -56,6 +71,7 @@
 #include "sequence/query_workload.h"
 #include "sequence/random_walk_generator.h"
 #include "sequence/stock_generator.h"
+#include "shard/shard_io.h"
 #include "shard/sharded_engine.h"
 
 namespace warpindex {
@@ -804,6 +820,632 @@ int RunInspect(int argc, char** argv) {
   return 0;
 }
 
+// "host:port" -> RouterEndpoint; false on malformed input.
+bool ParseEndpoint(const std::string& spec, RouterEndpoint* endpoint) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  endpoint->host = spec.substr(0, colon);
+  const long port = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    return false;
+  }
+  endpoint->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+// Comma-separated shard indexes ("0,3,5").
+bool ParseShardList(const std::string& spec,
+                    std::vector<uint32_t>* shards) {
+  shards->clear();
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string item = spec.substr(pos, end - pos);
+    char* parse_end = nullptr;
+    const long shard = std::strtol(item.c_str(), &parse_end, 10);
+    if (parse_end == item.c_str() || *parse_end != '\0' || shard < 0) {
+      return false;
+    }
+    shards->push_back(static_cast<uint32_t>(shard));
+    pos = end + 1;
+  }
+  return !shards->empty();
+}
+
+// The wire protocol carries method names in their canonical form
+// (MethodKindName); accept both those and the CLI's short spellings.
+// Quiet on failure (runs inside the router's request handler).
+bool ParseWireMethod(const std::string& name, MethodKind* kind) {
+  for (const MethodKind candidate :
+       {MethodKind::kTwSimSearch, MethodKind::kNaiveScan,
+        MethodKind::kLbScan, MethodKind::kStFilter,
+        MethodKind::kTwSimSearchCascade}) {
+    if (name == MethodKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  if (name == "tw") {
+    *kind = MethodKind::kTwSimSearch;
+  } else if (name == "naive") {
+    *kind = MethodKind::kNaiveScan;
+  } else if (name == "lb") {
+    *kind = MethodKind::kLbScan;
+  } else if (name == "st") {
+    *kind = MethodKind::kStFilter;
+  } else if (name == "cascade") {
+    *kind = MethodKind::kTwSimSearchCascade;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// `save` subcommand: build a sharded database and persist it for the
+// multi-process serving plane (manifest + per-shard engine dirs).
+int RunSave(int argc, char** argv) {
+  std::string out_dir;
+  std::string dataset_kind = "stock";
+  std::string data_path;
+  int64_t shards = 2;
+  std::string partition = "hash";
+
+  FlagSet flags("warpindex_cli save");
+  flags.AddString("out", &out_dir, "directory to write the database into");
+  flags.AddString("dataset", &dataset_kind,
+                  "built-in corpus when --data is absent: stock | walk");
+  flags.AddString("data", &data_path, "CSV file with one sequence per line");
+  flags.AddInt64("shards", &shards, "number of shards (>= 1)");
+  flags.AddString("partition", &partition, "hash | range");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (out_dir.empty()) {
+    std::fprintf(stderr, "pass --out <dir>\n");
+    return 1;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 1;
+  }
+  Dataset dataset;
+  if (!LoadDatabase(data_path, dataset_kind, &dataset) || dataset.empty()) {
+    return 1;
+  }
+  const size_t num_sequences = dataset.size();
+
+  ShardedEngineOptions options;
+  options.num_shards = static_cast<size_t>(shards);
+  if (!ParsePartitionerKind(partition, &options.partitioner)) {
+    std::fprintf(stderr, "unknown --partition '%s' (hash | range)\n",
+                 partition.c_str());
+    return 1;
+  }
+  ShardedEngine engine(std::move(dataset), options);
+  const Status status = engine.Save(out_dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %zu sequences as %lld %s-partitioned shards to %s\n",
+              num_sequences, static_cast<long long>(shards),
+              PartitionerKindName(options.partitioner), out_dir.c_str());
+  return 0;
+}
+
+// `shard-serve` subcommand: one shard-server process of the serving
+// plane. Opens a subset of a saved sharded database and answers wire
+// RPCs until SIGTERM, then drains gracefully (finish in-flight, answer
+// new queries UNAVAILABLE, exit 0). The CI smoke test asserts the
+// "drain complete" line.
+int RunShardServe(int argc, char** argv) {
+  std::string db_dir;
+  std::string shards_spec;
+  int64_t group = 0;
+  int64_t replica = 0;
+  int64_t port = 0;
+  int64_t http_port = -1;
+  double qps = 0.0;
+  double burst = 0.0;
+  int64_t max_inflight = 0;
+  bool st_filter = true;
+
+  FlagSet flags("warpindex_cli shard-serve");
+  flags.AddString("db", &db_dir, "saved sharded database (`save --out`)");
+  flags.AddString("shards", &shards_spec,
+                  "comma-separated manifest shard indexes to serve");
+  flags.AddInt64("group", &group, "shard-group id (replicas share one)");
+  flags.AddInt64("replica", &replica, "replica index within the group");
+  flags.AddInt64("port", &port, "wire-protocol port (0 = ephemeral)");
+  flags.AddInt64("http_port", &http_port,
+                 "introspection HTTP server port (negative = disabled)");
+  flags.AddDouble("qps", &qps,
+                  "per-client admission quota in queries/s (0 = unmetered)");
+  flags.AddDouble("burst", &burst,
+                  "per-client token-bucket burst (0 = max(1, qps))");
+  flags.AddInt64("max_inflight", &max_inflight,
+                 "shed queries beyond this many concurrent (0 = uncapped)");
+  flags.AddBool("st_filter", &st_filter,
+                "build the suffix-tree filter so ST-Filter queries work");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (db_dir.empty()) {
+    std::fprintf(stderr, "pass --db <dir>\n");
+    return 1;
+  }
+  ShardServerOptions options;
+  options.db_dir = db_dir;
+  if (!ParseShardList(shards_spec, &options.serve_shards)) {
+    std::fprintf(stderr, "pass --shards as comma-separated indexes\n");
+    return 1;
+  }
+  options.group = static_cast<int>(group);
+  options.replica = static_cast<int>(replica);
+  options.engine.build_st_filter = st_filter;
+  options.server.port = static_cast<uint16_t>(port);
+  options.server.admission.per_client_qps = qps;
+  options.server.admission.per_client_burst = burst;
+  options.server.admission.max_inflight = static_cast<int>(max_inflight);
+  options.server.metrics = &MetricsRegistry::Global();
+
+  std::unique_ptr<ShardServer> server;
+  Status status = ShardServer::Create(std::move(options), &server);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = server->Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  IntrospectionServer http(IntrospectionServerOptions{
+      .port = static_cast<uint16_t>(http_port > 0 ? http_port : 0)});
+  if (http_port >= 0) {
+    RegisterIntrospectionRoutes(
+        &http, IntrospectionOptions{.shard_server = server.get()});
+    status = http.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot start introspection server: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("introspection server on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(http.port()));
+  }
+
+  std::string shard_list;
+  for (const uint32_t shard : server->serve_shards()) {
+    if (!shard_list.empty()) {
+      shard_list.push_back(',');
+    }
+    shard_list += std::to_string(shard);
+  }
+  std::printf("shard-server listening on 127.0.0.1:%u "
+              "(group %d replica %d, shards %s of %zu, %s partitioning)\n",
+              static_cast<unsigned>(server->port()), server->group(),
+              server->replica(), shard_list.c_str(),
+              server->manifest_num_shards(),
+              PartitionerKindName(server->partitioner()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful drain: no new connections, in-flight requests finish, new
+  // queries are answered UNAVAILABLE so the router fails over.
+  server->RequestDrain();
+  server->WaitIdle();
+  server->Stop();
+  if (http_port >= 0) {
+    http.Stop();
+  }
+  std::printf("drain complete\n");
+  return 0;
+}
+
+// `route` subcommand: the router process. Connects to shard-server
+// replicas, then serves the same RANGE/KNN wire RPCs itself — clients
+// (`net-query`) cannot tell a router from a single shard server that
+// happens to hold everything.
+int RunRoute(int argc, char** argv) {
+  std::string groups_spec;
+  int64_t port = 0;
+  int64_t http_port = -1;
+  int64_t connect_timeout_ms = 2000;
+  int64_t call_timeout_ms = 10000;
+  int64_t max_attempts = 3;
+  int64_t backoff_ms = 25;
+  bool hedge = true;
+  int64_t hedge_min_ms = 10;
+  int64_t hedge_max_ms = 1000;
+  int64_t knn_wave = 0;
+  double qps = 0.0;
+  int64_t max_inflight = 0;
+
+  FlagSet flags("warpindex_cli route");
+  flags.AddString("groups", &groups_spec,
+                  "shard groups as 'host:port,host:port;host:port' — "
+                  "';' separates groups, ',' separates a group's replicas");
+  flags.AddInt64("port", &port, "wire-protocol port (0 = ephemeral)");
+  flags.AddInt64("http_port", &http_port,
+                 "introspection HTTP server port (negative = disabled)");
+  flags.AddInt64("connect_timeout_ms", &connect_timeout_ms,
+                 "per-replica connect/handshake deadline");
+  flags.AddInt64("call_timeout_ms", &call_timeout_ms,
+                 "per-attempt sub-request deadline");
+  flags.AddInt64("max_attempts", &max_attempts,
+                 "sequential replica attempts per sub-request leg");
+  flags.AddInt64("backoff_ms", &backoff_ms,
+                 "base retry backoff (doubles per attempt)");
+  flags.AddBool("hedge", &hedge, "hedged backup requests to replicas");
+  flags.AddInt64("hedge_min_ms", &hedge_min_ms, "hedge delay floor");
+  flags.AddInt64("hedge_max_ms", &hedge_max_ms,
+                 "hedge delay ceiling (also the cold-start delay)");
+  flags.AddInt64("knn_wave", &knn_wave,
+                 "shard groups per kNN wave (0 = all in one wave)");
+  flags.AddDouble("qps", &qps,
+                  "per-client admission quota in queries/s (0 = unmetered)");
+  flags.AddInt64("max_inflight", &max_inflight,
+                 "shed queries beyond this many concurrent (0 = uncapped)");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+
+  RouterOptions options;
+  size_t pos = 0;
+  while (pos <= groups_spec.size() && !groups_spec.empty()) {
+    size_t end = groups_spec.find(';', pos);
+    if (end == std::string::npos) {
+      end = groups_spec.size();
+    }
+    const std::string group = groups_spec.substr(pos, end - pos);
+    std::vector<RouterEndpoint> replicas;
+    size_t rpos = 0;
+    while (rpos <= group.size() && !group.empty()) {
+      size_t rend = group.find(',', rpos);
+      if (rend == std::string::npos) {
+        rend = group.size();
+      }
+      RouterEndpoint endpoint;
+      if (!ParseEndpoint(group.substr(rpos, rend - rpos), &endpoint)) {
+        std::fprintf(stderr, "malformed endpoint in --groups: '%s'\n",
+                     group.substr(rpos, rend - rpos).c_str());
+        return 1;
+      }
+      replicas.push_back(endpoint);
+      rpos = rend + 1;
+    }
+    if (!replicas.empty()) {
+      options.groups.push_back(std::move(replicas));
+    }
+    pos = end + 1;
+  }
+  if (options.groups.empty()) {
+    std::fprintf(stderr,
+                 "pass --groups 'host:port,host:port;host:port'\n");
+    return 1;
+  }
+  options.connect_timeout_ms = static_cast<int>(connect_timeout_ms);
+  options.call_timeout_ms = static_cast<int>(call_timeout_ms);
+  options.max_attempts = static_cast<int>(max_attempts);
+  options.backoff_ms = static_cast<int>(backoff_ms);
+  options.enable_hedging = hedge;
+  options.hedge_min_ms = static_cast<int>(hedge_min_ms);
+  options.hedge_max_ms = static_cast<int>(hedge_max_ms);
+  options.knn_wave_size = static_cast<size_t>(knn_wave);
+  options.metrics = &MetricsRegistry::Global();
+
+  FlightRecorder flight_recorder(FlightRecorderOptions{.capacity = 512});
+  SlowQueryLog slow_log(32);
+  options.flight_recorder = &flight_recorder;
+  options.slow_log = &slow_log;
+
+  std::unique_ptr<Router> router;
+  Status status = Router::Create(std::move(options), &router);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Front door: the same wire protocol the shard servers speak, with
+  // the scatter-gather hidden behind it.
+  WireServerOptions front_options;
+  front_options.name = "router";
+  front_options.port = static_cast<uint16_t>(port);
+  front_options.admission.per_client_qps = qps;
+  front_options.admission.max_inflight = static_cast<int>(max_inflight);
+  front_options.metrics = &MetricsRegistry::Global();
+  WireServer front(front_options);
+  Router* router_ptr = router.get();
+  front.Handle(
+      WireType::kRange,
+      [router_ptr](const std::string&, const JsonValue& request,
+                   JsonValue* response) {
+        MethodKind kind = MethodKind::kTwSimSearch;
+        const std::string method =
+            request.GetString("method", MethodKindName(kind));
+        if (!ParseWireMethod(method, &kind)) {
+          return Status::InvalidArgument("unknown method '" + method + "'");
+        }
+        const double epsilon = request.GetDouble("epsilon", -1.0);
+        Sequence query;
+        const JsonValue* query_json = request.Find("query");
+        if (query_json == nullptr) {
+          return Status::InvalidArgument("request needs 'query'");
+        }
+        WARPINDEX_RETURN_IF_ERROR(JsonToSequence(*query_json, &query));
+        const bool traced = request.GetBool("trace", false);
+        Trace trace;
+        SearchResult result;
+        WARPINDEX_RETURN_IF_ERROR(router_ptr->RouteRange(
+            kind, query, epsilon, traced ? &trace : nullptr, &result));
+        JsonValue matches = JsonValue::Array();
+        for (const SequenceId id : result.matches) {
+          matches.Add(JsonValue::Int(id));
+        }
+        response->Set("matches", std::move(matches));
+        response->Set("num_candidates",
+                      JsonValue::Int(static_cast<int64_t>(
+                          result.num_candidates)));
+        response->Set("cost", CostToJson(result.cost));
+        if (traced) {
+          response->Set("spans", SpansToJson(trace.spans()));
+        }
+        return Status::Ok();
+      });
+  front.Handle(
+      WireType::kKnn,
+      [router_ptr](const std::string&, const JsonValue& request,
+                   JsonValue* response) {
+        const int64_t k = request.GetInt("k", 0);
+        if (k < 1) {
+          return Status::InvalidArgument("k must be >= 1");
+        }
+        Sequence query;
+        const JsonValue* query_json = request.Find("query");
+        if (query_json == nullptr) {
+          return Status::InvalidArgument("request needs 'query'");
+        }
+        WARPINDEX_RETURN_IF_ERROR(JsonToSequence(*query_json, &query));
+        const bool traced = request.GetBool("trace", false);
+        Trace trace;
+        KnnResult result;
+        WARPINDEX_RETURN_IF_ERROR(
+            router_ptr->RouteKnn(query, static_cast<size_t>(k),
+                                 traced ? &trace : nullptr, &result));
+        response->Set("neighbors", KnnMatchesToJson(result.neighbors));
+        response->Set("num_refined",
+                      JsonValue::Int(static_cast<int64_t>(
+                          result.num_refined)));
+        response->Set("cost", CostToJson(result.cost));
+        if (traced) {
+          response->Set("spans", SpansToJson(trace.spans()));
+        }
+        return Status::Ok();
+      });
+  status = front.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  IntrospectionServer http(IntrospectionServerOptions{
+      .port = static_cast<uint16_t>(http_port > 0 ? http_port : 0)});
+  if (http_port >= 0) {
+    RegisterIntrospectionRoutes(
+        &http, IntrospectionOptions{.router = router.get(),
+                                    .flight_recorder = &flight_recorder,
+                                    .slow_log = &slow_log});
+    status = http.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot start introspection server: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("introspection server on http://127.0.0.1:%u\n",
+                static_cast<unsigned>(http.port()));
+  }
+
+  std::printf("router listening on 127.0.0.1:%u "
+              "(%zu groups, %zu shards, %s partitioning)\n",
+              static_cast<unsigned>(front.port()), router->num_groups(),
+              router->num_shards(),
+              PartitionerKindName(router->partitioner()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  front.RequestDrain();
+  front.WaitIdle();
+  front.Stop();
+  if (http_port >= 0) {
+    http.Stop();
+  }
+  std::printf("drain complete\n");
+  return 0;
+}
+
+// `net-query` subcommand: a wire-protocol client. Builds a query the
+// same way the main command does, sends it to a router (or directly to
+// a shard server with --shards), and prints the answer. --timeout_ms is
+// the client-side deadline — a stalled peer surfaces as
+// DEADLINE_EXCEEDED, never a hang.
+int RunNetQuery(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t timeout_ms = 5000;
+  std::string dataset_kind = "stock";
+  std::string data_path;
+  std::string query_path;
+  int64_t query_id = 0;
+  bool perturb = true;
+  int64_t seed = 1;
+  double eps = -1.0;
+  int64_t k = 0;
+  std::string method = "tw";
+  std::string shards_spec;
+  int64_t repeat = 1;
+
+  FlagSet flags("warpindex_cli net-query");
+  flags.AddString("host", &host, "router or shard-server address");
+  flags.AddInt64("port", &port, "wire-protocol port");
+  flags.AddInt64("timeout_ms", &timeout_ms,
+                 "client deadline covering connect + send + response");
+  flags.AddString("dataset", &dataset_kind,
+                  "built-in corpus the query is drawn from: stock | walk");
+  flags.AddString("data", &data_path, "CSV the query is drawn from");
+  flags.AddString("query_file", &query_path,
+                  "CSV file whose first sequence is the query");
+  flags.AddInt64("query_id", &query_id, "sequence to use as the query");
+  flags.AddBool("perturb", &perturb, "perturb the --query_id sequence");
+  flags.AddInt64("seed", &seed, "perturbation seed");
+  flags.AddDouble("eps", &eps, "tolerance for a range query");
+  flags.AddInt64("k", &k, "neighbor count for a kNN query");
+  flags.AddString("method", &method,
+                  "range-query method: tw | naive | lb | st | cascade");
+  flags.AddString("shards", &shards_spec,
+                  "talk to a shard server directly: the shard indexes to "
+                  "query (omit when talking to a router)");
+  flags.AddInt64("repeat", &repeat, "send the query this many times");
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "pass --port of a running router\n");
+    return 1;
+  }
+  if (eps < 0.0 && k <= 0) {
+    std::fprintf(stderr, "pass --eps <tol> or --k <n>\n");
+    return 1;
+  }
+  MethodKind kind;
+  if (!ParseMethod(method, &kind)) {
+    return 1;
+  }
+
+  Sequence query;
+  if (!query_path.empty()) {
+    Dataset queries;
+    const Status status = LoadDatasetFromCsv(query_path, &queries);
+    if (!status.ok() || queries.empty()) {
+      std::fprintf(stderr, "cannot load query: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    query = queries[0];
+  } else {
+    Dataset dataset;
+    if (!LoadDatabase(data_path, dataset_kind, &dataset) ||
+        dataset.empty()) {
+      return 1;
+    }
+    if (query_id < 0 || static_cast<size_t>(query_id) >= dataset.size()) {
+      std::fprintf(stderr, "--query_id out of range\n");
+      return 1;
+    }
+    const Sequence& base = dataset[static_cast<size_t>(query_id)];
+    query = perturb ? PerturbSequence(base, static_cast<uint64_t>(seed))
+                    : base;
+  }
+
+  WireClientOptions client_options;
+  client_options.host = host;
+  client_options.port = static_cast<uint16_t>(port);
+  client_options.timeout_ms = static_cast<int>(timeout_ms);
+  client_options.client_id = "net-query";
+  WireClient client(client_options);
+
+  JsonValue shards = JsonValue::Null();
+  if (!shards_spec.empty()) {
+    std::vector<uint32_t> shard_list;
+    if (!ParseShardList(shards_spec, &shard_list)) {
+      std::fprintf(stderr, "malformed --shards\n");
+      return 1;
+    }
+    shards = JsonValue::Array();
+    for (const uint32_t shard : shard_list) {
+      shards.Add(JsonValue::Int(shard));
+    }
+  }
+
+  for (int64_t round = 0; round < repeat; ++round) {
+    if (eps >= 0.0) {
+      JsonValue request = JsonValue::Object();
+      if (!shards.is_null()) {
+        request.Set("shards", shards);
+      }
+      request.Set("method", JsonValue::Str(MethodKindName(kind)));
+      request.Set("epsilon", JsonValue::Double(eps));
+      request.Set("query", SequenceToJson(query));
+      JsonValue response;
+      const Status status =
+          client.Call(WireType::kRange, request, &response);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("sequences with D_tw <= %.4f: %zu (from %lld "
+                  "candidates)\n",
+                  eps,
+                  response.Find("matches") != nullptr
+                      ? response.Find("matches")->size()
+                      : 0,
+                  static_cast<long long>(
+                      response.GetInt("num_candidates", 0)));
+      if (const JsonValue* matches = response.Find("matches");
+          matches != nullptr) {
+        for (const JsonValue& id : matches->items()) {
+          std::printf("  #%lld\n",
+                      static_cast<long long>(id.AsInt()));
+        }
+      }
+    }
+    if (k > 0) {
+      JsonValue request = JsonValue::Object();
+      if (!shards.is_null()) {
+        request.Set("shards", shards);
+      }
+      request.Set("k", JsonValue::Int(k));
+      request.Set("query", SequenceToJson(query));
+      JsonValue response;
+      const Status status = client.Call(WireType::kKnn, request, &response);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::vector<KnnMatch> neighbors;
+      if (const JsonValue* neighbors_json = response.Find("neighbors");
+          neighbors_json != nullptr) {
+        const Status parse = JsonToKnnMatches(*neighbors_json, &neighbors);
+        if (!parse.ok()) {
+          std::fprintf(stderr, "%s\n", parse.ToString().c_str());
+          return 1;
+        }
+      }
+      std::printf("%zu nearest sequences under D_tw:\n", neighbors.size());
+      for (const KnnMatch& n : neighbors) {
+        std::printf("  #%-6lld dtw=%.5f\n", static_cast<long long>(n.id),
+                    n.distance);
+      }
+    }
+  }
+  return 0;
+}
+
 // Indented rendering of a trace's span tree with counters.
 void PrintTraceTree(const Trace& trace) {
   const auto& spans = trace.spans();
@@ -847,6 +1489,20 @@ int Run(int argc, char** argv) {
   // `inspect` subcommand: scrape a running introspection server.
   if (argc > 1 && std::strcmp(argv[1], "inspect") == 0) {
     return RunInspect(argc - 1, argv + 1);
+  }
+
+  // Multi-process serving plane (docs/NETWORKING.md).
+  if (argc > 1 && std::strcmp(argv[1], "save") == 0) {
+    return RunSave(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "shard-serve") == 0) {
+    return RunShardServe(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "route") == 0) {
+    return RunRoute(argc - 1, argv + 1);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "net-query") == 0) {
+    return RunNetQuery(argc - 1, argv + 1);
   }
 
   // `stats` subcommand: run the configured query workload, then print the

@@ -22,6 +22,17 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  // A client-side deadline elapsed before the operation finished (the
+  // wire client's --timeout_ms; see net/wire_client.h). Distinct from
+  // kIoError so callers can tell "the peer is slow" from "the peer is
+  // broken".
+  kDeadlineExceeded = 7,
+  // The peer exists but is not serving right now (draining on SIGTERM,
+  // or the connection was refused). Retryable against a replica.
+  kUnavailable = 8,
+  // The peer shed the request under admission control (per-client quota
+  // or load limit). NOT retryable — backing off is the client's job.
+  kResourceExhausted = 9,
 };
 
 // Returns a stable human-readable name, e.g. "IO_ERROR".
@@ -53,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -230,6 +230,92 @@ std::string IngestJson(const IngestEngine::Health& health) {
   return out;
 }
 
+// The router process's /statusz section: topology as learned at
+// handshake plus the hedging/retry counters — the acceptance surface
+// for "did the hedge fire and which replica answered".
+std::string RouterJson(const Router& router) {
+  const Router::Stats stats = router.stats();
+  std::string out = "{\"num_groups\":" + std::to_string(stats.num_groups);
+  out += ",\"num_shards\":" + std::to_string(stats.num_shards);
+  out += ",\"partitioner\":" +
+         JsonEscape(PartitionerKindName(router.partitioner()));
+  out += ",\"queries_total\":" + std::to_string(stats.queries);
+  out += ",\"subrequests_total\":" + std::to_string(stats.subrequests);
+  out += ",\"hedges_total\":" + std::to_string(stats.hedges);
+  out += ",\"retries_total\":" + std::to_string(stats.retries);
+  out += ",\"failed_subrequests_total\":" +
+         std::to_string(stats.failed_subrequests);
+  out += ",\"hedge_delay_ms\":" + Num(stats.hedge_delay_ms);
+  out += ",\"groups\":[";
+  const std::vector<RouterGroup>& groups = router.groups();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) {
+      out.push_back(',');
+    }
+    out += "{\"group\":" + std::to_string(g);
+    out += ",\"replicas\":[";
+    for (size_t r = 0; r < groups[g].replicas.size(); ++r) {
+      if (r > 0) {
+        out.push_back(',');
+      }
+      out += JsonEscape(groups[g].replicas[r].host + ":" +
+                        std::to_string(groups[g].replicas[r].port));
+    }
+    out += "],\"shards\":[";
+    for (size_t i = 0; i < groups[g].shards.size(); ++i) {
+      if (i > 0) {
+        out.push_back(',');
+      }
+      out += std::to_string(groups[g].shards[i]);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+// A shard-server process's /statusz section: identity, served shards,
+// transport counters, and admission-shed totals.
+std::string ShardServerJson(const ShardServer& server) {
+  const WireServerStats stats = server.server().stats();
+  const AdmissionController& admission = server.server().admission();
+  std::string out = "{\"group\":" + std::to_string(server.group());
+  out += ",\"replica\":" + std::to_string(server.replica());
+  out += ",\"port\":" + std::to_string(server.port());
+  out += ",\"manifest_num_shards\":" +
+         std::to_string(server.manifest_num_shards());
+  out += ",\"partitioner\":" +
+         JsonEscape(PartitionerKindName(server.partitioner()));
+  out += std::string(",\"draining\":") +
+         (stats.draining ? "true" : "false");
+  out += ",\"connections_total\":" +
+         std::to_string(stats.connections_total);
+  out += ",\"active_connections\":" +
+         std::to_string(stats.active_connections);
+  out += ",\"requests_total\":" + std::to_string(stats.requests_total);
+  out += ",\"errors_total\":" + std::to_string(stats.errors_total);
+  out += ",\"shed_total\":" + std::to_string(stats.shed_total);
+  out += ",\"inflight\":" + std::to_string(stats.inflight);
+  out += ",\"admission\":{\"admitted_total\":" +
+         std::to_string(admission.admitted_total());
+  out += ",\"shed_quota_total\":" +
+         std::to_string(admission.shed_quota_total());
+  out += ",\"shed_overload_total\":" +
+         std::to_string(admission.shed_overload_total()) + "}";
+  out += ",\"shards\":[";
+  const std::vector<ShardServer::ServedShard> served = server.served();
+  for (size_t i = 0; i < served.size(); ++i) {
+    if (i > 0) {
+      out.push_back(',');
+    }
+    out += "{\"shard\":" + std::to_string(served[i].shard);
+    out += ",\"sequences\":" + std::to_string(served[i].sequences);
+    out += ",\"live\":" + std::to_string(served[i].live) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
 // "id=<hex>" from a /tracez query string, or empty.
 std::string TraceIdParam(const std::string& query) {
   size_t pos = 0;
@@ -257,6 +343,14 @@ MetricsRegistry* RegistryOf(const IntrospectionOptions& options) {
   }
   if (options.ingest != nullptr) {
     return &options.ingest->metrics();
+  }
+  if (options.router != nullptr) {
+    return &options.router->metrics();
+  }
+  if (options.shard_server != nullptr) {
+    // Wire-plane processes (the CLI's shard-serve) register their
+    // warpindex_net_* series in the process-global registry.
+    return &MetricsRegistry::Global();
   }
   return nullptr;
 }
@@ -372,6 +466,18 @@ std::string StatuszJson(const IntrospectionOptions& options,
     out += ",\"ingest\":" + IngestJson(ingest_health);
   } else {
     out += ",\"ingest\":null";
+  }
+
+  if (options.router != nullptr) {
+    out += ",\"router\":" + RouterJson(*options.router);
+  } else {
+    out += ",\"router\":null";
+  }
+
+  if (options.shard_server != nullptr) {
+    out += ",\"shard_server\":" + ShardServerJson(*options.shard_server);
+  } else {
+    out += ",\"shard_server\":null";
   }
 
   if (options.flight_recorder != nullptr) {

@@ -36,6 +36,8 @@
 #include "core/engine.h"
 #include "exec/query_executor.h"
 #include "ingest/ingest_engine.h"
+#include "net/router.h"
+#include "net/shard_server.h"
 #include "obs/exporters.h"  // kWarpIndexVersion, GetBuildInfo
 #include "obs/flight_recorder.h"
 #include "obs/httpd.h"
@@ -46,8 +48,9 @@
 namespace warpindex {
 
 struct IntrospectionOptions {
-  // Exactly one of `engine` / `sharded` / `ingest` must be set: the
-  // serving engine the endpoints describe. With `sharded`, /statusz
+  // At most one of `engine` / `sharded` / `ingest` is set: the local
+  // serving engine the endpoints describe. Wire-plane processes set
+  // `router` or `shard_server` below instead (no local engine). With `sharded`, /statusz
   // renders a "sharding" section with one entry per shard (sequence
   // counts, sub-query/skip counters, feature MBR, and full R-tree
   // health) and /metrics exports the shared registry, including the
@@ -58,6 +61,14 @@ struct IntrospectionOptions {
   const Engine* engine = nullptr;
   const ShardedEngine* sharded = nullptr;
   const IngestEngine* ingest = nullptr;
+  // Wire-plane roles (net/): a router process sets `router` (and no
+  // local engine); a shard-server process sets `shard_server`. Each adds
+  // its own /statusz section ("router" with group/hedge/retry state,
+  // "shard_server" with served shards, connection counters, and
+  // admission-shed totals) and serves /metrics from its registry, so the
+  // multi-process smoke test can scrape any process the same way.
+  const Router* router = nullptr;
+  const ShardServer* shard_server = nullptr;
   const QueryExecutor* executor = nullptr;  // optional
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;

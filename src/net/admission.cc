@@ -1,0 +1,79 @@
+#include "net/admission.h"
+
+#include <algorithm>
+
+namespace warpindex {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options),
+      burst_(options.per_client_burst > 0.0
+                 ? options.per_client_burst
+                 : std::max(1.0, options.per_client_qps)) {}
+
+Status AdmissionController::Admit(const std::string& client_id,
+                                  double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    ++shed_overload_;
+    return Status::ResourceExhausted(
+        "server overloaded: " + std::to_string(inflight_) +
+        " requests in flight (limit " +
+        std::to_string(options_.max_inflight) + ")");
+  }
+  if (options_.per_client_qps > 0.0) {
+    const auto [it, inserted] = buckets_.try_emplace(client_id);
+    Bucket& bucket = it->second;
+    if (inserted) {
+      // A new client starts with a full bucket. (Insertion, not a
+      // sentinel value, marks newness: a legitimately drained bucket
+      // may hold exactly zero tokens.)
+      bucket.tokens = burst_;
+      bucket.last_refill_ms = now_ms;
+    }
+    const double elapsed_s =
+        std::max(0.0, (now_ms - bucket.last_refill_ms) / 1000.0);
+    bucket.tokens = std::min(
+        burst_, bucket.tokens + elapsed_s * options_.per_client_qps);
+    bucket.last_refill_ms = now_ms;
+    if (bucket.tokens < 1.0) {
+      ++shed_quota_;
+      return Status::ResourceExhausted(
+          "client '" + client_id + "' over quota (" +
+          std::to_string(options_.per_client_qps) + " qps, burst " +
+          std::to_string(burst_) + ")");
+    }
+    bucket.tokens -= 1.0;
+  }
+  ++inflight_;
+  ++admitted_;
+  return Status::Ok();
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) {
+    --inflight_;
+  }
+}
+
+int AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+uint64_t AdmissionController::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t AdmissionController::shed_quota_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_quota_;
+}
+
+uint64_t AdmissionController::shed_overload_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_overload_;
+}
+
+}  // namespace warpindex

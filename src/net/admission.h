@@ -1,0 +1,85 @@
+// Admission control for the wire serving plane: per-client token-bucket
+// quotas plus a global in-flight cap (load shedding).
+//
+// Every query RPC (RANGE/KNN) passes through Admit() before any work
+// happens. Two independent gates:
+//
+//   * Per-client quota — a token bucket per client id (the identity the
+//     HELLO handshake carried). Buckets refill at `per_client_qps` and
+//     hold at most `per_client_burst` tokens, so a client may burst to
+//     the bucket depth but sustains only its quota. Over-quota requests
+//     are REJECTED with kResourceExhausted — the client must back off;
+//     retrying elsewhere doesn't help (the quota follows the client).
+//
+//   * Global load shed — at most `max_inflight` query RPCs executing at
+//     once. Beyond that the server is overloaded and sheds with the
+//     same kResourceExhausted; finishing the queue beats queuing more.
+//
+// kResourceExhausted is deliberately distinct from kUnavailable
+// (draining): the router retries UNAVAILABLE against a replica but
+// NEVER retries RESOURCE_EXHAUSTED — hammering a replica because the
+// quota said no would defeat the quota.
+//
+// Thread-safety: Admit/Release may race freely (one mutex; the critical
+// section is a couple of arithmetic ops — connection threads, not query
+// threads, take it).
+
+#ifndef WARPINDEX_NET_ADMISSION_H_
+#define WARPINDEX_NET_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace warpindex {
+
+struct AdmissionOptions {
+  // Sustained per-client requests/second (0 = unmetered).
+  double per_client_qps = 0.0;
+  // Bucket depth; 0 defaults to max(1, per_client_qps).
+  double per_client_burst = 0.0;
+  // Query RPCs allowed to execute concurrently (0 = uncapped).
+  int max_inflight = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Charges one request to `client_id` at `now_ms` (any monotonic
+  // millisecond clock). Ok admits — the caller MUST pair it with
+  // Release() when the request finishes. kResourceExhausted rejects
+  // (no Release).
+  Status Admit(const std::string& client_id, double now_ms);
+  void Release();
+
+  int inflight() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_quota_total() const;    // per-client bucket rejections
+  uint64_t shed_overload_total() const; // global in-flight rejections
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill_ms = 0.0;
+  };
+
+  AdmissionOptions options_;
+  double burst_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+  int inflight_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_quota_ = 0;
+  uint64_t shed_overload_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_NET_ADMISSION_H_

@@ -1,0 +1,108 @@
+// A minimal, dependency-free JSON value for the wire protocol's message
+// bodies (net/wire.h).
+//
+// Scope: exactly what framed RPC bodies need — parse, navigate, build,
+// render. Not a general-purpose JSON library:
+//
+//   * Numbers remember whether they were written as integers. Integers
+//     round-trip through int64 (sequence ids are int64 and must not pass
+//     through a double); doubles render with %.17g, which strtod parses
+//     back to the bit-identical value — the property the router ≡
+//     in-process-engine guarantee rests on (epsilon, kNN distances, and
+//     MBR coordinates all cross the wire as decimal text).
+//   * Object members keep insertion order (stable rendering; tests can
+//     compare strings), and lookups are linear — wire bodies have a
+//     handful of keys.
+//   * Parse depth is bounded (kMaxDepth) so a hostile peer cannot blow
+//     the stack, and input must be one complete value (trailing garbage
+//     is an error).
+//
+// The obs exporters build JSON by string concatenation and stay as they
+// are; this type exists for the opposite direction — messages that must
+// be PARSED — and for request/response builders that would otherwise
+// hand-escape.
+
+#ifndef WARPINDEX_NET_JSON_H_
+#define WARPINDEX_NET_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace warpindex {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  // Constructors via factories so call sites read as the JSON they build.
+  JsonValue() = default;  // null
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  // Value accessors (loose: the zero value of the wrong kind, never a
+  // crash — wire handlers validate presence with Find/has first).
+  bool AsBool() const { return kind_ == Kind::kBool && bool_; }
+  int64_t AsInt() const;     // kDouble truncates; others 0
+  double AsDouble() const;   // kInt widens; others 0.0
+  const std::string& AsString() const { return string_; }
+
+  // ---- Arrays.
+  void Add(JsonValue v);
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // ---- Objects.
+  void Set(const std::string& key, JsonValue v);
+  // Null when missing (or when this is not an object).
+  const JsonValue* Find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  // Typed lookups with fallbacks, for terse handler code.
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  // Compact rendering (no whitespace). Integers render as integers;
+  // doubles as %.17g (shortest exact round-trip is not required, exact
+  // round-trip is).
+  std::string Render() const;
+  void RenderTo(std::string* out) const;
+
+  // Parses one complete JSON value (trailing non-whitespace is an
+  // error). InvalidArgument on malformed input with a byte offset.
+  static Status Parse(const std::string& text, JsonValue* out);
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_NET_JSON_H_

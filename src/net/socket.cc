@@ -1,0 +1,256 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace warpindex {
+namespace {
+
+// Builds a sockaddr_in from a numeric IPv4 address. False on malformed
+// input (no name resolution here by design).
+bool MakeAddr(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+void SetSocketIoTimeout(int fd, int timeout_ms) {
+  timeval tv;
+  if (timeout_ms <= 0) {
+    tv.tv_sec = 0;
+    tv.tv_usec = 0;  // zero timeval = blocking forever
+  } else {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+  }
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+bool SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+RecvOutcome RecvFull(int fd, void* data, size_t len, size_t* received) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (received != nullptr) {
+        *received = got;
+      }
+      return (errno == EAGAIN || errno == EWOULDBLOCK)
+                 ? RecvOutcome::kTimeout
+                 : RecvOutcome::kError;
+    }
+    if (n == 0) {
+      if (received != nullptr) {
+        *received = got;
+      }
+      return RecvOutcome::kClosed;
+    }
+    got += static_cast<size_t>(n);
+  }
+  if (received != nullptr) {
+    *received = got;
+  }
+  return RecvOutcome::kOk;
+}
+
+RecvOutcome RecvSome(int fd, void* buf, size_t cap, size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, cap, 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return (errno == EAGAIN || errno == EWOULDBLOCK)
+                 ? RecvOutcome::kTimeout
+                 : RecvOutcome::kError;
+    }
+    if (got == 0) {
+      return RecvOutcome::kClosed;
+    }
+    *n = static_cast<size_t>(got);
+    return RecvOutcome::kOk;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Status TcpListener::Listen(const TcpListenerOptions& options) {
+  if (fd_ >= 0) {
+    return Status::InvalidArgument("listener already listening");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return ErrnoStatus("socket");
+  }
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  if (!MakeAddr(options.bind_address, options.port, &addr)) {
+    Close();
+    return Status::InvalidArgument("bad bind address " +
+                                   options.bind_address);
+  }
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = ErrnoStatus("bind " + options.bind_address + ":" +
+                                      std::to_string(options.port));
+    Close();
+    return status;
+  }
+  if (::listen(fd_, options.backlog) != 0) {
+    const Status status = ErrnoStatus("listen");
+    Close();
+    return status;
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  shutdown_.store(false, std::memory_order_release);
+  return Status::Ok();
+}
+
+int TcpListener::Accept() {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return fd;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) {
+      return -1;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) {
+      continue;
+    }
+    return -1;  // listen socket gone
+  }
+  return -1;
+}
+
+void TcpListener::Shutdown() {
+  if (!shutdown_.exchange(true, std::memory_order_acq_rel) && fd_ >= 0) {
+    // Closing alone is not guaranteed to wake a blocked accept(2) on all
+    // platforms; shutdown is (on Linux).
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+void TcpListener::Close() {
+  CloseSocket(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+Status TcpConnect(const std::string& host, uint16_t port, int timeout_ms,
+                  int* out_fd) {
+  *out_fd = -1;
+  sockaddr_in addr;
+  if (!MakeAddr(host, port, &addr)) {
+    return Status::InvalidArgument("bad host " + host +
+                                   " (numeric IPv4 only)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoStatus("socket");
+  }
+  const std::string peer = host + ":" + std::to_string(port);
+
+  // SO_SNDTIMEO does not reliably bound connect(2), so deadline the
+  // handshake explicitly: non-blocking connect, poll for writability,
+  // then read the outcome from SO_ERROR and restore blocking mode.
+  const int saved_flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0 && saved_flags >= 0) {
+    ::fcntl(fd, F_SETFL, saved_flags | O_NONBLOCK);
+  }
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      CloseSocket(fd);
+      return Status::DeadlineExceeded("connect " + peer + " timed out");
+    }
+    if (rc < 0) {
+      const Status status = ErrnoStatus("poll(connect " + peer + ")");
+      CloseSocket(fd);
+      return status;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      errno = so_error;
+      rc = -1;
+    } else {
+      rc = 0;
+    }
+  }
+  if (rc != 0) {
+    const int saved_errno = errno;
+    CloseSocket(fd);
+    errno = saved_errno;
+    if (saved_errno == ECONNREFUSED) {
+      return Status::Unavailable("connect " + peer + ": connection refused");
+    }
+    if (saved_errno == ETIMEDOUT) {
+      return Status::DeadlineExceeded("connect " + peer + " timed out");
+    }
+    return ErrnoStatus("connect " + peer);
+  }
+  if (timeout_ms > 0 && saved_flags >= 0) {
+    ::fcntl(fd, F_SETFL, saved_flags);  // back to blocking
+  }
+  *out_fd = fd;
+  return Status::Ok();
+}
+
+}  // namespace warpindex

@@ -1,0 +1,136 @@
+// Shared blocking-socket primitives for every networked surface of the
+// library: the introspection HTTP server (obs/httpd.h) and the query
+// serving plane (net/wire_server.h, net/wire_client.h).
+//
+// One implementation of the fussy parts lives here so httpd and the wire
+// protocol cannot drift apart:
+//
+//   * TcpListener — socket/bind/listen with SO_REUSEADDR, numeric-IPv4
+//     bind addresses, and ephemeral-port readback (bind port 0, read the
+//     real port with port(); tests and multi-process harnesses depend on
+//     it to avoid collisions). Accept() retries EINTR/ECONNABORTED and
+//     returns -1 only after Shutdown() — shutdown(2) on the listen fd is
+//     the one portable way to wake a blocked accept(2) on Linux.
+//
+//   * TcpConnect — blocking connect with a real deadline (non-blocking
+//     connect + poll, because SO_SNDTIMEO does not reliably bound
+//     connect(2)). Distinguishes "refused" (kUnavailable — the peer is
+//     down or draining; retry a replica) from "timed out"
+//     (kDeadlineExceeded) from everything else (kIoError).
+//
+//   * SendAll / RecvFull / RecvSome — EINTR-safe full-buffer send (with
+//     MSG_NOSIGNAL so a dead peer is an error return, not SIGPIPE) and
+//     reads that report *why* they stopped: clean close, SO_RCVTIMEO
+//     expiry, or a real error. The wire framing layer (net/wire.h) maps
+//     these onto typed Statuses.
+//
+// Everything here is loopback-oriented plumbing for numeric IPv4
+// addresses; name resolution and TLS are out of scope by design.
+
+#ifndef WARPINDEX_NET_SOCKET_H_
+#define WARPINDEX_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace warpindex {
+
+// Status::IoError carrying strerror(errno) for syscall `what`.
+Status ErrnoStatus(const std::string& what);
+
+// Sets SO_RCVTIMEO/SO_SNDTIMEO on `fd`. timeout_ms <= 0 clears both
+// (blocking forever).
+void SetSocketIoTimeout(int fd, int timeout_ms);
+
+// close(2) tolerating fd < 0 (so callers need no guard).
+void CloseSocket(int fd);
+
+// Writes the whole buffer, tolerating partial writes and EINTR; sends
+// with MSG_NOSIGNAL. False on any other error (including SO_SNDTIMEO
+// expiry).
+bool SendAll(int fd, const void* data, size_t len);
+inline bool SendAll(int fd, const std::string& data) {
+  return SendAll(fd, data.data(), data.size());
+}
+
+// Why a read stopped before filling the caller's buffer.
+enum class RecvOutcome {
+  kOk,       // the requested bytes arrived
+  kClosed,   // peer closed the connection cleanly
+  kTimeout,  // SO_RCVTIMEO expired (EAGAIN/EWOULDBLOCK)
+  kError,    // anything else (errno preserved for the caller)
+};
+
+// Reads exactly `len` bytes into `data` (EINTR-safe). On kClosed,
+// `*received` says how many bytes arrived first — zero means the peer
+// closed between messages (a clean disconnect), nonzero means it died
+// mid-message.
+RecvOutcome RecvFull(int fd, void* data, size_t len, size_t* received);
+
+// One recv(2) of up to `cap` bytes (EINTR-safe). kOk sets `*n` > 0.
+RecvOutcome RecvSome(int fd, void* buf, size_t cap, size_t* n);
+
+struct TcpListenerOptions {
+  // Numeric IPv4 only. Loopback by default: both servers built on this
+  // are operator/cluster-internal, not internet-facing.
+  std::string bind_address = "127.0.0.1";
+  // 0 = ephemeral; read the real port back with port().
+  uint16_t port = 0;
+  int backlog = 64;
+};
+
+// A bound, listening TCP socket plus the accept loop's lifecycle. The
+// owner calls Listen() once, loops on Accept() from one thread, and
+// calls Shutdown() from any other thread to break that loop; Close()
+// (or the destructor) releases the fd after the loop has exited.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // socket + SO_REUSEADDR + bind + listen. Reads the bound port back
+  // with getsockname so port 0 callers learn their ephemeral port.
+  Status Listen(const TcpListenerOptions& options);
+
+  // Blocks until a connection arrives; returns its fd. EINTR and
+  // ECONNABORTED are retried internally. Returns -1 once Shutdown() was
+  // called or the listen socket is gone.
+  int Accept();
+
+  // Wakes a blocked Accept() (shutdown(2) on the listen fd) and makes
+  // every later Accept() return -1. Idempotent; safe from any thread.
+  void Shutdown();
+
+  // Releases the fd. Call after the accept loop has exited.
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  // The bound port (the real one when options.port was 0); 0 before
+  // Listen().
+  uint16_t port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> shutdown_{false};
+};
+
+// Blocking connect to a numeric IPv4 host:port with a deadline
+// (timeout_ms <= 0 = no deadline). On success stores the connected fd in
+// `*out_fd` (blocking mode, no IO timeout set — the caller owns that via
+// SetSocketIoTimeout). Error codes: kUnavailable for ECONNREFUSED (peer
+// down — retryable against a replica), kDeadlineExceeded for a connect
+// timeout, kInvalidArgument for a malformed address, kIoError otherwise.
+Status TcpConnect(const std::string& host, uint16_t port, int timeout_ms,
+                  int* out_fd);
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_NET_SOCKET_H_

@@ -1,0 +1,205 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace warpindex {
+namespace {
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+// Inverse of StatusCodeName (common/status.cc): code name -> StatusCode.
+StatusCode ParseStatusCodeName(const std::string& name) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kOk,
+      StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,
+      StatusCode::kIoError,
+      StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,
+      StatusCode::kInternal,
+      StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted,
+  };
+  for (const StatusCode code : kCodes) {
+    if (name == StatusCodeName(code)) {
+      return code;
+    }
+  }
+  // A code this build does not know: degrade to kInternal rather than
+  // dropping the error.
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+const char* WireTypeName(WireType type) {
+  switch (type) {
+    case WireType::kError:
+      return "ERROR";
+    case WireType::kHello:
+      return "HELLO";
+    case WireType::kHelloOk:
+      return "HELLO_OK";
+    case WireType::kRange:
+      return "RANGE";
+    case WireType::kRangeOk:
+      return "RANGE_OK";
+    case WireType::kKnn:
+      return "KNN";
+    case WireType::kKnnOk:
+      return "KNN_OK";
+    case WireType::kHealth:
+      return "HEALTH";
+    case WireType::kHealthOk:
+      return "HEALTH_OK";
+    case WireType::kDrain:
+      return "DRAIN";
+    case WireType::kDrainOk:
+      return "DRAIN_OK";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeFrame(const WireFrame& frame) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + frame.body.size());
+  out.push_back('W');
+  out.push_back('N');
+  out.push_back('P');
+  out.push_back(static_cast<char>(kWireProtocolVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back('\0');  // flags
+  PutU16(&out, 0);      // reserved
+  PutU64(&out, frame.request_id);
+  PutU32(&out, static_cast<uint32_t>(frame.body.size()));
+  out += frame.body;
+  return out;
+}
+
+Status WriteFrame(int fd, const WireFrame& frame) {
+  if (!SendAll(fd, EncodeFrame(frame))) {
+    return ErrnoStatus(std::string("send ") + WireTypeName(frame.type) +
+                       " frame");
+  }
+  return Status::Ok();
+}
+
+Status ReadFrame(int fd, WireFrame* out, size_t max_body,
+                 bool* idle_timeout) {
+  if (idle_timeout != nullptr) {
+    *idle_timeout = false;
+  }
+  unsigned char header[kWireHeaderBytes];
+  size_t received = 0;
+  switch (RecvFull(fd, header, sizeof(header), &received)) {
+    case RecvOutcome::kOk:
+      break;
+    case RecvOutcome::kClosed:
+      if (received == 0) {
+        return Status::Unavailable("peer closed the connection");
+      }
+      return Status::IoError("peer closed mid-frame");
+    case RecvOutcome::kTimeout:
+      if (received == 0) {
+        if (idle_timeout != nullptr) {
+          *idle_timeout = true;
+        }
+        return Status::DeadlineExceeded("read timed out (idle)");
+      }
+      return Status::DeadlineExceeded("read timed out mid-frame");
+    case RecvOutcome::kError:
+      return ErrnoStatus("recv frame header");
+  }
+  if (header[0] != 'W' || header[1] != 'N' || header[2] != 'P') {
+    return Status::IoError("bad frame magic (not a warpindex wire peer)");
+  }
+  if (header[3] != kWireProtocolVersion) {
+    return Status::IoError(
+        "wire protocol version mismatch: peer speaks v" +
+        std::to_string(static_cast<int>(header[3])) + ", this build v" +
+        std::to_string(static_cast<int>(kWireProtocolVersion)));
+  }
+  out->type = static_cast<WireType>(header[4]);
+  out->request_id = GetU64(header + 8);
+  const uint32_t body_len = GetU32(header + 16);
+  if (body_len > max_body) {
+    return Status::IoError("frame body of " + std::to_string(body_len) +
+                           " bytes exceeds the " +
+                           std::to_string(max_body) + "-byte limit");
+  }
+  out->body.resize(body_len);
+  if (body_len > 0) {
+    switch (RecvFull(fd, out->body.data(), body_len, &received)) {
+      case RecvOutcome::kOk:
+        break;
+      case RecvOutcome::kClosed:
+        return Status::IoError("peer closed mid-frame");
+      case RecvOutcome::kTimeout:
+        return Status::DeadlineExceeded("read timed out mid-frame");
+      case RecvOutcome::kError:
+        return ErrnoStatus("recv frame body");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string StatusToErrorBody(const Status& status) {
+  JsonValue body = JsonValue::Object();
+  body.Set("code", JsonValue::Str(StatusCodeName(status.code())));
+  body.Set("message", JsonValue::Str(status.message()));
+  return body.Render();
+}
+
+Status ErrorBodyToStatus(const std::string& body) {
+  JsonValue parsed;
+  const Status parse_status = JsonValue::Parse(body, &parsed);
+  if (!parse_status.ok()) {
+    return Status::Internal("unparseable error frame: " + body);
+  }
+  const StatusCode code = ParseStatusCodeName(parsed.GetString("code", ""));
+  return Status(code, parsed.GetString("message", ""));
+}
+
+WireFrame MakeErrorFrame(uint64_t request_id, const Status& status) {
+  WireFrame frame;
+  frame.type = WireType::kError;
+  frame.request_id = request_id;
+  frame.body = StatusToErrorBody(status);
+  return frame;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,118 @@
+#include "net/wire_client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+
+namespace warpindex {
+
+WireClient::WireClient(WireClientOptions options)
+    : options_(std::move(options)) {}
+
+WireClient::~WireClient() { Disconnect(); }
+
+void WireClient::Disconnect() {
+  CloseSocket(fd_);
+  fd_ = -1;
+}
+
+Status WireClient::Connect(JsonValue* server_info) {
+  return ConnectWithTimeout(server_info, options_.timeout_ms);
+}
+
+Status WireClient::ConnectWithTimeout(JsonValue* server_info,
+                                      int timeout_ms) {
+  if (fd_ >= 0 && server_info == nullptr) {
+    return Status::Ok();
+  }
+  if (fd_ < 0) {
+    WARPINDEX_RETURN_IF_ERROR(
+        TcpConnect(options_.host, options_.port, timeout_ms, &fd_));
+    SetSocketIoTimeout(fd_, timeout_ms);
+  }
+  JsonValue hello = JsonValue::Object();
+  hello.Set("client", JsonValue::Str(options_.client_id));
+  JsonValue reply;
+  const Status status =
+      CallLocked(WireType::kHello, hello, &reply, timeout_ms);
+  if (!status.ok()) {
+    Disconnect();
+    return status;
+  }
+  if (server_info != nullptr) {
+    *server_info = std::move(reply);
+  }
+  return Status::Ok();
+}
+
+Status WireClient::Call(WireType type, const JsonValue& request,
+                        JsonValue* response, int timeout_ms_override) {
+  const int timeout_ms =
+      timeout_ms_override > 0 ? timeout_ms_override : options_.timeout_ms;
+  if (fd_ < 0) {
+    // The implicit reconnect honors the per-call override too: a
+    // tightened deadline must bound the handshake, not just the
+    // request (the hedge path depends on this).
+    WARPINDEX_RETURN_IF_ERROR(ConnectWithTimeout(nullptr, timeout_ms));
+  }
+  return CallLocked(type, request, response, timeout_ms);
+}
+
+Status WireClient::CallLocked(WireType type, const JsonValue& request,
+                              JsonValue* response, int timeout_ms) {
+  SetSocketIoTimeout(fd_, timeout_ms);
+  WireFrame out;
+  out.type = type;
+  out.request_id = next_request_id_++;
+  out.body = request.Render();
+  Status status = WriteFrame(fd_, out);
+  if (!status.ok()) {
+    Disconnect();
+    return status;
+  }
+  WireFrame in;
+  status = ReadFrame(fd_, &in, options_.max_body_bytes);
+  if (!status.ok()) {
+    // After a timeout (or any read failure) the stream position is
+    // unknown: a late response would pair with the NEXT request. Drop
+    // the connection so the next call starts clean.
+    Disconnect();
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      return Status::DeadlineExceeded(
+          "no response from " + options_.host + ":" +
+          std::to_string(options_.port) + " within " +
+          std::to_string(timeout_ms) + " ms (" + WireTypeName(type) + ")");
+    }
+    return status;
+  }
+  if (in.request_id != out.request_id) {
+    Disconnect();
+    return Status::Internal(
+        "response id " + std::to_string(in.request_id) +
+        " does not match request id " + std::to_string(out.request_id) +
+        " (desynced connection)");
+  }
+  if (in.type == WireType::kError) {
+    // Typed server-side failure; the connection itself is still good.
+    return ErrorBodyToStatus(in.body);
+  }
+  const auto expected =
+      static_cast<WireType>(static_cast<uint8_t>(type) + 1);
+  if (in.type != expected) {
+    Disconnect();
+    return Status::Internal(std::string("expected ") +
+                            WireTypeName(expected) + " response, got " +
+                            WireTypeName(in.type));
+  }
+  if (response != nullptr) {
+    const Status parse_status = JsonValue::Parse(in.body, response);
+    if (!parse_status.ok()) {
+      return Status::Internal("malformed " + std::string(WireTypeName(in.type)) +
+                              " body: " + parse_status.message());
+    }
+  }
+  ++calls_;
+  return Status::Ok();
+}
+
+}  // namespace warpindex

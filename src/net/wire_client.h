@@ -1,0 +1,84 @@
+// Blocking wire-protocol client: one TCP connection, one outstanding
+// request at a time (the router holds one WireClient per replica and
+// serializes calls per connection with a mutex).
+//
+// Deadlines: every call is bounded by `timeout_ms` (connect handshake
+// included). A stalled peer — accepted the connection but never answers
+// — surfaces as Status::DeadlineExceeded, never a hang. After a
+// mid-call timeout the stream position is unknown (the response may
+// arrive later and would pair with the wrong request), so the client
+// CLOSES the connection; the next Call() reconnects. The request-id
+// echo is verified on every response as a second desync tripwire.
+//
+// Thread-safety: none. One thread per WireClient, or external locking —
+// see net/router.h for the per-replica mutex pattern.
+
+#ifndef WARPINDEX_NET_WIRE_CLIENT_H_
+#define WARPINDEX_NET_WIRE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/json.h"
+#include "net/wire.h"
+
+namespace warpindex {
+
+struct WireClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Per-call deadline covering connect + send + response (<= 0 = no
+  // deadline). On expiry the call returns kDeadlineExceeded and the
+  // connection is dropped.
+  int timeout_ms = 5000;
+  // Identity sent in the HELLO handshake; the server's admission
+  // controller meters quotas per client id.
+  std::string client_id = "anon";
+  size_t max_body_bytes = kWireDefaultMaxBody;
+};
+
+class WireClient {
+ public:
+  explicit WireClient(WireClientOptions options);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // Connects and performs the HELLO handshake; stores the server's
+  // HELLO_OK body in `server_info` (null = discard). Idempotent while
+  // connected. kUnavailable when the peer is down or refuses.
+  Status Connect(JsonValue* server_info = nullptr);
+
+  // Sends `request` of `type` and waits for the matching response
+  // (type + 1). A kError response is decoded into its carried Status.
+  // Reconnects first if the connection is down. `timeout_ms_override`
+  // > 0 replaces the per-call deadline for this call only.
+  Status Call(WireType type, const JsonValue& request, JsonValue* response,
+              int timeout_ms_override = 0);
+
+  // Drops the connection (next Call reconnects).
+  void Disconnect();
+
+  bool connected() const { return fd_ >= 0; }
+  const WireClientOptions& options() const { return options_; }
+  // Requests completed / hedge bookkeeping for the router's records.
+  uint64_t calls() const { return calls_; }
+
+ private:
+  // Connect + HELLO with an explicit deadline (Call passes its
+  // effective per-call timeout so a reconnect is bounded by it too).
+  Status ConnectWithTimeout(JsonValue* server_info, int timeout_ms);
+  Status CallLocked(WireType type, const JsonValue& request,
+                    JsonValue* response, int timeout_ms);
+
+  WireClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint64_t calls_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_NET_WIRE_CLIENT_H_

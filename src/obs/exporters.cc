@@ -503,6 +503,9 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   std::snprintf(buf, sizeof(buf), "%" PRIu64, record.pool_misses);
   out.append(",\"pool_misses\":" + std::string(buf));
   out.append(",\"shard\":" + std::to_string(record.shard));
+  out.append(",\"replica\":" + std::to_string(record.replica));
+  out.append(",\"net_hedges\":" + std::to_string(record.net_hedges));
+  out.append(",\"net_retries\":" + std::to_string(record.net_retries));
   out.append(",\"stages_ms\":{");
   bool first = true;
   for (const auto& [stage, ms] : record.stage_ms.entries()) {

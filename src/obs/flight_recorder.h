@@ -66,8 +66,17 @@ struct FlightRecord {
   StageTimings stage_ms;
   StageCounters prunes;
   // Shard that ran this (sub-)query, or -1 for an unsharded query / the
-  // merged record of a sharded one (shard/sharded_engine.h).
+  // merged record of a sharded one (shard/sharded_engine.h). The
+  // router's per-group sub-request records reuse this field for the
+  // GROUP index (net/router.h).
   int32_t shard = -1;
+  // Wire-plane bookkeeping (net/router.h): the replica that answered
+  // this sub-request (-1 = not a networked sub-request — the test
+  // /flightrecorder filters on), and how many hedged / retried attempts
+  // the sub-request took before that answer.
+  int32_t replica = -1;
+  uint32_t net_hedges = 0;
+  uint32_t net_retries = 0;
 };
 
 struct FlightRecorderOptions {

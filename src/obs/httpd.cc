@@ -1,31 +1,12 @@
 #include "obs/httpd.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <utility>
+
+#include "net/socket.h"
 
 namespace warpindex {
 namespace {
-
-Status Errno(const std::string& what) {
-  return Status::IoError(what + ": " + std::strerror(errno));
-}
-
-void SetIoTimeout(int fd, int timeout_ms) {
-  timeval tv;
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
 
 const char* StatusText(int status) {
   switch (status) {
@@ -46,23 +27,6 @@ const char* StatusText(int status) {
   }
 }
 
-// Writes the whole buffer, tolerating partial writes and EINTR.
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 std::string SerializeResponse(const HttpResponse& response) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusText(response.status) + "\r\n";
@@ -79,17 +43,11 @@ std::string SerializeResponse(const HttpResponse& response) {
 bool ReadRequest(int fd, size_t max_bytes, std::string* raw) {
   char buf[2048];
   while (raw->size() < max_bytes) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return false;  // timeout or reset
+    size_t n = 0;
+    if (RecvSome(fd, buf, sizeof(buf), &n) != RecvOutcome::kOk) {
+      return false;  // timeout, reset, or peer closed mid-request
     }
-    if (n == 0) {
-      return false;  // peer closed before finishing the request
-    }
-    raw->append(buf, static_cast<size_t>(n));
+    raw->append(buf, n);
     if (raw->find("\r\n\r\n") != std::string::npos ||
         raw->find("\n\n") != std::string::npos) {
       return true;
@@ -143,44 +101,11 @@ Status IntrospectionServer::Start() {
   if (running()) {
     return Status::InvalidArgument("server already started");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Errno("socket");
-  }
-  const int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad bind address " +
-                                   options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const Status status = Errno("bind " + options_.bind_address + ":" +
-                                std::to_string(options_.port));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    const Status status = Errno("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  sockaddr_in bound;
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
+  TcpListenerOptions listen_options;
+  listen_options.bind_address = options_.bind_address;
+  listen_options.port = options_.port;
+  listen_options.backlog = options_.backlog;
+  WARPINDEX_RETURN_IF_ERROR(listener_.Listen(listen_options));
 
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -193,35 +118,26 @@ void IntrospectionServer::Stop() {
     return;
   }
   stop_.store(true, std::memory_order_release);
-  // Unblock the accept(2) in flight; closing alone is not guaranteed to
-  // wake a blocked accept on all platforms, shutdown is (on Linux).
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  listener_.Shutdown();  // unblock the accept(2) in flight
   if (thread_.joinable()) {
     thread_.join();
   }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  listener_.Close();
 }
 
 void IntrospectionServer::AcceptLoop() {
   while (!stop_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = listener_.Accept();
     if (fd < 0) {
-      if (stop_.load(std::memory_order_acquire)) {
-        return;
-      }
-      if (errno == EINTR || errno == ECONNABORTED) {
-        continue;
-      }
-      return;  // listen socket gone
+      return;  // Shutdown() or the listen socket is gone
     }
     ServeConnection(fd);
-    ::close(fd);
+    CloseSocket(fd);
   }
 }
 
 void IntrospectionServer::ServeConnection(int fd) {
-  SetIoTimeout(fd, options_.io_timeout_ms);
+  SetSocketIoTimeout(fd, options_.io_timeout_ms);
   std::string raw;
   if (!ReadRequest(fd, options_.max_request_bytes, &raw)) {
     return;
@@ -263,56 +179,38 @@ void IntrospectionServer::ServeConnection(int fd) {
   if (request.method == "HEAD") {
     response.body.clear();
   }
-  WriteAll(fd, SerializeResponse(response));
+  SendAll(fd, SerializeResponse(response));
 }
 
 Status HttpGet(const std::string& host, uint16_t port,
                const std::string& path, std::string* body,
                int* status_code, int timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Errno("socket");
-  }
-  SetIoTimeout(fd, timeout_ms);
-  sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host " + host +
-                                   " (numeric IPv4 only)");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const Status status =
-        Errno("connect " + host + ":" + std::to_string(port));
-    ::close(fd);
-    return status;
-  }
+  int fd = -1;
+  WARPINDEX_RETURN_IF_ERROR(TcpConnect(host, port, timeout_ms, &fd));
+  SetSocketIoTimeout(fd, timeout_ms);
   const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                               "\r\nConnection: close\r\n\r\n";
-  if (!WriteAll(fd, request)) {
-    ::close(fd);
-    return Errno("send");
+  if (!SendAll(fd, request)) {
+    const Status status = ErrnoStatus("send");
+    CloseSocket(fd);
+    return status;
   }
   std::string raw;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      ::close(fd);
-      return Errno("recv");
-    }
-    if (n == 0) {
+    size_t n = 0;
+    const RecvOutcome outcome = RecvSome(fd, buf, sizeof(buf), &n);
+    if (outcome == RecvOutcome::kClosed) {
       break;
     }
-    raw.append(buf, static_cast<size_t>(n));
+    if (outcome != RecvOutcome::kOk) {
+      const Status status = ErrnoStatus("recv");
+      CloseSocket(fd);
+      return status;
+    }
+    raw.append(buf, n);
   }
-  ::close(fd);
+  CloseSocket(fd);
 
   // "HTTP/1.1 200 OK\r\n...headers...\r\n\r\nbody"
   if (raw.compare(0, 5, "HTTP/") != 0) {

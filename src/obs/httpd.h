@@ -41,6 +41,7 @@
 #include <thread>
 
 #include "common/status.h"
+#include "net/socket.h"
 
 namespace warpindex {
 
@@ -96,7 +97,7 @@ class IntrospectionServer {
   bool running() const { return running_.load(std::memory_order_acquire); }
   // The bound port (the real one when options.port was 0); 0 before
   // Start().
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return listener_.port(); }
   const IntrospectionServerOptions& options() const { return options_; }
   uint64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -108,8 +109,9 @@ class IntrospectionServer {
 
   IntrospectionServerOptions options_;
   std::map<std::string, HttpHandler> routes_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
+  // Bind/listen/accept plumbing shared with the wire serving plane
+  // (net/socket.h).
+  TcpListener listener_;
   std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};

@@ -1,0 +1,151 @@
+// JsonValue: the wire protocol's message-body type. The properties the
+// serving plane rests on: int64 ids round-trip without passing through a
+// double, doubles round-trip BIT-identically via %.17g, object member
+// order is stable (rendering is deterministic), and hostile input —
+// deep nesting, trailing garbage, malformed escapes — fails with a
+// typed error instead of crashing.
+
+#include "net/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace warpindex {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue value;
+  const Status status = JsonValue::Parse(text, &value);
+  EXPECT_TRUE(status.ok()) << text << " -> " << status.ToString();
+  return value;
+}
+
+TEST(NetJsonTest, ScalarRoundTrip) {
+  EXPECT_EQ(MustParse("null").kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(MustParse("true").AsBool());
+  EXPECT_FALSE(MustParse("false").AsBool());
+  EXPECT_EQ(MustParse("42").AsInt(), 42);
+  EXPECT_EQ(MustParse("-7").AsInt(), -7);
+  EXPECT_DOUBLE_EQ(MustParse("2.5").AsDouble(), 2.5);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(NetJsonTest, IntegersStayIntegers) {
+  // Sequence ids are int64 and must not be rounded through a double.
+  const int64_t big = (int64_t{1} << 62) + 3;
+  JsonValue value = JsonValue::Int(big);
+  EXPECT_EQ(value.kind(), JsonValue::Kind::kInt);
+  const JsonValue back = MustParse(value.Render());
+  EXPECT_EQ(back.kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(back.AsInt(), big);
+}
+
+TEST(NetJsonTest, DoublesRoundTripBitIdentically) {
+  // The router ≡ in-process-engine property depends on every finite
+  // double surviving render + parse with the same bits.
+  const double values[] = {0.1,
+                           1.0 / 3.0,
+                           std::nextafter(1.0, 2.0),
+                           1e-300,
+                           -2.5e300,
+                           123456789.123456789,
+                           std::numeric_limits<double>::min(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (const double d : values) {
+    const std::string text = JsonValue::Double(d).Render();
+    const JsonValue back = MustParse(text);
+    EXPECT_EQ(back.AsDouble(), d) << text;
+  }
+}
+
+TEST(NetJsonTest, IntAndDoubleAccessorsConvert) {
+  EXPECT_EQ(JsonValue::Double(3.9).AsInt(), 3);   // truncates
+  EXPECT_DOUBLE_EQ(JsonValue::Int(3).AsDouble(), 3.0);  // widens
+  EXPECT_EQ(JsonValue::Str("x").AsInt(), 0);      // wrong kind -> zero
+  EXPECT_FALSE(JsonValue::Int(1).AsBool());
+}
+
+TEST(NetJsonTest, StringEscapes) {
+  JsonValue value = JsonValue::Str("a\"b\\c\n\t\x01");
+  const JsonValue back = MustParse(value.Render());
+  EXPECT_EQ(back.AsString(), "a\"b\\c\n\t\x01");
+  // Parses the standard escape set too.
+  EXPECT_EQ(MustParse("\"\\u0041\\n\\\"\"").AsString(), "A\n\"");
+}
+
+TEST(NetJsonTest, ObjectOrderIsInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zeta", JsonValue::Int(1));
+  object.Set("alpha", JsonValue::Int(2));
+  EXPECT_EQ(object.Render(), "{\"zeta\":1,\"alpha\":2}");
+  // Re-parsing keeps the order (stable fingerprints for the router's
+  // replica-agreement check).
+  EXPECT_EQ(MustParse(object.Render()).Render(), object.Render());
+}
+
+TEST(NetJsonTest, FindAndTypedLookups) {
+  const JsonValue object =
+      MustParse("{\"i\":7,\"d\":2.5,\"s\":\"x\",\"b\":true}");
+  ASSERT_NE(object.Find("i"), nullptr);
+  EXPECT_EQ(object.Find("missing"), nullptr);
+  EXPECT_EQ(object.GetInt("i", -1), 7);
+  EXPECT_DOUBLE_EQ(object.GetDouble("d", -1.0), 2.5);
+  EXPECT_EQ(object.GetString("s", "none"), "x");
+  EXPECT_TRUE(object.GetBool("b", false));
+  EXPECT_EQ(object.GetInt("missing", -1), -1);
+  EXPECT_EQ(object.GetString("i", "fallback"), "fallback");  // wrong kind
+}
+
+TEST(NetJsonTest, NestedArraysAndObjects) {
+  const JsonValue value =
+      MustParse("{\"shards\":[{\"shard\":0,\"mbr\":null},{\"shard\":1}]}");
+  const JsonValue* shards = value.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->size(), 2u);
+  EXPECT_EQ(shards->at(0).GetInt("shard", -1), 0);
+  ASSERT_NE(shards->at(0).Find("mbr"), nullptr);
+  EXPECT_TRUE(shards->at(0).Find("mbr")->is_null());
+}
+
+TEST(NetJsonTest, TrailingGarbageRejected) {
+  JsonValue value;
+  EXPECT_FALSE(JsonValue::Parse("42 junk", &value).ok());
+  EXPECT_FALSE(JsonValue::Parse("{}{}", &value).ok());
+  EXPECT_FALSE(JsonValue::Parse("", &value).ok());
+}
+
+TEST(NetJsonTest, MalformedInputRejected) {
+  JsonValue value;
+  for (const char* bad : {"{", "[1,", "\"open", "{\"a\":}", "tru",
+                          "01", "+1", "nul", "{\"a\" 1}", "[1 2]"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad, &value).ok()) << bad;
+  }
+}
+
+TEST(NetJsonTest, DepthBoundRejectsHostileNesting) {
+  // A hostile peer cannot blow the stack with deep nesting.
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  JsonValue value;
+  EXPECT_FALSE(JsonValue::Parse(deep, &value).ok());
+  // A compliant body well under the bound parses fine.
+  std::string ok_depth;
+  for (int i = 0; i < 20; ++i) ok_depth += "[";
+  for (int i = 0; i < 20; ++i) ok_depth += "]";
+  EXPECT_TRUE(JsonValue::Parse(ok_depth, &value).ok());
+}
+
+TEST(NetJsonTest, RenderToAppends) {
+  std::string out = "prefix:";
+  JsonValue::Int(5).RenderTo(&out);
+  EXPECT_EQ(out, "prefix:5");
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -1,0 +1,370 @@
+// ShardServer: a process serving a subset of a saved sharded database
+// over the wire. Verifies the exactness contract the router builds on —
+// HELLO_OK reports the same per-shard feature MBRs the in-process
+// ShardedEngine computes, RANGE answers are remapped/merged/sorted
+// exactly, KNN honors the seed bound without losing ties — plus the
+// failure paths: unserved shards, malformed requests, and drain
+// answering UNAVAILABLE.
+
+#include "net/shard_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "net/serialize.h"
+#include "net/wire_client.h"
+#include "sequence/query_workload.h"
+#include "sequence/random_walk_generator.h"
+#include "shard/sharded_engine.h"
+
+namespace warpindex {
+namespace {
+
+constexpr size_t kNumShards = 3;
+
+Dataset WalkDataset(uint64_t seed = 21) {
+  RandomWalkOptions options;
+  options.num_sequences = 60;
+  options.min_length = 20;
+  options.max_length = 44;
+  options.seed = seed;
+  return GenerateRandomWalkDataset(options);
+}
+
+class ShardServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = testing::TempDir() + "/shard_server_test_db";
+    std::filesystem::remove_all(dir_);
+    ShardedEngineOptions options;
+    options.num_shards = kNumShards;
+    options.partitioner = PartitionerKind::kRange;
+    const ShardedEngine built(WalkDataset(), options);
+    ASSERT_TRUE(built.Save(dir_).ok());
+    ASSERT_TRUE(ShardedEngine::Open(dir_, options, &sharded_).ok());
+  }
+
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<ShardServer> StartServer(
+      std::vector<uint32_t> serve_shards) {
+    ShardServerOptions options;
+    options.db_dir = dir_;
+    options.serve_shards = std::move(serve_shards);
+    options.group = 1;
+    options.replica = 2;
+    options.server.io_timeout_ms = 50;
+    std::unique_ptr<ShardServer> server;
+    const Status status = ShardServer::Create(std::move(options), &server);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (server != nullptr) {
+      EXPECT_TRUE(server->Start().ok());
+    }
+    return server;
+  }
+
+  WireClient MakeClient(const ShardServer& server) {
+    WireClientOptions options;
+    options.port = server.port();
+    options.timeout_ms = 5000;
+    options.client_id = "shard-server-test";
+    return WireClient(options);
+  }
+
+  static JsonValue ShardsArray(std::initializer_list<int64_t> shards) {
+    JsonValue array = JsonValue::Array();
+    for (const int64_t shard : shards) array.Add(JsonValue::Int(shard));
+    return array;
+  }
+
+  std::string dir_;
+  std::unique_ptr<ShardedEngine> sharded_;
+};
+
+TEST_F(ShardServerTest, RejectsUnknownShardAtCreate) {
+  ShardServerOptions options;
+  options.db_dir = dir_;
+  options.serve_shards = {0, 99};
+  std::unique_ptr<ShardServer> server;
+  EXPECT_FALSE(ShardServer::Create(std::move(options), &server).ok());
+}
+
+TEST_F(ShardServerTest, HelloReportsIdentityShardsAndExactBounds) {
+  auto server = StartServer({0, 2});
+  WireClient client = MakeClient(*server);
+  JsonValue info;
+  ASSERT_TRUE(client.Connect(&info).ok());
+
+  EXPECT_EQ(info.GetString("role", ""), "shard-server");
+  EXPECT_EQ(info.GetInt("group", -1), 1);
+  EXPECT_EQ(info.GetInt("replica", -1), 2);
+  EXPECT_EQ(info.GetInt("num_shards", -1),
+            static_cast<int64_t>(kNumShards));
+  EXPECT_EQ(info.GetString("partitioner", ""), "range");
+
+  const JsonValue* shards = info.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_EQ(shards->size(), 2u);
+  for (size_t i = 0; i < shards->size(); ++i) {
+    const JsonValue& item = shards->at(i);
+    const auto shard = static_cast<size_t>(item.GetInt("shard", -1));
+    ASSERT_LT(shard, kNumShards);
+    EXPECT_EQ(item.GetInt("sequences", -1),
+              static_cast<int64_t>(sharded_->shard(shard).dataset().size()));
+    // The MBR the router will prune against must be bit-identical to
+    // the in-process engine's live-only bounds.
+    const ShardFeatureBounds& expected = sharded_->shard_bounds(shard);
+    const JsonValue* mbr = item.Find("mbr");
+    ASSERT_NE(mbr, nullptr);
+    ASSERT_TRUE(expected.valid);
+    EXPECT_EQ(mbr->Render(), RectToJson(expected.mbr).Render());
+  }
+}
+
+TEST_F(ShardServerTest, RangeMergesRemapsAndSortsExactly) {
+  auto server = StartServer({0, 1, 2});
+  WireClient client = MakeClient(*server);
+
+  const Engine single(WalkDataset(), EngineOptions{});
+  const auto queries = GenerateQueryWorkload(
+      single.dataset(), QueryWorkloadOptions{.num_queries = 4, .seed = 7});
+
+  for (const Sequence& query : queries) {
+    for (const double epsilon : {0.1, 0.3}) {
+      JsonValue request = JsonValue::Object();
+      request.Set("shards", ShardsArray({0, 1, 2}));
+      request.Set("method", JsonValue::Str("TW-Sim-Search"));
+      request.Set("epsilon", JsonValue::Double(epsilon));
+      request.Set("query", SequenceToJson(query));
+      JsonValue response;
+      ASSERT_TRUE(
+          client.Call(WireType::kRange, request, &response).ok());
+
+      // Matches: global ids, ascending — the single-engine answer.
+      std::vector<SequenceId> expected =
+          single.Search(query, epsilon).matches;
+      std::sort(expected.begin(), expected.end());
+      const JsonValue* matches = response.Find("matches");
+      ASSERT_NE(matches, nullptr);
+      std::vector<SequenceId> got;
+      for (const JsonValue& id : matches->items()) {
+        got.push_back(id.AsInt());
+      }
+      EXPECT_EQ(got, expected);
+
+      // num_candidates: summed over the REQUESTED shards, exactly the
+      // per-shard engines' counts.
+      size_t expected_candidates = 0;
+      for (size_t shard = 0; shard < kNumShards; ++shard) {
+        expected_candidates +=
+            sharded_->shard(shard).Search(query, epsilon).num_candidates;
+      }
+      EXPECT_EQ(response.GetInt("num_candidates", -1),
+                static_cast<int64_t>(expected_candidates));
+
+      // Cost crossed the wire.
+      const JsonValue* cost = response.Find("cost");
+      ASSERT_NE(cost, nullptr);
+      SearchCost decoded;
+      ASSERT_TRUE(JsonToCost(*cost, &decoded).ok());
+      EXPECT_GT(decoded.dtw_evals + decoded.lb_evals, 0u);
+    }
+  }
+}
+
+TEST_F(ShardServerTest, RangeOverSubsetOnlyTouchesRequestedShards) {
+  auto server = StartServer({0, 2});
+  WireClient client = MakeClient(*server);
+  const auto queries = GenerateQueryWorkload(
+      sharded_->shard(0).dataset(),
+      QueryWorkloadOptions{.num_queries = 2, .seed = 9});
+
+  JsonValue request = JsonValue::Object();
+  request.Set("shards", ShardsArray({0}));
+  request.Set("method", JsonValue::Str("TW-Sim-Search"));
+  request.Set("epsilon", JsonValue::Double(0.25));
+  request.Set("query", SequenceToJson(queries.front()));
+  JsonValue response;
+  ASSERT_TRUE(client.Call(WireType::kRange, request, &response).ok());
+  EXPECT_EQ(
+      response.GetInt("num_candidates", -1),
+      static_cast<int64_t>(
+          sharded_->shard(0).Search(queries.front(), 0.25).num_candidates));
+}
+
+TEST_F(ShardServerTest, KnnMatchesInProcessAndHonorsSeedBound) {
+  auto server = StartServer({0, 1, 2});
+  WireClient client = MakeClient(*server);
+  const auto queries = GenerateQueryWorkload(
+      sharded_->shard(0).dataset(),
+      QueryWorkloadOptions{.num_queries = 3, .seed = 11});
+
+  for (const Sequence& query : queries) {
+    for (const size_t k : {1u, 3u}) {
+      JsonValue request = JsonValue::Object();
+      request.Set("shards", ShardsArray({0, 1, 2}));
+      request.Set("k", JsonValue::Int(static_cast<int64_t>(k)));
+      request.Set("query", SequenceToJson(query));
+      JsonValue response;
+      ASSERT_TRUE(client.Call(WireType::kKnn, request, &response).ok());
+
+      const KnnResult expected = sharded_->SearchKnn(query, k);
+      const JsonValue* neighbors = response.Find("neighbors");
+      ASSERT_NE(neighbors, nullptr);
+      std::vector<KnnMatch> got;
+      ASSERT_TRUE(JsonToKnnMatches(*neighbors, &got).ok());
+      ASSERT_EQ(got.size(), expected.neighbors.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].id, expected.neighbors[i].id);
+        EXPECT_EQ(got[i].distance, expected.neighbors[i].distance)
+            << "distance must cross the wire bit-identically";
+      }
+
+      // Seeding the k-th distance as the wave bound must not lose any
+      // of the top-k (strictly-greater pruning keeps ties at the
+      // bound).
+      if (!expected.neighbors.empty()) {
+        JsonValue bounded = JsonValue::Object();
+        bounded.Set("shards", ShardsArray({0, 1, 2}));
+        bounded.Set("k", JsonValue::Int(static_cast<int64_t>(k)));
+        bounded.Set("query", SequenceToJson(query));
+        bounded.Set("bound",
+                    JsonValue::Double(expected.neighbors.back().distance));
+        JsonValue bounded_response;
+        ASSERT_TRUE(
+            client.Call(WireType::kKnn, bounded, &bounded_response).ok());
+        std::vector<KnnMatch> bounded_got;
+        ASSERT_TRUE(JsonToKnnMatches(*bounded_response.Find("neighbors"),
+                                     &bounded_got)
+                        .ok());
+        ASSERT_EQ(bounded_got.size(), expected.neighbors.size());
+        for (size_t i = 0; i < bounded_got.size(); ++i) {
+          EXPECT_EQ(bounded_got[i].id, expected.neighbors[i].id);
+          EXPECT_EQ(bounded_got[i].distance, expected.neighbors[i].distance);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardServerTest, MalformedRequestsAreTypedErrors) {
+  auto server = StartServer({0, 2});
+  WireClient client = MakeClient(*server);
+  JsonValue response;
+
+  {  // unserved shard
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({1}));
+    request.Set("method", JsonValue::Str("TW-Sim-Search"));
+    request.Set("epsilon", JsonValue::Double(0.1));
+    request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+    EXPECT_EQ(client.Call(WireType::kRange, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // unknown method
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({0}));
+    request.Set("method", JsonValue::Str("bogus"));
+    request.Set("epsilon", JsonValue::Double(0.1));
+    request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+    EXPECT_EQ(client.Call(WireType::kRange, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // ST-Filter on a server started without the suffix tree: a typed
+     // error, never a crash.
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({0}));
+    request.Set("method", JsonValue::Str("ST-Filter"));
+    request.Set("epsilon", JsonValue::Double(0.1));
+    request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+    EXPECT_EQ(client.Call(WireType::kRange, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // negative epsilon
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({0}));
+    request.Set("method", JsonValue::Str("TW-Sim-Search"));
+    request.Set("epsilon", JsonValue::Double(-1.0));
+    request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+    EXPECT_EQ(client.Call(WireType::kRange, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // missing query
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({0}));
+    request.Set("k", JsonValue::Int(1));
+    EXPECT_EQ(client.Call(WireType::kKnn, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {  // k = 0
+    JsonValue request = JsonValue::Object();
+    request.Set("shards", ShardsArray({0}));
+    request.Set("k", JsonValue::Int(0));
+    request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+    EXPECT_EQ(client.Call(WireType::kKnn, request, &response).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(ShardServerTest, TracedRangeShipsSpans) {
+  auto server = StartServer({0, 1, 2});
+  WireClient client = MakeClient(*server);
+  JsonValue request = JsonValue::Object();
+  request.Set("shards", ShardsArray({0, 1, 2}));
+  request.Set("method", JsonValue::Str("TW-Sim-Search"));
+  request.Set("epsilon", JsonValue::Double(0.2));
+  request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+  request.Set("trace", JsonValue::Bool(true));
+  JsonValue response;
+  ASSERT_TRUE(client.Call(WireType::kRange, request, &response).ok());
+  const JsonValue* spans_json = response.Find("spans");
+  ASSERT_NE(spans_json, nullptr);
+  std::vector<TraceSpan> spans;
+  ASSERT_TRUE(JsonToSpans(*spans_json, &spans).ok());
+  // One "shard" span per requested shard, each carrying its index.
+  size_t shard_spans = 0;
+  for (const TraceSpan& span : spans) {
+    if (span.name == "shard") ++shard_spans;
+  }
+  EXPECT_EQ(shard_spans, kNumShards);
+}
+
+TEST_F(ShardServerTest, ServedAccessorAndDrain) {
+  auto server = StartServer({0, 2});
+  EXPECT_EQ(server->group(), 1);
+  EXPECT_EQ(server->replica(), 2);
+  EXPECT_EQ(server->manifest_num_shards(), kNumShards);
+  EXPECT_EQ(server->partitioner(), PartitionerKind::kRange);
+  const auto served = server->served();
+  ASSERT_EQ(served.size(), 2u);
+  EXPECT_EQ(served[0].shard, 0u);
+  EXPECT_EQ(served[1].shard, 2u);
+  EXPECT_EQ(served[0].sequences, sharded_->shard(0).dataset().size());
+  EXPECT_EQ(served[0].live, sharded_->shard(0).live_size());
+
+  WireClient client = MakeClient(*server);
+  JsonValue response;
+  ASSERT_TRUE(
+      client.Call(WireType::kHealth, JsonValue::Object(), &response).ok());
+
+  server->RequestDrain();
+  EXPECT_TRUE(server->draining());
+  JsonValue request = JsonValue::Object();
+  request.Set("shards", ShardsArray({0}));
+  request.Set("method", JsonValue::Str("TW-Sim-Search"));
+  request.Set("epsilon", JsonValue::Double(0.1));
+  request.Set("query", SequenceToJson(sharded_->shard(0).dataset()[0]));
+  EXPECT_EQ(client.Call(WireType::kRange, request, &response).code(),
+            StatusCode::kUnavailable);
+  server->WaitIdle();
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace warpindex
