@@ -19,7 +19,9 @@
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/table_printer.h"
+#include "common/status.h"
 #include "exec/query_executor.h"
+#include "obs/profiler.h"
 #include "sequence/random_walk_generator.h"
 
 namespace warpindex {
@@ -34,6 +36,7 @@ int Run(int argc, char** argv) {
   std::string thread_list = "1,2,4,8";
   int64_t repeat = 3;  // best-of, to damp scheduler noise
   std::string metrics_json;
+  int64_t profile_hz = 0;
 
   FlagSet flags("micro_throughput");
   flags.AddInt64("n", &num_sequences, "number of sequences");
@@ -45,8 +48,23 @@ int Run(int argc, char** argv) {
   flags.AddInt64("repeat", &repeat, "batch repetitions (best qps kept)");
   flags.AddString("metrics_json", &metrics_json,
                   "also write one JSON line per thread count to this file");
+  flags.AddInt64("profile_hz", &profile_hz,
+                 "run the whole sweep under the SIGPROF sampling profiler "
+                 "at this rate, to measure its overhead (0 = off)");
   if (!flags.Parse(argc, argv)) {
     return 1;
+  }
+  if (profile_hz > 0) {
+    ProfileOptions profile_options;
+    profile_options.hz = static_cast<int>(profile_hz);
+    // Oversize the ring so a long sweep never hits the drop path; the
+    // point here is steady-state handler overhead, not the profile.
+    profile_options.max_samples = 1 << 20;
+    const Status status = CpuProfiler::Global().Start(profile_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--profile_hz: %s\n", status.ToString().c_str());
+      return 1;
+    }
   }
   MethodKind kind = MethodKind::kTwSimSearch;
   if (method == "naive") {
@@ -139,6 +157,16 @@ int Run(int argc, char** argv) {
   if (json != nullptr) {
     std::fclose(json);
     std::printf("\nwrote JSON lines to %s\n", metrics_json.c_str());
+  }
+  if (profile_hz > 0) {
+    Profile profile;
+    if (CpuProfiler::Global().Stop(&profile).ok()) {
+      std::printf("\nprofiler: %llu samples at %d Hz (%llu dropped) over "
+                  "the sweep\n",
+                  static_cast<unsigned long long>(profile.samples),
+                  profile.hz,
+                  static_cast<unsigned long long>(profile.dropped));
+    }
   }
   std::printf(
       "\nexpected shape: near-linear qps scaling while threads <= physical "

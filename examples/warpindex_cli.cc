@@ -57,6 +57,8 @@
 #include "exec/introspection.h"
 #include "ingest/ingest_engine.h"
 #include "exec/query_executor.h"
+#include "obs/profiler.h"
+#include "net/fleet.h"
 #include "net/router.h"
 #include "net/serialize.h"
 #include "net/shard_server.h"
@@ -215,6 +217,63 @@ void HandleStopSignal(int /*signum*/) { g_stop_requested = 1; }
 // `serve` subcommand: batch-mode serving path. Loads a database, builds
 // the index once, then runs a query workload through the concurrent
 // QueryExecutor and reports throughput and latency percentiles. With
+// --profile_out support: samples the whole command with the SIGPROF
+// profiler (obs/profiler.h) and writes the profile on any exit path.
+// The extension picks the format: .json = speedscope, anything else =
+// collapsed-stack text for flamegraph.pl / inferno.
+class ScopedCliProfile {
+ public:
+  ScopedCliProfile(std::string path, int hz) : path_(std::move(path)) {
+    if (path_.empty()) {
+      return;
+    }
+    ProfileOptions options;
+    options.hz = hz;
+    const Status status = CpuProfiler::Global().Start(options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--profile_out: %s\n", status.ToString().c_str());
+      return;
+    }
+    armed_ = true;
+  }
+
+  ~ScopedCliProfile() {
+    if (!armed_) {
+      return;
+    }
+    Profile profile;
+    const Status status = CpuProfiler::Global().Stop(&profile);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--profile_out: %s\n", status.ToString().c_str());
+      return;
+    }
+    const bool speedscope =
+        path_.size() >= 5 &&
+        path_.compare(path_.size() - 5, 5, ".json") == 0;
+    const std::string body =
+        speedscope ? profile.SpeedscopeJson() : profile.FoldedText();
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "--profile_out: cannot write %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("wrote CPU profile to %s (%llu samples at %d Hz, %s)\n",
+                path_.c_str(),
+                static_cast<unsigned long long>(profile.samples), profile.hz,
+                speedscope ? "speedscope JSON" : "collapsed stacks");
+  }
+
+  ScopedCliProfile(const ScopedCliProfile&) = delete;
+  ScopedCliProfile& operator=(const ScopedCliProfile&) = delete;
+
+ private:
+  std::string path_;
+  bool armed_ = false;
+};
+
 // --http_port it also runs the live introspection server (/metrics,
 // /statusz, /slowlog, /flightrecorder; see docs/OBSERVABILITY.md) and
 // --linger_s keeps it scrapeable after the batches finish.
@@ -245,6 +304,8 @@ int RunServe(int argc, char** argv) {
   int64_t ingest_delete_every = 7;
   double ingest_rate = 0.0;
   int64_t ingest_compact_entries = 128;
+  std::string profile_out;
+  int64_t profile_hz = 99;
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -306,9 +367,16 @@ int RunServe(int argc, char** argv) {
   flags.AddInt64("ingest_compact_entries", &ingest_compact_entries,
                  "--ingest: delta entries per shard that trigger a "
                  "background compaction");
+  flags.AddString("profile_out", &profile_out,
+                  "sample the whole run with the SIGPROF CPU profiler and "
+                  "write the profile here (.json = speedscope, otherwise "
+                  "collapsed stacks)");
+  flags.AddInt64("profile_hz", &profile_hz,
+                 "--profile_out sampling rate per CPU-second");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ScopedCliProfile profile(profile_out, static_cast<int>(profile_hz));
   if (ingest && (ingest_writes < 0 || ingest_compact_entries <= 0)) {
     std::fprintf(stderr,
                  "--ingest_writes must be >= 0 and "
@@ -747,9 +815,12 @@ int RunServe(int argc, char** argv) {
   }
 
   if (show_metrics) {
+    const BuildInfo build_info = GetBuildInfo();
+    const ProcessSelfMetrics process = CollectProcessSelfMetrics();
     std::printf(
         "\n== metrics snapshot ==\n%s",
-        MetricsToPrometheusText(engine.get()->metrics().TakeSnapshot())
+        MetricsToPrometheusText(engine.get()->metrics().TakeSnapshot(),
+                                &build_info, &process)
             .c_str());
   }
 
@@ -1098,6 +1169,11 @@ int RunRoute(int argc, char** argv) {
                   "per-client admission quota in queries/s (0 = unmetered)");
   flags.AddInt64("max_inflight", &max_inflight,
                  "shed queries beyond this many concurrent (0 = uncapped)");
+  int64_t fleet_poll_ms = 0;
+  flags.AddInt64("fleet_poll_ms", &fleet_poll_ms,
+                 "background fleet STATS poll period in ms "
+                 "(0 = poll only when /metrics?fleet=1 or /fleetz is "
+                 "scraped)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -1150,6 +1226,15 @@ int RunRoute(int argc, char** argv) {
   SlowQueryLog slow_log(32);
   options.flight_recorder = &flight_recorder;
   options.slow_log = &slow_log;
+
+  // Fleet federation (net/fleet.h): the poller dials the same replica
+  // endpoints the router scatter-gathers over and backs
+  // /metrics?fleet=1 and /fleetz on the introspection server.
+  FleetPollerOptions fleet_options;
+  fleet_options.groups = options.groups;
+  fleet_options.call_timeout_ms = static_cast<int>(call_timeout_ms);
+  fleet_options.poll_interval_ms = static_cast<int>(fleet_poll_ms);
+  FleetPoller fleet_poller(std::move(fleet_options));
 
   std::unique_ptr<Router> router;
   Status status = Router::Create(std::move(options), &router);
@@ -1245,8 +1330,12 @@ int RunRoute(int argc, char** argv) {
   if (http_port >= 0) {
     RegisterIntrospectionRoutes(
         &http, IntrospectionOptions{.router = router.get(),
+                                    .fleet = &fleet_poller,
                                     .flight_recorder = &flight_recorder,
                                     .slow_log = &slow_log});
+    if (fleet_poll_ms > 0) {
+      (void)fleet_poller.Start();
+    }
     status = http.Start();
     if (!status.ok()) {
       std::fprintf(stderr, "cannot start introspection server: %s\n",
@@ -1545,9 +1634,18 @@ int Run(int argc, char** argv) {
                  "engines with scatter-gather fan-out (1 = unsharded)");
   flags.AddString("partition", &partition,
                   "--shards>1 partitioner: hash | range");
+  std::string profile_out;
+  int64_t profile_hz = 99;
+  flags.AddString("profile_out", &profile_out,
+                  "sample the whole run with the SIGPROF CPU profiler and "
+                  "write the profile here (.json = speedscope, otherwise "
+                  "collapsed stacks)");
+  flags.AddInt64("profile_hz", &profile_hz,
+                 "--profile_out sampling rate per CPU-second");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
+  ScopedCliProfile profile(profile_out, static_cast<int>(profile_hz));
   MethodKind method_kind;
   if (!ParseMethod(method, &method_kind)) {
     return 1;
@@ -1727,8 +1825,12 @@ int Run(int argc, char** argv) {
   }
 
   if (stats_mode) {
+    const BuildInfo build_info = GetBuildInfo();
+    const ProcessSelfMetrics process = CollectProcessSelfMetrics();
     std::printf("\n== metrics snapshot ==\n%s",
-                MetricsToPrometheusText(engine.metrics().TakeSnapshot()).c_str());
+                MetricsToPrometheusText(engine.metrics().TakeSnapshot(),
+                                        &build_info, &process)
+                    .c_str());
   }
   return 0;
 }

@@ -1,7 +1,10 @@
-// Wall-clock timer for benchmark harnesses.
+// Wall-clock and thread-CPU timers for benchmark harnesses and the
+// per-query cost model.
 
 #ifndef WARPINDEX_COMMON_TIMER_H_
 #define WARPINDEX_COMMON_TIMER_H_
+
+#include <ctime>
 
 #include <chrono>
 
@@ -23,6 +26,37 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Measures CPU time consumed by the *calling thread* since construction
+// or the last Reset() (CLOCK_THREAD_CPUTIME_ID). Unlike wall time this
+// excludes blocking — a thread parked on a condition variable accrues
+// none — so summing it across workers gives machine work, not elapsed
+// time. The timer is only meaningful when Reset/Elapsed run on the same
+// thread; it must not be shared across threads.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Reset(); }
+
+  void Reset() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  // Absolute thread-CPU reading in seconds (for callers pairing begin/end
+  // readings across scopes, e.g. the trace span stack).
+  static double Now() {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+      return 0.0;
+    }
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  double start_ = 0.0;
 };
 
 }  // namespace warpindex

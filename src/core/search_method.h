@@ -44,10 +44,21 @@ struct SearchCost {
   uint64_t pool_misses = 0;
   // Measured wall-clock time of the query on the actual machine.
   double wall_ms = 0.0;
+  // Thread-CPU time (CLOCK_THREAD_CPUTIME_ID) spent on the query, summed
+  // across every thread that worked on it. On a single-threaded query
+  // cpu_ms <= wall_ms (the difference is blocking and scheduling); on a
+  // parallel query cpu_ms routinely EXCEEDS wall_ms, because concurrent
+  // workers each burn CPU while only the critical path elapses. The
+  // wall/CPU skew per stage is what tells a vectorization effort where
+  // the cycles actually are (vs. where the waiting is).
+  double cpu_ms = 0.0;
   // Where wall_ms went, stage by stage (rtree_search, candidate_fetch,
   // dtw_postfilter, ...). Stages do not cover setup overhead, so their
   // sum is slightly below wall_ms.
   StageTimings stages;
+  // Where cpu_ms went, stage by stage — same stage names as `stages`, so
+  // every wall entry has a CPU sibling under the same key.
+  StageTimings stages_cpu;
   // Candidates-in / candidates-pruned per filtering stage (populated by
   // methods with a filter pipeline; empty otherwise).
   StageCounters prunes;
@@ -62,7 +73,9 @@ struct SearchCost {
     pool_hits += other.pool_hits;
     pool_misses += other.pool_misses;
     wall_ms += other.wall_ms;
+    cpu_ms += other.cpu_ms;
     stages.Merge(other.stages);
+    stages_cpu.Merge(other.stages_cpu);
     prunes.Merge(other.prunes);
   }
 
@@ -73,6 +86,10 @@ struct SearchCost {
   // additive, but wall time takes the max, because concurrent sub-queries
   // overlap and only the critical path elapses. Summing wall here would
   // double-count: K shards at 1 ms each finish in ~1 ms, not K ms.
+  // CPU time is machine work like the counters, so it stays additive
+  // even here: K workers each burning 1 ms of CPU really did consume
+  // K ms of CPU, which is exactly the wall-vs-CPU skew the attribution
+  // exists to expose.
   void MergeParallel(const SearchCost& other) {
     const double critical_path_ms = std::max(wall_ms, other.wall_ms);
     Merge(other);

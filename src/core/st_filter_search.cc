@@ -10,6 +10,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
                                         double epsilon, Trace* trace,
                                         DtwScratch* scratch) const {
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   SearchResult result;
   DtwScratch local_scratch;
   if (scratch == nullptr) {
@@ -18,7 +19,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
 
   std::vector<SequenceId> candidates;
   {
-    StageTimer stage(&result.cost.stages, trace, kStageStFilter);
+    StageTimer stage(&result.cost.stages, &result.cost.stages_cpu, trace, kStageStFilter);
     StFilterQueryStats st_stats;
     candidates = filter_->FindCandidates(query, epsilon, &st_stats);
     result.cost.index_nodes = st_stats.nodes_visited;
@@ -33,7 +34,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
 
   std::vector<Sequence> fetched;
   {
-    StageTimer stage(&result.cost.stages, trace, kStageCandidateFetch);
+    StageTimer stage(&result.cost.stages, &result.cost.stages_cpu, trace, kStageCandidateFetch);
     fetched.reserve(candidates.size());
     for (const SequenceId id : candidates) {
       if (!store_->IsLive(id)) {
@@ -44,7 +45,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
   }
 
   {
-    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    StageTimer stage(&result.cost.stages, &result.cost.stages_cpu, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
       ++result.cost.dtw_evals;
       const DtwResult d =
@@ -58,6 +59,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
                  static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms = cpu_timer.ElapsedMillis();
   return result;
 }
 

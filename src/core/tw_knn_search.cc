@@ -14,6 +14,7 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
   assert(!query.empty());
   assert(k >= 1);
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   KnnResult result;
 
   const FeatureVector qf = ExtractFeature(query);
@@ -49,12 +50,18 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
   double descent_ms = 0.0;
   double fetch_ms = 0.0;
   double refine_ms = 0.0;
+  double descent_cpu_ms = 0.0;
+  double fetch_cpu_ms = 0.0;
+  double refine_cpu_ms = 0.0;
   WallTimer per_item;
+  ThreadCpuTimer per_item_cpu;
   RTree::Neighbor candidate;
   while (true) {
     per_item.Reset();
+    per_item_cpu.Reset();
     const bool has_next = it.Next(&candidate);
     descent_ms += per_item.ElapsedMillis();
+    descent_cpu_ms += per_item_cpu.ElapsedMillis();
     if (!has_next) {
       break;
     }
@@ -66,11 +73,14 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
       break;
     }
     per_item.Reset();
+    per_item_cpu.Reset();
     const Sequence s =
         store_->Fetch(candidate.record_id, &result.cost.io, trace);
     fetch_ms += per_item.ElapsedMillis();
+    fetch_cpu_ms += per_item_cpu.ElapsedMillis();
     ++result.num_refined;
     per_item.Reset();
+    per_item_cpu.Reset();
     const double threshold = cutoff();
     DtwResult d;
     if (threshold < kInfiniteDistance) {
@@ -81,6 +91,7 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
       d = dtw_.Distance(s, query);
     }
     refine_ms += per_item.ElapsedMillis();
+    refine_cpu_ms += per_item_cpu.ElapsedMillis();
     result.cost.dtw_cells += d.cells;
     const KnnMatch match{candidate.record_id, d.distance};
     if (top_k.size() < k) {
@@ -98,6 +109,9 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
   result.cost.stages.Add(kStageRtreeSearch, descent_ms);
   result.cost.stages.Add(kStageCandidateFetch, fetch_ms);
   result.cost.stages.Add(kStageKnnRefine, refine_ms);
+  result.cost.stages_cpu.Add(kStageRtreeSearch, descent_cpu_ms);
+  result.cost.stages_cpu.Add(kStageCandidateFetch, fetch_cpu_ms);
+  result.cost.stages_cpu.Add(kStageKnnRefine, refine_cpu_ms);
   TraceCounter(trace, "refined", static_cast<double>(result.num_refined));
   TraceCounter(trace, "dtw_cells",
                static_cast<double>(result.cost.dtw_cells));
@@ -112,6 +126,7 @@ KnnResult TwKnnSearch::Search(const Sequence& query, size_t k, Trace* trace,
     top_k.pop();
   }
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms = cpu_timer.ElapsedMillis();
   return result;
 }
 

@@ -23,7 +23,7 @@ std::vector<Sequence> TwSimSearch::FilterAndFetch(const Sequence& query,
   }
   std::vector<SequenceId> candidates;
   {
-    StageTimer stage(&result->cost.stages, trace, kStageRtreeSearch);
+    StageTimer stage(&result->cost.stages, &result->cost.stages_cpu, trace, kStageRtreeSearch);
     candidates = index_->RangeQuery(query_feature, epsilon, &rstats, trace);
     result->cost.index_nodes = rstats.nodes_accessed;
     if (index_pool_ != nullptr) {
@@ -44,7 +44,7 @@ std::vector<Sequence> TwSimSearch::FilterAndFetch(const Sequence& query,
   // Step-5: read the candidate sequences from the store.
   std::vector<Sequence> fetched;
   {
-    StageTimer stage(&result->cost.stages, trace, kStageCandidateFetch);
+    StageTimer stage(&result->cost.stages, &result->cost.stages_cpu, trace, kStageCandidateFetch);
     fetched.reserve(candidates.size());
     for (const SequenceId id : candidates) {
       fetched.push_back(store_->Fetch(id, &result->cost.io, trace));
@@ -57,6 +57,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
                                      Trace* trace,
                                      DtwScratch* scratch) const {
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   SearchResult result;
   DtwScratch local_scratch;
   if (scratch == nullptr) {
@@ -69,7 +70,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
   // Optional LB_Yi cascade: discard candidates the O(n) bound already
   // rules out (LB_Yi <= D_tw, so answers are unchanged).
   if (lb_cascade_) {
-    StageTimer stage(&result.cost.stages, trace, kStageLbYiCascade);
+    StageTimer stage(&result.cost.stages, &result.cost.stages_cpu, trace, kStageLbYiCascade);
     const Envelope query_env = ComputeEnvelope(query);
     const size_t in = fetched.size();
     size_t kept = 0;
@@ -91,7 +92,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
 
   // Step-4..7: post-processing with the exact time-warping distance.
   {
-    StageTimer stage(&result.cost.stages, trace, kStageDtwPostfilter);
+    StageTimer stage(&result.cost.stages, &result.cost.stages_cpu, trace, kStageDtwPostfilter);
     for (const Sequence& s : fetched) {
       ++result.cost.dtw_evals;
       const DtwResult d =
@@ -107,6 +108,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
                  static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms = cpu_timer.ElapsedMillis();
   return result;
 }
 

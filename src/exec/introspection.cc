@@ -1,5 +1,9 @@
 #include "exec/introspection.h"
 
+#include <cstdlib>
+
+#include "obs/profiler.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -152,6 +156,7 @@ std::string CompletedTraceJson(const CompletedTrace& trace) {
   out += ",\"query_length\":" + std::to_string(trace.query_length);
   out += ",\"matches\":" + std::to_string(trace.matches);
   out += ",\"wall_ms\":" + Num(trace.wall_ms);
+  out += ",\"cpu_ms\":" + Num(trace.cpu_ms);
   out += std::string(",\"errored\":") + (trace.errored ? "true" : "false");
   out += ",\"keep\":" + JsonEscape(TraceKeepName(trace.keep));
   size_t shards = 0;
@@ -316,8 +321,9 @@ std::string ShardServerJson(const ShardServer& server) {
   return out;
 }
 
-// "id=<hex>" from a /tracez query string, or empty.
-std::string TraceIdParam(const std::string& query) {
+// "<key>=<value>" from a query string, or empty when absent.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  const std::string prefix = key + "=";
   size_t pos = 0;
   while (pos < query.size()) {
     size_t end = query.find('&', pos);
@@ -325,12 +331,42 @@ std::string TraceIdParam(const std::string& query) {
       end = query.size();
     }
     const std::string param = query.substr(pos, end - pos);
-    if (param.rfind("id=", 0) == 0) {
-      return param.substr(3);
+    if (param.rfind(prefix, 0) == 0) {
+      return param.substr(prefix.size());
     }
     pos = end + 1;
   }
   return "";
+}
+
+// "id=<hex>" from a /tracez query string, or empty.
+std::string TraceIdParam(const std::string& query) {
+  return QueryParam(query, "id");
+}
+
+// Strict numeric parses for /profilez: the whole string must be the
+// number (a trailing "abc" is a 400, not silently ignored).
+bool ParseDoubleParam(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseIntParam(const std::string& text, int* out) {
+  double value = 0.0;
+  if (!ParseDoubleParam(text, &value) ||
+      value != static_cast<double>(static_cast<int>(value))) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
 }
 
 // The registry behind whichever engine flavor is being served.
@@ -534,15 +570,30 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
     return HttpResponse{.body = "ok\n"};
   });
 
-  server->Handle("/metrics", [options](const HttpRequest&) {
+  server->Handle("/metrics", [options](const HttpRequest& request) {
     HttpResponse response;
     response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    // ?fleet=1 on a router: the federated page (per-replica instance
+    // labels + fleet sums) instead of this process's own registry.
+    if (QueryParam(request.query, "fleet") == "1") {
+      if (options.fleet == nullptr) {
+        response.status = 400;
+        response.content_type = "text/plain";
+        response.body = "fleet=1 requires a router with a fleet poller\n";
+        return response;
+      }
+      response.body = options.fleet->FleetMetricsText();
+      return response;
+    }
     MetricsRegistry* registry = RegistryOf(options);
     const BuildInfo build = GetBuildInfo();
+    const ProcessSelfMetrics process = CollectProcessSelfMetrics();
     response.body =
         registry != nullptr
-            ? MetricsToPrometheusText(registry->TakeSnapshot(), &build)
-            : MetricsToPrometheusText(MetricsRegistry::Snapshot{}, &build);
+            ? MetricsToPrometheusText(registry->TakeSnapshot(), &build,
+                                      &process)
+            : MetricsToPrometheusText(MetricsRegistry::Snapshot{}, &build,
+                                      &process);
     return response;
   });
 
@@ -575,6 +626,66 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
             : std::vector<FlightRecord>{});
     return response;
   });
+
+  server->Handle("/profilez", [](const HttpRequest& request) {
+    HttpResponse response;
+    // ?seconds=N&hz=M&format=speedscope|folded. Sampling blocks this
+    // handler thread for the window; serving continues meanwhile.
+    double seconds = 5.0;
+    int hz = 99;
+    const std::string seconds_param = QueryParam(request.query, "seconds");
+    const std::string hz_param = QueryParam(request.query, "hz");
+    const std::string format = QueryParam(request.query, "format");
+    if (!seconds_param.empty() &&
+        !ParseDoubleParam(seconds_param, &seconds)) {
+      response.status = 400;
+      response.content_type = "text/plain";
+      response.body = "invalid seconds parameter\n";
+      return response;
+    }
+    if (!hz_param.empty() && !ParseIntParam(hz_param, &hz)) {
+      response.status = 400;
+      response.content_type = "text/plain";
+      response.body = "invalid hz parameter\n";
+      return response;
+    }
+    if (!format.empty() && format != "speedscope" && format != "folded") {
+      response.status = 400;
+      response.content_type = "text/plain";
+      response.body = "format must be speedscope or folded\n";
+      return response;
+    }
+    Profile profile;
+    const Status status =
+        CpuProfiler::Global().Collect(seconds, hz, &profile);
+    if (!status.ok()) {
+      // A profile already in flight is a conflict; bad parameters and
+      // unsupported platforms are the client's problem.
+      response.status =
+          status.code() == StatusCode::kFailedPrecondition ? 409 : 400;
+      response.content_type = "text/plain";
+      response.body = std::string(status.message()) + "\n";
+      return response;
+    }
+    if (format == "folded") {
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = profile.FoldedText();
+    } else {
+      response.content_type = "application/json";
+      response.body = profile.SpeedscopeJson();
+    }
+    return response;
+  });
+
+  if (options.fleet != nullptr) {
+    FleetPoller* fleet = options.fleet;
+    server->Handle("/fleetz", [fleet](const HttpRequest&) {
+      HttpResponse response;
+      response.content_type = "application/json";
+      response.body = fleet->FleetzJson();
+      return response;
+    });
+  }
 
   server->Handle("/tracez", [options](const HttpRequest& request) {
     HttpResponse response;

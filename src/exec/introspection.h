@@ -36,6 +36,7 @@
 #include "core/engine.h"
 #include "exec/query_executor.h"
 #include "ingest/ingest_engine.h"
+#include "net/fleet.h"
 #include "net/router.h"
 #include "net/shard_server.h"
 #include "obs/exporters.h"  // kWarpIndexVersion, GetBuildInfo
@@ -69,6 +70,10 @@ struct IntrospectionOptions {
   // multi-process smoke test can scrape any process the same way.
   const Router* router = nullptr;
   const ShardServer* shard_server = nullptr;
+  // Fleet federation (router processes; net/fleet.h). When set,
+  // /metrics?fleet=1 renders the aggregated fleet page and /fleetz the
+  // per-replica liveness rows. Mutable: rendering may trigger a poll.
+  FleetPoller* fleet = nullptr;
   const QueryExecutor* executor = nullptr;  // optional
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;
@@ -76,8 +81,9 @@ struct IntrospectionOptions {
   const TraceStore* trace_store = nullptr;
 };
 
-// Registers /healthz, /metrics, /statusz, /slowlog, /flightrecorder, and
-// /tracez on `server` (call before Start()). All pointers in `options`
+// Registers /healthz, /metrics, /statusz, /slowlog, /flightrecorder,
+// /tracez, and /profilez on `server` (call before Start()), plus
+// /fleetz when `options.fleet` is set. All pointers in `options`
 // are borrowed and must outlive the server. Null optionals render as
 // JSON null in /statusz; /slowlog, /flightrecorder, and /tracez answer
 // 404-free with an empty record list (except /tracez?id=<hex>, which is

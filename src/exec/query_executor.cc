@@ -96,8 +96,10 @@ SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
     trace = &*local;
   }
   std::optional<WallTimer> timer;
+  std::optional<ThreadCpuTimer> cpu_timer;
   if (trace != nullptr) {
     timer.emplace();
+    cpu_timer.emplace();
   }
   SearchResult result;
   try {
@@ -108,13 +110,13 @@ SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
     // offerable — errored traces are exactly what tail sampling keeps.
     if (trace != nullptr) {
       OfferTrace(kind, query, epsilon, *trace, 0, timer->ElapsedMillis(),
-                 /*errored=*/true);
+                 cpu_timer->ElapsedMillis(), /*errored=*/true);
     }
     throw;
   }
   if (trace != nullptr) {
     OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
-               result.cost.wall_ms, /*errored=*/false);
+               result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
   }
   RecordFlight(kind, query, epsilon, result,
                trace != nullptr ? trace->trace_id() : 0);
@@ -124,7 +126,7 @@ SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
 void QueryExecutor::OfferTrace(MethodKind kind, const Sequence& query,
                                double epsilon, const Trace& trace,
                                size_t matches, double wall_ms,
-                               bool errored) const {
+                               double cpu_ms, bool errored) const {
   if (options_.trace_store == nullptr) {
     return;
   }
@@ -134,6 +136,7 @@ void QueryExecutor::OfferTrace(MethodKind kind, const Sequence& query,
   completed.query_length = query.size();
   completed.matches = matches;
   completed.wall_ms = wall_ms;
+  completed.cpu_ms = cpu_ms;
   completed.errored = errored;
   completed.trace = trace;  // copy: the caller may still own the original
   options_.trace_store->Offer(std::move(completed));
@@ -153,12 +156,14 @@ void QueryExecutor::RecordFlight(MethodKind kind, const Sequence& query,
   record.matches = result.matches.size();
   record.num_candidates = result.num_candidates;
   record.wall_ms = result.cost.wall_ms;
+  record.cpu_ms = result.cost.cpu_ms;
   record.dtw_evals = result.cost.dtw_evals;
   record.dtw_cells = result.cost.dtw_cells;
   record.index_nodes = result.cost.index_nodes;
   record.pool_hits = result.cost.pool_hits;
   record.pool_misses = result.cost.pool_misses;
   record.stage_ms = result.cost.stages;
+  record.stage_cpu_ms = result.cost.stages_cpu;
   record.prunes = result.cost.prunes;
   if (options_.slow_log != nullptr) {
     options_.slow_log->Record(record);
@@ -264,6 +269,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                                            double epsilon, Trace* trace,
                                            bool use_cascade) {
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   SearchResult result;
   queries_total_->Increment();
   inflight_->Increment();
@@ -289,7 +295,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                                  CurrentWorkerScratch());
     if (trace != nullptr) {
       OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
-                 result.cost.wall_ms, /*errored=*/false);
+                 result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
     }
     RecordFlight(kind, query, epsilon, result,
                  trace != nullptr ? trace->trace_id() : 0);
@@ -316,6 +322,15 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
 
     ScopedSpan dtw_span(trace, kStageDtwPostfilter);
     WallTimer dtw_timer;
+    ThreadCpuTimer dtw_cpu_timer;
+    // CPU burnt in the DTW post-filter across all participating threads.
+    // On the sequential path this is just the caller's delta; the chunked
+    // path sums the per-chunk readings (helper CPU the caller's own
+    // thread clock cannot see).
+    double dtw_cpu_ms = 0.0;
+    // Helper-thread CPU to fold into the query total (the caller's share
+    // is already inside cpu_timer).
+    double helper_cpu_ms = 0.0;
     const size_t dtw_in = fetched.size();
     result.cost.dtw_evals += dtw_in;
     if (num_chunks <= 1) {
@@ -330,6 +345,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
           result.matches.push_back(s.id());
         }
       }
+      dtw_cpu_ms = dtw_cpu_timer.ElapsedMillis();
     } else {
       // Shared chunk cursor. The context is a shared_ptr so a straggler
       // helper task that runs after this call returned (every chunk
@@ -344,6 +360,8 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
         // Indexed by chunk: outputs stay in candidate order.
         std::vector<std::vector<SequenceId>> chunk_matches;
         std::vector<uint64_t> chunk_cells;
+        // Thread-CPU ms burnt per chunk (each chunk runs on one thread).
+        std::vector<double> chunk_cpu_ms;
         std::atomic<size_t> next{0};
         std::atomic<size_t> done{0};
         std::mutex mu;
@@ -358,6 +376,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
       ctx->num_chunks = num_chunks;
       ctx->chunk_matches.resize(num_chunks);
       ctx->chunk_cells.resize(num_chunks, 0);
+      ctx->chunk_cpu_ms.resize(num_chunks, 0.0);
 
       auto work = [ctx]() {
         DtwScratch scratch;  // one per participating thread
@@ -370,6 +389,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
           const size_t end =
               std::min(ctx->fetched.size(), begin + ctx->chunk_size);
           std::vector<SequenceId>& matches = ctx->chunk_matches[c];
+          ThreadCpuTimer chunk_cpu;
           uint64_t cells = 0;
           for (size_t i = begin; i < end; ++i) {
             const DtwResult d = ctx->dtw.DistanceWithThreshold(
@@ -380,6 +400,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
             }
           }
           ctx->chunk_cells[c] = cells;
+          ctx->chunk_cpu_ms[c] = chunk_cpu.ElapsedMillis();
           if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
               ctx->num_chunks) {
             std::lock_guard<std::mutex> lock(ctx->mu);
@@ -395,7 +416,9 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
       for (size_t i = 0; i < helpers; ++i) {
         pool_.TrySubmitDetached(work);
       }
+      ThreadCpuTimer caller_chunk_cpu;
       work();
+      const double caller_chunk_cpu_ms = caller_chunk_cpu.ElapsedMillis();
       {
         std::unique_lock<std::mutex> lock(ctx->mu);
         ctx->all_done.wait(lock, [&ctx]() {
@@ -406,14 +429,18 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
 
       for (size_t c = 0; c < num_chunks; ++c) {
         result.cost.dtw_cells += ctx->chunk_cells[c];
+        dtw_cpu_ms += ctx->chunk_cpu_ms[c];
         result.matches.insert(result.matches.end(),
                               ctx->chunk_matches[c].begin(),
                               ctx->chunk_matches[c].end());
       }
+      helper_cpu_ms = std::max(0.0, dtw_cpu_ms - caller_chunk_cpu_ms);
     }
     const double dtw_ms = dtw_timer.ElapsedMillis();
     const size_t dtw_pruned = dtw_in - result.matches.size();
     result.cost.stages.Add(kStageDtwPostfilter, dtw_ms);
+    result.cost.stages_cpu.Add(kStageDtwPostfilter, dtw_cpu_ms);
+    result.cost.cpu_ms += helper_cpu_ms;
     result.cost.prunes.Record(kStageDtwPostfilter, dtw_in, dtw_pruned);
     if (use_cascade) {
       obs.dtw.in += dtw_in;
@@ -425,11 +452,14 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
                  static_cast<double>(result.cost.dtw_cells));
   }
   result.cost.wall_ms = timer.ElapsedMillis();
+  // Caller CPU (cascade + its own chunk share + merge) plus the helper
+  // CPU folded in above.
+  result.cost.cpu_ms += cpu_timer.ElapsedMillis();
   const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
                                       : MethodKind::kTwSimSearch;
   if (trace != nullptr) {
     OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
-               result.cost.wall_ms, /*errored=*/false);
+               result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
   }
   RecordFlight(kind, query, epsilon, result,
                trace != nullptr ? trace->trace_id() : 0);

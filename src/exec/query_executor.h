@@ -196,7 +196,7 @@ class QueryExecutor {
   // without a store).
   void OfferTrace(MethodKind kind, const Sequence& query, double epsilon,
                   const Trace& trace, size_t matches, double wall_ms,
-                  bool errored) const;
+                  double cpu_ms, bool errored) const;
 
   DtwScratch* CurrentWorkerScratch();
 

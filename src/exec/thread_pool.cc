@@ -1,5 +1,9 @@
 #include "exec/thread_pool.h"
 
+#include <string>
+
+#include "obs/profiler.h"
+
 #include <stdexcept>
 
 namespace warpindex {
@@ -72,6 +76,9 @@ size_t ThreadPool::queue_depth() const {
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
   tls_worker_index = static_cast<int>(worker_index);
+  // Label this worker's CPU-profile samples (obs/profiler.h) with the
+  // same identity the trace thread-tag scheme uses.
+  CpuProfiler::SetThreadTag("worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {

@@ -285,6 +285,11 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
                                       double epsilon, Trace* trace,
                                       DtwScratch* /*scratch*/) const {
   WallTimer timer;
+  // Caller-thread CPU for this layer's own prune/merge/sort work. CPU the
+  // caller spends inside the fan-out (executing sub-tasks) is already in
+  // the per-partition costs, so that window is subtracted out.
+  ThreadCpuTimer cpu_timer;
+  double fanout_caller_cpu_ms = 0.0;
   const QuerySnapshot snap = AcquireSnapshot();
   const FeatureVector qfeat = ExtractFeature(query);
   const Point feature_point = QueryFeaturePoint(qfeat);
@@ -324,6 +329,7 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
     if (trace != nullptr) {
       subs.assign(active.size(), Trace(trace->ContextForSpan(span.index())));
     }
+    ThreadCpuTimer fanout_cpu;
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i].part;
       DtwScratch scratch;
@@ -346,6 +352,7 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
         // survivors. Entry ids are already global; tombstoned entries are
         // not in the snapshot.
         ScopedSpan delta_span(sub, "delta_scan");
+        ThreadCpuTimer delta_cpu;
         SearchResult& delta = partials[i].delta;
         for (const DeltaEntry& entry : snap.parts[s].entries) {
           ++delta.cost.lb_evals;
@@ -367,11 +374,13 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
           sub->AddCounter("delta_matches",
                           static_cast<double>(partials[i].delta.matches.size()));
         }
+        delta.cost.cpu_ms = delta_cpu.ElapsedMillis();
       }
       if (sub != nullptr) {
         sub->EndSpan(shard_span);
       }
     });
+    fanout_caller_cpu_ms = fanout_cpu.ElapsedMillis();
     if (trace != nullptr) {
       for (const Trace& sub : subs) {
         trace->Adopt(span.index(), sub);
@@ -407,12 +416,18 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
   }
   std::sort(result.matches.begin(), result.matches.end());
   result.cost.wall_ms = timer.ElapsedMillis();
+  // This layer's own CPU on top of the per-partition CPU summed above.
+  result.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - fanout_caller_cpu_ms);
   return result;
 }
 
 KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
                                   Trace* trace) const {
   WallTimer timer;
+  // Same caller-CPU accounting as SearchWith.
+  ThreadCpuTimer cpu_timer;
+  double fanout_caller_cpu_ms = 0.0;
   const QuerySnapshot snap = AcquireSnapshot();
   const FeatureVector qfeat = ExtractFeature(query);
 
@@ -483,6 +498,7 @@ KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
     if (trace != nullptr) {
       subs.assign(active.size(), Trace(trace->ContextForSpan(span.index())));
     }
+    ThreadCpuTimer fanout_cpu;
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i];
       Trace* sub = trace != nullptr ? &subs[i] : nullptr;
@@ -507,6 +523,7 @@ KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
         sub->EndSpan(shard_span);
       }
     });
+    fanout_caller_cpu_ms = fanout_cpu.ElapsedMillis();
     if (trace != nullptr) {
       for (const Trace& sub : subs) {
         trace->Adopt(span.index(), sub);
@@ -540,6 +557,8 @@ KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
   }
   result.neighbors = std::move(merged);
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - fanout_caller_cpu_ms);
   return result;
 }
 
@@ -547,6 +566,7 @@ bool IngestEngine::CompactShard(size_t s) {
   assert(s < deltas_.size());
   std::lock_guard<std::mutex> compaction(compaction_mu_);
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
 
   Trace trace;
   const bool tracing = options_.trace_store != nullptr;
@@ -657,6 +677,7 @@ bool IngestEngine::CompactShard(size_t s) {
     CompletedTrace completed;
     completed.method = "compaction";
     completed.wall_ms = duration_ms;
+    completed.cpu_ms = cpu_timer.ElapsedMillis();
     completed.matches = frozen.entry_count;
     completed.trace = std::move(trace);
     options_.trace_store->Offer(std::move(completed));

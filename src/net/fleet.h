@@ -1,0 +1,150 @@
+// Fleet-wide metrics federation: the router-side poller that turns a
+// multi-process serving plane into one scrape target.
+//
+// Every shard server answers a STATS frame (net/wire.h, kStats) with
+// its identity plus a full metrics snapshot as JSON — the same document
+// its own /metrics endpoint renders. The FleetPoller calls STATS on one
+// connection per replica and keeps, per replica, the last two answers.
+// From those it derives
+//
+//   * /metrics?fleet=1 — a Prometheus text page where every counter and
+//     gauge appears twice: once per replica with an
+//     `instance="host:port"` label, and once unlabeled as the fleet sum.
+//     Histograms are merged bucket-by-bucket (identical boundaries are
+//     required and verified; replicas built from one binary always
+//     agree), so fleet-level p99s come from real merged buckets, not
+//     averaged per-replica percentiles.
+//   * /fleetz — one JSON row per LIVE replica: qps (requests_total
+//     delta between the last two polls), p99 wall and CPU of the wire
+//     query-latency histograms, hedge-relevant request/shed/error
+//     totals, and the ingest delta backlog when the replica runs an
+//     ingest engine. A replica that is draining (SIGTERM received) or
+//     that failed `drop_after_failures` consecutive polls disappears
+//     from the page — the operator view tracks who is actually serving.
+//
+// Polling is pull-on-demand with a staleness bound: each render calls
+// PollOnce() unless the last poll is fresher than min_poll_gap_ms, so
+// scraping the router is what drives fleet polls (no idle chatter), and
+// a burst of scrapes coalesces into one STATS round. Start() optionally
+// adds a background thread for deployments whose dashboards want
+// /fleetz liveness to advance without scrapes.
+//
+// Thread-safety: all public methods may race; state is guarded by one
+// mutex (STATS rounds are infrequent and small).
+
+#ifndef WARPINDEX_NET_FLEET_H_
+#define WARPINDEX_NET_FLEET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/json.h"
+#include "net/router.h"
+#include "net/wire_client.h"
+
+namespace warpindex {
+
+struct FleetPollerOptions {
+  // groups[g] = replica endpoints of shard group g (the router's own
+  // RouterOptions::groups shape).
+  std::vector<std::vector<RouterEndpoint>> groups;
+  std::string client_id = "fleet-poller";
+  // Per-STATS-call deadline.
+  int call_timeout_ms = 2000;
+  // A render triggers a fresh poll only when the last one is older than
+  // this (scrape coalescing).
+  int min_poll_gap_ms = 500;
+  // Background poll period for Start(); <= 0 disables the thread even
+  // if Start() is called.
+  int poll_interval_ms = 2000;
+  // Consecutive failed polls before a replica is dropped from /fleetz.
+  int drop_after_failures = 2;
+};
+
+class FleetPoller {
+ public:
+  explicit FleetPoller(FleetPollerOptions options);
+  ~FleetPoller();
+
+  FleetPoller(const FleetPoller&) = delete;
+  FleetPoller& operator=(const FleetPoller&) = delete;
+
+  // Starts the optional background polling thread. Idempotent.
+  Status Start();
+  void Stop();
+
+  // One synchronous STATS round over every replica (also what renders
+  // call through EnsureFresh). Safe to call without Start().
+  void PollOnce();
+
+  struct Replica {
+    size_t group = 0;
+    size_t replica = 0;
+    std::string instance;  // "host:port", the Prometheus label value
+    bool reachable = false;
+    bool draining = false;
+    int consecutive_failures = 0;
+    // Derived from the last two successful polls.
+    double qps = 0.0;
+    double p99_wall_ms = 0.0;
+    double p99_cpu_ms = 0.0;
+    uint64_t requests_total = 0;
+    uint64_t errors_total = 0;
+    uint64_t shed_total = 0;
+    // warpindex_ingest_delta_entries gauge, or -1 when the replica has
+    // no ingest engine.
+    int64_t ingest_backlog = -1;
+    // The replica's full metrics document from the latest poll.
+    JsonValue metrics;
+  };
+
+  // Every tracked replica, dropped ones included (flagged). Mostly for
+  // tests; the renderers below apply the liveness filter.
+  std::vector<Replica> Snapshot() const;
+
+  // Prometheus text: fleet sums + per-replica instance-labeled series,
+  // over replicas whose last poll succeeded.
+  std::string FleetMetricsText();
+  // /fleetz JSON: {"replicas":[...]} rows for live (reachable and not
+  // draining) replicas only, plus tracked/live counts.
+  std::string FleetzJson();
+
+  const FleetPollerOptions& options() const { return options_; }
+
+ private:
+  struct ReplicaState {
+    Replica view;
+    std::unique_ptr<WireClient> client;
+    // Last two successful polls, for the qps delta.
+    double prev_poll_s = 0.0;
+    uint64_t prev_requests_total = 0;
+    double last_poll_s = 0.0;
+    uint64_t last_requests_total = 0;
+  };
+
+  // Re-polls if the newest data is older than min_poll_gap_ms.
+  void EnsureFresh();
+  void PollLoop();
+
+  FleetPollerOptions options_;
+  // Serializes STATS rounds; held during network I/O. mu_ guards the
+  // replica views and is only held for short copies, so renders never
+  // wait on a dead replica's timeout.
+  mutable std::mutex poll_mu_;
+  mutable std::mutex mu_;
+  std::vector<ReplicaState> replicas_;
+  double last_round_s_ = 0.0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_NET_FLEET_H_

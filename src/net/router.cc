@@ -495,12 +495,14 @@ void Router::RecordSubFlight(const char* method, double epsilon,
   record.matches = matches;
   record.num_candidates = num_candidates;
   record.wall_ms = outcome.wall_ms;  // client-observed, feeds the hedge p99
+  record.cpu_ms = cost.cpu_ms;  // remote thread-CPU, from the wire cost
   record.dtw_evals = cost.dtw_evals;
   record.dtw_cells = cost.dtw_cells;
   record.index_nodes = cost.index_nodes;
   record.pool_hits = cost.pool_hits;
   record.pool_misses = cost.pool_misses;
   record.stage_ms = cost.stages;
+  record.stage_cpu_ms = cost.stages_cpu;
   record.prunes = cost.prunes;
   record.shard = static_cast<int32_t>(group);
   record.replica = outcome.replica;
@@ -522,12 +524,14 @@ void Router::RecordMergedFlight(const char* method, double epsilon,
   record.matches = matches;
   record.num_candidates = num_candidates;
   record.wall_ms = cost.wall_ms;
+  record.cpu_ms = cost.cpu_ms;
   record.dtw_evals = cost.dtw_evals;
   record.dtw_cells = cost.dtw_cells;
   record.index_nodes = cost.index_nodes;
   record.pool_hits = cost.pool_hits;
   record.pool_misses = cost.pool_misses;
   record.stage_ms = cost.stages;
+  record.stage_cpu_ms = cost.stages_cpu;
   record.prunes = cost.prunes;
   record.shard = -1;
   if (options_.flight_recorder != nullptr) {
@@ -542,6 +546,11 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
                           double epsilon, Trace* trace,
                           SearchResult* out) const {
   WallTimer timer;
+  // Router-side CPU (pruning, request building, response parsing, merge,
+  // sort). The remote servers' CPU arrives in the wire costs and is
+  // summed by MergeParallel; the io_pool legs spend their time blocked
+  // on the network, so the caller thread's CPU is strictly additive.
+  ThreadCpuTimer cpu_timer;
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (queries_counter_ != nullptr) {
     queries_counter_->Increment();
@@ -644,6 +653,7 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
   // Canonical answer order, as in-process: ascending global id.
   std::sort(merged.matches.begin(), merged.matches.end());
   merged.cost.wall_ms = timer.ElapsedMillis();
+  merged.cost.cpu_ms += cpu_timer.ElapsedMillis();
   RecordMergedFlight(MethodKindName(kind), epsilon, query.size(),
                      merged.matches.size(), merged.num_candidates,
                      merged.cost, trace_id);
@@ -654,6 +664,8 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
 Status Router::RouteKnn(const Sequence& query, size_t k, Trace* trace,
                         KnnResult* out) const {
   WallTimer timer;
+  // Same caller-CPU accounting as RouteRange.
+  ThreadCpuTimer cpu_timer;
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (queries_counter_ != nullptr) {
     queries_counter_->Increment();
@@ -766,6 +778,7 @@ Status Router::RouteKnn(const Sequence& query, size_t k, Trace* trace,
   }
   merged.neighbors = std::move(best);
   merged.cost.wall_ms = timer.ElapsedMillis();
+  merged.cost.cpu_ms += cpu_timer.ElapsedMillis();
   RecordMergedFlight("kNN", 0.0, query.size(), merged.neighbors.size(),
                      merged.num_refined, merged.cost, trace_id);
   *out = std::move(merged);

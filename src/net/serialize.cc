@@ -74,11 +74,17 @@ JsonValue CostToJson(const SearchCost& cost) {
   json.Set("pool_misses",
            JsonValue::Int(static_cast<int64_t>(cost.pool_misses)));
   json.Set("wall_ms", JsonValue::Double(cost.wall_ms));
+  json.Set("cpu_ms", JsonValue::Double(cost.cpu_ms));
   JsonValue stages = JsonValue::Object();
   for (const auto& [stage, ms] : cost.stages.entries()) {
     stages.Set(stage, JsonValue::Double(ms));
   }
   json.Set("stages", std::move(stages));
+  JsonValue stages_cpu = JsonValue::Object();
+  for (const auto& [stage, ms] : cost.stages_cpu.entries()) {
+    stages_cpu.Set(stage, JsonValue::Double(ms));
+  }
+  json.Set("stages_cpu", std::move(stages_cpu));
   JsonValue prunes = JsonValue::Object();
   for (const auto& [stage, counts] : cost.prunes.entries()) {
     JsonValue pair = JsonValue::Array();
@@ -111,10 +117,18 @@ Status JsonToCost(const JsonValue& json, SearchCost* out) {
   out->pool_hits = static_cast<uint64_t>(json.GetInt("pool_hits", 0));
   out->pool_misses = static_cast<uint64_t>(json.GetInt("pool_misses", 0));
   out->wall_ms = json.GetDouble("wall_ms", 0.0);
+  out->cpu_ms = json.GetDouble("cpu_ms", 0.0);
   if (const JsonValue* stages = json.Find("stages");
       stages != nullptr && stages->kind() == JsonValue::Kind::kObject) {
     for (const auto& [stage, ms] : stages->members()) {
       out->stages.Add(stage, ms.AsDouble());
+    }
+  }
+  if (const JsonValue* stages_cpu = json.Find("stages_cpu");
+      stages_cpu != nullptr &&
+      stages_cpu->kind() == JsonValue::Kind::kObject) {
+    for (const auto& [stage, ms] : stages_cpu->members()) {
+      out->stages_cpu.Add(stage, ms.AsDouble());
     }
   }
   if (const JsonValue* prunes = json.Find("prunes");
@@ -140,6 +154,7 @@ JsonValue SpansToJson(const std::vector<TraceSpan>& spans) {
     item.Set("parent", JsonValue::Int(span.parent));
     item.Set("start_ms", JsonValue::Double(span.start_ms));
     item.Set("duration_ms", JsonValue::Double(span.duration_ms));
+    item.Set("cpu_ms", JsonValue::Double(span.cpu_ms));
     item.Set("shard", JsonValue::Int(span.shard));
     item.Set("tid", JsonValue::Int(static_cast<int64_t>(span.tid)));
     JsonValue counters = JsonValue::Object();
@@ -172,6 +187,7 @@ Status JsonToSpans(const JsonValue& json, std::vector<TraceSpan>* out) {
     span.parent = static_cast<int>(parent);
     span.start_ms = item.GetDouble("start_ms", 0.0);
     span.duration_ms = item.GetDouble("duration_ms", 0.0);
+    span.cpu_ms = item.GetDouble("cpu_ms", 0.0);
     span.shard = static_cast<int32_t>(item.GetInt("shard", -1));
     span.tid = static_cast<uint32_t>(item.GetInt("tid", 0));
     if (const JsonValue* counters = item.Find("counters");

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/timer.h"
+#include "obs/exporters.h"
 #include "net/serialize.h"
 #include "sequence/feature.h"
 
@@ -124,6 +125,33 @@ void ShardServer::RegisterHandlers() {
                         JsonValue* response) {
                    return HandleKnn(request, response);
                  });
+  server_.Handle(WireType::kStats,
+                 [this](const std::string&, const JsonValue& request,
+                        JsonValue* response) {
+                   return HandleStats(request, response);
+                 });
+}
+
+Status ShardServer::HandleStats(const JsonValue& /*request*/,
+                                JsonValue* response) {
+  response->Set("server", JsonValue::Str("shard-server"));
+  response->Set("group", JsonValue::Int(options_.group));
+  response->Set("replica", JsonValue::Int(options_.replica));
+  response->Set("draining", JsonValue::Bool(server_.draining()));
+  response->Set("shards",
+                JsonValue::Int(static_cast<int64_t>(engines_.size())));
+  // The same snapshot /metrics would render on this process, as a JSON
+  // object the poller can walk (counter sums, histogram bucket merges).
+  MetricsRegistry* registry = options_.server.metrics != nullptr
+                                  ? options_.server.metrics
+                                  : &MetricsRegistry::Global();
+  const ProcessSelfMetrics process = CollectProcessSelfMetrics();
+  JsonValue metrics;
+  const Status parsed = JsonValue::Parse(
+      MetricsToJson(registry->TakeSnapshot(), nullptr, &process), &metrics);
+  response->Set("metrics",
+                parsed.ok() ? std::move(metrics) : JsonValue::Object());
+  return Status::Ok();
 }
 
 std::vector<ShardServer::ServedShard> ShardServer::served() const {
@@ -204,6 +232,12 @@ Status ShardServer::HandleHello(const JsonValue& /*request*/,
 Status ShardServer::HandleRange(const JsonValue& request,
                                 JsonValue* response) {
   WallTimer timer;
+  // The per-slot engine searches run on this thread and already measure
+  // their own CPU (summed into merged.cost via MergeParallel), so this
+  // handler adds only its parse/merge/serialize share: total thread CPU
+  // minus the windows spent inside the engine calls.
+  ThreadCpuTimer cpu_timer;
+  double search_caller_cpu_ms = 0.0;
   std::vector<int> slots;
   WARPINDEX_RETURN_IF_ERROR(RequestedSlots(request, &slots));
   MethodKind kind;
@@ -245,8 +279,10 @@ Status ShardServer::HandleRange(const JsonValue& request,
       trace.AddCounter("shard_index",
                        static_cast<double>(options_.serve_shards[slot]));
     }
+    ThreadCpuTimer search_cpu;
     const SearchResult partial =
         engines_[slot]->SearchWith(kind, query, epsilon, sub, &scratch);
+    search_caller_cpu_ms += search_cpu.ElapsedMillis();
     if (traced) {
       trace.AddCounter("candidates",
                        static_cast<double>(partial.num_candidates));
@@ -263,6 +299,8 @@ Status ShardServer::HandleRange(const JsonValue& request,
   }
   std::sort(merged.matches.begin(), merged.matches.end());
   merged.cost.wall_ms = timer.ElapsedMillis();
+  merged.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - search_caller_cpu_ms);
 
   JsonValue matches = JsonValue::Array();
   for (const SequenceId id : merged.matches) {
@@ -281,6 +319,9 @@ Status ShardServer::HandleRange(const JsonValue& request,
 Status ShardServer::HandleKnn(const JsonValue& request,
                               JsonValue* response) {
   WallTimer timer;
+  // Same CPU accounting as HandleRange.
+  ThreadCpuTimer cpu_timer;
+  double search_caller_cpu_ms = 0.0;
   std::vector<int> slots;
   WARPINDEX_RETURN_IF_ERROR(RequestedSlots(request, &slots));
   const int64_t k = request.GetInt("k", 0);
@@ -318,8 +359,10 @@ Status ShardServer::HandleKnn(const JsonValue& request,
       trace.AddCounter("shard_index",
                        static_cast<double>(options_.serve_shards[slot]));
     }
+    ThreadCpuTimer search_cpu;
     const KnnResult partial = engines_[slot]->SearchKnnBounded(
         query, static_cast<size_t>(k), sub, &shared_bound);
+    search_caller_cpu_ms += search_cpu.ElapsedMillis();
     if (traced) {
       trace.AddCounter("neighbors",
                        static_cast<double>(partial.neighbors.size()));
@@ -340,6 +383,8 @@ Status ShardServer::HandleKnn(const JsonValue& request,
     all.resize(static_cast<size_t>(k));
   }
   merged.cost.wall_ms = timer.ElapsedMillis();
+  merged.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - search_caller_cpu_ms);
 
   response->Set("neighbors", KnnMatchesToJson(all));
   response->Set("num_refined",

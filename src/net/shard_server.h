@@ -109,6 +109,9 @@ class ShardServer {
   Status HandleHello(const JsonValue& request, JsonValue* response);
   Status HandleRange(const JsonValue& request, JsonValue* response);
   Status HandleKnn(const JsonValue& request, JsonValue* response);
+  // STATS: identity + a full metrics snapshot as JSON, the payload the
+  // router's fleet poller aggregates into /metrics?fleet=1 and /fleetz.
+  Status HandleStats(const JsonValue& request, JsonValue* response);
 
   // Parses the request's "shards" array into slots (every entry must be
   // served here).

@@ -90,6 +90,10 @@ const char* WireTypeName(WireType type) {
       return "DRAIN";
     case WireType::kDrainOk:
       return "DRAIN_OK";
+    case WireType::kStats:
+      return "STATS";
+    case WireType::kStatsOk:
+      return "STATS_OK";
   }
   return "UNKNOWN";
 }

@@ -62,6 +62,8 @@ enum class WireType : uint8_t {
   kHealthOk = 8,
   kDrain = 9,     // ask the server to drain (tests; SIGTERM is the
   kDrainOk = 10,  // production path)
+  kStats = 11,    // metrics-federation scrape: the server's identity +
+  kStatsOk = 12,  // full metrics snapshot as JSON (docs/OBSERVABILITY.md)
 };
 
 const char* WireTypeName(WireType type);

@@ -1,5 +1,9 @@
 #include "net/wire_server.h"
 
+#include "common/timer.h"
+
+#include "obs/profiler.h"
+
 #include <sys/socket.h>
 
 #include <chrono>
@@ -25,6 +29,7 @@ bool IsRequestType(WireType type) {
     case WireType::kKnn:
     case WireType::kHealth:
     case WireType::kDrain:
+    case WireType::kStats:
       return true;
     default:
       return false;
@@ -65,11 +70,22 @@ Status WireServer::Start() {
     connections_gauge_ = options_.metrics->GetGauge(
         "warpindex_net_connections",
         "Open wire connections (" + options_.name + ")");
+    query_wall_ms_hist_ = options_.metrics->GetHistogram(
+        "warpindex_net_query_wall_ms",
+        ExponentialBoundaries(0.01, 2.0, 20),
+        "wall time per wire query request, handler-side (ms)");
+    query_cpu_ms_hist_ = options_.metrics->GetHistogram(
+        "warpindex_net_query_cpu_ms",
+        ExponentialBoundaries(0.01, 2.0, 20),
+        "handler-thread CPU time per wire query request (ms)");
   }
   stopping_.store(false);
   draining_.store(false);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  accept_thread_ = std::thread([this] {
+    CpuProfiler::SetThreadTag("wire-accept");
+    AcceptLoop();
+  });
   return Status::Ok();
 }
 
@@ -154,7 +170,10 @@ void WireServer::AcceptLoop() {
     if (connections_gauge_ != nullptr) {
       connections_gauge_->Increment(1);
     }
-    conn->thread = std::thread([this, conn] { ServeConnection(conn); });
+    conn->thread = std::thread([this, conn] {
+      CpuProfiler::SetThreadTag("wire-conn");
+      ServeConnection(conn);
+    });
   }
 }
 
@@ -269,7 +288,18 @@ bool WireServer::DispatchFrame(int fd, const WireFrame& frame,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++inflight_;
     }
+    // The fleet page reads wall and CPU p99s of this pair: CPU tracks
+    // the handler thread (shard servers search inline), so a wall>>CPU
+    // gap on a replica means waiting, not work.
+    WallTimer query_timer;
+    ThreadCpuTimer query_cpu_timer;
     handler_status = handler_it->second(*client_id, request, &response);
+    if (query_wall_ms_hist_ != nullptr) {
+      query_wall_ms_hist_->Observe(query_timer.ElapsedMillis());
+    }
+    if (query_cpu_ms_hist_ != nullptr) {
+      query_cpu_ms_hist_->Observe(query_cpu_timer.ElapsedMillis());
+    }
     admission_.Release();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);

@@ -155,6 +155,8 @@ class WireServer {
   Counter* errors_counter_ = nullptr;
   Counter* shed_counter_ = nullptr;
   Gauge* connections_gauge_ = nullptr;
+  Histogram* query_wall_ms_hist_ = nullptr;
+  Histogram* query_cpu_ms_hist_ = nullptr;
 };
 
 }  // namespace warpindex

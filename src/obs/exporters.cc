@@ -9,6 +9,11 @@
 #include <set>
 #include <utility>
 
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
 namespace warpindex {
 namespace {
 
@@ -64,6 +69,8 @@ void AppendSpanObject(const TraceSpan& span, size_t index,
   out->append(JsonNumber(span.start_ms));
   out->append(",\"duration_ms\":");
   out->append(JsonNumber(span.duration_ms));
+  out->append(",\"cpu_ms\":");
+  out->append(JsonNumber(span.cpu_ms));
   if (span.shard >= 0 || span.tid > 0) {
     std::snprintf(buf, sizeof(buf), ",\"shard\":%d,\"tid\":%u",
                   span.shard, span.tid);
@@ -95,6 +102,94 @@ BuildInfo GetBuildInfo() {
   info.build_type = "debug";
 #endif
   return info;
+}
+
+ProcessSelfMetrics CollectProcessSelfMetrics() {
+  ProcessSelfMetrics metrics;
+#if defined(__linux__)
+  // /proc/self/stat: pid (comm) state ppid ... utime(14) stime(15) ...
+  // starttime(22) ... rss(24). comm may contain spaces, so parse from the
+  // last ')'.
+  std::FILE* f = std::fopen("/proc/self/stat", "rb");
+  if (f == nullptr) {
+    return metrics;
+  }
+  char buf[1024];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  const char* rest = std::strrchr(buf, ')');
+  if (rest == nullptr) {
+    return metrics;
+  }
+  ++rest;  // fields from index 3 (state) onward
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  unsigned long long starttime = 0;
+  long long rss_pages = 0;
+  {
+    // Walk the space-separated fields; `rest` starts before field 3.
+    int field = 2;
+    const char* cursor = rest;
+    while (*cursor != '\0' && field < 24) {
+      while (*cursor == ' ') {
+        ++cursor;
+      }
+      ++field;
+      char* end = nullptr;
+      if (field == 14) {
+        utime = std::strtoull(cursor, &end, 10);
+      } else if (field == 15) {
+        stime = std::strtoull(cursor, &end, 10);
+      } else if (field == 22) {
+        starttime = std::strtoull(cursor, &end, 10);
+      } else if (field == 24) {
+        rss_pages = std::strtoll(cursor, &end, 10);
+      }
+      while (*cursor != '\0' && *cursor != ' ') {
+        ++cursor;
+      }
+      (void)end;
+    }
+    if (field < 24) {
+      return metrics;
+    }
+  }
+  const double ticks =
+      static_cast<double>(std::max(1L, sysconf(_SC_CLK_TCK)));
+  const double page_bytes =
+      static_cast<double>(std::max(1L, sysconf(_SC_PAGESIZE)));
+  metrics.cpu_seconds_total =
+      (static_cast<double>(utime) + static_cast<double>(stime)) / ticks;
+  metrics.resident_memory_bytes =
+      static_cast<double>(rss_pages) * page_bytes;
+  // Boot time (unix epoch) + starttime (ticks since boot) = start time.
+  double btime = 0.0;
+  if (std::FILE* stat = std::fopen("/proc/stat", "rb")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), stat) != nullptr) {
+      unsigned long long value = 0;
+      if (std::sscanf(line, "btime %llu", &value) == 1) {
+        btime = static_cast<double>(value);
+        break;
+      }
+    }
+    std::fclose(stat);
+  }
+  metrics.start_time_seconds =
+      btime + static_cast<double>(starttime) / ticks;
+  // Open fds: entries under /proc/self/fd minus "." and "..".
+  if (DIR* dir = opendir("/proc/self/fd")) {
+    int64_t count = 0;
+    while (readdir(dir) != nullptr) {
+      ++count;
+    }
+    closedir(dir);
+    metrics.open_fds = std::max<int64_t>(0, count - 2);
+  }
+  metrics.valid = true;
+#endif
+  return metrics;
 }
 
 std::string JsonEscape(const std::string& text) {
@@ -304,6 +399,8 @@ std::string TraceEventsJson(const std::vector<const Trace*>& traces) {
       event += ",\"tid\":" + std::to_string(span.tid);
       event += ",\"args\":{\"trace_id\":";
       event += JsonEscape(TraceIdHex(trace->trace_id()));
+      event += ",\"cpu_ms\":";
+      event += JsonNumber(span.cpu_ms);
       for (const auto& [name, value] : span.counters) {
         event.push_back(',');
         event += JsonEscape(name);
@@ -335,7 +432,8 @@ Status WriteTraceEventsFile(const std::vector<const Trace*>& traces,
 
 std::string MetricsToPrometheusText(
     const MetricsRegistry::Snapshot& snapshot,
-    const BuildInfo* build_info) {
+    const BuildInfo* build_info,
+    const ProcessSelfMetrics* process) {
   std::string out;
   if (build_info != nullptr) {
     out.append(
@@ -395,12 +493,49 @@ std::string MetricsToPrometheusText(
     std::snprintf(buf, sizeof(buf), "%" PRIu64,
                   static_cast<uint64_t>(s.stats.count()));
     out.append(hist.name + "_count " + buf + "\n");
+    // Estimated-quantile gauges alongside the native histogram, for
+    // dashboards without native-histogram/quantile support.
+    const struct {
+      const char* suffix;
+      double p;
+    } quantiles[] = {{"_p50", 0.5}, {"_p99", 0.99}, {"_p999", 0.999}};
+    for (const auto& q : quantiles) {
+      out.append("# TYPE " + hist.name + q.suffix + " gauge\n");
+      out.append(hist.name + q.suffix + " " +
+                 JsonNumber(s.EstimatePercentile(q.p)) + "\n");
+    }
+  }
+  if (process != nullptr && process->valid) {
+    out.append(
+        "# HELP process_cpu_seconds_total Total user and system CPU time "
+        "spent in seconds\n");
+    out.append("# TYPE process_cpu_seconds_total counter\n");
+    out.append("process_cpu_seconds_total " +
+               JsonNumber(process->cpu_seconds_total) + "\n");
+    out.append(
+        "# HELP process_resident_memory_bytes Resident memory size in "
+        "bytes\n");
+    out.append("# TYPE process_resident_memory_bytes gauge\n");
+    out.append("process_resident_memory_bytes " +
+               JsonNumber(process->resident_memory_bytes) + "\n");
+    out.append(
+        "# HELP process_open_fds Number of open file descriptors\n");
+    out.append("# TYPE process_open_fds gauge\n");
+    out.append("process_open_fds " + std::to_string(process->open_fds) +
+               "\n");
+    out.append(
+        "# HELP process_start_time_seconds Start time of the process "
+        "since unix epoch in seconds\n");
+    out.append("# TYPE process_start_time_seconds gauge\n");
+    out.append("process_start_time_seconds " +
+               JsonNumber(process->start_time_seconds) + "\n");
   }
   return out;
 }
 
 std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot,
-                          const BuildInfo* build_info) {
+                          const BuildInfo* build_info,
+                          const ProcessSelfMetrics* process) {
   std::string out = "{";
   if (build_info != nullptr) {
     out.append("\"build_info\":{\"version\":" +
@@ -408,6 +543,15 @@ std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot,
     out.append(",\"compiler\":" + JsonEscape(build_info->compiler));
     out.append(",\"build_type\":" + JsonEscape(build_info->build_type) +
                "},");
+  }
+  if (process != nullptr && process->valid) {
+    out.append("\"process\":{\"cpu_seconds_total\":" +
+               JsonNumber(process->cpu_seconds_total));
+    out.append(",\"resident_memory_bytes\":" +
+               JsonNumber(process->resident_memory_bytes));
+    out.append(",\"open_fds\":" + std::to_string(process->open_fds));
+    out.append(",\"start_time_seconds\":" +
+               JsonNumber(process->start_time_seconds) + "},");
   }
   out.append("\"counters\":{");
   bool first = true;
@@ -492,6 +636,7 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   out.append(",\"num_candidates\":" +
              std::to_string(record.num_candidates));
   out.append(",\"wall_ms\":" + JsonNumber(record.wall_ms));
+  out.append(",\"cpu_ms\":" + JsonNumber(record.cpu_ms));
   std::snprintf(buf, sizeof(buf), "%" PRIu64, record.dtw_evals);
   out.append(",\"dtw_evals\":" + std::string(buf));
   std::snprintf(buf, sizeof(buf), "%" PRIu64, record.dtw_cells);
@@ -509,6 +654,15 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   out.append(",\"stages_ms\":{");
   bool first = true;
   for (const auto& [stage, ms] : record.stage_ms.entries()) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out.append(JsonEscape(stage) + ":" + JsonNumber(ms));
+  }
+  out.append("},\"stages_cpu_ms\":{");
+  first = true;
+  for (const auto& [stage, ms] : record.stage_cpu_ms.entries()) {
     if (!first) {
       out.push_back(',');
     }

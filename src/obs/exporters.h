@@ -33,7 +33,7 @@ namespace warpindex {
 
 // Library version (also reported in /statusz build info and the
 // warpindex_build_info metric).
-inline constexpr const char* kWarpIndexVersion = "0.8.0";
+inline constexpr const char* kWarpIndexVersion = "0.9.0";
 
 // Static facts about this binary, exported as the warpindex_build_info
 // metric (Prometheus info-metric convention: labels carry the facts, the
@@ -45,6 +45,23 @@ struct BuildInfo {
 };
 // The running library's build info.
 BuildInfo GetBuildInfo();
+
+// Standard process self-metrics per Prometheus conventions, read from
+// /proc/self (Linux). `valid` is false when /proc is unavailable (the
+// exporters then omit the series instead of reporting zeros).
+struct ProcessSelfMetrics {
+  bool valid = false;
+  // Total user+system CPU seconds consumed by the process.
+  double cpu_seconds_total = 0.0;
+  // Resident set size in bytes.
+  double resident_memory_bytes = 0.0;
+  // Open file descriptors.
+  int64_t open_fds = 0;
+  // Process start time, seconds since the Unix epoch.
+  double start_time_seconds = 0.0;
+};
+// A point-in-time reading (a handful of /proc reads; fine per scrape).
+ProcessSelfMetrics CollectProcessSelfMetrics();
 
 // JSON string literal (quotes and escapes `text`).
 std::string JsonEscape(const std::string& text);
@@ -91,15 +108,24 @@ std::string TraceEventsJson(const std::vector<const Trace*>& traces);
 Status WriteTraceEventsFile(const std::vector<const Trace*>& traces,
                             const std::string& path);
 
-// `build_info` (optional) prepends the warpindex_build_info series.
+// `build_info` (optional) prepends the warpindex_build_info series;
+// `process` (optional, and only when valid) appends the standard
+// process_* self-metrics. Each histogram is exported natively
+// (_bucket/_sum/_count) plus estimated-quantile gauges (<name>_p50 /
+// _p99 / _p999) for dashboards that predate native-histogram support —
+// the text format is pinned by metrics_test.
 std::string MetricsToPrometheusText(
     const MetricsRegistry::Snapshot& snapshot,
-    const BuildInfo* build_info = nullptr);
+    const BuildInfo* build_info = nullptr,
+    const ProcessSelfMetrics* process = nullptr);
 // Histogram objects include estimated "p50"/"p99"/"p999" quantiles (see
 // Histogram::Snapshot::EstimatePercentile) alongside the raw buckets.
-// `build_info` (optional) adds a "build_info" object.
+// `build_info` (optional) adds a "build_info" object; `process`
+// (optional, when valid) a "process" object with the same self-metrics
+// as the text form.
 std::string MetricsToJson(const MetricsRegistry::Snapshot& snapshot,
-                          const BuildInfo* build_info = nullptr);
+                          const BuildInfo* build_info = nullptr,
+                          const ProcessSelfMetrics* process = nullptr);
 
 // One FlightRecord as a JSON object (stage timings and prune counters as
 // nested objects keyed by stage name; trace_id as hex, null when the

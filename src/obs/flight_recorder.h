@@ -56,14 +56,18 @@ struct FlightRecord {
   size_t matches = 0;
   size_t num_candidates = 0;
   double wall_ms = 0.0;
+  // Thread-CPU time summed over every thread that worked on the query
+  // (SearchCost::cpu_ms); > wall_ms on parallel queries.
+  double cpu_ms = 0.0;
   uint64_t dtw_evals = 0;
   uint64_t dtw_cells = 0;
   uint64_t index_nodes = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
-  // Per-stage wall time and cascade prune counters, verbatim from
-  // SearchCost (names are the kStage* constants).
+  // Per-stage wall time, per-stage CPU time, and cascade prune counters,
+  // verbatim from SearchCost (names are the kStage* constants).
   StageTimings stage_ms;
+  StageTimings stage_cpu_ms;
   StageCounters prunes;
   // Shard that ran this (sub-)query, or -1 for an unsharded query / the
   // merged record of a sharded one (shard/sharded_engine.h). The

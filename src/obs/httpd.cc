@@ -1,5 +1,7 @@
 #include "obs/httpd.h"
 
+#include "obs/profiler.h"
+
 #include <cstdlib>
 #include <utility>
 
@@ -109,7 +111,10 @@ Status IntrospectionServer::Start() {
 
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this]() { AcceptLoop(); });
+  thread_ = std::thread([this]() {
+    CpuProfiler::SetThreadTag("httpd");
+    AcceptLoop();
+  });
   return Status::Ok();
 }
 

@@ -1,0 +1,146 @@
+// Dependency-free sampling CPU profiler: a SIGPROF/timer_create-driven
+// wall-of-the-CPU sampler that answers "where do the cycles go?" on a
+// live serving process, with zero steady-state cost while disarmed.
+//
+// How it samples
+//
+//   Start(hz) arms a POSIX interval timer on CLOCK_PROCESS_CPUTIME_ID
+//   delivering SIGPROF `hz` times per CPU-second consumed by the whole
+//   process (so an idle process generates ~no signals, and a process
+//   burning 8 cores is sampled 8x as often — samples are proportional
+//   to CPU burn, which is the quantity being profiled). The kernel
+//   delivers each SIGPROF to one currently-RUNNING thread, so the
+//   sample lands in whatever code is actually on-CPU.
+//
+//   The handler is async-signal-safe by construction: it reads the
+//   interrupted PC and frame pointer out of the ucontext, walks the
+//   frame-pointer chain within the thread's known stack bounds, and
+//   writes PCs plus the thread's profiling tag into a slot of a
+//   pre-allocated sample buffer claimed with one atomic fetch_add. No
+//   allocation, no locks, no library calls. When the buffer is full,
+//   samples are counted as dropped rather than blocking.
+//
+// Thread tags
+//
+//   SetThreadTag("worker-3") labels every sample taken on the calling
+//   thread, mirroring the worker/shard thread-tag scheme of
+//   obs/trace.h (ThreadPool workers tag themselves "worker-<i>"; the
+//   HTTP and wire-server threads tag their serving loops). Tags become
+//   the first frame of the collapsed stack, so a flamegraph splits by
+//   thread role before function. SetThreadTag also captures the
+//   thread's stack bounds (pthread_getattr_np) — the handler only
+//   frame-walks threads whose bounds it knows and records a PC-only
+//   sample on unregistered threads, which is what keeps the walk
+//   memory-safe.
+//
+// Output
+//
+//   Stop() symbolizes the unique PCs once (dladdr + __cxa_demangle,
+//   outside any signal context), aggregates identical stacks, and
+//   returns a Profile that renders as
+//     * FoldedText()      — "tag;outer;...;leaf <count>" lines, the
+//                           flamegraph.pl / inferno collapsed format;
+//     * SpeedscopeJson()  — a speedscope.app "sampled" profile.
+//
+//   Serving processes expose this as GET /profilez?seconds=N&hz=M
+//   (exec/introspection.h); the CLI writes a profile of the whole run
+//   via --profile_out (extension picks the format).
+//
+// Portability: sampling requires Linux (timer_create + SIGPROF +
+// ucontext register access on x86-64/aarch64). Elsewhere Start()
+// returns FailedPrecondition and everything else degrades gracefully.
+//
+// Thread-safety: Start/Stop/Collect serialize on an internal mutex;
+// only one profile can be in flight per process (the signal handler is
+// process-global), and concurrent Start() returns FailedPrecondition —
+// /profilez maps that to 409 Conflict. SetThreadTag may be called from
+// any thread at any time.
+
+#ifndef WARPINDEX_OBS_PROFILER_H_
+#define WARPINDEX_OBS_PROFILER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace warpindex {
+
+struct ProfileOptions {
+  // Target samples per CPU-second, process-wide. 99 (not 100) is the
+  // classic choice: avoids lockstep with 10ms-aligned periodic work.
+  int hz = 99;
+  // Sample-buffer capacity; samples past this are counted as dropped.
+  size_t max_samples = 1 << 15;
+};
+
+// One aggregated profile. `stacks` are collapsed call stacks in
+// root-first order whose first entry is the thread tag.
+struct Profile {
+  int hz = 0;
+  // Wall-clock length of the sampling window.
+  double duration_s = 0.0;
+  // Samples captured / dropped because the buffer was full.
+  uint64_t samples = 0;
+  uint64_t dropped = 0;
+  // ("tag;outer;...;leaf", count), sorted by stack string.
+  std::vector<std::pair<std::string, uint64_t>> folded;
+
+  // flamegraph.pl / inferno collapsed-stack text (one line per stack).
+  std::string FoldedText() const;
+  // speedscope.app file-format JSON ("sampled" profile).
+  std::string SpeedscopeJson() const;
+};
+
+class CpuProfiler {
+ public:
+  // The process-wide profiler (the signal handler is process-global, so
+  // there is exactly one).
+  static CpuProfiler& Global();
+
+  CpuProfiler(const CpuProfiler&) = delete;
+  CpuProfiler& operator=(const CpuProfiler&) = delete;
+
+  // Arms the timer and starts sampling. FailedPrecondition when already
+  // running or unsupported on this platform; InvalidArgument on a bad
+  // hz.
+  Status Start(const ProfileOptions& options = {});
+
+  // Disarms the timer, waits for in-flight handler invocations, and
+  // aggregates into *out. FailedPrecondition when not running.
+  Status Stop(Profile* out);
+
+  // Start + sleep(seconds) + Stop, the /profilez shape. Validates
+  // seconds (0 < s <= 120) and hz (1 <= hz <= 1000).
+  Status Collect(double seconds, int hz, Profile* out);
+
+  bool running() const;
+
+  // Labels every future sample taken on the calling thread and
+  // registers its stack bounds for the frame walk. Tags longer than
+  // kMaxTagLength are truncated. Safe to call whether or not a profile
+  // is running; cheap enough for thread startup paths.
+  static void SetThreadTag(std::string_view tag);
+
+  // Max bytes of a thread tag kept per sample (excess is truncated).
+  static constexpr size_t kMaxTagLength = 31;
+  // Max frames kept per sample (deeper stacks are truncated at the
+  // root end — the leaf frames are the interesting ones).
+  static constexpr size_t kMaxDepth = 48;
+
+ private:
+  CpuProfiler() = default;
+
+  std::mutex mu_;           // serializes Start/Stop/Collect
+  double started_wall_ = 0.0;
+  int hz_ = 0;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_OBS_PROFILER_H_

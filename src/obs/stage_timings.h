@@ -70,17 +70,31 @@ class StageTimings {
   std::vector<std::pair<std::string, double>> entries_;
 };
 
-// RAII stage clock: on destruction adds the elapsed time to `timings`
-// (when non-null) and, when a trace is attached, brackets the scope in a
-// span of the same name. Both sinks are optional and independent.
+// RAII stage clock: on destruction adds the elapsed wall time to
+// `timings` and the elapsed thread-CPU time to `cpu_timings` (each when
+// non-null, under the same stage name) and, when a trace is attached,
+// brackets the scope in a span of the same name. All sinks are optional
+// and independent. The CPU reading is per-thread, so a StageTimer must
+// be constructed and destroyed on the same thread (true of every stage
+// scope today).
 class StageTimer {
  public:
   StageTimer(StageTimings* timings, Trace* trace, std::string_view stage)
-      : timings_(timings), stage_(stage), span_(trace, stage) {}
+      : StageTimer(timings, nullptr, trace, stage) {}
+
+  StageTimer(StageTimings* timings, StageTimings* cpu_timings, Trace* trace,
+             std::string_view stage)
+      : timings_(timings),
+        cpu_timings_(cpu_timings),
+        stage_(stage),
+        span_(trace, stage) {}
 
   ~StageTimer() {
     if (timings_ != nullptr) {
       timings_->Add(stage_, timer_.ElapsedMillis());
+    }
+    if (cpu_timings_ != nullptr) {
+      cpu_timings_->Add(stage_, cpu_timer_.ElapsedMillis());
     }
   }
 
@@ -89,8 +103,10 @@ class StageTimer {
 
  private:
   StageTimings* timings_;
+  StageTimings* cpu_timings_;
   std::string_view stage_;
   WallTimer timer_;
+  ThreadCpuTimer cpu_timer_;
   ScopedSpan span_;
 };
 

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "common/timer.h"
+
 namespace warpindex {
 namespace {
 
@@ -43,6 +45,7 @@ size_t Trace::BeginSpan(std::string_view name) {
   spans_.push_back(std::move(span));
   const size_t index = spans_.size() - 1;
   open_stack_.push_back(index);
+  open_cpu_s_.push_back(ThreadCpuTimer::Now());
   return index;
 }
 
@@ -51,7 +54,9 @@ void Trace::EndSpan(size_t index) {
          "spans must close innermost-first");
   TraceSpan& span = spans_[index];
   span.duration_ms = ElapsedMillis() - span.start_ms;
+  span.cpu_ms = (ThreadCpuTimer::Now() - open_cpu_s_.back()) * 1e3;
   open_stack_.pop_back();
+  open_cpu_s_.pop_back();
 }
 
 void Trace::AddCounter(std::string_view name, double delta) {

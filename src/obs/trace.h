@@ -41,6 +41,11 @@ struct TraceSpan {
   // Offset from Trace construction, and duration, both in milliseconds.
   double start_ms = 0.0;
   double duration_ms = 0.0;
+  // Thread-CPU time consumed by the writing thread while this span was
+  // open (CLOCK_THREAD_CPUTIME_ID delta between BeginSpan and EndSpan).
+  // Includes child spans, like duration_ms. duration_ms - cpu_ms is the
+  // span's blocking/waiting share — the wall-vs-CPU skew.
+  double cpu_ms = 0.0;
   // Execution tags, stamped from the owning Trace's thread tag at
   // BeginSpan: the shard whose sub-query ran this span (-1 = unsharded /
   // the merging layer) and a logical thread id (0 = the query's origin
@@ -157,6 +162,9 @@ class Trace {
   uint32_t tag_tid_ = 0;
   std::vector<TraceSpan> spans_;
   std::vector<size_t> open_stack_;
+  // Thread-CPU reading (seconds) at each open span's BeginSpan, parallel
+  // to open_stack_; EndSpan turns the delta into the span's cpu_ms.
+  std::vector<double> open_cpu_s_;
 };
 
 // RAII guard opening a span for the lifetime of a scope. A null trace

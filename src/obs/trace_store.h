@@ -62,6 +62,9 @@ struct CompletedTrace {
   size_t query_length = 0;
   size_t matches = 0;
   double wall_ms = 0.0;
+  // Total thread-CPU time of the query (SearchCost::cpu_ms), for the
+  // wall-vs-CPU column in /tracez.
+  double cpu_ms = 0.0;
   bool errored = false;
   TraceKeep keep = TraceKeep::kNone;
   Trace trace;  // the stitched span tree

@@ -22,6 +22,7 @@ SearchResult TwSimSearchCascade::SearchImpl(const Sequence& query,
                                             double epsilon, Trace* trace,
                                             DtwScratch* scratch) const {
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   SearchResult result;
   const CascadePlan plan = planner_.Choose();
   TraceCounter(trace, "cascade_stages",
@@ -33,6 +34,7 @@ SearchResult TwSimSearchCascade::SearchImpl(const Sequence& query,
                scratch, &obs);
   planner_.Observe(obs);
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms = cpu_timer.ElapsedMillis();
   return result;
 }
 

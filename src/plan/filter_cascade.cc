@@ -119,6 +119,7 @@ void FilterCascade::RunLbStages(const Sequence& query, double epsilon,
     const std::string_view name = CascadeStageName(stage);
     ScopedSpan span(trace, name);
     WallTimer timer;
+    ThreadCpuTimer cpu_timer;
     const size_t in = candidates->size();
     size_t kept = 0;
     for (size_t i = 0; i < candidates->size(); ++i) {
@@ -136,6 +137,7 @@ void FilterCascade::RunLbStages(const Sequence& query, double epsilon,
     candidates->resize(kept);
     const double ms = timer.ElapsedMillis();
     result->cost.stages.Add(name, ms);
+    result->cost.stages_cpu.Add(name, cpu_timer.ElapsedMillis());
     result->cost.prunes.Record(name, in, in - kept);
     if (obs != nullptr) {
       StageObservation& so = obs->at(stage);
@@ -161,6 +163,7 @@ void FilterCascade::Run(const Sequence& query, double epsilon,
   }
   ScopedSpan span(trace, kStageDtwPostfilter);
   WallTimer timer;
+  ThreadCpuTimer cpu_timer;
   const size_t in = candidates.size();
   const size_t matches_before = result->matches.size();
   for (const Sequence& s : candidates) {
@@ -175,6 +178,7 @@ void FilterCascade::Run(const Sequence& query, double epsilon,
   const size_t matched = result->matches.size() - matches_before;
   const double ms = timer.ElapsedMillis();
   result->cost.stages.Add(kStageDtwPostfilter, ms);
+  result->cost.stages_cpu.Add(kStageDtwPostfilter, cpu_timer.ElapsedMillis());
   result->cost.prunes.Record(kStageDtwPostfilter, in, in - matched);
   if (obs != nullptr) {
     obs->dtw.in += in;

@@ -121,6 +121,12 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
                                        double epsilon, Trace* trace,
                                        DtwScratch* /*scratch*/) const {
   WallTimer timer;
+  // Caller-thread CPU for the pruning/merge/sort work this layer does
+  // itself. The caller also participates in the scatter-gather fan-out,
+  // but THAT CPU is already inside the per-shard partial costs, so the
+  // fan-out window is measured separately and subtracted below.
+  ThreadCpuTimer cpu_timer;
+  double fanout_caller_cpu_ms = 0.0;
   logical_queries_.fetch_add(1, std::memory_order_relaxed);
   queries_total_->Increment();
   const Point feature_point = QueryFeaturePoint(query);
@@ -165,6 +171,7 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
       subs.assign(active.size(),
                   Trace(trace->ContextForSpan(span.index())));
     }
+    ThreadCpuTimer fanout_cpu;
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i];
       DtwScratch scratch;
@@ -194,6 +201,7 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
       RecordShardFlight(s, MethodKindName(kind), epsilon, query.size(),
                         partials[i], trace_id);
     });
+    fanout_caller_cpu_ms = fanout_cpu.ElapsedMillis();
     if (trace != nullptr) {
       for (const Trace& sub : subs) {
         trace->Adopt(span.index(), sub);
@@ -216,12 +224,20 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
   // Resource counters stay as MergeParallel left them (work summed);
   // wall time is the measured end-to-end latency of the sharded query.
   result.cost.wall_ms = timer.ElapsedMillis();
+  // This layer's own CPU (pruning, stitching, merge, sort), on top of
+  // the per-shard CPU MergeParallel already summed.
+  result.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - fanout_caller_cpu_ms);
   return result;
 }
 
 KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
                                    Trace* trace) const {
   WallTimer timer;
+  // Same caller-CPU accounting as SearchWith: fan-out CPU is in the
+  // partials, so only this layer's own share is added at the end.
+  ThreadCpuTimer cpu_timer;
+  double fanout_caller_cpu_ms = 0.0;
   logical_queries_.fetch_add(1, std::memory_order_relaxed);
   queries_total_->Increment();
 
@@ -257,6 +273,7 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
       subs.assign(active.size(),
                   Trace(trace->ContextForSpan(span.index())));
     }
+    ThreadCpuTimer fanout_cpu;
     ScatterGather(pool_).Run(active.size(), [&](size_t i) {
       const size_t s = active[i];
       Trace* sub = trace != nullptr ? &subs[i] : nullptr;
@@ -279,6 +296,7 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
       }
       shard_queries_[s].fetch_add(1, std::memory_order_relaxed);
     });
+    fanout_caller_cpu_ms = fanout_cpu.ElapsedMillis();
     if (trace != nullptr) {
       for (const Trace& sub : subs) {
         trace->Adopt(span.index(), sub);
@@ -307,6 +325,8 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
   }
   result.neighbors = std::move(merged);
   result.cost.wall_ms = timer.ElapsedMillis();
+  result.cost.cpu_ms +=
+      std::max(0.0, cpu_timer.ElapsedMillis() - fanout_caller_cpu_ms);
   return result;
 }
 
@@ -346,12 +366,14 @@ void ShardedEngine::RecordShardFlight(size_t shard_index, const char* method,
   record.matches = result.matches.size();
   record.num_candidates = result.num_candidates;
   record.wall_ms = result.cost.wall_ms;
+  record.cpu_ms = result.cost.cpu_ms;
   record.dtw_evals = result.cost.dtw_evals;
   record.dtw_cells = result.cost.dtw_cells;
   record.index_nodes = result.cost.index_nodes;
   record.pool_hits = result.cost.pool_hits;
   record.pool_misses = result.cost.pool_misses;
   record.stage_ms = result.cost.stages;
+  record.stage_cpu_ms = result.cost.stages_cpu;
   record.prunes = result.cost.prunes;
   record.shard = static_cast<int32_t>(shard_index);
   options_.flight_recorder->Record(std::move(record));

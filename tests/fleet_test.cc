@@ -1,0 +1,255 @@
+// FleetPoller tests (net/fleet.h): STATS polling against in-process
+// wire servers with canned metrics documents, the /metrics?fleet=1
+// aggregation semantics (per-instance labels, fleet sums, exact
+// bucket-by-bucket histogram merges, boundary-mismatch refusal), the
+// /fleetz liveness filter (draining and dead replicas disappear), and
+// the qps derivation from request-counter deltas.
+
+#include "net/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/json.h"
+#include "net/router.h"
+#include "net/wire.h"
+#include "net/wire_server.h"
+
+namespace warpindex {
+namespace {
+
+// A replica's metrics document, in the MetricsToJson shape the real
+// kStats handler returns.
+JsonValue MakeMetricsDoc(int64_t requests, double hist_sum,
+                         const std::vector<int64_t>& bucket_counts,
+                         const std::vector<double>& boundaries) {
+  JsonValue counters = JsonValue::Object();
+  counters.Set("warpindex_net_requests_total", JsonValue::Int(requests));
+  counters.Set("warpindex_net_errors_total", JsonValue::Int(1));
+
+  JsonValue gauges = JsonValue::Object();
+  gauges.Set("warpindex_ingest_delta_entries", JsonValue::Int(7));
+
+  int64_t count = 0;
+  JsonValue counts_json = JsonValue::Array();
+  for (const int64_t c : bucket_counts) {
+    counts_json.Add(JsonValue::Int(c));
+    count += c;
+  }
+  JsonValue bounds_json = JsonValue::Array();
+  for (const double b : boundaries) {
+    bounds_json.Add(JsonValue::Double(b));
+  }
+  JsonValue hist = JsonValue::Object();
+  hist.Set("count", JsonValue::Int(count));
+  hist.Set("sum", JsonValue::Double(hist_sum));
+  hist.Set("p99", JsonValue::Double(hist_sum / 2.0));
+  hist.Set("boundaries", std::move(bounds_json));
+  hist.Set("bucket_counts", std::move(counts_json));
+  JsonValue hists = JsonValue::Object();
+  hists.Set("warpindex_net_query_wall_ms", std::move(hist));
+
+  JsonValue process = JsonValue::Object();
+  process.Set("cpu_seconds_total", JsonValue::Double(1.5));
+  process.Set("resident_memory_bytes", JsonValue::Double(1000.0));
+  process.Set("open_fds", JsonValue::Int(12));
+  process.Set("start_time_seconds", JsonValue::Double(123.0));
+
+  JsonValue doc = JsonValue::Object();
+  doc.Set("counters", std::move(counters));
+  doc.Set("gauges", std::move(gauges));
+  doc.Set("histograms", std::move(hists));
+  doc.Set("process", std::move(process));
+  return doc;
+}
+
+// One fake replica: a WireServer whose kStats handler serves the given
+// (mutable) state.
+class FakeReplica {
+ public:
+  explicit FakeReplica(std::vector<double> boundaries = {1.0, 10.0})
+      : boundaries_(std::move(boundaries)) {
+    server_ = std::make_unique<WireServer>(WireServerOptions{});
+    server_->Handle(
+        WireType::kStats,
+        [this](const std::string&, const JsonValue&, JsonValue* response) {
+          response->Set("server", JsonValue::Str("fake-replica"));
+          response->Set("draining", JsonValue::Bool(draining_.load()));
+          response->Set(
+              "metrics",
+              MakeMetricsDoc(requests_.load(), hist_sum_, {3, 2, 1},
+                             boundaries_));
+          requests_.fetch_add(request_step_);
+          return Status::Ok();
+        });
+    EXPECT_TRUE(server_->Start().ok());
+  }
+
+  RouterEndpoint endpoint() const { return {"127.0.0.1", server_->port()}; }
+  std::string instance() const {
+    return "127.0.0.1:" + std::to_string(server_->port());
+  }
+  void set_draining(bool draining) { draining_.store(draining); }
+  void set_request_step(int64_t step) { request_step_ = step; }
+  void set_requests(int64_t requests) { requests_.store(requests); }
+  void set_hist_sum(double sum) { hist_sum_ = sum; }
+  void StopServer() { server_->Stop(); }
+
+ private:
+  std::unique_ptr<WireServer> server_;
+  std::vector<double> boundaries_;
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> requests_{100};
+  int64_t request_step_ = 0;
+  double hist_sum_ = 10.0;
+};
+
+FleetPollerOptions PollerOptionsFor(
+    const std::vector<const FakeReplica*>& replicas) {
+  FleetPollerOptions options;
+  options.groups.push_back({});
+  for (const FakeReplica* r : replicas) {
+    options.groups.back().push_back(r->endpoint());
+  }
+  options.call_timeout_ms = 2000;
+  options.min_poll_gap_ms = 0;  // tests drive polls explicitly
+  options.poll_interval_ms = 0;
+  return options;
+}
+
+TEST(FleetPollerTest, FederatesCountersGaugesHistogramsAndProcess) {
+  FakeReplica a;
+  FakeReplica b;
+  a.set_requests(100);
+  b.set_requests(250);
+  b.set_hist_sum(30.0);
+  FleetPoller poller(PollerOptionsFor({&a, &b}));
+  poller.PollOnce();
+
+  const std::string text = poller.FleetMetricsText();
+  // Per-instance counter lines plus the unlabeled fleet sum.
+  EXPECT_NE(text.find("warpindex_net_requests_total{instance=\"" +
+                      a.instance() + "\"} 100"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("warpindex_net_requests_total{instance=\"" +
+                      b.instance() + "\"} 250"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nwarpindex_net_requests_total 350\n"),
+            std::string::npos);
+  // Gauges: per-instance + sum.
+  EXPECT_NE(text.find("\nwarpindex_ingest_delta_entries 14\n"),
+            std::string::npos);
+  // Histograms merge bucket-by-bucket: each replica reports buckets
+  // {3,2,1} over boundaries {1,10}, so cumulative fleet buckets are
+  // 6, 10, 12 and _count is 12.
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_bucket{le=\"1\"} 6"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_bucket{le=\"10\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_bucket{le=\"+Inf\"} 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_count 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_sum 40"),
+            std::string::npos);
+  // Per-instance histogram counts survive next to the merge.
+  EXPECT_NE(text.find("warpindex_net_query_wall_ms_count{instance=\"" +
+                      a.instance() + "\"} 6"),
+            std::string::npos);
+  // Process self-metrics federate: 1.5 CPU-seconds each.
+  EXPECT_NE(text.find("\nprocess_cpu_seconds_total 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("process_open_fds{instance=\"" + a.instance() +
+                      "\"} 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("2/2 replicas reporting"), std::string::npos);
+}
+
+TEST(FleetPollerTest, MismatchedHistogramBoundariesRefuseToMerge) {
+  FakeReplica a({1.0, 10.0});
+  FakeReplica b({2.0, 20.0});
+  FleetPoller poller(PollerOptionsFor({&a, &b}));
+  poller.PollOnce();
+  const std::string text = poller.FleetMetricsText();
+  EXPECT_NE(text.find("boundaries differ across replicas"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("warpindex_net_query_wall_ms_bucket"),
+            std::string::npos);
+  // Counters still federate normally.
+  EXPECT_NE(text.find("\nwarpindex_net_requests_total 200\n"),
+            std::string::npos);
+}
+
+TEST(FleetPollerTest, FleetzDropsDrainingAndDeadReplicas) {
+  FakeReplica a;
+  FakeReplica b;
+  FleetPollerOptions options = PollerOptionsFor({&a, &b});
+  options.drop_after_failures = 2;
+  FleetPoller poller(std::move(options));
+  poller.PollOnce();
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonValue::Parse(poller.FleetzJson(), &doc).ok());
+  EXPECT_EQ(doc.GetInt("tracked", -1), 2);
+  EXPECT_EQ(doc.GetInt("live", -1), 2);
+
+  // Draining replicas answer STATS but disappear from the page.
+  b.set_draining(true);
+  poller.PollOnce();
+  ASSERT_TRUE(JsonValue::Parse(poller.FleetzJson(), &doc).ok());
+  EXPECT_EQ(doc.GetInt("live", -1), 1);
+  const JsonValue* rows = doc.Find("replicas");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items().size(), 1u);
+  EXPECT_EQ(rows->items()[0].GetString("instance", ""), a.instance());
+  // Known replica rows carry the ingest backlog gauge.
+  EXPECT_EQ(rows->items()[0].GetInt("ingest_backlog", -1), 7);
+
+  // A dead replica drops out and its failures are tracked.
+  b.set_draining(false);
+  b.StopServer();
+  poller.PollOnce();
+  poller.PollOnce();
+  ASSERT_TRUE(JsonValue::Parse(poller.FleetzJson(), &doc).ok());
+  EXPECT_EQ(doc.GetInt("live", -1), 1);
+  const std::vector<FleetPoller::Replica> snapshot = poller.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_TRUE(snapshot[0].reachable);
+  EXPECT_FALSE(snapshot[1].reachable);
+  EXPECT_GE(snapshot[1].consecutive_failures, 2);
+  // The dead replica's stale numbers leave the fleet sums too.
+  const std::string text = poller.FleetMetricsText();
+  EXPECT_NE(text.find("1/2 replicas reporting"), std::string::npos);
+  EXPECT_EQ(text.find("{instance=\"" + b.instance() + "\"}"),
+            std::string::npos);
+}
+
+TEST(FleetPollerTest, QpsComesFromRequestCounterDeltas) {
+  FakeReplica a;
+  a.set_requests(1000);
+  a.set_request_step(50);  // +50 requests observed per poll
+  FleetPoller poller(PollerOptionsFor({&a}));
+  poller.PollOnce();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  poller.PollOnce();
+  const std::vector<FleetPoller::Replica> snapshot = poller.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_GT(snapshot[0].qps, 0.0);
+  // p99s surface from the histogram document (sum/2 in the fake).
+  EXPECT_DOUBLE_EQ(snapshot[0].p99_wall_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -253,6 +253,106 @@ TEST_F(IntrospectionTest, TracezListsAndLooksUpRetainedTraces) {
   ExpectValidJson(body);
 }
 
+// /profilez drives the whole sampling-profiler lifecycle over HTTP:
+// parameter validation, a real (short) collection in both formats, and
+// the 409 when a second scrape races an in-flight one.
+TEST_F(IntrospectionTest, ProfilezCollectsAndValidates) {
+  IntrospectionServer server;
+  RegisterIntrospectionRoutes(&server, Options());
+  const Status start_status = server.Start();
+  if (!start_status.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << start_status.ToString();
+  }
+
+  std::string body;
+  int status_code = 0;
+  // Bad parameters are rejected before any timer is armed.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/profilez?seconds=0",
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 400);
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/profilez?seconds=999",
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 400);
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/profilez?hz=0", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 400);
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(),
+                      "/profilez?seconds=0.1&format=xml", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 400);
+
+  // A real scrape: keep queries running so the process burns CPU during
+  // the window, then expect a parseable speedscope document.
+  std::atomic<bool> done{false};
+  std::thread load([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      RunQueries(2);
+    }
+  });
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(),
+                      "/profilez?seconds=0.3&hz=499", &body, &status_code,
+                      /*timeout_ms=*/10000)
+                  .ok());
+  if (status_code == 409) {
+    // Unsupported platform: Collect reports FailedPrecondition.
+    done.store(true, std::memory_order_release);
+    load.join();
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  EXPECT_EQ(status_code, 200);
+  ExpectValidJson(body);
+  EXPECT_NE(body.find("\"$schema\""), std::string::npos);
+
+  // The folded format is plain text "stack count" lines.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(),
+                      "/profilez?seconds=0.2&hz=499&format=folded", &body,
+                      &status_code, /*timeout_ms=*/10000)
+                  .ok());
+  EXPECT_EQ(status_code, 200);
+  done.store(true, std::memory_order_release);
+  load.join();
+}
+
+// Without a FleetPoller configured, the fleet view is a clean 400, not
+// a crash or an empty 200 that would look like a healthy empty fleet.
+TEST_F(IntrospectionTest, FleetViewWithoutPollerIsBadRequest) {
+  IntrospectionServer server;
+  RegisterIntrospectionRoutes(&server, Options());
+  const Status start_status = server.Start();
+  if (!start_status.ok()) {
+    GTEST_SKIP() << "cannot bind loopback: " << start_status.ToString();
+  }
+  std::string body;
+  int status_code = 0;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/metrics?fleet=1",
+                      &body, &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 400);
+  // /fleetz is only registered when a poller exists.
+  ASSERT_TRUE(HttpGet("127.0.0.1", server.port(), "/fleetz", &body,
+                      &status_code)
+                  .ok());
+  EXPECT_EQ(status_code, 404);
+}
+
+// Every wall_ms in a flight record has a populated cpu_ms sibling once
+// real queries ran — the tentpole's end-to-end attribution invariant.
+TEST_F(IntrospectionTest, FlightRecordsCarryCpuSiblings) {
+  RunQueries(4);
+  const std::vector<FlightRecord> records = flight_recorder_.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (const FlightRecord& record : records) {
+    EXPECT_GE(record.wall_ms, 0.0);
+    EXPECT_GT(record.cpu_ms, 0.0) << record.method;
+  }
+  const std::string json = FlightRecordsToJson(records);
+  EXPECT_NE(json.find("\"cpu_ms\""), std::string::npos);
+}
+
 TEST_F(IntrospectionTest, FlightRecordsCarryTraceIds) {
   RunQueries(4);
   // Every query was traced (head gate 1), so every flight record should

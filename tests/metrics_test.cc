@@ -143,6 +143,55 @@ TEST(MetricsExportTest, PrometheusTextFormat) {
             std::string::npos);
   EXPECT_NE(text.find("warp_latency_ms_count 3"), std::string::npos);
   EXPECT_NE(text.find("warp_latency_ms_sum 55.5"), std::string::npos);
+  // Estimated-quantile gauges ride along with every native histogram
+  // (p50 lands in the (1,10] bucket whose midpoint is 5.5; p99/p999
+  // land in the overflow bucket, which clamps to the observed max).
+  EXPECT_NE(text.find("# TYPE warp_latency_ms_p50 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_p50 5.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE warp_latency_ms_p99 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_p99 50"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE warp_latency_ms_p999 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("warp_latency_ms_p999 50"), std::string::npos);
+}
+
+TEST(MetricsExportTest, ProcessSelfMetricsInBothExporters) {
+  MetricsRegistry registry;
+  registry.GetCounter("warp_queries_total")->Increment(1);
+  ProcessSelfMetrics process;
+  process.valid = true;
+  process.cpu_seconds_total = 12.5;
+  process.resident_memory_bytes = 4096.0;
+  process.open_fds = 17;
+  process.start_time_seconds = 1234.5;
+
+  const std::string text = MetricsToPrometheusText(
+      registry.TakeSnapshot(), nullptr, &process);
+  EXPECT_NE(text.find("# TYPE process_cpu_seconds_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("process_cpu_seconds_total 12.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE process_resident_memory_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("process_resident_memory_bytes 4096"),
+            std::string::npos);
+  EXPECT_NE(text.find("process_open_fds 17"), std::string::npos);
+  EXPECT_NE(text.find("process_start_time_seconds 1234.5"),
+            std::string::npos);
+
+  const std::string json =
+      MetricsToJson(registry.TakeSnapshot(), nullptr, &process);
+  EXPECT_NE(json.find("\"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_seconds_total\":12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"open_fds\":17"), std::string::npos);
+
+  // An invalid reading (no /proc) omits the block instead of zeros.
+  process.valid = false;
+  const std::string without = MetricsToPrometheusText(
+      registry.TakeSnapshot(), nullptr, &process);
+  EXPECT_EQ(without.find("process_cpu_seconds_total"), std::string::npos);
 }
 
 TEST(MetricsExportTest, JsonSnapshotFormat) {

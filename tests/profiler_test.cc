@@ -1,0 +1,225 @@
+// Tests for the SIGPROF sampling CPU profiler (obs/profiler.h): the
+// Start/Stop/Collect lifecycle, argument validation, thread-tag
+// attribution in the folded output, both export formats, and — run
+// under TSan in CI — scraping a profile while tagged threads burn CPU,
+// which certifies the signal handler races nothing on the sample path.
+//
+// On platforms without timer_create/SIGPROF support Start() returns
+// FailedPrecondition; every sampling test skips itself there.
+
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/json.h"
+
+namespace warpindex {
+namespace {
+
+// Spins until `stop`, doing enough arithmetic per iteration that the
+// thread is genuinely on-CPU (the process-CPU-clock timer only fires
+// while threads run).
+void BurnCpu(const std::atomic<bool>& stop) {
+  volatile double sink = 1.0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (int i = 1; i < 512; ++i) {
+      sink = sink + 1.0 / static_cast<double>(i);
+    }
+  }
+}
+
+// Starts the profiler or skips the test on unsupported platforms.
+// Returns false when skipped.
+bool StartOrSkip(const ProfileOptions& options) {
+  const Status status = CpuProfiler::Global().Start(options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    return false;
+  }
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return status.ok();
+}
+
+TEST(CpuProfilerTest, StopWithoutStartFails) {
+  Profile profile;
+  const Status status = CpuProfiler::Global().Stop(&profile);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(CpuProfiler::Global().running());
+}
+
+TEST(CpuProfilerTest, StartRejectsBadRates) {
+  ProfileOptions options;
+  options.hz = 0;
+  EXPECT_EQ(CpuProfiler::Global().Start(options).code(),
+            StatusCode::kInvalidArgument);
+  options.hz = 1001;
+  EXPECT_EQ(CpuProfiler::Global().Start(options).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(CpuProfiler::Global().running());
+}
+
+TEST(CpuProfilerTest, CollectValidatesWindowAndRate) {
+  Profile profile;
+  EXPECT_EQ(CpuProfiler::Global().Collect(0.0, 99, &profile).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CpuProfiler::Global().Collect(121.0, 99, &profile).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CpuProfiler::Global().Collect(1.0, 0, &profile).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CpuProfiler::Global().Collect(1.0, 1001, &profile).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CpuProfilerTest, SecondStartIsRejectedWhileRunning) {
+  if (!StartOrSkip(ProfileOptions{})) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  EXPECT_TRUE(CpuProfiler::Global().running());
+  EXPECT_EQ(CpuProfiler::Global().Start(ProfileOptions{}).code(),
+            StatusCode::kFailedPrecondition);
+  Profile profile;
+  EXPECT_TRUE(CpuProfiler::Global().Stop(&profile).ok());
+  EXPECT_FALSE(CpuProfiler::Global().running());
+}
+
+TEST(CpuProfilerTest, IdleProfileIsValidWithZeroOrFewSamples) {
+  if (!StartOrSkip(ProfileOptions{})) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  // No CPU burned on purpose: the process-CPU timer barely advances, so
+  // this exercises the empty/near-empty export paths.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Profile profile;
+  ASSERT_TRUE(CpuProfiler::Global().Stop(&profile).ok());
+  EXPECT_EQ(profile.dropped, 0u);
+  const std::string folded = profile.FoldedText();
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(profile.SpeedscopeJson(), &parsed).ok())
+      << profile.SpeedscopeJson();
+  EXPECT_NE(parsed.Find("profiles"), nullptr);
+}
+
+TEST(CpuProfilerTest, TagsBusyThreadsInFoldedStacks) {
+  ProfileOptions options;
+  options.hz = 997;  // dense sampling keeps the busy window short
+  if (!StartOrSkip(options)) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> burners;
+  for (int i = 0; i < 2; ++i) {
+    burners.emplace_back([&stop, i] {
+      CpuProfiler::SetThreadTag("burner-" + std::to_string(i));
+      BurnCpu(stop);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (std::thread& t : burners) {
+    t.join();
+  }
+  Profile profile;
+  ASSERT_TRUE(CpuProfiler::Global().Stop(&profile).ok());
+  ASSERT_GT(profile.samples, 0u);
+  EXPECT_EQ(profile.hz, 997);
+  EXPECT_GT(profile.duration_s, 0.0);
+
+  // The only threads burning CPU were the tagged burners, so their tags
+  // must dominate the folded stacks (the main thread sleeps; allow a
+  // few stray samples from it and the gtest machinery).
+  uint64_t total = 0;
+  uint64_t tagged = 0;
+  for (const auto& [stack, count] : profile.folded) {
+    total += count;
+    if (stack.rfind("burner-", 0) == 0) {
+      tagged += count;
+    }
+  }
+  EXPECT_EQ(total, profile.samples);
+  EXPECT_GT(tagged, total / 2) << profile.FoldedText();
+
+  // Folded lines are "stack count" with tag-first stacks.
+  const std::string folded = profile.FoldedText();
+  EXPECT_NE(folded.find("burner-0;"), std::string::npos);
+  EXPECT_NE(folded.find("burner-1;"), std::string::npos);
+
+  // The speedscope export of the same profile parses and carries every
+  // sample's weight.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(profile.SpeedscopeJson(), &parsed).ok());
+  const JsonValue* profiles = parsed.Find("profiles");
+  ASSERT_NE(profiles, nullptr);
+}
+
+// TSan target: Collect() runs a whole profile while tagged threads burn
+// CPU and keep re-tagging themselves — the signal handler samples
+// concurrently with SetThreadTag and with the burners' stack growth.
+TEST(CpuProfilerTest, CollectWhileThreadsBurnAndRetag) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> burners;
+  for (int i = 0; i < 3; ++i) {
+    burners.emplace_back([&stop, i] {
+      uint64_t laps = 0;
+      volatile double sink = 1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        CpuProfiler::SetThreadTag("lap-" + std::to_string(i) + "-" +
+                                  std::to_string(laps++ % 4));
+        for (int j = 1; j < 4096; ++j) {
+          sink = sink + 1.0 / static_cast<double>(j);
+        }
+      }
+    });
+  }
+  Profile profile;
+  const Status status = CpuProfiler::Global().Collect(0.3, 499, &profile);
+  stop.store(true);
+  for (std::thread& t : burners) {
+    t.join();
+  }
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_GT(profile.samples, 0u);
+  EXPECT_FALSE(CpuProfiler::Global().running());
+}
+
+TEST(CpuProfilerTest, TagLongerThanLimitIsTruncatedNotRejected) {
+  ProfileOptions options;
+  options.hz = 997;
+  if (!StartOrSkip(options)) {
+    GTEST_SKIP() << "profiler unsupported on this platform";
+  }
+  std::atomic<bool> stop{false};
+  std::thread burner([&stop] {
+    CpuProfiler::SetThreadTag(std::string(64, 'x'));
+    BurnCpu(stop);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop.store(true);
+  burner.join();
+  Profile profile;
+  ASSERT_TRUE(CpuProfiler::Global().Stop(&profile).ok());
+  const std::string truncated(CpuProfiler::kMaxTagLength, 'x');
+  bool found = false;
+  for (const auto& [stack, count] : profile.folded) {
+    if (stack.rfind(truncated + ";", 0) == 0 || stack == truncated) {
+      found = true;
+      EXPECT_EQ(stack.find(std::string(CpuProfiler::kMaxTagLength + 1, 'x')),
+                std::string::npos);
+    }
+  }
+  if (profile.samples > 0) {
+    EXPECT_TRUE(found) << profile.FoldedText();
+  }
+}
+
+}  // namespace
+}  // namespace warpindex

@@ -20,7 +20,10 @@ SearchCost MakeCost(double scale) {
   cost.lb_evals = static_cast<uint64_t>(5 * scale);
   cost.index_nodes = static_cast<uint64_t>(3 * scale);
   cost.wall_ms = 1.5 * scale;
+  cost.cpu_ms = 1.25 * scale;
   cost.stages.Add(kStageRtreeSearch, 0.5 * scale);
+  cost.stages_cpu.Add(kStageRtreeSearch, 0.4 * scale);
+  cost.stages_cpu.Add(kStageDtwPostfilter, 0.8 * scale);
   cost.stages.Add(kStageDtwPostfilter, 1.0 * scale);
   cost.prunes.Record(kStageLbKeoghCascade, static_cast<uint64_t>(20 * scale),
                      static_cast<uint64_t>(12 * scale));
@@ -42,9 +45,13 @@ TEST(SearchCostTest, MergeIsAdditive) {
   EXPECT_EQ(a.lb_evals, 15u);
   EXPECT_EQ(a.index_nodes, 9u);
   EXPECT_DOUBLE_EQ(a.wall_ms, 4.5);
-  // StageTimings merge additively, stage by stage.
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 3.75);
+  // StageTimings merge additively, stage by stage — the CPU siblings
+  // included.
   EXPECT_DOUBLE_EQ(a.stages.Get(kStageRtreeSearch), 1.5);
   EXPECT_DOUBLE_EQ(a.stages.Get(kStageDtwPostfilter), 3.0);
+  EXPECT_DOUBLE_EQ(a.stages_cpu.Get(kStageRtreeSearch), 1.2);
+  EXPECT_DOUBLE_EQ(a.stages_cpu.Get(kStageDtwPostfilter), 2.4);
   EXPECT_DOUBLE_EQ(a.stages.TotalMillis(), 4.5);
   // StageCounters merge additively too (in and pruned separately).
   EXPECT_EQ(a.prunes.Get(kStageLbKeoghCascade).in, 60u);
@@ -66,6 +73,12 @@ TEST(SearchCostTest, MergeParallelSumsResourcesAndTakesMaxWall) {
   // Wall: max(1.5, 3.0), NOT 4.5 — K concurrent shards at t ms each
   // finish in ~t ms.
   EXPECT_DOUBLE_EQ(a.wall_ms, 3.0);
+  // CPU stays ADDITIVE even across concurrent shards: K workers each
+  // burning t ms really consumed K*t ms of machine time, and the
+  // wall-vs-CPU skew is exactly what per-query CPU attribution exposes.
+  EXPECT_DOUBLE_EQ(a.cpu_ms, 3.75);
+  EXPECT_DOUBLE_EQ(a.stages_cpu.Get(kStageRtreeSearch), 1.2);
+  EXPECT_DOUBLE_EQ(a.stages_cpu.Get(kStageDtwPostfilter), 2.4);
   // Everything else: identical to additive Merge.
   EXPECT_EQ(a.io.random_page_reads, 6u);
   EXPECT_EQ(a.io.sequential_page_reads, 30u);

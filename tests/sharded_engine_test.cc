@@ -370,6 +370,35 @@ TEST(ShardedEngineTest, FlightRecordsCarryShardIds) {
   EXPECT_EQ(shards.size(), records.size());  // one record per shard
 }
 
+// Per-query CPU attribution through the sharded merge: MergeParallel
+// keeps CPU additive (machine work sums even when shards overlap in
+// time), so the merged cpu_ms must carry at least the sum of the
+// per-shard cpu_ms the flight records report, and with a multi-worker
+// pool the fan-out can burn CPU faster than wall time elapses.
+TEST(ShardedEngineTest, MergedCpuIsAtLeastSumOfPerShardCpu) {
+  FlightRecorder recorder;
+  ShardedEngineOptions options = ShardOptions(3, PartitionerKind::kHash);
+  options.flight_recorder = &recorder;
+  ShardedEngine sharded(WalkDataset(200), options);
+  ThreadPool pool(3);
+  sharded.AttachPool(&pool);
+  const Sequence q = PerturbSequence(sharded.shard(0).dataset()[0], 2);
+  const SearchResult result = sharded.Search(q, 0.6);
+
+  double per_shard_cpu = 0.0;
+  for (const FlightRecord& r : recorder.Snapshot()) {
+    EXPECT_GE(r.cpu_ms, 0.0);
+    per_shard_cpu += r.cpu_ms;
+  }
+  EXPECT_GT(result.cost.cpu_ms, 0.0);
+  // Merged CPU = sum of shard CPU + the merge layer's own (non-negative)
+  // CPU; a small epsilon absorbs clock granularity.
+  EXPECT_GE(result.cost.cpu_ms, per_shard_cpu - 0.05)
+      << "merged " << result.cost.cpu_ms << " vs per-shard sum "
+      << per_shard_cpu;
+  sharded.AttachPool(nullptr);
+}
+
 TEST(ShardedEngineTest, ShardMetricsLandInTheSharedRegistry) {
   MetricsRegistry registry;
   ShardedEngineOptions options = ShardOptions(4, PartitionerKind::kHash);
