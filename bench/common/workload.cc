@@ -1,0 +1,42 @@
+#include "common/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace warpindex {
+namespace bench {
+
+ZipfianSampler::ZipfianSampler(ZipfianOptions options)
+    : options_(options), rng_(options.seed) {
+  const size_t n = std::max<size_t>(1, options_.num_items);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), options_.skew);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+size_t ZipfianSampler::Next() {
+  const double u = uniform_(rng_);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+std::vector<size_t> GenerateZipfianIndices(const ZipfianOptions& options,
+                                           size_t count) {
+  ZipfianSampler sampler(options);
+  std::vector<size_t> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(sampler.Next());
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace warpindex

@@ -1,0 +1,61 @@
+// Seeded, reproducible query-workload shapes shared by the benchmark
+// harnesses.
+//
+// A ZipfianSampler draws item indices with P(i) proportional to
+// 1/(i+1)^s over a fixed support — the standard skewed-popularity model
+// for cache studies (s=0 is uniform; s=1 is the classic web-trace
+// shape where a handful of hot items dominate). Sampling is inverse-CDF
+// over a precomputed table, so a draw is one RNG call plus a binary
+// search, and the same (num_items, skew, seed) triple always yields the
+// same stream on every platform (std::mt19937_64 is specified exactly).
+//
+// micro_throughput uses it to optionally replay a repeat-heavy stream
+// over a small distinct-query pool; micro_cache sweeps `skew` to show
+// how the semantic cache's hit rate tracks workload skew.
+
+#ifndef WARPINDEX_BENCH_COMMON_WORKLOAD_H_
+#define WARPINDEX_BENCH_COMMON_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace warpindex {
+namespace bench {
+
+struct ZipfianOptions {
+  // Support size: indices are drawn from [0, num_items). Must be >= 1.
+  size_t num_items = 1;
+  // Skew exponent s >= 0. 0 = uniform; 1 = classic Zipf; larger =
+  // hotter head.
+  double skew = 1.0;
+  uint64_t seed = 42;
+};
+
+class ZipfianSampler {
+ public:
+  explicit ZipfianSampler(ZipfianOptions options);
+
+  // One item index in [0, num_items).
+  size_t Next();
+
+  const ZipfianOptions& options() const { return options_; }
+
+ private:
+  ZipfianOptions options_;
+  // cdf_[i] = P(index <= i), monotone, cdf_.back() == 1.
+  std::vector<double> cdf_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+// `count` draws from a fresh sampler — the whole access stream of a
+// replay workload, reproducible from (options, count).
+std::vector<size_t> GenerateZipfianIndices(const ZipfianOptions& options,
+                                           size_t count);
+
+}  // namespace bench
+}  // namespace warpindex
+
+#endif  // WARPINDEX_BENCH_COMMON_WORKLOAD_H_

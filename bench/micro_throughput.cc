@@ -18,6 +18,7 @@
 #include "common/bench_util.h"
 #include "common/flags.h"
 #include "common/stats.h"
+#include "common/workload.h"
 #include "common/table_printer.h"
 #include "common/status.h"
 #include "exec/query_executor.h"
@@ -35,6 +36,9 @@ int Run(int argc, char** argv) {
   std::string method = "tw";
   std::string thread_list = "1,2,4,8";
   int64_t repeat = 3;  // best-of, to damp scheduler noise
+  int64_t distinct = 0;
+  double skew = 1.0;
+  int64_t workload_seed = 42;
   std::string metrics_json;
   int64_t profile_hz = 0;
 
@@ -46,6 +50,13 @@ int Run(int argc, char** argv) {
   flags.AddString("method", &method, "tw | naive | lb");
   flags.AddString("threads", &thread_list, "worker counts to sweep");
   flags.AddInt64("repeat", &repeat, "batch repetitions (best qps kept)");
+  flags.AddInt64("distinct", &distinct,
+                 "repeat-heavy workload: draw the batch Zipfian(--skew) "
+                 "from this many distinct queries (0 = every query "
+                 "distinct, the default)");
+  flags.AddDouble("skew", &skew,
+                  "Zipf exponent for --distinct draws (0 = uniform)");
+  flags.AddInt64("seed", &workload_seed, "workload RNG seed");
   flags.AddString("metrics_json", &metrics_json,
                   "also write one JSON line per thread count to this file");
   flags.AddInt64("profile_hz", &profile_hz,
@@ -81,13 +92,28 @@ int Run(int argc, char** argv) {
   rw.min_length = static_cast<size_t>(length);
   rw.max_length = static_cast<size_t>(length);
   const Engine engine(GenerateRandomWalkDataset(rw), EngineOptions{});
+  // With --distinct, the batch replays a small query pool under the
+  // shared seeded Zipfian sampler (bench/common/workload.h) — the same
+  // repeat-heavy stream micro_cache measures hit rates on.
+  const size_t pool_size = distinct > 0 ? static_cast<size_t>(distinct)
+                                        : static_cast<size_t>(num_queries);
   const auto queries = GenerateQueryWorkload(
-      engine.dataset(),
-      QueryWorkloadOptions{.num_queries = static_cast<size_t>(num_queries)});
+      engine.dataset(), QueryWorkloadOptions{.num_queries = pool_size});
   std::vector<QueryRequest> requests;
-  requests.reserve(queries.size());
-  for (const Sequence& q : queries) {
-    requests.push_back(QueryRequest{kind, q, eps});
+  requests.reserve(static_cast<size_t>(num_queries));
+  if (distinct > 0) {
+    bench::ZipfianOptions zipf;
+    zipf.num_items = queries.size();
+    zipf.skew = skew;
+    zipf.seed = static_cast<uint64_t>(workload_seed);
+    for (const size_t i : bench::GenerateZipfianIndices(
+             zipf, static_cast<size_t>(num_queries))) {
+      requests.push_back(QueryRequest{kind, queries[i], eps});
+    }
+  } else {
+    for (const Sequence& q : queries) {
+      requests.push_back(QueryRequest{kind, q, eps});
+    }
   }
 
   bench::PrintPreamble(

@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/semantic_cache.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "core/engine.h"
@@ -306,6 +307,8 @@ int RunServe(int argc, char** argv) {
   int64_t ingest_compact_entries = 128;
   std::string profile_out;
   int64_t profile_hz = 99;
+  bool use_cache = false;
+  int64_t cache_mb = 64;
 
   FlagSet flags("warpindex_cli serve");
   flags.AddString("dataset", &dataset_kind,
@@ -373,6 +376,10 @@ int RunServe(int argc, char** argv) {
                   "collapsed stacks)");
   flags.AddInt64("profile_hz", &profile_hz,
                  "--profile_out sampling rate per CPU-second");
+  flags.AddBool("cache", &use_cache,
+                "semantic result cache in front of the executor "
+                "(ε-subsumption reuse; see docs/CACHING.md)");
+  flags.AddInt64("cache_mb", &cache_mb, "--cache byte budget (MiB)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -487,11 +494,25 @@ int RunServe(int argc, char** argv) {
     return 1;
   }
 
+  // Optional executor-tier semantic cache. Registers its
+  // warpindex_cache_executor_* series in the serving engine's registry
+  // so /metrics and the stats epilogue show the same names. With
+  // --ingest every write bumps DataVersion(), so cached entries from
+  // before the write are invalid by construction.
+  std::unique_ptr<SemanticCache> cache;
+  if (use_cache) {
+    SemanticCacheOptions cache_options;
+    cache_options.max_bytes = static_cast<size_t>(cache_mb) << 20;
+    cache_options.metrics = &engine.get()->metrics();
+    cache = std::make_unique<SemanticCache>(cache_options);
+  }
+
   QueryExecutorOptions executor_options;
   executor_options.num_threads = static_cast<size_t>(threads);
   executor_options.flight_recorder = &flight_recorder;
   executor_options.slow_log = &slow_log;
   executor_options.trace_store = trace_store.get();
+  executor_options.cache = cache.get();
   QueryExecutor executor(engine.get(), executor_options);
   if (engine.sharded != nullptr) {
     // The sharded engine fans each query out over the executor's own
@@ -519,6 +540,7 @@ int RunServe(int argc, char** argv) {
                                       .sharded = engine.sharded.get(),
                                       .ingest = engine.ingest.get(),
                                       .executor = &executor,
+                                      .cache = cache.get(),
                                       .flight_recorder = &flight_recorder,
                                       .slow_log = &slow_log,
                                       .trace_store = trace_store.get()});
@@ -530,7 +552,7 @@ int RunServe(int argc, char** argv) {
     }
     std::printf("introspection server on http://127.0.0.1:%u "
                 "(/healthz /metrics /statusz /slowlog /flightrecorder "
-                "/tracez)\n",
+                "/tracez /cachez)\n",
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
   }
@@ -652,6 +674,16 @@ int RunServe(int argc, char** argv) {
   if (total_dtw_evals > 0) {
     std::printf("exact-DTW evaluations: %llu\n",
                 static_cast<unsigned long long>(total_dtw_evals));
+  }
+  if (cache != nullptr) {
+    const SemanticCacheStats cache_stats = cache->TakeStats();
+    std::printf("cache: warpindex_cache_executor_hits_total=%llu "
+                "warpindex_cache_executor_misses_total=%llu "
+                "(hit ratio %.3f, %zu entries, %zu bytes)\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                cache_stats.hit_ratio, cache_stats.entries,
+                cache_stats.bytes);
   }
 
   if (engine.ingest != nullptr) {
@@ -861,7 +893,7 @@ int RunInspect(int argc, char** argv) {
                  "port of a running `serve --http_port` instance");
   flags.AddString("endpoint", &endpoint,
                   "/healthz | /metrics | /statusz | /slowlog | "
-                  "/flightrecorder | /tracez");
+                  "/flightrecorder | /tracez | /cachez");
   flags.AddInt64("timeout_ms", &timeout_ms, "socket timeout");
   if (!flags.Parse(argc, argv)) {
     return 1;
@@ -1174,6 +1206,13 @@ int RunRoute(int argc, char** argv) {
                  "background fleet STATS poll period in ms "
                  "(0 = poll only when /metrics?fleet=1 or /fleetz is "
                  "scraped)");
+  bool use_cache = false;
+  int64_t cache_mb = 64;
+  flags.AddBool("cache", &use_cache,
+                "router-tier semantic result cache — a hit skips the "
+                "shard fan-out entirely; only for immutable saved "
+                "databases (see docs/CACHING.md)");
+  flags.AddInt64("cache_mb", &cache_mb, "--cache byte budget (MiB)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -1226,6 +1265,18 @@ int RunRoute(int argc, char** argv) {
   SlowQueryLog slow_log(32);
   options.flight_recorder = &flight_recorder;
   options.slow_log = &slow_log;
+
+  // Router-tier cache: the saved shard databases are immutable, so the
+  // fixed version-0 keying is sound (docs/CACHING.md).
+  std::unique_ptr<SemanticCache> cache;
+  if (use_cache) {
+    SemanticCacheOptions cache_options;
+    cache_options.max_bytes = static_cast<size_t>(cache_mb) << 20;
+    cache_options.tier = "router";
+    cache_options.metrics = &MetricsRegistry::Global();
+    cache = std::make_unique<SemanticCache>(cache_options);
+    options.cache = cache.get();
+  }
 
   // Fleet federation (net/fleet.h): the poller dials the same replica
   // endpoints the router scatter-gathers over and backs
@@ -1331,6 +1382,7 @@ int RunRoute(int argc, char** argv) {
     RegisterIntrospectionRoutes(
         &http, IntrospectionOptions{.router = router.get(),
                                     .fleet = &fleet_poller,
+                                    .router_cache = cache.get(),
                                     .flight_recorder = &flight_recorder,
                                     .slow_log = &slow_log});
     if (fleet_poll_ms > 0) {
@@ -1642,6 +1694,12 @@ int Run(int argc, char** argv) {
                   "collapsed stacks)");
   flags.AddInt64("profile_hz", &profile_hz,
                  "--profile_out sampling rate per CPU-second");
+  bool use_cache = false;
+  int64_t cache_mb = 64;
+  flags.AddBool("cache", &use_cache,
+                "run the queries through a semantic result cache and "
+                "print its hit/miss totals (see docs/CACHING.md)");
+  flags.AddInt64("cache_mb", &cache_mb, "--cache byte budget (MiB)");
   if (!flags.Parse(argc, argv)) {
     return 1;
   }
@@ -1724,6 +1782,24 @@ int Run(int argc, char** argv) {
                 PartitionerKindName(serving.sharded->partitioner()));
   }
 
+  // --cache routes the queries through an executor fronted by the
+  // semantic cache; the cache registers its warpindex_cache_executor_*
+  // series in the engine's registry, so `stats` mode reports the same
+  // metric names `serve --cache` exports on /metrics.
+  std::unique_ptr<SemanticCache> cache;
+  std::unique_ptr<QueryExecutor> cached_executor;
+  if (use_cache) {
+    SemanticCacheOptions cache_options;
+    cache_options.max_bytes = static_cast<size_t>(cache_mb) << 20;
+    cache_options.metrics = &engine.metrics();
+    cache = std::make_unique<SemanticCache>(cache_options);
+    QueryExecutorOptions exec_options;
+    exec_options.num_threads = 1;
+    exec_options.cache = cache.get();
+    cached_executor =
+        std::make_unique<QueryExecutor>(serving.get(), exec_options);
+  }
+
   const bool tracing = !trace_out.empty() || !trace_events_out.empty();
   // Traces headed for the trace-event file (one timeline document, so
   // both a kNN and a range trace from this invocation share it).
@@ -1731,8 +1807,12 @@ int Run(int argc, char** argv) {
 
   if (k > 0) {
     Trace trace;
-    const KnnResult result = engine.SearchKnn(
-        query, static_cast<size_t>(k), tracing ? &trace : nullptr);
+    const KnnResult result =
+        cached_executor != nullptr
+            ? cached_executor->SearchKnn(query, static_cast<size_t>(k),
+                                         tracing ? &trace : nullptr)
+            : engine.SearchKnn(query, static_cast<size_t>(k),
+                               tracing ? &trace : nullptr);
     std::printf("\n%zu nearest sequences under D_tw:\n",
                 result.neighbors.size());
     for (const KnnMatch& n : result.neighbors) {
@@ -1765,8 +1845,14 @@ int Run(int argc, char** argv) {
 
   if (eps >= 0.0) {
     Trace trace;
-    const SearchResult result = engine.SearchWith(
-        method_kind, query, eps, tracing ? &trace : nullptr);
+    const SearchResult result =
+        cached_executor != nullptr
+            ? cached_executor
+                  ->Submit(method_kind, query, eps,
+                           tracing ? &trace : nullptr)
+                  .get()
+            : engine.SearchWith(method_kind, query, eps,
+                                tracing ? &trace : nullptr);
     std::printf("\nsequences with D_tw <= %.4f: %zu (from %zu candidates)\n",
                 eps, result.matches.size(), result.num_candidates);
     for (const SequenceId id : result.matches) {
@@ -1822,6 +1908,17 @@ int Run(int argc, char** argv) {
     std::printf("wrote %zu trace(s) to %s (trace-event JSON; open in "
                 "ui.perfetto.dev)\n",
                 traces.size(), trace_events_out.c_str());
+  }
+
+  if (cache != nullptr) {
+    const SemanticCacheStats cache_stats = cache->TakeStats();
+    std::printf("\ncache: warpindex_cache_executor_hits_total=%llu "
+                "warpindex_cache_executor_misses_total=%llu "
+                "(hit ratio %.3f, %zu entries, %zu bytes)\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses),
+                cache_stats.hit_ratio, cache_stats.entries,
+                cache_stats.bytes);
   }
 
   if (stats_mode) {

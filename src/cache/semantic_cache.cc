@@ -1,0 +1,390 @@
+#include "cache/semantic_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace warpindex {
+namespace {
+
+// splitmix64 finalizer — cheap, well-distributed single-word mixer.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix(seed ^ Mix(value));
+}
+
+uint64_t DoubleBits(double v) {
+  if (v == 0.0) {
+    v = 0.0;  // canonicalize -0.0: it compares equal and warps equal
+  }
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Fingerprint of the query values + DTW configuration, before the
+// method/kNN tag is folded in.
+uint64_t BaseFingerprint(const Sequence& query, const DtwOptions& dtw) {
+  uint64_t h = 0x77617270696e6458ull;  // "warpindX"
+  h = HashCombine(h, static_cast<uint64_t>(query.size()));
+  for (size_t i = 0; i < query.size(); ++i) {
+    h = HashCombine(h, DoubleBits(query[i]));
+  }
+  h = HashCombine(h, static_cast<uint64_t>(dtw.combiner));
+  h = HashCombine(h, static_cast<uint64_t>(dtw.step));
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(dtw.band)));
+  h = HashCombine(h, dtw.take_sqrt ? 1u : 0u);
+  return h;
+}
+
+// Tag space: range entries use the MethodKind ordinal, kNN a value no
+// method occupies.
+constexpr uint64_t kKnnTag = 0xffffull;
+
+constexpr MethodKind kAllMethods[] = {
+    MethodKind::kTwSimSearch, MethodKind::kNaiveScan, MethodKind::kLbScan,
+    MethodKind::kStFilter, MethodKind::kTwSimSearchCascade};
+
+// Fixed bookkeeping charge per entry: list node + map slot + the Entry
+// struct itself, rounded up so small entries cannot make the accounting
+// vanish.
+constexpr size_t kEntryOverheadBytes = 192;
+
+}  // namespace
+
+SemanticCache::SemanticCache(SemanticCacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.stripes == 0) {
+    options_.stripes = 1;
+  }
+  stripe_budget_ = options_.max_bytes / options_.stripes;
+  stripes_.reserve(options_.stripes);
+  for (size_t i = 0; i < options_.stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  if (options_.metrics != nullptr) {
+    const std::string prefix = "warpindex_cache_" + options_.tier + "_";
+    MetricsRegistry& metrics = *options_.metrics;
+    lookups_total_ = metrics.GetCounter(
+        prefix + "lookups_total", "semantic cache lookups (" +
+                                      options_.tier + " tier)");
+    hits_total_ = metrics.GetCounter(
+        prefix + "hits_total",
+        "semantic cache hits — answered by re-filtering a stored result");
+    misses_total_ = metrics.GetCounter(
+        prefix + "misses_total",
+        "semantic cache misses — the engine ran the query");
+    insertions_total_ = metrics.GetCounter(
+        prefix + "insertions_total", "entries stored or widened");
+    invalidations_total_ = metrics.GetCounter(
+        prefix + "invalidations_total",
+        "entries dropped because the engine data version advanced");
+    evictions_total_ = metrics.GetCounter(
+        prefix + "evictions_total", "entries evicted by the LRU byte budget");
+    bytes_gauge_ = metrics.GetGauge(
+        prefix + "bytes", "bytes of cached results currently resident");
+    entries_gauge_ = metrics.GetGauge(
+        prefix + "entries", "cached results currently resident");
+    hit_ratio_percent_ = metrics.GetGauge(
+        prefix + "hit_ratio_percent",
+        "lifetime hit ratio of the semantic cache, percent");
+  }
+}
+
+uint64_t SemanticCache::RangeKey(const Sequence& query,
+                                 const DtwOptions& dtw, MethodKind method) {
+  return HashCombine(BaseFingerprint(query, dtw),
+                     static_cast<uint64_t>(method));
+}
+
+uint64_t SemanticCache::KnnKey(const Sequence& query, const DtwOptions& dtw) {
+  return HashCombine(BaseFingerprint(query, dtw), kKnnTag);
+}
+
+size_t SemanticCache::EntryBytes(const Entry& entry) {
+  return kEntryOverheadBytes +
+         entry.matches.size() * sizeof(SequenceId) +
+         entry.distances.size() * sizeof(double) +
+         entry.neighbors.size() * sizeof(KnnMatch);
+}
+
+SemanticCache::Stripe& SemanticCache::StripeFor(uint64_t key) {
+  return *stripes_[Mix(key) % stripes_.size()];
+}
+
+SemanticCache::Entry* SemanticCache::Probe(Stripe& stripe, uint64_t key,
+                                           uint64_t version) {
+  const auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    return nullptr;
+  }
+  if (it->second->version != version) {
+    // Stale: the visible data changed since this entry answered. Drop it
+    // now rather than waiting for the LRU to cycle it out.
+    stripe.bytes -= it->second->bytes;
+    stripe.lru.erase(it->second);
+    stripe.index.erase(it);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (invalidations_total_ != nullptr) {
+      invalidations_total_->Increment();
+    }
+    return nullptr;
+  }
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  return &*it->second;
+}
+
+bool SemanticCache::LookupRange(uint64_t key, double epsilon,
+                                uint64_t version, SearchResult* out) {
+  bool hit = false;
+  {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    Entry* entry = Probe(stripe, key, version);
+    if (entry != nullptr && entry->epsilon >= epsilon) {
+      // ε-subsumption: the stored answer is a superset; re-filtering the
+      // stored exact distances yields the ε answer in emission order.
+      *out = SearchResult();
+      out->matches.reserve(entry->matches.size());
+      out->distances.reserve(entry->distances.size());
+      for (size_t i = 0; i < entry->matches.size(); ++i) {
+        if (entry->distances[i] <= epsilon) {
+          out->matches.push_back(entry->matches[i]);
+          out->distances.push_back(entry->distances[i]);
+        }
+      }
+      out->num_candidates = entry->num_candidates;
+      out->cost.cache_hits = 1;
+      hit = true;
+    }
+  }
+  RecordLookup(hit);
+  return hit;
+}
+
+void SemanticCache::InsertRange(uint64_t key, double epsilon,
+                                uint64_t version,
+                                const SearchResult& result) {
+  if (epsilon < 0.0 ||
+      result.distances.size() != result.matches.size()) {
+    return;  // nothing replayable without per-match distances
+  }
+  Entry entry;
+  entry.key = key;
+  entry.version = version;
+  entry.epsilon = epsilon;
+  entry.matches = result.matches;
+  entry.distances = result.distances;
+  entry.num_candidates = result.num_candidates;
+  entry.bytes = EntryBytes(entry);
+
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.index.find(key);
+    if (it != stripe.index.end() && it->second->version == version &&
+        it->second->epsilon >= epsilon) {
+      return;  // the resident entry already subsumes this answer
+    }
+    InsertLocked(stripe, std::move(entry));
+  }
+  UpdateGauges();
+}
+
+bool SemanticCache::LookupKnn(uint64_t key, size_t k, uint64_t version,
+                              KnnResult* out) {
+  bool hit = false;
+  {
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    Entry* entry = Probe(stripe, key, version);
+    if (entry != nullptr && entry->k >= k &&
+        entry->neighbors.size() >= std::min(k, entry->neighbors.size())) {
+      // Neighbors are stored in the canonical (distance, id) order, so
+      // the exact top-k is the stored prefix. A database smaller than k'
+      // stores fewer than k' neighbors — the prefix rule still holds.
+      *out = KnnResult();
+      const size_t take = std::min(k, entry->neighbors.size());
+      out->neighbors.assign(entry->neighbors.begin(),
+                            entry->neighbors.begin() +
+                                static_cast<ptrdiff_t>(take));
+      out->num_refined = entry->num_refined;
+      out->cost.cache_hits = 1;
+      hit = true;
+    }
+  }
+  RecordLookup(hit);
+  return hit;
+}
+
+void SemanticCache::InsertKnn(uint64_t key, size_t k, uint64_t version,
+                              const KnnResult& result) {
+  if (k == 0) {
+    return;
+  }
+  Entry entry;
+  entry.key = key;
+  entry.version = version;
+  entry.k = k;
+  entry.neighbors = result.neighbors;
+  entry.num_refined = result.num_refined;
+  entry.bytes = EntryBytes(entry);
+
+  Stripe& stripe = StripeFor(key);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.index.find(key);
+    if (it != stripe.index.end() && it->second->version == version &&
+        it->second->k >= k) {
+      return;  // resident entry already answers any k this one could
+    }
+    InsertLocked(stripe, std::move(entry));
+  }
+  UpdateGauges();
+}
+
+bool SemanticCache::LookupKnnSeed(const Sequence& query,
+                                  const DtwOptions& dtw, size_t k,
+                                  uint64_t version, double* bound) {
+  if (k == 0) {
+    return false;
+  }
+  bool found = false;
+  double best = kInfiniteDistance;
+  for (const MethodKind method : kAllMethods) {
+    const uint64_t key = RangeKey(query, dtw, method);
+    Stripe& stripe = StripeFor(key);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    Entry* entry = Probe(stripe, key, version);
+    if (entry == nullptr || entry->epsilon < 0.0 ||
+        entry->distances.size() < k) {
+      continue;
+    }
+    // k-th smallest stored distance = exact global k-th distance (the
+    // entry holds EVERY sequence within its ε', so nothing closer than
+    // its k-th is absent).
+    std::vector<double> sorted = entry->distances;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<ptrdiff_t>(k - 1),
+                     sorted.end());
+    const double kth = sorted[k - 1];
+    if (kth < best) {
+      best = kth;
+      found = true;
+    }
+  }
+  if (found) {
+    *bound = best;
+  }
+  return found;
+}
+
+void SemanticCache::InsertLocked(Stripe& stripe, Entry entry) {
+  if (entry.bytes > stripe_budget_) {
+    return;  // bigger than a whole stripe: caching it would just thrash
+  }
+  const auto it = stripe.index.find(entry.key);
+  if (it != stripe.index.end()) {
+    stripe.bytes -= it->second->bytes;
+    stripe.lru.erase(it->second);
+    stripe.index.erase(it);
+  }
+  stripe.bytes += entry.bytes;
+  const uint64_t key = entry.key;
+  stripe.lru.push_front(std::move(entry));
+  stripe.index[key] = stripe.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (insertions_total_ != nullptr) {
+    insertions_total_->Increment();
+  }
+  while (stripe.bytes > stripe_budget_ && !stripe.lru.empty()) {
+    const Entry& victim = stripe.lru.back();
+    stripe.bytes -= victim.bytes;
+    stripe.index.erase(victim.key);
+    stripe.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_total_ != nullptr) {
+      evictions_total_->Increment();
+    }
+  }
+}
+
+void SemanticCache::RecordLookup(bool hit) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  if (hit) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (lookups_total_ != nullptr) {
+    lookups_total_->Increment();
+    (hit ? hits_total_ : misses_total_)->Increment();
+    const uint64_t lookups = lookups_.load(std::memory_order_relaxed);
+    const uint64_t hits = hits_.load(std::memory_order_relaxed);
+    if (hit_ratio_percent_ != nullptr && lookups > 0) {
+      hit_ratio_percent_->Set(
+          static_cast<int64_t>(hits * 100 / lookups));
+    }
+  }
+  UpdateGauges();
+}
+
+void SemanticCache::UpdateGauges() {
+  if (bytes_gauge_ == nullptr && entries_gauge_ == nullptr) {
+    return;
+  }
+  size_t bytes = 0;
+  size_t entries = 0;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    bytes += stripe->bytes;
+    entries += stripe->lru.size();
+  }
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(static_cast<int64_t>(bytes));
+  }
+  if (entries_gauge_ != nullptr) {
+    entries_gauge_->Set(static_cast<int64_t>(entries));
+  }
+}
+
+void SemanticCache::Clear() {
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stripe->lru.clear();
+    stripe->index.clear();
+    stripe->bytes = 0;
+  }
+  UpdateGauges();
+}
+
+SemanticCacheStats SemanticCache::TakeStats() const {
+  SemanticCacheStats stats;
+  stats.tier = options_.tier;
+  stats.lookups = lookups_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.invalidations = invalidations_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.max_bytes = options_.max_bytes;
+  for (const std::unique_ptr<Stripe>& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    stats.bytes += stripe->bytes;
+    stats.entries += stripe->lru.size();
+  }
+  stats.hit_ratio = stats.lookups > 0
+                        ? static_cast<double>(stats.hits) /
+                              static_cast<double>(stats.lookups)
+                        : 0.0;
+  return stats;
+}
+
+}  // namespace warpindex

@@ -1,0 +1,203 @@
+// Semantic result cache: ε-subsumption range reuse, kNN bound seeding,
+// version-aware invalidation.
+//
+// Under the paper's no-false-dismissal contract a cached range answer at
+// tolerance ε' is a guaranteed superset of the answer at any ε <= ε',
+// and every cached match carries its exact D_tw distance (the post-
+// filter computed it anyway to decide membership). A repeat query at a
+// tighter tolerance is therefore answered by RE-FILTERING the stored
+// (id, distance) pairs — no R-tree descent, no DTW — and the answer is
+// bit-identical to a fresh query:
+//
+//   * set equality: fresh matches at ε are exactly {S : D_tw(S,Q) <= ε},
+//     which is exactly the stored ε' matches with distance <= ε;
+//   * order equality: every method emits matches in its candidate order,
+//     and shrinking ε only removes candidates without reordering the
+//     survivors (R-tree DFS, store scan, and suffix-tree walks all visit
+//     a subset of the same traversal), so the filtered stored list IS
+//     the fresh emission order. Keys are method-tagged so an entry is
+//     only ever replayed against the traversal order that produced it.
+//
+// A cached kNN answer for k' >= k yields the exact top-k as its first k
+// entries (neighbors are stored in the canonical (distance, id) order).
+// A cached RANGE entry with >= k stored distances seeds the kNN bound:
+// its k-th smallest stored distance is the exact global k-th distance
+// (the entry contains every sequence within ε', so nothing closer is
+// missing), and the engines prune strictly above the bound, so seeding
+// preserves exactness while skipping most of the refinement.
+//
+// Invalidation is strict and global: every entry is tagged with the
+// engine's DataVersion() at answer time, and a lookup under any other
+// version is a miss (the stale entry is dropped). Per-partition
+// invalidation would be unsound — an insert can extend a partition's
+// feature MBR beyond what an old query's pruning assumed. Static
+// build-then-serve engines stay at version 0 forever, so their entries
+// never expire. See docs/CACHING.md.
+//
+// Thread-safety: all methods are safe to call concurrently. The cache
+// is striped; each stripe holds its own mutex, LRU list, and share of
+// the byte budget.
+
+#ifndef WARPINDEX_CACHE_SEMANTIC_CACHE_H_
+#define WARPINDEX_CACHE_SEMANTIC_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/search_method.h"
+#include "core/tw_knn_search.h"
+#include "dtw/base_distance.h"
+#include "obs/metrics.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+
+struct SemanticCacheOptions {
+  // Total byte budget across all stripes. Entries are charged their
+  // payload vectors plus a fixed bookkeeping overhead; the LRU evicts
+  // from each stripe's cold end when its share is exceeded.
+  size_t max_bytes = 64ull << 20;
+  // Lock stripes. Each stripe gets an equal share of max_bytes.
+  size_t stripes = 8;
+  // Tier label baked into the metric names (warpindex_cache_<tier>_*):
+  // "executor" for the engine-side tier, "router" for the wire tier.
+  std::string tier = "executor";
+  // When set, the cache registers and maintains its warpindex_cache_*
+  // series here (counters plus bytes/entries/hit-ratio gauges).
+  MetricsRegistry* metrics = nullptr;
+};
+
+// Point-in-time view for /cachez, /statusz, and the CLI stats epilogue.
+struct SemanticCacheStats {
+  std::string tier;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t invalidations = 0;  // entries dropped on version mismatch
+  uint64_t evictions = 0;      // entries dropped by the LRU byte budget
+  size_t entries = 0;
+  size_t bytes = 0;
+  size_t max_bytes = 0;
+  double hit_ratio = 0.0;  // hits / lookups, 0 when no lookups yet
+};
+
+class SemanticCache {
+ public:
+  explicit SemanticCache(SemanticCacheOptions options = {});
+
+  // Cache key for a range query: fingerprint of the query's element bit
+  // patterns (-0.0 canonicalized to +0.0) and length, the base-distance
+  // configuration (combiner/step/band/sqrt — the paper's base distance
+  // and warp width), and the method whose traversal order the entry
+  // replays.
+  static uint64_t RangeKey(const Sequence& query, const DtwOptions& dtw,
+                           MethodKind method);
+  // Cache key for a kNN query: same fingerprint, kNN tag instead of a
+  // method (kNN answers are in canonical (distance, id) order for every
+  // engine shape, so one key serves them all).
+  static uint64_t KnnKey(const Sequence& query, const DtwOptions& dtw);
+
+  // Probes for an entry whose tolerance subsumes `epsilon` at exactly
+  // `version`. On a hit fills out->matches/distances (re-filtered at
+  // epsilon), out->num_candidates (the stored value — the superset the
+  // original query refined), sets out->cost.cache_hits = 1, and returns
+  // true. A version mismatch drops the stale entry and misses.
+  bool LookupRange(uint64_t key, double epsilon, uint64_t version,
+                   SearchResult* out);
+  // Stores (or widens) the entry for `key`. An existing entry at the
+  // same version with an equal-or-wider tolerance is kept (it subsumes
+  // this answer); anything else is replaced. Callers must only insert
+  // results whose engine version was stable across the query.
+  void InsertRange(uint64_t key, double epsilon, uint64_t version,
+                   const SearchResult& result);
+
+  // Exact kNN reuse: hit when a stored entry has k' >= k at `version`;
+  // the answer is the first k stored neighbors.
+  bool LookupKnn(uint64_t key, size_t k, uint64_t version, KnnResult* out);
+  void InsertKnn(uint64_t key, size_t k, uint64_t version,
+                 const KnnResult& result);
+
+  // kNN bound seeding from range entries: probes every method-tagged
+  // range key for this query and returns the k-th smallest stored
+  // distance of any valid entry with >= k matches — the exact global
+  // k-th distance (see header comment). Returns false when no entry
+  // qualifies. Does not count as a lookup (it is an accelerator probe,
+  // not an answer).
+  bool LookupKnnSeed(const Sequence& query, const DtwOptions& dtw, size_t k,
+                     uint64_t version, double* bound);
+
+  // Drops every entry (used on detach/reconfiguration; routine
+  // invalidation is lazy, via the version tags).
+  void Clear();
+
+  SemanticCacheStats TakeStats() const;
+
+  const SemanticCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t version = 0;
+    // Range payload (valid when epsilon >= 0).
+    double epsilon = -1.0;
+    std::vector<SequenceId> matches;
+    std::vector<double> distances;
+    size_t num_candidates = 0;
+    // kNN payload (valid when k > 0).
+    size_t k = 0;
+    std::vector<KnnMatch> neighbors;
+    size_t num_refined = 0;
+    size_t bytes = 0;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    // Front = most recently used. The map indexes into the list.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  static size_t EntryBytes(const Entry& entry);
+  Stripe& StripeFor(uint64_t key);
+  // Probes `key` at `version`; returns the entry (moved to the LRU
+  // front) or nullptr. Drops a version-mismatched entry. Caller holds
+  // the stripe lock.
+  Entry* Probe(Stripe& stripe, uint64_t key, uint64_t version);
+  void InsertLocked(Stripe& stripe, Entry entry);
+  void RecordLookup(bool hit);
+  void UpdateGauges();
+
+  SemanticCacheOptions options_;
+  size_t stripe_budget_ = 0;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> evictions_{0};
+
+  // Metric handles (null when options_.metrics is null).
+  Counter* lookups_total_ = nullptr;
+  Counter* hits_total_ = nullptr;
+  Counter* misses_total_ = nullptr;
+  Counter* insertions_total_ = nullptr;
+  Counter* invalidations_total_ = nullptr;
+  Counter* evictions_total_ = nullptr;
+  Gauge* bytes_gauge_ = nullptr;
+  Gauge* entries_gauge_ = nullptr;
+  Gauge* hit_ratio_percent_ = nullptr;
+};
+
+}  // namespace warpindex
+
+#endif  // WARPINDEX_CACHE_SEMANTIC_CACHE_H_

@@ -350,6 +350,16 @@ KnnResult Engine::SearchKnn(const Sequence& query, size_t k,
   return SearchKnnBounded(query, k, trace, nullptr);
 }
 
+KnnResult Engine::SearchKnnSeeded(const Sequence& query, size_t k,
+                                  double seed_bound, Trace* trace) const {
+  // The seed upper-bounds the true k-th distance, and the searcher
+  // prunes strictly above the bound, so tied candidates survive and the
+  // answer matches an unseeded search exactly.
+  SharedKnnBound bound;
+  bound.Tighten(seed_bound);
+  return SearchKnnBounded(query, k, trace, &bound);
+}
+
 KnnResult Engine::SearchKnnBounded(const Sequence& query, size_t k,
                                    Trace* trace,
                                    SharedKnnBound* shared_bound) const {

@@ -162,6 +162,12 @@ class Engine : public EngineLike {
   KnnResult SearchKnnBounded(const Sequence& query, size_t k, Trace* trace,
                              SharedKnnBound* shared_bound) const;
 
+  // SearchKnn seeded with a valid upper bound on the k-th distance
+  // (EngineLike); identical answers, fewer refinements.
+  KnnResult SearchKnnSeeded(const Sequence& query, size_t k,
+                            double seed_bound,
+                            Trace* trace = nullptr) const override;
+
   // This engine IS a single-index engine (EngineLike).
   const Engine* AsSingleEngine() const override { return this; }
 
@@ -229,6 +235,7 @@ class Engine : public EngineLike {
   const BufferPool* index_pool() const { return index_pool_.get(); }
   const DiskModel& disk_model() const { return disk_model_; }
   const EngineOptions& options() const { return options_; }
+  DtwOptions dtw_options() const override { return options_.dtw; }
 
   // Simulated elapsed time of a query: measured CPU wall time plus the
   // disk model's cost for the recorded I/O.

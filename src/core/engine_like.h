@@ -42,8 +42,23 @@ class EngineLike {
   virtual KnnResult SearchKnn(const Sequence& query, size_t k,
                               Trace* trace = nullptr) const = 0;
 
+  // SearchKnn pre-seeded with an upper bound on the true k-th distance
+  // (the semantic cache supplies the exact k-th distance of a stored
+  // range answer). Engines prune strictly ABOVE the bound, so ties
+  // survive and the answer is identical to SearchKnn — only cheaper.
+  // The default ignores the seed; engines with a pruning bound override.
+  virtual KnnResult SearchKnnSeeded(const Sequence& query, size_t k,
+                                    double /*seed_bound*/,
+                                    Trace* trace = nullptr) const {
+    return SearchKnn(query, k, trace);
+  }
+
   // The registry per-query metrics land in.
   virtual MetricsRegistry& metrics() const = 0;
+
+  // The DTW configuration answers are computed under — part of the
+  // semantic cache key (the paper's base distance and warp width).
+  virtual DtwOptions dtw_options() const { return DtwOptions(); }
 
   // Simulated elapsed time of a query under the disk model.
   virtual double ElapsedMillis(const SearchCost& cost) const = 0;
@@ -59,6 +74,17 @@ class EngineLike {
   // ingest section) discover the delta-aware engine through here without
   // the core layer depending on src/ingest/.
   virtual const IngestEngine* AsIngestEngine() const { return nullptr; }
+
+  // Monotonic counter that advances whenever the VISIBLE data changes —
+  // every insert, delete, and compaction swap (not just epoch bumps:
+  // buffered delta writes change answers without an epoch change).
+  // Static build-then-serve engines never change, so they stay at 0
+  // forever. The semantic cache tags each entry with the version it
+  // answered under and treats any advance as a global invalidation;
+  // per-partition invalidation would be unsound, because a new insert
+  // can extend a partition's feature MBR past what an old query's
+  // pruning assumed.
+  virtual uint64_t DataVersion() const { return 0; }
 };
 
 }  // namespace warpindex

@@ -48,6 +48,7 @@ SearchResult LbScan::SearchImpl(const Sequence& query, double epsilon,
           result.cost.dtw_cells += d.cells;
           if (d.distance <= epsilon) {
             result.matches.push_back(id);
+            result.distances.push_back(d.distance);
           }
           return true;
         },

@@ -35,6 +35,7 @@ SearchResult NaiveScan::SearchImpl(const Sequence& query, double epsilon,
           result.cost.dtw_cells += d.cells;
           if (d.distance <= epsilon) {
             result.matches.push_back(id);
+            result.distances.push_back(d.distance);
           }
           return true;
         },

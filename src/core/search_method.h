@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dtw/dtw.h"
@@ -62,6 +63,11 @@ struct SearchCost {
   // Candidates-in / candidates-pruned per filtering stage (populated by
   // methods with a filter pipeline; empty otherwise).
   StageCounters prunes;
+  // Semantic-cache attribution: how many times this query (or, after a
+  // Merge, this batch) was answered from a cache tier vs. had to run the
+  // engine. At most one of the two is nonzero for a single query.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   void Reset() { *this = SearchCost(); }
   void Merge(const SearchCost& other) {
@@ -77,6 +83,8 @@ struct SearchCost {
     stages.Merge(other.stages);
     stages_cpu.Merge(other.stages_cpu);
     prunes.Merge(other.prunes);
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
   }
 
   // Folds in the cost of work that ran CONCURRENTLY with this cost (the
@@ -100,12 +108,44 @@ struct SearchCost {
 struct SearchResult {
   // Ids of data sequences S with D_tw(S, Q) <= epsilon.
   std::vector<SequenceId> matches;
+  // Exact D_tw(S, Q) for each match, parallel to `matches`. The post-
+  // filter computes the exact distance anyway to decide membership, so
+  // recording it is free; the semantic cache re-filters these stored
+  // distances to answer tighter-ε repeats without touching the engine.
+  std::vector<double> distances;
   // Sequences that survived the filtering step and reached exact-D_tw
   // post-processing. For Naive-Scan, which has no filtering step, this
   // equals matches.size() (the convention of the paper's Figure 2).
   size_t num_candidates = 0;
   SearchCost cost;
 };
+
+// Re-orders (matches, distances) into ascending-id order — the canonical
+// answer order every composite engine (sharded, ingest, wire) emits, so
+// merged answers are deterministic regardless of shard count or
+// completion order. Ids are unique, so the order is total. A result
+// whose distances are absent (length mismatch) just sorts the ids.
+inline void CanonicalizeMatchOrder(SearchResult* result) {
+  if (result->distances.size() != result->matches.size()) {
+    result->distances.clear();
+    std::sort(result->matches.begin(), result->matches.end());
+    return;
+  }
+  std::vector<std::pair<SequenceId, double>> paired;
+  paired.reserve(result->matches.size());
+  for (size_t i = 0; i < result->matches.size(); ++i) {
+    paired.emplace_back(result->matches[i], result->distances[i]);
+  }
+  std::sort(paired.begin(), paired.end(),
+            [](const std::pair<SequenceId, double>& a,
+               const std::pair<SequenceId, double>& b) {
+              return a.first < b.first;
+            });
+  for (size_t i = 0; i < paired.size(); ++i) {
+    result->matches[i] = paired[i].first;
+    result->distances[i] = paired[i].second;
+  }
+}
 
 // Interface over the four search strategies.
 //

@@ -53,6 +53,7 @@ SearchResult StFilterSearch::SearchImpl(const Sequence& query,
       result.cost.dtw_cells += d.cells;
       if (d.distance <= epsilon) {
         result.matches.push_back(s.id());
+        result.distances.push_back(d.distance);
       }
     }
     TraceCounter(trace, "dtw_cells",

@@ -100,6 +100,7 @@ SearchResult TwSimSearch::SearchImpl(const Sequence& query, double epsilon,
       result.cost.dtw_cells += d.cells;
       if (d.distance <= epsilon) {
         result.matches.push_back(s.id());
+        result.distances.push_back(d.distance);
       }
     }
     result.cost.prunes.Record(kStageDtwPostfilter, fetched.size(),

@@ -87,6 +87,40 @@ std::string BufferPoolJson(const BufferPool::StatsSnapshot& pool) {
   return out;
 }
 
+std::string CacheStatsJson(const SemanticCacheStats& stats) {
+  std::string out = "{\"tier\":" + JsonEscape(stats.tier);
+  out += ",\"lookups\":" + std::to_string(stats.lookups);
+  out += ",\"hits\":" + std::to_string(stats.hits);
+  out += ",\"misses\":" + std::to_string(stats.misses);
+  out += ",\"hit_ratio\":" + Num(stats.hit_ratio);
+  out += ",\"insertions\":" + std::to_string(stats.insertions);
+  out += ",\"invalidations\":" + std::to_string(stats.invalidations);
+  out += ",\"evictions\":" + std::to_string(stats.evictions);
+  out += ",\"entries\":" + std::to_string(stats.entries);
+  out += ",\"bytes\":" + std::to_string(stats.bytes);
+  out += ",\"max_bytes\":" + std::to_string(stats.max_bytes) + "}";
+  return out;
+}
+
+// The /cachez document and the /statusz "cache" section: one row per
+// configured tier, executor first.
+std::string CachezJson(const IntrospectionOptions& options) {
+  std::string out = "{\"tiers\":[";
+  bool first = true;
+  for (const SemanticCache* cache : {options.cache, options.router_cache}) {
+    if (cache == nullptr) {
+      continue;
+    }
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += CacheStatsJson(cache->TakeStats());
+  }
+  out += "]}";
+  return out;
+}
+
 std::string FeatureMbrJson(const ShardFeatureBounds& bounds) {
   if (!bounds.valid) {
     return "null";
@@ -537,6 +571,12 @@ std::string StatuszJson(const IntrospectionOptions& options,
     out += ",\"slow_log\":null";
   }
 
+  if (options.cache != nullptr || options.router_cache != nullptr) {
+    out += ",\"cache\":" + CachezJson(options);
+  } else {
+    out += ",\"cache\":null";
+  }
+
   if (options.trace_store != nullptr) {
     const TraceStore& store = *options.trace_store;
     out += ",\"trace_store\":{\"capacity\":" +
@@ -686,6 +726,13 @@ void RegisterIntrospectionRoutes(IntrospectionServer* server,
       return response;
     });
   }
+
+  server->Handle("/cachez", [options](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = CachezJson(options);
+    return response;
+  });
 
   server->Handle("/tracez", [options](const HttpRequest& request) {
     HttpResponse response;

@@ -19,6 +19,10 @@
 //                     stitched traces with full span trees; ?id=<hex>
 //                     fetches one trace by the trace_id that /slowlog
 //                     and /flightrecorder rows carry
+//   /cachez           JSON: one row per semantic-cache tier (executor
+//                     and/or router) — lookups, hits, misses, hit
+//                     ratio, entries, bytes vs. budget, invalidations,
+//                     evictions (cache/semantic_cache.h)
 //
 // Every handler renders from the snapshot APIs (Engine::
 // TakeHealthSnapshot, CascadePlanner::TakeSnapshot, BufferPool::
@@ -33,6 +37,7 @@
 
 #include <string>
 
+#include "cache/semantic_cache.h"
 #include "core/engine.h"
 #include "exec/query_executor.h"
 #include "ingest/ingest_engine.h"
@@ -75,6 +80,12 @@ struct IntrospectionOptions {
   // per-replica liveness rows. Mutable: rendering may trigger a poll.
   FleetPoller* fleet = nullptr;
   const QueryExecutor* executor = nullptr;  // optional
+  // Semantic-cache tiers (cache/semantic_cache.h), each one /cachez row
+  // and part of the /statusz "cache" section: `cache` is the serving
+  // process's engine-side (executor) tier, `router_cache` the router's
+  // wire-side tier. Either, both, or neither may be set.
+  const SemanticCache* cache = nullptr;
+  const SemanticCache* router_cache = nullptr;
   const FlightRecorder* flight_recorder = nullptr;
   const SlowQueryLog* slow_log = nullptr;
   // Tail-sampled trace store behind /tracez (obs/trace_store.h).

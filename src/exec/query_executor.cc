@@ -10,6 +10,7 @@
 
 #include <stdexcept>
 
+#include "cache/semantic_cache.h"
 #include "common/timer.h"
 #include "ingest/ingest_engine.h"
 
@@ -101,6 +102,36 @@ SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
     timer.emplace();
     cpu_timer.emplace();
   }
+  // Semantic cache consult. The data version is read BEFORE the lookup
+  // and re-checked before the populate, so a write racing the query can
+  // never publish an answer under a version it does not belong to.
+  uint64_t cache_key = 0;
+  uint64_t cache_version = 0;
+  if (options_.cache != nullptr) {
+    cache_key =
+        SemanticCache::RangeKey(query, engine_->dtw_options(), kind);
+    cache_version = engine_->DataVersion();
+    WallTimer hit_timer;
+    SearchResult cached;
+    if (options_.cache->LookupRange(cache_key, epsilon, cache_version,
+                                    &cached)) {
+      cached.cost.wall_ms = hit_timer.ElapsedMillis();
+      if (trace != nullptr) {
+        {
+          ScopedSpan span(trace, "cache_hit");
+          TraceCounter(trace, "cached_matches",
+                       static_cast<double>(cached.matches.size()));
+        }
+        OfferTrace(kind, query, epsilon, *trace, cached.matches.size(),
+                   timer->ElapsedMillis(), cpu_timer->ElapsedMillis(),
+                   /*errored=*/false);
+      }
+      RecordFlight(kind, query, epsilon, cached,
+                   trace != nullptr ? trace->trace_id() : 0,
+                   CacheTier::kExecutor);
+      return cached;
+    }
+  }
   SearchResult result;
   try {
     result = engine_->SearchWith(kind, query, epsilon, trace,
@@ -117,6 +148,16 @@ SearchResult QueryExecutor::RunQuery(MethodKind kind, const Sequence& query,
   if (trace != nullptr) {
     OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
                result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
+  }
+  if (options_.cache != nullptr) {
+    result.cost.cache_misses = 1;
+    // Populate only if the data did not change under the query;
+    // otherwise the result may mix pre- and post-write state and must
+    // not be replayed under either version.
+    if (engine_->DataVersion() == cache_version) {
+      options_.cache->InsertRange(cache_key, epsilon, cache_version,
+                                  result);
+    }
   }
   RecordFlight(kind, query, epsilon, result,
                trace != nullptr ? trace->trace_id() : 0);
@@ -144,7 +185,8 @@ void QueryExecutor::OfferTrace(MethodKind kind, const Sequence& query,
 
 void QueryExecutor::RecordFlight(MethodKind kind, const Sequence& query,
                                  double epsilon, const SearchResult& result,
-                                 uint64_t trace_id) const {
+                                 uint64_t trace_id,
+                                 CacheTier cache_tier) const {
   if (options_.flight_recorder == nullptr && options_.slow_log == nullptr) {
     return;
   }
@@ -165,6 +207,7 @@ void QueryExecutor::RecordFlight(MethodKind kind, const Sequence& query,
   record.stage_ms = result.cost.stages;
   record.stage_cpu_ms = result.cost.stages_cpu;
   record.prunes = result.cost.prunes;
+  record.cache_hit = cache_tier;
   if (options_.slow_log != nullptr) {
     options_.slow_log->Record(record);
   }
@@ -283,19 +326,56 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
     trace = &*local;
   }
 
+  const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
+                                      : MethodKind::kTwSimSearch;
+  // Semantic cache consult — same protocol as RunQuery. The parallel
+  // post-filter emits matches in candidate order, identical to the
+  // sequential path, so both populate and replay the same entry.
+  uint64_t cache_key = 0;
+  uint64_t cache_version = 0;
+  if (options_.cache != nullptr) {
+    cache_key =
+        SemanticCache::RangeKey(query, engine_->dtw_options(), kind);
+    cache_version = engine_->DataVersion();
+    SearchResult cached;
+    if (options_.cache->LookupRange(cache_key, epsilon, cache_version,
+                                    &cached)) {
+      cached.cost.wall_ms = timer.ElapsedMillis();
+      if (trace != nullptr) {
+        {
+          ScopedSpan span(trace, "cache_hit");
+          TraceCounter(trace, "cached_matches",
+                       static_cast<double>(cached.matches.size()));
+        }
+        OfferTrace(kind, query, epsilon, *trace, cached.matches.size(),
+                   cached.cost.wall_ms, cpu_timer.ElapsedMillis(),
+                   /*errored=*/false);
+      }
+      RecordFlight(kind, query, epsilon, cached,
+                   trace != nullptr ? trace->trace_id() : 0,
+                   CacheTier::kExecutor);
+      return cached;
+    }
+  }
+
   const Engine* single = engine_->AsSingleEngine();
   if (single == nullptr) {
     // Composite engine (ShardedEngine): its SearchWith already fans the
     // query out across shards on this executor's pool — that fan-out is
     // the intra-query parallelism here, and the chunked post-filter
     // below does not apply. Answers are identical either way.
-    const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
-                                        : MethodKind::kTwSimSearch;
     result = engine_->SearchWith(kind, query, epsilon, trace,
                                  CurrentWorkerScratch());
     if (trace != nullptr) {
       OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
                  result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
+    }
+    if (options_.cache != nullptr) {
+      result.cost.cache_misses = 1;
+      if (engine_->DataVersion() == cache_version) {
+        options_.cache->InsertRange(cache_key, epsilon, cache_version,
+                                    result);
+      }
     }
     RecordFlight(kind, query, epsilon, result,
                  trace != nullptr ? trace->trace_id() : 0);
@@ -343,6 +423,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
         result.cost.dtw_cells += d.cells;
         if (d.distance <= epsilon) {
           result.matches.push_back(s.id());
+          result.distances.push_back(d.distance);
         }
       }
       dtw_cpu_ms = dtw_cpu_timer.ElapsedMillis();
@@ -359,6 +440,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
         size_t num_chunks = 0;
         // Indexed by chunk: outputs stay in candidate order.
         std::vector<std::vector<SequenceId>> chunk_matches;
+        std::vector<std::vector<double>> chunk_distances;
         std::vector<uint64_t> chunk_cells;
         // Thread-CPU ms burnt per chunk (each chunk runs on one thread).
         std::vector<double> chunk_cpu_ms;
@@ -375,6 +457,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
       ctx->chunk_size = chunk_size;
       ctx->num_chunks = num_chunks;
       ctx->chunk_matches.resize(num_chunks);
+      ctx->chunk_distances.resize(num_chunks);
       ctx->chunk_cells.resize(num_chunks, 0);
       ctx->chunk_cpu_ms.resize(num_chunks, 0.0);
 
@@ -389,6 +472,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
           const size_t end =
               std::min(ctx->fetched.size(), begin + ctx->chunk_size);
           std::vector<SequenceId>& matches = ctx->chunk_matches[c];
+          std::vector<double>& distances = ctx->chunk_distances[c];
           ThreadCpuTimer chunk_cpu;
           uint64_t cells = 0;
           for (size_t i = begin; i < end; ++i) {
@@ -397,6 +481,7 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
             cells += d.cells;
             if (d.distance <= ctx->epsilon) {
               matches.push_back(ctx->fetched[i].id());
+              distances.push_back(d.distance);
             }
           }
           ctx->chunk_cells[c] = cells;
@@ -433,6 +518,9 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
         result.matches.insert(result.matches.end(),
                               ctx->chunk_matches[c].begin(),
                               ctx->chunk_matches[c].end());
+        result.distances.insert(result.distances.end(),
+                                ctx->chunk_distances[c].begin(),
+                                ctx->chunk_distances[c].end());
       }
       helper_cpu_ms = std::max(0.0, dtw_cpu_ms - caller_chunk_cpu_ms);
     }
@@ -455,14 +543,48 @@ SearchResult QueryExecutor::SearchParallel(const Sequence& query,
   // Caller CPU (cascade + its own chunk share + merge) plus the helper
   // CPU folded in above.
   result.cost.cpu_ms += cpu_timer.ElapsedMillis();
-  const MethodKind kind = use_cascade ? MethodKind::kTwSimSearchCascade
-                                      : MethodKind::kTwSimSearch;
   if (trace != nullptr) {
     OfferTrace(kind, query, epsilon, *trace, result.matches.size(),
                result.cost.wall_ms, result.cost.cpu_ms, /*errored=*/false);
   }
+  if (options_.cache != nullptr) {
+    result.cost.cache_misses = 1;
+    if (engine_->DataVersion() == cache_version) {
+      options_.cache->InsertRange(cache_key, epsilon, cache_version,
+                                  result);
+    }
+  }
   RecordFlight(kind, query, epsilon, result,
                trace != nullptr ? trace->trace_id() : 0);
+  return result;
+}
+
+KnnResult QueryExecutor::SearchKnn(const Sequence& query, size_t k,
+                                   Trace* trace) {
+  queries_total_->Increment();
+  SemanticCache* cache = options_.cache;
+  if (cache == nullptr) {
+    return engine_->SearchKnn(query, k, trace);
+  }
+  const DtwOptions dtw = engine_->dtw_options();
+  const uint64_t key = SemanticCache::KnnKey(query, dtw);
+  const uint64_t version = engine_->DataVersion();
+  KnnResult cached;
+  if (cache->LookupKnn(key, k, version, &cached)) {
+    return cached;
+  }
+  // A cached range answer for this query with >= k matches holds the
+  // exact global k-th distance — seed the engine's pruning bound with it
+  // (ties at the bound survive; answers stay identical, only cheaper).
+  double seed = kInfiniteDistance;
+  const bool seeded = cache->LookupKnnSeed(query, dtw, k, version, &seed);
+  KnnResult result = seeded
+                         ? engine_->SearchKnnSeeded(query, k, seed, trace)
+                         : engine_->SearchKnn(query, k, trace);
+  result.cost.cache_misses = 1;
+  if (engine_->DataVersion() == version) {
+    cache->InsertKnn(key, k, version, result);
+  }
   return result;
 }
 

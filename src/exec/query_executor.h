@@ -55,6 +55,7 @@
 namespace warpindex {
 
 class IngestEngine;
+class SemanticCache;
 
 struct QueryExecutorOptions {
   // Worker count; 0 picks std::thread::hardware_concurrency().
@@ -76,6 +77,14 @@ struct QueryExecutorOptions {
   // store (and no caller trace) the hot path stays null-pointer-test
   // only.
   TraceStore* trace_store = nullptr;
+  // Optional semantic result cache (borrowed; must outlive the
+  // executor). When set, every range query consults it before touching
+  // the engine (ε-subsumption reuse; see cache/semantic_cache.h) and
+  // populates it on a miss, and SearchKnn() reuses / bound-seeds from
+  // it. Answers are bit-identical with or without the cache; hits are
+  // attributed in SearchCost::cache_hits, the flight recorder's
+  // cache_hit tier, and the warpindex_cache_executor_* metrics.
+  SemanticCache* cache = nullptr;
 };
 
 // One range query of a batch.
@@ -143,6 +152,15 @@ class QueryExecutor {
                               Trace* trace = nullptr,
                               bool use_cascade = false);
 
+  // Exact kNN through the semantic cache (when configured): a stored
+  // kNN answer with k' >= k is returned directly; otherwise a stored
+  // range answer for the same query seeds the engine's pruning bound
+  // with the exact k-th distance (SearchKnnSeeded). Without a cache this
+  // is engine().SearchKnn() verbatim. Answers are identical in every
+  // case. Runs on the calling thread.
+  KnnResult SearchKnn(const Sequence& query, size_t k,
+                      Trace* trace = nullptr);
+
   const EngineLike& engine() const { return *engine_; }
   size_t num_threads() const { return pool_.num_threads(); }
   ThreadPool& pool() { return pool_; }
@@ -188,9 +206,11 @@ class QueryExecutor {
 
   // Offers a finished query to the configured flight recorder / slow
   // log (no-op when neither is set). `trace_id` (0 = untraced) links the
-  // record to its /tracez entry.
+  // record to its /tracez entry; `cache_tier` marks which cache answered
+  // (kNone when the engine ran).
   void RecordFlight(MethodKind kind, const Sequence& query, double epsilon,
-                    const SearchResult& result, uint64_t trace_id) const;
+                    const SearchResult& result, uint64_t trace_id,
+                    CacheTier cache_tier = CacheTier::kNone) const;
 
   // Offers a finished trace to the trace store's tail sampler (no-op
   // without a store).

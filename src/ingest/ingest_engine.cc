@@ -233,6 +233,7 @@ SequenceId IngestEngine::Insert(Sequence s) {
 
   live_count_.fetch_add(1, std::memory_order_relaxed);
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  data_version_.fetch_add(1, std::memory_order_release);
   inserts_total_->Increment();
   delta_entries_gauge_->Increment();
   shard_delta_gauges_[part]->Increment();
@@ -277,6 +278,7 @@ bool IngestEngine::Delete(SequenceId id) {
   }
   live_count_.fetch_sub(1, std::memory_order_relaxed);
   deletes_.fetch_add(1, std::memory_order_relaxed);
+  data_version_.fetch_add(1, std::memory_order_release);
   deletes_total_->Increment();
   return true;
 }
@@ -366,6 +368,7 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
           delta.cost.dtw_cells += r.cells;
           if (r.distance <= epsilon) {
             delta.matches.push_back(entry.id);
+            delta.distances.push_back(r.distance);
           }
         }
         if (sub != nullptr) {
@@ -399,14 +402,17 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
     const std::vector<SequenceId>& dead = snap.parts[s].dead;
     result.num_candidates +=
         partial.base.num_candidates + partial.delta.num_candidates;
-    for (const SequenceId local : partial.base.matches) {
+    for (size_t m = 0; m < partial.base.matches.size(); ++m) {
+      const SequenceId local = partial.base.matches[m];
       const SequenceId g = global_of[static_cast<size_t>(local)];
       if (!IsDead(dead, g)) {
         result.matches.push_back(g);
+        result.distances.push_back(partial.base.distances[m]);
       }
     }
-    for (const SequenceId g : partial.delta.matches) {
-      result.matches.push_back(g);
+    for (size_t m = 0; m < partial.delta.matches.size(); ++m) {
+      result.matches.push_back(partial.delta.matches[m]);
+      result.distances.push_back(partial.delta.distances[m]);
     }
     // Base and delta scans ran sequentially within the task (serial
     // merge); across tasks they overlapped (parallel merge).
@@ -414,7 +420,7 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
     task_cost.Merge(partial.delta.cost);
     result.cost.MergeParallel(task_cost);
   }
-  std::sort(result.matches.begin(), result.matches.end());
+  CanonicalizeMatchOrder(&result);
   result.cost.wall_ms = timer.ElapsedMillis();
   // This layer's own CPU on top of the per-partition CPU summed above.
   result.cost.cpu_ms +=
@@ -424,6 +430,18 @@ SearchResult IngestEngine::SearchWith(MethodKind kind, const Sequence& query,
 
 KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
                                   Trace* trace) const {
+  return SearchKnnImpl(query, k, kInfiniteDistance, trace);
+}
+
+KnnResult IngestEngine::SearchKnnSeeded(const Sequence& query, size_t k,
+                                        double seed_bound,
+                                        Trace* trace) const {
+  return SearchKnnImpl(query, k, seed_bound, trace);
+}
+
+KnnResult IngestEngine::SearchKnnImpl(const Sequence& query, size_t k,
+                                      double seed_bound,
+                                      Trace* trace) const {
   WallTimer timer;
   // Same caller-CPU accounting as SearchWith.
   ThreadCpuTimer cpu_timer;
@@ -432,6 +450,9 @@ KnnResult IngestEngine::SearchKnn(const Sequence& query, size_t k,
   const FeatureVector qfeat = ExtractFeature(query);
 
   SharedKnnBound shared_bound;
+  // A cache-provided seed upper-bounds the global k-th distance; the
+  // strictly-greater pruning below keeps ties, so answers are identical.
+  shared_bound.Tighten(seed_bound);
 
   // Delta pre-scan on the calling thread, BEFORE the base fan-out: the
   // buffered entries are few, and any k-th distance they prove
@@ -662,6 +683,11 @@ bool IngestEngine::CompactShard(size_t s) {
     MaybeRebalanceCuts(next.get(), s);
     deltas_[s]->ApplyCompaction(frozen);
     view_ = std::move(next);
+    // Compaction preserves answers, but conservatively invalidating here
+    // keeps the cache contract trivial: version equality implies the
+    // engine state a cached entry answered under is byte-for-byte the
+    // state a reuse would query.
+    data_version_.fetch_add(1, std::memory_order_release);
   }
 
   const double duration_ms = timer.ElapsedMillis();

@@ -129,10 +129,24 @@ class IngestEngine : public EngineLike {
                           DtwScratch* scratch = nullptr) const override;
   KnnResult SearchKnn(const Sequence& query, size_t k,
                       Trace* trace = nullptr) const override;
+  // SearchKnn with the cross-partition bound pre-tightened to a valid
+  // upper bound on the k-th distance (EngineLike); identical answers.
+  KnnResult SearchKnnSeeded(const Sequence& query, size_t k,
+                            double seed_bound,
+                            Trace* trace = nullptr) const override;
 
   MetricsRegistry& metrics() const override { return *metrics_; }
+  DtwOptions dtw_options() const override { return options_.engine.dtw; }
   double ElapsedMillis(const SearchCost& cost) const override;
   const IngestEngine* AsIngestEngine() const override { return this; }
+
+  // Advances on every successful Insert, Delete, and compaction swap —
+  // the semantic cache's invalidation signal (see EngineLike). Reads
+  // are acquire so a version observed AFTER a query covers every write
+  // the query could have seen.
+  uint64_t DataVersion() const override {
+    return data_version_.load(std::memory_order_acquire);
+  }
 
   // ---- Writes. Safe to call concurrently with queries, each other,
   // and compaction; each call is atomic and visible to every query that
@@ -240,6 +254,11 @@ class IngestEngine : public EngineLike {
   };
   QuerySnapshot AcquireSnapshot() const;
 
+  // Shared body of SearchKnn / SearchKnnSeeded; `seed_bound` pre-
+  // tightens the shared bound (kInfiniteDistance = no seed).
+  KnnResult SearchKnnImpl(const Sequence& query, size_t k,
+                          double seed_bound, Trace* trace) const;
+
   void InitWiring();
   size_t RouteInsert(const ShardView& view, const FeatureVector& feature,
                      SequenceId id) const;
@@ -276,6 +295,9 @@ class IngestEngine : public EngineLike {
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> deletes_{0};
   std::atomic<uint64_t> cut_rebalances_{0};
+  // Visible-data version; see DataVersion(). Bumped with release order
+  // AFTER the write is visible to new queries.
+  std::atomic<uint64_t> data_version_{0};
   mutable std::vector<std::atomic<uint64_t>> shard_compactions_;
   mutable std::vector<std::atomic<double>> shard_last_compaction_ms_;
 

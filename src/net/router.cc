@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/semantic_cache.h"
 #include "common/stats.h"
 #include "core/engine.h"
 #include "net/serialize.h"
@@ -515,7 +516,8 @@ void Router::RecordMergedFlight(const char* method, double epsilon,
                                 size_t query_length, size_t matches,
                                 size_t num_candidates,
                                 const SearchCost& cost,
-                                uint64_t trace_id) const {
+                                uint64_t trace_id,
+                                CacheTier cache_tier) const {
   FlightRecord record;
   record.trace_id = trace_id;
   record.method = method;
@@ -534,6 +536,7 @@ void Router::RecordMergedFlight(const char* method, double epsilon,
   record.stage_cpu_ms = cost.stages_cpu;
   record.prunes = cost.prunes;
   record.shard = -1;
+  record.cache_hit = cache_tier;
   if (options_.flight_recorder != nullptr) {
     options_.flight_recorder->Record(record);
   }
@@ -561,6 +564,32 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
   }
   if (!(epsilon >= 0.0)) {
     return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  // Wire-side semantic cache: a hit answers here, before a single
+  // sub-request exists — no fan-out, no hedges, no per-group flights.
+  // The router fronts immutable saved shards, so version is fixed at 0;
+  // the DTW configuration is the servers' (constant per deployment), so
+  // a default-keyed fingerprint is consistent within this router.
+  uint64_t cache_key = 0;
+  if (options_.cache != nullptr) {
+    cache_key = SemanticCache::RangeKey(query, DtwOptions(), kind);
+    SearchResult cached;
+    if (options_.cache->LookupRange(cache_key, epsilon, 0, &cached)) {
+      if (trace != nullptr) {
+        ScopedSpan span(trace, "cache_hit");
+        TraceCounter(trace, "cached_matches",
+                     static_cast<double>(cached.matches.size()));
+      }
+      cached.cost.wall_ms = timer.ElapsedMillis();
+      cached.cost.cpu_ms = cpu_timer.ElapsedMillis();
+      RecordMergedFlight(MethodKindName(kind), epsilon, query.size(),
+                         cached.matches.size(), cached.num_candidates,
+                         cached.cost,
+                         trace != nullptr ? trace->trace_id() : 0,
+                         CacheTier::kRouter);
+      *out = std::move(cached);
+      return Status::Ok();
+    }
   }
   const Point feature_point = QueryFeaturePoint(query);
 
@@ -632,6 +661,14 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
           merged.matches.push_back(id.AsInt());
         }
       }
+      if (const JsonValue* distances = response.Find("distances");
+          distances != nullptr &&
+          distances->kind() == JsonValue::Kind::kArray &&
+          distances->size() == group_matches) {
+        for (const JsonValue& d : distances->items()) {
+          merged.distances.push_back(d.AsDouble());
+        }
+      }
       const size_t group_candidates =
           static_cast<size_t>(response.GetInt("num_candidates", 0));
       merged.num_candidates += group_candidates;
@@ -651,9 +688,13 @@ Status Router::RouteRange(MethodKind kind, const Sequence& query,
     return first_error;
   }
   // Canonical answer order, as in-process: ascending global id.
-  std::sort(merged.matches.begin(), merged.matches.end());
+  CanonicalizeMatchOrder(&merged);
   merged.cost.wall_ms = timer.ElapsedMillis();
   merged.cost.cpu_ms += cpu_timer.ElapsedMillis();
+  if (options_.cache != nullptr) {
+    merged.cost.cache_misses = 1;
+    options_.cache->InsertRange(cache_key, epsilon, 0, merged);
+  }
   RecordMergedFlight(MethodKindName(kind), epsilon, query.size(),
                      merged.matches.size(), merged.num_candidates,
                      merged.cost, trace_id);
@@ -676,6 +717,34 @@ Status Router::RouteKnn(const Sequence& query, size_t k, Trace* trace,
   }
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1");
+  }
+  // Wire-side cache: a stored kNN answer with k' >= k is the answer
+  // (its first k entries); failing that, a stored range answer for this
+  // query seeds the first wave's bound with the exact global k-th
+  // distance (servers prune strictly above it, so ties survive).
+  uint64_t knn_key = 0;
+  double seed_bound = kInfiniteDistance;
+  if (options_.cache != nullptr) {
+    knn_key = SemanticCache::KnnKey(query, DtwOptions());
+    KnnResult cached;
+    if (options_.cache->LookupKnn(knn_key, k, 0, &cached)) {
+      if (trace != nullptr) {
+        ScopedSpan span(trace, "cache_hit");
+        TraceCounter(trace, "cached_neighbors",
+                     static_cast<double>(cached.neighbors.size()));
+      }
+      cached.cost.wall_ms = timer.ElapsedMillis();
+      cached.cost.cpu_ms = cpu_timer.ElapsedMillis();
+      RecordMergedFlight("kNN", 0.0, query.size(),
+                         cached.neighbors.size(), cached.num_refined,
+                         cached.cost,
+                         trace != nullptr ? trace->trace_id() : 0,
+                         CacheTier::kRouter);
+      *out = std::move(cached);
+      return Status::Ok();
+    }
+    (void)options_.cache->LookupKnnSeed(query, DtwOptions(), k, 0,
+                                        &seed_bound);
   }
   // Like the in-process engine, kNN has no epsilon to prune with up
   // front: every group with a non-empty shard participates.
@@ -721,9 +790,15 @@ Status Router::RouteKnn(const Sequence& query, size_t k, Trace* trace,
         // The k-th best distance among settled groups upper-bounds the
         // global k-th (their union is a subset of the database), so it
         // is an exactness-preserving seed: the server prunes strictly
-        // ABOVE it, ties survive. First wave: no bound.
+        // ABOVE it, ties survive. The cached-range seed is the exact
+        // global k-th, so it is at least as tight and covers the first
+        // wave too; without either, no bound.
+        double bound = seed_bound;
         if (best.size() == k) {
-          request.Set("bound", JsonValue::Double(best.back().distance));
+          bound = std::min(bound, best.back().distance);
+        }
+        if (bound < kInfiniteDistance) {
+          request.Set("bound", JsonValue::Double(bound));
         }
         if (trace != nullptr) {
           request.Set("trace", JsonValue::Bool(true));
@@ -779,6 +854,10 @@ Status Router::RouteKnn(const Sequence& query, size_t k, Trace* trace,
   merged.neighbors = std::move(best);
   merged.cost.wall_ms = timer.ElapsedMillis();
   merged.cost.cpu_ms += cpu_timer.ElapsedMillis();
+  if (options_.cache != nullptr) {
+    merged.cost.cache_misses = 1;
+    options_.cache->InsertKnn(knn_key, k, 0, merged);
+  }
   RecordMergedFlight("kNN", 0.0, query.size(), merged.neighbors.size(),
                      merged.num_refined, merged.cost, trace_id);
   *out = std::move(merged);

@@ -65,6 +65,8 @@
 
 namespace warpindex {
 
+class SemanticCache;
+
 struct RouterEndpoint {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -98,6 +100,14 @@ struct RouterOptions {
   MetricsRegistry* metrics = nullptr;          // null = process global
   FlightRecorder* flight_recorder = nullptr;   // optional
   SlowQueryLog* slow_log = nullptr;            // optional
+  // Optional wire-side semantic cache (borrowed; construct with tier
+  // "router"). A hit answers before any sub-request is built, so the
+  // whole scatter-gather — hedges, retries, per-group flights — is
+  // skipped; warpindex_shard_subqueries_total does not move. The
+  // router serves saved (immutable) shard directories, so entries are
+  // tagged with version 0 and never expire; do not attach a cache when
+  // fronting servers whose data can change.
+  SemanticCache* cache = nullptr;
 };
 
 // One shard group as learned at handshake.
@@ -205,7 +215,8 @@ class Router : public EngineLike {
   void RecordMergedFlight(const char* method, double epsilon,
                           size_t query_length, size_t matches,
                           size_t num_candidates, const SearchCost& cost,
-                          uint64_t trace_id) const;
+                          uint64_t trace_id,
+                          CacheTier cache_tier = CacheTier::kNone) const;
 
   // Stitches one group's remote spans (plus a synthetic net_group span)
   // under `parent_index` of `trace`.

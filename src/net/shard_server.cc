@@ -295,9 +295,12 @@ Status ShardServer::HandleRange(const JsonValue& request,
       merged.matches.push_back(
           global_of_[static_cast<size_t>(slot)][static_cast<size_t>(local)]);
     }
+    merged.distances.insert(merged.distances.end(),
+                            partial.distances.begin(),
+                            partial.distances.end());
     merged.cost.MergeParallel(partial.cost);
   }
-  std::sort(merged.matches.begin(), merged.matches.end());
+  CanonicalizeMatchOrder(&merged);
   merged.cost.wall_ms = timer.ElapsedMillis();
   merged.cost.cpu_ms +=
       std::max(0.0, cpu_timer.ElapsedMillis() - search_caller_cpu_ms);
@@ -307,6 +310,13 @@ Status ShardServer::HandleRange(const JsonValue& request,
     matches.Add(JsonValue::Int(id));
   }
   response->Set("matches", std::move(matches));
+  // Exact per-match D_tw distances, parallel to "matches". Doubles
+  // serialize at %.17g so the router's cache stores bit-identical values.
+  JsonValue distances = JsonValue::Array();
+  for (const double d : merged.distances) {
+    distances.Add(JsonValue::Double(d));
+  }
+  response->Set("distances", std::move(distances));
   response->Set("num_candidates",
                 JsonValue::Int(static_cast<int64_t>(merged.num_candidates)));
   response->Set("cost", CostToJson(merged.cost));

@@ -651,6 +651,8 @@ std::string FlightRecordToJson(const FlightRecord& record) {
   out.append(",\"replica\":" + std::to_string(record.replica));
   out.append(",\"net_hedges\":" + std::to_string(record.net_hedges));
   out.append(",\"net_retries\":" + std::to_string(record.net_retries));
+  out.append(",\"cache_hit\":\"" +
+             std::string(CacheTierName(record.cache_hit)) + "\"");
   out.append(",\"stages_ms\":{");
   bool first = true;
   for (const auto& [stage, ms] : record.stage_ms.entries()) {

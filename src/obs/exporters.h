@@ -33,7 +33,7 @@ namespace warpindex {
 
 // Library version (also reported in /statusz build info and the
 // warpindex_build_info metric).
-inline constexpr const char* kWarpIndexVersion = "0.9.0";
+inline constexpr const char* kWarpIndexVersion = "0.10.0";
 
 // Static facts about this binary, exported as the warpindex_build_info
 // metric (Prometheus info-metric convention: labels carry the facts, the

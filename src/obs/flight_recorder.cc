@@ -15,6 +15,18 @@ size_t PickStripes(size_t requested, size_t capacity) {
 
 }  // namespace
 
+const char* CacheTierName(CacheTier tier) {
+  switch (tier) {
+    case CacheTier::kExecutor:
+      return "executor";
+    case CacheTier::kRouter:
+      return "router";
+    case CacheTier::kNone:
+      break;
+  }
+  return "none";
+}
+
 FlightRecorder::FlightRecorder(FlightRecorderOptions options)
     : options_(options),
       capacity_(std::max<size_t>(1, options.capacity)),

@@ -37,6 +37,17 @@
 
 namespace warpindex {
 
+// Which semantic-cache tier (if any) answered a query without running
+// the engine. Rendered as "none" / "executor" / "router" in the
+// /flightrecorder and /slowlog JSON.
+enum class CacheTier : int32_t {
+  kNone = 0,      // the engine ran the query
+  kExecutor = 1,  // QueryExecutor's engine-side cache answered
+  kRouter = 2,    // the router's wire-side cache answered (no fan-out)
+};
+
+const char* CacheTierName(CacheTier tier);
+
 // Everything worth keeping about one completed query. Built by the layer
 // that ran the query (exec/query_executor.cc fills it from a
 // SearchResult); obs stays independent of the core types.
@@ -81,6 +92,9 @@ struct FlightRecord {
   int32_t replica = -1;
   uint32_t net_hedges = 0;
   uint32_t net_retries = 0;
+  // Semantic-cache attribution: which tier answered this query from a
+  // stored result (kNone when the engine actually ran).
+  CacheTier cache_hit = CacheTier::kNone;
 };
 
 struct FlightRecorderOptions {

@@ -173,6 +173,7 @@ void FilterCascade::Run(const Sequence& query, double epsilon,
     result->cost.dtw_cells += d.cells;
     if (d.distance <= epsilon) {
       result->matches.push_back(s.id());
+      result->distances.push_back(d.distance);
     }
   }
   const size_t matched = result->matches.size() - matches_before;

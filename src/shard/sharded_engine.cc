@@ -216,11 +216,14 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
     for (const SequenceId local : partial.matches) {
       result.matches.push_back(ToGlobalId(active[i], local));
     }
+    result.distances.insert(result.distances.end(),
+                            partial.distances.begin(),
+                            partial.distances.end());
     result.cost.MergeParallel(partial.cost);
   }
   // Canonical answer order: ascending global id, independent of shard
   // count and completion order.
-  std::sort(result.matches.begin(), result.matches.end());
+  CanonicalizeMatchOrder(&result);
   // Resource counters stay as MergeParallel left them (work summed);
   // wall time is the measured end-to-end latency of the sharded query.
   result.cost.wall_ms = timer.ElapsedMillis();
@@ -233,6 +236,18 @@ SearchResult ShardedEngine::SearchWith(MethodKind kind, const Sequence& query,
 
 KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
                                    Trace* trace) const {
+  return SearchKnnImpl(query, k, kInfiniteDistance, trace);
+}
+
+KnnResult ShardedEngine::SearchKnnSeeded(const Sequence& query, size_t k,
+                                         double seed_bound,
+                                         Trace* trace) const {
+  return SearchKnnImpl(query, k, seed_bound, trace);
+}
+
+KnnResult ShardedEngine::SearchKnnImpl(const Sequence& query, size_t k,
+                                       double seed_bound,
+                                       Trace* trace) const {
   WallTimer timer;
   // Same caller-CPU accounting as SearchWith: fan-out CPU is in the
   // partials, so only this layer's own share is added at the end.
@@ -258,6 +273,9 @@ KnnResult ShardedEngine::SearchKnn(const Sequence& query, size_t k,
   fanout_hist_->Observe(static_cast<double>(active.size()));
 
   SharedKnnBound shared_bound;
+  // A cache-provided seed is a valid upper bound on the global k-th
+  // distance; pruning is strictly-above, so seeding preserves answers.
+  shared_bound.Tighten(seed_bound);
   std::vector<KnnResult> partials(active.size());
   {
     ScopedSpan span(trace, "scatter_gather");

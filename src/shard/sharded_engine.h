@@ -123,8 +123,17 @@ class ShardedEngine : public EngineLike {
   KnnResult SearchKnn(const Sequence& query, size_t k,
                       Trace* trace = nullptr) const override;
 
+  // SearchKnn with the shared bound pre-tightened to a valid upper
+  // bound on the k-th distance (EngineLike); identical answers.
+  KnnResult SearchKnnSeeded(const Sequence& query, size_t k,
+                            double seed_bound,
+                            Trace* trace = nullptr) const override;
+
   MetricsRegistry& metrics() const override {
     return shards_.front()->metrics();
+  }
+  DtwOptions dtw_options() const override {
+    return shards_.front()->dtw_options();
   }
 
   double ElapsedMillis(const SearchCost& cost) const override {
@@ -187,6 +196,11 @@ class ShardedEngine : public EngineLike {
   // Open() path: adopts already-restored shards.
   ShardedEngine(std::vector<std::unique_ptr<Engine>> shards,
                 ShardedEngineOptions options, ShardAssignment assignment);
+
+  // Shared body of SearchKnn / SearchKnnSeeded; `seed_bound` pre-
+  // tightens the cross-shard bound (kInfiniteDistance = no seed).
+  KnnResult SearchKnnImpl(const Sequence& query, size_t k,
+                          double seed_bound, Trace* trace) const;
 
   void BuildFromDataset(Dataset dataset, ShardAssignment assignment);
   void BuildIdMaps(ShardAssignment assignment);

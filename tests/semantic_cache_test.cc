@@ -1,0 +1,209 @@
+// Unit tests for the semantic result cache (cache/semantic_cache.h):
+// key derivation, ε-subsumption re-filtering, kNN prefix reuse and
+// bound seeding, strict version invalidation, and the striped LRU byte
+// budget. The end-to-end bit-identical-answers claim lives in
+// cache_property_test.cc; this file pins the cache's own contract.
+
+#include "cache/semantic_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/search_method.h"
+#include "core/tw_knn_search.h"
+#include "dtw/base_distance.h"
+#include "sequence/sequence.h"
+
+namespace warpindex {
+namespace {
+
+Sequence Query() { return Sequence({1.0, 2.0, 3.0, 2.0}); }
+
+// A stored range answer in some traversal order (deliberately NOT
+// sorted by distance or id — the cache must preserve it).
+SearchResult StoredAnswer() {
+  SearchResult result;
+  result.matches = {7, 2, 9, 4};
+  result.distances = {0.40, 0.10, 0.25, 0.05};
+  result.num_candidates = 11;
+  return result;
+}
+
+TEST(SemanticCacheKeyTest, MethodAndConfigurationTagTheKey) {
+  const Sequence q = Query();
+  const DtwOptions dtw;
+  const uint64_t tw = SemanticCache::RangeKey(q, dtw, MethodKind::kTwSimSearch);
+  EXPECT_EQ(tw, SemanticCache::RangeKey(q, dtw, MethodKind::kTwSimSearch));
+  // A different traversal order must never replay this entry.
+  EXPECT_NE(tw, SemanticCache::RangeKey(q, dtw, MethodKind::kNaiveScan));
+  EXPECT_NE(tw, SemanticCache::RangeKey(q, dtw, MethodKind::kLbScan));
+  // kNN answers live under their own tag.
+  EXPECT_NE(tw, SemanticCache::KnnKey(q, dtw));
+  // A different query or base-distance configuration changes the key.
+  EXPECT_NE(tw, SemanticCache::RangeKey(Sequence({1.0, 2.0, 3.0}), dtw,
+                                        MethodKind::kTwSimSearch));
+  DtwOptions other = dtw;
+  other.band = (dtw.band == 2) ? 3 : 2;
+  EXPECT_NE(tw, SemanticCache::RangeKey(q, other, MethodKind::kTwSimSearch));
+}
+
+TEST(SemanticCacheRangeTest, SubsumedLookupRefiltersInStoredOrder) {
+  SemanticCache cache;
+  const uint64_t key =
+      SemanticCache::RangeKey(Query(), DtwOptions{}, MethodKind::kTwSimSearch);
+  cache.InsertRange(key, 0.5, 0, StoredAnswer());
+
+  SearchResult out;
+  ASSERT_TRUE(cache.LookupRange(key, 0.25, 0, &out));
+  EXPECT_EQ(out.matches, (std::vector<SequenceId>{2, 9, 4}));
+  EXPECT_EQ(out.distances, (std::vector<double>{0.10, 0.25, 0.05}));
+  EXPECT_EQ(out.num_candidates, 11u);
+  EXPECT_EQ(out.cost.cache_hits, 1u);
+
+  // Equal tolerance is subsumed too (<=, not <).
+  ASSERT_TRUE(cache.LookupRange(key, 0.5, 0, &out));
+  EXPECT_EQ(out.matches.size(), 4u);
+
+  // A wider tolerance is NOT subsumed: the stored entry may be missing
+  // matches between 0.5 and 0.6.
+  EXPECT_FALSE(cache.LookupRange(key, 0.6, 0, &out));
+
+  const SemanticCacheStats stats = cache.TakeStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio, 2.0 / 3.0);
+}
+
+TEST(SemanticCacheRangeTest, InsertKeepsTheWiderSameVersionEntry) {
+  SemanticCache cache;
+  const uint64_t key = 42;
+  cache.InsertRange(key, 0.5, 0, StoredAnswer());
+
+  // A narrower answer at the same version must not clobber the wider
+  // entry (it is subsumed by what is already stored).
+  SearchResult narrow;
+  narrow.matches = {4};
+  narrow.distances = {0.05};
+  cache.InsertRange(key, 0.1, 0, narrow);
+  SearchResult out;
+  ASSERT_TRUE(cache.LookupRange(key, 0.3, 0, &out));
+  EXPECT_EQ(out.matches, (std::vector<SequenceId>{2, 9, 4}));
+}
+
+TEST(SemanticCacheRangeTest, ResultWithoutDistancesIsNotCached) {
+  SemanticCache cache;
+  SearchResult no_distances;
+  no_distances.matches = {1, 2, 3};  // distances absent — cannot re-filter
+  cache.InsertRange(7, 0.5, 0, no_distances);
+  SearchResult out;
+  EXPECT_FALSE(cache.LookupRange(7, 0.1, 0, &out));
+  EXPECT_EQ(cache.TakeStats().insertions, 0u);
+}
+
+TEST(SemanticCacheRangeTest, VersionMismatchDropsTheEntry) {
+  SemanticCache cache;
+  cache.InsertRange(9, 0.5, 3, StoredAnswer());
+
+  SearchResult out;
+  // Lookup under any other version misses AND invalidates.
+  EXPECT_FALSE(cache.LookupRange(9, 0.1, 4, &out));
+  EXPECT_EQ(cache.TakeStats().invalidations, 1u);
+  // Even the original version misses now: the stale entry is gone.
+  EXPECT_FALSE(cache.LookupRange(9, 0.1, 3, &out));
+  EXPECT_EQ(cache.TakeStats().entries, 0u);
+}
+
+TEST(SemanticCacheKnnTest, PrefixRuleAndVersioning) {
+  SemanticCache cache;
+  KnnResult stored;
+  stored.neighbors = {{5, 0.1}, {2, 0.2}, {8, 0.2}, {1, 0.9}};
+  stored.num_refined = 17;
+  cache.InsertKnn(11, stored.neighbors.size(), 0, stored);
+
+  KnnResult out;
+  ASSERT_TRUE(cache.LookupKnn(11, 2, 0, &out));
+  ASSERT_EQ(out.neighbors.size(), 2u);
+  EXPECT_EQ(out.neighbors[0].id, 5);
+  EXPECT_EQ(out.neighbors[1].id, 2);
+  EXPECT_EQ(out.cost.cache_hits, 1u);
+
+  // k beyond the stored k' misses — the tail is unknown.
+  EXPECT_FALSE(cache.LookupKnn(11, 5, 0, &out));
+  // Another version invalidates.
+  EXPECT_FALSE(cache.LookupKnn(11, 2, 1, &out));
+  EXPECT_FALSE(cache.LookupKnn(11, 2, 0, &out));
+}
+
+TEST(SemanticCacheKnnTest, SeedIsTheKthSmallestStoredRangeDistance) {
+  SemanticCache cache;
+  const Sequence q = Query();
+  const DtwOptions dtw;
+  // Seed probes every method-tagged range key; store under one of them.
+  cache.InsertRange(SemanticCache::RangeKey(q, dtw, MethodKind::kLbScan),
+                    0.5, 0, StoredAnswer());
+
+  double bound = 0.0;
+  ASSERT_TRUE(cache.LookupKnnSeed(q, dtw, 2, 0, &bound));
+  EXPECT_DOUBLE_EQ(bound, 0.10);  // 2nd smallest of {.40,.10,.25,.05}
+  ASSERT_TRUE(cache.LookupKnnSeed(q, dtw, 4, 0, &bound));
+  EXPECT_DOUBLE_EQ(bound, 0.40);
+  // Fewer stored matches than k: the k-th distance is not in the entry.
+  EXPECT_FALSE(cache.LookupKnnSeed(q, dtw, 5, 0, &bound));
+}
+
+TEST(SemanticCacheLruTest, ByteBudgetEvictsColdEntries) {
+  SemanticCacheOptions options;
+  options.max_bytes = 8 << 10;
+  options.stripes = 1;  // deterministic: one LRU list
+  SemanticCache cache(options);
+
+  SearchResult big;
+  for (SequenceId id = 0; id < 40; ++id) {
+    big.matches.push_back(id);
+    big.distances.push_back(0.01 * static_cast<double>(id));
+  }
+  for (uint64_t key = 0; key < 64; ++key) {
+    cache.InsertRange(key, 0.5, 0, big);
+  }
+  const SemanticCacheStats stats = cache.TakeStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+  EXPECT_LT(stats.entries, 64u);
+
+  // The most recent insertions survive; the coldest were evicted.
+  SearchResult out;
+  EXPECT_TRUE(cache.LookupRange(63, 0.5, 0, &out));
+  EXPECT_FALSE(cache.LookupRange(0, 0.5, 0, &out));
+
+  cache.Clear();
+  EXPECT_EQ(cache.TakeStats().entries, 0u);
+  EXPECT_EQ(cache.TakeStats().bytes, 0u);
+}
+
+TEST(SemanticCacheMetricsTest, RegistersTierTaggedSeries) {
+  MetricsRegistry registry;
+  SemanticCacheOptions options;
+  options.tier = "router";
+  options.metrics = &registry;
+  SemanticCache cache(options);
+  cache.InsertRange(1, 0.5, 0, StoredAnswer());
+  SearchResult out;
+  ASSERT_TRUE(cache.LookupRange(1, 0.1, 0, &out));
+  EXPECT_FALSE(cache.LookupRange(2, 0.1, 0, &out));
+
+  const MetricsRegistry::Snapshot snapshot = registry.TakeSnapshot();
+  bool found_hits = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.name == "warpindex_cache_router_hits_total") {
+      found_hits = true;
+      EXPECT_EQ(counter.value, 1u);
+    }
+  }
+  EXPECT_TRUE(found_hits);
+}
+
+}  // namespace
+}  // namespace warpindex
